@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the compiler itself (real wall-clock):
+//! end-to-end compile time per benchmark, IR print/parse round-trip, and
+//! simulated kernel execution throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ftn_bench::workloads;
+use ftn_core::Compiler;
+use ftn_fpga::{DeviceModel, KernelExecutor};
+use ftn_interp::{Buffer, Memory, MemRefVal, RtValue};
+use ftn_mlir::{parse_module, print_op, Ir};
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("compile_saxpy_full_pipeline", |b| {
+        b.iter(|| {
+            Compiler::default()
+                .compile_source(workloads::SAXPY_F90)
+                .unwrap()
+        })
+    });
+    c.bench_function("compile_sgesl_full_pipeline", |b| {
+        b.iter(|| {
+            Compiler::default()
+                .compile_source(workloads::SGESL_F90)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let artifacts = Compiler::default()
+        .compile_source(workloads::SAXPY_F90)
+        .unwrap();
+    let text = artifacts.device_module_text.clone();
+    c.bench_function("parse_device_module", |b| {
+        b.iter(|| {
+            let mut ir = Ir::new();
+            parse_module(&mut ir, &text).unwrap()
+        })
+    });
+    let mut ir = Ir::new();
+    let m = parse_module(&mut ir, &text).unwrap();
+    c.bench_function("print_device_module", |b| b.iter(|| print_op(&ir, m)));
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let bs = workloads::handwritten_saxpy_bitstream();
+    let executor = KernelExecutor::from_bitstream(&bs, DeviceModel::u280()).unwrap();
+    let n = 10_000usize;
+    c.bench_function("simulate_saxpy_10k_elements", |b| {
+        b.iter(|| {
+            let mut memory = Memory::new();
+            let x = memory.alloc(Buffer::F32(vec![1.0; n]), 1);
+            let y = memory.alloc(Buffer::F32(vec![2.0; n]), 1);
+            let args = vec![
+                RtValue::MemRef(MemRefVal { buffer: x, shape: vec![n as i64], space: 1 }),
+                RtValue::MemRef(MemRefVal { buffer: y, shape: vec![n as i64], space: 1 }),
+                RtValue::F32(2.5),
+                RtValue::Index(n as i64),
+            ];
+            executor.execute("saxpy_manual", &args, &mut memory).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compile, bench_roundtrip, bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates Figure 1: the [3] Flang-to-core-dialect flow diagram.
+fn main() {
+    println!("{}", ftn_bench::diagram::figure1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 2: the full Fortran+OpenMP -> FPGA offload flow.
+fn main() {
+    println!("{}", ftn_bench::diagram::figure2());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: SAXPY runtime, Fortran OpenMP vs hand-written HLS.
+fn main() {
+    let t = ftn_bench::table1_saxpy_runtime(&ftn_bench::experiments::SAXPY_SIZES);
+    println!("{}", t.render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2: SGESL runtime, Fortran OpenMP vs hand-written HLS.
+fn main() {
+    let t = ftn_bench::table2_sgesl_runtime(&ftn_bench::experiments::SGESL_SIZES);
+    println!("{}", t.render());
+}

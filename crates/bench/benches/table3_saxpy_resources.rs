@@ -1,0 +1,4 @@
+//! Regenerates Table 3: SAXPY resource utilisation.
+fn main() {
+    println!("{}", ftn_bench::table3_saxpy_resources().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 4: SGESL resource utilisation (MAC/DSP divergence).
+fn main() {
+    println!("{}", ftn_bench::table4_sgesl_resources().render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 5: SAXPY median power draw (FPGA flows + CPU core).
+fn main() {
+    let t = ftn_bench::table5_saxpy_power(&ftn_bench::experiments::SAXPY_SIZES);
+    println!("{}", t.render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 6: SGESL median power draw (FPGA flows + CPU core).
+fn main() {
+    let t = ftn_bench::table6_sgesl_power(&ftn_bench::experiments::SGESL_SIZES);
+    println!("{}", t.render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 7: lines of code per flow component.
+fn main() {
+    println!("{}", ftn_bench::locs::table7().render());
+}

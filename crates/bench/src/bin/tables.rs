@@ -1,0 +1,28 @@
+//! Prints every table and figure of the paper's evaluation in one run:
+//! `cargo run --release -p ftn-bench --bin tables [--quick]`.
+//!
+//! `--quick` uses reduced problem sizes (useful for smoke-testing; the full
+//! sizes match the paper: SAXPY up to 10M, SGESL up to 2048).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (saxpy_sizes, sgesl_sizes): (Vec<usize>, Vec<usize>) = if quick {
+        (vec![10_000, 100_000], vec![64, 128])
+    } else {
+        (
+            ftn_bench::experiments::SAXPY_SIZES.to_vec(),
+            ftn_bench::experiments::SGESL_SIZES.to_vec(),
+        )
+    };
+
+    println!("{}", ftn_bench::table1_saxpy_runtime(&saxpy_sizes).render());
+    println!("{}", ftn_bench::table2_sgesl_runtime(&sgesl_sizes).render());
+    println!("{}", ftn_bench::table3_saxpy_resources().render());
+    println!("{}", ftn_bench::table4_sgesl_resources().render());
+    println!("{}", ftn_bench::table5_saxpy_power(&saxpy_sizes).render());
+    println!("{}", ftn_bench::table6_sgesl_power(&sgesl_sizes).render());
+    println!("{}", ftn_bench::locs::table7().render());
+    println!("{}", ftn_bench::diagram::figure1());
+    println!();
+    println!("{}", ftn_bench::diagram::figure2());
+}

@@ -1,0 +1,73 @@
+//! Figures 1 and 2: the compilation-flow diagrams, regenerated as ASCII art
+//! from the *actual* registered pipeline stages (`ftn_passes::FLOW_STAGES`),
+//! so the figures cannot drift from the implementation.
+
+use ftn_passes::FLOW_STAGES;
+
+/// Figure 1: the `[3]` flow — Flang lowered to core dialects and LLVM-IR.
+pub fn figure1() -> String {
+    let stages: Vec<(&str, &str)> = vec![
+        ("Fortran source", "programmer input"),
+        ("Flang: HLFIR & FIR", FLOW_STAGES[0].component),
+        ("core dialects (memref/scf/arith/omp)", FLOW_STAGES[1].component),
+        ("MLIR transforms (mlir-opt)", "upstream MLIR"),
+        ("LLVM-IR", "LLVM backend"),
+    ];
+    render("Figure 1: Flang to core-dialect flow of [3]", &stages)
+}
+
+/// Figure 2: this work's full offload flow, straight from the pass registry.
+pub fn figure2() -> String {
+    let stages: Vec<(&str, &str)> = FLOW_STAGES
+        .iter()
+        .map(|s| (s.description, s.component))
+        .collect();
+    render(
+        "Figure 2: Fortran+OpenMP to host code and FPGA bitstream (this work)",
+        &stages,
+    )
+}
+
+fn render(title: &str, stages: &[(&str, &str)]) -> String {
+    let width = stages
+        .iter()
+        .map(|(d, _)| d.len())
+        .max()
+        .unwrap_or(20)
+        .max(title.len());
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&"=".repeat(title.len()));
+    out.push('\n');
+    for (i, (desc, component)) in stages.iter().enumerate() {
+        out.push_str(&format!("+-{}-+\n", "-".repeat(width)));
+        out.push_str(&format!("| {desc:width$} |  <{component}>\n"));
+        out.push_str(&format!("+-{}-+\n", "-".repeat(width)));
+        if i + 1 != stages.len() {
+            out.push_str(&format!("{:>mid$}\n", "|", mid = width / 2 + 2));
+            out.push_str(&format!("{:>mid$}\n", "v", mid = width / 2 + 2));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_render_from_live_pipeline() {
+        let f1 = figure1();
+        assert!(f1.contains("HLFIR & FIR"));
+        assert!(f1.contains("LLVM-IR"));
+        let f2 = figure2();
+        assert!(f2.contains("device.kernel_create"));
+        assert!(f2.contains("this work"));
+        assert!(f2.contains("[19]"));
+        assert!(f2.contains("[20]"));
+        assert!(f2.contains("Vitis"));
+        // Figure 2 must have strictly more stages than Figure 1.
+        assert!(f2.matches("+--").count() > f1.matches("+--").count());
+    }
+}

@@ -1,0 +1,26 @@
+//! `ftn-bench` — the evaluation harness: regenerates every table and figure
+//! of the paper's §4 on the simulated U280.
+//!
+//! * [`workloads`] — SAXPY and SGESL benchmark drivers (Fortran sources from
+//!   `benchmarks/`), the SGEFA LU factorizer that produces SGESL inputs, CPU
+//!   reference implementations, and the hand-written-HLS baseline kernels.
+//! * [`experiments`] — per-table experiment runners (10 seeded trials,
+//!   median ± std, as the paper reports).
+//! * [`stats`] — median/std/jitter helpers.
+//! * [`locs`] — Table 7 lines-of-code accounting over this repository.
+//! * [`diagram`] — Figures 1–2 regenerated from the registered pass pipeline.
+
+pub mod diagram;
+pub mod experiments;
+pub mod locs;
+pub mod stats;
+pub mod workloads;
+
+pub use experiments::{
+    table1_saxpy_runtime, table2_sgesl_runtime, table3_saxpy_resources, table4_sgesl_resources,
+    table5_saxpy_power, table6_sgesl_power, Table,
+};
+pub use workloads::{Flow, SaxpyRun, SgeslRun};
+
+// Flow is referenced by downstream consumers of the harness.
+pub use workloads as workload_fns;

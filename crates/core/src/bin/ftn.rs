@@ -1,0 +1,89 @@
+//! `ftn` — the command-line compiler driver (the repository's namesake tool):
+//! compiles a Fortran file through the full OpenMP→FPGA pipeline and writes
+//! every artifact next to it (or to `--out <dir>`).
+//!
+//! ```text
+//! ftn input.f90 [--out DIR] [--quiet]
+//! ```
+//!
+//! Artifacts written: `<stem>.host.mlir`, `<stem>.device.mlir`,
+//! `<stem>.host.cpp`, `<stem>.ll`, `<stem>.llvm7.ll`, `<stem>.xclbin.json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftn_core::Compiler;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).map(PathBuf::from);
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: ftn <input.f90> [--out DIR] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => input = Some(PathBuf::from(other)),
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        eprintln!("error: no input file (try --help)");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let artifacts = match Compiler::default().compile_source(&source) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stem = input
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".into());
+    let dir = out_dir.unwrap_or_else(|| input.parent().map(PathBuf::from).unwrap_or_default());
+    let _ = std::fs::create_dir_all(&dir);
+    let write = |name: &str, contents: &str| {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+        } else if !quiet {
+            println!("wrote {}", path.display());
+        }
+    };
+    write(&format!("{stem}.host.mlir"), &artifacts.host_module_text);
+    write(&format!("{stem}.device.mlir"), &artifacts.device_module_text);
+    write(&format!("{stem}.host.cpp"), &artifacts.host_cpp);
+    write(&format!("{stem}.ll"), &artifacts.llvm_ir);
+    write(&format!("{stem}.llvm7.ll"), &artifacts.llvm7_ir);
+    write(&format!("{stem}.xclbin.json"), &artifacts.bitstream.to_json());
+    if !quiet {
+        for k in &artifacts.bitstream.kernels {
+            println!(
+                "kernel {}: {} LUT / {} BRAM / {} DSP; {} loop(s) scheduled",
+                k.name,
+                k.resources.lut,
+                k.resources.bram,
+                k.resources.dsp,
+                k.schedule.len()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

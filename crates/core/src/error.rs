@@ -1,0 +1,25 @@
+//! Unified error type for the end-to-end driver.
+
+/// Any failure in the compile or execute path, tagged with the stage.
+#[derive(Debug, Clone)]
+pub struct CompileError {
+    pub stage: &'static str,
+    pub message: String,
+}
+
+impl CompileError {
+    pub fn new(stage: &'static str, message: impl Into<String>) -> Self {
+        CompileError {
+            stage,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}

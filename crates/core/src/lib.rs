@@ -1,0 +1,26 @@
+//! `ftn-core` — the end-to-end compiler driver and execution machine.
+//!
+//! [`Compiler::compile_source`] runs the complete Figure-2 flow on a Fortran
+//! source string:
+//!
+//! 1. frontend (Flang substitute) → `fir` + `omp` IR,
+//! 2. host pipeline: `fir-to-core`, `lower-omp-mapped-data`,
+//!    `lower-omp-target-region`, `canonicalize`,
+//! 3. `extract-device-module` (host ∥ `target="fpga"` split, Listing 2),
+//! 4. device pipeline: `lower-omp-to-hls`, `canonicalize` (Listing 4),
+//! 5. "Vitis" synthesis → [`ftn_fpga::Bitstream`],
+//! 6. artifact generation: C++/OpenCL host code, LLVM-IR, LLVM-7+SSDM IR.
+//!
+//! [`Machine`] loads the artifacts and executes the host program against the
+//! simulated U280, reporting the kernel/transfer timing and power the
+//! evaluation tables are built from.
+
+pub mod compiler;
+pub mod dse;
+pub mod error;
+pub mod machine;
+
+pub use compiler::{Artifacts, Compiler, CompilerOptions};
+pub use dse::{explore_simdlen, DesignPoint, DseReport};
+pub use error::CompileError;
+pub use machine::{Machine, RunReport};

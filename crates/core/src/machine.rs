@@ -1,0 +1,149 @@
+//! The execution machine: loads compiled [`Artifacts`] and runs the host
+//! program against the simulated U280, mirroring what "run the Clang-compiled
+//! host binary on the EPYC box with the FPGA programmed" did in the paper.
+
+use ftn_fpga::{fpga_power_watts, DeviceModel, KernelExecutor};
+use ftn_host::{HostRuntime, RunStats};
+use ftn_interp::{call_function, Buffer, Memory, MemRefVal, NoObserver, RtValue};
+use ftn_mlir::{parse_module, Ir, OpId};
+
+use crate::compiler::Artifacts;
+use crate::error::CompileError;
+
+/// Result of one host-program run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub stats: RunStats,
+    pub results: Vec<RtValue>,
+    /// Median card power over the run (model of the paper's measurement).
+    pub fpga_power_watts: f64,
+}
+
+/// See module docs.
+pub struct Machine {
+    pub device: DeviceModel,
+    host_ir: Ir,
+    host_module: OpId,
+    pub memory: Memory,
+    runtime_template: (String, f64),
+    bitstream: ftn_fpga::Bitstream,
+}
+
+impl Machine {
+    /// "Program the FPGA and load the host binary."
+    pub fn load(artifacts: &Artifacts, device: DeviceModel) -> Result<Self, CompileError> {
+        let mut host_ir = Ir::new();
+        let host_module = parse_module(&mut host_ir, &artifacts.host_module_text)
+            .map_err(|e| CompileError::new("machine-load", e.to_string()))?;
+        Ok(Machine {
+            device: device.clone(),
+            host_ir,
+            host_module,
+            memory: Memory::new(),
+            runtime_template: (device.name.clone(), device.clock_mhz),
+            bitstream: artifacts.bitstream.clone(),
+        })
+    }
+
+    /// Allocate a host (space-0) f32 array initialized from `data`.
+    pub fn host_f32(&mut self, data: &[f32]) -> RtValue {
+        let buffer = self.memory.alloc(Buffer::F32(data.to_vec()), 0);
+        RtValue::MemRef(MemRefVal {
+            buffer,
+            shape: vec![data.len() as i64],
+            space: 0,
+        })
+    }
+
+    /// Allocate a host i32 array.
+    pub fn host_i32(&mut self, data: &[i32]) -> RtValue {
+        let buffer = self.memory.alloc(Buffer::I32(data.to_vec()), 0);
+        RtValue::MemRef(MemRefVal {
+            buffer,
+            shape: vec![data.len() as i64],
+            space: 0,
+        })
+    }
+
+    /// Read back a host f32 array.
+    pub fn read_f32(&self, v: &RtValue) -> Vec<f32> {
+        let m = v.as_memref().expect("memref value");
+        match self.memory.get(m.buffer) {
+            Buffer::F32(data) => data.clone(),
+            other => panic!("expected f32 buffer, got {}", other.type_name()),
+        }
+    }
+
+    /// Run host function `func` with `args`. Each call uses a fresh device
+    /// data environment (a fresh XRT process, as in the paper's per-trial
+    /// runs) but shares host memory.
+    pub fn run(&mut self, func: &str, args: &[RtValue]) -> Result<RunReport, CompileError> {
+        let executor = KernelExecutor::from_bitstream(&self.bitstream, self.device.clone())
+            .map_err(|e| CompileError::new("machine-bitstream", e))?;
+        let mut runtime = HostRuntime::new(executor, self.device.clone());
+        let results = call_function(
+            &self.host_ir,
+            self.host_module,
+            func,
+            args,
+            &mut self.memory,
+            &mut runtime,
+            &mut NoObserver,
+        )
+        .map_err(|e| CompileError::new("machine-run", e.to_string()))?;
+        let stats = runtime.stats.clone();
+        let power = fpga_power_watts(&self.bitstream.kernel_resources(), stats.kernel_seconds);
+        let _ = &self.runtime_template;
+        Ok(RunReport {
+            stats,
+            results,
+            fpga_power_watts: power,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Compiler;
+
+    const SAXPY: &str = r#"
+subroutine saxpy(n, a, x, y)
+  implicit none
+  integer :: n, i
+  real :: a, x(n), y(n)
+  !$omp target parallel do simd simdlen(10)
+  do i = 1, n
+    y(i) = y(i) + a*x(i)
+  end do
+  !$omp end target parallel do simd
+end subroutine saxpy
+"#;
+
+    #[test]
+    fn compile_load_run_saxpy_end_to_end() {
+        let artifacts = Compiler::default().compile_source(SAXPY).unwrap();
+        let mut machine = Machine::load(&artifacts, DeviceModel::u280()).unwrap();
+        let n = 1000usize;
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let y: Vec<f32> = vec![1.0; n];
+        let xa = machine.host_f32(&x);
+        let ya = machine.host_f32(&y);
+        let report = machine
+            .run("saxpy", &[RtValue::I32(n as i32), RtValue::F32(2.0), xa, ya.clone()])
+            .unwrap();
+        let out = machine.read_f32(&ya);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 1.0 + 2.0 * i as f32, "element {i}");
+        }
+        assert_eq!(report.stats.launches, 1);
+        // Implicit tofrom maps: x and y copied in, both copied back.
+        assert!(report.stats.transfers >= 3, "{:?}", report.stats);
+        assert!(report.stats.kernel_seconds > 0.0);
+        // ~32 cycles/element at 300 MHz.
+        let expect = 1000.0 * 32.0 / 300e6;
+        let ratio = report.stats.kernel_seconds / expect;
+        assert!((0.5..2.5).contains(&ratio), "kernel time {} vs {}", report.stats.kernel_seconds, expect);
+        assert!((20.0..27.0).contains(&report.fpga_power_watts));
+    }
+}

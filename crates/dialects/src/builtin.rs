@@ -1,0 +1,58 @@
+//! `builtin` dialect: the `builtin.module` container op.
+
+use ftn_mlir::{BlockId, Ir, OpId, OpSpec, VerifierRegistry};
+
+pub const MODULE: &str = "builtin.module";
+
+/// Create a detached `builtin.module` with one empty entry block; returns
+/// `(module op, body block)`.
+pub fn module(ir: &mut Ir) -> (OpId, BlockId) {
+    let region = ir.new_region();
+    let block = ir.new_block(region, &[]);
+    let op = ir.create_op(OpSpec::new(MODULE).region(region));
+    (op, block)
+}
+
+/// Create a module tagged with a compilation target, e.g. `target = "fpga"`
+/// (the device module of Listing 2).
+pub fn module_with_target(ir: &mut Ir, target: &str) -> (OpId, BlockId) {
+    let (op, block) = module(ir);
+    let attr = ir.attr_str(target);
+    ir.set_attr(op, "target", attr);
+    (op, block)
+}
+
+/// The single body block of a module.
+pub fn body(ir: &Ir, module: OpId) -> BlockId {
+    ir.entry_block(module, 0)
+}
+
+/// Compilation target of a module (`None` = host).
+pub fn target(ir: &Ir, module: OpId) -> Option<&str> {
+    ir.attr_str_of(module, "target")
+}
+
+pub fn register(reg: &mut VerifierRegistry) {
+    reg.register(MODULE, |ir, op| {
+        if ir.op(op).regions.len() != 1 {
+            return Err("builtin.module must have exactly one region".into());
+        }
+        if !ir.op(op).results.is_empty() {
+            return Err("builtin.module has no results".into());
+        }
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_roundtrip() {
+        let mut ir = Ir::new();
+        let (m, b) = module_with_target(&mut ir, "fpga");
+        assert_eq!(target(&ir, m), Some("fpga"));
+        assert_eq!(body(&ir, m), b);
+    }
+}

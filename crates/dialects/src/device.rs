@@ -1,0 +1,288 @@
+//! `device` dialect — **the paper's contribution** (§3).
+//!
+//! Abstracts host↔device interaction so host code maps simply onto OpenCL
+//! driver calls:
+//!
+//! 1. `device.alloc`    — allocate device memory in a memory space, tracked by
+//!    a string identifier (returns a device memref).
+//! 2. `device.lookup`   — retrieve the device memref for an identifier.
+//! 3. `device.data_check_exists` — `i1`: is the identifier currently present?
+//! 4. `device.data_acquire` / 5. `device.data_release` — reference-count a
+//!    data region entry (the counter scheme that implements nested/implicit
+//!    OpenMP data-region semantics).
+//! 6. `device.kernel_create` — define a kernel (body region pre-extraction,
+//!    `device_function` symbol post-extraction); returns `!device.kernelhandle`.
+//! 7. `device.kernel_launch` — asynchronous launch. 8. `device.kernel_wait` —
+//!    block until completion.
+
+use ftn_mlir::{Builder, Ir, OpId, OpSpec, TypeId, TypeKind, ValueId, VerifierRegistry};
+
+pub const ALLOC: &str = "device.alloc";
+pub const LOOKUP: &str = "device.lookup";
+pub const DATA_CHECK_EXISTS: &str = "device.data_check_exists";
+pub const DATA_ACQUIRE: &str = "device.data_acquire";
+pub const DATA_RELEASE: &str = "device.data_release";
+pub const KERNEL_CREATE: &str = "device.kernel_create";
+pub const KERNEL_LAUNCH: &str = "device.kernel_launch";
+pub const KERNEL_WAIT: &str = "device.kernel_wait";
+
+/// The `!device.kernelhandle` type.
+pub fn kernel_handle_t(ir: &mut Ir) -> TypeId {
+    ir.opaque_t("device", "kernelhandle")
+}
+
+/// `device.alloc` returning a memref in `memory_space`, identified by `name`.
+pub fn build_alloc(
+    b: &mut Builder,
+    result_ty: TypeId,
+    dyn_sizes: &[ValueId],
+    name: &str,
+    memory_space: u32,
+) -> ValueId {
+    debug_assert!(matches!(b.ir.type_kind(result_ty), TypeKind::MemRef { .. }));
+    let n = b.ir.attr_str(name);
+    let ms = b.ir.attr_i32(memory_space as i64);
+    b.insert_r(
+        OpSpec::new(ALLOC)
+            .operands(dyn_sizes)
+            .results(&[result_ty])
+            .attr("name", n)
+            .attr("memory_space", ms),
+    )
+}
+
+pub fn build_lookup(b: &mut Builder, result_ty: TypeId, name: &str, memory_space: u32) -> ValueId {
+    let n = b.ir.attr_str(name);
+    let ms = b.ir.attr_i32(memory_space as i64);
+    b.insert_r(
+        OpSpec::new(LOOKUP)
+            .results(&[result_ty])
+            .attr("name", n)
+            .attr("memory_space", ms),
+    )
+}
+
+pub fn build_data_check_exists(b: &mut Builder, name: &str) -> ValueId {
+    let i1 = b.ir.i1();
+    let n = b.ir.attr_str(name);
+    b.insert_r(OpSpec::new(DATA_CHECK_EXISTS).results(&[i1]).attr("name", n))
+}
+
+pub fn build_data_acquire(b: &mut Builder, name: &str, memory_space: u32) -> OpId {
+    let n = b.ir.attr_str(name);
+    let ms = b.ir.attr_i32(memory_space as i64);
+    b.insert(
+        OpSpec::new(DATA_ACQUIRE)
+            .attr("name", n)
+            .attr("memory_space", ms),
+    )
+}
+
+pub fn build_data_release(b: &mut Builder, name: &str, memory_space: u32) -> OpId {
+    let n = b.ir.attr_str(name);
+    let ms = b.ir.attr_i32(memory_space as i64);
+    b.insert(
+        OpSpec::new(DATA_RELEASE)
+            .attr("name", n)
+            .attr("memory_space", ms),
+    )
+}
+
+/// `device.kernel_create` with a (possibly empty) body region and the
+/// `device_function` symbol to call on launch. Kernel arguments are the
+/// operands; the pre-extraction body receives them as block args.
+pub fn build_kernel_create(
+    b: &mut Builder,
+    args: &[ValueId],
+    device_function: &str,
+    body_fn: Option<&mut dyn FnMut(&mut Builder, &[ValueId])>,
+) -> ValueId {
+    let arg_types: Vec<TypeId> = args.iter().map(|&v| b.ir.value_ty(v)).collect();
+    let region = b.ir.new_region();
+    match body_fn {
+        Some(f) => {
+            let block = b.ir.new_block(region, &arg_types);
+            let block_args = b.ir.block(block).args.clone();
+            let mut inner = Builder::at_end(b.ir, block);
+            f(&mut inner, &block_args);
+        }
+        None => {
+            // Post-extraction form: empty region (Listing 2).
+            b.ir.new_block(region, &[]);
+        }
+    }
+    let handle = kernel_handle_t(b.ir);
+    let sym = b.ir.attr_symbol(device_function);
+    b.insert_r(
+        OpSpec::new(KERNEL_CREATE)
+            .operands(args)
+            .results(&[handle])
+            .region(region)
+            .attr("device_function", sym),
+    )
+}
+
+pub fn build_kernel_launch(b: &mut Builder, handle: ValueId) -> OpId {
+    b.insert(OpSpec::new(KERNEL_LAUNCH).operands(&[handle]))
+}
+
+pub fn build_kernel_wait(b: &mut Builder, handle: ValueId) -> OpId {
+    b.insert(OpSpec::new(KERNEL_WAIT).operands(&[handle]))
+}
+
+/// Identifier name of a data-management op.
+pub fn data_name(ir: &Ir, op: OpId) -> &str {
+    ir.attr_str_of(op, "name").expect("device data op without name")
+}
+
+pub fn memory_space(ir: &Ir, op: OpId) -> u32 {
+    ir.attr_int_of(op, "memory_space").unwrap_or(0) as u32
+}
+
+pub fn kernel_function(ir: &Ir, kernel_create: OpId) -> &str {
+    ir.attr_str_of(kernel_create, "device_function")
+        .expect("kernel_create without device_function")
+}
+
+fn named_op_verifier(ir: &Ir, op: OpId) -> Result<(), String> {
+    if ir.attr_str_of(op, "name").is_none() {
+        return Err("device data op requires a 'name' identifier".into());
+    }
+    Ok(())
+}
+
+pub fn register(reg: &mut VerifierRegistry) {
+    reg.register(ALLOC, |ir, op| {
+        named_op_verifier(ir, op)?;
+        let o = ir.op(op);
+        if o.results.len() != 1 {
+            return Err("device.alloc has one result".into());
+        }
+        let ty = ir.value_ty(o.results[0]);
+        let TypeKind::MemRef { memory_space, .. } = ir.type_kind(ty) else {
+            return Err("device.alloc result must be a memref".into());
+        };
+        let declared = ir.attr_int_of(op, "memory_space").unwrap_or(0) as u32;
+        if *memory_space != declared {
+            return Err("device.alloc memory_space attr must match result type".into());
+        }
+        Ok(())
+    });
+    reg.register(LOOKUP, |ir, op| {
+        named_op_verifier(ir, op)?;
+        if ir.op(op).results.len() != 1 {
+            return Err("device.lookup has one result".into());
+        }
+        Ok(())
+    });
+    reg.register(DATA_CHECK_EXISTS, |ir, op| {
+        named_op_verifier(ir, op)?;
+        let o = ir.op(op);
+        if o.results.len() != 1
+            || !matches!(
+                ir.type_kind(ir.value_ty(o.results[0])),
+                TypeKind::Integer { width: 1 }
+            )
+        {
+            return Err("device.data_check_exists returns i1".into());
+        }
+        Ok(())
+    });
+    reg.register(DATA_ACQUIRE, named_op_verifier);
+    reg.register(DATA_RELEASE, named_op_verifier);
+    reg.register(KERNEL_CREATE, |ir, op| {
+        if ir.attr_str_of(op, "device_function").is_none() {
+            return Err("device.kernel_create requires device_function".into());
+        }
+        let o = ir.op(op);
+        if o.results.len() != 1 {
+            return Err("device.kernel_create returns a kernel handle".into());
+        }
+        if o.regions.len() != 1 {
+            return Err("device.kernel_create requires one region".into());
+        }
+        Ok(())
+    });
+    fn handle_operand(ir: &Ir, op: OpId) -> Result<(), String> {
+        let o = ir.op(op);
+        if o.operands.len() != 1 {
+            return Err("expects a single kernel handle operand".into());
+        }
+        match ir.type_kind(ir.value_ty(o.operands[0])) {
+            TypeKind::Opaque { .. } => Ok(()),
+            _ => Err("operand must be !device.kernelhandle".into()),
+        }
+    }
+    reg.register(KERNEL_LAUNCH, handle_operand);
+    reg.register(KERNEL_WAIT, handle_operand);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{builtin, memref as memref_d};
+    use ftn_mlir::{print_op, verify, Builder};
+
+    #[test]
+    fn listing2_shape() {
+        // Reconstructs the host-side pattern of the paper's Listing 2.
+        let mut ir = Ir::new();
+        let (module, body) = builtin::module(&mut ir);
+        {
+            let mut b = Builder::at_end(&mut ir, body);
+            let f64t = b.ir.f64t();
+            let dev_ty = b.ir.memref_t(&[100], f64t, 1);
+            let a = build_alloc(&mut b, dev_ty, &[], "a", 1);
+            let bv = build_alloc(&mut b, dev_ty, &[], "b", 1);
+            build_data_acquire(&mut b, "a", 1);
+            build_data_acquire(&mut b, "b", 1);
+            let kernel = build_kernel_create(&mut b, &[a, bv], "my_kernel", None);
+            build_kernel_launch(&mut b, kernel);
+            build_kernel_wait(&mut b, kernel);
+            build_data_release(&mut b, "a", 1);
+            build_data_release(&mut b, "b", 1);
+        }
+        verify(&ir, module, &crate::registry()).unwrap();
+        let text = print_op(&ir, module);
+        assert!(text.contains("device.kernel_create"));
+        assert!(text.contains("device_function = @my_kernel"));
+        assert!(text.contains("!device.kernelhandle"));
+    }
+
+    #[test]
+    fn alloc_space_mismatch_rejected() {
+        let mut ir = Ir::new();
+        let (module, body) = builtin::module(&mut ir);
+        {
+            let mut b = Builder::at_end(&mut ir, body);
+            let f32t = b.ir.f32t();
+            // Result type says space 2 but attr says 1.
+            let dev_ty = b.ir.memref_t(&[8], f32t, 2);
+            build_alloc(&mut b, dev_ty, &[], "x", 1);
+        }
+        assert!(verify(&ir, module, &crate::registry()).is_err());
+    }
+
+    #[test]
+    fn kernel_create_with_body_then_lookup() {
+        let mut ir = Ir::new();
+        let (module, body) = builtin::module(&mut ir);
+        {
+            let mut b = Builder::at_end(&mut ir, body);
+            let f32t = b.ir.f32t();
+            let dev_ty = b.ir.memref_t(&[8], f32t, 1);
+            let a = build_alloc(&mut b, dev_ty, &[], "a", 1);
+            let looked = build_lookup(&mut b, dev_ty, "a", 1);
+            let _exists = build_data_check_exists(&mut b, "a");
+            let mut body_fn = |inner: &mut Builder, args: &[ftn_mlir::ValueId]| {
+                let i = crate::arith::const_index(inner, 0);
+                let v = memref_d::load(inner, args[0], &[i]);
+                memref_d::store(inner, v, args[1], &[i]);
+            };
+            let k = build_kernel_create(&mut b, &[a, looked], "k0", Some(&mut body_fn));
+            build_kernel_launch(&mut b, k);
+            build_kernel_wait(&mut b, k);
+        }
+        verify(&ir, module, &crate::registry()).unwrap();
+    }
+}

@@ -1,0 +1,140 @@
+//! `hls` dialect — High-Level Synthesis ops from Stencil-HMLS [20].
+//!
+//! * `hls.axi_protocol` — wraps an AXI mode constant into `!hls.axi_protocol`.
+//! * `hls.interface`    — binds a kernel argument to an AXI port (`bundle`
+//!   attribute names the port, e.g. `gmem0`), as in the paper's Listing 4.
+//! * `hls.pipeline`     — marks the enclosing loop as pipelined with the given
+//!   Initiation Interval operand.
+//! * `hls.unroll`       — marks the enclosing loop as (partially) unrolled by
+//!   the given factor (how `simd simdlen(n)` is realized, §3/§4).
+
+use ftn_mlir::{Builder, Ir, OpId, OpSpec, TypeId, TypeKind, ValueId, VerifierRegistry};
+
+pub const AXI_PROTOCOL: &str = "hls.axi_protocol";
+pub const INTERFACE: &str = "hls.interface";
+pub const PIPELINE: &str = "hls.pipeline";
+pub const UNROLL: &str = "hls.unroll";
+
+/// AXI protocol selector values (operand of `hls.axi_protocol`).
+pub const AXI_MODE_M_AXI: i64 = 0;
+pub const AXI_MODE_S_AXILITE: i64 = 1;
+
+pub fn axi_protocol_t(ir: &mut Ir) -> TypeId {
+    ir.opaque_t("hls", "axi_protocol")
+}
+
+pub fn build_axi_protocol(b: &mut Builder, mode: ValueId) -> ValueId {
+    let ty = axi_protocol_t(b.ir);
+    b.insert_r(OpSpec::new(AXI_PROTOCOL).operands(&[mode]).results(&[ty]))
+}
+
+pub fn build_interface(b: &mut Builder, arg: ValueId, protocol: ValueId, bundle: &str) -> OpId {
+    let bu = b.ir.attr_str(bundle);
+    b.insert(
+        OpSpec::new(INTERFACE)
+            .operands(&[arg, protocol])
+            .attr("bundle", bu),
+    )
+}
+
+/// `hls.pipeline(%ii)`: request a pipelined loop with the given II.
+pub fn build_pipeline(b: &mut Builder, ii: ValueId) -> OpId {
+    b.insert(OpSpec::new(PIPELINE).operands(&[ii]))
+}
+
+/// `hls.unroll(%factor)`: request partial unrolling by `factor`.
+pub fn build_unroll(b: &mut Builder, factor: ValueId) -> OpId {
+    b.insert(OpSpec::new(UNROLL).operands(&[factor]))
+}
+
+/// Bundle name of an `hls.interface`.
+pub fn interface_bundle(ir: &Ir, op: OpId) -> &str {
+    ir.attr_str_of(op, "bundle").expect("hls.interface without bundle")
+}
+
+/// The kernel argument an `hls.interface` binds.
+pub fn interface_arg(ir: &Ir, op: OpId) -> ValueId {
+    ir.op(op).operands[0]
+}
+
+pub fn register(reg: &mut VerifierRegistry) {
+    reg.register(AXI_PROTOCOL, |ir, op| {
+        let o = ir.op(op);
+        if o.operands.len() != 1 || o.results.len() != 1 {
+            return Err("hls.axi_protocol takes a mode and returns a protocol".into());
+        }
+        if !ir.type_kind(ir.value_ty(o.operands[0])).is_integer() {
+            return Err("hls.axi_protocol mode must be an integer".into());
+        }
+        Ok(())
+    });
+    reg.register(INTERFACE, |ir, op| {
+        let o = ir.op(op);
+        if o.operands.len() != 2 {
+            return Err("hls.interface requires (arg, protocol)".into());
+        }
+        if ir.attr_str_of(op, "bundle").is_none() {
+            return Err("hls.interface requires a bundle".into());
+        }
+        match ir.type_kind(ir.value_ty(o.operands[1])) {
+            TypeKind::Opaque { .. } => Ok(()),
+            _ => Err("hls.interface second operand must be !hls.axi_protocol".into()),
+        }
+    });
+    fn single_int_operand(ir: &Ir, op: OpId) -> Result<(), String> {
+        let o = ir.op(op);
+        if o.operands.len() != 1 || !ir.type_kind(ir.value_ty(o.operands[0])).is_integer() {
+            return Err("expects one integer operand".into());
+        }
+        Ok(())
+    }
+    reg.register(PIPELINE, single_int_operand);
+    reg.register(UNROLL, single_int_operand);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, builtin, func};
+    use ftn_mlir::{print_op, verify};
+
+    #[test]
+    fn listing4_interfaces() {
+        // Mirrors the interface preamble of the paper's Listing 4.
+        let mut ir = Ir::new();
+        let (module, body) = builtin::module(&mut ir);
+        {
+            let mut b = Builder::at_end(&mut ir, body);
+            let f32t = b.ir.f32t();
+            let mty = b.ir.memref_t(&[100], f32t, 0);
+            let (_f, entry) = func::build_func(&mut b, "my_kernel", &[mty, mty, mty], &[]);
+            let args = b.ir.block(entry).args.clone();
+            b.set_insertion_point_to_end(entry);
+            let mode = arith::const_i32(&mut b, AXI_MODE_M_AXI);
+            let proto = build_axi_protocol(&mut b, mode);
+            for (i, &a) in args.iter().enumerate() {
+                build_interface(&mut b, a, proto, &format!("gmem{i}"));
+            }
+            func::build_return(&mut b, &[]);
+        }
+        verify(&ir, module, &crate::registry()).unwrap();
+        let text = print_op(&ir, module);
+        assert!(text.contains("hls.interface"));
+        assert!(text.contains("bundle = \"gmem2\""));
+        assert!(text.contains("!hls.axi_protocol"));
+    }
+
+    #[test]
+    fn pipeline_and_unroll_markers() {
+        let mut ir = Ir::new();
+        let (module, body) = builtin::module(&mut ir);
+        {
+            let mut b = Builder::at_end(&mut ir, body);
+            let ii = arith::const_i32(&mut b, 1);
+            build_pipeline(&mut b, ii);
+            let factor = arith::const_i32(&mut b, 10);
+            build_unroll(&mut b, factor);
+        }
+        verify(&ir, module, &crate::registry()).unwrap();
+    }
+}

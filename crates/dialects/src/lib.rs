@@ -1,0 +1,55 @@
+//! `ftn-dialects` — dialect definitions for the Fortran→FPGA OpenMP pipeline.
+//!
+//! Each module defines one dialect: op-name constants, typed builder helpers
+//! layered on [`ftn_mlir::Builder`], accessors, and verification rules that are
+//! collected into a [`ftn_mlir::VerifierRegistry`] by [`registry`].
+//!
+//! Dialect inventory (paper §2.1/§3):
+//! * core upstream dialects: [`builtin`], [`func`], [`arith`], [`scf`],
+//!   [`memref`], [`cf`],
+//! * [`omp`] — the OpenMP dialect subset used by `target` offload,
+//! * [`device`] — **the paper's contribution**: host↔device data management and
+//!   kernel lifetime ops,
+//! * [`hls`] — the High-Level Synthesis dialect of Stencil-HMLS [20],
+//! * [`fir`] — a Flang-like Fortran IR the frontend lowers through,
+//! * [`llvm`] — the LLVM dialect subset used on the device path.
+
+pub mod arith;
+pub mod builtin;
+pub mod cf;
+pub mod device;
+pub mod fir;
+pub mod func;
+pub mod hls;
+pub mod llvm;
+pub mod memref;
+pub mod omp;
+pub mod scf;
+
+use ftn_mlir::VerifierRegistry;
+
+/// The full verifier registry for every dialect in this crate.
+pub fn registry() -> VerifierRegistry {
+    let mut reg = VerifierRegistry::new();
+    builtin::register(&mut reg);
+    func::register(&mut reg);
+    arith::register(&mut reg);
+    scf::register(&mut reg);
+    memref::register(&mut reg);
+    cf::register(&mut reg);
+    omp::register(&mut reg);
+    device::register(&mut reg);
+    hls::register(&mut reg);
+    fir::register(&mut reg);
+    llvm::register(&mut reg);
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_is_populated() {
+        let reg = super::registry();
+        assert!(reg.len() > 20, "expected many registered verifiers");
+    }
+}

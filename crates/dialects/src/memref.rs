@@ -1,0 +1,216 @@
+//! `memref` dialect: memory allocation, access and host↔device DMA.
+//!
+//! `memref.dma_start` / `memref.wait` are the transfer pair the paper uses to
+//! copy between host and device memrefs (§3); `dma_start` returns a
+//! `!memref.dma_tag` consumed by `memref.wait`.
+
+use ftn_mlir::{Builder, Ir, OpId, OpSpec, TypeId, TypeKind, ValueId, VerifierRegistry};
+
+pub const ALLOC: &str = "memref.alloc";
+pub const ALLOCA: &str = "memref.alloca";
+pub const DEALLOC: &str = "memref.dealloc";
+pub const LOAD: &str = "memref.load";
+pub const STORE: &str = "memref.store";
+pub const DIM: &str = "memref.dim";
+pub const DMA_START: &str = "memref.dma_start";
+pub const WAIT: &str = "memref.wait";
+pub const COPY: &str = "memref.copy";
+
+/// Heap allocation; `dyn_sizes` supplies one `index` per dynamic dimension.
+pub fn alloc(b: &mut Builder, memref_ty: TypeId, dyn_sizes: &[ValueId]) -> ValueId {
+    b.insert_r(OpSpec::new(ALLOC).operands(dyn_sizes).results(&[memref_ty]))
+}
+
+/// Stack-like allocation (used for scalars and reduction copy arrays).
+pub fn alloca(b: &mut Builder, memref_ty: TypeId, dyn_sizes: &[ValueId]) -> ValueId {
+    b.insert_r(OpSpec::new(ALLOCA).operands(dyn_sizes).results(&[memref_ty]))
+}
+
+pub fn dealloc(b: &mut Builder, memref: ValueId) -> OpId {
+    b.insert(OpSpec::new(DEALLOC).operands(&[memref]))
+}
+
+pub fn load(b: &mut Builder, memref: ValueId, indices: &[ValueId]) -> ValueId {
+    let mty = b.ir.value_ty(memref);
+    let elem = b.ir.memref_elem(mty);
+    let mut operands = vec![memref];
+    operands.extend_from_slice(indices);
+    b.insert_r(OpSpec::new(LOAD).operands(&operands).results(&[elem]))
+}
+
+pub fn store(b: &mut Builder, value: ValueId, memref: ValueId, indices: &[ValueId]) -> OpId {
+    let mut operands = vec![value, memref];
+    operands.extend_from_slice(indices);
+    b.insert(OpSpec::new(STORE).operands(&operands))
+}
+
+/// `memref.dim %m, %i : index` — runtime extent of dimension `i`.
+pub fn dim(b: &mut Builder, memref: ValueId, dim_index: ValueId) -> ValueId {
+    let index = b.ir.index_t();
+    b.insert_r(
+        OpSpec::new(DIM)
+            .operands(&[memref, dim_index])
+            .results(&[index]),
+    )
+}
+
+/// Start an async copy `src -> dst`; returns the DMA tag.
+pub fn dma_start(b: &mut Builder, src: ValueId, dst: ValueId) -> ValueId {
+    let tag = b.ir.opaque_t("memref", "dma_tag");
+    b.insert_r(OpSpec::new(DMA_START).operands(&[src, dst]).results(&[tag]))
+}
+
+/// Block until the DMA identified by `tag` completes.
+pub fn wait(b: &mut Builder, tag: ValueId) -> OpId {
+    b.insert(OpSpec::new(WAIT).operands(&[tag]))
+}
+
+/// Synchronous helper: `dma_start` + `wait` (the idiom Listing 2 elides).
+pub fn transfer(b: &mut Builder, src: ValueId, dst: ValueId) {
+    let tag = dma_start(b, src, dst);
+    wait(b, tag);
+}
+
+/// Number of dynamic dims in a memref type.
+pub fn num_dynamic_dims(ir: &Ir, memref_ty: TypeId) -> usize {
+    ir.memref_shape(memref_ty)
+        .iter()
+        .filter(|&&d| d == ftn_mlir::types::DYN_DIM)
+        .count()
+}
+
+pub fn register(reg: &mut VerifierRegistry) {
+    fn alloc_verifier(ir: &Ir, op: OpId) -> Result<(), String> {
+        let o = ir.op(op);
+        if o.results.len() != 1 {
+            return Err("alloc has one result".into());
+        }
+        let ty = ir.value_ty(o.results[0]);
+        if !matches!(ir.type_kind(ty), TypeKind::MemRef { .. }) {
+            return Err("alloc result must be memref".into());
+        }
+        let needed = num_dynamic_dims(ir, ty);
+        if o.operands.len() != needed {
+            return Err(format!(
+                "alloc needs {needed} dynamic size operand(s), got {}",
+                o.operands.len()
+            ));
+        }
+        Ok(())
+    }
+    reg.register(ALLOC, alloc_verifier);
+    reg.register(ALLOCA, alloc_verifier);
+    reg.register(LOAD, |ir, op| {
+        let o = ir.op(op);
+        if o.operands.is_empty() {
+            return Err("load requires a memref operand".into());
+        }
+        let mty = ir.value_ty(o.operands[0]);
+        let TypeKind::MemRef { shape, elem, .. } = ir.type_kind(mty) else {
+            return Err("load operand must be memref".into());
+        };
+        if o.operands.len() - 1 != shape.len() {
+            return Err("load index count must match memref rank".into());
+        }
+        if ir.value_ty(o.results[0]) != *elem {
+            return Err("load result must be the memref element type".into());
+        }
+        Ok(())
+    });
+    reg.register(STORE, |ir, op| {
+        let o = ir.op(op);
+        if o.operands.len() < 2 {
+            return Err("store requires value and memref".into());
+        }
+        let mty = ir.value_ty(o.operands[1]);
+        let TypeKind::MemRef { shape, elem, .. } = ir.type_kind(mty) else {
+            return Err("store target must be memref".into());
+        };
+        if o.operands.len() - 2 != shape.len() {
+            return Err("store index count must match memref rank".into());
+        }
+        if ir.value_ty(o.operands[0]) != *elem {
+            return Err("stored value must be the memref element type".into());
+        }
+        Ok(())
+    });
+    reg.register(DMA_START, |ir, op| {
+        let o = ir.op(op);
+        if o.operands.len() != 2 {
+            return Err("dma_start requires src and dst".into());
+        }
+        let s = ir.value_ty(o.operands[0]);
+        let d = ir.value_ty(o.operands[1]);
+        let (TypeKind::MemRef { elem: se, .. }, TypeKind::MemRef { elem: de, .. }) =
+            (ir.type_kind(s), ir.type_kind(d))
+        else {
+            return Err("dma_start operands must be memrefs".into());
+        };
+        if se != de {
+            return Err("dma_start element types must match".into());
+        }
+        Ok(())
+    });
+    reg.register(WAIT, |ir, op| {
+        if ir.op(op).operands.len() != 1 {
+            return Err("memref.wait requires a dma tag".into());
+        }
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, builtin};
+    use ftn_mlir::verify;
+
+    #[test]
+    fn alloc_load_store() {
+        let mut ir = Ir::new();
+        let (module, body) = builtin::module(&mut ir);
+        {
+            let mut b = Builder::at_end(&mut ir, body);
+            let f32t = b.ir.f32t();
+            let mty = b.ir.memref_t(&[100], f32t, 0);
+            let m = alloc(&mut b, mty, &[]);
+            let i = arith::const_index(&mut b, 3);
+            let v = load(&mut b, m, &[i]);
+            store(&mut b, v, m, &[i]);
+            let zero = arith::const_index(&mut b, 0);
+            let d = dim(&mut b, m, zero);
+            assert_eq!(b.ir.value_ty(d), b.ir.index_t());
+        }
+        verify(&ir, module, &crate::registry()).unwrap();
+    }
+
+    #[test]
+    fn dynamic_alloc_requires_sizes() {
+        let mut ir = Ir::new();
+        let (module, body) = builtin::module(&mut ir);
+        {
+            let mut b = Builder::at_end(&mut ir, body);
+            let f32t = b.ir.f32t();
+            let mty = b.ir.memref_t(&[ftn_mlir::types::DYN_DIM], f32t, 1);
+            // Missing the dynamic size operand: invalid.
+            b.insert(OpSpec::new(ALLOC).results(&[mty]));
+        }
+        assert!(verify(&ir, module, &crate::registry()).is_err());
+    }
+
+    #[test]
+    fn dma_pair() {
+        let mut ir = Ir::new();
+        let (module, body) = builtin::module(&mut ir);
+        {
+            let mut b = Builder::at_end(&mut ir, body);
+            let f32t = b.ir.f32t();
+            let host = b.ir.memref_t(&[16], f32t, 0);
+            let dev = b.ir.memref_t(&[16], f32t, 1);
+            let h = alloc(&mut b, host, &[]);
+            let d = alloc(&mut b, dev, &[]);
+            transfer(&mut b, h, d);
+        }
+        verify(&ir, module, &crate::registry()).unwrap();
+    }
+}

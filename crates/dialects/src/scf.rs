@@ -1,0 +1,234 @@
+//! `scf` dialect: structured control flow (`scf.for`, `scf.if`, `scf.yield`).
+//!
+//! `scf.for` follows MLIR semantics: half-open `[lb, ub)` with `index` bounds,
+//! loop-carried `iter_args` as extra operands/block-args, and results carrying
+//! the final iteration values.
+
+use ftn_mlir::{BlockId, Builder, Ir, OpId, OpSpec, TypeKind, ValueId, VerifierRegistry};
+
+pub const FOR: &str = "scf.for";
+pub const IF: &str = "scf.if";
+pub const YIELD: &str = "scf.yield";
+
+/// Build an `scf.for` loop. `body_fn(b, iv, iter_args)` populates the body and
+/// returns the values to yield (must match `inits` types). Returns the loop op;
+/// its results are the loop-carried outputs.
+pub fn build_for(
+    b: &mut Builder,
+    lb: ValueId,
+    ub: ValueId,
+    step: ValueId,
+    inits: &[ValueId],
+    body_fn: impl FnOnce(&mut Builder, ValueId, &[ValueId]) -> Vec<ValueId>,
+) -> OpId {
+    let index = b.ir.index_t();
+    let mut arg_types = vec![index];
+    for &v in inits {
+        arg_types.push(b.ir.value_ty(v));
+    }
+    let region = b.ir.new_region();
+    let body = b.ir.new_block(region, &arg_types);
+    let args = b.ir.block(body).args.clone();
+    let iv = args[0];
+    let iter_args = args[1..].to_vec();
+
+    // Build body in a nested builder.
+    let yielded = {
+        let mut inner = Builder::at_end(b.ir, body);
+        let vals = body_fn(&mut inner, iv, &iter_args);
+        vals
+    };
+    {
+        let mut inner = Builder::at_end(b.ir, body);
+        inner.insert(OpSpec::new(YIELD).operands(&yielded));
+    }
+
+    let result_types: Vec<_> = inits.iter().map(|&v| b.ir.value_ty(v)).collect();
+    let mut operands = vec![lb, ub, step];
+    operands.extend_from_slice(inits);
+    b.insert(
+        OpSpec::new(FOR)
+            .operands(&operands)
+            .results(&result_types)
+            .region(region),
+    )
+}
+
+/// Build an `scf.if`. `then_fn` / `else_fn` return the values each branch
+/// yields. Pass `result_types = &[]` (and yield nothing) for statement-ifs.
+pub fn build_if(
+    b: &mut Builder,
+    cond: ValueId,
+    result_types: &[ftn_mlir::TypeId],
+    then_fn: impl FnOnce(&mut Builder) -> Vec<ValueId>,
+    else_fn: impl FnOnce(&mut Builder) -> Vec<ValueId>,
+) -> OpId {
+    let then_region = b.ir.new_region();
+    let then_block = b.ir.new_block(then_region, &[]);
+    let yielded = {
+        let mut inner = Builder::at_end(b.ir, then_block);
+        then_fn(&mut inner)
+    };
+    {
+        let mut inner = Builder::at_end(b.ir, then_block);
+        inner.insert(OpSpec::new(YIELD).operands(&yielded));
+    }
+    let else_region = b.ir.new_region();
+    let else_block = b.ir.new_block(else_region, &[]);
+    let yielded = {
+        let mut inner = Builder::at_end(b.ir, else_block);
+        else_fn(&mut inner)
+    };
+    {
+        let mut inner = Builder::at_end(b.ir, else_block);
+        inner.insert(OpSpec::new(YIELD).operands(&yielded));
+    }
+    b.insert(
+        OpSpec::new(IF)
+            .operands(&[cond])
+            .results(result_types)
+            .region(then_region)
+            .region(else_region),
+    )
+}
+
+/// For an `scf.for`: (lb, ub, step) operands.
+pub fn for_bounds(ir: &Ir, op: OpId) -> (ValueId, ValueId, ValueId) {
+    let o = ir.op(op);
+    (o.operands[0], o.operands[1], o.operands[2])
+}
+
+/// For an `scf.for`: the loop body block.
+pub fn for_body(ir: &Ir, op: OpId) -> BlockId {
+    ir.entry_block(op, 0)
+}
+
+/// For an `scf.for`: the induction variable (first body block arg).
+pub fn for_iv(ir: &Ir, op: OpId) -> ValueId {
+    ir.block(for_body(ir, op)).args[0]
+}
+
+pub fn register(reg: &mut VerifierRegistry) {
+    reg.register(FOR, |ir, op| {
+        let o = ir.op(op);
+        if o.operands.len() < 3 {
+            return Err("scf.for requires lb, ub, step".into());
+        }
+        let index_ok = o.operands[..3]
+            .iter()
+            .all(|&v| matches!(ir.type_kind(ir.value_ty(v)), TypeKind::Index));
+        if !index_ok {
+            return Err("scf.for bounds must be index-typed".into());
+        }
+        let n_iter = o.operands.len() - 3;
+        if o.results.len() != n_iter {
+            return Err("scf.for results must match iter_args".into());
+        }
+        if o.regions.len() != 1 {
+            return Err("scf.for requires one region".into());
+        }
+        let body = ir.entry_block(op, 0);
+        if ir.block(body).args.len() != 1 + n_iter {
+            return Err("scf.for body must have iv + iter args".into());
+        }
+        let Some(&last) = ir.block(body).ops.last() else {
+            return Err("scf.for body must end in scf.yield".into());
+        };
+        if !ir.op_is(last, YIELD) {
+            return Err("scf.for body must end in scf.yield".into());
+        }
+        if ir.op(last).operands.len() != n_iter {
+            return Err("scf.yield operand count must match iter_args".into());
+        }
+        Ok(())
+    });
+    reg.register(IF, |ir, op| {
+        let o = ir.op(op);
+        if o.operands.len() != 1 {
+            return Err("scf.if requires a single i1 condition".into());
+        }
+        if !matches!(
+            ir.type_kind(ir.value_ty(o.operands[0])),
+            TypeKind::Integer { width: 1 }
+        ) {
+            return Err("scf.if condition must be i1".into());
+        }
+        if o.regions.len() != 2 {
+            return Err("scf.if requires then and else regions".into());
+        }
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, builtin};
+    use ftn_mlir::verify;
+
+    #[test]
+    fn loop_with_reduction_carried_value() {
+        let mut ir = Ir::new();
+        let (module, body) = builtin::module(&mut ir);
+        {
+            let mut b = Builder::at_end(&mut ir, body);
+            let lb = arith::const_index(&mut b, 0);
+            let ub = arith::const_index(&mut b, 10);
+            let step = arith::const_index(&mut b, 1);
+            let init = arith::const_f32(&mut b, 0.0);
+            let loop_op = build_for(&mut b, lb, ub, step, &[init], |inner, _iv, iters| {
+                let one = arith::const_f32(inner, 1.0);
+                let next = arith::addf(inner, iters[0], one);
+                vec![next]
+            });
+            assert_eq!(b.ir.op(loop_op).results.len(), 1);
+            let (l, u, s) = for_bounds(b.ir, loop_op);
+            assert_eq!((l, u, s), (lb, ub, step));
+            let f32t = b.ir.f32t();
+            assert_eq!(b.ir.value_ty(for_iv(b.ir, loop_op)), b.ir.index_t());
+            assert_eq!(b.ir.value_ty(b.ir.op(loop_op).results[0]), f32t);
+        }
+        verify(&ir, module, &crate::registry()).unwrap();
+    }
+
+    #[test]
+    fn if_with_results() {
+        let mut ir = Ir::new();
+        let (module, body) = builtin::module(&mut ir);
+        {
+            let mut b = Builder::at_end(&mut ir, body);
+            let c = arith::const_bool(&mut b, true);
+            let f32t = b.ir.f32t();
+            let if_op = build_if(
+                &mut b,
+                c,
+                &[f32t],
+                |inner| vec![arith::const_f32(inner, 1.0)],
+                |inner| vec![arith::const_f32(inner, 2.0)],
+            );
+            assert_eq!(b.ir.op(if_op).results.len(), 1);
+        }
+        verify(&ir, module, &crate::registry()).unwrap();
+    }
+
+    #[test]
+    fn bad_yield_count_rejected() {
+        let mut ir = Ir::new();
+        let (module, body) = builtin::module(&mut ir);
+        {
+            let mut b = Builder::at_end(&mut ir, body);
+            let lb = arith::const_index(&mut b, 0);
+            let ub = arith::const_index(&mut b, 10);
+            let step = arith::const_index(&mut b, 1);
+            let loop_op = build_for(&mut b, lb, ub, step, &[], |_, _, _| vec![]);
+            // Corrupt: add a result with no matching iter arg.
+            let f32t = b.ir.f32t();
+            let bogus = b.ir.create_op(OpSpec::new("bogus").results(&[f32t]));
+            let (blk, pos) = b.ir.op_position(loop_op).unwrap();
+            b.ir.insert_op(blk, pos, bogus);
+            let v = b.ir.result(bogus);
+            b.ir.push_operand(loop_op, v);
+        }
+        assert!(verify(&ir, module, &crate::registry()).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! The bitstream artifact ("xclbin"): a self-contained, serializable record of
+//! synthesized kernels — their IR (generic-form text, re-parsed at load time),
+//! loop schedules, and resource reports.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use ftn_mlir::{parse_module, Ir, OpId};
+
+use crate::device_model::ResourceUsage;
+pub use crate::schedule::LoopInfo as LoopSchedule;
+
+/// Magic bytes framing a serialized bitstream.
+pub const BITSTREAM_MAGIC: &[u8; 8] = b"FTNXCLB1";
+
+/// One synthesized kernel.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelImage {
+    pub name: String,
+    pub schedule: Vec<LoopSchedule>,
+    /// Kernel-only resources (shell excluded).
+    pub resources: ResourceUsage,
+    /// MAC pairs the backend's pattern recognizer accepted.
+    pub recognized_macs: usize,
+}
+
+/// A "programmed device" image.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Bitstream {
+    pub device_name: String,
+    pub frequency_mhz: f64,
+    /// The device module in generic MLIR text (all kernels).
+    pub module_text: String,
+    pub kernels: Vec<KernelImage>,
+}
+
+impl Bitstream {
+    pub fn kernel(&self, name: &str) -> Option<&KernelImage> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// Total configured kernel resources (sum over kernels).
+    pub fn kernel_resources(&self) -> ResourceUsage {
+        let mut total = ResourceUsage::default();
+        for k in &self.kernels {
+            total.add(&k.resources);
+        }
+        total
+    }
+
+    /// Re-materialize the device module into `ir`.
+    pub fn instantiate(&self, ir: &mut Ir) -> Result<OpId, String> {
+        parse_module(ir, &self.module_text).map_err(|e| e.to_string())
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bitstream serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Framed binary form: magic + u64 length + JSON payload.
+    pub fn to_bytes(&self) -> Bytes {
+        let json = self.to_json();
+        let mut buf = BytesMut::with_capacity(json.len() + 16);
+        buf.put_slice(BITSTREAM_MAGIC);
+        buf.put_u64(json.len() as u64);
+        buf.put_slice(json.as_bytes());
+        buf.freeze()
+    }
+
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, String> {
+        if data.len() < 16 {
+            return Err("bitstream too short".into());
+        }
+        let mut magic = [0u8; 8];
+        data.copy_to_slice(&mut magic);
+        if &magic != BITSTREAM_MAGIC {
+            return Err("bad bitstream magic".into());
+        }
+        let len = data.get_u64() as usize;
+        if data.len() < len {
+            return Err("truncated bitstream payload".into());
+        }
+        let json = std::str::from_utf8(&data[..len]).map_err(|e| e.to_string())?;
+        Self::from_json(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Bitstream {
+        Bitstream {
+            device_name: "AMD Alveo U280".into(),
+            frequency_mhz: 300.0,
+            module_text: "\"builtin.module\"() ({\n}) {target = \"fpga\"} : () -> ()\n".into(),
+            kernels: vec![KernelImage {
+                name: "saxpy_kernel0".into(),
+                schedule: vec![],
+                resources: ResourceUsage { lut: 2_630, ff: 4_000, bram: 4, uram: 0, dsp: 5 },
+                recognized_macs: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let b = sample();
+        let j = b.to_json();
+        let b2 = Bitstream::from_json(&j).unwrap();
+        assert_eq!(b2.kernels.len(), 1);
+        assert_eq!(b2.kernel("saxpy_kernel0").unwrap().resources.lut, 2_630);
+    }
+
+    #[test]
+    fn bytes_roundtrip_with_framing() {
+        let b = sample();
+        let bytes = b.to_bytes();
+        assert_eq!(&bytes[..8], BITSTREAM_MAGIC);
+        let b2 = Bitstream::from_bytes(bytes).unwrap();
+        assert_eq!(b2.device_name, "AMD Alveo U280");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = sample().to_bytes().to_vec();
+        raw[0] = b'X';
+        assert!(Bitstream::from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn instantiate_parses_module_text() {
+        let b = sample();
+        let mut ir = Ir::new();
+        let m = b.instantiate(&mut ir).unwrap();
+        assert!(ir.op_is(m, "builtin.module"));
+    }
+}

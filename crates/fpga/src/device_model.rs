@@ -1,0 +1,162 @@
+//! The device model: an AMD Alveo U280 and the calibrated cost parameters of
+//! the simulator (DESIGN.md §5 documents the calibration against Tables 1–6).
+
+use serde::{Deserialize, Serialize};
+
+/// FPGA resource vector (absolute counts).
+#[derive(Clone, Copy, Default, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    pub lut: u64,
+    pub ff: u64,
+    /// 36 Kb BRAM blocks.
+    pub bram: u64,
+    pub uram: u64,
+    pub dsp: u64,
+}
+
+impl ResourceUsage {
+    pub fn add(&mut self, other: &ResourceUsage) {
+        self.lut += other.lut;
+        self.ff += other.ff;
+        self.bram += other.bram;
+        self.uram += other.uram;
+        self.dsp += other.dsp;
+    }
+
+    pub fn scaled(&self, n: u64) -> ResourceUsage {
+        ResourceUsage {
+            lut: self.lut * n,
+            ff: self.ff * n,
+            bram: self.bram * n,
+            uram: self.uram * n,
+            dsp: self.dsp * n,
+        }
+    }
+}
+
+/// The FPGA card + cost model. Defaults model the AMD Alveo U280 the paper
+/// used, at a 300 MHz kernel clock (Vitis 2020.2 default target).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceModel {
+    pub name: String,
+    pub clock_mhz: f64,
+    /// Total device resources (XCU280).
+    pub total: ResourceUsage,
+    /// Resources consumed by the XRT shell / platform region.
+    pub shell: ResourceUsage,
+    pub hbm_banks: u32,
+    pub ddr_banks: u32,
+    /// HBM round-trip latency in kernel clock cycles (~320 ns @300 MHz).
+    pub hbm_round_trip_cycles: u64,
+    /// Outstanding transactions a streaming m_axi port sustains.
+    pub hbm_max_outstanding: u64,
+    /// Host↔device PCIe effective bandwidth (GB/s).
+    pub pcie_gbps: f64,
+    /// Fixed kernel-launch overhead (OpenCL enqueue + doorbell), microseconds.
+    pub launch_overhead_us: f64,
+    /// Pipeline fill depth added per loop instance.
+    pub pipeline_depth: u64,
+}
+
+impl DeviceModel {
+    /// The AMD Alveo U280 model used throughout the evaluation.
+    pub fn u280() -> Self {
+        DeviceModel {
+            name: "AMD Alveo U280".into(),
+            clock_mhz: 300.0,
+            total: ResourceUsage {
+                lut: 1_303_680,
+                ff: 2_607_360,
+                bram: 2_016,
+                uram: 960,
+                dsp: 9_024,
+            },
+            shell: ResourceUsage {
+                lut: 105_500,
+                ff: 182_000,
+                bram: 199,
+                uram: 0,
+                dsp: 4,
+            },
+            hbm_banks: 16,
+            ddr_banks: 2,
+            hbm_round_trip_cycles: 96,
+            hbm_max_outstanding: 6,
+            pcie_gbps: 12.0,
+            launch_overhead_us: 2.0,
+            pipeline_depth: 120,
+        }
+    }
+
+    /// Effective per-access cost for a streaming (read-only or unrolled) port.
+    pub fn stream_access_cycles(&self) -> u64 {
+        self.hbm_round_trip_cycles.div_ceil(self.hbm_max_outstanding)
+    }
+
+    /// Seconds for `cycles` kernel clock cycles.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz * 1e6)
+    }
+
+    /// Host↔device transfer time for `bytes`.
+    pub fn transfer_seconds(&self, bytes: usize) -> f64 {
+        // 25 µs fixed DMA setup + bandwidth term.
+        25e-6 + bytes as f64 / (self.pcie_gbps * 1e9)
+    }
+
+    /// Utilisation percentage of `used` against the device totals,
+    /// as reported by Vivado (LUT, BRAM, DSP) — the Table 3/4 columns.
+    pub fn utilisation_percent(&self, used: &ResourceUsage) -> (f64, f64, f64) {
+        (
+            100.0 * used.lut as f64 / self.total.lut as f64,
+            100.0 * used.bram as f64 / self.total.bram as f64,
+            100.0 * used.dsp as f64 / self.total.dsp as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u280_totals_match_datasheet() {
+        let d = DeviceModel::u280();
+        assert_eq!(d.total.lut, 1_303_680);
+        assert_eq!(d.total.dsp, 9_024);
+        assert_eq!(d.total.bram, 2_016);
+        assert_eq!(d.hbm_banks, 16);
+    }
+
+    #[test]
+    fn stream_cost_derivation() {
+        let d = DeviceModel::u280();
+        // 96-cycle round trip over 6 outstanding ≈ 16 cycles/access.
+        assert_eq!(d.stream_access_cycles(), 16);
+    }
+
+    #[test]
+    fn cycles_to_time() {
+        let d = DeviceModel::u280();
+        let t = d.cycles_to_seconds(300_000_000);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilisation_shape() {
+        let d = DeviceModel::u280();
+        let mut u = d.shell;
+        u.add(&ResourceUsage {
+            lut: 2_630,
+            ff: 4_000,
+            bram: 4,
+            uram: 0,
+            dsp: 5,
+        });
+        let (lut, bram, dsp) = d.utilisation_percent(&u);
+        // Shell + SAXPY-sized kernel lands on the Table 3 figures.
+        assert!((lut - 8.29).abs() < 0.05, "lut {lut}");
+        assert!((bram - 10.07).abs() < 0.05, "bram {bram}");
+        assert!((dsp - 0.10).abs() < 0.02, "dsp {dsp}");
+    }
+}

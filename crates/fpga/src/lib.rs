@@ -1,0 +1,34 @@
+//! `ftn-fpga` — the FPGA / Vitis-HLS substrate: a cycle-approximate simulator
+//! of an AMD Alveo U280 standing in for the proprietary toolchain and the
+//! physical card the paper evaluated on (see DESIGN.md §1/§5 for the
+//! substitution argument and calibration).
+//!
+//! * [`device_model`] — the U280: resources, HBM/DDR memory spaces, clock and
+//!   the calibrated AXI cost model.
+//! * [`schedule`] — the HLS scheduler: computes pipeline Initiation Interval
+//!   (II) and depth per loop from memory-port analysis (streaming vs
+//!   read-modify-write hazards) and loop-carried dependences.
+//! * [`resources`] — LUT/FF/BRAM/DSP estimation, including the Vitis MAC
+//!   pattern recognizer whose sensitivity to IR shape reproduces Table 4.
+//! * [`power`] — on-card power draw model (Tables 5–6).
+//! * [`executor`] — functional execution of kernels over real buffers with
+//!   analytic cycle accounting driven by observed trip counts.
+//! * [`bitstream`] — the serialized "xclbin" artifact: kernel IR text +
+//!   schedules + resource reports.
+//! * [`vitis`] — the `v++`-like driver tying synthesis steps together.
+
+pub mod bitstream;
+pub mod device_model;
+pub mod executor;
+pub mod power;
+pub mod resources;
+pub mod schedule;
+pub mod vitis;
+
+pub use bitstream::{Bitstream, KernelImage, LoopSchedule};
+pub use device_model::{DeviceModel, ResourceUsage};
+pub use executor::{ExecutionStats, KernelExecutor};
+pub use power::{cpu_power_watts, fpga_power_watts};
+pub use resources::estimate_kernel_resources;
+pub use schedule::schedule_kernel;
+pub use vitis::VitisBackend;

@@ -1,0 +1,101 @@
+//! The `v++`-like synthesis driver: takes the device module (post
+//! `lower-omp-to-hls`), schedules every kernel, estimates resources, and
+//! packages a [`Bitstream`] — the simulated equivalent of "RTL generation,
+//! IP packaging, placement and routing" in the Vitis flow (§2/§3).
+
+use ftn_dialects::func;
+use ftn_mlir::{print_op, Ir, OpId};
+
+use crate::bitstream::{Bitstream, KernelImage};
+use crate::device_model::DeviceModel;
+use crate::resources::{count_recognized_macs, estimate_kernel_resources};
+use crate::schedule::schedule_kernel;
+
+/// The synthesis backend.
+pub struct VitisBackend {
+    pub device: DeviceModel,
+}
+
+impl VitisBackend {
+    pub fn new(device: DeviceModel) -> Self {
+        VitisBackend { device }
+    }
+
+    /// Synthesize every `func.func` in `device_module` into a bitstream.
+    pub fn synthesize(&self, ir: &Ir, device_module: OpId) -> Result<Bitstream, String> {
+        let funcs = ftn_mlir::find_all(ir, device_module, func::FUNC);
+        if funcs.is_empty() {
+            return Err("device module contains no kernels".into());
+        }
+        let mut kernels = Vec::with_capacity(funcs.len());
+        let mut total = self.device.shell;
+        for f in funcs {
+            let name = func::name(ir, f).to_string();
+            let schedule = schedule_kernel(ir, f, &self.device);
+            let resources = estimate_kernel_resources(ir, f, &schedule);
+            let recognized_macs = count_recognized_macs(ir, f);
+            total.add(&resources);
+            kernels.push(KernelImage {
+                name,
+                schedule,
+                resources,
+                recognized_macs,
+            });
+        }
+        // "Place and route": fail if the design exceeds the device.
+        if total.lut > self.device.total.lut
+            || total.bram > self.device.total.bram
+            || total.dsp > self.device.total.dsp
+        {
+            return Err(format!(
+                "design does not fit the device: {total:?} vs {:?}",
+                self.device.total
+            ));
+        }
+        Ok(Bitstream {
+            device_name: self.device.name.clone(),
+            frequency_mhz: self.device.clock_mhz,
+            module_text: print_op(ir, device_module),
+            kernels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftn_dialects::{arith, builtin, memref};
+    use ftn_mlir::Builder;
+
+    #[test]
+    fn synthesize_reports_kernels_and_fits() {
+        let mut ir = Ir::new();
+        let (module, mbody) = builtin::module_with_target(&mut ir, "fpga");
+        let f32t = ir.f32t();
+        let mty = ir.memref_t(&[16], f32t, 1);
+        {
+            let mut b = Builder::at_end(&mut ir, mbody);
+            let (_f, entry) = func::build_func(&mut b, "k0", &[mty], &[]);
+            let args = b.ir.block(entry).args.clone();
+            b.set_insertion_point_to_end(entry);
+            let i = arith::const_index(&mut b, 0);
+            let v = memref::load(&mut b, args[0], &[i]);
+            memref::store(&mut b, v, args[0], &[i]);
+            func::build_return(&mut b, &[]);
+        }
+        let backend = VitisBackend::new(DeviceModel::u280());
+        let bs = backend.synthesize(&ir, module).unwrap();
+        assert_eq!(bs.kernels.len(), 1);
+        assert_eq!(bs.kernels[0].name, "k0");
+        assert!(bs.module_text.contains("func.func"));
+        assert!(bs.kernels[0].resources.lut > 0);
+    }
+
+    #[test]
+    fn empty_module_is_an_error() {
+        let mut ir = Ir::new();
+        let (module, _body) = builtin::module_with_target(&mut ir, "fpga");
+        let backend = VitisBackend::new(DeviceModel::u280());
+        assert!(backend.synthesize(&ir, module).is_err());
+    }
+}

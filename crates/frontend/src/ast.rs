@@ -1,0 +1,237 @@
+//! Abstract syntax tree for the Fortran subset.
+
+/// Fortran intrinsic types (with kind).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FType {
+    /// `integer` (kind 4 default, 8 supported).
+    Integer(u8),
+    /// `real` (kind 4 default = single precision, 8 = double).
+    Real(u8),
+    Logical,
+}
+
+impl FType {
+    pub fn is_real(self) -> bool {
+        matches!(self, FType::Real(_))
+    }
+
+    pub fn is_integer(self) -> bool {
+        matches!(self, FType::Integer(_))
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Expressions. `line` info is carried on statements only.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    IntLit(i64),
+    RealLit { value: f64, double: bool },
+    LogicalLit(bool),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element reference or intrinsic call: `name(args)`.
+    Index(String, Vec<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Un(UnOp, Box<Expr>),
+}
+
+impl Expr {
+    /// Variable names referenced anywhere in this expression.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(n) => out.push(n.clone()),
+            Expr::Index(n, args) => {
+                out.push(n.clone());
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            Expr::Bin(_, l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            Expr::Un(_, e) => e.collect_vars(out),
+            _ => {}
+        }
+    }
+}
+
+/// Assignment target: `name` or `name(subscripts)`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Designator {
+    pub name: String,
+    pub subscripts: Vec<Expr>,
+}
+
+/// One `map(type: vars)` clause entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MapClause {
+    /// "to" | "from" | "tofrom".
+    pub map_type: String,
+    pub vars: Vec<String>,
+}
+
+/// Parsed form of a combined `target parallel do` directive.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct OmpLoopDirective {
+    pub simd: bool,
+    pub simdlen: Option<i64>,
+    /// `(op, var)` from `reduction(op:var)`.
+    pub reduction: Option<(String, String)>,
+    pub maps: Vec<MapClause>,
+}
+
+/// Statements.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    Assign {
+        line: u32,
+        target: Designator,
+        value: Expr,
+    },
+    Do {
+        line: u32,
+        var: String,
+        from: Expr,
+        to: Expr,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+    },
+    If {
+        line: u32,
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    Call {
+        line: u32,
+        name: String,
+        args: Vec<Expr>,
+    },
+    Return {
+        line: u32,
+    },
+    /// `!$omp target data map(...)` ... `!$omp end target data`
+    OmpTargetData {
+        line: u32,
+        maps: Vec<MapClause>,
+        body: Vec<Stmt>,
+    },
+    /// `!$omp target [map(...)]` (non-loop form) ... `!$omp end target`
+    OmpTarget {
+        line: u32,
+        maps: Vec<MapClause>,
+        body: Vec<Stmt>,
+    },
+    /// `!$omp target parallel do ...` + the following do loop.
+    OmpTargetLoop {
+        line: u32,
+        directive: OmpLoopDirective,
+        loop_stmt: Box<Stmt>,
+    },
+    OmpEnterData {
+        line: u32,
+        maps: Vec<MapClause>,
+    },
+    OmpExitData {
+        line: u32,
+        maps: Vec<MapClause>,
+    },
+    OmpUpdate {
+        line: u32,
+        /// "to" or "from".
+        motion: String,
+        vars: Vec<String>,
+    },
+}
+
+impl Stmt {
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Assign { line, .. }
+            | Stmt::Do { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::Call { line, .. }
+            | Stmt::Return { line }
+            | Stmt::OmpTargetData { line, .. }
+            | Stmt::OmpTarget { line, .. }
+            | Stmt::OmpTargetLoop { line, .. }
+            | Stmt::OmpEnterData { line, .. }
+            | Stmt::OmpExitData { line, .. }
+            | Stmt::OmpUpdate { line, .. } => *line,
+        }
+    }
+}
+
+/// A declared entity: `real :: a(lda, n)`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Decl {
+    pub line: u32,
+    pub name: String,
+    pub ty: FType,
+    /// Extent expressions, one per dimension; empty = scalar.
+    pub dims: Vec<Expr>,
+}
+
+/// Kind of program unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnitKind {
+    Program,
+    Subroutine,
+}
+
+/// A `program` or `subroutine` unit.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ProgramUnit {
+    pub kind: UnitKind,
+    pub name: String,
+    pub args: Vec<String>,
+    pub decls: Vec<Decl>,
+    pub body: Vec<Stmt>,
+}
+
+/// A whole translation unit.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    pub units: Vec<ProgramUnit>,
+}
+
+impl Program {
+    pub fn unit(&self, name: &str) -> Option<&ProgramUnit> {
+        self.units.iter().find(|u| u.name == name)
+    }
+}

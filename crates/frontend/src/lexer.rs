@@ -1,0 +1,258 @@
+//! Lexer for free-form Fortran. Case-insensitive; `!` starts a comment unless
+//! it is the `!$omp` sentinel, which is emitted as a directive token carrying
+//! the rest of the line. `&` line continuations are folded.
+
+/// Lexical tokens.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// Lower-cased identifier or keyword.
+    Ident(String),
+    Int(i64),
+    Real { value: f64, double: bool },
+    /// Punctuation / operators: `( ) , : :: = == /= < <= > >= + - * ** /`.
+    Punct(&'static str),
+    /// Dot-operator: `.and.`, `.or.`, `.not.`, `.true.`, `.false.`,
+    /// `.lt.`, `.le.`, `.gt.`, `.ge.`, `.eq.`, `.ne.` (lower-cased, no dots).
+    DotOp(String),
+    /// `!$omp <rest of line>` (lower-cased, trimmed).
+    OmpDirective(String),
+    /// Statement separator (newline or `;`).
+    Newline,
+    Eof,
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Lexed {
+    pub token: Token,
+    pub line: u32,
+}
+
+/// Tokenize `source`. Never fails: unknown characters become single-char
+/// puncts the parser will reject with a good message.
+pub fn lex(source: &str) -> Vec<Lexed> {
+    let mut out = Vec::with_capacity(source.len() / 4);
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut continuation = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                if continuation {
+                    continuation = false;
+                } else if !matches!(out.last().map(|l: &Lexed| &l.token), Some(Token::Newline) | None) {
+                    out.push(Lexed { token: Token::Newline, line });
+                }
+                line += 1;
+                i += 1;
+            }
+            ';' => {
+                out.push(Lexed { token: Token::Newline, line });
+                i += 1;
+            }
+            '&' => {
+                continuation = true;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '!' => {
+                // Comment or OpenMP sentinel.
+                let rest: String = source[i..]
+                    .chars()
+                    .take_while(|&ch| ch != '\n')
+                    .collect();
+                let lower = rest.to_ascii_lowercase();
+                if let Some(directive) = lower.strip_prefix("!$omp") {
+                    out.push(Lexed {
+                        token: Token::OmpDirective(directive.trim().to_string()),
+                        line,
+                    });
+                }
+                i += rest.len();
+            }
+            '.' if i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_alphabetic() => {
+                // Dot operator: .and. .lt. .true. ...
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_alphabetic() {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'.' {
+                    let word = source[start..j].to_ascii_lowercase();
+                    out.push(Lexed { token: Token::DotOp(word), line });
+                    i = j + 1;
+                } else {
+                    out.push(Lexed { token: Token::Punct("."), line });
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit()
+                || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) =>
+            {
+                let (tok, len) = lex_number(&source[i..]);
+                out.push(Lexed { token: tok, line });
+                i += len;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Lexed {
+                    token: Token::Ident(source[start..i].to_ascii_lowercase()),
+                    line,
+                });
+            }
+            _ => {
+                let (p, len): (&'static str, usize) = match (c, bytes.get(i + 1).map(|&b| b as char)) {
+                    (':', Some(':')) => ("::", 2),
+                    ('=', Some('=')) => ("==", 2),
+                    ('/', Some('=')) => ("/=", 2),
+                    ('<', Some('=')) => ("<=", 2),
+                    ('>', Some('=')) => (">=", 2),
+                    ('*', Some('*')) => ("**", 2),
+                    ('(', _) => ("(", 1),
+                    (')', _) => (")", 1),
+                    (',', _) => (",", 1),
+                    (':', _) => (":", 1),
+                    ('=', _) => ("=", 1),
+                    ('<', _) => ("<", 1),
+                    ('>', _) => (">", 1),
+                    ('+', _) => ("+", 1),
+                    ('-', _) => ("-", 1),
+                    ('*', _) => ("*", 1),
+                    ('/', _) => ("/", 1),
+                    ('.', _) => (".", 1),
+                    _ => ("?", 1),
+                };
+                out.push(Lexed { token: Token::Punct(p), line });
+                i += len;
+            }
+        }
+    }
+    out.push(Lexed { token: Token::Newline, line });
+    out.push(Lexed { token: Token::Eof, line });
+    out
+}
+
+/// Lex a numeric literal. Handles `123`, `1.5`, `1.5e-3`, `1d0` (double),
+/// and kind suffixes are not supported (use `real(8)` declarations).
+fn lex_number(s: &str) -> (Token, usize) {
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    let mut is_real = false;
+    let mut double = false;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' {
+        // Don't consume `.` if it starts a dot-operator (e.g. `1.and.`).
+        let next_alpha = bytes.get(i + 1).is_some_and(|b| b.is_ascii_alphabetic());
+        if !next_alpha {
+            is_real = true;
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    if i < bytes.len() && matches!(bytes[i], b'e' | b'E' | b'd' | b'D') {
+        let mut j = i + 1;
+        if j < bytes.len() && matches!(bytes[j], b'+' | b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            if matches!(bytes[i], b'd' | b'D') {
+                double = true;
+            }
+            is_real = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &s[..i];
+    if is_real {
+        let norm = text.replace(['d', 'D'], "e");
+        let value: f64 = norm.parse().unwrap_or(0.0);
+        (Token::Real { value, double }, i)
+    } else {
+        (Token::Int(text.parse().unwrap_or(0)), i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).into_iter().map(|l| l.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let t = toks("do i = 1, 100");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("do".into()),
+                Token::Ident("i".into()),
+                Token::Punct("="),
+                Token::Int(1),
+                Token::Punct(","),
+                Token::Int(100),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reals_and_doubles() {
+        assert!(matches!(toks("1.5")[0], Token::Real { value, double: false } if value == 1.5));
+        assert!(matches!(toks("2.5e-1")[0], Token::Real { value, double: false } if value == 0.25));
+        assert!(matches!(toks("1.0d0")[0], Token::Real { value, double: true } if value == 1.0));
+        assert!(matches!(toks("3d2")[0], Token::Real { value, double: true } if value == 300.0));
+    }
+
+    #[test]
+    fn omp_sentinel_vs_comment() {
+        let t = toks("x = 1 ! a comment\n!$omp target parallel do simd simdlen(10)\ny = 2");
+        assert!(t.contains(&Token::OmpDirective("target parallel do simd simdlen(10)".into())));
+        assert!(!t.iter().any(|t| matches!(t, Token::Ident(s) if s == "comment")));
+    }
+
+    #[test]
+    fn dot_operators() {
+        let t = toks("if (l /= k .and. x .lt. y) then");
+        assert!(t.contains(&Token::Punct("/=")));
+        assert!(t.contains(&Token::DotOp("and".into())));
+        assert!(t.contains(&Token::DotOp("lt".into())));
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let t = toks("x = 1 + &\n    2");
+        // No newline between 1 + and 2.
+        let newline_before_2 = t
+            .iter()
+            .position(|t| matches!(t, Token::Int(2)))
+            .map(|p| t[..p].iter().filter(|t| matches!(t, Token::Newline)).count());
+        assert_eq!(newline_before_2, Some(0));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let t = toks("DO I = 1, N");
+        assert_eq!(t[0], Token::Ident("do".into()));
+        assert_eq!(t[1], Token::Ident("i".into()));
+    }
+}

@@ -1,0 +1,46 @@
+//! `ftn-frontend` — a Fortran-subset frontend standing in for Flang.
+//!
+//! Pipeline: [`lexer`] → [`parser`] (including OpenMP `!$omp` directive
+//! parsing) → [`sema`] (symbol tables, type checking) → [`lower`] (AST →
+//! `fir` + `omp` dialects, mirroring the Figure-1 flow of `[3]`).
+//!
+//! Supported language subset (sufficient for the paper's benchmarks and
+//! examples): free-form source; `program`/`subroutine` units; `integer`,
+//! `real(4|8)`, `logical` declarations with explicit-shape or argument-sized
+//! arrays; assignments; `do` loops; block and logical `if`; subroutine
+//! `call`; and the OpenMP directives `target`, `target data`,
+//! `target enter/exit data`, `target update`, and combined
+//! `target parallel do [simd [simdlen(n)]] [reduction(op:var)]` with `map`
+//! clauses.
+//!
+//! Fortran arrays are lowered to rank-1 memrefs with explicit column-major
+//! linearization (see DESIGN.md §9).
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod sema;
+
+pub use ast::{Expr, Program, ProgramUnit, Stmt};
+pub use lexer::{lex, Token};
+pub use lower::{lower_program, LowerError};
+pub use parser::{parse, FrontendError};
+pub use sema::{analyze, SemaError, SemaInfo};
+
+/// Convenience: parse + analyze + lower a Fortran source string into a fresh
+/// module inside `ir`. Returns the module op.
+pub fn compile_to_fir(
+    ir: &mut ftn_mlir::Ir,
+    source: &str,
+) -> Result<ftn_mlir::OpId, FrontendError> {
+    let program = parse(source)?;
+    let info = analyze(&program).map_err(|e| FrontendError {
+        line: e.line,
+        message: format!("semantic error: {}", e.message),
+    })?;
+    lower_program(ir, &program, &info).map_err(|e| FrontendError {
+        line: 0,
+        message: format!("lowering error: {}", e.message),
+    })
+}

@@ -1,0 +1,1392 @@
+//! AST → IR lowering: produces `fir` + `omp` dialect IR (the Flang-like entry
+//! point of the Figure-1 flow). The `fir-to-core` pass in `ftn-passes` then
+//! rewrites `fir` ops onto `memref`/`scf`/`arith`.
+//!
+//! Conventions:
+//! * every Fortran array becomes a rank-1 `memref<?xT>` with explicit
+//!   column-major, 1-based linearization arithmetic,
+//! * scalars live in rank-0 memref slots (`fir.alloca`); scalar dummy
+//!   arguments are passed by value and copied into a local slot,
+//! * inside `omp.target` regions, referenced scalars are *firstprivate*: their
+//!   host values are passed as extra kernel operands; scalars written inside
+//!   the region get a private in-region slot,
+//! * reduction variables are carried through a mapped one-element buffer and
+//!   combined on the device after the `omp.wsloop` (OpenMP reduction
+//!   semantics: partial results combine with the original host value).
+
+use std::collections::{BTreeSet, HashMap};
+
+use ftn_dialects::{arith, builtin, fir, func, omp};
+use ftn_mlir::{Builder, Ir, OpId, TypeId, ValueId};
+
+use crate::ast::*;
+use crate::sema::{SemaInfo, UnitInfo, INTRINSICS};
+
+/// Lowering failure.
+#[derive(Debug, Clone)]
+pub struct LowerError {
+    pub message: String,
+}
+
+impl LowerError {
+    fn new(m: impl Into<String>) -> Self {
+        LowerError { message: m.into() }
+    }
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+type LResult<T> = Result<T, LowerError>;
+
+/// Lower a whole program into a new `builtin.module`; returns the module.
+pub fn lower_program(ir: &mut Ir, program: &Program, info: &SemaInfo) -> LResult<OpId> {
+    let (module, body) = builtin::module(ir);
+    for unit in &program.units {
+        let unit_info = info
+            .units
+            .get(&unit.name)
+            .ok_or_else(|| LowerError::new(format!("no sema info for unit '{}'", unit.name)))?;
+        let mut b = Builder::at_end(ir, body);
+        lower_unit(&mut b, unit, unit_info)?;
+    }
+    Ok(module)
+}
+
+/// How a Fortran variable is currently accessed.
+#[derive(Clone, Debug)]
+enum VarBinding {
+    /// Mutable scalar storage (rank-0 memref slot).
+    Slot { slot: ValueId, ty: FType },
+    /// Immutable scalar value (firstprivate inside target regions, loop ivs).
+    Value { value: ValueId, ty: FType },
+    /// Array storage + its extent values (index-typed).
+    Array {
+        base: ValueId,
+        extents: Vec<ValueId>,
+        ty: FType,
+    },
+}
+
+struct Ctx<'a> {
+    info: &'a UnitInfo,
+    vars: HashMap<String, VarBinding>,
+    /// Set while lowering a reduction wsloop body: (var name, next value).
+    reduction: Option<(String, Option<ValueId>)>,
+    /// Counter for kernel-unique names.
+    kernel_counter: usize,
+    unit_name: String,
+}
+
+fn ftype_ty(ir: &mut Ir, ty: FType) -> TypeId {
+    match ty {
+        FType::Integer(8) => ir.i64t(),
+        FType::Integer(_) => ir.i32t(),
+        FType::Real(8) => ir.f64t(),
+        FType::Real(_) => ir.f32t(),
+        FType::Logical => ir.i1(),
+    }
+}
+
+fn scalar_slot_ty(ir: &mut Ir, ty: FType) -> TypeId {
+    let elem = ftype_ty(ir, ty);
+    ir.memref_t(&[], elem, 0)
+}
+
+fn array_memref_ty(ir: &mut Ir, ty: FType) -> TypeId {
+    let elem = ftype_ty(ir, ty);
+    ir.memref_t(&[ftn_mlir::types::DYN_DIM], elem, 0)
+}
+
+fn lower_unit(b: &mut Builder, unit: &ProgramUnit, info: &UnitInfo) -> LResult<()> {
+    // Signature: arrays as memref<?xT>, scalars by value.
+    let mut input_tys = Vec::with_capacity(unit.args.len());
+    for arg in &unit.args {
+        let sym = info.symbol(arg).expect("sema checked");
+        let t = if sym.is_array() {
+            array_memref_ty(b.ir, sym.ty)
+        } else {
+            ftype_ty(b.ir, sym.ty)
+        };
+        input_tys.push(t);
+    }
+    let (_f, entry) = func::build_func(b, &unit.name, &input_tys, &[]);
+    let params = b.ir.block(entry).args.clone();
+    b.set_insertion_point_to_end(entry);
+
+    let mut ctx = Ctx {
+        info,
+        vars: HashMap::new(),
+        reduction: None,
+        kernel_counter: 0,
+        unit_name: unit.name.clone(),
+    };
+
+    // 1) Scalar slots (args copied in; locals zero-initialized by alloc).
+    for decl in &unit.decls {
+        let sym = info.symbol(&decl.name).unwrap();
+        if sym.is_array() {
+            continue;
+        }
+        let slot_ty = scalar_slot_ty(b.ir, sym.ty);
+        let slot = fir::alloca(b, slot_ty, &[], &decl.name);
+        let slot = fir::declare(b, slot, &decl.name);
+        if let Some(pos) = unit.args.iter().position(|a| *a == decl.name) {
+            fir::store(b, params[pos], slot, &[]);
+        }
+        ctx.vars.insert(
+            decl.name.clone(),
+            VarBinding::Slot {
+                slot,
+                ty: sym.ty,
+            },
+        );
+    }
+    // 2) Arrays: evaluate extents, bind storage.
+    for decl in &unit.decls {
+        let sym = info.symbol(&decl.name).unwrap();
+        if !sym.is_array() {
+            continue;
+        }
+        let mut extents = Vec::with_capacity(decl.dims.len());
+        for dim in &decl.dims {
+            let (v, t) = lower_expr(b, &mut ctx, dim)?;
+            let idx = coerce_to_index(b, v, t);
+            extents.push(idx);
+        }
+        let base = if let Some(pos) = unit.args.iter().position(|a| *a == decl.name) {
+            fir::declare(b, params[pos], &decl.name)
+        } else {
+            // Local array: total size = product of extents.
+            let mut total = extents[0];
+            for &e in &extents[1..] {
+                total = arith::muli(b, total, e);
+            }
+            let mty = array_memref_ty(b.ir, sym.ty);
+            let storage = fir::alloca(b, mty, &[total], &decl.name);
+            fir::declare(b, storage, &decl.name)
+        };
+        ctx.vars.insert(
+            decl.name.clone(),
+            VarBinding::Array {
+                base,
+                extents,
+                ty: sym.ty,
+            },
+        );
+    }
+
+    lower_stmts(b, &mut ctx, &unit.body)?;
+    func::build_return(b, &[]);
+    Ok(())
+}
+
+fn lower_stmts(b: &mut Builder, ctx: &mut Ctx, stmts: &[Stmt]) -> LResult<()> {
+    for s in stmts {
+        lower_stmt(b, ctx, s)?;
+    }
+    Ok(())
+}
+
+fn lower_stmt(b: &mut Builder, ctx: &mut Ctx, stmt: &Stmt) -> LResult<()> {
+    match stmt {
+        Stmt::Assign { target, value, .. } => lower_assign(b, ctx, target, value),
+        Stmt::Do {
+            var,
+            from,
+            to,
+            step,
+            body,
+            ..
+        } => lower_do(b, ctx, var, from, to, step.as_ref(), body),
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let (cv, _t) = lower_expr(b, ctx, cond)?;
+            let saved = ctx.vars.clone();
+            let mut then_err = None;
+            let mut else_err = None;
+            let info = ctx.info;
+            let reduction = ctx.reduction.clone();
+            let kernel_counter = ctx.kernel_counter;
+            let unit_name = ctx.unit_name.clone();
+            fir::fir_if(
+                b,
+                cv,
+                |inner| {
+                    let mut inner_ctx = Ctx {
+                        info,
+                        vars: saved.clone(),
+                        reduction: reduction.clone(),
+                        kernel_counter,
+                        unit_name: unit_name.clone(),
+                    };
+                    if let Err(e) = lower_stmts(inner, &mut inner_ctx, then_body) {
+                        then_err = Some(e);
+                    }
+                },
+                |inner| {
+                    let mut inner_ctx = Ctx {
+                        info,
+                        vars: saved.clone(),
+                        reduction: reduction.clone(),
+                        kernel_counter,
+                        unit_name: unit_name.clone(),
+                    };
+                    if let Err(e) = lower_stmts(inner, &mut inner_ctx, else_body) {
+                        else_err = Some(e);
+                    }
+                },
+            );
+            match then_err.or(else_err) {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        }
+        Stmt::Call { name, args, .. } => {
+            let mut arg_vals = Vec::with_capacity(args.len());
+            for a in args {
+                match a {
+                    Expr::Var(n) if matches!(ctx.vars.get(n), Some(VarBinding::Array { .. })) => {
+                        let VarBinding::Array { base, .. } = &ctx.vars[n] else {
+                            unreachable!()
+                        };
+                        arg_vals.push(*base);
+                    }
+                    other => {
+                        let (v, _t) = lower_expr(b, ctx, other)?;
+                        arg_vals.push(v);
+                    }
+                }
+            }
+            fir::call(b, name, &arg_vals, &[]);
+            Ok(())
+        }
+        Stmt::Return { .. } => {
+            // Fortran RETURN mid-body; lowered as early func.return.
+            func::build_return(b, &[]);
+            Ok(())
+        }
+        Stmt::OmpTargetData { maps, body, .. } => {
+            let map_infos = build_explicit_maps(b, ctx, maps)?;
+            let saved = ctx.vars.clone();
+            let mut err = None;
+            let mut inner_ctx = Ctx {
+                info: ctx.info,
+                vars: saved,
+                reduction: None,
+                kernel_counter: ctx.kernel_counter,
+                unit_name: ctx.unit_name.clone(),
+            };
+            omp::build_target_data(b, &map_infos, |inner| {
+                if let Err(e) = lower_stmts(inner, &mut inner_ctx, body) {
+                    err = Some(e);
+                }
+            });
+            ctx.kernel_counter = inner_ctx.kernel_counter;
+            match err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        }
+        Stmt::OmpEnterData { maps, .. } => {
+            let map_infos = build_explicit_maps(b, ctx, maps)?;
+            omp::build_target_enter_data(b, &map_infos);
+            Ok(())
+        }
+        Stmt::OmpExitData { maps, .. } => {
+            let map_infos = build_explicit_maps(b, ctx, maps)?;
+            omp::build_target_exit_data(b, &map_infos);
+            Ok(())
+        }
+        Stmt::OmpUpdate { motion, vars, .. } => {
+            let map_type = if motion == "from" {
+                omp::MapType::From
+            } else {
+                omp::MapType::To
+            };
+            let mut map_infos = Vec::new();
+            for v in vars {
+                let binding = ctx
+                    .vars
+                    .get(v)
+                    .cloned()
+                    .ok_or_else(|| LowerError::new(format!("update of unbound '{v}'")))?;
+                let base = binding_storage(&binding)
+                    .ok_or_else(|| LowerError::new("target update of non-array unsupported"))?;
+                map_infos.push(omp::build_map_info(b, base, map_type, v, &[]));
+            }
+            omp::build_target_update(b, &map_infos, motion);
+            Ok(())
+        }
+        Stmt::OmpTarget { maps, body, .. } => lower_omp_target(b, ctx, maps, body),
+        Stmt::OmpTargetLoop {
+            directive,
+            loop_stmt,
+            ..
+        } => lower_omp_target_loop(b, ctx, directive, loop_stmt),
+    }
+}
+
+fn binding_storage(binding: &VarBinding) -> Option<ValueId> {
+    match binding {
+        VarBinding::Array { base, .. } => Some(*base),
+        _ => None,
+    }
+}
+
+fn lower_assign(b: &mut Builder, ctx: &mut Ctx, target: &Designator, value: &Expr) -> LResult<()> {
+    // Reduction accumulator: `s = <expr over s>` inside a reduction loop.
+    if let Some((red_name, _)) = ctx.reduction.clone() {
+        if target.name == red_name && target.subscripts.is_empty() {
+            let (v, _t) = lower_expr(b, ctx, value)?;
+            if let Some((_, slot)) = ctx.reduction.as_mut() {
+                *slot = Some(v);
+            }
+            return Ok(());
+        }
+    }
+    let binding = ctx
+        .vars
+        .get(&target.name)
+        .cloned()
+        .ok_or_else(|| LowerError::new(format!("assignment to unbound '{}'", target.name)))?;
+    match binding {
+        VarBinding::Slot { slot, ty } => {
+            let (v, vt) = lower_expr(b, ctx, value)?;
+            let v = coerce(b, v, vt, ty);
+            fir::store(b, v, slot, &[]);
+            Ok(())
+        }
+        VarBinding::Value { .. } => Err(LowerError::new(format!(
+            "cannot assign to firstprivate scalar '{}' inside a target region",
+            target.name
+        ))),
+        VarBinding::Array { base, extents, ty } => {
+            let idx = linear_index(b, ctx, &extents, &target.subscripts)?;
+            let (v, vt) = lower_expr(b, ctx, value)?;
+            let v = coerce(b, v, vt, ty);
+            fir::store(b, v, base, &[idx]);
+            Ok(())
+        }
+    }
+}
+
+fn lower_do(
+    b: &mut Builder,
+    ctx: &mut Ctx,
+    var: &str,
+    from: &Expr,
+    to: &Expr,
+    step: Option<&Expr>,
+    body: &[Stmt],
+) -> LResult<()> {
+    let (fv, ft) = lower_expr(b, ctx, from)?;
+    let lb = coerce_to_index(b, fv, ft);
+    let (tv, tt) = lower_expr(b, ctx, to)?;
+    let ub = coerce_to_index(b, tv, tt);
+    let st = match step {
+        Some(e) => {
+            let (sv, stt) = lower_expr(b, ctx, e)?;
+            coerce_to_index(b, sv, stt)
+        }
+        None => arith::const_index(b, 1),
+    };
+    let var_ty = ctx
+        .info
+        .symbol(var)
+        .map(|s| s.ty)
+        .unwrap_or(FType::Integer(4));
+    let saved = ctx.vars.clone();
+    let mut err = None;
+    fir::do_loop(b, lb, ub, st, |inner, iv| {
+        let mut inner_ctx = Ctx {
+            info: ctx.info,
+            vars: saved.clone(),
+            reduction: ctx.reduction.clone(),
+            kernel_counter: ctx.kernel_counter,
+            unit_name: ctx.unit_name.clone(),
+        };
+        // Make the loop variable available: as a value binding (reads) and,
+        // when a slot already exists, also stored for consistency.
+        let int_ty = ftype_ty(inner.ir, var_ty);
+        let iv_int = fir::convert(inner, iv, int_ty);
+        if let Some(VarBinding::Slot { slot, .. }) = saved.get(var).cloned() {
+            fir::store(inner, iv_int, slot, &[]);
+        }
+        inner_ctx.vars.insert(
+            var.to_string(),
+            VarBinding::Value {
+                value: iv_int,
+                ty: var_ty,
+            },
+        );
+        if let Err(e) = lower_stmts(inner, &mut inner_ctx, body) {
+            err = Some(e);
+        }
+        ctx.kernel_counter = inner_ctx.kernel_counter;
+        if let Some((name, next)) = inner_ctx.reduction {
+            if let Some((_, slot)) = ctx.reduction.as_mut() {
+                let _ = name;
+                *slot = next;
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Usage analysis for target region bodies.
+#[derive(Default, Debug)]
+struct Usage {
+    arrays: BTreeSet<String>,
+    scalars_read: BTreeSet<String>,
+    scalars_written: BTreeSet<String>,
+}
+
+fn collect_usage(stmts: &[Stmt], info: &UnitInfo, usage: &mut Usage) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                match info.symbol(&target.name) {
+                    Some(sym) if sym.is_array() => {
+                        usage.arrays.insert(target.name.clone());
+                    }
+                    _ => {
+                        usage.scalars_written.insert(target.name.clone());
+                    }
+                }
+                for sub in &target.subscripts {
+                    collect_expr_usage(sub, info, usage);
+                }
+                collect_expr_usage(value, info, usage);
+            }
+            Stmt::Do {
+                var,
+                from,
+                to,
+                step,
+                body,
+                ..
+            } => {
+                usage.scalars_written.insert(var.clone());
+                collect_expr_usage(from, info, usage);
+                collect_expr_usage(to, info, usage);
+                if let Some(st) = step {
+                    collect_expr_usage(st, info, usage);
+                }
+                collect_usage(body, info, usage);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_expr_usage(cond, info, usage);
+                collect_usage(then_body, info, usage);
+                collect_usage(else_body, info, usage);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_expr_usage(e: &Expr, info: &UnitInfo, usage: &mut Usage) {
+    match e {
+        Expr::Var(n) => {
+            match info.symbol(n) {
+                Some(sym) if sym.is_array() => {
+                    usage.arrays.insert(n.clone());
+                }
+                Some(_) => {
+                    usage.scalars_read.insert(n.clone());
+                }
+                None => {}
+            };
+        }
+        Expr::Index(n, args) => {
+            match info.symbol(n) {
+                Some(sym) if sym.is_array() => {
+                    usage.arrays.insert(n.clone());
+                }
+                Some(_) => {
+                    usage.scalars_read.insert(n.clone());
+                }
+                None => {} // intrinsic
+            }
+            for a in args {
+                collect_expr_usage(a, info, usage);
+            }
+        }
+        Expr::Bin(_, l, r) => {
+            collect_expr_usage(l, info, usage);
+            collect_expr_usage(r, info, usage);
+        }
+        Expr::Un(_, e) => collect_expr_usage(e, info, usage),
+        _ => {}
+    }
+}
+
+fn build_explicit_maps(b: &mut Builder, ctx: &mut Ctx, maps: &[MapClause]) -> LResult<Vec<ValueId>> {
+    let mut out = Vec::new();
+    for clause in maps {
+        let mt = omp::MapType::parse(&clause.map_type)
+            .ok_or_else(|| LowerError::new(format!("bad map type '{}'", clause.map_type)))?;
+        for var in &clause.vars {
+            let binding = ctx
+                .vars
+                .get(var)
+                .cloned()
+                .ok_or_else(|| LowerError::new(format!("map of unbound '{var}'")))?;
+            let base = binding_storage(&binding)
+                .ok_or_else(|| LowerError::new(format!("map of scalar '{var}' unsupported (pass by value)")))?;
+            out.push(omp::build_map_info(b, base, mt, var, &[]));
+        }
+    }
+    Ok(out)
+}
+
+/// Shared plumbing for `omp.target` region construction: builds map infos for
+/// all used arrays (explicit clause types win, others get `tofrom::implicit`),
+/// gathers firstprivate scalars (plus array extents), and invokes `body_build`
+/// inside the region with a ctx that rebinds everything to block args.
+#[allow(clippy::too_many_arguments)]
+fn build_target_region(
+    b: &mut Builder,
+    ctx: &mut Ctx,
+    explicit_maps: &[MapClause],
+    usage: &Usage,
+    extra_scalars: &[(String, ValueId, FType)],
+    extra_arrays: &[(String, ValueId, FType)],
+    body_build: impl FnOnce(&mut Builder, &mut Ctx) -> LResult<()>,
+) -> LResult<OpId> {
+    // Map type per array.
+    let mut map_types: HashMap<&str, omp::MapType> = HashMap::new();
+    for clause in explicit_maps {
+        let mt = omp::MapType::parse(&clause.map_type)
+            .ok_or_else(|| LowerError::new(format!("bad map type '{}'", clause.map_type)))?;
+        for v in &clause.vars {
+            map_types.insert(v.as_str(), mt);
+        }
+    }
+    // Deterministic array order: used arrays, then clause-only arrays.
+    let mut arrays: Vec<String> = usage.arrays.iter().cloned().collect();
+    for clause in explicit_maps {
+        for v in &clause.vars {
+            if !arrays.contains(v) {
+                arrays.push(v.clone());
+            }
+        }
+    }
+    struct ArrayPlan {
+        name: String,
+        ty: FType,
+        extents: Vec<ValueId>,
+    }
+    let mut map_infos = Vec::new();
+    let mut plans = Vec::new();
+    for name in &arrays {
+        let binding = ctx
+            .vars
+            .get(name)
+            .cloned()
+            .ok_or_else(|| LowerError::new(format!("target references unbound '{name}'")))?;
+        let VarBinding::Array { base, extents, ty } = binding else {
+            return Err(LowerError::new(format!("'{name}' mapped but not an array")));
+        };
+        let mt = map_types
+            .get(name.as_str())
+            .copied()
+            .unwrap_or(omp::MapType::ImplicitTofrom);
+        map_infos.push(omp::build_map_info(b, base, mt, name, &[]));
+        plans.push(ArrayPlan {
+            name: name.clone(),
+            ty,
+            extents,
+        });
+    }
+    for (name, base, ty) in extra_arrays {
+        let one = arith::const_index(b, 1);
+        map_infos.push(omp::build_map_info(b, *base, omp::MapType::Tofrom, name, &[]));
+        plans.push(ArrayPlan {
+            name: name.clone(),
+            ty: *ty,
+            extents: vec![one],
+        });
+    }
+
+    // Firstprivate scalars: array extents first, then named scalar reads,
+    // then caller-supplied extras (loop bounds etc.).
+    let mut scalar_vals: Vec<ValueId> = Vec::new();
+    let mut scalar_binds: Vec<(String, FType)> = Vec::new(); // "" = positional extent
+    for plan in &plans {
+        for &e in &plan.extents {
+            scalar_vals.push(e);
+            scalar_binds.push((String::new(), FType::Integer(8)));
+        }
+    }
+    let mut named_scalars: Vec<String> = usage
+        .scalars_read
+        .iter()
+        .filter(|s| !usage.scalars_written.contains(*s))
+        .cloned()
+        .collect();
+    named_scalars.retain(|s| ctx.vars.contains_key(s));
+    // Written scalars are privatized but still need their initial host value.
+    let mut written_scalars: Vec<String> = usage
+        .scalars_written
+        .iter()
+        .filter(|s| ctx.vars.contains_key(*s))
+        .cloned()
+        .collect();
+    written_scalars.retain(|s| Some(s.as_str()) != ctx.reduction.as_ref().map(|(n, _)| n.as_str()));
+    for name in named_scalars.iter().chain(&written_scalars) {
+        let binding = ctx.vars.get(name).cloned().unwrap();
+        let (v, t) = match binding {
+            VarBinding::Slot { slot, ty } => (fir::load(b, slot, &[]), ty),
+            VarBinding::Value { value, ty } => (value, ty),
+            VarBinding::Array { .. } => continue,
+        };
+        scalar_vals.push(v);
+        scalar_binds.push((name.clone(), t));
+    }
+    for (name, v, t) in extra_scalars {
+        scalar_vals.push(*v);
+        scalar_binds.push((name.clone(), *t));
+    }
+
+    let saved_counter = ctx.kernel_counter;
+    let mut err = None;
+    let mut result_ctx_counter = saved_counter;
+    let info = ctx.info;
+    let reduction = ctx.reduction.clone();
+    let unit_name = ctx.unit_name.clone();
+    let target_op = omp::build_target(b, &map_infos, &scalar_vals, |inner, args| {
+        // args = [arrays..., scalars...] in operand order.
+        let mut vars: HashMap<String, VarBinding> = HashMap::new();
+        let n_arrays = plans.len();
+        let mut scalar_args = args[n_arrays..].iter();
+        for (i, plan) in plans.iter().enumerate() {
+            let mut extents = Vec::with_capacity(plan.extents.len());
+            for _ in &plan.extents {
+                extents.push(*scalar_args.next().expect("extent arg"));
+            }
+            vars.insert(
+                plan.name.clone(),
+                VarBinding::Array {
+                    base: args[i],
+                    extents,
+                    ty: plan.ty,
+                },
+            );
+        }
+        for (name, ty) in scalar_binds.iter().skip_while(|(n, _)| n.is_empty()) {
+            let value = *scalar_args.next().expect("scalar arg");
+            vars.insert(
+                name.clone(),
+                VarBinding::Value { value, ty: *ty },
+            );
+        }
+        let mut inner_ctx = Ctx {
+            info,
+            vars,
+            reduction,
+            kernel_counter: saved_counter,
+            unit_name,
+        };
+        // Privatize written scalars: in-region slots seeded from host values.
+        for name in &written_scalars {
+            let Some(VarBinding::Value { value, ty }) = inner_ctx.vars.get(name).cloned() else {
+                continue;
+            };
+            let slot_ty = scalar_slot_ty(inner.ir, ty);
+            let slot = fir::alloca(inner, slot_ty, &[], &format!("{name}.priv"));
+            fir::store(inner, value, slot, &[]);
+            inner_ctx.vars.insert(name.clone(), VarBinding::Slot { slot, ty });
+        }
+        if let Err(e) = body_build(inner, &mut inner_ctx) {
+            err = Some(e);
+        }
+        result_ctx_counter = inner_ctx.kernel_counter;
+    });
+    ctx.kernel_counter = result_ctx_counter;
+    match err {
+        Some(e) => Err(e),
+        None => Ok(target_op),
+    }
+}
+
+fn lower_omp_target(b: &mut Builder, ctx: &mut Ctx, maps: &[MapClause], body: &[Stmt]) -> LResult<()> {
+    let mut usage = Usage::default();
+    collect_usage(body, ctx.info, &mut usage);
+    build_target_region(b, ctx, maps, &usage, &[], &[], |inner, inner_ctx| {
+        lower_stmts(inner, inner_ctx, body)
+    })?;
+    Ok(())
+}
+
+fn lower_omp_target_loop(
+    b: &mut Builder,
+    ctx: &mut Ctx,
+    directive: &OmpLoopDirective,
+    loop_stmt: &Stmt,
+) -> LResult<()> {
+    let Stmt::Do {
+        var,
+        from,
+        to,
+        step,
+        body,
+        ..
+    } = loop_stmt
+    else {
+        return Err(LowerError::new("target parallel do without a do loop"));
+    };
+    // Host-side bound evaluation. A literal step (the common `do i = 1, n`
+    // case) is materialized inside the kernel instead of being passed as a
+    // scalar argument, so downstream unrolling arithmetic constant-folds —
+    // exactly what Flang does with compile-time-constant steps.
+    let (fv, ft) = lower_expr(b, ctx, from)?;
+    let lb = coerce_to_index(b, fv, ft);
+    let (tv, tt) = lower_expr(b, ctx, to)?;
+    let ub = coerce_to_index(b, tv, tt);
+    let step_literal: Option<i64> = match step {
+        None => Some(1),
+        Some(Expr::IntLit(v)) => Some(*v),
+        Some(Expr::Un(UnOp::Neg, inner)) => match inner.as_ref() {
+            Expr::IntLit(v) => Some(-*v),
+            _ => None,
+        },
+        Some(_) => None,
+    };
+    let st = match (step_literal, step) {
+        (Some(_), _) => arith::const_index(b, 1), // placeholder, unused
+        (None, Some(e)) => {
+            let (sv, stt) = lower_expr(b, ctx, e)?;
+            coerce_to_index(b, sv, stt)
+        }
+        (None, None) => unreachable!(),
+    };
+
+    let mut usage = Usage::default();
+    collect_usage(body, ctx.info, &mut usage);
+    usage.scalars_written.remove(var);
+    usage.scalars_read.remove(var);
+
+    // Reduction plumbing: carry the scalar through a mapped 1-element buffer.
+    let red = directive
+        .reduction
+        .as_ref()
+        .map(|(op, name)| {
+            let kind = match op.as_str() {
+                "+" => omp::ReductionKind::Add,
+                "*" => omp::ReductionKind::Mul,
+                "max" => omp::ReductionKind::Max,
+                "min" => omp::ReductionKind::Min,
+                other => return Err(LowerError::new(format!("bad reduction op '{other}'"))),
+            };
+            Ok((kind, name.clone()))
+        })
+        .transpose()?;
+    let mut extra_arrays: Vec<(String, ValueId, FType)> = vec![];
+    let mut red_host: Option<(String, ValueId, ValueId, FType, omp::ReductionKind)> = None;
+    if let Some((kind, name)) = &red {
+        let binding = ctx
+            .vars
+            .get(name)
+            .cloned()
+            .ok_or_else(|| LowerError::new(format!("reduction var '{name}' unbound")))?;
+        let VarBinding::Slot { slot, ty } = binding else {
+            return Err(LowerError::new("reduction variable must be a host scalar"));
+        };
+        // temp buffer holding the running value.
+        let mty = array_memref_ty(b.ir, ty);
+        let one = arith::const_index(b, 1);
+        let buf = fir::alloca(b, mty, &[one], &format!("{name}.red"));
+        let cur = fir::load(b, slot, &[]);
+        let zero = arith::const_index(b, 0);
+        fir::store(b, cur, buf, &[zero]);
+        let red_buf_name = format!("{name}.red");
+        extra_arrays.push((red_buf_name.clone(), buf, ty));
+        red_host = Some((red_buf_name, slot, buf, ty, *kind));
+        usage.scalars_read.remove(name);
+        usage.scalars_written.remove(name);
+    }
+
+    let mut extras = vec![
+        ("omp.lb".to_string(), lb, FType::Integer(8)),
+        ("omp.ub".to_string(), ub, FType::Integer(8)),
+    ];
+    if step_literal.is_none() {
+        extras.push(("omp.step".to_string(), st, FType::Integer(8)));
+    }
+    let config = omp::WsLoopConfig {
+        parallel: true,
+        simd: directive.simd,
+        simdlen: directive.simdlen,
+        reduction: red.as_ref().map(|(k, _)| *k),
+    };
+    let red_name = red.as_ref().map(|(_, n)| n.clone());
+    let var_name = var.clone();
+    let body_stmts = body.clone();
+    build_target_region(b, ctx, &directive.maps, &usage, &extras, &extra_arrays, |inner, inner_ctx| {
+        let VarBinding::Value { value: lb_v, .. } = inner_ctx.vars["omp.lb"].clone() else {
+            unreachable!()
+        };
+        let VarBinding::Value { value: ub_v, .. } = inner_ctx.vars["omp.ub"].clone() else {
+            unreachable!()
+        };
+        let st_v = match step_literal {
+            Some(lit) => arith::const_index(inner, lit),
+            None => {
+                let VarBinding::Value { value, .. } = inner_ctx.vars["omp.step"].clone() else {
+                    unreachable!()
+                };
+                value
+            }
+        };
+        // Reduction init: identity, loaded-from-buffer combine afterwards.
+        let red_init = match &red {
+            Some((kind, name)) => {
+                let ty = match inner_ctx.info.symbol(name) {
+                    Some(s) => s.ty,
+                    None => FType::Real(4),
+                };
+                Some((identity_const(inner, *kind, ty), ty))
+            }
+            None => None,
+        };
+        let var_ty = inner_ctx
+            .info
+            .symbol(&var_name)
+            .map(|s| s.ty)
+            .unwrap_or(FType::Integer(4));
+        let mut err = None;
+        let ws = omp::build_wsloop(
+            inner,
+            lb_v,
+            ub_v,
+            st_v,
+            &config,
+            red_init.map(|(v, _)| v),
+            |lb_inner, iv, acc| {
+                let mut loop_ctx = Ctx {
+                    info: inner_ctx.info,
+                    vars: inner_ctx.vars.clone(),
+                    reduction: red_name.clone().map(|n| (n, None)),
+                    kernel_counter: inner_ctx.kernel_counter,
+                    unit_name: inner_ctx.unit_name.clone(),
+                };
+                let int_ty = ftype_ty(lb_inner.ir, var_ty);
+                let iv_int = fir::convert(lb_inner, iv, int_ty);
+                loop_ctx.vars.insert(
+                    var_name.clone(),
+                    VarBinding::Value {
+                        value: iv_int,
+                        ty: var_ty,
+                    },
+                );
+                if let Some(name) = &red_name {
+                    let ty = loop_ctx.info.symbol(name).map(|s| s.ty).unwrap_or(FType::Real(4));
+                    loop_ctx.vars.insert(
+                        name.clone(),
+                        VarBinding::Value { value: acc[0], ty },
+                    );
+                }
+                if let Err(e) = lower_stmts(lb_inner, &mut loop_ctx, &body_stmts) {
+                    err = Some(e);
+                    return vec![];
+                }
+                match loop_ctx.reduction {
+                    Some((_, Some(next))) => vec![next],
+                    Some((_, None)) => {
+                        // Reduction var never assigned: yield accumulator as-is.
+                        vec![acc[0]]
+                    }
+                    None => vec![],
+                }
+            },
+        );
+        if let Some(e) = err {
+            return Err(e);
+        }
+        // Combine reduction result with the running value in the buffer.
+        if let Some((buf_name, _slot, _host_buf, ty, kind)) = &red_host {
+            let ws_result = inner.ir.op(ws).results[0];
+            let VarBinding::Array { base, .. } = inner_ctx.vars[buf_name].clone() else {
+                unreachable!()
+            };
+            let zero = arith::const_index(inner, 0);
+            let cur = fir::load(inner, base, &[zero]);
+            let combined = apply_reduction(inner, *kind, cur, ws_result, *ty);
+            fir::store(inner, combined, base, &[zero]);
+        }
+        Ok(())
+    })?;
+    // Host: read the reduced value back into the scalar slot (the buffer was
+    // mapped tofrom, so the device result is in host memory after the target).
+    if let Some((_buf_name, slot, host_buf, _ty, _)) = red_host {
+        let zero = arith::const_index(b, 0);
+        let v = fir::load(b, host_buf, &[zero]);
+        fir::store(b, v, slot, &[]);
+    }
+    Ok(())
+}
+
+fn identity_const(b: &mut Builder, kind: omp::ReductionKind, ty: FType) -> ValueId {
+    let t = ftype_ty(b.ir, ty);
+    match (kind, ty) {
+        (omp::ReductionKind::Add, FType::Real(_)) => arith::const_float(b, 0.0, t),
+        (omp::ReductionKind::Mul, FType::Real(_)) => arith::const_float(b, 1.0, t),
+        (omp::ReductionKind::Max, FType::Real(_)) => arith::const_float(b, f64::NEG_INFINITY, t),
+        (omp::ReductionKind::Min, FType::Real(_)) => arith::const_float(b, f64::INFINITY, t),
+        (omp::ReductionKind::Add, _) => arith::const_int(b, 0, t),
+        (omp::ReductionKind::Mul, _) => arith::const_int(b, 1, t),
+        (omp::ReductionKind::Max, _) => arith::const_int(b, i64::MIN / 2, t),
+        (omp::ReductionKind::Min, _) => arith::const_int(b, i64::MAX / 2, t),
+    }
+}
+
+fn apply_reduction(
+    b: &mut Builder,
+    kind: omp::ReductionKind,
+    lhs: ValueId,
+    rhs: ValueId,
+    ty: FType,
+) -> ValueId {
+    let is_real = ty.is_real();
+    let name = match (kind, is_real) {
+        (omp::ReductionKind::Add, true) => arith::ADDF,
+        (omp::ReductionKind::Mul, true) => arith::MULF,
+        (omp::ReductionKind::Max, true) => arith::MAXIMUMF,
+        (omp::ReductionKind::Min, true) => arith::MINIMUMF,
+        (omp::ReductionKind::Add, false) => arith::ADDI,
+        (omp::ReductionKind::Mul, false) => arith::MULI,
+        (omp::ReductionKind::Max, false) => arith::MAXSI,
+        (omp::ReductionKind::Min, false) => arith::MINSI,
+    };
+    arith::binop(b, name, lhs, rhs)
+}
+
+// ---- expressions -----------------------------------------------------------------
+
+/// Column-major 1-based linearization:
+/// `off = (s1-1) + d1*((s2-1) + d2*(s3-1) ...)`, folded right-to-left.
+fn linear_index(
+    b: &mut Builder,
+    ctx: &mut Ctx,
+    extents: &[ValueId],
+    subscripts: &[Expr],
+) -> LResult<ValueId> {
+    let one = arith::const_index(b, 1);
+    let mut zero_based: Vec<ValueId> = Vec::with_capacity(subscripts.len());
+    for s in subscripts {
+        let (v, t) = lower_expr(b, ctx, s)?;
+        let idx = coerce_to_index(b, v, t);
+        zero_based.push(arith::subi(b, idx, one));
+    }
+    let mut off = *zero_based.last().expect("at least one subscript");
+    for k in (0..zero_based.len() - 1).rev() {
+        let scaled = arith::muli(b, off, extents[k]);
+        off = arith::addi(b, zero_based[k], scaled);
+    }
+    Ok(off)
+}
+
+fn coerce_to_index(b: &mut Builder, v: ValueId, _from: FType) -> ValueId {
+    let idx = b.ir.index_t();
+    if b.ir.value_ty(v) == idx {
+        v
+    } else {
+        fir::convert(b, v, idx)
+    }
+}
+
+fn coerce(b: &mut Builder, v: ValueId, from: FType, to: FType) -> ValueId {
+    if from == to {
+        return v;
+    }
+    let t = ftype_ty(b.ir, to);
+    if b.ir.value_ty(v) == t {
+        return v;
+    }
+    fir::convert(b, v, t)
+}
+
+fn lower_expr(b: &mut Builder, ctx: &mut Ctx, expr: &Expr) -> LResult<(ValueId, FType)> {
+    match expr {
+        Expr::IntLit(v) => Ok((arith::const_i32(b, *v), FType::Integer(4))),
+        Expr::RealLit { value, double } => {
+            if *double {
+                Ok((arith::const_f64(b, *value), FType::Real(8)))
+            } else {
+                Ok((arith::const_f32(b, *value), FType::Real(4)))
+            }
+        }
+        Expr::LogicalLit(v) => Ok((arith::const_bool(b, *v), FType::Logical)),
+        Expr::Var(name) => {
+            let binding = ctx
+                .vars
+                .get(name)
+                .cloned()
+                .ok_or_else(|| LowerError::new(format!("reference to unbound '{name}'")))?;
+            match binding {
+                VarBinding::Slot { slot, ty } => Ok((fir::load(b, slot, &[]), ty)),
+                VarBinding::Value { value, ty } => Ok((value, ty)),
+                VarBinding::Array { .. } => {
+                    Err(LowerError::new(format!("array '{name}' used as scalar")))
+                }
+            }
+        }
+        Expr::Index(name, args) => {
+            if let Some(binding) = ctx.vars.get(name).cloned() {
+                let VarBinding::Array { base, extents, ty } = binding else {
+                    return Err(LowerError::new(format!("'{name}' is not an array")));
+                };
+                let idx = linear_index(b, ctx, &extents, args)?;
+                return Ok((fir::load(b, base, &[idx]), ty));
+            }
+            if INTRINSICS.contains(&name.as_str()) {
+                return lower_intrinsic(b, ctx, name, args);
+            }
+            Err(LowerError::new(format!("unknown array or function '{name}'")))
+        }
+        Expr::Bin(op, l, r) => lower_binop(b, ctx, *op, l, r),
+        Expr::Un(UnOp::Neg, e) => {
+            let (v, t) = lower_expr(b, ctx, e)?;
+            if t.is_real() {
+                Ok((arith::negf(b, v), t))
+            } else {
+                let ty = ftype_ty(b.ir, t);
+                let zero = arith::const_int(b, 0, ty);
+                Ok((arith::subi(b, zero, v), t))
+            }
+        }
+        Expr::Un(UnOp::Not, e) => {
+            let (v, t) = lower_expr(b, ctx, e)?;
+            Ok((arith::not(b, v), t))
+        }
+    }
+}
+
+fn lower_binop(b: &mut Builder, ctx: &mut Ctx, op: BinOp, l: &Expr, r: &Expr) -> LResult<(ValueId, FType)> {
+    let (lv, lt) = lower_expr(b, ctx, l)?;
+    let (rv, rt) = lower_expr(b, ctx, r)?;
+    if op.is_logical() {
+        let name = if op == BinOp::And { arith::ANDI } else { arith::ORI };
+        return Ok((arith::binop(b, name, lv, rv), FType::Logical));
+    }
+    if op == BinOp::Pow {
+        return lower_pow(b, lv, lt, r);
+    }
+    let common = crate::sema::promote(lt, rt);
+    let lv = coerce(b, lv, lt, common);
+    let rv = coerce(b, rv, rt, common);
+    if op.is_comparison() {
+        let (iname, fname) = match op {
+            BinOp::Eq => ("eq", "oeq"),
+            BinOp::Ne => ("ne", "one"),
+            BinOp::Lt => ("slt", "olt"),
+            BinOp::Le => ("sle", "ole"),
+            BinOp::Gt => ("sgt", "ogt"),
+            BinOp::Ge => ("sge", "oge"),
+            _ => unreachable!(),
+        };
+        let v = if common.is_real() {
+            arith::cmpf(b, fname, lv, rv)
+        } else {
+            arith::cmpi(b, iname, lv, rv)
+        };
+        return Ok((v, FType::Logical));
+    }
+    // Arithmetic. Float mul/add carry `fastmath<contract>` as in Listing 4.
+    let v = if common.is_real() {
+        let name = match op {
+            BinOp::Add => arith::ADDF,
+            BinOp::Sub => arith::SUBF,
+            BinOp::Mul => arith::MULF,
+            BinOp::Div => arith::DIVF,
+            _ => unreachable!(),
+        };
+        if matches!(op, BinOp::Add | BinOp::Mul) {
+            arith::binop_contract(b, name, lv, rv)
+        } else {
+            arith::binop(b, name, lv, rv)
+        }
+    } else {
+        let name = match op {
+            BinOp::Add => arith::ADDI,
+            BinOp::Sub => arith::SUBI,
+            BinOp::Mul => arith::MULI,
+            BinOp::Div => arith::DIVSI,
+            _ => unreachable!(),
+        };
+        arith::binop(b, name, lv, rv)
+    };
+    Ok((v, common))
+}
+
+fn lower_pow(b: &mut Builder, base: ValueId, base_ty: FType, exp: &Expr) -> LResult<(ValueId, FType)> {
+    let Expr::IntLit(n) = exp else {
+        return Err(LowerError::new("only integer-literal exponents are supported"));
+    };
+    if !(0..=8).contains(n) {
+        return Err(LowerError::new("exponent out of supported range 0..=8"));
+    }
+    if *n == 0 {
+        let t = ftype_ty(b.ir, base_ty);
+        let one = if base_ty.is_real() {
+            arith::const_float(b, 1.0, t)
+        } else {
+            arith::const_int(b, 1, t)
+        };
+        return Ok((one, base_ty));
+    }
+    let mut acc = base;
+    for _ in 1..*n {
+        acc = if base_ty.is_real() {
+            arith::binop_contract(b, arith::MULF, acc, base)
+        } else {
+            arith::muli(b, acc, base)
+        };
+    }
+    Ok((acc, base_ty))
+}
+
+fn lower_intrinsic(
+    b: &mut Builder,
+    ctx: &mut Ctx,
+    name: &str,
+    args: &[Expr],
+) -> LResult<(ValueId, FType)> {
+    let mut vals = Vec::with_capacity(args.len());
+    let mut tys = Vec::with_capacity(args.len());
+    for a in args {
+        let (v, t) = lower_expr(b, ctx, a)?;
+        vals.push(v);
+        tys.push(t);
+    }
+    match name {
+        "abs" => {
+            let (v, t) = (vals[0], tys[0]);
+            if t.is_real() {
+                let n = arith::negf(b, v);
+                Ok((arith::binop(b, arith::MAXIMUMF, v, n), t))
+            } else {
+                let ty = ftype_ty(b.ir, t);
+                let zero = arith::const_int(b, 0, ty);
+                let n = arith::subi(b, zero, v);
+                Ok((arith::binop(b, arith::MAXSI, v, n), t))
+            }
+        }
+        "max" | "min" => {
+            let mut common = tys[0];
+            for t in &tys[1..] {
+                common = crate::sema::promote(common, *t);
+            }
+            let mut acc = coerce(b, vals[0], tys[0], common);
+            for (v, t) in vals[1..].iter().zip(&tys[1..]) {
+                let v = coerce(b, *v, *t, common);
+                let opname = match (name, common.is_real()) {
+                    ("max", true) => arith::MAXIMUMF,
+                    ("max", false) => arith::MAXSI,
+                    ("min", true) => arith::MINIMUMF,
+                    (_, false) => arith::MINSI,
+                    (_, true) => arith::MINIMUMF,
+                };
+                acc = arith::binop(b, opname, acc, v);
+            }
+            Ok((acc, common))
+        }
+        "mod" => {
+            if tys[0].is_real() {
+                return Err(LowerError::new("mod on reals unsupported"));
+            }
+            Ok((arith::binop(b, arith::REMSI, vals[0], vals[1]), tys[0]))
+        }
+        "real" => {
+            let v = coerce(b, vals[0], tys[0], FType::Real(4));
+            Ok((v, FType::Real(4)))
+        }
+        "int" => {
+            let v = coerce(b, vals[0], tys[0], FType::Integer(4));
+            Ok((v, FType::Integer(4)))
+        }
+        other => Err(LowerError::new(format!("intrinsic '{other}' not supported"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, parse};
+    use ftn_interp::{call_function, Buffer, Memory, MemRefVal, NoHooks, NoObserver, RtValue};
+    use ftn_mlir::{print_op, verify};
+
+    fn compile(src: &str) -> (Ir, OpId) {
+        let program = parse(src).unwrap();
+        let info = analyze(&program).unwrap();
+        let mut ir = Ir::new();
+        let module = lower_program(&mut ir, &program, &info).unwrap();
+        verify(&ir, module, &ftn_dialects::registry()).unwrap();
+        (ir, module)
+    }
+
+    const SAXPY: &str = r#"
+subroutine saxpy(n, a, x, y)
+  implicit none
+  integer :: n, i
+  real :: a, x(n), y(n)
+  !$omp target parallel do simd simdlen(10)
+  do i = 1, n
+    y(i) = y(i) + a*x(i)
+  end do
+  !$omp end target parallel do simd
+end subroutine saxpy
+"#;
+
+    #[test]
+    fn saxpy_lowers_and_executes() {
+        let (ir, module) = compile(SAXPY);
+        let text = print_op(&ir, module);
+        assert!(text.contains("omp.target"), "{text}");
+        assert!(text.contains("omp.wsloop"), "{text}");
+        assert!(text.contains("simdlen = 10"), "{text}");
+        assert!(text.contains("tofrom::implicit"), "{text}");
+
+        let mut memory = Memory::new();
+        let x = memory.alloc(Buffer::F32(vec![1.0, 2.0, 3.0]), 0);
+        let y = memory.alloc(Buffer::F32(vec![0.5, 0.5, 0.5]), 0);
+        let args = vec![
+            RtValue::I32(3),
+            RtValue::F32(2.0),
+            RtValue::MemRef(MemRefVal { buffer: x, shape: vec![3], space: 0 }),
+            RtValue::MemRef(MemRefVal { buffer: y, shape: vec![3], space: 0 }),
+        ];
+        call_function(&ir, module, "saxpy", &args, &mut memory, &mut NoHooks, &mut NoObserver)
+            .unwrap();
+        assert_eq!(memory.get(y), &Buffer::F32(vec![2.5, 4.5, 6.5]));
+    }
+
+    #[test]
+    fn two_dimensional_column_major() {
+        let src = r#"
+subroutine colmaj(a, lda, n)
+  integer :: lda, n, i, j
+  real :: a(lda, n)
+  do j = 1, n
+    do i = 1, lda
+      a(i, j) = real(i) + 10.0*real(j)
+    end do
+  end do
+end subroutine
+"#;
+        let (ir, module) = compile(src);
+        let mut memory = Memory::new();
+        let a = memory.alloc(Buffer::F32(vec![0.0; 6]), 0);
+        let args = vec![
+            RtValue::MemRef(MemRefVal { buffer: a, shape: vec![6], space: 0 }),
+            RtValue::I32(2),
+            RtValue::I32(3),
+        ];
+        call_function(&ir, module, "colmaj", &args, &mut memory, &mut NoHooks, &mut NoObserver)
+            .unwrap();
+        // Column-major: a(i,j) at (i-1) + (j-1)*lda.
+        let Buffer::F32(data) = memory.get(a) else { panic!() };
+        assert_eq!(data[0], 11.0); // a(1,1)
+        assert_eq!(data[1], 12.0); // a(2,1)
+        assert_eq!(data[2], 21.0); // a(1,2)
+        assert_eq!(data[5], 32.0); // a(2,3)
+    }
+
+    #[test]
+    fn reduction_loop_executes() {
+        let src = r#"
+subroutine dotp(n, x, y, s)
+  integer :: n, i
+  real :: x(n), y(n), s
+  !$omp target parallel do reduction(+:s)
+  do i = 1, n
+    s = s + x(i)*y(i)
+  end do
+  !$omp end target parallel do
+end subroutine
+"#;
+        let (ir, module) = compile(src);
+        let mut memory = Memory::new();
+        let x = memory.alloc(Buffer::F32(vec![1.0, 2.0, 3.0]), 0);
+        let y = memory.alloc(Buffer::F32(vec![4.0, 5.0, 6.0]), 0);
+        let args = vec![
+            RtValue::I32(3),
+            RtValue::MemRef(MemRefVal { buffer: x, shape: vec![3], space: 0 }),
+            RtValue::MemRef(MemRefVal { buffer: y, shape: vec![3], space: 0 }),
+            RtValue::F32(100.0),
+        ];
+        // s starts at 100 (passed by value; reduction adds on top): the final
+        // value is internal to the subroutine, so check via an output array
+        // variant instead — here we just ensure execution succeeds.
+        call_function(&ir, module, "dotp", &args, &mut memory, &mut NoHooks, &mut NoObserver)
+            .unwrap();
+    }
+
+    #[test]
+    fn if_and_swap_executes() {
+        let src = r#"
+subroutine swapfirst(b, n, l)
+  integer :: n, l
+  real :: b(n), t
+  t = b(l)
+  if (l /= 1) then
+    b(l) = b(1)
+    b(1) = t
+  end if
+end subroutine
+"#;
+        let (ir, module) = compile(src);
+        let mut memory = Memory::new();
+        let bbuf = memory.alloc(Buffer::F32(vec![10.0, 20.0, 30.0]), 0);
+        let args = vec![
+            RtValue::MemRef(MemRefVal { buffer: bbuf, shape: vec![3], space: 0 }),
+            RtValue::I32(3),
+            RtValue::I32(3),
+        ];
+        call_function(&ir, module, "swapfirst", &args, &mut memory, &mut NoHooks, &mut NoObserver)
+            .unwrap();
+        assert_eq!(memory.get(bbuf), &Buffer::F32(vec![30.0, 20.0, 10.0]));
+    }
+
+    #[test]
+    fn nested_data_region_lowering_has_device_semantics_ops() {
+        let src = r#"
+program main
+  real :: a(100), b(100)
+  integer :: i
+  !$omp target data map(from: a)
+  !$omp target map(to: b)
+  do i = 1, 100
+    a(i) = b(i) + 1.0
+  end do
+  !$omp end target
+  !$omp end target data
+end program
+"#;
+        let (ir, module) = compile(src);
+        let text = print_op(&ir, module);
+        assert!(text.contains("omp.target_data"), "{text}");
+        // a is implicit inside the inner target.
+        assert!(text.contains("tofrom::implicit"), "{text}");
+        assert!(text.contains("map_type = \"to\""), "{text}");
+        assert!(text.contains("map_type = \"from\""), "{text}");
+    }
+}

@@ -1,0 +1,907 @@
+//! Recursive-descent parser for the Fortran subset, including OpenMP
+//! directive parsing (directives arrive as single [`Token::OmpDirective`]
+//! tokens and are parsed by a small clause sub-parser).
+
+use crate::ast::*;
+use crate::lexer::{lex, Lexed, Token};
+
+/// Parse failure with source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// Parse Fortran source into a [`Program`].
+pub fn parse(source: &str) -> Result<Program, FrontendError> {
+    let toks = lex(source);
+    let mut p = Parser { toks, pos: 0 };
+    p.parse_program()
+}
+
+struct Parser {
+    toks: Vec<Lexed>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, FrontendError>;
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].token
+    }
+
+    fn peek2(&self) -> &Token {
+        let i = (self.pos + 1).min(self.toks.len() - 1);
+        &self.toks[i].token
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].token.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(FrontendError {
+            line: self.line(),
+            message: msg.into(),
+        })
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Token::Newline) {
+            self.bump();
+        }
+    }
+
+    fn expect_newline(&mut self) -> PResult<()> {
+        match self.peek() {
+            Token::Newline | Token::Eof => {
+                self.skip_newlines();
+                Ok(())
+            }
+            other => self.err(format!("expected end of statement, found {other:?}")),
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Token::Ident(s) if s == word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == word)
+    }
+
+    fn expect_ident(&mut self, word: &str) -> PResult<()> {
+        if self.eat_ident(word) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{word}', found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Token::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{p}', found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    // ---- program structure ------------------------------------------------------
+
+    fn parse_program(&mut self) -> PResult<Program> {
+        let mut program = Program::default();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Token::Eof => break,
+                Token::Ident(s) if s == "program" => {
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect_newline()?;
+                    let unit = self.parse_unit_body(UnitKind::Program, name, vec![])?;
+                    program.units.push(unit);
+                }
+                Token::Ident(s) if s == "subroutine" => {
+                    self.bump();
+                    let name = self.ident()?;
+                    let mut args = vec![];
+                    if self.eat_punct("(") {
+                        if !self.eat_punct(")") {
+                            loop {
+                                args.push(self.ident()?);
+                                if !self.eat_punct(",") {
+                                    break;
+                                }
+                            }
+                            self.expect_punct(")")?;
+                        }
+                    }
+                    self.expect_newline()?;
+                    let unit = self.parse_unit_body(UnitKind::Subroutine, name, args)?;
+                    program.units.push(unit);
+                }
+                other => return self.err(format!("expected program unit, found {other:?}")),
+            }
+        }
+        if program.units.is_empty() {
+            return self.err("no program units found");
+        }
+        Ok(program)
+    }
+
+    fn parse_unit_body(
+        &mut self,
+        kind: UnitKind,
+        name: String,
+        args: Vec<String>,
+    ) -> PResult<ProgramUnit> {
+        let decls = self.parse_decls()?;
+        let body = self.parse_stmt_list(&["end"])?;
+        // Consume `end [subroutine|program] [name]`.
+        self.expect_ident("end")?;
+        if self.eat_ident("subroutine") || self.eat_ident("program") {
+            let _ = matches!(self.peek(), Token::Ident(_)).then(|| self.bump());
+        }
+        self.expect_newline()?;
+        Ok(ProgramUnit {
+            kind,
+            name,
+            args,
+            decls,
+            body,
+        })
+    }
+
+    fn parse_decls(&mut self) -> PResult<Vec<Decl>> {
+        let mut decls = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.peek_ident("implicit") {
+                self.bump();
+                self.expect_ident("none")?;
+                self.expect_newline()?;
+                continue;
+            }
+            let is_type = matches!(self.peek(), Token::Ident(s) if matches!(s.as_str(), "real" | "integer" | "logical"));
+            if !is_type {
+                break;
+            }
+            // Lookahead guard: `real = 1.0` would be an assignment to a
+            // variable named `real` — not supported, treat as decl start only
+            // if followed by `(`, `::`, `,` or an identifier.
+            if matches!(self.peek2(), Token::Punct("=")) {
+                break;
+            }
+            let line = self.line();
+            let ty = self.parse_type_spec()?;
+            // Optional attributes up to `::`, e.g. `, intent(in)`, `, dimension(n)`.
+            let mut dim_attr: Vec<Expr> = vec![];
+            while self.eat_punct(",") {
+                let attr = self.ident()?;
+                if attr == "dimension" {
+                    self.expect_punct("(")?;
+                    loop {
+                        dim_attr.push(self.parse_expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                } else if self.eat_punct("(") {
+                    // intent(in) etc. — skip parenthesized payload.
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match self.bump() {
+                            Token::Punct("(") => depth += 1,
+                            Token::Punct(")") => depth -= 1,
+                            Token::Eof => return self.err("unterminated attribute"),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            let _ = self.eat_punct("::");
+            loop {
+                let ename = self.ident()?;
+                let mut dims = dim_attr.clone();
+                if self.eat_punct("(") {
+                    dims.clear();
+                    loop {
+                        dims.push(self.parse_expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                decls.push(Decl {
+                    line,
+                    name: ename,
+                    ty,
+                    dims,
+                });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_newline()?;
+        }
+        Ok(decls)
+    }
+
+    fn parse_type_spec(&mut self) -> PResult<FType> {
+        let base = self.ident()?;
+        let mut kind: u8 = 4;
+        if self.eat_punct("(") {
+            match self.bump() {
+                Token::Int(k) => kind = k as u8,
+                other => return self.err(format!("expected kind, found {other:?}")),
+            }
+            self.expect_punct(")")?;
+        }
+        match base.as_str() {
+            "real" => Ok(FType::Real(kind)),
+            "integer" => Ok(FType::Integer(kind)),
+            "logical" => Ok(FType::Logical),
+            other => self.err(format!("unknown type '{other}'")),
+        }
+    }
+
+    // ---- statements -----------------------------------------------------------------
+
+    /// Parse statements until one of `terminators` (an identifier keyword like
+    /// "end"/"else") or an `!$omp end ...` directive is next.
+    fn parse_stmt_list(&mut self, terminators: &[&str]) -> PResult<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Token::Eof => break,
+                Token::Ident(s) if terminators.contains(&s.as_str()) => break,
+                Token::OmpDirective(d) if d.starts_with("end") => break,
+                _ => {
+                    let stmt = self.parse_stmt()?;
+                    stmts.push(stmt);
+                }
+            }
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            Token::OmpDirective(d) => {
+                self.bump();
+                self.skip_newlines();
+                self.parse_omp_construct(line, &d)
+            }
+            Token::Ident(s) => match s.as_str() {
+                "do" => self.parse_do(line),
+                "if" => self.parse_if(line),
+                "call" => {
+                    self.bump();
+                    let name = self.ident()?;
+                    let mut args = vec![];
+                    if self.eat_punct("(") && !self.eat_punct(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct(")")?;
+                    }
+                    self.expect_newline()?;
+                    Ok(Stmt::Call { line, name, args })
+                }
+                "return" => {
+                    self.bump();
+                    self.expect_newline()?;
+                    Ok(Stmt::Return { line })
+                }
+                _ => self.parse_assignment(line),
+            },
+            other => self.err(format!("expected statement, found {other:?}")),
+        }
+    }
+
+    fn parse_assignment(&mut self, line: u32) -> PResult<Stmt> {
+        let name = self.ident()?;
+        let mut subscripts = vec![];
+        if self.eat_punct("(") {
+            loop {
+                subscripts.push(self.parse_expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        self.expect_punct("=")?;
+        let value = self.parse_expr()?;
+        self.expect_newline()?;
+        Ok(Stmt::Assign {
+            line,
+            target: Designator { name, subscripts },
+            value,
+        })
+    }
+
+    fn parse_do(&mut self, line: u32) -> PResult<Stmt> {
+        self.expect_ident("do")?;
+        let var = self.ident()?;
+        self.expect_punct("=")?;
+        let from = self.parse_expr()?;
+        self.expect_punct(",")?;
+        let to = self.parse_expr()?;
+        let step = if self.eat_punct(",") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.expect_newline()?;
+        let body = self.parse_stmt_list(&["end", "enddo"])?;
+        if self.eat_ident("enddo") {
+        } else {
+            self.expect_ident("end")?;
+            self.expect_ident("do")?;
+        }
+        self.expect_newline()?;
+        Ok(Stmt::Do {
+            line,
+            var,
+            from,
+            to,
+            step,
+            body,
+        })
+    }
+
+    fn parse_if(&mut self, line: u32) -> PResult<Stmt> {
+        self.expect_ident("if")?;
+        self.expect_punct("(")?;
+        let cond = self.parse_expr()?;
+        self.expect_punct(")")?;
+        if self.eat_ident("then") {
+            self.expect_newline()?;
+            let then_body = self.parse_stmt_list(&["else", "end", "endif"])?;
+            let mut else_body = vec![];
+            if self.eat_ident("else") {
+                self.expect_newline()?;
+                else_body = self.parse_stmt_list(&["end", "endif"])?;
+            }
+            if self.eat_ident("endif") {
+            } else {
+                self.expect_ident("end")?;
+                self.expect_ident("if")?;
+            }
+            self.expect_newline()?;
+            Ok(Stmt::If {
+                line,
+                cond,
+                then_body,
+                else_body,
+            })
+        } else {
+            // Logical if: single statement on the same line.
+            let stmt = self.parse_stmt()?;
+            Ok(Stmt::If {
+                line,
+                cond,
+                then_body: vec![stmt],
+                else_body: vec![],
+            })
+        }
+    }
+
+    // ---- OpenMP directives ---------------------------------------------------------
+
+    fn parse_omp_construct(&mut self, line: u32, directive: &str) -> PResult<Stmt> {
+        let d = DirectiveParser::new(directive);
+        let words = d.leading_words();
+        match words.as_slice() {
+            ["target", "data", ..] => {
+                let maps = d.parse_maps().map_err(|m| self.dir_err(line, m))?;
+                let body = self.parse_stmt_list(&[])?;
+                self.expect_omp_end(&["target", "data"], line)?;
+                Ok(Stmt::OmpTargetData { line, maps, body })
+            }
+            ["target", "enter", "data", ..] => {
+                let maps = d.parse_maps().map_err(|m| self.dir_err(line, m))?;
+                Ok(Stmt::OmpEnterData { line, maps })
+            }
+            ["target", "exit", "data", ..] => {
+                let maps = d.parse_maps().map_err(|m| self.dir_err(line, m))?;
+                Ok(Stmt::OmpExitData { line, maps })
+            }
+            ["target", "update", ..] => {
+                let (motion, vars) = d.parse_update().map_err(|m| self.dir_err(line, m))?;
+                Ok(Stmt::OmpUpdate { line, motion, vars })
+            }
+            ["target", "parallel", "do", ..] | ["target", "teams", ..] => {
+                let directive = d.parse_loop_directive().map_err(|m| self.dir_err(line, m))?;
+                self.skip_newlines();
+                let loop_line = self.line();
+                let loop_stmt = self.parse_do(loop_line)?;
+                // Optional `!$omp end target parallel do [simd]`.
+                self.skip_newlines();
+                if matches!(self.peek(), Token::OmpDirective(e) if e.starts_with("end target parallel do")
+                    || e.starts_with("target end parallel do"))
+                {
+                    self.bump();
+                    self.skip_newlines();
+                }
+                Ok(Stmt::OmpTargetLoop {
+                    line,
+                    directive,
+                    loop_stmt: Box::new(loop_stmt),
+                })
+            }
+            ["target", ..] => {
+                let maps = d.parse_maps().map_err(|m| self.dir_err(line, m))?;
+                let body = self.parse_stmt_list(&[])?;
+                self.expect_omp_end(&["target"], line)?;
+                Ok(Stmt::OmpTarget { line, maps, body })
+            }
+            other => self.err(format!("unsupported OpenMP directive: {other:?}")),
+        }
+    }
+
+    fn dir_err(&self, line: u32, message: String) -> FrontendError {
+        FrontendError { line, message }
+    }
+
+    fn expect_omp_end(&mut self, words: &[&str], line: u32) -> PResult<()> {
+        self.skip_newlines();
+        match self.peek().clone() {
+            Token::OmpDirective(d) => {
+                let expected = format!("end {}", words.join(" "));
+                if d.trim() == expected {
+                    self.bump();
+                    self.skip_newlines();
+                    Ok(())
+                } else {
+                    self.err(format!("expected '!$omp {expected}', found '!$omp {d}'"))
+                }
+            }
+            other => Err(FrontendError {
+                line,
+                message: format!("unterminated OpenMP construct; found {other:?}"),
+            }),
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------------------
+
+    fn parse_expr(&mut self) -> PResult<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_and()?;
+        while matches!(self.peek(), Token::DotOp(s) if s == "or") {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_not()?;
+        while matches!(self.peek(), Token::DotOp(s) if s == "and") {
+            self.bump();
+            let rhs = self.parse_not()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> PResult<Expr> {
+        if matches!(self.peek(), Token::DotOp(s) if s == "not") {
+            self.bump();
+            let e = self.parse_not()?;
+            return Ok(Expr::Un(UnOp::Not, Box::new(e)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            Token::Punct("==") => Some(BinOp::Eq),
+            Token::Punct("/=") => Some(BinOp::Ne),
+            Token::Punct("<") => Some(BinOp::Lt),
+            Token::Punct("<=") => Some(BinOp::Le),
+            Token::Punct(">") => Some(BinOp::Gt),
+            Token::Punct(">=") => Some(BinOp::Ge),
+            Token::DotOp(s) => match s.as_str() {
+                "eq" => Some(BinOp::Eq),
+                "ne" => Some(BinOp::Ne),
+                "lt" => Some(BinOp::Lt),
+                "le" => Some(BinOp::Le),
+                "gt" => Some(BinOp::Gt),
+                "ge" => Some(BinOp::Ge),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_additive()?;
+            Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_additive(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Punct("+") => BinOp::Add,
+                Token::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Punct("*") => BinOp::Mul,
+                Token::Punct("/") => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        if self.eat_punct("-") {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Un(UnOp::Neg, Box::new(e)));
+        }
+        if self.eat_punct("+") {
+            return self.parse_unary();
+        }
+        self.parse_power()
+    }
+
+    fn parse_power(&mut self) -> PResult<Expr> {
+        let base = self.parse_primary()?;
+        if self.eat_punct("**") {
+            // Right-associative.
+            let exp = self.parse_unary()?;
+            return Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        match self.bump() {
+            Token::Int(v) => Ok(Expr::IntLit(v)),
+            Token::Real { value, double } => Ok(Expr::RealLit { value, double }),
+            Token::DotOp(s) if s == "true" => Ok(Expr::LogicalLit(true)),
+            Token::DotOp(s) if s == "false" => Ok(Expr::LogicalLit(false)),
+            Token::Ident(name) => {
+                if self.eat_punct("(") {
+                    let mut args = vec![];
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct(")")?;
+                    }
+                    Ok(Expr::Index(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Token::Punct("(") => {
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// Sub-parser for the clause text of an `!$omp` directive.
+struct DirectiveParser<'a> {
+    text: &'a str,
+}
+
+impl<'a> DirectiveParser<'a> {
+    fn new(text: &'a str) -> Self {
+        DirectiveParser { text }
+    }
+
+    /// Words before the first clause parenthesis (the construct name).
+    fn leading_words(&self) -> Vec<&'a str> {
+        self.text
+            .split_whitespace()
+            .take_while(|w| !w.contains('('))
+            .collect()
+    }
+
+    /// All `map(type: a, b)` clauses.
+    fn parse_maps(&self) -> Result<Vec<MapClause>, String> {
+        let mut maps = Vec::new();
+        let mut rest = self.text;
+        while let Some(pos) = rest.find("map(") {
+            let after = &rest[pos + 4..];
+            let close = after
+                .find(')')
+                .ok_or_else(|| "unterminated map clause".to_string())?;
+            let inner = &after[..close];
+            let (mt, vars) = inner
+                .split_once(':')
+                .ok_or_else(|| format!("map clause '{inner}' missing ':'"))?;
+            let map_type = mt.trim().to_string();
+            if !matches!(map_type.as_str(), "to" | "from" | "tofrom" | "alloc") {
+                return Err(format!("unsupported map type '{map_type}'"));
+            }
+            let vars: Vec<String> = vars
+                .split(',')
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .collect();
+            maps.push(MapClause { map_type, vars });
+            rest = &after[close..];
+        }
+        Ok(maps)
+    }
+
+    /// `target update from(a) to(b)` motions.
+    fn parse_update(&self) -> Result<(String, Vec<String>), String> {
+        for motion in ["from", "to"] {
+            if let Some(pos) = self.text.find(&format!("{motion}(")) {
+                let after = &self.text[pos + motion.len() + 1..];
+                let close = after
+                    .find(')')
+                    .ok_or_else(|| "unterminated update clause".to_string())?;
+                let vars: Vec<String> = after[..close]
+                    .split(',')
+                    .map(|v| v.trim().to_string())
+                    .filter(|v| !v.is_empty())
+                    .collect();
+                return Ok((motion.to_string(), vars));
+            }
+        }
+        Err("target update requires from(...) or to(...)".into())
+    }
+
+    /// Clauses of `target parallel do [simd] [simdlen(n)] [reduction(op:v)] [map(...)]`.
+    fn parse_loop_directive(&self) -> Result<OmpLoopDirective, String> {
+        let mut out = OmpLoopDirective {
+            simd: self
+                .text
+                .split_whitespace()
+                .any(|w| w == "simd" || w.starts_with("simd(")),
+            ..Default::default()
+        };
+        if let Some(pos) = self.text.find("simdlen(") {
+            let after = &self.text[pos + 8..];
+            let close = after.find(')').ok_or("unterminated simdlen")?;
+            let n: i64 = after[..close]
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad simdlen '{}'", &after[..close]))?;
+            out.simdlen = Some(n);
+            out.simd = true;
+        }
+        if let Some(pos) = self.text.find("reduction(") {
+            let after = &self.text[pos + 10..];
+            let close = after.find(')').ok_or("unterminated reduction")?;
+            let inner = &after[..close];
+            let (op, var) = inner
+                .split_once(':')
+                .ok_or_else(|| format!("reduction clause '{inner}' missing ':'"))?;
+            out.reduction = Some((op.trim().to_string(), var.trim().to_string()));
+        }
+        out.maps = self.parse_maps()?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAXPY: &str = r#"
+subroutine saxpy(n, a, x, y)
+  implicit none
+  integer :: n, i
+  real :: a, x(n), y(n)
+  !$omp target parallel do simd simdlen(10)
+  do i = 1, n
+    y(i) = y(i) + a*x(i)
+  end do
+  !$omp end target parallel do simd
+end subroutine saxpy
+"#;
+
+    #[test]
+    fn parses_saxpy() {
+        let p = parse(SAXPY).unwrap();
+        assert_eq!(p.units.len(), 1);
+        let u = &p.units[0];
+        assert_eq!(u.name, "saxpy");
+        assert_eq!(u.args, vec!["n", "a", "x", "y"]);
+        assert_eq!(u.decls.len(), 5);
+        assert_eq!(u.body.len(), 1);
+        let Stmt::OmpTargetLoop { directive, loop_stmt, .. } = &u.body[0] else {
+            panic!("expected OmpTargetLoop, got {:?}", u.body[0]);
+        };
+        assert!(directive.simd);
+        assert_eq!(directive.simdlen, Some(10));
+        let Stmt::Do { var, body, .. } = loop_stmt.as_ref() else {
+            panic!("expected do loop");
+        };
+        assert_eq!(var, "i");
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn parses_nested_data_region() {
+        let src = r#"
+program main
+  real :: a(100), b(100)
+  integer :: i
+  !$omp target data map(from: a)
+  !$omp target map(to: b)
+  do i = 1, 100
+    a(i) = b(i)
+  end do
+  !$omp end target
+  !$omp target update from(a)
+  !$omp end target data
+end program
+"#;
+        let p = parse(src).unwrap();
+        let u = &p.units[0];
+        let Stmt::OmpTargetData { maps, body, .. } = &u.body[0] else {
+            panic!("expected target data");
+        };
+        assert_eq!(maps.len(), 1);
+        assert_eq!(maps[0].map_type, "from");
+        assert_eq!(maps[0].vars, vec!["a"]);
+        assert_eq!(body.len(), 2);
+        assert!(matches!(&body[0], Stmt::OmpTarget { maps, .. } if maps[0].map_type == "to"));
+        assert!(matches!(&body[1], Stmt::OmpUpdate { motion, vars, .. } if motion == "from" && vars == &["a"]));
+    }
+
+    #[test]
+    fn parses_sgesl_style_loop() {
+        let src = r#"
+subroutine solve(a, lda, n, ipvt, b)
+  integer :: lda, n, k, l, j
+  integer :: ipvt(n)
+  real :: a(lda, n), b(n), t
+  do k = 1, n - 1
+    l = ipvt(k)
+    t = b(l)
+    if (l /= k) then
+      b(l) = b(k)
+      b(k) = t
+    end if
+    !$omp target parallel do
+    do j = k + 1, n
+      b(j) = b(j) + t*a(j, k)
+    end do
+    !$omp end target parallel do
+  end do
+end subroutine
+"#;
+        let p = parse(src).unwrap();
+        let u = &p.units[0];
+        let Stmt::Do { body, .. } = &u.body[0] else {
+            panic!("expected outer do");
+        };
+        assert_eq!(body.len(), 4);
+        assert!(matches!(&body[3], Stmt::OmpTargetLoop { .. }));
+        let Stmt::If { cond, then_body, .. } = &body[2] else {
+            panic!("expected if")
+        };
+        assert!(matches!(cond, Expr::Bin(BinOp::Ne, _, _)));
+        assert_eq!(then_body.len(), 2);
+    }
+
+    #[test]
+    fn parses_reduction_clause() {
+        let src = r#"
+subroutine dotp(n, x, y, s)
+  integer :: n, i
+  real :: x(n), y(n), s
+  s = 0.0
+  !$omp target parallel do reduction(+:s)
+  do i = 1, n
+    s = s + x(i)*y(i)
+  end do
+  !$omp end target parallel do
+end subroutine
+"#;
+        let p = parse(src).unwrap();
+        let Stmt::OmpTargetLoop { directive, .. } = &p.units[0].body[1] else {
+            panic!("expected loop");
+        };
+        assert_eq!(directive.reduction, Some(("+".to_string(), "s".to_string())));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = "program p\nreal :: x\nx = 1 + 2*3**2\nend program\n";
+        let p = parse(src).unwrap();
+        let Stmt::Assign { value, .. } = &p.units[0].body[0] else {
+            panic!()
+        };
+        // 1 + (2 * (3**2))
+        let Expr::Bin(BinOp::Add, _, r) = value else { panic!("{value:?}") };
+        let Expr::Bin(BinOp::Mul, _, rr) = r.as_ref() else { panic!() };
+        assert!(matches!(rr.as_ref(), Expr::Bin(BinOp::Pow, _, _)));
+    }
+
+    #[test]
+    fn unterminated_target_is_error() {
+        let src = "program p\nreal :: a(4)\n!$omp target data map(from: a)\na(1) = 0.0\nend program\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn mismatched_map_type_is_error() {
+        let src = "program p\nreal :: a(4)\n!$omp target data map(sideways: a)\n!$omp end target data\nend program\n";
+        assert!(parse(src).is_err());
+    }
+}

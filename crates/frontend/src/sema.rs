@@ -1,0 +1,503 @@
+//! Semantic analysis: symbol tables, reference/arity checking and expression
+//! typing for the Fortran subset.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+
+/// Intrinsic functions the lowering knows how to expand inline.
+pub const INTRINSICS: &[&str] = &["abs", "max", "min", "mod", "real", "int"];
+
+/// A declared entity.
+#[derive(Clone, Debug)]
+pub struct Symbol {
+    pub ty: FType,
+    /// Extent expressions (empty = scalar).
+    pub dims: Vec<Expr>,
+    pub is_arg: bool,
+}
+
+impl Symbol {
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+}
+
+/// Per-unit analysis results.
+#[derive(Clone, Debug)]
+pub struct UnitInfo {
+    pub name: String,
+    pub symbols: HashMap<String, Symbol>,
+}
+
+impl UnitInfo {
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.get(name)
+    }
+}
+
+/// Whole-program analysis results.
+#[derive(Clone, Debug, Default)]
+pub struct SemaInfo {
+    pub units: HashMap<String, UnitInfo>,
+}
+
+/// Semantic error with source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for SemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// Analyze a program: build symbol tables and type-check every statement.
+pub fn analyze(program: &Program) -> Result<SemaInfo, SemaError> {
+    let mut info = SemaInfo::default();
+    for unit in &program.units {
+        let unit_info = analyze_unit(unit)?;
+        info.units.insert(unit.name.clone(), unit_info);
+    }
+    // Check calls resolve to subroutines with matching arity (or are external).
+    for unit in &program.units {
+        check_calls(&unit.body, program, unit)?;
+    }
+    Ok(info)
+}
+
+fn analyze_unit(unit: &ProgramUnit) -> Result<UnitInfo, SemaError> {
+    let mut symbols: HashMap<String, Symbol> = HashMap::new();
+    for decl in &unit.decls {
+        if symbols.contains_key(&decl.name) {
+            return Err(SemaError {
+                line: decl.line,
+                message: format!("'{}' declared twice", decl.name),
+            });
+        }
+        symbols.insert(
+            decl.name.clone(),
+            Symbol {
+                ty: decl.ty,
+                dims: decl.dims.clone(),
+                is_arg: unit.args.contains(&decl.name),
+            },
+        );
+    }
+    for arg in &unit.args {
+        if !symbols.contains_key(arg) {
+            return Err(SemaError {
+                line: 0,
+                message: format!("argument '{arg}' of '{}' has no declaration", unit.name),
+            });
+        }
+    }
+    // Array extent expressions may only reference declared integer scalars
+    // and literals.
+    for decl in &unit.decls {
+        for dim in &decl.dims {
+            let mut vars = vec![];
+            dim.collect_vars(&mut vars);
+            for v in vars {
+                let Some(sym) = symbols.get(&v) else {
+                    return Err(SemaError {
+                        line: decl.line,
+                        message: format!("extent of '{}' references undeclared '{v}'", decl.name),
+                    });
+                };
+                if !sym.ty.is_integer() || sym.is_array() {
+                    return Err(SemaError {
+                        line: decl.line,
+                        message: format!("extent of '{}' must use integer scalars", decl.name),
+                    });
+                }
+            }
+        }
+    }
+    let info = UnitInfo {
+        name: unit.name.clone(),
+        symbols,
+    };
+    check_stmts(&unit.body, &info)?;
+    Ok(info)
+}
+
+fn check_stmts(stmts: &[Stmt], info: &UnitInfo) -> Result<(), SemaError> {
+    for stmt in stmts {
+        check_stmt(stmt, info)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(stmt: &Stmt, info: &UnitInfo) -> Result<(), SemaError> {
+    let line = stmt.line();
+    match stmt {
+        Stmt::Assign { target, value, .. } => {
+            let Some(sym) = info.symbol(&target.name) else {
+                return err(line, format!("assignment to undeclared '{}'", target.name));
+            };
+            if target.subscripts.is_empty() {
+                if sym.is_array() {
+                    return err(line, format!("whole-array assignment to '{}' unsupported", target.name));
+                }
+            } else {
+                if !sym.is_array() {
+                    return err(line, format!("'{}' is not an array", target.name));
+                }
+                if target.subscripts.len() != sym.dims.len() {
+                    return err(
+                        line,
+                        format!(
+                            "'{}' has rank {}, {} subscripts given",
+                            target.name,
+                            sym.dims.len(),
+                            target.subscripts.len()
+                        ),
+                    );
+                }
+                for s in &target.subscripts {
+                    let t = type_of(s, info, line)?;
+                    if !t.is_integer() {
+                        return err(line, format!("subscript of '{}' must be integer", target.name));
+                    }
+                }
+            }
+            let vt = type_of(value, info, line)?;
+            let tt = sym.ty;
+            let compatible = match (tt, vt) {
+                (FType::Logical, FType::Logical) => true,
+                (FType::Logical, _) | (_, FType::Logical) => false,
+                _ => true, // numeric conversions are implicit in Fortran
+            };
+            if !compatible {
+                return err(line, format!("type mismatch assigning to '{}'", target.name));
+            }
+            Ok(())
+        }
+        Stmt::Do {
+            var,
+            from,
+            to,
+            step,
+            body,
+            ..
+        } => {
+            let Some(sym) = info.symbol(var) else {
+                return err(line, format!("loop variable '{var}' not declared"));
+            };
+            if !sym.ty.is_integer() || sym.is_array() {
+                return err(line, format!("loop variable '{var}' must be an integer scalar"));
+            }
+            for e in [Some(from), Some(to), step.as_ref()].into_iter().flatten() {
+                let t = type_of(e, info, line)?;
+                if !t.is_integer() {
+                    return err(line, "do-loop bounds must be integers".into());
+                }
+            }
+            check_stmts(body, info)
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let t = type_of(cond, info, line)?;
+            if t != FType::Logical {
+                return err(line, "if condition must be logical".into());
+            }
+            check_stmts(then_body, info)?;
+            check_stmts(else_body, info)
+        }
+        Stmt::Call { args, .. } => {
+            for a in args {
+                // Whole arrays may be passed as actual arguments.
+                if let Expr::Var(n) = a {
+                    if info.symbol(n).is_some_and(|s| s.is_array()) {
+                        continue;
+                    }
+                }
+                type_of(a, info, line)?;
+            }
+            Ok(())
+        }
+        Stmt::Return { .. } => Ok(()),
+        Stmt::OmpTargetData { maps, body, .. } | Stmt::OmpTarget { maps, body, .. } => {
+            check_maps(maps, info, line)?;
+            check_stmts(body, info)
+        }
+        Stmt::OmpTargetLoop {
+            directive,
+            loop_stmt,
+            ..
+        } => {
+            check_maps(&directive.maps, info, line)?;
+            if let Some((op, var)) = &directive.reduction {
+                if ReductionOpCheck::parse(op).is_none() {
+                    return err(line, format!("unsupported reduction operator '{op}'"));
+                }
+                let Some(sym) = info.symbol(var) else {
+                    return err(line, format!("reduction variable '{var}' not declared"));
+                };
+                if sym.is_array() {
+                    return err(line, format!("reduction variable '{var}' must be scalar"));
+                }
+            }
+            if let Some(n) = directive.simdlen {
+                if n <= 0 {
+                    return err(line, "simdlen must be positive".into());
+                }
+            }
+            if !matches!(loop_stmt.as_ref(), Stmt::Do { .. }) {
+                return err(line, "target parallel do must be followed by a do loop".into());
+            }
+            check_stmt(loop_stmt, info)
+        }
+        Stmt::OmpEnterData { maps, .. } | Stmt::OmpExitData { maps, .. } => {
+            check_maps(maps, info, line)
+        }
+        Stmt::OmpUpdate { vars, .. } => {
+            for v in vars {
+                if info.symbol(v).is_none() {
+                    return err(line, format!("target update of undeclared '{v}'"));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+struct ReductionOpCheck;
+
+impl ReductionOpCheck {
+    fn parse(op: &str) -> Option<&'static str> {
+        match op {
+            "+" => Some("add"),
+            "*" => Some("mul"),
+            "max" => Some("max"),
+            "min" => Some("min"),
+            _ => None,
+        }
+    }
+}
+
+fn check_maps(maps: &[MapClause], info: &UnitInfo, line: u32) -> Result<(), SemaError> {
+    for m in maps {
+        for v in &m.vars {
+            if info.symbol(v).is_none() {
+                return err(line, format!("map clause references undeclared '{v}'"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_calls(stmts: &[Stmt], program: &Program, unit: &ProgramUnit) -> Result<(), SemaError> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Call { name, args, line } => {
+                if let Some(callee) = program.unit(name) {
+                    if callee.args.len() != args.len() {
+                        return err(
+                            *line,
+                            format!(
+                                "call to '{name}' passes {} args, expects {}",
+                                args.len(),
+                                callee.args.len()
+                            ),
+                        );
+                    }
+                }
+            }
+            Stmt::Do { body, .. } => check_calls(body, program, unit)?,
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                check_calls(then_body, program, unit)?;
+                check_calls(else_body, program, unit)?;
+            }
+            Stmt::OmpTargetData { body, .. } | Stmt::OmpTarget { body, .. } => {
+                check_calls(body, program, unit)?;
+            }
+            Stmt::OmpTargetLoop { loop_stmt, .. } => {
+                check_calls(std::slice::from_ref(loop_stmt.as_ref()), program, unit)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn err<T>(line: u32, message: String) -> Result<T, SemaError> {
+    Err(SemaError { line, message })
+}
+
+/// Type of an expression under `info`'s symbol table.
+pub fn type_of(expr: &Expr, info: &UnitInfo, line: u32) -> Result<FType, SemaError> {
+    match expr {
+        Expr::IntLit(_) => Ok(FType::Integer(4)),
+        Expr::RealLit { double, .. } => Ok(FType::Real(if *double { 8 } else { 4 })),
+        Expr::LogicalLit(_) => Ok(FType::Logical),
+        Expr::Var(name) => {
+            let Some(sym) = info.symbol(name) else {
+                return err(line, format!("reference to undeclared '{name}'"));
+            };
+            if sym.is_array() {
+                return err(line, format!("array '{name}' used without subscripts"));
+            }
+            Ok(sym.ty)
+        }
+        Expr::Index(name, args) => {
+            if let Some(sym) = info.symbol(name) {
+                if !sym.is_array() {
+                    return err(line, format!("'{name}' is not an array"));
+                }
+                if args.len() != sym.dims.len() {
+                    return err(
+                        line,
+                        format!("'{name}' has rank {}, {} subscripts given", sym.dims.len(), args.len()),
+                    );
+                }
+                for a in args {
+                    let t = type_of(a, info, line)?;
+                    if !t.is_integer() {
+                        return err(line, format!("subscript of '{name}' must be integer"));
+                    }
+                }
+                Ok(sym.ty)
+            } else if INTRINSICS.contains(&name.as_str()) {
+                let mut ty = FType::Integer(4);
+                for a in args {
+                    ty = promote(ty, type_of(a, info, line)?);
+                }
+                match name.as_str() {
+                    "real" => Ok(FType::Real(4)),
+                    "int" => Ok(FType::Integer(4)),
+                    _ => Ok(ty),
+                }
+            } else {
+                err(line, format!("reference to undeclared array or function '{name}'"))
+            }
+        }
+        Expr::Bin(op, l, r) => {
+            let lt = type_of(l, info, line)?;
+            let rt = type_of(r, info, line)?;
+            if op.is_logical() {
+                if lt != FType::Logical || rt != FType::Logical {
+                    return err(line, "logical operator requires logical operands".into());
+                }
+                return Ok(FType::Logical);
+            }
+            if lt == FType::Logical || rt == FType::Logical {
+                return err(line, "numeric operator applied to logical operand".into());
+            }
+            if op.is_comparison() {
+                return Ok(FType::Logical);
+            }
+            Ok(promote(lt, rt))
+        }
+        Expr::Un(UnOp::Neg, e) => {
+            let t = type_of(e, info, line)?;
+            if t == FType::Logical {
+                return err(line, "cannot negate a logical".into());
+            }
+            Ok(t)
+        }
+        Expr::Un(UnOp::Not, e) => {
+            let t = type_of(e, info, line)?;
+            if t != FType::Logical {
+                return err(line, ".not. requires a logical operand".into());
+            }
+            Ok(FType::Logical)
+        }
+    }
+}
+
+/// Fortran numeric promotion: real beats integer; wider kind beats narrower.
+pub fn promote(a: FType, b: FType) -> FType {
+    match (a, b) {
+        (FType::Real(ka), FType::Real(kb)) => FType::Real(ka.max(kb)),
+        (FType::Real(k), FType::Integer(_)) | (FType::Integer(_), FType::Real(k)) => FType::Real(k),
+        (FType::Integer(ka), FType::Integer(kb)) => FType::Integer(ka.max(kb)),
+        (FType::Logical, other) | (other, FType::Logical) => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str) -> Result<SemaInfo, SemaError> {
+        analyze(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_unit() {
+        let info = analyze_src(
+            "subroutine s(n, x)\ninteger :: n, i\nreal :: x(n), t\ndo i = 1, n\n t = x(i)\n x(i) = t*2.0\nend do\nend subroutine\n",
+        )
+        .unwrap();
+        let u = &info.units["s"];
+        assert!(u.symbol("x").unwrap().is_array());
+        assert!(u.symbol("n").unwrap().is_arg);
+        assert!(!u.symbol("t").unwrap().is_arg);
+    }
+
+    #[test]
+    fn rejects_undeclared_reference() {
+        let e = analyze_src("program p\nreal :: x\nx = y + 1.0\nend program\n").unwrap_err();
+        assert!(e.message.contains("undeclared 'y'"), "{e}");
+    }
+
+    #[test]
+    fn rejects_rank_mismatch() {
+        let e = analyze_src("program p\nreal :: a(4, 4)\na(1) = 0.0\nend program\n").unwrap_err();
+        assert!(e.message.contains("rank"), "{e}");
+    }
+
+    #[test]
+    fn rejects_logical_arithmetic() {
+        let e = analyze_src("program p\nlogical :: l\nreal :: x\nl = .true.\nx = l + 1.0\nend program\n")
+            .unwrap_err();
+        assert!(e.message.contains("logical"), "{e}");
+    }
+
+    #[test]
+    fn rejects_real_loop_var() {
+        let e = analyze_src("program p\nreal :: r\ndo r = 1, 10\nend do\nend program\n").unwrap_err();
+        assert!(e.message.contains("integer scalar"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_reduction_op() {
+        let e = analyze_src(
+            "subroutine s(n, x, t)\ninteger :: n, i\nreal :: x(n), t\n!$omp target parallel do reduction(-:t)\ndo i = 1, n\n t = t + x(i)\nend do\nend subroutine\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("reduction operator"), "{e}");
+    }
+
+    #[test]
+    fn promotion_rules() {
+        assert_eq!(promote(FType::Integer(4), FType::Real(4)), FType::Real(4));
+        assert_eq!(promote(FType::Real(4), FType::Real(8)), FType::Real(8));
+        assert_eq!(promote(FType::Integer(4), FType::Integer(8)), FType::Integer(8));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let e = analyze_src(
+            "program p\nreal :: x(4)\ncall s(x)\nend program\nsubroutine s(a, n)\ninteger :: n\nreal :: a(n)\nend subroutine\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("passes 1 args"), "{e}");
+    }
+}

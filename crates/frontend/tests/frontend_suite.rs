@@ -1,0 +1,245 @@
+//! Extended frontend suite: language corner cases, diagnostics quality, and
+//! semantics of lowered constructs checked through the interpreter.
+
+use ftn_frontend::{analyze, compile_to_fir, parse};
+use ftn_interp::{call_function, Buffer, Memory, MemRefVal, NoHooks, NoObserver, RtValue};
+use ftn_mlir::Ir;
+
+fn run_unit(src: &str, func: &str, args: Vec<RtValue>, memory: &mut Memory) -> Vec<RtValue> {
+    let mut ir = Ir::new();
+    let module = compile_to_fir(&mut ir, src).expect("compiles");
+    ftn_mlir::verify(&ir, module, &ftn_dialects::registry()).expect("verifies");
+    call_function(&ir, module, func, &args, memory, &mut NoHooks, &mut NoObserver).expect("runs")
+}
+
+#[test]
+fn do_loop_with_step_and_bounds_expressions() {
+    let src = r#"
+subroutine stepped(n, a)
+  implicit none
+  integer :: n, i
+  real :: a(n)
+  do i = 2, n - 1, 3
+    a(i) = 1.0
+  end do
+end subroutine
+"#;
+    let mut memory = Memory::new();
+    let buf = memory.alloc(Buffer::F32(vec![0.0; 10]), 0);
+    run_unit(
+        src,
+        "stepped",
+        vec![
+            RtValue::I32(10),
+            RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![10], space: 0 }),
+        ],
+        &mut memory,
+    );
+    let Buffer::F32(a) = memory.get(buf) else { panic!() };
+    // i = 2, 5, 8 (1-based) -> indices 1, 4, 7.
+    let expect: Vec<f32> = (0..10)
+        .map(|i| if i == 1 || i == 4 || i == 7 { 1.0 } else { 0.0 })
+        .collect();
+    assert_eq!(a, &expect);
+}
+
+#[test]
+fn logical_if_and_operators() {
+    let src = r#"
+subroutine logicals(n, a)
+  implicit none
+  integer :: n, i
+  real :: a(n)
+  logical :: p
+  do i = 1, n
+    p = i > 2 .and. .not. (i == 5)
+    if (p) a(i) = real(i)
+  end do
+end subroutine
+"#;
+    let mut memory = Memory::new();
+    let buf = memory.alloc(Buffer::F32(vec![0.0; 6]), 0);
+    run_unit(
+        src,
+        "logicals",
+        vec![
+            RtValue::I32(6),
+            RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![6], space: 0 }),
+        ],
+        &mut memory,
+    );
+    let Buffer::F32(a) = memory.get(buf) else { panic!() };
+    assert_eq!(a, &vec![0.0, 0.0, 3.0, 4.0, 0.0, 6.0]);
+}
+
+#[test]
+fn intrinsics_abs_max_min_mod() {
+    let src = r#"
+subroutine intr(out)
+  implicit none
+  real :: out(4)
+  integer :: k
+  k = mod(17, 5)
+  out(1) = abs(-2.5)
+  out(2) = max(1.0, 2.5, -3.0)
+  out(3) = min(4.0, real(k))
+  out(4) = real(k)
+end subroutine
+"#;
+    let mut memory = Memory::new();
+    let buf = memory.alloc(Buffer::F32(vec![0.0; 4]), 0);
+    run_unit(
+        src,
+        "intr",
+        vec![RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![4], space: 0 })],
+        &mut memory,
+    );
+    let Buffer::F32(a) = memory.get(buf) else { panic!() };
+    assert_eq!(a, &vec![2.5, 2.5, 2.0, 2.0]);
+}
+
+#[test]
+fn power_operator_with_integer_exponent() {
+    let src = r#"
+subroutine pw(out)
+  implicit none
+  real :: out(2), x
+  x = 3.0
+  out(1) = x**2
+  out(2) = 2.0**3
+end subroutine
+"#;
+    let mut memory = Memory::new();
+    let buf = memory.alloc(Buffer::F32(vec![0.0; 2]), 0);
+    run_unit(
+        src,
+        "pw",
+        vec![RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![2], space: 0 })],
+        &mut memory,
+    );
+    let Buffer::F32(a) = memory.get(buf) else { panic!() };
+    assert_eq!(a, &vec![9.0, 8.0]);
+}
+
+#[test]
+fn subroutine_calls_pass_arrays_and_values() {
+    let src = r#"
+subroutine caller(n, a)
+  implicit none
+  integer :: n
+  real :: a(n)
+  call fill(n, a, 7.5)
+end subroutine
+
+subroutine fill(n, x, v)
+  implicit none
+  integer :: n, i
+  real :: x(n), v
+  do i = 1, n
+    x(i) = v
+  end do
+end subroutine
+"#;
+    let mut memory = Memory::new();
+    let buf = memory.alloc(Buffer::F32(vec![0.0; 3]), 0);
+    run_unit(
+        src,
+        "caller",
+        vec![
+            RtValue::I32(3),
+            RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![3], space: 0 }),
+        ],
+        &mut memory,
+    );
+    assert_eq!(memory.get(buf), &Buffer::F32(vec![7.5; 3]));
+}
+
+#[test]
+fn double_precision_literals_and_mixing() {
+    let src = r#"
+subroutine dp(out)
+  implicit none
+  real(8) :: out(2), x
+  x = 1.5d0
+  out(1) = x * 2
+  out(2) = x + 0.25d0
+end subroutine
+"#;
+    let mut memory = Memory::new();
+    let buf = memory.alloc(Buffer::F64(vec![0.0; 2]), 0);
+    run_unit(
+        src,
+        "dp",
+        vec![RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![2], space: 0 })],
+        &mut memory,
+    );
+    assert_eq!(memory.get(buf), &Buffer::F64(vec![3.0, 1.75]));
+}
+
+// ---- diagnostics -----------------------------------------------------------------
+
+#[test]
+fn error_messages_carry_line_numbers() {
+    let src = "subroutine s(x)\nreal :: x(4)\ninteger :: i\ndo i = 1, 4\n  x(i) = y\nend do\nend subroutine\n";
+    let program = parse(src).unwrap();
+    let err = analyze(&program).unwrap_err();
+    assert_eq!(err.line, 5, "{err}");
+    assert!(err.message.contains("undeclared 'y'"));
+}
+
+#[test]
+fn missing_end_do_is_reported() {
+    let src = "subroutine s()\ninteger :: i\ndo i = 1, 4\nend subroutine\n";
+    assert!(parse(src).is_err());
+}
+
+#[test]
+fn simdlen_without_positive_value_rejected() {
+    let src = "subroutine s(n, x)\ninteger :: n, i\nreal :: x(n)\n!$omp target parallel do simd simdlen(0)\ndo i = 1, n\n x(i) = 0.0\nend do\n!$omp end target parallel do simd\nend subroutine\n";
+    let program = parse(src).unwrap();
+    let err = analyze(&program).unwrap_err();
+    assert!(err.message.contains("simdlen"), "{err}");
+}
+
+#[test]
+fn assignment_inside_firstprivate_region_rejected_at_lowering() {
+    // Writing a scalar inside a *non-loop* target is privatized (allowed);
+    // but assigning to the do-variable of an offloaded loop is not sensible
+    // Fortran — the loop var is controlled by the loop. Check a supported
+    // diagnostic instead: mapping a scalar is rejected.
+    let src = "subroutine s(n, t)\ninteger :: n, i\nreal :: t\n!$omp target data map(to: t)\n!$omp end target data\nend subroutine\n";
+    let mut ir = Ir::new();
+    let err = compile_to_fir(&mut ir, src).unwrap_err();
+    assert!(err.message.contains("scalar"), "{err}");
+}
+
+#[test]
+fn deeply_nested_loops_lower_and_run() {
+    let src = r#"
+subroutine nest(n, a)
+  implicit none
+  integer :: n, i, j, k
+  real :: a(n)
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        a(i) = a(i) + 1.0
+      end do
+    end do
+  end do
+end subroutine
+"#;
+    let mut memory = Memory::new();
+    let buf = memory.alloc(Buffer::F32(vec![0.0; 4]), 0);
+    run_unit(
+        src,
+        "nest",
+        vec![
+            RtValue::I32(4),
+            RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![4], space: 0 }),
+        ],
+        &mut memory,
+    );
+    // Each element accumulates n*n = 16.
+    assert_eq!(memory.get(buf), &Buffer::F32(vec![16.0; 4]));
+}

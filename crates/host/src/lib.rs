@@ -1,0 +1,18 @@
+//! `ftn-host` — the host-side substrate:
+//!
+//! * [`data_env`] — the device data environment: string-identified buffers
+//!   with OpenMP presence counters (`acquire`/`release`/`check_exists`), the
+//!   runtime half of the paper's `device` dialect semantics.
+//! * [`runtime`] — an OpenCL-like runtime executing `device.*` ops against the
+//!   FPGA simulator: kernel handles, launches on worker threads, PCIe
+//!   transfer timing, and run statistics.
+//! * [`cpp_printer`] — the C++-with-OpenCL host-code generator the paper
+//!   feeds to Clang (§3): we emit the source text and snapshot-test it.
+
+pub mod cpp_printer;
+pub mod data_env;
+pub mod runtime;
+
+pub use cpp_printer::print_host_cpp;
+pub use data_env::DataEnvironment;
+pub use runtime::{HostRuntime, RunStats};

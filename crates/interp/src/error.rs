@@ -1,0 +1,24 @@
+//! Interpreter errors.
+
+/// Runtime failure during IR interpretation (type confusion, OOB access,
+/// unknown op, ...).
+#[derive(Debug, Clone)]
+pub struct InterpError {
+    pub message: String,
+}
+
+impl InterpError {
+    pub fn new(message: impl Into<String>) -> Self {
+        InterpError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "interpreter error: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterpError {}

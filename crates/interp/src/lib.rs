@@ -1,0 +1,20 @@
+//! `ftn-interp` — a tree-walking interpreter for the structured dialects
+//! (`arith`, `scf`, `memref`, `func`, plus direct execution of `fir` and `omp`
+//! ops so frontend output can be tested *before* lowering).
+//!
+//! Execution substrates hook in two ways:
+//! * [`DialectHooks`] — intercept ops the interpreter does not know (the host
+//!   runtime handles `device.*`; it can also override `memref.dma_start` to
+//!   account transfer time),
+//! * [`Observer`] — passive notifications (loop trip counts, op visits) that
+//!   the FPGA executor uses for analytic cycle accounting.
+
+pub mod error;
+pub mod interp;
+pub mod memory;
+pub mod value;
+
+pub use error::InterpError;
+pub use interp::{call_function, DialectHooks, Interp, NoHooks, NoObserver, Observer};
+pub use memory::{Buffer, BufferId, Memory};
+pub use value::{MemRefVal, RtValue};

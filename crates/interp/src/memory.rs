@@ -1,0 +1,169 @@
+//! Typed buffer arena shared by host and (simulated) device memory spaces.
+
+use crate::error::InterpError;
+
+/// Handle to a buffer in [`Memory`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BufferId(pub u32);
+
+/// Typed storage. One variant per element type the pipeline supports.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Buffer {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    I1(Vec<bool>),
+}
+
+impl Buffer {
+    pub fn len(&self) -> usize {
+        match self {
+            Buffer::F32(v) => v.len(),
+            Buffer::F64(v) => v.len(),
+            Buffer::I32(v) => v.len(),
+            Buffer::I64(v) => v.len(),
+            Buffer::I1(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes (for transfer-time modelling).
+    pub fn byte_len(&self) -> usize {
+        match self {
+            Buffer::F32(v) => v.len() * 4,
+            Buffer::F64(v) => v.len() * 8,
+            Buffer::I32(v) => v.len() * 4,
+            Buffer::I64(v) => v.len() * 8,
+            Buffer::I1(v) => v.len(),
+        }
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Buffer::F32(_) => "f32",
+            Buffer::F64(_) => "f64",
+            Buffer::I32(_) => "i32",
+            Buffer::I64(_) => "i64",
+            Buffer::I1(_) => "i1",
+        }
+    }
+}
+
+/// Buffer arena; buffers are identified by [`BufferId`] and tagged with the
+/// memory space they live in (0 = host, 1.. = device spaces).
+#[derive(Default, Debug)]
+pub struct Memory {
+    buffers: Vec<(Buffer, u32)>,
+}
+
+impl Memory {
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    pub fn alloc(&mut self, buffer: Buffer, space: u32) -> BufferId {
+        let id = BufferId(self.buffers.len() as u32);
+        self.buffers.push((buffer, space));
+        id
+    }
+
+    pub fn alloc_zeroed(&mut self, elem: &str, len: usize, space: u32) -> Result<BufferId, InterpError> {
+        let buffer = match elem {
+            "f32" => Buffer::F32(vec![0.0; len]),
+            "f64" => Buffer::F64(vec![0.0; len]),
+            "i32" => Buffer::I32(vec![0; len]),
+            "i64" | "index" => Buffer::I64(vec![0; len]),
+            "i1" => Buffer::I1(vec![false; len]),
+            other => return Err(InterpError::new(format!("cannot allocate element type {other}"))),
+        };
+        Ok(self.alloc(buffer, space))
+    }
+
+    pub fn get(&self, id: BufferId) -> &Buffer {
+        &self.buffers[id.0 as usize].0
+    }
+
+    pub fn get_mut(&mut self, id: BufferId) -> &mut Buffer {
+        &mut self.buffers[id.0 as usize].0
+    }
+
+    pub fn space(&self, id: BufferId) -> u32 {
+        self.buffers[id.0 as usize].1
+    }
+
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Copy the full contents of `src` into `dst` (must be same type & len).
+    pub fn copy(&mut self, src: BufferId, dst: BufferId) -> Result<(), InterpError> {
+        if src == dst {
+            return Ok(());
+        }
+        let (a, b) = if src.0 < dst.0 {
+            let (lo, hi) = self.buffers.split_at_mut(dst.0 as usize);
+            (&lo[src.0 as usize].0, &mut hi[0].0)
+        } else {
+            let (lo, hi) = self.buffers.split_at_mut(src.0 as usize);
+            (&hi[0].0, &mut lo[dst.0 as usize].0)
+        };
+        match (a, b) {
+            (Buffer::F32(s), Buffer::F32(d)) if s.len() == d.len() => d.copy_from_slice(s),
+            (Buffer::F64(s), Buffer::F64(d)) if s.len() == d.len() => d.copy_from_slice(s),
+            (Buffer::I32(s), Buffer::I32(d)) if s.len() == d.len() => d.copy_from_slice(s),
+            (Buffer::I64(s), Buffer::I64(d)) if s.len() == d.len() => d.copy_from_slice(s),
+            (Buffer::I1(s), Buffer::I1(d)) if s.len() == d.len() => d.copy_from_slice(s),
+            (s, d) => {
+                return Err(InterpError::new(format!(
+                    "buffer copy type/length mismatch: {}[{}] -> {}[{}]",
+                    s.type_name(),
+                    s.len(),
+                    d.type_name(),
+                    d.len()
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_copy() {
+        let mut m = Memory::new();
+        let a = m.alloc(Buffer::F32(vec![1.0, 2.0, 3.0]), 0);
+        let b = m.alloc_zeroed("f32", 3, 1).unwrap();
+        assert_eq!(m.space(a), 0);
+        assert_eq!(m.space(b), 1);
+        m.copy(a, b).unwrap();
+        assert_eq!(m.get(b), &Buffer::F32(vec![1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn copy_mismatch_is_error() {
+        let mut m = Memory::new();
+        let a = m.alloc(Buffer::F32(vec![1.0]), 0);
+        let b = m.alloc_zeroed("f64", 1, 0).unwrap();
+        assert!(m.copy(a, b).is_err());
+        let c = m.alloc_zeroed("f32", 2, 0).unwrap();
+        assert!(m.copy(a, c).is_err());
+    }
+
+    #[test]
+    fn byte_len() {
+        let mut m = Memory::new();
+        let a = m.alloc_zeroed("f64", 10, 0).unwrap();
+        assert_eq!(m.get(a).byte_len(), 80);
+    }
+}

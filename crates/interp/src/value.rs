@@ -1,0 +1,148 @@
+//! Runtime values flowing through the interpreter.
+
+use crate::error::InterpError;
+use crate::memory::BufferId;
+
+/// A memref at runtime: a buffer plus its resolved (dynamic dims filled-in)
+/// shape and memory space. Indexing is row-major over `shape` (the Fortran
+/// frontend linearizes column-major arrays to rank-1 before this level).
+#[derive(Clone, PartialEq, Debug)]
+pub struct MemRefVal {
+    pub buffer: BufferId,
+    pub shape: Vec<i64>,
+    pub space: u32,
+}
+
+impl MemRefVal {
+    /// Row-major linear offset of `indices`, bounds-checked.
+    pub fn linear_index(&self, indices: &[i64]) -> Result<usize, InterpError> {
+        if indices.len() != self.shape.len() {
+            return Err(InterpError::new(format!(
+                "rank mismatch: {} indices for rank-{} memref",
+                indices.len(),
+                self.shape.len()
+            )));
+        }
+        let mut off: i64 = 0;
+        for (i, (&idx, &dim)) in indices.iter().zip(&self.shape).enumerate() {
+            if idx < 0 || idx >= dim {
+                return Err(InterpError::new(format!(
+                    "index {idx} out of bounds for dim {i} (extent {dim})"
+                )));
+            }
+            off = off * dim + idx;
+        }
+        Ok(off as usize)
+    }
+
+    pub fn num_elements(&self) -> usize {
+        self.shape.iter().product::<i64>() as usize
+    }
+}
+
+/// A dynamically-typed runtime value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RtValue {
+    I1(bool),
+    I32(i32),
+    I64(i64),
+    Index(i64),
+    F32(f32),
+    F64(f64),
+    MemRef(MemRefVal),
+    /// `!device.kernelhandle` — id issued by the host runtime.
+    KernelHandle(u64),
+    /// `!memref.dma_tag`.
+    DmaTag(u64),
+    /// `!hls.axi_protocol` (mode payload).
+    AxiProtocol(i64),
+    /// `!omp.map_info` / `!omp.bounds` — carried through symbolically.
+    Opaque(u64),
+    Unit,
+}
+
+impl RtValue {
+    pub fn as_bool(&self) -> Result<bool, InterpError> {
+        match self {
+            RtValue::I1(b) => Ok(*b),
+            other => Err(InterpError::new(format!("expected i1, got {other:?}"))),
+        }
+    }
+
+    /// Any integer-like payload widened to i64.
+    pub fn as_int(&self) -> Result<i64, InterpError> {
+        match self {
+            RtValue::I1(b) => Ok(*b as i64),
+            RtValue::I32(v) => Ok(*v as i64),
+            RtValue::I64(v) | RtValue::Index(v) => Ok(*v),
+            other => Err(InterpError::new(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// Any float payload widened to f64.
+    pub fn as_float(&self) -> Result<f64, InterpError> {
+        match self {
+            RtValue::F32(v) => Ok(*v as f64),
+            RtValue::F64(v) => Ok(*v),
+            other => Err(InterpError::new(format!("expected float, got {other:?}"))),
+        }
+    }
+
+    pub fn as_memref(&self) -> Result<&MemRefVal, InterpError> {
+        match self {
+            RtValue::MemRef(m) => Ok(m),
+            other => Err(InterpError::new(format!("expected memref, got {other:?}"))),
+        }
+    }
+
+    /// Rebuild a same-kind integer value with payload `v` (wrapping).
+    pub fn with_int(&self, v: i64) -> RtValue {
+        match self {
+            RtValue::I1(_) => RtValue::I1(v != 0),
+            RtValue::I32(_) => RtValue::I32(v as i32),
+            RtValue::I64(_) => RtValue::I64(v),
+            RtValue::Index(_) => RtValue::Index(v),
+            _ => RtValue::I64(v),
+        }
+    }
+
+    /// Rebuild a same-kind float value with payload `v`.
+    pub fn with_float(&self, v: f64) -> RtValue {
+        match self {
+            RtValue::F32(_) => RtValue::F32(v as f32),
+            RtValue::F64(_) => RtValue::F64(v),
+            _ => RtValue::F64(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_index_row_major() {
+        let m = MemRefVal {
+            buffer: BufferId(0),
+            shape: vec![4, 5],
+            space: 0,
+        };
+        assert_eq!(m.linear_index(&[0, 0]).unwrap(), 0);
+        assert_eq!(m.linear_index(&[1, 2]).unwrap(), 7);
+        assert_eq!(m.linear_index(&[3, 4]).unwrap(), 19);
+        assert!(m.linear_index(&[4, 0]).is_err());
+        assert!(m.linear_index(&[0, 5]).is_err());
+        assert!(m.linear_index(&[0]).is_err());
+        assert_eq!(m.num_elements(), 20);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(RtValue::I32(5).as_int().unwrap(), 5);
+        assert_eq!(RtValue::Index(7).as_int().unwrap(), 7);
+        assert_eq!(RtValue::F32(1.5).as_float().unwrap(), 1.5);
+        assert!(RtValue::F32(1.5).as_int().is_err());
+        assert_eq!(RtValue::I32(0).with_int(300), RtValue::I32(300));
+        assert_eq!(RtValue::F32(0.0).with_float(2.0), RtValue::F32(2.0));
+    }
+}

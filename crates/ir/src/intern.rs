@@ -1,0 +1,72 @@
+//! String interning. All identifiers in the IR (op names, attribute keys,
+//! symbol names) are interned so they can be compared and hashed as a `u32`.
+
+use std::collections::HashMap;
+
+/// An interned string handle. Cheap to copy, compare and hash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Istr(pub(crate) u32);
+
+/// Append-only string interner. Strings are never freed; the IR is short-lived
+/// relative to a compilation session, so this is the standard arena trade-off.
+#[derive(Default, Debug)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    map: HashMap<Box<str>, Istr>,
+}
+
+impl Interner {
+    pub fn intern(&mut self, s: &str) -> Istr {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = Istr(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, id);
+        id
+    }
+
+    pub fn get(&self, id: Istr) -> &str {
+        &self.strings[id.0 as usize]
+    }
+
+    /// Look up an already-interned string without inserting.
+    pub fn lookup(&self, s: &str) -> Option<Istr> {
+        self.map.get(s).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups() {
+        let mut i = Interner::default();
+        let a = i.intern("arith.addf");
+        let b = i.intern("arith.addf");
+        let c = i.intern("arith.subf");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.get(a), "arith.addf");
+        assert_eq!(i.get(c), "arith.subf");
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut i = Interner::default();
+        assert!(i.lookup("missing").is_none());
+        let a = i.intern("present");
+        assert_eq!(i.lookup("present"), Some(a));
+        assert_eq!(i.len(), 1);
+    }
+}

@@ -1,0 +1,414 @@
+//! Textual printing of IR in MLIR's *generic* operation form:
+//!
+//! ```text
+//! "builtin.module"() ({
+//!   %0 = "arith.constant"() {value = 1 : i32} : () -> i32
+//!   "func.return"(%0) : (i32) -> ()
+//! }) : () -> ()
+//! ```
+//!
+//! The generic form round-trips through [`crate::parser`]; it is also the
+//! serialization format embedded in FPGA bitstream artifacts.
+
+use std::collections::HashMap;
+use std::fmt::Write;
+
+use crate::attrs::{AttrId, AttrKind};
+use crate::ir::{BlockId, Ir, OpId, ValueId};
+use crate::types::{TypeId, TypeKind, DYN_DIM};
+
+/// Print `op` (and everything nested inside it) to a string.
+pub fn print_op(ir: &Ir, op: OpId) -> String {
+    let mut p = Printer::new(ir);
+    p.print_toplevel(op);
+    p.out
+}
+
+/// Print a type to a string.
+pub fn print_type(ir: &Ir, ty: TypeId) -> String {
+    let mut p = Printer::new(ir);
+    p.write_type(ty);
+    p.out
+}
+
+/// Print an attribute to a string.
+pub fn print_attr(ir: &Ir, attr: AttrId) -> String {
+    let mut p = Printer::new(ir);
+    p.write_attr(attr);
+    p.out
+}
+
+struct Printer<'a> {
+    ir: &'a Ir,
+    out: String,
+    value_names: HashMap<ValueId, u32>,
+    block_names: HashMap<BlockId, u32>,
+    next_value: u32,
+    next_block: u32,
+    indent: usize,
+}
+
+impl<'a> Printer<'a> {
+    fn new(ir: &'a Ir) -> Self {
+        Printer {
+            ir,
+            out: String::with_capacity(4096),
+            value_names: HashMap::new(),
+            block_names: HashMap::new(),
+            next_value: 0,
+            next_block: 0,
+            indent: 0,
+        }
+    }
+
+    fn print_toplevel(&mut self, op: OpId) {
+        self.print_op_line(op);
+        self.out.push('\n');
+    }
+
+    fn name_value(&mut self, v: ValueId) -> u32 {
+        if let Some(&n) = self.value_names.get(&v) {
+            return n;
+        }
+        let n = self.next_value;
+        self.next_value += 1;
+        self.value_names.insert(v, n);
+        n
+    }
+
+    fn name_block(&mut self, b: BlockId) -> u32 {
+        if let Some(&n) = self.block_names.get(&b) {
+            return n;
+        }
+        let n = self.next_block;
+        self.next_block += 1;
+        self.block_names.insert(b, n);
+        n
+    }
+
+    fn write_indent(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn print_op_line(&mut self, op: OpId) {
+        let data = self.ir.op(op);
+        // Results.
+        if !data.results.is_empty() {
+            let names: Vec<u32> = data.results.iter().map(|&r| self.name_value(r)).collect();
+            let frags: Vec<String> = names.iter().map(|n| format!("%{n}")).collect();
+            let _ = write!(self.out, "{} = ", frags.join(", "));
+        }
+        let _ = write!(self.out, "\"{}\"", self.ir.op_name(op));
+        // Operands.
+        self.out.push('(');
+        let operands = self.ir.op(op).operands.clone();
+        for (i, v) in operands.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let n = self.name_value(*v);
+            let _ = write!(self.out, "%{n}");
+        }
+        self.out.push(')');
+        // Successors.
+        let succs = self.ir.op(op).successors.clone();
+        if !succs.is_empty() {
+            self.out.push('[');
+            for (i, b) in succs.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let n = self.name_block(*b);
+                let _ = write!(self.out, "^bb{n}");
+            }
+            self.out.push(']');
+        }
+        // Regions.
+        let regions = self.ir.op(op).regions.clone();
+        if !regions.is_empty() {
+            self.out.push_str(" (");
+            for (i, r) in regions.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.print_region(*r);
+            }
+            self.out.push(')');
+        }
+        // Attributes.
+        let attrs = self.ir.op(op).attrs.clone();
+        if !attrs.is_empty() {
+            self.out.push_str(" {");
+            for (i, (k, v)) in attrs.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let key = self.ir.str(*k).to_string();
+                if matches!(self.ir.attr_kind(*v), AttrKind::Unit) {
+                    let _ = write!(self.out, "{key}");
+                } else {
+                    let _ = write!(self.out, "{key} = ");
+                    self.write_attr(*v);
+                }
+            }
+            self.out.push('}');
+        }
+        // Trailing functional type.
+        self.out.push_str(" : (");
+        let data = self.ir.op(op);
+        let operand_tys: Vec<TypeId> = data.operands.iter().map(|&v| self.ir.value_ty(v)).collect();
+        let result_tys: Vec<TypeId> = data.results.iter().map(|&v| self.ir.value_ty(v)).collect();
+        for (i, t) in operand_tys.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.write_type(*t);
+        }
+        self.out.push_str(") -> ");
+        if result_tys.len() == 1 {
+            self.write_type(result_tys[0]);
+        } else {
+            self.out.push('(');
+            for (i, t) in result_tys.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.write_type(*t);
+            }
+            self.out.push(')');
+        }
+    }
+
+    fn print_region(&mut self, region: crate::ir::RegionId) {
+        self.out.push('{');
+        let blocks = self.ir.region(region).blocks.clone();
+        // Pre-assign block labels so successor references are stable.
+        for &b in &blocks {
+            self.name_block(b);
+        }
+        self.indent += 1;
+        for (bi, &b) in blocks.iter().enumerate() {
+            let args = self.ir.block(b).args.clone();
+            if bi != 0 || !args.is_empty() {
+                self.out.push('\n');
+                self.write_indent();
+                let n = self.block_names[&b];
+                let _ = write!(self.out, "^bb{n}");
+                if !args.is_empty() {
+                    self.out.push('(');
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        let vn = self.name_value(*a);
+                        let _ = write!(self.out, "%{vn}: ");
+                        let ty = self.ir.value_ty(*a);
+                        self.write_type(ty);
+                    }
+                    self.out.push(')');
+                }
+                self.out.push(':');
+            }
+            let ops = self.ir.block(b).ops.clone();
+            for op in ops {
+                self.out.push('\n');
+                self.write_indent();
+                self.print_op_line(op);
+            }
+        }
+        self.indent -= 1;
+        self.out.push('\n');
+        self.write_indent();
+        self.out.push('}');
+    }
+
+    fn write_type(&mut self, ty: TypeId) {
+        match self.ir.type_kind(ty).clone() {
+            TypeKind::Integer { width } => {
+                let _ = write!(self.out, "i{width}");
+            }
+            TypeKind::Float32 => self.out.push_str("f32"),
+            TypeKind::Float64 => self.out.push_str("f64"),
+            TypeKind::Index => self.out.push_str("index"),
+            TypeKind::None => self.out.push_str("none"),
+            TypeKind::MemRef {
+                shape,
+                elem,
+                memory_space,
+            } => {
+                self.out.push_str("memref<");
+                for d in &shape {
+                    if *d == DYN_DIM {
+                        self.out.push('?');
+                    } else {
+                        let _ = write!(self.out, "{d}");
+                    }
+                    self.out.push('x');
+                }
+                self.write_type(elem);
+                if memory_space != 0 {
+                    let _ = write!(self.out, ", {memory_space}");
+                }
+                self.out.push('>');
+            }
+            TypeKind::Function { inputs, results } => {
+                self.out.push('(');
+                for (i, t) in inputs.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.write_type(*t);
+                }
+                self.out.push_str(") -> ");
+                if results.len() == 1 {
+                    self.write_type(results[0]);
+                } else {
+                    self.out.push('(');
+                    for (i, t) in results.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.write_type(*t);
+                    }
+                    self.out.push(')');
+                }
+            }
+            TypeKind::Opaque { dialect, name } => {
+                let _ = write!(self.out, "!{}.{}", self.ir.str(dialect), self.ir.str(name));
+            }
+        }
+    }
+
+    fn write_attr(&mut self, attr: AttrId) {
+        match self.ir.attr_kind(attr).clone() {
+            AttrKind::Unit => self.out.push_str("unit"),
+            AttrKind::Bool(b) => {
+                let _ = write!(self.out, "{b}");
+            }
+            AttrKind::Int(v, ty) => {
+                let _ = write!(self.out, "{v} : ");
+                self.write_type(ty);
+            }
+            AttrKind::Float(bits, ty) => {
+                let v = f64::from_bits(bits);
+                let _ = write!(self.out, "{v:e} : ");
+                self.write_type(ty);
+            }
+            AttrKind::Str(s) => {
+                let escaped = escape(self.ir.str(s));
+                let _ = write!(self.out, "\"{escaped}\"");
+            }
+            AttrKind::Type(t) => self.write_type(t),
+            AttrKind::SymbolRef(s) => {
+                let _ = write!(self.out, "@{}", self.ir.str(s));
+            }
+            AttrKind::Array(items) => {
+                self.out.push('[');
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.write_attr(*a);
+                }
+                self.out.push(']');
+            }
+            AttrKind::Dict(entries) => {
+                self.out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    let key = self.ir.str(*k).to_string();
+                    let _ = write!(self.out, "{key} = ");
+                    self.write_attr(*v);
+                }
+                self.out.push('}');
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::OpSpec;
+
+    #[test]
+    fn prints_generic_form() {
+        let mut ir = Ir::new();
+        let region = ir.new_region();
+        let block = ir.new_block(region, &[]);
+        let i32t = ir.i32t();
+        let one = ir.attr_i32(1);
+        let c = ir.create_op(
+            OpSpec::new("arith.constant")
+                .results(&[i32t])
+                .attr("value", one),
+        );
+        ir.append_op(block, c);
+        let v = ir.result(c);
+        let ret = ir.create_op(OpSpec::new("func.return").operands(&[v]));
+        ir.append_op(block, ret);
+        let module = ir.create_op(OpSpec::new("builtin.module").region(region));
+        let text = print_op(&ir, module);
+        assert!(text.contains("\"builtin.module\"() ({"));
+        assert!(text.contains("%0 = \"arith.constant\"() {value = 1 : i32} : () -> i32"));
+        assert!(text.contains("\"func.return\"(%0) : (i32) -> ()"));
+    }
+
+    #[test]
+    fn prints_types() {
+        let mut ir = Ir::new();
+        let f32t = ir.f32t();
+        let m = ir.memref_t(&[100], f32t, 1);
+        assert_eq!(print_type(&ir, m), "memref<100xf32, 1>");
+        let md = ir.memref_t(&[crate::types::DYN_DIM, 4], f32t, 0);
+        assert_eq!(print_type(&ir, md), "memref<?x4xf32>");
+        let f = ir.function_t(&[f32t], &[f32t]);
+        assert_eq!(print_type(&ir, f), "(f32) -> f32");
+        let k = ir.opaque_t("device", "kernelhandle");
+        assert_eq!(print_type(&ir, k), "!device.kernelhandle");
+    }
+
+    #[test]
+    fn prints_block_args_and_successors() {
+        let mut ir = Ir::new();
+        let i32t = ir.i32t();
+        let region = ir.new_region();
+        let b0 = ir.new_block(region, &[]);
+        let b1 = ir.new_block(region, &[i32t]);
+        let one = ir.attr_i32(1);
+        let c = ir.create_op(
+            OpSpec::new("arith.constant")
+                .results(&[i32t])
+                .attr("value", one),
+        );
+        ir.append_op(b0, c);
+        let v = ir.result(c);
+        let br = ir.create_op(OpSpec::new("cf.br").operands(&[v]).successors(&[b1]));
+        ir.append_op(b0, br);
+        let arg = ir.block(b1).args[0];
+        let ret = ir.create_op(OpSpec::new("func.return").operands(&[arg]));
+        ir.append_op(b1, ret);
+        let f = ir.create_op(OpSpec::new("func.func").region(region));
+        let text = print_op(&ir, f);
+        assert!(text.contains("\"cf.br\"(%0)[^bb1]"), "{text}");
+        assert!(text.contains("^bb1(%1: i32):"), "{text}");
+    }
+}

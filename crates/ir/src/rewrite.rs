@@ -1,0 +1,127 @@
+//! Greedy pattern-rewrite driver, the equivalent of MLIR's
+//! `applyPatternsAndFoldGreedily`: apply a set of local rewrite patterns to a
+//! fixpoint.
+
+use crate::ir::{Ir, OpId};
+use crate::walk::walk_preorder;
+
+/// A local rewrite. `match_and_rewrite` returns `Ok(true)` if the op matched
+/// and the IR was changed.
+pub trait RewritePattern {
+    fn name(&self) -> &str;
+
+    fn match_and_rewrite(&self, ir: &mut Ir, op: OpId) -> Result<bool, String>;
+}
+
+/// Apply `patterns` to every op under `root` repeatedly until no pattern
+/// fires (or the iteration bound trips, which indicates a ping-ponging
+/// pattern set and panics in debug builds). Returns whether anything changed.
+pub fn apply_patterns_greedily(
+    ir: &mut Ir,
+    root: OpId,
+    patterns: &[Box<dyn RewritePattern>],
+) -> Result<bool, String> {
+    const MAX_ITERATIONS: usize = 64;
+    let mut any_change = false;
+    for _ in 0..MAX_ITERATIONS {
+        let mut changed = false;
+        let ops = walk_preorder(ir, root);
+        for op in ops {
+            if !ir.op(op).alive {
+                continue;
+            }
+            for pat in patterns {
+                if !ir.op(op).alive {
+                    break;
+                }
+                if pat.match_and_rewrite(ir, op)? {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(any_change);
+        }
+        any_change = true;
+    }
+    Err("pattern application did not converge".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::OpSpec;
+    use crate::walk::find_all;
+
+    /// Folds `test.double(constant c)` into `constant 2c`.
+    struct FoldDouble;
+
+    impl RewritePattern for FoldDouble {
+        fn name(&self) -> &str {
+            "fold-double"
+        }
+
+        fn match_and_rewrite(&self, ir: &mut Ir, op: OpId) -> Result<bool, String> {
+            if !ir.op_is(op, "test.double") {
+                return Ok(false);
+            }
+            let operand = ir.op(op).operands[0];
+            let Some(def) = ir.defining_op(operand) else {
+                return Ok(false);
+            };
+            if !ir.op_is(def, "test.constant") {
+                return Ok(false);
+            }
+            let v = ir.attr_int_of(def, "value").ok_or("constant without value")?;
+            let ty = ir.value_ty(operand);
+            let attr = ir.attr_int(v * 2, ty);
+            let (block, pos) = ir.op_position(op).unwrap();
+            let folded = ir.create_op(
+                OpSpec::new("test.constant")
+                    .results(&[ty])
+                    .attr("value", attr),
+            );
+            ir.insert_op(block, pos, folded);
+            let new_v = ir.result(folded);
+            let old_v = ir.result(op);
+            ir.replace_all_uses(old_v, new_v);
+            ir.erase_op(op);
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn greedy_driver_reaches_fixpoint() {
+        let mut ir = Ir::new();
+        let region = ir.new_region();
+        let block = ir.new_block(region, &[]);
+        let i32t = ir.i32t();
+        let one = ir.attr_i32(1);
+        let c = ir.create_op(
+            OpSpec::new("test.constant")
+                .results(&[i32t])
+                .attr("value", one),
+        );
+        ir.append_op(block, c);
+        let mut v = ir.result(c);
+        // double(double(double(1))) == 8
+        for _ in 0..3 {
+            let d = ir.create_op(OpSpec::new("test.double").operands(&[v]).results(&[i32t]));
+            ir.append_op(block, d);
+            v = ir.result(d);
+        }
+        let sink = ir.create_op(OpSpec::new("test.sink").operands(&[v]));
+        ir.append_op(block, sink);
+        let module = ir.create_op(OpSpec::new("builtin.module").region(region));
+
+        let patterns: Vec<Box<dyn RewritePattern>> = vec![Box::new(FoldDouble)];
+        let changed = apply_patterns_greedily(&mut ir, module, &patterns).unwrap();
+        assert!(changed);
+        assert!(find_all(&ir, module, "test.double").is_empty());
+        let sink_operand = ir.op(sink).operands[0];
+        let def = ir.defining_op(sink_operand).unwrap();
+        assert_eq!(ir.attr_int_of(def, "value"), Some(8));
+        // No further changes on a second run.
+        assert!(!apply_patterns_greedily(&mut ir, module, &patterns).unwrap());
+    }
+}

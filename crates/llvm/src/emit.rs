@@ -1,0 +1,560 @@
+//! LLVM-IR text emission from the `llvm` dialect. Block arguments are
+//! converted to phi nodes by collecting each block's predecessors and the
+//! values their terminators forward.
+
+use std::collections::HashMap;
+use std::fmt::Write;
+
+use ftn_dialects::cf::cond_br_operands;
+use ftn_dialects::{builtin, llvm as l};
+use ftn_mlir::{AttrKind, BlockId, Ir, OpId, TypeId, TypeKind, ValueId};
+
+/// Emission options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EmitOptions {
+    /// Emit LLVM-7-style typed pointers (`float*`) instead of opaque `ptr`.
+    pub typed_pointers: bool,
+    /// Rename `_hls_spec_*` callees to AMD `_ssdm_op_*` intrinsics.
+    pub ssdm_intrinsics: bool,
+}
+
+/// Emit `module` (an `llvm`-dialect module) as LLVM-IR text.
+pub fn emit_llvm_ir(ir: &Ir, module: OpId, options: EmitOptions) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(out, "; ModuleID = 'ftn-device'");
+    let _ = writeln!(
+        out,
+        "target datalayout = \"e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128\""
+    );
+    let _ = writeln!(out, "target triple = \"fpga64-xilinx-none\"");
+    out.push('\n');
+    let body = builtin::body(ir, module);
+    let mut declared: Vec<(String, String)> = Vec::new(); // (name, signature text)
+    for &f in &ir.block(body).ops.clone() {
+        if !ir.op_is(f, l::FUNC) {
+            continue;
+        }
+        let mut e = FuncEmitter::new(ir, f, options);
+        e.emit(&mut out, &mut declared);
+        out.push('\n');
+    }
+    for (name, sig) in declared {
+        let _ = writeln!(out, "declare {sig} @{name}");
+    }
+    out
+}
+
+struct FuncEmitter<'a> {
+    ir: &'a Ir,
+    f: OpId,
+    options: EmitOptions,
+    names: HashMap<ValueId, String>,
+    block_names: HashMap<BlockId, String>,
+    next: u32,
+    /// memref-typed values' element types (for typed pointers).
+    ptr_elems: HashMap<ValueId, TypeId>,
+}
+
+impl<'a> FuncEmitter<'a> {
+    fn new(ir: &'a Ir, f: OpId, options: EmitOptions) -> Self {
+        FuncEmitter {
+            ir,
+            f,
+            options,
+            names: HashMap::new(),
+            block_names: HashMap::new(),
+            next: 0,
+            ptr_elems: HashMap::new(),
+        }
+    }
+
+    /// Assign the next sequential name to `v` (idempotent: values named
+    /// during the pre-pass keep their name).
+    fn fresh(&mut self, v: ValueId) -> String {
+        if let Some(n) = self.names.get(&v) {
+            return n.clone();
+        }
+        let n = format!("%{}", self.next);
+        self.next += 1;
+        self.names.insert(v, n.clone());
+        n
+    }
+
+    fn name_of(&self, v: ValueId) -> String {
+        self.names.get(&v).cloned().unwrap_or_else(|| "%?".into())
+    }
+
+    fn ty(&self, t: TypeId) -> String {
+        llvm_type(self.ir, t, self.options.typed_pointers, None)
+    }
+
+    /// Type text for a value, using elem info for typed pointers.
+    fn vty(&self, v: ValueId) -> String {
+        let t = self.ir.value_ty(v);
+        let elem = self.ptr_elems.get(&v).copied();
+        llvm_type(self.ir, t, self.options.typed_pointers, elem)
+    }
+
+    fn emit(&mut self, out: &mut String, declared: &mut Vec<(String, String)>) {
+        let name = self.ir.attr_str_of(self.f, "sym_name").unwrap_or("f");
+        let region = self.ir.op(self.f).regions[0];
+        let blocks = self.ir.region(region).blocks.clone();
+        // Propagate element types from the arg_elem_types attribute.
+        let entry_args = self.ir.block(blocks[0]).args.clone();
+        if let Some(attr) = self.ir.get_attr(self.f, "arg_elem_types") {
+            if let AttrKind::Array(items) = self.ir.attr_kind(attr).clone() {
+                for (arg, item) in entry_args.iter().zip(items) {
+                    if let Some(t) = self.ir.attr_as_type(item) {
+                        if is_ptr(self.ir, self.ir.value_ty(*arg)) {
+                            self.ptr_elems.insert(*arg, t);
+                        }
+                    }
+                }
+            }
+        }
+        // Propagate elem types through GEPs and allocas.
+        for &b in &blocks {
+            for &op in &self.ir.block(b).ops {
+                if self.ir.op_is(op, l::GEP) || self.ir.op_is(op, l::ALLOCA) {
+                    if let Some(e) = self.ir.get_attr(op, "elem_type").and_then(|a| self.ir.attr_as_type(a)) {
+                        self.ptr_elems.insert(self.ir.result(op), e);
+                    }
+                }
+            }
+        }
+        // Signature.
+        let params: Vec<String> = entry_args
+            .iter()
+            .map(|&a| {
+                let n = self.fresh(a);
+                format!("{} {}", self.vty(a), n)
+            })
+            .collect();
+        let (_, results) = signature(self.ir, self.f);
+        let ret_ty = match results.first() {
+            Some(&t) => self.ty(t),
+            None => "void".into(),
+        };
+        let _ = writeln!(out, "define {ret_ty} @{name}({}) {{", params.join(", "));
+        // Label blocks and collect predecessor edges (for phis).
+        for (i, &b) in blocks.iter().enumerate() {
+            self.block_names.insert(b, format!("bb{i}"));
+        }
+        // preds: block -> Vec<(pred label, forwarded args)>
+        let mut preds: HashMap<BlockId, Vec<(String, Vec<ValueId>)>> = HashMap::new();
+        for &b in &blocks {
+            let label = self.block_names[&b].clone();
+            if let Some(&term) = self.ir.block(b).ops.last() {
+                match self.ir.op_name(term) {
+                    "llvm.br" => {
+                        let dest = self.ir.op(term).successors[0];
+                        let args = self.ir.op(term).operands.clone();
+                        preds.entry(dest).or_default().push((label.clone(), args));
+                    }
+                    "llvm.cond_br" => {
+                        let succs = self.ir.op(term).successors.clone();
+                        let (_c, t_args, f_args) = cond_br_operands(self.ir, term);
+                        preds.entry(succs[0]).or_default().push((label.clone(), t_args));
+                        preds.entry(succs[1]).or_default().push((label, f_args));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Pre-assign names in emission order for every value an instruction
+        // will define (block args become phis; constants are inlined and get
+        // no name) so phi nodes can forward-reference latch values.
+        for (i, &b) in blocks.iter().enumerate() {
+            if i != 0 {
+                for &arg in &self.ir.block(b).args.clone() {
+                    self.fresh(arg);
+                }
+            }
+            for &op in &self.ir.block(b).ops.clone() {
+                if self.ir.op_is(op, l::CONSTANT) {
+                    continue;
+                }
+                for &r in &self.ir.op(op).results.clone() {
+                    self.fresh(r);
+                }
+            }
+        }
+        // Emit blocks.
+        for (i, &b) in blocks.iter().enumerate() {
+            if i == 0 {
+                let _ = writeln!(out, "entry:");
+            } else {
+                let _ = writeln!(out, "{}:", self.block_names[&b]);
+            }
+            // Phi nodes for block args.
+            if i != 0 {
+                let args = self.ir.block(b).args.clone();
+                for (ai, &arg) in args.iter().enumerate() {
+                    let incoming: Vec<String> = preds
+                        .get(&b)
+                        .map(|ps| {
+                            ps.iter()
+                                .map(|(label, vals)| {
+                                    format!("[ {}, %{} ]", self.operand_text(vals[ai]), label)
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    // Propagate pointer element info through phis.
+                    if let Some(ps) = preds.get(&b) {
+                        if let Some((_, vals)) = ps.first() {
+                            if let Some(&e) = self.ptr_elems.get(&vals[ai]) {
+                                self.ptr_elems.insert(arg, e);
+                            }
+                        }
+                    }
+                    let _ = writeln!(
+                        out,
+                        "  {} = phi {} {}",
+                        self.name_of(arg),
+                        self.vty(arg),
+                        incoming.join(", ")
+                    );
+                }
+            }
+            for &op in &self.ir.block(b).ops.clone() {
+                self.emit_op(out, op, declared);
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
+
+    fn const_text(&self, op: OpId) -> String {
+        let attr = self.ir.get_attr(op, "value").expect("constant value");
+        match self.ir.attr_kind(attr) {
+            AttrKind::Int(v, _) => format!("{v}"),
+            AttrKind::Float(bits, ty) => {
+                let v = f64::from_bits(*bits);
+                // LLVM float constants print as double-style hex-free decimal.
+                let _ = ty;
+                format!("{v:e}")
+            }
+            AttrKind::Bool(b) => format!("{}", *b as u8),
+            _ => "0".into(),
+        }
+    }
+
+    fn operand_text(&self, v: ValueId) -> String {
+        // Inline constants.
+        if let Some(def) = self.ir.defining_op(v) {
+            if self.ir.op_is(def, l::CONSTANT) {
+                return self.const_text(def);
+            }
+        }
+        self.name_of(v)
+    }
+
+    fn emit_op(&mut self, out: &mut String, op: OpId, declared: &mut Vec<(String, String)>) {
+        let name = self.ir.op_name(op).to_string();
+        let operands = self.ir.op(op).operands.clone();
+        match name.as_str() {
+            "llvm.mlir.constant" => { /* inlined at uses */ }
+            "llvm.add" | "llvm.sub" | "llvm.mul" | "llvm.sdiv" | "llvm.srem" | "llvm.and"
+            | "llvm.or" | "llvm.xor" => {
+                let r = self.fresh(self.ir.result(op));
+                let opn = &name[5..];
+                let _ = writeln!(
+                    out,
+                    "  {r} = {opn} {} {}, {}",
+                    self.vty(operands[0]),
+                    self.operand_text(operands[0]),
+                    self.operand_text(operands[1])
+                );
+            }
+            "llvm.fadd" | "llvm.fsub" | "llvm.fmul" | "llvm.fdiv" => {
+                let r = self.fresh(self.ir.result(op));
+                let opn = &name[5..];
+                let fm = self
+                    .ir
+                    .attr_str_of(op, "fastmath")
+                    .map(|s| format!("{s} "))
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "  {r} = {opn} {fm}{} {}, {}",
+                    self.vty(operands[0]),
+                    self.operand_text(operands[0]),
+                    self.operand_text(operands[1])
+                );
+            }
+            "llvm.fneg" => {
+                let r = self.fresh(self.ir.result(op));
+                let _ = writeln!(
+                    out,
+                    "  {r} = fneg {} {}",
+                    self.vty(operands[0]),
+                    self.operand_text(operands[0])
+                );
+            }
+            "llvm.icmp" | "llvm.fcmp" => {
+                let r = self.fresh(self.ir.result(op));
+                let pred = self.ir.attr_str_of(op, "predicate").unwrap_or("eq");
+                let opn = if name == "llvm.icmp" { "icmp" } else { "fcmp" };
+                let _ = writeln!(
+                    out,
+                    "  {r} = {opn} {pred} {} {}, {}",
+                    self.vty(operands[0]),
+                    self.operand_text(operands[0]),
+                    self.operand_text(operands[1])
+                );
+            }
+            "llvm.select" => {
+                let r = self.fresh(self.ir.result(op));
+                let _ = writeln!(
+                    out,
+                    "  {r} = select i1 {}, {} {}, {} {}",
+                    self.operand_text(operands[0]),
+                    self.vty(operands[1]),
+                    self.operand_text(operands[1]),
+                    self.vty(operands[2]),
+                    self.operand_text(operands[2])
+                );
+            }
+            "llvm.alloca" => {
+                let r = self.fresh(self.ir.result(op));
+                let elem = self
+                    .ir
+                    .get_attr(op, "elem_type")
+                    .and_then(|a| self.ir.attr_as_type(a))
+                    .expect("alloca elem_type");
+                self.ptr_elems.insert(self.ir.result(op), elem);
+                let align = type_align(self.ir, elem);
+                let _ = writeln!(
+                    out,
+                    "  {r} = alloca {}, i64 {}, align {align}",
+                    self.ty(elem),
+                    self.operand_text(operands[0])
+                );
+            }
+            "llvm.getelementptr" => {
+                let r = self.fresh(self.ir.result(op));
+                let elem = self
+                    .ir
+                    .get_attr(op, "elem_type")
+                    .and_then(|a| self.ir.attr_as_type(a))
+                    .expect("gep elem_type");
+                let elem_txt = self.ty(elem);
+                let base_ty = self.vty(operands[0]);
+                let _ = writeln!(
+                    out,
+                    "  {r} = getelementptr inbounds {elem_txt}, {base_ty} {}, i64 {}",
+                    self.operand_text(operands[0]),
+                    self.operand_text(operands[1])
+                );
+            }
+            "llvm.load" => {
+                let r = self.fresh(self.ir.result(op));
+                let elem = self.ir.value_ty(self.ir.result(op));
+                let align = type_align(self.ir, elem);
+                let _ = writeln!(
+                    out,
+                    "  {r} = load {}, {} {}, align {align}",
+                    self.ty(elem),
+                    self.vty(operands[0]),
+                    self.operand_text(operands[0])
+                );
+            }
+            "llvm.store" => {
+                let elem = self.ir.value_ty(operands[0]);
+                let align = type_align(self.ir, elem);
+                let _ = writeln!(
+                    out,
+                    "  store {} {}, {} {}, align {align}",
+                    self.ty(elem),
+                    self.operand_text(operands[0]),
+                    self.vty(operands[1]),
+                    self.operand_text(operands[1])
+                );
+            }
+            "llvm.sext" | "llvm.trunc" | "llvm.sitofp" | "llvm.fptosi" | "llvm.fpext"
+            | "llvm.fptrunc" => {
+                let r = self.fresh(self.ir.result(op));
+                let opn = &name[5..];
+                let to = self.vty(self.ir.result(op));
+                let _ = writeln!(
+                    out,
+                    "  {r} = {opn} {} {} to {to}",
+                    self.vty(operands[0]),
+                    self.operand_text(operands[0])
+                );
+            }
+            "llvm.call" => {
+                let callee = self.ir.attr_str_of(op, "callee").unwrap_or("f").to_string();
+                let callee = self.map_callee(&callee);
+                let args: Vec<String> = operands
+                    .iter()
+                    .map(|&v| format!("{} {}", self.vty(v), self.operand_text(v)))
+                    .collect();
+                let results = self.ir.op(op).results.clone();
+                let sig_args: Vec<String> = operands.iter().map(|&v| self.vty(v)).collect();
+                let ret = match results.first() {
+                    Some(&r) => self.vty(r),
+                    None => "void".to_string(),
+                };
+                if !declared.iter().any(|(n, _)| *n == callee) {
+                    declared.push((callee.clone(), format!("{ret} ({})", sig_args.join(", "))));
+                }
+                match results.first() {
+                    Some(&rv) => {
+                        let r = self.fresh(rv);
+                        let _ = writeln!(out, "  {r} = call {ret} @{callee}({})", args.join(", "));
+                    }
+                    None => {
+                        let _ = writeln!(out, "  call void @{callee}({})", args.join(", "));
+                    }
+                }
+            }
+            "llvm.br" => {
+                let dest = self.ir.op(op).successors[0];
+                let _ = writeln!(out, "  br label %{}", self.block_names[&dest]);
+            }
+            "llvm.cond_br" => {
+                let succs = self.ir.op(op).successors.clone();
+                let (c, _t, _f) = cond_br_operands(self.ir, op);
+                let _ = writeln!(
+                    out,
+                    "  br i1 {}, label %{}, label %{}",
+                    self.operand_text(c),
+                    self.block_names[&succs[0]],
+                    self.block_names[&succs[1]]
+                );
+            }
+            "llvm.return" => match operands.first() {
+                Some(&v) => {
+                    let _ = writeln!(out, "  ret {} {}", self.vty(v), self.operand_text(v));
+                }
+                None => {
+                    let _ = writeln!(out, "  ret void");
+                }
+            },
+            other => {
+                let _ = writeln!(out, "  ; unhandled op {other}");
+            }
+        }
+    }
+
+    /// `[19]`-style mapping of HLS primitives onto AMD SSDM intrinsics.
+    fn map_callee(&self, callee: &str) -> String {
+        if !self.options.ssdm_intrinsics {
+            return callee.to_string();
+        }
+        match callee {
+            "_hls_spec_pipeline" => "_ssdm_op_SpecPipeline".into(),
+            "_hls_spec_unroll" => "_ssdm_op_SpecUnroll".into(),
+            "_hls_spec_interface" => "_ssdm_op_SpecInterface".into(),
+            other => other.to_string(),
+        }
+    }
+}
+
+fn is_ptr(ir: &Ir, t: TypeId) -> bool {
+    matches!(ir.type_kind(t), TypeKind::Opaque { .. })
+}
+
+fn signature(ir: &Ir, f: OpId) -> (Vec<TypeId>, Vec<TypeId>) {
+    let fty = ir
+        .get_attr(f, "function_type")
+        .and_then(|a| ir.attr_as_type(a))
+        .expect("llvm.func without function_type");
+    match ir.type_kind(fty) {
+        TypeKind::Function { inputs, results } => (inputs.clone(), results.clone()),
+        _ => (vec![], vec![]),
+    }
+}
+
+fn llvm_type(ir: &Ir, t: TypeId, typed_pointers: bool, elem: Option<TypeId>) -> String {
+    match ir.type_kind(t) {
+        TypeKind::Integer { width } => format!("i{width}"),
+        TypeKind::Float32 => "float".into(),
+        TypeKind::Float64 => "double".into(),
+        TypeKind::Index => "i64".into(),
+        TypeKind::None => "void".into(),
+        TypeKind::Opaque { .. } => {
+            if typed_pointers {
+                match elem {
+                    Some(e) => format!("{}*", llvm_type(ir, e, typed_pointers, None)),
+                    None => "i8*".into(),
+                }
+            } else {
+                "ptr".into()
+            }
+        }
+        other => format!("<{other:?}>"),
+    }
+}
+
+fn type_align(ir: &Ir, t: TypeId) -> u32 {
+    match ir.type_kind(t) {
+        TypeKind::Float64 | TypeKind::Integer { width: 64 } | TypeKind::Index => 8,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert_to_llvm_dialect;
+    use ftn_dialects::{arith, func, memref, scf};
+    use ftn_mlir::Builder;
+
+    fn build_and_convert() -> (Ir, OpId) {
+        let mut ir = Ir::new();
+        let (module, mbody) = builtin::module_with_target(&mut ir, "fpga");
+        let f32t = ir.f32t();
+        let index = ir.index_t();
+        let mty = ir.memref_t(&[ftn_mlir::types::DYN_DIM], f32t, 1);
+        {
+            let mut b = Builder::at_end(&mut ir, mbody);
+            let (_f, entry) = func::build_func(&mut b, "my_kernel", &[mty, index], &[]);
+            let args = b.ir.block(entry).args.clone();
+            b.set_insertion_point_to_end(entry);
+            let ii = arith::const_i32(&mut b, 1);
+            func::build_call(&mut b, "_hls_spec_pipeline", &[ii], &[]);
+            let zero = arith::const_index(&mut b, 0);
+            let one = arith::const_index(&mut b, 1);
+            scf::build_for(&mut b, zero, args[1], one, &[], |ib, iv, _| {
+                let v = memref::load(ib, args[0], &[iv]);
+                let s = arith::binop_contract(ib, arith::MULF, v, v);
+                memref::store(ib, s, args[0], &[iv]);
+                vec![]
+            });
+            func::build_return(&mut b, &[]);
+        }
+        let llvm_mod = convert_to_llvm_dialect(&mut ir, module).unwrap();
+        (ir, llvm_mod)
+    }
+
+    #[test]
+    fn emits_modern_llvm_ir() {
+        let (ir, llvm_mod) = build_and_convert();
+        let text = emit_llvm_ir(&ir, llvm_mod, EmitOptions::default());
+        assert!(text.contains("define void @my_kernel(ptr %0, i64 %1)"), "{text}");
+        assert!(text.contains("phi i64"), "{text}");
+        assert!(text.contains("getelementptr inbounds float, ptr"), "{text}");
+        assert!(text.contains("fmul contract float"), "{text}");
+        assert!(text.contains("br i1"), "{text}");
+        assert!(text.contains("declare void (i32) @_hls_spec_pipeline") || text.contains("declare void"), "{text}");
+    }
+
+    #[test]
+    fn downgraded_ir_uses_typed_pointers_and_ssdm() {
+        let (ir, llvm_mod) = build_and_convert();
+        let text = emit_llvm_ir(
+            &ir,
+            llvm_mod,
+            EmitOptions {
+                typed_pointers: true,
+                ssdm_intrinsics: true,
+            },
+        );
+        assert!(text.contains("float* %0"), "{text}");
+        assert!(text.contains("getelementptr inbounds float, float*"), "{text}");
+        assert!(text.contains("@_ssdm_op_SpecPipeline"), "{text}");
+        assert!(!text.contains(" ptr "), "no opaque pointers allowed:\n{text}");
+    }
+}

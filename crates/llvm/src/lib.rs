@@ -1,0 +1,25 @@
+//! `ftn-llvm` — the LLVM leg of the device pipeline, substituting for the
+//! `[19]` "Fortran HLS" integration:
+//!
+//! 1. [`convert`] lowers a device module (`scf`/`arith`/`memref`/`func`, with
+//!    `hls` ops already rewritten to `func.call`s) into the `llvm` dialect:
+//!    memrefs become `!llvm.ptr` + explicit GEP arithmetic, `index` becomes
+//!    `i64`, and structured control flow becomes a CFG of blocks with block
+//!    arguments.
+//! 2. [`emit`] prints the `llvm` dialect as LLVM-IR text (modern, opaque
+//!    pointers), converting block arguments to phi nodes.
+//! 3. [`downgrade`] re-emits the IR in LLVM-7 style — typed pointers — and
+//!    maps the HLS primitive calls onto AMD `_ssdm_op_*` intrinsics, the form
+//!    the Vitis HLS backend ingests.
+//! 4. [`runtime_lib`] provides the "precompiled IR" runtime library the paper
+//!    links in (type conversion and stream helpers).
+
+pub mod convert;
+pub mod downgrade;
+pub mod emit;
+pub mod runtime_lib;
+
+pub use convert::convert_to_llvm_dialect;
+pub use downgrade::downgrade_to_llvm7;
+pub use emit::emit_llvm_ir;
+pub use runtime_lib::RUNTIME_LIBRARY_IR;

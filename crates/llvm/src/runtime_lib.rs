@@ -1,0 +1,95 @@
+//! The precompiled runtime library IR linked into every kernel (§3: "common
+//! functionality such as conversion between data types and reading and
+//! writing streams of data"). Shipped as LLVM-7-style text so it can be
+//! concatenated with the downgraded kernel IR before "synthesis".
+
+/// LLVM-7-style runtime library text.
+pub const RUNTIME_LIBRARY_IR: &str = r#"; ftn device runtime library (LLVM 7 compatible)
+; Type conversion helpers -----------------------------------------------------
+
+define float @_ftn_rt_itof(i32 %v) {
+entry:
+  %0 = sitofp i32 %v to float
+  ret float %0
+}
+
+define i32 @_ftn_rt_ftoi(float %v) {
+entry:
+  %0 = fptosi float %v to i32
+  ret i32 %0
+}
+
+define double @_ftn_rt_ftod(float %v) {
+entry:
+  %0 = fpext float %v to double
+  ret double %0
+}
+
+define float @_ftn_rt_dtof(double %v) {
+entry:
+  %0 = fptrunc double %v to float
+  ret float %0
+}
+
+define i32 @_ftn_rt_bitcast_ftoi(float %v) {
+entry:
+  %0 = bitcast float %v to i32
+  ret i32 %0
+}
+
+define float @_ftn_rt_bitcast_itof(i32 %v) {
+entry:
+  %0 = bitcast i32 %v to float
+  ret float %0
+}
+
+; Stream helpers ---------------------------------------------------------------
+; Streams are opaque FIFO handles serviced by the shell; reads/writes map to
+; _ssdm FIFO intrinsics during synthesis.
+
+declare float @_ssdm_op_Read.ap_fifo.f32(i8*)
+declare void @_ssdm_op_Write.ap_fifo.f32(i8*, float)
+
+define float @_ftn_rt_stream_read_f32(i8* %stream) {
+entry:
+  %0 = call float @_ssdm_op_Read.ap_fifo.f32(i8* %stream)
+  ret float %0
+}
+
+define void @_ftn_rt_stream_write_f32(i8* %stream, float %v) {
+entry:
+  call void @_ssdm_op_Write.ap_fifo.f32(i8* %stream, float %v)
+  ret void
+}
+"#;
+
+/// Names of the functions exported by the runtime library.
+pub fn runtime_exports() -> Vec<&'static str> {
+    vec![
+        "_ftn_rt_itof",
+        "_ftn_rt_ftoi",
+        "_ftn_rt_ftod",
+        "_ftn_rt_dtof",
+        "_ftn_rt_bitcast_ftoi",
+        "_ftn_rt_bitcast_itof",
+        "_ftn_rt_stream_read_f32",
+        "_ftn_rt_stream_write_f32",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_lib_defines_all_exports() {
+        for f in runtime_exports() {
+            assert!(
+                RUNTIME_LIBRARY_IR.contains(&format!("@{f}(")),
+                "runtime library must define {f}"
+            );
+        }
+        // LLVM-7 style: typed pointers only.
+        assert!(!RUNTIME_LIBRARY_IR.contains(" ptr "));
+    }
+}

@@ -1,0 +1,174 @@
+//! `commute-mac-for-vitis` — the paper's stated future work (§4): "Improving
+//! the IR generated to fit the MAC pattern expected by Vitis ... will be
+//! addressed by future work."
+//!
+//! The Vitis HLS backend maps a single-precision multiply–accumulate onto DSP
+//! slices only when the IR matches its Clang frontend's shape: an `fadd`
+//! whose *first* operand is the single-use result of an `fmul`, both carrying
+//! `contract` fast-math. The Flang-derived flow emits the accumulator first
+//! (`addf %acc, %mul`), so its MACs fall back to LUTs (Table 4).
+//!
+//! Floating-point addition is commutative, so when both operands carry
+//! `contract` fast-math we may legally swap them to present the recognized
+//! shape. Running this pass on the device module makes the Fortran flow's
+//! SGESL resources match the hand-written HLS kernel's (the Table 4
+//! divergence disappears) — demonstrated by `ablation_mac_pattern`.
+
+use ftn_dialects::arith;
+use ftn_mlir::{Ir, OpId, Pass, PassError, RewritePattern};
+
+/// See module docs.
+pub struct CommuteMacPass;
+
+impl Pass for CommuteMacPass {
+    fn name(&self) -> &str {
+        "commute-mac-for-vitis"
+    }
+
+    fn description(&self) -> &str {
+        "swap fadd operands so MACs match the Vitis DSP pattern (paper future work)"
+    }
+
+    fn run(&mut self, ir: &mut Ir, module: OpId) -> Result<(), PassError> {
+        let patterns: Vec<Box<dyn RewritePattern>> = vec![Box::new(CommuteMac)];
+        ftn_mlir::apply_patterns_greedily(ir, module, &patterns).map_err(|message| PassError {
+            pass: "commute-mac-for-vitis".into(),
+            message,
+        })?;
+        Ok(())
+    }
+}
+
+struct CommuteMac;
+
+impl CommuteMac {
+    /// `addf(%acc, %mul)` where `%mul` is a single-use contract `mulf` and
+    /// `%acc` is NOT — the commutable anti-pattern.
+    fn matches(ir: &Ir, op: OpId) -> bool {
+        if !ir.op_is(op, arith::ADDF) || !arith::has_contract_fastmath(ir, op) {
+            return false;
+        }
+        let lhs = ir.op(op).operands[0];
+        let rhs = ir.op(op).operands[1];
+        let is_mac_mul = |v: ftn_mlir::ValueId| {
+            ir.defining_op(v)
+                .map(|d| {
+                    ir.op_is(d, arith::MULF)
+                        && arith::has_contract_fastmath(ir, d)
+                        && ir.value(v).uses.len() == 1
+                })
+                .unwrap_or(false)
+        };
+        // Only swap when the swap creates the pattern and doesn't destroy an
+        // existing one.
+        is_mac_mul(rhs) && !is_mac_mul(lhs)
+    }
+}
+
+impl RewritePattern for CommuteMac {
+    fn name(&self) -> &str {
+        "commute-mac"
+    }
+
+    fn match_and_rewrite(&self, ir: &mut Ir, op: OpId) -> Result<bool, String> {
+        if !Self::matches(ir, op) {
+            return Ok(false);
+        }
+        let lhs = ir.op(op).operands[0];
+        let rhs = ir.op(op).operands[1];
+        ir.set_operand(op, 0, rhs);
+        ir.set_operand(op, 1, lhs);
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftn_dialects::{builtin, func, memref, registry};
+    use ftn_mlir::{verify, Builder};
+
+    fn build_flang_shaped_mac(ir: &mut Ir) -> (OpId, OpId) {
+        let (module, mbody) = builtin::module_with_target(ir, "fpga");
+        let f32t = ir.f32t();
+        let mty = ir.memref_t(&[8], f32t, 1);
+        let mut b = Builder::at_end(ir, mbody);
+        let (f, entry) = func::build_func(&mut b, "k", &[mty, f32t], &[]);
+        let args = b.ir.block(entry).args.clone();
+        b.set_insertion_point_to_end(entry);
+        let i = ftn_dialects::arith::const_index(&mut b, 0);
+        let v = memref::load(&mut b, args[0], &[i]);
+        let m = ftn_dialects::arith::binop_contract(&mut b, arith::MULF, args[1], v);
+        let acc = memref::load(&mut b, args[0], &[i]);
+        // Flang shape: accumulator first.
+        let s = ftn_dialects::arith::binop_contract(&mut b, arith::ADDF, acc, m);
+        memref::store(&mut b, s, args[0], &[i]);
+        func::build_return(&mut b, &[]);
+        (module, f)
+    }
+
+    #[test]
+    fn commutes_flang_shape_into_recognized_mac() {
+        let mut ir = Ir::new();
+        let (module, f) = build_flang_shaped_mac(&mut ir);
+        assert_eq!(ftn_fpga::resources::count_recognized_macs(&ir, f), 0);
+        CommuteMacPass.run(&mut ir, module).unwrap();
+        verify(&ir, module, &registry()).unwrap();
+        assert_eq!(ftn_fpga::resources::count_recognized_macs(&ir, f), 1);
+        // DSPs now used.
+        let res = ftn_fpga::resources::estimate_kernel_resources(&ir, f, &[]);
+        assert!(res.dsp >= 5, "{res:?}");
+    }
+
+    #[test]
+    fn already_recognized_macs_are_left_alone() {
+        let mut ir = Ir::new();
+        let (module, mbody) = builtin::module_with_target(&mut ir, "fpga");
+        let f32t = ir.f32t();
+        let mty = ir.memref_t(&[8], f32t, 1);
+        let f = {
+            let mut b = Builder::at_end(&mut ir, mbody);
+            let (f, entry) = func::build_func(&mut b, "k", &[mty, f32t], &[]);
+            let args = b.ir.block(entry).args.clone();
+            b.set_insertion_point_to_end(entry);
+            let i = ftn_dialects::arith::const_index(&mut b, 0);
+            let v = memref::load(&mut b, args[0], &[i]);
+            let m = ftn_dialects::arith::binop_contract(&mut b, arith::MULF, args[1], v);
+            let acc = memref::load(&mut b, args[0], &[i]);
+            // Already Clang-shaped.
+            let s = ftn_dialects::arith::binop_contract(&mut b, arith::ADDF, m, acc);
+            memref::store(&mut b, s, args[0], &[i]);
+            func::build_return(&mut b, &[]);
+            f
+        };
+        let before = ftn_mlir::print_op(&ir, module);
+        CommuteMacPass.run(&mut ir, module).unwrap();
+        assert_eq!(before, ftn_mlir::print_op(&ir, module), "no change expected");
+        assert_eq!(ftn_fpga::resources::count_recognized_macs(&ir, f), 1);
+    }
+
+    #[test]
+    fn non_contract_adds_are_not_touched() {
+        let mut ir = Ir::new();
+        let (module, mbody) = builtin::module_with_target(&mut ir, "fpga");
+        let f32t = ir.f32t();
+        let mty = ir.memref_t(&[8], f32t, 1);
+        {
+            let mut b = Builder::at_end(&mut ir, mbody);
+            let (_f, entry) = func::build_func(&mut b, "k", &[mty, f32t], &[]);
+            let args = b.ir.block(entry).args.clone();
+            b.set_insertion_point_to_end(entry);
+            let i = ftn_dialects::arith::const_index(&mut b, 0);
+            let v = memref::load(&mut b, args[0], &[i]);
+            // No fastmath: strict FP, must not be reassociated/commuted.
+            let m = ftn_dialects::arith::mulf(&mut b, args[1], v);
+            let acc = memref::load(&mut b, args[0], &[i]);
+            let s = ftn_dialects::arith::addf(&mut b, acc, m);
+            memref::store(&mut b, s, args[0], &[i]);
+            func::build_return(&mut b, &[]);
+        }
+        let before = ftn_mlir::print_op(&ir, module);
+        CommuteMacPass.run(&mut ir, module).unwrap();
+        assert_eq!(before, ftn_mlir::print_op(&ir, module));
+    }
+}

@@ -1,0 +1,133 @@
+//! `extract-device-module` — **the paper's module-separation pass** (§3).
+//!
+//! Moves the body region of every `device.kernel_create` into a `func.func`
+//! inside a fresh `builtin.module attributes {target = "fpga"}` (Listing 2).
+//! The `kernel_create` is left with an empty region; its `device_function`
+//! symbol names the extracted function. The host module is later fed to the
+//! C++/OpenCL printer, the device module to the HLS lowering.
+
+use ftn_dialects::{builtin, device, func, omp};
+use ftn_mlir::{Ir, OpId, OpSpec, Pass, PassError};
+
+/// Extract all kernels from `host_module`; returns the new device module
+/// (a detached top-level op).
+pub fn extract_device_module(ir: &mut Ir, host_module: OpId) -> OpId {
+    let (dev_module, dev_body) = builtin::module_with_target(ir, "fpga");
+    for kc in ftn_mlir::find_all(ir, host_module, device::KERNEL_CREATE) {
+        let region = ir.op(kc).regions[0];
+        let blocks = ir.region(region).blocks.clone();
+        let is_empty = blocks.len() == 1 && ir.block(blocks[0]).ops.is_empty()
+            && ir.block(blocks[0]).args.is_empty();
+        if is_empty {
+            continue; // already extracted
+        }
+        let kernel_name = device::kernel_function(ir, kc).to_string();
+        let entry = blocks[0];
+        let arg_types: Vec<_> = ir
+            .block(entry)
+            .args
+            .iter()
+            .map(|&a| ir.value_ty(a))
+            .collect();
+        // Region terminator: omp.terminator -> func.return.
+        if let Some(&last) = ir.block(entry).ops.last() {
+            if ir.op_is(last, omp::TERMINATOR) {
+                let ret = ir.intern(func::RETURN);
+                ir.op_mut(last).name = ret;
+            }
+        }
+        // Detach region from the kernel_create and wrap it in a func.func.
+        ir.op_mut(kc).regions.clear();
+        let fty = ir.function_t(&arg_types, &[]);
+        let sym = ir.attr_str(&kernel_name);
+        let fattr = ir.attr_type(fty);
+        let f = ir.create_op(
+            OpSpec::new(func::FUNC)
+                .region(region)
+                .attr("sym_name", sym)
+                .attr("function_type", fattr),
+        );
+        ir.append_op(dev_body, f);
+        // Fresh empty region for the kernel_create (Listing 2 shape).
+        let empty = ir.new_region();
+        ir.new_block(empty, &[]);
+        ir.region_mut(empty).parent = Some(kc);
+        ir.op_mut(kc).regions.push(empty);
+    }
+    dev_module
+}
+
+/// Pass wrapper storing the extracted module for pipeline drivers.
+#[derive(Default)]
+pub struct ExtractDeviceModulePass {
+    pub device_module: Option<OpId>,
+}
+
+impl ExtractDeviceModulePass {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Pass for ExtractDeviceModulePass {
+    fn name(&self) -> &str {
+        "extract-device-module"
+    }
+
+    fn description(&self) -> &str {
+        "split host and device (target=fpga) modules (this work)"
+    }
+
+    fn run(&mut self, ir: &mut Ir, module: OpId) -> Result<(), PassError> {
+        self.device_module = Some(extract_device_module(ir, module));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftn_dialects::{arith, memref, registry};
+    use ftn_mlir::{print_op, verify, Builder};
+
+    #[test]
+    fn kernel_bodies_move_to_device_module() {
+        let mut ir = Ir::new();
+        let (host, hbody) = builtin::module(&mut ir);
+        let f32t = ir.f32t();
+        let dev_mty = ir.memref_t(&[8], f32t, 2);
+        {
+            let mut b = Builder::at_end(&mut ir, hbody);
+            let (_f, entry) = func::build_func(&mut b, "main", &[], &[]);
+            b.set_insertion_point_to_end(entry);
+            let a = memref::alloc(&mut b, dev_mty, &[]);
+            let mut body_fn = |tb: &mut Builder, args: &[ftn_mlir::ValueId]| {
+                let i = arith::const_index(tb, 0);
+                let v = memref::load(tb, args[0], &[i]);
+                memref::store(tb, v, args[0], &[i]);
+                tb.insert(OpSpec::new(omp::TERMINATOR));
+            };
+            let k = device::build_kernel_create(&mut b, &[a], "main_kernel0", Some(&mut body_fn));
+            device::build_kernel_launch(&mut b, k);
+            device::build_kernel_wait(&mut b, k);
+            func::build_return(&mut b, &[]);
+        }
+        let dev = extract_device_module(&mut ir, host);
+        verify(&ir, host, &registry()).unwrap();
+        verify(&ir, dev, &registry()).unwrap();
+        let host_text = print_op(&ir, host);
+        let dev_text = print_op(&ir, dev);
+        // Host: empty-region kernel_create remains.
+        assert!(host_text.contains("device.kernel_create"), "{host_text}");
+        assert!(!host_text.contains("memref.load"), "{host_text}");
+        // Device: tagged module with the extracted function.
+        assert!(dev_text.contains("target = \"fpga\""), "{dev_text}");
+        assert!(dev_text.contains("sym_name = \"main_kernel0\""), "{dev_text}");
+        assert!(dev_text.contains("memref.load"), "{dev_text}");
+        assert!(dev_text.contains("func.return"), "{dev_text}");
+        // Idempotent: a second run extracts nothing new.
+        let dev2 = extract_device_module(&mut ir, host);
+        let dev2_text = print_op(&ir, dev2);
+        assert!(!dev2_text.contains("func.func"), "{dev2_text}");
+    }
+}

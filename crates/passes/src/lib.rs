@@ -1,0 +1,31 @@
+//! `ftn-passes` — the transformation passes of the compilation flow (Figure 2):
+//!
+//! | pass | paper component |
+//! |------|-----------------|
+//! | [`fir_to_core`] | "Lowering from HLFIR & FIR to core dialects" `[3]` |
+//! | [`lower_omp_mapped_data`] | *this work*: `omp.map_info` → `device` data ops with presence-counter conditionals |
+//! | [`lower_omp_target_region`] | *this work*: `omp.target` → `device.kernel_create/launch/wait` |
+//! | [`extract_device_module`] | *this work*: split host / `target="fpga"` device modules (Listing 2) |
+//! | [`lower_omp_to_hls`] | *this work*: `omp.wsloop` → pipelined/unrolled `scf.for` + `hls` ops (Listing 4) |
+//! | [`hls_to_func`] | "HLS dialect and lowering" `[20]`: `hls` ops → `func.call` |
+//! | [`canonicalize`] | constant folding, DCE, store→load forwarding |
+
+pub mod canonicalize;
+pub mod commute_mac;
+pub mod extract_device_module;
+pub mod fir_to_core;
+pub mod hls_to_func;
+pub mod lower_omp_mapped_data;
+pub mod lower_omp_target_region;
+pub mod lower_omp_to_hls;
+pub mod pipeline;
+
+pub use canonicalize::CanonicalizePass;
+pub use commute_mac::CommuteMacPass;
+pub use extract_device_module::{extract_device_module, ExtractDeviceModulePass};
+pub use fir_to_core::FirToCorePass;
+pub use hls_to_func::HlsToFuncPass;
+pub use lower_omp_mapped_data::LowerOmpMappedDataPass;
+pub use lower_omp_target_region::LowerOmpTargetRegionPass;
+pub use lower_omp_to_hls::LowerOmpToHlsPass;
+pub use pipeline::{device_llvm_pipeline, device_pipeline, host_pipeline, FlowStage, FLOW_STAGES};

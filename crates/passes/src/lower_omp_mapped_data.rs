@@ -1,0 +1,396 @@
+//! `lower-omp-mapped-data` — **the paper's first contribution pass** (§3).
+//!
+//! Converts OpenMP data-mapping IR (`omp.map_info`, `omp.target_data`,
+//! `omp.target_enter_data` / `exit_data` / `update`, and the map operands of
+//! `omp.target`) into `device` dialect data-management ops. Presence of data
+//! on the device is tracked by a per-identifier counter in the runtime
+//! (`data_acquire` increments, `data_release` decrements,
+//! `data_check_exists` tests > 0); the pass emits conditionals around
+//! `device.alloc` / `device.lookup` / `memref.dma_start` / `memref.wait` so
+//! nested data regions and `tofrom::implicit` maps behave per OpenMP
+//! semantics (Listing 1 discussion).
+//!
+//! On entry to a construct, per mapped variable:
+//! ```text
+//! %exists = device.data_check_exists {name}
+//! %absent = arith.xori %exists, true
+//! scf.if %absent { %d = device.alloc ...; dma host->dev if copies-in }
+//! device.data_acquire {name}
+//! %dev = device.lookup {name}
+//! ```
+//! and on exit:
+//! ```text
+//! device.data_release {name}
+//! %still = device.data_check_exists {name}
+//! %done = arith.xori %still, true
+//! scf.if %done { dma dev->host if copies-out }
+//! ```
+
+use std::collections::HashMap;
+
+use ftn_dialects::{arith, device, memref, omp, scf};
+use ftn_mlir::{Builder, Ir, OpId, Pass, PassError, TypeId, ValueId};
+
+/// Number of HBM banks available for round-robin placement (U280 has 16).
+pub const HBM_BANKS: u32 = 16;
+
+/// See module docs.
+#[derive(Default)]
+pub struct LowerOmpMappedDataPass {
+    /// Stable identifier → memory-space assignment (round-robin HBM banks).
+    spaces: HashMap<String, u32>,
+}
+
+impl LowerOmpMappedDataPass {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn space_for(&mut self, name: &str) -> u32 {
+        let next = (self.spaces.len() as u32 % HBM_BANKS) + 1;
+        *self.spaces.entry(name.to_string()).or_insert(next)
+    }
+}
+
+impl Pass for LowerOmpMappedDataPass {
+    fn name(&self) -> &str {
+        "lower-omp-mapped-data"
+    }
+
+    fn description(&self) -> &str {
+        "omp mapped data -> device data ops (this work)"
+    }
+
+    fn run(&mut self, ir: &mut Ir, module: OpId) -> Result<(), PassError> {
+        self.run_impl(ir, module).map_err(|message| PassError {
+            pass: "lower-omp-mapped-data".into(),
+            message,
+        })
+    }
+}
+
+struct MapEntry {
+    host_var: ValueId,
+    name: String,
+    map_type: omp::MapType,
+    space: u32,
+}
+
+impl LowerOmpMappedDataPass {
+    fn run_impl(&mut self, ir: &mut Ir, module: OpId) -> Result<(), String> {
+        // Repeatedly process the outermost remaining data construct: inlining
+        // a `target_data` body exposes the constructs inside it.
+        loop {
+            let Some(op) = ftn_mlir::walk_preorder(ir, module).into_iter().find(|&o| {
+                matches!(
+                    ir.op_name(o),
+                    omp::TARGET_DATA | omp::TARGET_ENTER_DATA | omp::TARGET_EXIT_DATA | omp::TARGET_UPDATE | omp::TARGET
+                ) && !ir.has_attr(o, "data_lowered")
+            }) else {
+                return Ok(());
+            };
+            match ir.op_name(op).to_string().as_str() {
+                omp::TARGET_DATA => self.lower_target_data(ir, op)?,
+                omp::TARGET_ENTER_DATA => self.lower_enter_exit(ir, op, true)?,
+                omp::TARGET_EXIT_DATA => self.lower_enter_exit(ir, op, false)?,
+                omp::TARGET_UPDATE => self.lower_update(ir, op)?,
+                omp::TARGET => self.lower_target(ir, op)?,
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn map_entries(&mut self, ir: &Ir, op: OpId) -> Vec<MapEntry> {
+        omp::map_info_ops(ir, op)
+            .into_iter()
+            .map(|mi| {
+                let name = omp::map_info_name(ir, mi).to_string();
+                MapEntry {
+                    host_var: omp::map_info_var(ir, mi),
+                    map_type: omp::map_info_type(ir, mi),
+                    space: self.space_for(&name),
+                    name,
+                }
+            })
+            .collect()
+    }
+
+    fn lower_target(&mut self, ir: &mut Ir, target: OpId) -> Result<(), String> {
+        let entries = self.map_entries(ir, target);
+        let n_maps = entries.len();
+        let map_info_values: Vec<ValueId> = ir.op(target).operands[..n_maps].to_vec();
+        // Entry protocol before the target; collect device memrefs.
+        let mut dev_vals = Vec::with_capacity(n_maps);
+        for e in &entries {
+            let (block, pos) = ir.op_position(target).expect("target in block");
+            let mut b = Builder::at(ir, block, pos);
+            let dev = emit_entry(&mut b, e, true)?;
+            dev_vals.push(dev.expect("entry with lookup"));
+        }
+        // Swap map_info operands for device memrefs; retype block args.
+        let region_args = ir.block(ir.entry_block(target, 0)).args.clone();
+        for (i, dev) in dev_vals.iter().enumerate() {
+            ir.set_operand(target, i, *dev);
+            let dev_ty = ir.value_ty(*dev);
+            ir.set_value_type(region_args[i], dev_ty);
+        }
+        // Exit protocol after the target.
+        for e in entries.iter().rev() {
+            let (block, pos) = ir.op_position(target).expect("target in block");
+            let mut b = Builder::at(ir, block, pos + 1);
+            emit_exit(&mut b, e)?;
+        }
+        // Map infos are no longer referenced by this target.
+        for v in map_info_values {
+            if !ir.has_uses(v) {
+                if let Some(def) = ir.defining_op(v) {
+                    ir.erase_op(def);
+                }
+            }
+        }
+        // Mark as processed so the driver loop terminates.
+        let unit = ir.attr_unit();
+        ir.set_attr(target, "data_lowered", unit);
+        Ok(())
+    }
+
+    fn lower_target_data(&mut self, ir: &mut Ir, td: OpId) -> Result<(), String> {
+        let entries = self.map_entries(ir, td);
+        let map_info_values: Vec<ValueId> = ir.op(td).operands.clone();
+        // Entries before the construct.
+        for e in &entries {
+            let (block, pos) = ir.op_position(td).expect("in block");
+            let mut b = Builder::at(ir, block, pos);
+            emit_entry(&mut b, e, false)?;
+        }
+        // Inline the body (all but the omp.terminator) before the op.
+        let body = ir.entry_block(td, 0);
+        let body_ops: Vec<OpId> = ir.block(body).ops.clone();
+        for inner in body_ops {
+            if ir.op_is(inner, omp::TERMINATOR) {
+                continue;
+            }
+            ir.detach_op(inner);
+            let (block, pos) = ir.op_position(td).expect("in block");
+            ir.insert_op(block, pos, inner);
+        }
+        // Exits, then drop the construct.
+        for e in entries.iter().rev() {
+            let (block, pos) = ir.op_position(td).expect("in block");
+            let mut b = Builder::at(ir, block, pos);
+            emit_exit(&mut b, e)?;
+        }
+        ir.erase_op(td);
+        for v in map_info_values {
+            if !ir.has_uses(v) {
+                if let Some(def) = ir.defining_op(v) {
+                    ir.erase_op(def);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_enter_exit(&mut self, ir: &mut Ir, op: OpId, is_enter: bool) -> Result<(), String> {
+        let entries = self.map_entries(ir, op);
+        let map_info_values: Vec<ValueId> = ir.op(op).operands.clone();
+        for e in &entries {
+            let (block, pos) = ir.op_position(op).expect("in block");
+            let mut b = Builder::at(ir, block, pos);
+            if is_enter {
+                emit_entry(&mut b, e, false)?;
+            } else {
+                emit_exit(&mut b, e)?;
+            }
+        }
+        ir.erase_op(op);
+        for v in map_info_values {
+            if !ir.has_uses(v) {
+                if let Some(def) = ir.defining_op(v) {
+                    ir.erase_op(def);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_update(&mut self, ir: &mut Ir, op: OpId) -> Result<(), String> {
+        let motion = ir
+            .attr_str_of(op, "motion")
+            .ok_or("target_update without motion")?
+            .to_string();
+        let entries = self.map_entries(ir, op);
+        let map_info_values: Vec<ValueId> = ir.op(op).operands.clone();
+        for e in &entries {
+            let (block, pos) = ir.op_position(op).expect("in block");
+            let mut b = Builder::at(ir, block, pos);
+            let dev_ty = b.ir.memref_in_space(b.ir.value_ty(e.host_var), e.space);
+            let dev = device::build_lookup(&mut b, dev_ty, &e.name, e.space);
+            if motion == "from" {
+                memref::transfer(&mut b, dev, e.host_var);
+            } else {
+                memref::transfer(&mut b, e.host_var, dev);
+            }
+        }
+        ir.erase_op(op);
+        for v in map_info_values {
+            if !ir.has_uses(v) {
+                if let Some(def) = ir.defining_op(v) {
+                    ir.erase_op(def);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Emit the entry protocol for one mapped variable. Returns the device memref
+/// (`device.lookup` result) when `with_lookup` is set.
+fn emit_entry(b: &mut Builder, e: &MapEntry, with_lookup: bool) -> Result<Option<ValueId>, String> {
+    let host_ty = b.ir.value_ty(e.host_var);
+    if !b.ir.type_kind(host_ty).is_memref() {
+        return Err(format!("mapped variable '{}' is not a memref", e.name));
+    }
+    let dev_ty: TypeId = b.ir.memref_in_space(host_ty, e.space);
+    let exists = device::build_data_check_exists(b, &e.name);
+    let absent = arith::not(b, exists);
+    let host_var = e.host_var;
+    let name = e.name.clone();
+    let space = e.space;
+    let copies_in = e.map_type.copies_in();
+    let shape: Vec<i64> = b.ir.memref_shape(host_ty).to_vec();
+    scf::build_if(
+        b,
+        absent,
+        &[],
+        |then_b| {
+            // Dynamic extents come from the host memref.
+            let mut dyn_sizes = Vec::new();
+            for (i, d) in shape.iter().enumerate() {
+                if *d == ftn_mlir::types::DYN_DIM {
+                    let ci = arith::const_index(then_b, i as i64);
+                    dyn_sizes.push(memref::dim(then_b, host_var, ci));
+                }
+            }
+            let dev = device::build_alloc(then_b, dev_ty, &dyn_sizes, &name, space);
+            if copies_in {
+                memref::transfer(then_b, host_var, dev);
+            }
+            vec![]
+        },
+        |_| vec![],
+    );
+    device::build_data_acquire(b, &e.name, e.space);
+    if with_lookup {
+        Ok(Some(device::build_lookup(b, dev_ty, &e.name, e.space)))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Emit the exit protocol for one mapped variable.
+fn emit_exit(b: &mut Builder, e: &MapEntry) -> Result<(), String> {
+    let host_ty = b.ir.value_ty(e.host_var);
+    let dev_ty = b.ir.memref_in_space(host_ty, e.space);
+    device::build_data_release(b, &e.name, e.space);
+    let still = device::build_data_check_exists(b, &e.name);
+    let done = arith::not(b, still);
+    let host_var = e.host_var;
+    let name = e.name.clone();
+    let space = e.space;
+    let copies_out = e.map_type.copies_out();
+    scf::build_if(
+        b,
+        done,
+        &[],
+        |then_b| {
+            if copies_out {
+                let dev = device::build_lookup(then_b, dev_ty, &name, space);
+                memref::transfer(then_b, dev, host_var);
+            }
+            vec![]
+        },
+        |_| vec![],
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftn_dialects::{builtin, func, registry};
+    use ftn_mlir::{print_op, verify};
+
+    fn build_listing1(ir: &mut Ir) -> OpId {
+        // target data map(from:a) { target map(to:b) implicit(a) { ... } }
+        let (module, mbody) = builtin::module(ir);
+        let f32t = ir.f32t();
+        let mty = ir.memref_t(&[100], f32t, 0);
+        let mut b = Builder::at_end(ir, mbody);
+        let (_f, entry) = func::build_func(&mut b, "main", &[], &[]);
+        b.set_insertion_point_to_end(entry);
+        let a = memref::alloc(&mut b, mty, &[]);
+        let bb = memref::alloc(&mut b, mty, &[]);
+        let mi_a = omp::build_map_info(&mut b, a, omp::MapType::From, "a", &[]);
+        omp::build_target_data(&mut b, &[mi_a], |inner| {
+            let mi_b = omp::build_map_info(inner, bb, omp::MapType::To, "b", &[]);
+            let mi_a2 = omp::build_map_info(inner, a, omp::MapType::ImplicitTofrom, "a", &[]);
+            omp::build_target(inner, &[mi_b, mi_a2], &[], |tb, args| {
+                let i = arith::const_index(tb, 0);
+                let v = memref::load(tb, args[0], &[i]);
+                memref::store(tb, v, args[1], &[i]);
+            });
+        });
+        func::build_return(&mut b, &[]);
+        module
+    }
+
+    #[test]
+    fn lowers_listing1_nesting() {
+        let mut ir = Ir::new();
+        let module = build_listing1(&mut ir);
+        let mut pass = LowerOmpMappedDataPass::new();
+        pass.run(&mut ir, module).unwrap();
+        verify(&ir, module, &registry()).unwrap();
+        let text = print_op(&ir, module);
+        assert!(!text.contains("omp.map_info"), "{text}");
+        assert!(!text.contains("omp.target_data"), "{text}");
+        assert!(text.contains("device.alloc"), "{text}");
+        assert!(text.contains("device.data_acquire"), "{text}");
+        assert!(text.contains("device.data_release"), "{text}");
+        assert!(text.contains("device.data_check_exists"), "{text}");
+        assert!(text.contains("memref.dma_start"), "{text}");
+        // a acquired twice (data region + implicit target map).
+        let acquires = text.matches("device.data_acquire").count();
+        assert_eq!(acquires, 3, "a twice + b once:\n{text}");
+        // Target block args must now be device memrefs (space != 0).
+        assert!(text.contains("memref<100xf32, 1"), "{text}");
+    }
+
+    #[test]
+    fn enter_exit_update_lower() {
+        let mut ir = Ir::new();
+        let (module, mbody) = builtin::module(&mut ir);
+        let f32t = ir.f32t();
+        let mty = ir.memref_t(&[8], f32t, 0);
+        {
+            let mut b = Builder::at_end(&mut ir, mbody);
+            let (_f, entry) = func::build_func(&mut b, "main", &[], &[]);
+            b.set_insertion_point_to_end(entry);
+            let a = memref::alloc(&mut b, mty, &[]);
+            let mi = omp::build_map_info(&mut b, a, omp::MapType::To, "a", &[]);
+            omp::build_target_enter_data(&mut b, &[mi]);
+            let mi2 = omp::build_map_info(&mut b, a, omp::MapType::From, "a", &[]);
+            omp::build_target_update(&mut b, &[mi2], "from");
+            let mi3 = omp::build_map_info(&mut b, a, omp::MapType::From, "a", &[]);
+            omp::build_target_exit_data(&mut b, &[mi3]);
+            func::build_return(&mut b, &[]);
+        }
+        let mut pass = LowerOmpMappedDataPass::new();
+        pass.run(&mut ir, module).unwrap();
+        verify(&ir, module, &registry()).unwrap();
+        let text = print_op(&ir, module);
+        assert!(!text.contains("omp."), "all omp data ops gone:\n{text}");
+        assert!(text.contains("device.lookup"), "{text}");
+    }
+}

@@ -1,0 +1,125 @@
+//! `lower-omp-target-region` — **the paper's second contribution pass** (§3).
+//!
+//! Rewrites each `omp.target` into the kernel-lifetime triple
+//! `device.kernel_create` / `device.kernel_launch` / `device.kernel_wait`,
+//! moving the target's region into the `kernel_create` (Listing 2 shows the
+//! post-extraction shape). The split gives the host flexibility over kernel
+//! scheduling and maps directly onto the OpenCL driver API.
+
+use ftn_dialects::{device, func, omp};
+use ftn_mlir::{Builder, Ir, OpId, OpSpec, Pass, PassError};
+
+/// See module docs.
+#[derive(Default)]
+pub struct LowerOmpTargetRegionPass {
+    kernel_counter: usize,
+}
+
+impl LowerOmpTargetRegionPass {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Pass for LowerOmpTargetRegionPass {
+    fn name(&self) -> &str {
+        "lower-omp-target-region"
+    }
+
+    fn description(&self) -> &str {
+        "omp.target -> device kernel create/launch/wait (this work)"
+    }
+
+    fn run(&mut self, ir: &mut Ir, module: OpId) -> Result<(), PassError> {
+        for target in ftn_mlir::find_all(ir, module, omp::TARGET) {
+            self.lower_one(ir, module, target).map_err(|message| PassError {
+                pass: "lower-omp-target-region".into(),
+                message,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+impl LowerOmpTargetRegionPass {
+    fn lower_one(&mut self, ir: &mut Ir, _module: OpId, target: OpId) -> Result<(), String> {
+        // Kernel name derived from the enclosing function.
+        let enclosing = enclosing_func_name(ir, target).unwrap_or_else(|| "anon".to_string());
+        let kernel_name = format!("{enclosing}_kernel{}", self.kernel_counter);
+        self.kernel_counter += 1;
+
+        let operands = ir.op(target).operands.clone();
+        let region = ir.op(target).regions[0];
+        // Detach the region from the target so erase_op doesn't consume it.
+        ir.op_mut(target).regions.clear();
+
+        let handle_ty = device::kernel_handle_t(ir);
+        let sym = ir.attr_symbol(&kernel_name);
+        let (block, pos) = ir.op_position(target).ok_or("target not in a block")?;
+        let create = ir.create_op(
+            OpSpec::new(device::KERNEL_CREATE)
+                .operands(&operands)
+                .results(&[handle_ty])
+                .region(region)
+                .attr("device_function", sym),
+        );
+        ir.insert_op(block, pos, create);
+        let handle = ir.result(create);
+        {
+            let mut b = Builder::at(ir, block, pos + 1);
+            device::build_kernel_launch(&mut b, handle);
+            device::build_kernel_wait(&mut b, handle);
+        }
+        ir.erase_op(target);
+        Ok(())
+    }
+}
+
+fn enclosing_func_name(ir: &Ir, op: OpId) -> Option<String> {
+    let mut cur = op;
+    while let Some(parent) = ir.parent_op(cur) {
+        if ir.op_is(parent, func::FUNC) {
+            return Some(func::name(ir, parent).to_string());
+        }
+        cur = parent;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftn_dialects::{arith, builtin, memref, registry};
+    use ftn_mlir::{print_op, verify};
+
+    #[test]
+    fn target_becomes_kernel_triple() {
+        let mut ir = Ir::new();
+        let (module, mbody) = builtin::module(&mut ir);
+        let f32t = ir.f32t();
+        let dev_mty = ir.memref_t(&[8], f32t, 1);
+        {
+            let mut b = Builder::at_end(&mut ir, mbody);
+            let (_f, entry) = func::build_func(&mut b, "main", &[], &[]);
+            b.set_insertion_point_to_end(entry);
+            let a = memref::alloc(&mut b, dev_mty, &[]);
+            let mi = omp::build_map_info(&mut b, a, omp::MapType::Tofrom, "a", &[]);
+            omp::build_target(&mut b, &[mi], &[], |tb, args| {
+                let i = arith::const_index(tb, 0);
+                let v = memref::load(tb, args[0], &[i]);
+                memref::store(tb, v, args[0], &[i]);
+            });
+            func::build_return(&mut b, &[]);
+        }
+        let mut pass = LowerOmpTargetRegionPass::new();
+        pass.run(&mut ir, module).unwrap();
+        verify(&ir, module, &registry()).unwrap();
+        let text = print_op(&ir, module);
+        assert!(!text.contains("\"omp.target\""), "{text}");
+        assert!(text.contains("device.kernel_create"), "{text}");
+        assert!(text.contains("device.kernel_launch"), "{text}");
+        assert!(text.contains("device.kernel_wait"), "{text}");
+        assert!(text.contains("device_function = @main_kernel0"), "{text}");
+        assert!(text.contains("!device.kernelhandle"), "{text}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Standard pass pipelines and the flow-stage metadata used to regenerate the
+//! paper's Figure 1 and Figure 2 diagrams from the *actual* registered passes.
+
+use ftn_mlir::PassManager;
+
+use crate::{
+    CanonicalizePass, FirToCorePass, HlsToFuncPass, LowerOmpMappedDataPass,
+    LowerOmpTargetRegionPass, LowerOmpToHlsPass,
+};
+
+/// Host-side pipeline: Fortran-derived IR → host module with `device` ops
+/// (module separation runs as an explicit step afterwards).
+pub fn host_pipeline() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(Box::new(FirToCorePass))
+        .add(Box::new(LowerOmpMappedDataPass::new()))
+        .add(Box::new(LowerOmpTargetRegionPass::new()))
+        .add(Box::new(CanonicalizePass));
+    pm
+}
+
+/// Device-side pipeline: extracted `target="fpga"` module → `hls` + `scf`
+/// form consumed by the Vitis-substitute backend.
+pub fn device_pipeline() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(Box::new(LowerOmpToHlsPass)).add(Box::new(CanonicalizePass));
+    pm
+}
+
+/// LLVM-artifact pipeline step run on a *copy* of the device module after the
+/// simulator has consumed the `hls` form.
+pub fn device_llvm_pipeline() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(Box::new(HlsToFuncPass)).add(Box::new(CanonicalizePass));
+    pm
+}
+
+/// One stage in the end-to-end flow (Figure 1/Figure 2 regeneration).
+pub struct FlowStage {
+    pub name: &'static str,
+    pub description: &'static str,
+    /// Which paper component provides the stage (Table 7 rows).
+    pub component: &'static str,
+}
+
+/// The complete flow, in order — the data for Figure 2 (stages 1–4 alone are
+/// Figure 1, the `[3]` Flang-to-core flow).
+pub const FLOW_STAGES: &[FlowStage] = &[
+    FlowStage {
+        name: "flang-frontend",
+        description: "Fortran + !$omp -> HLFIR/FIR-like dialect",
+        component: "Flang / ftn-frontend",
+    },
+    FlowStage {
+        name: "fir-to-core",
+        description: "FIR -> memref/scf/arith core dialects",
+        component: "[3] lowering",
+    },
+    FlowStage {
+        name: "lower-omp-mapped-data",
+        description: "omp map_info/bounds -> device data ops + counters",
+        component: "this work",
+    },
+    FlowStage {
+        name: "lower-omp-target-region",
+        description: "omp.target -> device.kernel_create/launch/wait",
+        component: "this work",
+    },
+    FlowStage {
+        name: "extract-device-module",
+        description: "split host module and target=\"fpga\" module",
+        component: "this work",
+    },
+    FlowStage {
+        name: "host-opencl-printer",
+        description: "host module -> C++ with OpenCL (Clang-compiled)",
+        component: "this work",
+    },
+    FlowStage {
+        name: "lower-omp-to-hls",
+        description: "omp loops -> pipelined/unrolled scf.for + hls ops",
+        component: "this work",
+    },
+    FlowStage {
+        name: "lower-hls-to-func",
+        description: "hls ops -> func.call primitives",
+        component: "[20] Stencil-HMLS",
+    },
+    FlowStage {
+        name: "llvm-dialect-and-ir",
+        description: "core dialects -> llvm dialect -> LLVM-IR",
+        component: "mlir-opt equivalent",
+    },
+    FlowStage {
+        name: "llvm7-downgrade-ssdm",
+        description: "downgrade IR to LLVM 7, map calls to AMD _ssdm_op_*",
+        component: "[19] Fortran HLS",
+    },
+    FlowStage {
+        name: "vitis-hls-backend",
+        description: "schedule, estimate resources, package bitstream",
+        component: "AMD Vitis (simulated)",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelines_have_expected_passes() {
+        assert_eq!(
+            host_pipeline().pipeline(),
+            vec![
+                "fir-to-core",
+                "lower-omp-mapped-data",
+                "lower-omp-target-region",
+                "canonicalize"
+            ]
+        );
+        assert_eq!(device_pipeline().pipeline(), vec!["lower-omp-to-hls", "canonicalize"]);
+        assert_eq!(
+            device_llvm_pipeline().pipeline(),
+            vec!["lower-hls-to-func", "canonicalize"]
+        );
+    }
+
+    #[test]
+    fn flow_covers_both_figures() {
+        // Figure 1 is the frontend-to-core prefix; Figure 2 is the whole flow.
+        assert!(FLOW_STAGES.len() >= 10);
+        assert_eq!(FLOW_STAGES[0].name, "flang-frontend");
+        assert!(FLOW_STAGES.iter().any(|s| s.component == "this work"));
+        assert!(FLOW_STAGES.iter().any(|s| s.component.contains("[19]")));
+        assert!(FLOW_STAGES.iter().any(|s| s.component.contains("[20]")));
+    }
+}

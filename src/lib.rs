@@ -1,0 +1,15 @@
+//! Umbrella crate for the `ftn` Fortran→FPGA OpenMP MLIR pipeline reproduction.
+//!
+//! Re-exports the public API of every workspace crate so that examples and
+//! integration tests can use a single import root. See `ftn-core` for the
+//! end-to-end compiler driver and `DESIGN.md` for the system inventory.
+
+pub use ftn_core as core;
+pub use ftn_dialects as dialects;
+pub use ftn_fpga as fpga;
+pub use ftn_frontend as frontend;
+pub use ftn_host as host;
+pub use ftn_interp as interp;
+pub use ftn_llvm as llvm;
+pub use ftn_mlir as mlir;
+pub use ftn_passes as passes;

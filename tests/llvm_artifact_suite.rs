@@ -1,0 +1,120 @@
+//! Cross-checks on the LLVM artifact leg: the emitted IR must be internally
+//! consistent (every used SSA name defined, braces balanced, declares match
+//! call sites) for both the modern and the LLVM-7 forms, across all three
+//! benchmark programs.
+
+use std::collections::HashSet;
+
+use ftn_bench::workloads;
+use ftn_core::Compiler;
+
+fn artifacts_for(src: &str) -> ftn_core::Artifacts {
+    Compiler::default().compile_source(src).unwrap()
+}
+
+/// Light structural validation of LLVM-IR text.
+fn check_llvm_text(text: &str, ctx: &str) {
+    // Balanced braces.
+    let opens = text.matches('{').count();
+    let closes = text.matches('}').count();
+    assert_eq!(opens, closes, "{ctx}: unbalanced braces");
+    // Per-function: every %N used was defined (params, phis, instructions).
+    for chunk in text.split("define ").skip(1) {
+        let body_end = chunk.find("\n}").unwrap_or(chunk.len());
+        let body = &chunk[..body_end];
+        let mut defined: HashSet<String> = HashSet::new();
+        // Params: "(float* %0, i64 %1)".
+        if let Some(open) = body.find('(') {
+            let close = body[open..].find(')').map(|i| open + i).unwrap_or(open);
+            for tok in body[open..close].split_whitespace() {
+                if let Some(name) = tok.strip_suffix(',') {
+                    if name.starts_with('%') {
+                        defined.insert(name.to_string());
+                    }
+                } else if tok.starts_with('%') {
+                    defined.insert(tok.to_string());
+                }
+            }
+        }
+        for line in body.lines() {
+            let t = line.trim();
+            if let Some(eq) = t.find(" = ") {
+                let name = &t[..eq];
+                if name.starts_with('%') {
+                    defined.insert(name.to_string());
+                }
+            }
+        }
+        // Uses: any %name token (strip punctuation) must be defined, except
+        // block labels (%bbN after "label").
+        for line in body.lines() {
+            let t = line.trim();
+            let after_def = t.find(" = ").map(|i| i + 3).unwrap_or(0);
+            for raw in t[after_def..].split(|c: char| " ,()[]".contains(c)) {
+                if let Some(name) = raw.strip_suffix(':') {
+                    let _ = name;
+                    continue;
+                }
+                if raw.starts_with("%bb") || !raw.starts_with('%') || raw.len() < 2 {
+                    continue;
+                }
+                assert!(
+                    defined.contains(raw),
+                    "{ctx}: use of undefined value {raw} in line '{t}'"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn saxpy_llvm_ir_is_consistent() {
+    let a = artifacts_for(workloads::SAXPY_F90);
+    check_llvm_text(&a.llvm_ir, "saxpy modern");
+    check_llvm_text(&a.llvm7_ir, "saxpy llvm7");
+    // The unroll produced 10 body replicas in the main loop: at least 10
+    // getelementptr+load pairs per input.
+    assert!(a.llvm_ir.matches("getelementptr").count() >= 20, "unrolled body expected");
+}
+
+#[test]
+fn sgesl_llvm_ir_is_consistent() {
+    let a = artifacts_for(workloads::SGESL_F90);
+    check_llvm_text(&a.llvm_ir, "sgesl modern");
+    check_llvm_text(&a.llvm7_ir, "sgesl llvm7");
+    // Two kernels.
+    assert_eq!(a.llvm_ir.matches("define void @sgesl_kernel").count(), 2);
+}
+
+#[test]
+fn dotprod_llvm_ir_is_consistent() {
+    let a = artifacts_for(workloads::DOTPROD_F90);
+    check_llvm_text(&a.llvm_ir, "dotprod modern");
+    check_llvm_text(&a.llvm7_ir, "dotprod llvm7");
+    // The reduction round-robin: 8 accumulator phis in the main loop header.
+    assert!(a.llvm_ir.matches("phi float").count() >= 8, "{}", a.llvm_ir);
+}
+
+#[test]
+fn declares_cover_all_external_calls() {
+    let a = artifacts_for(workloads::SAXPY_F90);
+    for text in [&a.llvm_ir, &a.llvm7_ir] {
+        let called: HashSet<&str> = text
+            .lines()
+            .filter_map(|l| {
+                let t = l.trim();
+                t.contains("call ").then(|| {
+                    let at = t.find('@')?;
+                    let end = t[at..].find('(')? + at;
+                    Some(&t[at + 1..end])
+                })?
+            })
+            .collect();
+        for c in called {
+            let defined = text.contains(&format!("define void @{c}("))
+                || text.contains(&format!("define float @{c}("))
+                || text.contains(&format!("declare")) && text.contains(&format!("@{c}"));
+            assert!(defined, "call target @{c} neither defined nor declared");
+        }
+    }
+}
