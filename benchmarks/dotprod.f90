@@ -1,0 +1,13 @@
+! Dot product with a reduction clause (extension workload): the
+! round-robin accumulator-copy scheme keeps the pipeline II memory-bound
+! instead of fadd-latency-bound.
+subroutine dotprod(n, x, y, s)
+  implicit none
+  integer :: n, i
+  real :: x(n), y(n), s
+  !$omp target parallel do simd simdlen(8) reduction(+:s)
+  do i = 1, n
+    s = s + x(i)*y(i)
+  end do
+  !$omp end target parallel do simd
+end subroutine dotprod

@@ -1,0 +1,12 @@
+! SAXPY (paper Listing 5): y = y + a*x with the combined
+! `target parallel do simd simdlen(10)` directive the paper evaluates.
+subroutine saxpy(n, a, x, y)
+  implicit none
+  integer :: n, i
+  real :: a, x(n), y(n)
+  !$omp target parallel do simd simdlen(10)
+  do i = 1, n
+    y(i) = y(i) + a*x(i)
+  end do
+  !$omp end target parallel do simd
+end subroutine saxpy

@@ -1,0 +1,34 @@
+! SGESL (LINPACK, job = 0): solve A*x = b given the SGEFA factorization.
+! The two column-sweep inner loops are offloaded (paper Listing 6); the
+! pivot bookkeeping stays on the host, and the per-launch scalars (t, k)
+! are firstprivate. The accumulator-first MAC `b(i) + t*a(...)` is the
+! Flang shape the Vitis DSP recognizer does NOT match (Table 4).
+subroutine sgesl(a, lda, n, ipvt, b)
+  implicit none
+  integer :: lda, n, k, kb, l, i
+  integer :: ipvt(n)
+  real :: a(lda, n), b(n), t
+  do k = 1, n - 1
+    l = ipvt(k)
+    t = b(l)
+    if (l /= k) then
+      b(l) = b(k)
+      b(k) = t
+    end if
+    !$omp target parallel do
+    do i = k + 1, n
+      b(i) = b(i) + t*a(i, k)
+    end do
+    !$omp end target parallel do
+  end do
+  do kb = 1, n
+    k = n + 1 - kb
+    b(k) = b(k) / a(k, k)
+    t = -b(k)
+    !$omp target parallel do
+    do i = 1, k - 1
+      b(i) = b(i) + t*a(i, k)
+    end do
+    !$omp end target parallel do
+  end do
+end subroutine sgesl

@@ -16,8 +16,10 @@ fn utilisation(fix_mac: bool) -> (f64, f64, f64, usize) {
         .compile_source(workloads::SGESL_F90)
         .expect("compiles");
     let device = DeviceModel::u280();
-    let (lut, bram, dsp) =
-        ftn_fpga::resources::utilisation_with_shell(&device, &artifacts.bitstream.kernel_resources());
+    let (lut, bram, dsp) = ftn_fpga::resources::utilisation_with_shell(
+        &device,
+        &artifacts.bitstream.kernel_resources(),
+    );
     let macs = artifacts
         .bitstream
         .kernels
@@ -29,17 +31,29 @@ fn utilisation(fix_mac: bool) -> (f64, f64, f64, usize) {
 
 fn main() {
     println!("== Ablation: commute-mac-for-vitis on SGESL (Fortran flow) ==");
-    println!("{:24} | {:>7} | {:>7} | {:>7} | {:>15}", "variant", "LUT %", "BRAM %", "DSP %", "recognized MACs");
+    println!(
+        "{:24} | {:>7} | {:>7} | {:>7} | {:>15}",
+        "variant", "LUT %", "BRAM %", "DSP %", "recognized MACs"
+    );
     let (lut0, bram0, dsp0, macs0) = utilisation(false);
-    println!("{:24} | {:>7.2} | {:>7.2} | {:>7.2} | {:>15}", "as published (off)", lut0, bram0, dsp0, macs0);
+    println!(
+        "{:24} | {:>7.2} | {:>7.2} | {:>7.2} | {:>15}",
+        "as published (off)", lut0, bram0, dsp0, macs0
+    );
     let (lut1, bram1, dsp1, macs1) = utilisation(true);
-    println!("{:24} | {:>7.2} | {:>7.2} | {:>7.2} | {:>15}", "future work (on)", lut1, bram1, dsp1, macs1);
+    println!(
+        "{:24} | {:>7.2} | {:>7.2} | {:>7.2} | {:>15}",
+        "future work (on)", lut1, bram1, dsp1, macs1
+    );
 
     let manual = workloads::handwritten_sgesl_bitstream();
     let device = DeviceModel::u280();
     let (lut_h, bram_h, dsp_h) =
         ftn_fpga::resources::utilisation_with_shell(&device, &manual.kernel_resources());
-    println!("{:24} | {:>7.2} | {:>7.2} | {:>7.2} | {:>15}", "hand-written HLS", lut_h, bram_h, dsp_h, "-");
+    println!(
+        "{:24} | {:>7.2} | {:>7.2} | {:>7.2} | {:>15}",
+        "hand-written HLS", lut_h, bram_h, dsp_h, "-"
+    );
 
     assert_eq!(macs0, 0);
     assert!(macs1 > 0);

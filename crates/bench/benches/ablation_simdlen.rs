@@ -51,7 +51,10 @@ fn measure(simdlen: Option<u32>, n: usize) -> Row {
     let xa = machine.host_f32(&x);
     let ya = machine.host_f32(&y);
     let report = machine
-        .run("saxpy", &[RtValue::I32(n as i32), RtValue::F32(2.0), xa, ya])
+        .run(
+            "saxpy",
+            &[RtValue::I32(n as i32), RtValue::F32(2.0), xa, ya],
+        )
         .expect("runs");
     let res = artifacts.bitstream.kernel_resources();
     Row {
@@ -81,7 +84,10 @@ fn main() {
     .expect("sweep threads");
 
     println!("== Ablation: SAXPY simdlen sweep (N = {n}) ==");
-    println!("{:12} | {:>12} | {:>14} | {:>10} | {:>6}", "variant", "kernel (ms)", "cycles/element", "LUT", "DSP");
+    println!(
+        "{:12} | {:>12} | {:>14} | {:>10} | {:>6}",
+        "variant", "kernel (ms)", "cycles/element", "LUT", "DSP"
+    );
     for row in rows.into_iter().flatten() {
         println!(
             "{:12} | {:>12.3} | {:>14.1} | {:>10} | {:>6}",

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ftn_bench::workloads;
 use ftn_core::Compiler;
 use ftn_fpga::{DeviceModel, KernelExecutor};
-use ftn_interp::{Buffer, Memory, MemRefVal, RtValue};
+use ftn_interp::{Buffer, MemRefVal, Memory, RtValue};
 use ftn_mlir::{parse_module, print_op, Ir};
 
 fn bench_compile(c: &mut Criterion) {
@@ -53,12 +53,22 @@ fn bench_simulator(c: &mut Criterion) {
             let x = memory.alloc(Buffer::F32(vec![1.0; n]), 1);
             let y = memory.alloc(Buffer::F32(vec![2.0; n]), 1);
             let args = vec![
-                RtValue::MemRef(MemRefVal { buffer: x, shape: vec![n as i64], space: 1 }),
-                RtValue::MemRef(MemRefVal { buffer: y, shape: vec![n as i64], space: 1 }),
+                RtValue::MemRef(MemRefVal {
+                    buffer: x,
+                    shape: vec![n as i64],
+                    space: 1,
+                }),
+                RtValue::MemRef(MemRefVal {
+                    buffer: y,
+                    shape: vec![n as i64],
+                    space: 1,
+                }),
                 RtValue::F32(2.5),
                 RtValue::Index(n as i64),
             ];
-            executor.execute("saxpy_manual", &args, &mut memory).unwrap()
+            executor
+                .execute("saxpy_manual", &args, &mut memory)
+                .unwrap()
         })
     });
 }

@@ -1,11 +1,20 @@
 //! Prints every table and figure of the paper's evaluation in one run:
-//! `cargo run --release -p ftn-bench --bin tables [--quick]`.
+//! `cargo run --release -p ftn-bench --bin tables [--quick] [--json]`.
 //!
 //! `--quick` uses reduced problem sizes (useful for smoke-testing; the full
-//! sizes match the paper: SAXPY up to 10M, SGESL up to 2048).
+//! sizes match the paper: SAXPY up to 10M, SGESL up to 2048). `--json`
+//! emits the same tables as a machine-readable JSON document instead of the
+//! rendered text.
+
+#[derive(serde::Serialize)]
+struct Report {
+    tables: Vec<ftn_bench::Table>,
+    figures: Vec<String>,
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = std::env::args().any(|a| a == "--json");
     let (saxpy_sizes, sgesl_sizes): (Vec<usize>, Vec<usize>) = if quick {
         (vec![10_000, 100_000], vec![64, 128])
     } else {
@@ -15,14 +24,27 @@ fn main() {
         )
     };
 
-    println!("{}", ftn_bench::table1_saxpy_runtime(&saxpy_sizes).render());
-    println!("{}", ftn_bench::table2_sgesl_runtime(&sgesl_sizes).render());
-    println!("{}", ftn_bench::table3_saxpy_resources().render());
-    println!("{}", ftn_bench::table4_sgesl_resources().render());
-    println!("{}", ftn_bench::table5_saxpy_power(&saxpy_sizes).render());
-    println!("{}", ftn_bench::table6_sgesl_power(&sgesl_sizes).render());
-    println!("{}", ftn_bench::locs::table7().render());
-    println!("{}", ftn_bench::diagram::figure1());
-    println!();
-    println!("{}", ftn_bench::diagram::figure2());
+    let tables = vec![
+        ftn_bench::table1_saxpy_runtime(&saxpy_sizes),
+        ftn_bench::table2_sgesl_runtime(&sgesl_sizes),
+        ftn_bench::table3_saxpy_resources(),
+        ftn_bench::table4_sgesl_resources(),
+        ftn_bench::table5_saxpy_power(&saxpy_sizes),
+        ftn_bench::table6_sgesl_power(&sgesl_sizes),
+        ftn_bench::locs::table7(),
+    ];
+    let figures = vec![ftn_bench::diagram::figure1(), ftn_bench::diagram::figure2()];
+
+    if json {
+        let report = Report { tables, figures };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("tables serialize")
+        );
+        return;
+    }
+    for t in &tables {
+        println!("{}", t.render());
+    }
+    println!("{}", figures.join("\n\n"));
 }

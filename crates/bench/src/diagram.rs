@@ -9,7 +9,10 @@ pub fn figure1() -> String {
     let stages: Vec<(&str, &str)> = vec![
         ("Fortran source", "programmer input"),
         ("Flang: HLFIR & FIR", FLOW_STAGES[0].component),
-        ("core dialects (memref/scf/arith/omp)", FLOW_STAGES[1].component),
+        (
+            "core dialects (memref/scf/arith/omp)",
+            FLOW_STAGES[1].component,
+        ),
         ("MLIR transforms (mlir-opt)", "upstream MLIR"),
         ("LLVM-IR", "LLVM backend"),
     ];

@@ -18,7 +18,7 @@ pub const TRIALS: usize = 10;
 pub const NOISE: f64 = 0.004;
 
 /// A rendered table: title, column headers, and rows of cells.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct Table {
     pub title: String,
     pub columns: Vec<String>,
@@ -328,7 +328,10 @@ mod tests {
         let t = table4_sgesl_resources();
         let f_dsp: f64 = t.cell("Fortran OpenMP", 2).unwrap().parse().unwrap();
         let h_dsp: f64 = t.cell("Hand-written HLS", 2).unwrap().parse().unwrap();
-        assert!(h_dsp > f_dsp, "handwritten uses more DSPs: {h_dsp} vs {f_dsp}");
+        assert!(
+            h_dsp > f_dsp,
+            "handwritten uses more DSPs: {h_dsp} vs {f_dsp}"
+        );
         let f_lut: f64 = t.cell("Fortran OpenMP", 0).unwrap().parse().unwrap();
         let h_lut: f64 = t.cell("Hand-written HLS", 0).unwrap().parse().unwrap();
         assert!(f_lut > h_lut, "fortran uses more LUTs: {f_lut} vs {h_lut}");

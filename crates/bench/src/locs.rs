@@ -91,7 +91,11 @@ pub fn count_loc(path: &Path) -> u64 {
 /// Component LoC over this repository.
 pub fn component_loc(component: &Component) -> u64 {
     let root = workspace_root();
-    component.files.iter().map(|f| count_loc(&root.join(f))).sum()
+    component
+        .files
+        .iter()
+        .map(|f| count_loc(&root.join(f)))
+        .sum()
 }
 
 /// Render Table 7.

@@ -6,7 +6,7 @@
 use ftn_core::{Artifacts, Compiler, Machine};
 use ftn_dialects::{arith, builtin, func, memref, omp};
 use ftn_fpga::{Bitstream, DeviceModel, KernelExecutor, VitisBackend};
-use ftn_interp::{Buffer, Memory, MemRefVal, RtValue};
+use ftn_interp::{Buffer, MemRefVal, Memory, RtValue};
 use ftn_mlir::{Builder, Ir};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -156,7 +156,10 @@ pub fn run_saxpy_fortran(artifacts: &Artifacts, n: usize, seed: u64) -> SaxpyRun
     let xa = machine.host_f32(&x);
     let ya = machine.host_f32(&y);
     let report = machine
-        .run("saxpy", &[RtValue::I32(n as i32), RtValue::F32(a), xa, ya.clone()])
+        .run(
+            "saxpy",
+            &[RtValue::I32(n as i32), RtValue::F32(a), xa, ya.clone()],
+        )
         .expect("saxpy runs");
     SaxpyRun {
         kernel_seconds: report.stats.kernel_seconds,
@@ -192,7 +195,13 @@ pub fn run_sgesl_fortran(artifacts: &Artifacts, n: usize, seed: u64) -> SgeslRun
     let report = machine
         .run(
             "sgesl",
-            &[aa, RtValue::I32(n as i32), RtValue::I32(n as i32), ip, ba.clone()],
+            &[
+                aa,
+                RtValue::I32(n as i32),
+                RtValue::I32(n as i32),
+                ip,
+                ba.clone(),
+            ],
         )
         .expect("sgesl runs");
     SgeslRun {
@@ -334,7 +343,9 @@ pub fn run_saxpy_handwritten(bitstream: &Bitstream, n: usize, seed: u64) -> Saxp
     let stats = executor
         .execute("saxpy_manual", &args, &mut memory)
         .expect("manual saxpy");
-    let Buffer::F32(y) = memory.get(yb) else { unreachable!() };
+    let Buffer::F32(y) = memory.get(yb) else {
+        unreachable!()
+    };
     SaxpyRun {
         kernel_seconds: stats.kernel_seconds,
         y: y.clone(),
@@ -380,7 +391,9 @@ pub fn run_sgesl_handwritten(bitstream: &Bitstream, n: usize, seed: u64) -> Sges
         // small pinned-memory reads in the real host code).
         let l = (ipvt[k] - 1) as usize;
         let t = {
-            let Buffer::F32(bd) = memory.get_mut(bb) else { unreachable!() };
+            let Buffer::F32(bd) = memory.get_mut(bb) else {
+                unreachable!()
+            };
             let t = bd[l];
             if l != k {
                 bd[l] = bd[k];
@@ -388,20 +401,31 @@ pub fn run_sgesl_handwritten(bitstream: &Bitstream, n: usize, seed: u64) -> Sges
             }
             t
         };
-        launch(&mut memory, "sgesl_fwd", t, (k + 1) as i64, (k + 2) as i64, n as i64);
+        launch(
+            &mut memory,
+            "sgesl_fwd",
+            t,
+            (k + 1) as i64,
+            (k + 2) as i64,
+            n as i64,
+        );
     }
     // Back substitution.
     for kb in 0..n {
         let k = n - 1 - kb;
         let akk = a[k + k * n];
         let t = {
-            let Buffer::F32(bd) = memory.get_mut(bb) else { unreachable!() };
+            let Buffer::F32(bd) = memory.get_mut(bb) else {
+                unreachable!()
+            };
             bd[k] /= akk;
             -bd[k]
         };
         launch(&mut memory, "sgesl_back", t, (k + 1) as i64, 1, k as i64);
     }
-    let Buffer::F32(bd) = memory.get(bb) else { unreachable!() };
+    let Buffer::F32(bd) = memory.get(bb) else {
+        unreachable!()
+    };
     b.copy_from_slice(bd);
     SgeslRun {
         kernel_seconds,
@@ -433,7 +457,12 @@ mod tests {
         let mut x = b;
         sgesl_ref(&a, n, n, &ipvt, &mut x);
         for i in 0..n {
-            assert!((x[i] - x_true[i]).abs() < 1e-3, "x[{i}] = {} vs {}", x[i], x_true[i]);
+            assert!(
+                (x[i] - x_true[i]).abs() < 1e-3,
+                "x[{i}] = {} vs {}",
+                x[i],
+                x_true[i]
+            );
         }
     }
 
@@ -446,8 +475,8 @@ mod tests {
         let mut y = random_vec(n, 11 ^ 0x9e37, -1.0, 1.0);
         saxpy_ref(2.5, &x, &mut y);
         assert_eq!(run.y.len(), n);
-        for i in 0..n {
-            assert!((run.y[i] - y[i]).abs() < 1e-5, "i={i}");
+        for (i, (got, want)) in run.y.iter().zip(&y).enumerate() {
+            assert!((got - want).abs() < 1e-5, "i={i}");
         }
     }
 
@@ -462,12 +491,10 @@ mod tests {
         let ipvt = sgefa_ref(&mut a, n, n);
         let mut x_ref = b;
         sgesl_ref(&a, n, n, &ipvt, &mut x_ref);
-        for i in 0..n {
+        for (i, (got, want)) in run.x.iter().zip(&x_ref).enumerate() {
             assert!(
-                (run.x[i] - x_ref[i]).abs() < 1e-3 * (1.0 + x_ref[i].abs()),
-                "x[{i}] = {} vs {}",
-                run.x[i],
-                x_ref[i]
+                (got - want).abs() < 1e-3 * (1.0 + want.abs()),
+                "x[{i}] = {got} vs {want}"
             );
         }
     }
@@ -508,7 +535,12 @@ mod tests {
     fn mac_recognition_differs_between_flows_for_sgesl() {
         let fortran = compile_sgesl();
         let handwritten = handwritten_sgesl_bitstream();
-        let f_macs: usize = fortran.bitstream.kernels.iter().map(|k| k.recognized_macs).sum();
+        let f_macs: usize = fortran
+            .bitstream
+            .kernels
+            .iter()
+            .map(|k| k.recognized_macs)
+            .sum();
         let h_macs: usize = handwritten.kernels.iter().map(|k| k.recognized_macs).sum();
         assert_eq!(f_macs, 0, "Flang-shaped IR must not match the recognizer");
         assert!(h_macs > 0, "Clang-shaped IR must match");

@@ -1,0 +1,347 @@
+//! `ftn-cluster` — the multi-FPGA execution service: turns the single-device
+//! simulator into a pooled, cached, asynchronous system.
+//!
+//! * [`pool`] — [`DevicePool`]: N simulated FPGAs, each behind a persistent
+//!   worker thread owning its executor and device-local memory. Workers are
+//!   reused across launches; nothing is spawned per kernel launch.
+//! * [`scheduler`] — [`PlacementPolicy`]: forced colocation for in-flight
+//!   buffers, data-affinity placement, transfer-cost-aware stealing, and
+//!   round-robin least-loaded fallback. Pure and deterministic.
+//! * [`cache`] — [`ArtifactCache`] (content-addressed compile cache with an
+//!   optional on-disk JSON layer) and [`ImageCache`] (shared parsed
+//!   bitstream images).
+//! * [`machine`] — [`ClusterMachine`]: the pool-level mirror of
+//!   [`ftn_core::Machine`] with `submit`/`wait` asynchrony, per-device
+//!   [`ftn_host::RunStats`] aggregation, and pool occupancy metrics.
+//!
+//! With a single device and the same call sequence, `ClusterMachine`
+//! produces bit-identical results and statistics to `Machine` — the workers
+//! run the same [`ftn_core::HostProgram`] routine.
+
+pub mod cache;
+pub mod machine;
+pub mod pool;
+pub mod scheduler;
+
+pub use cache::{ArtifactCache, CacheStats, CachedCompiler, ImageCache};
+pub use machine::{ClusterMachine, ClusterRunReport, DevicePoolStats, LaunchHandle, PoolStats};
+pub use pool::DevicePool;
+pub use scheduler::{BufferInfo, Placement, PlacementPolicy, PlacementReason};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::{Arc, OnceLock};
+
+    use ftn_core::{Artifacts, CompilerOptions, Machine};
+    use ftn_fpga::DeviceModel;
+    use ftn_interp::RtValue;
+
+    use crate::{ArtifactCache, ClusterMachine, ImageCache};
+
+    const SAXPY: &str = r#"
+subroutine saxpy(n, a, x, y)
+  implicit none
+  integer :: n, i
+  real :: a, x(n), y(n)
+  !$omp target parallel do simd simdlen(10)
+  do i = 1, n
+    y(i) = y(i) + a*x(i)
+  end do
+  !$omp end target parallel do simd
+end subroutine saxpy
+"#;
+
+    fn artifacts() -> &'static Arc<Artifacts> {
+        static CELL: OnceLock<Arc<Artifacts>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            ArtifactCache::new()
+                .get_or_compile(&CompilerOptions::default(), SAXPY)
+                .expect("saxpy compiles")
+        })
+    }
+
+    fn pool(n: usize) -> ClusterMachine {
+        let devices = vec![DeviceModel::u280(); n];
+        ClusterMachine::load(artifacts(), &devices).expect("pool loads")
+    }
+
+    #[test]
+    fn n1_pool_is_bit_identical_to_machine() {
+        let n = 1003usize;
+        let x: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i as f32).cos()).collect();
+
+        let mut machine = Machine::load(artifacts(), DeviceModel::u280()).unwrap();
+        let xa = machine.host_f32(&x);
+        let ya = machine.host_f32(&y);
+        let single = machine
+            .run(
+                "saxpy",
+                &[RtValue::I32(n as i32), RtValue::F32(2.5), xa, ya.clone()],
+            )
+            .unwrap();
+        let single_y = machine.read_f32(&ya);
+
+        let mut cluster = pool(1);
+        let xa = cluster.host_f32(&x);
+        let ya = cluster.host_f32(&y);
+        let pooled = cluster
+            .run(
+                "saxpy",
+                &[RtValue::I32(n as i32), RtValue::F32(2.5), xa, ya.clone()],
+            )
+            .unwrap();
+        let pooled_y = cluster.read_f32(&ya);
+
+        assert_eq!(pooled.device, 0);
+        assert_eq!(single_y, pooled_y, "results must be bit-identical");
+        assert_eq!(
+            single.stats, pooled.report.stats,
+            "stats must be bit-identical"
+        );
+        assert_eq!(single.fpga_power_watts, pooled.report.fpga_power_watts);
+
+        // Pool totals equal the single run's stats for one job on one device.
+        let ps = cluster.pool_stats();
+        assert_eq!(ps.totals, single.stats);
+        assert_eq!(ps.jobs, 1);
+    }
+
+    #[test]
+    fn placement_is_deterministic_for_a_seeded_queue() {
+        // Two identically-constructed pools fed the same submission sequence
+        // must place every job on the same device.
+        let run_sequence = |cluster: &mut ClusterMachine| -> Vec<usize> {
+            let n = 64usize;
+            let mut handles = Vec::new();
+            for shard in 0..8 {
+                let x = vec![shard as f32; n];
+                let y = vec![1.0f32; n];
+                let xa = cluster.host_f32(&x);
+                let ya = cluster.host_f32(&y);
+                let h = cluster
+                    .submit(
+                        "saxpy",
+                        &[RtValue::I32(n as i32), RtValue::F32(2.0), xa, ya],
+                    )
+                    .unwrap();
+                handles.push(h);
+            }
+            handles
+                .into_iter()
+                .map(|h| cluster.wait(h).unwrap().device)
+                .collect()
+        };
+        let mut a = pool(4);
+        let mut b = pool(4);
+        let placed_a = run_sequence(&mut a);
+        let placed_b = run_sequence(&mut b);
+        assert_eq!(placed_a, placed_b);
+        // Independent shards spread round-robin over the idle pool.
+        assert_eq!(placed_a, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn data_affinity_beats_least_loaded_when_buffer_is_resident() {
+        let mut cluster = pool(4);
+        let n = 256usize;
+        let x = vec![1.0f32; n];
+        let y = vec![2.0f32; n];
+        let xa = cluster.host_f32(&x);
+        let ya = cluster.host_f32(&y);
+        let args = [RtValue::I32(n as i32), RtValue::F32(2.0), xa, ya];
+
+        // First job lands on device 0 (least-loaded, empty pool) and leaves
+        // x and y resident there.
+        let first = cluster.run("saxpy", &args).unwrap();
+        assert_eq!(first.device, 0);
+
+        // The round-robin cursor now points at device 1, so a *fresh* buffer
+        // job would go there — but the resident buffers pull this job back
+        // to device 0.
+        let second = cluster.run("saxpy", &args).unwrap();
+        assert_eq!(second.device, 0, "affinity must beat least-loaded");
+        let ps = cluster.pool_stats();
+        assert!(ps.affinity_hits > 0, "{ps:?}");
+
+        // Control: a job over fresh buffers does go to the rr device.
+        let xb = cluster.host_f32(&x);
+        let yb = cluster.host_f32(&y);
+        let third = cluster
+            .run(
+                "saxpy",
+                &[RtValue::I32(n as i32), RtValue::F32(2.0), xb, yb],
+            )
+            .unwrap();
+        assert_eq!(third.device, 1, "fresh buffers follow least-loaded");
+    }
+
+    #[test]
+    fn artifact_cache_hits_on_second_identical_compile() {
+        let cache = ArtifactCache::new();
+        let opts = CompilerOptions::default();
+        let a = cache.get_or_compile(&opts, SAXPY).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 1), "{s:?}");
+        let b = cache.get_or_compile(&opts, SAXPY).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "{s:?}");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "cache must return the shared artifacts"
+        );
+
+        // A different option set is a different content address.
+        let other = CompilerOptions {
+            fix_mac_pattern: true,
+            ..Default::default()
+        };
+        let _ = cache.get_or_compile(&other, SAXPY).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 2), "{s:?}");
+    }
+
+    #[test]
+    fn disk_cache_layer_survives_a_new_cache_instance() {
+        let dir = std::env::temp_dir().join(format!("ftn-artifact-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = CompilerOptions::default();
+        {
+            let cache = ArtifactCache::with_disk(&dir).unwrap();
+            let _ = cache.get_or_compile(&opts, SAXPY).unwrap();
+            let s = cache.stats();
+            assert_eq!((s.misses, s.disk_stores), (1, 1), "{s:?}");
+        }
+        // A fresh cache over the same directory serves the compile from disk.
+        let cache = ArtifactCache::with_disk(&dir).unwrap();
+        let a = cache.get_or_compile(&opts, SAXPY).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.disk_hits, s.misses), (0, 1, 0), "{s:?}");
+        // And the reloaded artifacts are usable end-to-end.
+        let mut m = Machine::load(&a, DeviceModel::u280()).unwrap();
+        let xa = m.host_f32(&[1.0, 2.0]);
+        let ya = m.host_f32(&[1.0, 1.0]);
+        m.run(
+            "saxpy",
+            &[RtValue::I32(2), RtValue::F32(3.0), xa, ya.clone()],
+        )
+        .unwrap();
+        assert_eq!(m.read_f32(&ya), vec![4.0, 7.0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn image_cache_shares_parsed_bitstreams() {
+        let cache = ImageCache::new();
+        let a = cache.instantiate(&artifacts().bitstream).unwrap();
+        let b = cache.instantiate(&artifacts().bitstream).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "{s:?}");
+    }
+
+    #[test]
+    fn four_device_pool_at_least_doubles_aggregate_throughput() {
+        let n = 4096usize;
+        let shards = 8usize;
+        let x = vec![1.5f32; n];
+        let y = vec![0.5f32; n];
+
+        // Single device, sequential shards.
+        let mut single = Machine::load(artifacts(), DeviceModel::u280()).unwrap();
+        let mut serial_sim = 0.0f64;
+        for _ in 0..shards {
+            let xa = single.host_f32(&x);
+            let ya = single.host_f32(&y);
+            let r = single
+                .run(
+                    "saxpy",
+                    &[RtValue::I32(n as i32), RtValue::F32(2.0), xa, ya],
+                )
+                .unwrap();
+            serial_sim += r.stats.kernel_wall_seconds + r.stats.transfer_seconds;
+        }
+
+        // Four devices, all shards in flight at once.
+        let mut cluster = pool(4);
+        let mut handles = Vec::new();
+        for _ in 0..shards {
+            let xa = cluster.host_f32(&x);
+            let ya = cluster.host_f32(&y);
+            handles.push(
+                cluster
+                    .submit(
+                        "saxpy",
+                        &[RtValue::I32(n as i32), RtValue::F32(2.0), xa, ya],
+                    )
+                    .unwrap(),
+            );
+        }
+        for h in handles {
+            cluster.wait(h).unwrap();
+        }
+        let ps = cluster.pool_stats();
+        // The pool did the same simulated work...
+        assert!(
+            (ps.serial_sim_seconds - serial_sim).abs() < 1e-12,
+            "pool serial {} vs machine {}",
+            ps.serial_sim_seconds,
+            serial_sim
+        );
+        // ...in under half the timeline.
+        assert!(
+            ps.aggregate_speedup >= 2.0,
+            "aggregate speedup {} (stats {ps:?})",
+            ps.aggregate_speedup
+        );
+        // Per-device stats sum consistently to the pool totals.
+        let sum_launches: u64 = ps.devices.iter().map(|d| d.stats.launches).sum();
+        assert_eq!(sum_launches, ps.totals.launches);
+        assert_eq!(ps.totals.launches as usize, shards);
+    }
+
+    #[test]
+    fn in_flight_buffers_force_colocation_and_fifo_order() {
+        let mut cluster = pool(4);
+        let n = 128usize;
+        let xa = cluster.host_f32(&vec![1.0f32; n]);
+        let ya = cluster.host_f32(&vec![0.0f32; n]);
+        let args = [RtValue::I32(n as i32), RtValue::F32(1.0), xa, ya.clone()];
+        // Three chained jobs over the same buffers, submitted without
+        // waiting: y += x three times.
+        let h1 = cluster.submit("saxpy", &args).unwrap();
+        let h2 = cluster.submit("saxpy", &args).unwrap();
+        let h3 = cluster.submit("saxpy", &args).unwrap();
+        let d1 = cluster.wait(h1).unwrap().device;
+        let d2 = cluster.wait(h2).unwrap().device;
+        let d3 = cluster.wait(h3).unwrap().device;
+        assert_eq!(d1, d2);
+        assert_eq!(d2, d3, "chained jobs must colocate");
+        assert_eq!(cluster.read_f32(&ya), vec![3.0f32; n]);
+        let ps = cluster.pool_stats();
+        assert!(ps.forced_colocations >= 2, "{ps:?}");
+    }
+
+    #[test]
+    fn interleaved_waits_do_not_regress_residency_or_writeback() {
+        // Regression: processing an *older* job's outcome after a newer job
+        // over the same buffer was queued must neither revert the residency
+        // version (which would stage stale host contents over the device's
+        // newer mirror) nor clobber newer host data.
+        let mut cluster = pool(4);
+        let n = 64usize;
+        let xa = cluster.host_f32(&vec![1.0f32; n]);
+        let ya = cluster.host_f32(&vec![0.0f32; n]);
+        let args = [RtValue::I32(n as i32), RtValue::F32(1.0), xa, ya.clone()];
+        let h1 = cluster.submit("saxpy", &args).unwrap();
+        let h2 = cluster.submit("saxpy", &args).unwrap();
+        // Wait on the older job while the newer one is (logically) still
+        // pending bookkeeping, then chain a third job.
+        cluster.wait(h1).unwrap();
+        let h3 = cluster.submit("saxpy", &args).unwrap();
+        cluster.wait(h2).unwrap();
+        cluster.wait(h3).unwrap();
+        // y += x three times: any stale staging would lose one increment.
+        assert_eq!(cluster.read_f32(&ya), vec![3.0f32; n]);
+    }
+}

@@ -1,0 +1,478 @@
+//! [`ClusterMachine`] — the pool-level mirror of [`ftn_core::Machine`]: same
+//! load/alloc/run surface, but host functions can be submitted asynchronously
+//! and are scheduled across N simulated FPGAs with data-affinity placement.
+//!
+//! Execution model: the machine owns host memory and a per-buffer residency
+//! map (which devices hold the current version). `submit` places a job via
+//! [`PlacementPolicy`], stages only the buffers the chosen device does not
+//! already hold, and returns a [`LaunchHandle`]. `wait` harvests outcomes,
+//! writes argument buffers back into host memory, and folds the device's
+//! [`RunStats`] into the pool totals. With one device and the same call
+//! sequence, results and statistics are bit-identical to `Machine`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ftn_core::{report_from_stats, Artifacts, CompileError, HostProgram, RunReport};
+use ftn_fpga::{DeviceModel, ExecutorImage, ResourceUsage};
+use ftn_host::RunStats;
+use ftn_interp::{Buffer, BufferId, MemRefVal, Memory, RtValue};
+use serde::Serialize;
+
+use crate::pool::{DevicePool, Job, JobOutcome, JobSuccess, WorkerMessage};
+use crate::scheduler::{BufferInfo, PlacementPolicy, PlacementReason};
+
+/// Ticket for one submitted job; redeem with [`ClusterMachine::wait`].
+#[derive(Debug)]
+#[must_use = "a LaunchHandle must be waited on to observe results"]
+pub struct LaunchHandle {
+    job_id: u64,
+}
+
+impl LaunchHandle {
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+}
+
+/// A completed pool run: the device that executed it plus the standard
+/// [`RunReport`].
+#[derive(Clone, Debug)]
+pub struct ClusterRunReport {
+    pub device: usize,
+    pub job_id: u64,
+    pub report: RunReport,
+}
+
+/// Per-device slice of the pool statistics.
+#[derive(Clone, Debug, Serialize)]
+pub struct DevicePoolStats {
+    pub device: usize,
+    pub name: String,
+    pub jobs: u64,
+    /// Simulated seconds of device-timeline occupancy (kernel wall +
+    /// transfers) across completed jobs.
+    pub busy_sim_seconds: f64,
+    pub stats: RunStats,
+}
+
+/// Pool-level statistics over all *completed* (waited) jobs.
+#[derive(Clone, Debug, Serialize)]
+pub struct PoolStats {
+    pub devices: Vec<DevicePoolStats>,
+    /// Sum of per-device stats; for an N=1 pool this equals the single
+    /// `Machine` run stats exactly.
+    pub totals: RunStats,
+    pub jobs: u64,
+    /// Pool makespan on the simulated timeline: the busiest device's
+    /// occupancy (devices run concurrently).
+    pub makespan_sim_seconds: f64,
+    /// What a single device would have needed: the sum of all occupancy.
+    pub serial_sim_seconds: f64,
+    /// `serial / makespan` — aggregate launch-throughput speedup over the
+    /// single-device path.
+    pub aggregate_speedup: f64,
+    /// Per-device `busy / makespan` in [0, 1].
+    pub occupancy: Vec<f64>,
+    /// Buffers served from device residency instead of re-staging.
+    pub affinity_hits: u64,
+    /// Buffers uploaded to a device (host→device staging copies).
+    pub staged_uploads: u64,
+    pub staged_bytes: u64,
+    /// Jobs moved off their affinity device because its backlog outweighed
+    /// the transfer cost.
+    pub steals: u64,
+    /// Jobs pinned to a device because an argument buffer was in flight
+    /// there.
+    pub forced_colocations: u64,
+}
+
+/// Residency bookkeeping for one host buffer.
+#[derive(Default)]
+struct BufState {
+    version: u64,
+    /// Version whose contents host memory currently holds (monotone guard:
+    /// an older job's late writeback must not clobber newer data).
+    written: u64,
+    /// device -> version of the copy it holds.
+    resident: HashMap<usize, u64>,
+    /// Device with in-flight writers, and how many.
+    in_flight: Option<(usize, u32)>,
+}
+
+/// See module docs.
+pub struct ClusterMachine {
+    pool: DevicePool,
+    pub memory: Memory,
+    buffers: HashMap<BufferId, BufState>,
+    policy: PlacementPolicy,
+    loads: Vec<u64>,
+    busy_sim: Vec<f64>,
+    device_stats: Vec<RunStats>,
+    device_jobs: Vec<u64>,
+    kernel_resources: ResourceUsage,
+    /// job id -> argument buffer ids (for in-flight accounting).
+    pending: HashMap<u64, Vec<BufferId>>,
+    /// Completed but not yet waited-on reports.
+    completed: HashMap<u64, Result<(usize, JobSuccess), String>>,
+    next_job: u64,
+    affinity_hits: u64,
+    staged_uploads: u64,
+    staged_bytes: u64,
+    steals: u64,
+    forced_colocations: u64,
+}
+
+impl ClusterMachine {
+    /// "Program N FPGAs with the same bitstream and load the host binary."
+    /// The bitstream and host module are parsed once and shared across all
+    /// device workers.
+    pub fn load(artifacts: &Artifacts, devices: &[DeviceModel]) -> Result<Self, CompileError> {
+        let image = Arc::new(
+            ExecutorImage::from_bitstream(&artifacts.bitstream)
+                .map_err(|e| CompileError::new("cluster-bitstream", e))?,
+        );
+        Self::load_with_image(artifacts, devices, image)
+    }
+
+    /// Like [`ClusterMachine::load`], but reusing an already-instantiated
+    /// bitstream image (see [`crate::ImageCache`]).
+    pub fn load_with_image(
+        artifacts: &Artifacts,
+        devices: &[DeviceModel],
+        image: Arc<ExecutorImage>,
+    ) -> Result<Self, CompileError> {
+        if devices.is_empty() {
+            return Err(CompileError::new(
+                "cluster-load",
+                "device pool must contain at least one device".to_string(),
+            ));
+        }
+        let program = Arc::new(HostProgram::parse(&artifacts.host_module_text)?);
+        let pool = DevicePool::spawn(program, image, devices);
+        let n = pool.len();
+        Ok(ClusterMachine {
+            pool,
+            memory: Memory::new(),
+            buffers: HashMap::new(),
+            policy: PlacementPolicy::new(),
+            loads: vec![0; n],
+            busy_sim: vec![0.0; n],
+            device_stats: vec![RunStats::default(); n],
+            device_jobs: vec![0; n],
+            kernel_resources: artifacts.bitstream.kernel_resources(),
+            pending: HashMap::new(),
+            completed: HashMap::new(),
+            next_job: 1,
+            affinity_hits: 0,
+            staged_uploads: 0,
+            staged_bytes: 0,
+            steals: 0,
+            forced_colocations: 0,
+        })
+    }
+
+    pub fn device_count(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Allocate a host f32 array (mirror of `Machine::host_f32`).
+    pub fn host_f32(&mut self, data: &[f32]) -> RtValue {
+        let buffer = self.memory.alloc(Buffer::F32(data.to_vec()), 0);
+        self.buffers.insert(buffer, BufState::default());
+        RtValue::MemRef(MemRefVal {
+            buffer,
+            shape: vec![data.len() as i64],
+            space: 0,
+        })
+    }
+
+    /// Allocate a host i32 array.
+    pub fn host_i32(&mut self, data: &[i32]) -> RtValue {
+        let buffer = self.memory.alloc(Buffer::I32(data.to_vec()), 0);
+        self.buffers.insert(buffer, BufState::default());
+        RtValue::MemRef(MemRefVal {
+            buffer,
+            shape: vec![data.len() as i64],
+            space: 0,
+        })
+    }
+
+    /// Overwrite a host buffer and invalidate all device-resident copies.
+    pub fn write_f32(&mut self, v: &RtValue, data: &[f32]) {
+        let m = v.as_memref().expect("memref value");
+        *self.memory.get_mut(m.buffer) = Buffer::F32(data.to_vec());
+        if let Some(state) = self.buffers.get_mut(&m.buffer) {
+            state.version += 1;
+            state.written = state.version;
+            state.resident.clear();
+        }
+    }
+
+    /// Read back a host f32 array. Only jobs that have been `wait`ed on are
+    /// reflected.
+    pub fn read_f32(&self, v: &RtValue) -> Vec<f32> {
+        let m = v.as_memref().expect("memref value");
+        match self.memory.get(m.buffer) {
+            Buffer::F32(data) => data.clone(),
+            other => panic!("expected f32 buffer, got {}", other.type_name()),
+        }
+    }
+
+    /// Submit host function `func` asynchronously. Placement, staging and
+    /// residency bookkeeping happen here; execution overlaps with the
+    /// caller until [`ClusterMachine::wait`].
+    pub fn submit(&mut self, func: &str, args: &[RtValue]) -> Result<LaunchHandle, CompileError> {
+        let arg_ids = distinct_memref_buffers(args);
+
+        // A buffer may have in-flight writers on at most one device; if two
+        // argument buffers disagree, drain completions until they don't.
+        loop {
+            let mut flight_devices: Vec<usize> = arg_ids
+                .iter()
+                .filter_map(|id| {
+                    self.buffers
+                        .get(id)
+                        .and_then(|b| b.in_flight.map(|(d, _)| d))
+                })
+                .collect();
+            flight_devices.sort_unstable();
+            flight_devices.dedup();
+            if flight_devices.len() <= 1 {
+                break;
+            }
+            self.process_one_outcome()?;
+        }
+
+        let infos: Vec<BufferInfo> = arg_ids
+            .iter()
+            .map(|id| {
+                let state = self.buffers.entry(*id).or_default();
+                BufferInfo {
+                    bytes: self.memory.get(*id).byte_len(),
+                    resident: state
+                        .resident
+                        .iter()
+                        .filter(|&(_, &v)| v == state.version)
+                        .map(|(&d, _)| d)
+                        .collect(),
+                    in_flight: state.in_flight.map(|(d, _)| d),
+                }
+            })
+            .collect();
+        let models: Vec<DeviceModel> = self.pool.models();
+        let placement = self.policy.place(&self.loads, &models, &infos);
+        let device = placement.device;
+        match placement.reason {
+            PlacementReason::Steal => self.steals += 1,
+            PlacementReason::ForcedColocation => self.forced_colocations += 1,
+            _ => {}
+        }
+
+        // Stage exactly the buffers the device does not hold at the current
+        // version; everything else is an affinity hit.
+        let mut staged = Vec::new();
+        let mut out_versions = Vec::with_capacity(arg_ids.len());
+        for id in &arg_ids {
+            let state = self.buffers.get_mut(id).expect("state created above");
+            let current = state.version;
+            let next = current + 1;
+            if state.resident.get(&device) == Some(&current) {
+                self.affinity_hits += 1;
+            } else {
+                let contents = self.memory.get(*id).clone();
+                self.staged_uploads += 1;
+                self.staged_bytes += contents.byte_len() as u64;
+                staged.push((*id, contents, next));
+            }
+            // The job conservatively writes every argument buffer: the
+            // device copy becomes the only current one.
+            state.version = next;
+            state.resident.clear();
+            state.resident.insert(device, next);
+            state.in_flight = Some(match state.in_flight {
+                Some((d, c)) => {
+                    debug_assert_eq!(d, device, "colocation invariant");
+                    (device, c + 1)
+                }
+                None => (device, 1),
+            });
+            out_versions.push((*id, next));
+        }
+
+        let job_id = self.next_job;
+        self.next_job += 1;
+        let job = Job {
+            job_id,
+            func: func.to_string(),
+            args: args.to_vec(),
+            staged,
+            out_versions,
+        };
+        self.loads[device] += 1;
+        self.pending.insert(job_id, arg_ids);
+        self.pool.slots[device]
+            .sender
+            .send(WorkerMessage::Job(Box::new(job)))
+            .map_err(|_| {
+                CompileError::new("cluster-submit", "device worker is gone".to_string())
+            })?;
+        Ok(LaunchHandle { job_id })
+    }
+
+    /// Wait for a submitted job, fold its statistics into the pool totals,
+    /// and write its buffers back to host memory.
+    pub fn wait(&mut self, handle: LaunchHandle) -> Result<ClusterRunReport, CompileError> {
+        loop {
+            if let Some(done) = self.completed.remove(&handle.job_id) {
+                return match done {
+                    Ok((device, success)) => Ok(ClusterRunReport {
+                        device,
+                        job_id: handle.job_id,
+                        report: report_from_stats(
+                            success.stats,
+                            success.results,
+                            &self.kernel_resources,
+                        ),
+                    }),
+                    Err(msg) => Err(CompileError::new("cluster-run", msg)),
+                };
+            }
+            self.process_one_outcome()?;
+        }
+    }
+
+    /// Wait for every outstanding job, in submission order.
+    pub fn wait_all(&mut self) -> Result<Vec<ClusterRunReport>, CompileError> {
+        let mut ids: Vec<u64> = self
+            .pending
+            .keys()
+            .copied()
+            .chain(self.completed.keys().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter()
+            .map(|job_id| self.wait(LaunchHandle { job_id }))
+            .collect()
+    }
+
+    /// Submit-and-wait, mirroring `Machine::run`.
+    pub fn run(&mut self, func: &str, args: &[RtValue]) -> Result<ClusterRunReport, CompileError> {
+        let handle = self.submit(func, args)?;
+        self.wait(handle)
+    }
+
+    /// Receive one worker outcome (blocking) and apply its bookkeeping.
+    fn process_one_outcome(&mut self) -> Result<(), CompileError> {
+        let outcome = self.pool.outcomes.recv().map_err(|_| {
+            CompileError::new("cluster-wait", "all device workers exited".to_string())
+        })?;
+        self.apply_outcome(outcome);
+        Ok(())
+    }
+
+    fn apply_outcome(&mut self, outcome: JobOutcome) {
+        let JobOutcome {
+            job_id,
+            device,
+            result,
+        } = outcome;
+        self.loads[device] = self.loads[device].saturating_sub(1);
+        let arg_ids = self.pending.remove(&job_id).unwrap_or_default();
+        for id in &arg_ids {
+            if let Some(state) = self.buffers.get_mut(id) {
+                state.in_flight = match state.in_flight {
+                    Some((d, c)) if c > 1 => Some((d, c - 1)),
+                    _ => None,
+                };
+            }
+        }
+        let stored = match result {
+            Ok(success) => {
+                for (host_id, contents, version) in &success.writeback {
+                    let Some(state) = self.buffers.get_mut(host_id) else {
+                        continue;
+                    };
+                    // Monotone writeback: a job's contents land in host
+                    // memory only if nothing newer (a later job's writeback
+                    // or a host-side `write_f32`) got there first.
+                    if *version > state.written {
+                        *self.memory.get_mut(*host_id) = contents.clone();
+                        state.written = *version;
+                    }
+                    // Same for residency: a newer queued job already marked
+                    // this device with the version it will produce; an
+                    // older completion must not regress that entry.
+                    let entry = state.resident.entry(device).or_insert(*version);
+                    *entry = (*entry).max(*version);
+                }
+                self.busy_sim[device] += success.sim_busy_seconds;
+                self.device_stats[device].merge(&success.stats);
+                self.device_jobs[device] += 1;
+                self.policy.observe_job(success.sim_busy_seconds);
+                Ok((device, success))
+            }
+            Err(msg) => Err(msg),
+        };
+        self.completed.insert(job_id, stored);
+    }
+
+    /// Pool statistics over completed jobs (call after `wait`/`wait_all`).
+    pub fn pool_stats(&self) -> PoolStats {
+        let devices: Vec<DevicePoolStats> = self
+            .pool
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| DevicePoolStats {
+                device: i,
+                name: slot.model.name.clone(),
+                jobs: self.device_jobs[i],
+                busy_sim_seconds: self.busy_sim[i],
+                stats: self.device_stats[i].clone(),
+            })
+            .collect();
+        let mut totals = RunStats::default();
+        for d in &devices {
+            totals.merge(&d.stats);
+        }
+        let serial: f64 = self.busy_sim.iter().sum();
+        let makespan = self.busy_sim.iter().cloned().fold(0.0f64, f64::max);
+        PoolStats {
+            jobs: self.device_jobs.iter().sum(),
+            occupancy: self
+                .busy_sim
+                .iter()
+                .map(|b| if makespan > 0.0 { b / makespan } else { 0.0 })
+                .collect(),
+            devices,
+            totals,
+            makespan_sim_seconds: makespan,
+            serial_sim_seconds: serial,
+            aggregate_speedup: if makespan > 0.0 {
+                serial / makespan
+            } else {
+                1.0
+            },
+            affinity_hits: self.affinity_hits,
+            staged_uploads: self.staged_uploads,
+            staged_bytes: self.staged_bytes,
+            steals: self.steals,
+            forced_colocations: self.forced_colocations,
+        }
+    }
+}
+
+/// Distinct buffer ids among memref arguments, in first-appearance order.
+fn distinct_memref_buffers(args: &[RtValue]) -> Vec<BufferId> {
+    let mut out: Vec<BufferId> = Vec::new();
+    for a in args {
+        if let RtValue::MemRef(m) = a {
+            if !out.contains(&m.buffer) {
+                out.push(m.buffer);
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,260 @@
+//! The device pool: one persistent worker thread per simulated FPGA, each
+//! owning its executor (bound to a shared parsed bitstream image), its own
+//! device-side [`Memory`], and a FIFO job queue. Workers are reused across
+//! launches — no thread is ever spawned per kernel launch.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ftn_core::HostProgram;
+use ftn_fpga::{DeviceModel, KernelExecutor};
+use ftn_host::RunStats;
+use ftn_interp::{Buffer, BufferId, Memory, RtValue};
+
+/// A unit of work for a device worker: run one host function end-to-end.
+pub(crate) struct Job {
+    pub job_id: u64,
+    pub func: String,
+    /// Arguments; memrefs reference *host* buffer ids and are remapped to
+    /// the worker's local memory before execution.
+    pub args: Vec<RtValue>,
+    /// Buffers whose current host contents must be uploaded before the run:
+    /// `(host id, contents, version)`.
+    pub staged: Vec<(BufferId, Buffer, u64)>,
+    /// Post-run version assigned to every argument buffer (they are all
+    /// conservatively treated as written).
+    pub out_versions: Vec<(BufferId, u64)>,
+}
+
+/// What comes back from a worker when a job finishes.
+pub(crate) struct JobOutcome {
+    pub job_id: u64,
+    pub device: usize,
+    pub result: Result<JobSuccess, String>,
+}
+
+pub(crate) struct JobSuccess {
+    pub stats: RunStats,
+    pub results: Vec<RtValue>,
+    /// Final contents of every argument buffer, written back to host memory
+    /// when the outcome is processed: `(host id, contents, version)`.
+    pub writeback: Vec<(BufferId, Buffer, u64)>,
+    /// Simulated seconds this job occupied the device timeline (kernel wall
+    /// time + PCIe transfers).
+    pub sim_busy_seconds: f64,
+}
+
+pub(crate) enum WorkerMessage {
+    Job(Box<Job>),
+    Shutdown,
+}
+
+/// Host-side handle to one pool device.
+pub(crate) struct DeviceSlot {
+    pub model: DeviceModel,
+    pub sender: Sender<WorkerMessage>,
+    pub thread: Option<JoinHandle<()>>,
+}
+
+/// N simulated FPGAs, each behind a persistent worker thread with a FIFO
+/// job queue. One parsed bitstream image and one parsed host program are
+/// shared across all workers.
+pub struct DevicePool {
+    pub(crate) slots: Vec<DeviceSlot>,
+    pub(crate) outcomes: Receiver<JobOutcome>,
+}
+
+impl DevicePool {
+    /// Spawn one worker per device model.
+    pub fn spawn(
+        program: Arc<HostProgram>,
+        image: Arc<ftn_fpga::ExecutorImage>,
+        devices: &[DeviceModel],
+    ) -> Self {
+        let (outcome_tx, outcomes) = std::sync::mpsc::channel();
+        let slots = devices
+            .iter()
+            .enumerate()
+            .map(|(index, model)| {
+                let (job_tx, job_rx) = std::sync::mpsc::channel();
+                let thread = spawn_worker(
+                    index,
+                    model.clone(),
+                    Arc::clone(&program),
+                    KernelExecutor::from_image(Arc::clone(&image), model.clone()),
+                    job_rx,
+                    outcome_tx.clone(),
+                );
+                DeviceSlot {
+                    model: model.clone(),
+                    sender: job_tx,
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        DevicePool { slots, outcomes }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    pub fn models(&self) -> Vec<DeviceModel> {
+        self.slots.iter().map(|s| s.model.clone()).collect()
+    }
+}
+
+impl Drop for DevicePool {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            let _ = slot.sender.send(WorkerMessage::Shutdown);
+        }
+        for slot in &mut self.slots {
+            if let Some(thread) = slot.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+/// Worker state: everything device-local.
+struct Worker {
+    index: usize,
+    program: Arc<HostProgram>,
+    executor: KernelExecutor,
+    model: DeviceModel,
+    memory: Memory,
+    /// host buffer id -> (local buffer id, version of the local copy).
+    mirror: HashMap<BufferId, (BufferId, u64)>,
+}
+
+impl Worker {
+    fn run_job(&mut self, job: Job) -> Result<JobSuccess, String> {
+        // 1. Stage uploads into the local mirror.
+        for (host_id, contents, version) in job.staged {
+            match self.mirror.get(&host_id) {
+                Some(&(local, _)) => {
+                    *self.memory.get_mut(local) = contents;
+                    self.mirror.insert(host_id, (local, version));
+                }
+                None => {
+                    let local = self.memory.alloc(contents, 0);
+                    self.mirror.insert(host_id, (local, version));
+                }
+            }
+        }
+
+        // 2. Remap argument memrefs host id -> local id.
+        let mut args = job.args;
+        let mut arg_buffers: Vec<(BufferId, BufferId)> = Vec::new();
+        for a in &mut args {
+            if let RtValue::MemRef(m) = a {
+                let &(local, _) = self.mirror.get(&m.buffer).ok_or_else(|| {
+                    format!(
+                        "device {}: argument buffer {:?} neither staged nor resident",
+                        self.index, m.buffer
+                    )
+                })?;
+                if !arg_buffers.iter().any(|&(h, _)| h == m.buffer) {
+                    arg_buffers.push((m.buffer, local));
+                }
+                m.buffer = local;
+            }
+        }
+
+        // 3. Execute the host program exactly as `Machine::run` does.
+        let (stats, mut results) = self
+            .program
+            .run(
+                &job.func,
+                &args,
+                &mut self.memory,
+                &self.executor,
+                &self.model,
+            )
+            .map_err(|e| e.to_string())?;
+
+        // 4. Map result memrefs back to host ids where they alias arguments.
+        for r in &mut results {
+            if let RtValue::MemRef(m) = r {
+                if let Some(&(host, _)) = arg_buffers.iter().find(|&&(_, l)| l == m.buffer) {
+                    m.buffer = host;
+                }
+            }
+        }
+
+        // 5. Collect writeback contents and bump mirror versions.
+        let mut writeback = Vec::with_capacity(arg_buffers.len());
+        for &(host, local) in &arg_buffers {
+            let version = job
+                .out_versions
+                .iter()
+                .find(|(h, _)| *h == host)
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            self.mirror.insert(host, (local, version));
+            writeback.push((host, self.memory.get(local).clone(), version));
+        }
+
+        let sim_busy_seconds = stats.kernel_wall_seconds + stats.transfer_seconds;
+        Ok(JobSuccess {
+            stats,
+            results,
+            writeback,
+            sim_busy_seconds,
+        })
+    }
+}
+
+/// Spawn the worker thread for device `index`.
+pub(crate) fn spawn_worker(
+    index: usize,
+    model: DeviceModel,
+    program: Arc<HostProgram>,
+    executor: KernelExecutor,
+    jobs: Receiver<WorkerMessage>,
+    outcomes: Sender<JobOutcome>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("ftn-device-{index}"))
+        .spawn(move || {
+            let mut worker = Worker {
+                index,
+                program,
+                executor,
+                model,
+                memory: Memory::new(),
+                mirror: HashMap::new(),
+            };
+            while let Ok(WorkerMessage::Job(job)) = jobs.recv() {
+                let job_id = job.job_id;
+                // Contain panics (e.g. from a malformed bitstream module):
+                // an unwinding worker that never reports its outcome would
+                // leave `ClusterMachine::wait` blocked forever.
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run_job(*job)))
+                        .unwrap_or_else(|panic| {
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "unknown panic".to_string());
+                            Err(format!("device {index} worker panicked: {msg}"))
+                        });
+                // The pool half may already be gone during teardown; a
+                // failed send just drops the outcome.
+                let _ = outcomes.send(JobOutcome {
+                    job_id,
+                    device: index,
+                    result,
+                });
+            }
+        })
+        .expect("spawn device worker thread")
+}

@@ -1,0 +1,237 @@
+//! Placement policy of the async scheduler: pure decision logic, separated
+//! from the threaded pool so it can be unit-tested deterministically.
+//!
+//! Policy, in priority order:
+//! 1. **Forced colocation** — if an argument buffer has an in-flight job on
+//!    some device, the new job must follow it there: per-device queues are
+//!    FIFO, so this serializes conflicting jobs without blocking the host.
+//! 2. **Data affinity** — prefer the device already holding the largest
+//!    share of the job's buffers at their current version (PCIe staging
+//!    avoided).
+//! 3. **Transfer-cost-aware stealing** — when the affinity device has a
+//!    deeper backlog than the least-loaded device, move the job iff the
+//!    estimated backlog delay (queue gap × observed mean simulated job
+//!    time) exceeds the PCIe cost of re-staging the missing bytes.
+//! 4. **Least-loaded** — otherwise pick the shallowest queue, breaking ties
+//!    round-robin so bursts spread across the pool.
+
+use ftn_fpga::DeviceModel;
+
+/// What the scheduler knows about one argument buffer at placement time.
+#[derive(Clone, Debug)]
+pub struct BufferInfo {
+    pub bytes: usize,
+    /// Devices holding this buffer at its current version.
+    pub resident: Vec<usize>,
+    /// Device with an in-flight (submitted, not yet completed) job writing
+    /// this buffer, if any.
+    pub in_flight: Option<usize>,
+}
+
+/// Why a device was chosen (surfaced in pool metrics and tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementReason {
+    ForcedColocation,
+    Affinity,
+    Steal,
+    LeastLoaded,
+}
+
+/// A placement decision.
+#[derive(Clone, Copy, Debug)]
+pub struct Placement {
+    pub device: usize,
+    pub reason: PlacementReason,
+}
+
+/// Deterministic placement state: a round-robin cursor for load ties and a
+/// running mean of simulated job time that calibrates stealing.
+#[derive(Debug)]
+pub struct PlacementPolicy {
+    rr: usize,
+    mean_job_sim_seconds: f64,
+    jobs_observed: u64,
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        PlacementPolicy::new()
+    }
+}
+
+impl PlacementPolicy {
+    pub fn new() -> Self {
+        PlacementPolicy {
+            rr: 0,
+            mean_job_sim_seconds: 0.0,
+            jobs_observed: 0,
+        }
+    }
+
+    /// Record a completed job's simulated device time (kernel wall +
+    /// transfers) to calibrate the backlog estimate used for stealing.
+    pub fn observe_job(&mut self, sim_seconds: f64) {
+        self.jobs_observed += 1;
+        let n = self.jobs_observed as f64;
+        self.mean_job_sim_seconds += (sim_seconds - self.mean_job_sim_seconds) / n;
+    }
+
+    pub fn mean_job_sim_seconds(&self) -> f64 {
+        self.mean_job_sim_seconds
+    }
+
+    /// Choose a device for a job over buffers `bufs`, given per-device queue
+    /// depths `loads`. `models[d]` supplies the PCIe cost model for staging
+    /// onto device `d`.
+    pub fn place(
+        &mut self,
+        loads: &[u64],
+        models: &[DeviceModel],
+        bufs: &[BufferInfo],
+    ) -> Placement {
+        assert!(!loads.is_empty() && loads.len() == models.len());
+        let n = loads.len();
+
+        // 1. Forced colocation with an in-flight writer.
+        if let Some(d) = bufs.iter().find_map(|b| b.in_flight) {
+            return Placement {
+                device: d,
+                reason: PlacementReason::ForcedColocation,
+            };
+        }
+
+        // Least-loaded with round-robin tie-break (candidate for 3/4).
+        let min_load = *loads.iter().min().expect("non-empty");
+        let least = (0..n)
+            .map(|i| (self.rr + i) % n)
+            .find(|&d| loads[d] == min_load)
+            .expect("some device has the min load");
+
+        // 2. Affinity: most resident bytes at current version.
+        let mut aff_bytes = vec![0usize; n];
+        for b in bufs {
+            for &d in &b.resident {
+                if d < n {
+                    aff_bytes[d] += b.bytes;
+                }
+            }
+        }
+        let best_aff = (0..n).max_by_key(|&d| aff_bytes[d]).expect("non-empty");
+        if aff_bytes[best_aff] == 0 {
+            self.rr = (least + 1) % n;
+            return Placement {
+                device: least,
+                reason: PlacementReason::LeastLoaded,
+            };
+        }
+        if loads[best_aff] <= loads[least] {
+            return Placement {
+                device: best_aff,
+                reason: PlacementReason::Affinity,
+            };
+        }
+
+        // 3. Affinity device is backlogged: steal iff waiting out the
+        // backlog costs more than re-staging the missing bytes.
+        let missing_on_least: usize = bufs
+            .iter()
+            .filter(|b| !b.resident.contains(&least))
+            .map(|b| b.bytes)
+            .sum();
+        let transfer_cost = models[least].transfer_seconds(missing_on_least);
+        let backlog_gap = (loads[best_aff] - loads[least]) as f64 * self.mean_job_sim_seconds;
+        if backlog_gap > transfer_cost {
+            self.rr = (least + 1) % n;
+            Placement {
+                device: least,
+                reason: PlacementReason::Steal,
+            }
+        } else {
+            Placement {
+                device: best_aff,
+                reason: PlacementReason::Affinity,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models(n: usize) -> Vec<DeviceModel> {
+        (0..n).map(|_| DeviceModel::u280()).collect()
+    }
+
+    fn buf(bytes: usize, resident: &[usize]) -> BufferInfo {
+        BufferInfo {
+            bytes,
+            resident: resident.to_vec(),
+            in_flight: None,
+        }
+    }
+
+    #[test]
+    fn least_loaded_spreads_round_robin() {
+        let mut p = PlacementPolicy::new();
+        let mut loads = vec![0u64; 4];
+        let m = models(4);
+        let mut picked = Vec::new();
+        for _ in 0..8 {
+            let d = p.place(&loads, &m, &[buf(4096, &[])]).device;
+            loads[d] += 1;
+            picked.push(d);
+        }
+        assert_eq!(picked, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn affinity_beats_least_loaded_on_tie() {
+        let mut p = PlacementPolicy::new();
+        // Round-robin cursor would point at device 1 after one placement...
+        let m = models(4);
+        let mut loads = vec![0u64; 4];
+        let d0 = p.place(&loads, &m, &[buf(4096, &[])]).device;
+        assert_eq!(d0, 0);
+        loads[d0] += 1;
+        loads[d0] -= 1; // job completed
+                        // ...but a buffer resident on device 0 pulls the job back there.
+        let pl = p.place(&loads, &m, &[buf(4096, &[0])]);
+        assert_eq!(pl.device, 0);
+        assert_eq!(pl.reason, PlacementReason::Affinity);
+    }
+
+    #[test]
+    fn forced_colocation_wins_over_everything() {
+        let mut p = PlacementPolicy::new();
+        let m = models(2);
+        let loads = vec![9u64, 0];
+        let b = BufferInfo {
+            bytes: 10,
+            resident: vec![1],
+            in_flight: Some(0),
+        };
+        let pl = p.place(&loads, &m, &[b]);
+        assert_eq!(pl.device, 0);
+        assert_eq!(pl.reason, PlacementReason::ForcedColocation);
+    }
+
+    #[test]
+    fn steals_only_when_backlog_exceeds_transfer_cost() {
+        let m = models(2);
+        // Tiny buffer, deep backlog on the affinity device: steal.
+        let mut p = PlacementPolicy::new();
+        p.observe_job(0.010); // 10 ms jobs
+        let pl = p.place(&[5, 0], &m, &[buf(1024, &[0])]);
+        assert_eq!(pl.reason, PlacementReason::Steal);
+        assert_eq!(pl.device, 1);
+
+        // Huge buffer, shallow backlog: staying with the data is cheaper.
+        let mut p = PlacementPolicy::new();
+        p.observe_job(30e-6); // 30 µs jobs
+        let huge = buf(512 * 1024 * 1024, &[0]);
+        let pl = p.place(&[1, 0], &m, &[huge]);
+        assert_eq!(pl.reason, PlacementReason::Affinity);
+        assert_eq!(pl.device, 0);
+    }
+}

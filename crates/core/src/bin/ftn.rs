@@ -68,11 +68,17 @@ fn main() -> ExitCode {
         }
     };
     write(&format!("{stem}.host.mlir"), &artifacts.host_module_text);
-    write(&format!("{stem}.device.mlir"), &artifacts.device_module_text);
+    write(
+        &format!("{stem}.device.mlir"),
+        &artifacts.device_module_text,
+    );
     write(&format!("{stem}.host.cpp"), &artifacts.host_cpp);
     write(&format!("{stem}.ll"), &artifacts.llvm_ir);
     write(&format!("{stem}.llvm7.ll"), &artifacts.llvm7_ir);
-    write(&format!("{stem}.xclbin.json"), &artifacts.bitstream.to_json());
+    write(
+        &format!("{stem}.xclbin.json"),
+        &artifacts.bitstream.to_json(),
+    );
     if !quiet {
         for k in &artifacts.bitstream.kernels {
             println!(

@@ -7,8 +7,10 @@ use ftn_passes::{device_llvm_pipeline, device_pipeline, extract_device_module, h
 
 use crate::error::CompileError;
 
-/// Compiler configuration.
-#[derive(Clone, Debug)]
+/// Compiler configuration. Every field participates in
+/// [`CompilerOptions::fingerprint`] via the derived `Serialize` — new
+/// options are automatically part of the cache key.
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct CompilerOptions {
     pub device: DeviceModel,
     /// Verify IR after every pass (slower, on by default).
@@ -29,6 +31,17 @@ impl Default for CompilerOptions {
             emit_llvm: true,
             fix_mac_pattern: false,
         }
+    }
+}
+
+impl CompilerOptions {
+    /// Stable fingerprint of everything that affects compilation output.
+    /// `ftn-cluster`'s content-addressed artifact cache keys on
+    /// `hash(source, fingerprint)`: same source + same options + same device
+    /// model ⇒ same artifacts, so the compile can be served from cache.
+    pub fn fingerprint(&self) -> String {
+        let options = serde_json::to_string(self).expect("compiler options serialize");
+        format!("v2;{options}")
     }
 }
 
@@ -54,16 +67,9 @@ pub struct Artifacts {
 }
 
 /// See module docs.
+#[derive(Default)]
 pub struct Compiler {
     pub options: CompilerOptions,
-}
-
-impl Default for Compiler {
-    fn default() -> Self {
-        Compiler {
-            options: CompilerOptions::default(),
-        }
-    }
 }
 
 impl Compiler {
@@ -80,7 +86,10 @@ impl Compiler {
 
     /// Run the flow on an already-parsed program (used by the design-space
     /// explorer, which mutates directive parameters between compilations).
-    pub fn compile_program(&self, program: &ftn_frontend::Program) -> Result<Artifacts, CompileError> {
+    pub fn compile_program(
+        &self,
+        program: &ftn_frontend::Program,
+    ) -> Result<Artifacts, CompileError> {
         let registry = ftn_dialects::registry();
         let mut ir = Ir::new();
 
@@ -220,7 +229,11 @@ end subroutine saxpy
         assert_eq!(artifacts.bitstream.kernels.len(), 1);
         assert_eq!(artifacts.bitstream.kernels[0].name, "saxpy_kernel0");
         // Pass reports cover both pipelines.
-        let names: Vec<&str> = artifacts.pass_reports.iter().map(|r| r.name.as_str()).collect();
+        let names: Vec<&str> = artifacts
+            .pass_reports
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
         assert!(names.contains(&"lower-omp-mapped-data"));
         assert!(names.contains(&"lower-omp-to-hls"));
     }

@@ -46,7 +46,11 @@ fn set_simdlen(program: &mut Program, factor: Option<i64>) {
     fn visit(stmts: &mut [Stmt], factor: Option<i64>) {
         for s in stmts {
             match s {
-                Stmt::OmpTargetLoop { directive, loop_stmt, .. } => {
+                Stmt::OmpTargetLoop {
+                    directive,
+                    loop_stmt,
+                    ..
+                } => {
                     match factor {
                         Some(u) if u > 1 => {
                             directive.simd = true;
@@ -62,7 +66,11 @@ fn set_simdlen(program: &mut Program, factor: Option<i64>) {
                     }
                 }
                 Stmt::Do { body, .. } => visit(body, factor),
-                Stmt::If { then_body, else_body, .. } => {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     visit(then_body, factor);
                     visit(else_body, factor);
                 }
@@ -105,7 +113,8 @@ fn evaluate(artifacts: &Artifacts, simdlen: Option<i64>) -> DesignPoint {
     let dev = ftn_fpga::DeviceModel::u280();
     let mut total = dev.shell;
     total.add(&res);
-    let fits = total.lut <= dev.total.lut && total.bram <= dev.total.bram && total.dsp <= dev.total.dsp;
+    let fits =
+        total.lut <= dev.total.lut && total.bram <= dev.total.bram && total.dsp <= dev.total.dsp;
     DesignPoint {
         simdlen,
         cycles_per_element: worst,
@@ -122,8 +131,8 @@ pub fn explore_simdlen(
     source: &str,
     candidates: &[Option<i64>],
 ) -> Result<DseReport, CompileError> {
-    let base = ftn_frontend::parse(source)
-        .map_err(|e| CompileError::new("dse-parse", e.to_string()))?;
+    let base =
+        ftn_frontend::parse(source).map_err(|e| CompileError::new("dse-parse", e.to_string()))?;
     let mut points = Vec::with_capacity(candidates.len());
     for &c in candidates {
         let mut program = base.clone();

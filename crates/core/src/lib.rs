@@ -23,4 +23,4 @@ pub mod machine;
 pub use compiler::{Artifacts, Compiler, CompilerOptions};
 pub use dse::{explore_simdlen, DesignPoint, DseReport};
 pub use error::CompileError;
-pub use machine::{Machine, RunReport};
+pub use machine::{report_from_stats, HostProgram, Machine, RunReport};

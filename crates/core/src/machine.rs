@@ -1,10 +1,15 @@
 //! The execution machine: loads compiled [`Artifacts`] and runs the host
 //! program against the simulated U280, mirroring what "run the Clang-compiled
 //! host binary on the EPYC box with the FPGA programmed" did in the paper.
+//!
+//! The run path is split into [`HostProgram`] (parsed host module + the
+//! execution routine) so that `ftn-cluster` device workers execute *exactly*
+//! the same code as the single-device [`Machine`] — pooled N=1 results are
+//! bit-identical to this path by construction.
 
-use ftn_fpga::{fpga_power_watts, DeviceModel, KernelExecutor};
+use ftn_fpga::{fpga_power_watts, DeviceModel, KernelExecutor, ResourceUsage};
 use ftn_host::{HostRuntime, RunStats};
-use ftn_interp::{call_function, Buffer, Memory, MemRefVal, NoObserver, RtValue};
+use ftn_interp::{call_function, Buffer, MemRefVal, Memory, NoObserver, RtValue};
 use ftn_mlir::{parse_module, Ir, OpId};
 
 use crate::compiler::Artifacts;
@@ -19,28 +24,89 @@ pub struct RunReport {
     pub fpga_power_watts: f64,
 }
 
+/// A parsed host module plus the routine that executes it against a device.
+/// Each call uses a fresh device data environment (a fresh XRT process, as
+/// in the paper's per-trial runs) but the caller's host memory.
+pub struct HostProgram {
+    host_ir: Ir,
+    host_module: OpId,
+}
+
+impl HostProgram {
+    /// Parse the host module text of compiled artifacts.
+    pub fn parse(host_module_text: &str) -> Result<Self, CompileError> {
+        let mut host_ir = Ir::new();
+        let host_module = parse_module(&mut host_ir, host_module_text)
+            .map_err(|e| CompileError::new("machine-load", e.to_string()))?;
+        Ok(HostProgram {
+            host_ir,
+            host_module,
+        })
+    }
+
+    /// Run host function `func` with `args` against `memory`, launching
+    /// kernels on `executor`. Returns the run statistics and the function's
+    /// results.
+    pub fn run(
+        &self,
+        func: &str,
+        args: &[RtValue],
+        memory: &mut Memory,
+        executor: &KernelExecutor,
+        device: &DeviceModel,
+    ) -> Result<(RunStats, Vec<RtValue>), CompileError> {
+        let mut runtime = HostRuntime::new(executor.clone(), device.clone());
+        let results = call_function(
+            &self.host_ir,
+            self.host_module,
+            func,
+            args,
+            memory,
+            &mut runtime,
+            &mut NoObserver,
+        )
+        .map_err(|e| CompileError::new("machine-run", e.to_string()))?;
+        Ok((runtime.stats, results))
+    }
+}
+
+/// Assemble a [`RunReport`] from run statistics and the kernel resources the
+/// power model draws on (shared by `Machine` and the cluster workers).
+pub fn report_from_stats(
+    stats: RunStats,
+    results: Vec<RtValue>,
+    kernel_resources: &ResourceUsage,
+) -> RunReport {
+    let fpga_power_watts = fpga_power_watts(kernel_resources, stats.kernel_seconds);
+    RunReport {
+        stats,
+        results,
+        fpga_power_watts,
+    }
+}
+
 /// See module docs.
 pub struct Machine {
     pub device: DeviceModel,
-    host_ir: Ir,
-    host_module: OpId,
+    host: HostProgram,
     pub memory: Memory,
-    runtime_template: (String, f64),
+    executor: KernelExecutor,
     bitstream: ftn_fpga::Bitstream,
 }
 
 impl Machine {
-    /// "Program the FPGA and load the host binary."
+    /// "Program the FPGA and load the host binary." The bitstream is parsed
+    /// once here; per-run executor state is free (the parsed image is
+    /// shared).
     pub fn load(artifacts: &Artifacts, device: DeviceModel) -> Result<Self, CompileError> {
-        let mut host_ir = Ir::new();
-        let host_module = parse_module(&mut host_ir, &artifacts.host_module_text)
-            .map_err(|e| CompileError::new("machine-load", e.to_string()))?;
+        let host = HostProgram::parse(&artifacts.host_module_text)?;
+        let executor = KernelExecutor::from_bitstream(&artifacts.bitstream, device.clone())
+            .map_err(|e| CompileError::new("machine-bitstream", e))?;
         Ok(Machine {
-            device: device.clone(),
-            host_ir,
-            host_module,
+            device,
+            host,
             memory: Memory::new(),
-            runtime_template: (device.name.clone(), device.clock_mhz),
+            executor,
             bitstream: artifacts.bitstream.clone(),
         })
     }
@@ -78,27 +144,14 @@ impl Machine {
     /// data environment (a fresh XRT process, as in the paper's per-trial
     /// runs) but shares host memory.
     pub fn run(&mut self, func: &str, args: &[RtValue]) -> Result<RunReport, CompileError> {
-        let executor = KernelExecutor::from_bitstream(&self.bitstream, self.device.clone())
-            .map_err(|e| CompileError::new("machine-bitstream", e))?;
-        let mut runtime = HostRuntime::new(executor, self.device.clone());
-        let results = call_function(
-            &self.host_ir,
-            self.host_module,
-            func,
-            args,
-            &mut self.memory,
-            &mut runtime,
-            &mut NoObserver,
-        )
-        .map_err(|e| CompileError::new("machine-run", e.to_string()))?;
-        let stats = runtime.stats.clone();
-        let power = fpga_power_watts(&self.bitstream.kernel_resources(), stats.kernel_seconds);
-        let _ = &self.runtime_template;
-        Ok(RunReport {
+        let (stats, results) =
+            self.host
+                .run(func, args, &mut self.memory, &self.executor, &self.device)?;
+        Ok(report_from_stats(
             stats,
             results,
-            fpga_power_watts: power,
-        })
+            &self.bitstream.kernel_resources(),
+        ))
     }
 }
 
@@ -130,7 +183,10 @@ end subroutine saxpy
         let xa = machine.host_f32(&x);
         let ya = machine.host_f32(&y);
         let report = machine
-            .run("saxpy", &[RtValue::I32(n as i32), RtValue::F32(2.0), xa, ya.clone()])
+            .run(
+                "saxpy",
+                &[RtValue::I32(n as i32), RtValue::F32(2.0), xa, ya.clone()],
+            )
             .unwrap();
         let out = machine.read_f32(&ya);
         for (i, v) in out.iter().enumerate() {
@@ -143,7 +199,15 @@ end subroutine saxpy
         // ~32 cycles/element at 300 MHz.
         let expect = 1000.0 * 32.0 / 300e6;
         let ratio = report.stats.kernel_seconds / expect;
-        assert!((0.5..2.5).contains(&ratio), "kernel time {} vs {}", report.stats.kernel_seconds, expect);
+        assert!(
+            (0.5..2.5).contains(&ratio),
+            "kernel time {} vs {}",
+            report.stats.kernel_seconds,
+            expect
+        );
         assert!((20.0..27.0).contains(&report.fpga_power_watts));
+        // Per-launch accounting is consistent with the totals.
+        assert_eq!(report.stats.launch_cycles.len(), 1);
+        assert_eq!(report.stats.launch_cycles[0], report.stats.total_cycles);
     }
 }

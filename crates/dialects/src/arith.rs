@@ -40,7 +40,9 @@ pub const EXTSI: &str = "arith.extsi";
 pub const TRUNCI: &str = "arith.trunci";
 
 /// All integer binary op names (same-type operands and result).
-pub const INT_BINOPS: &[&str] = &[ADDI, SUBI, MULI, DIVSI, REMSI, ANDI, ORI, XORI, MAXSI, MINSI];
+pub const INT_BINOPS: &[&str] = &[
+    ADDI, SUBI, MULI, DIVSI, REMSI, ANDI, ORI, XORI, MAXSI, MINSI,
+];
 
 /// All float binary op names.
 pub const FLOAT_BINOPS: &[&str] = &[ADDF, SUBF, MULF, DIVF, MAXIMUMF, MINIMUMF];
@@ -246,7 +248,10 @@ pub fn register(reg: &mut VerifierRegistry) {
         if ir.value_ty(o.operands[0]) != ir.value_ty(o.operands[1]) {
             return Err("cmp operand types must match".into());
         }
-        if !matches!(ir.type_kind(ir.value_ty(o.results[0])), TypeKind::Integer { width: 1 }) {
+        if !matches!(
+            ir.type_kind(ir.value_ty(o.results[0])),
+            TypeKind::Integer { width: 1 }
+        ) {
             return Err("cmp result must be i1".into());
         }
         if ir.attr_str_of(op, "predicate").is_none() {

@@ -65,7 +65,11 @@ pub fn build_lookup(b: &mut Builder, result_ty: TypeId, name: &str, memory_space
 pub fn build_data_check_exists(b: &mut Builder, name: &str) -> ValueId {
     let i1 = b.ir.i1();
     let n = b.ir.attr_str(name);
-    b.insert_r(OpSpec::new(DATA_CHECK_EXISTS).results(&[i1]).attr("name", n))
+    b.insert_r(
+        OpSpec::new(DATA_CHECK_EXISTS)
+            .results(&[i1])
+            .attr("name", n),
+    )
 }
 
 pub fn build_data_acquire(b: &mut Builder, name: &str, memory_space: u32) -> OpId {
@@ -91,11 +95,14 @@ pub fn build_data_release(b: &mut Builder, name: &str, memory_space: u32) -> OpI
 /// `device.kernel_create` with a (possibly empty) body region and the
 /// `device_function` symbol to call on launch. Kernel arguments are the
 /// operands; the pre-extraction body receives them as block args.
+/// Body-builder callback for the pre-extraction `kernel_create` region.
+pub type KernelBodyFn<'a> = &'a mut dyn FnMut(&mut Builder, &[ValueId]);
+
 pub fn build_kernel_create(
     b: &mut Builder,
     args: &[ValueId],
     device_function: &str,
-    body_fn: Option<&mut dyn FnMut(&mut Builder, &[ValueId])>,
+    body_fn: Option<KernelBodyFn<'_>>,
 ) -> ValueId {
     let arg_types: Vec<TypeId> = args.iter().map(|&v| b.ir.value_ty(v)).collect();
     let region = b.ir.new_region();
@@ -132,7 +139,8 @@ pub fn build_kernel_wait(b: &mut Builder, handle: ValueId) -> OpId {
 
 /// Identifier name of a data-management op.
 pub fn data_name(ir: &Ir, op: OpId) -> &str {
-    ir.attr_str_of(op, "name").expect("device data op without name")
+    ir.attr_str_of(op, "name")
+        .expect("device data op without name")
 }
 
 pub fn memory_space(ir: &Ir, op: OpId) -> u32 {

@@ -20,7 +20,12 @@ pub const CONVERT: &str = "fir.convert";
 pub const CALL: &str = "fir.call";
 
 /// Allocate Fortran local storage (scalars are rank-0 memrefs).
-pub fn alloca(b: &mut Builder, memref_ty: TypeId, dyn_sizes: &[ValueId], uniq_name: &str) -> ValueId {
+pub fn alloca(
+    b: &mut Builder,
+    memref_ty: TypeId,
+    dyn_sizes: &[ValueId],
+    uniq_name: &str,
+) -> ValueId {
     let n = b.ir.attr_str(uniq_name);
     b.insert_r(
         OpSpec::new(ALLOCA)
@@ -75,7 +80,11 @@ pub fn do_loop(
         body_fn(&mut inner, iv);
         inner.insert(OpSpec::new(RESULT));
     }
-    b.insert(OpSpec::new(DO_LOOP).operands(&[lb, ub, step]).region(region))
+    b.insert(
+        OpSpec::new(DO_LOOP)
+            .operands(&[lb, ub, step])
+            .region(region),
+    )
 }
 
 /// `fir.if` without results.

@@ -30,7 +30,12 @@ pub fn build_func(
 }
 
 /// Declaration-only function (no body ops; used for HLS primitive externs).
-pub fn build_private_decl(b: &mut Builder, name: &str, inputs: &[TypeId], results: &[TypeId]) -> OpId {
+pub fn build_private_decl(
+    b: &mut Builder,
+    name: &str,
+    inputs: &[TypeId],
+    results: &[TypeId],
+) -> OpId {
     let (op, _entry) = build_func(b, name, inputs, results);
     let vis = b.ir.attr_str("private");
     b.ir.set_attr(op, "sym_visibility", vis);
@@ -41,12 +46,7 @@ pub fn build_return(b: &mut Builder, values: &[ValueId]) -> OpId {
     b.insert(OpSpec::new(RETURN).operands(values))
 }
 
-pub fn build_call(
-    b: &mut Builder,
-    callee: &str,
-    args: &[ValueId],
-    results: &[TypeId],
-) -> OpId {
+pub fn build_call(b: &mut Builder, callee: &str, args: &[ValueId], results: &[TypeId]) -> OpId {
     let sym = b.ir.attr_symbol(callee);
     b.insert(
         OpSpec::new(CALL)
@@ -93,7 +93,11 @@ pub fn register(reg: &mut VerifierRegistry) {
         if ir.attr_str_of(op, "sym_name").is_none() {
             return Err("func.func requires sym_name".into());
         }
-        if ir.get_attr(op, "function_type").and_then(|a| ir.attr_as_type(a)).is_none() {
+        if ir
+            .get_attr(op, "function_type")
+            .and_then(|a| ir.attr_as_type(a))
+            .is_none()
+        {
             return Err("func.func requires function_type".into());
         }
         if ir.op(op).regions.len() != 1 {
@@ -113,7 +117,10 @@ pub fn register(reg: &mut VerifierRegistry) {
         }
         for (a, t) in args.iter().zip(&inputs) {
             if ir.value_ty(*a) != *t {
-                return Err(format!("func.func '{}': entry arg type mismatch", name(ir, op)));
+                return Err(format!(
+                    "func.func '{}': entry arg type mismatch",
+                    name(ir, op)
+                ));
             }
         }
         Ok(())

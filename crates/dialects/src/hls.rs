@@ -49,7 +49,8 @@ pub fn build_unroll(b: &mut Builder, factor: ValueId) -> OpId {
 
 /// Bundle name of an `hls.interface`.
 pub fn interface_bundle(ir: &Ir, op: OpId) -> &str {
-    ir.attr_str_of(op, "bundle").expect("hls.interface without bundle")
+    ir.attr_str_of(op, "bundle")
+        .expect("hls.interface without bundle")
 }
 
 /// The kernel argument an `hls.interface` binds.

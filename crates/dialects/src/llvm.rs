@@ -78,7 +78,11 @@ pub fn build_extern(b: &mut Builder, name: &str, inputs: &[TypeId], results: &[T
 }
 
 pub fn constant(b: &mut Builder, value_attr: ftn_mlir::AttrId, ty: TypeId) -> ValueId {
-    b.insert_r(OpSpec::new(CONSTANT).results(&[ty]).attr("value", value_attr))
+    b.insert_r(
+        OpSpec::new(CONSTANT)
+            .results(&[ty])
+            .attr("value", value_attr),
+    )
 }
 
 /// `llvm.alloca` — stack slot for `count` elements of `elem_ty`.
@@ -163,7 +167,13 @@ pub fn binop(b: &mut Builder, name: &str, lhs: ValueId, rhs: ValueId) -> ValueId
 }
 
 /// Binary op with an LLVM fast-math flag set recorded in `fastmath`.
-pub fn binop_fm(b: &mut Builder, name: &str, lhs: ValueId, rhs: ValueId, fastmath: &str) -> ValueId {
+pub fn binop_fm(
+    b: &mut Builder,
+    name: &str,
+    lhs: ValueId,
+    rhs: ValueId,
+    fastmath: &str,
+) -> ValueId {
     let ty = b.ir.value_ty(lhs);
     let fm = b.ir.attr_str(fastmath);
     b.insert_r(
@@ -196,7 +206,11 @@ pub fn register(reg: &mut VerifierRegistry) {
         Ok(())
     });
     reg.register(GEP, |ir, op| {
-        if ir.get_attr(op, "elem_type").and_then(|a| ir.attr_as_type(a)).is_none() {
+        if ir
+            .get_attr(op, "elem_type")
+            .and_then(|a| ir.attr_as_type(a))
+            .is_none()
+        {
             return Err("llvm.getelementptr requires elem_type".into());
         }
         Ok(())

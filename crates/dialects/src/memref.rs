@@ -23,7 +23,11 @@ pub fn alloc(b: &mut Builder, memref_ty: TypeId, dyn_sizes: &[ValueId]) -> Value
 
 /// Stack-like allocation (used for scalars and reduction copy arrays).
 pub fn alloca(b: &mut Builder, memref_ty: TypeId, dyn_sizes: &[ValueId]) -> ValueId {
-    b.insert_r(OpSpec::new(ALLOCA).operands(dyn_sizes).results(&[memref_ty]))
+    b.insert_r(
+        OpSpec::new(ALLOCA)
+            .operands(dyn_sizes)
+            .results(&[memref_ty]),
+    )
 }
 
 pub fn dealloc(b: &mut Builder, memref: ValueId) -> OpId {

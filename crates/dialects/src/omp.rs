@@ -53,12 +53,18 @@ impl MapType {
 
     /// Host→device copy required when entering the region?
     pub fn copies_in(self) -> bool {
-        matches!(self, MapType::To | MapType::Tofrom | MapType::ImplicitTofrom)
+        matches!(
+            self,
+            MapType::To | MapType::Tofrom | MapType::ImplicitTofrom
+        )
     }
 
     /// Device→host copy required when leaving the region?
     pub fn copies_out(self) -> bool {
-        matches!(self, MapType::From | MapType::Tofrom | MapType::ImplicitTofrom)
+        matches!(
+            self,
+            MapType::From | MapType::Tofrom | MapType::ImplicitTofrom
+        )
     }
 
     pub fn is_implicit(self) -> bool {
@@ -290,7 +296,9 @@ pub fn wsloop_config(ir: &Ir, op: OpId) -> WsLoopConfig {
         parallel: ir.has_attr(op, "parallel"),
         simd: ir.has_attr(op, "simd"),
         simdlen: ir.attr_int_of(op, "simdlen"),
-        reduction: ir.attr_str_of(op, "reduction").and_then(ReductionKind::parse),
+        reduction: ir
+            .attr_str_of(op, "reduction")
+            .and_then(ReductionKind::parse),
     }
 }
 
@@ -311,7 +319,10 @@ pub fn map_info_ops(ir: &Ir, op: OpId) -> Vec<OpId> {
     }) as usize;
     ir.op(op).operands[..num]
         .iter()
-        .map(|&v| ir.defining_op(v).expect("map operand must be a map_info result"))
+        .map(|&v| {
+            ir.defining_op(v)
+                .expect("map operand must be a map_info result")
+        })
         .collect()
 }
 
@@ -326,7 +337,11 @@ pub fn register(reg: &mut VerifierRegistry) {
         if ir.op(op).operands.is_empty() {
             return Err("omp.map_info requires a variable operand".into());
         }
-        if ir.attr_str_of(op, "map_type").and_then(MapType::parse).is_none() {
+        if ir
+            .attr_str_of(op, "map_type")
+            .and_then(MapType::parse)
+            .is_none()
+        {
             return Err("omp.map_info requires a valid map_type".into());
         }
         if ir.attr_str_of(op, "var_name").is_none() {
@@ -383,11 +398,19 @@ mod tests {
 
     #[test]
     fn map_types() {
-        assert_eq!(MapType::parse("tofrom::implicit"), Some(MapType::ImplicitTofrom));
+        assert_eq!(
+            MapType::parse("tofrom::implicit"),
+            Some(MapType::ImplicitTofrom)
+        );
         assert!(MapType::From.copies_out() && !MapType::From.copies_in());
         assert!(MapType::To.copies_in() && !MapType::To.copies_out());
         assert!(MapType::ImplicitTofrom.copies_in() && MapType::ImplicitTofrom.copies_out());
-        for mt in [MapType::To, MapType::From, MapType::Tofrom, MapType::ImplicitTofrom] {
+        for mt in [
+            MapType::To,
+            MapType::From,
+            MapType::Tofrom,
+            MapType::ImplicitTofrom,
+        ] {
             assert_eq!(MapType::parse(mt.as_str()), Some(mt));
         }
     }
@@ -432,10 +455,18 @@ mod tests {
                 simdlen: Some(10),
                 reduction: Some(ReductionKind::Add),
             };
-            let ws = build_wsloop(&mut b, lb, ub, step, &config, Some(init), |inner, _iv, accs| {
-                let one = arith::const_f32(inner, 1.0);
-                vec![arith::addf(inner, accs[0], one)]
-            });
+            let ws = build_wsloop(
+                &mut b,
+                lb,
+                ub,
+                step,
+                &config,
+                Some(init),
+                |inner, _iv, accs| {
+                    let one = arith::const_f32(inner, 1.0);
+                    vec![arith::addf(inner, accs[0], one)]
+                },
+            );
             let read_back = wsloop_config(b.ir, ws);
             assert!(read_back.parallel && read_back.simd);
             assert_eq!(read_back.simdlen, Some(10));

@@ -35,8 +35,7 @@ pub fn build_for(
     // Build body in a nested builder.
     let yielded = {
         let mut inner = Builder::at_end(b.ir, body);
-        let vals = body_fn(&mut inner, iv, &iter_args);
-        vals
+        body_fn(&mut inner, iv, &iter_args)
     };
     {
         let mut inner = Builder::at_end(b.ir, body);

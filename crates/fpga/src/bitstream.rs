@@ -101,7 +101,13 @@ mod tests {
             kernels: vec![KernelImage {
                 name: "saxpy_kernel0".into(),
                 schedule: vec![],
-                resources: ResourceUsage { lut: 2_630, ff: 4_000, bram: 4, uram: 0, dsp: 5 },
+                resources: ResourceUsage {
+                    lut: 2_630,
+                    ff: 4_000,
+                    bram: 4,
+                    uram: 0,
+                    dsp: 5,
+                },
                 recognized_macs: 0,
             }],
         }

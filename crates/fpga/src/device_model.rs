@@ -90,7 +90,8 @@ impl DeviceModel {
 
     /// Effective per-access cost for a streaming (read-only or unrolled) port.
     pub fn stream_access_cycles(&self) -> u64 {
-        self.hbm_round_trip_cycles.div_ceil(self.hbm_max_outstanding)
+        self.hbm_round_trip_cycles
+            .div_ceil(self.hbm_max_outstanding)
     }
 
     /// Seconds for `cycles` kernel clock cycles.

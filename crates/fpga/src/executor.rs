@@ -5,6 +5,7 @@
 //! latency per iteration.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ftn_interp::{Interp, InterpError, Memory, NoHooks, Observer, RtValue};
 use ftn_mlir::{Ir, OpId};
@@ -30,12 +31,57 @@ pub struct ExecutionStats {
     pub results: Vec<RtValue>,
 }
 
-/// Executes kernels from a [`Bitstream`] on the simulated device.
-pub struct KernelExecutor {
+/// Timing fields of [`ExecutionStats`] as JSON. The `results` payload holds
+/// runtime values (buffer handles), which are not statistics, so it is
+/// deliberately excluded from the serialized form.
+impl serde::Serialize for ExecutionStats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("kernel".into(), self.kernel.to_value()),
+            ("cycles".into(), self.cycles.to_value()),
+            ("kernel_seconds".into(), self.kernel_seconds.to_value()),
+            ("wall_seconds".into(), self.wall_seconds.to_value()),
+            ("loop_instances".into(), self.loop_instances.to_value()),
+        ])
+    }
+}
+
+/// The immutable, shareable part of an instantiated bitstream: the parsed
+/// device module and its loop schedules. Parsing the module text is the
+/// expensive step of `KernelExecutor` construction, so pools of executors
+/// (ftn-cluster) instantiate one image and share it across devices/threads
+/// behind an [`Arc`].
+pub struct ExecutorImage {
     ir: Ir,
     module: OpId,
-    pub device: DeviceModel,
     schedules: HashMap<String, Vec<LoopInfo>>,
+}
+
+impl ExecutorImage {
+    /// Parse a bitstream's module text and index the schedules.
+    pub fn from_bitstream(bitstream: &Bitstream) -> Result<Self, String> {
+        let mut ir = Ir::new();
+        let module = bitstream.instantiate(&mut ir)?;
+        let schedules = bitstream
+            .kernels
+            .iter()
+            .map(|k| (k.name.clone(), k.schedule.clone()))
+            .collect();
+        Ok(ExecutorImage {
+            ir,
+            module,
+            schedules,
+        })
+    }
+}
+
+/// Executes kernels from a [`Bitstream`] on the simulated device. Cloning is
+/// cheap (the parsed module is shared), so one image can fan out across a
+/// device pool.
+#[derive(Clone)]
+pub struct KernelExecutor {
+    image: Arc<ExecutorImage>,
+    pub device: DeviceModel,
 }
 
 struct TripObserver {
@@ -54,33 +100,41 @@ impl Observer for TripObserver {
 impl KernelExecutor {
     /// Load a bitstream: parse its module text and index the schedules.
     pub fn from_bitstream(bitstream: &Bitstream, device: DeviceModel) -> Result<Self, String> {
-        let mut ir = Ir::new();
-        let module = bitstream.instantiate(&mut ir)?;
-        let schedules = bitstream
-            .kernels
-            .iter()
-            .map(|k| (k.name.clone(), k.schedule.clone()))
-            .collect();
         Ok(KernelExecutor {
-            ir,
-            module,
+            image: Arc::new(ExecutorImage::from_bitstream(bitstream)?),
             device,
-            schedules,
         })
     }
 
+    /// Bind an already-parsed (shared) image to a device.
+    pub fn from_image(image: Arc<ExecutorImage>, device: DeviceModel) -> Self {
+        KernelExecutor { image, device }
+    }
+
     /// Direct construction from an in-memory device module (testing).
-    pub fn from_module(ir: Ir, module: OpId, device: DeviceModel, schedules: HashMap<String, Vec<LoopInfo>>) -> Self {
+    pub fn from_module(
+        ir: Ir,
+        module: OpId,
+        device: DeviceModel,
+        schedules: HashMap<String, Vec<LoopInfo>>,
+    ) -> Self {
         KernelExecutor {
-            ir,
-            module,
+            image: Arc::new(ExecutorImage {
+                ir,
+                module,
+                schedules,
+            }),
             device,
-            schedules,
         }
     }
 
+    /// The shared image (for pools that fan one parse out to many devices).
+    pub fn image(&self) -> &Arc<ExecutorImage> {
+        &self.image
+    }
+
     pub fn ir(&self) -> &Ir {
-        &self.ir
+        &self.image.ir
     }
 
     /// Execute `kernel` with `args` against `memory`; returns results plus
@@ -91,18 +145,19 @@ impl KernelExecutor {
         args: &[RtValue],
         memory: &mut Memory,
     ) -> Result<ExecutionStats, InterpError> {
-        let func = self
+        let image = &*self.image;
+        let func = image
             .ir
-            .lookup_symbol(self.module, kernel)
+            .lookup_symbol(image.module, kernel)
             .ok_or_else(|| InterpError::new(format!("no kernel '{kernel}' in bitstream")))?;
         let mut observer = TripObserver {
-            index_of: loop_index_map(&self.ir, func),
+            index_of: loop_index_map(&image.ir, func),
             instances: Vec::new(),
         };
-        let interp = Interp::new(&self.ir, self.module);
+        let interp = Interp::new(&image.ir, image.module);
         let results = interp.call(kernel, args, memory, &mut NoHooks, &mut observer)?;
 
-        let schedule = self.schedules.get(kernel).cloned().unwrap_or_default();
+        let schedule = image.schedules.get(kernel).cloned().unwrap_or_default();
         let mut cycles = KERNEL_CONTROL_CYCLES;
         for &(idx, trip) in &observer.instances {
             let info = schedule.iter().find(|s| s.loop_index == idx);
@@ -150,7 +205,8 @@ mod tests {
         let mty = ir.memref_t(&[ftn_mlir::types::DYN_DIM], f32t, 1);
         {
             let mut b = Builder::at_end(&mut ir, mbody);
-            let (_f, entry) = func_d::build_func(&mut b, "saxpy_kernel0", &[mty, mty, f32t, index], &[]);
+            let (_f, entry) =
+                func_d::build_func(&mut b, "saxpy_kernel0", &[mty, mty, f32t, index], &[]);
             let args = b.ir.block(entry).args.clone();
             b.set_insertion_point_to_end(entry);
             let one = arith::const_index(&mut b, 1);
@@ -184,13 +240,23 @@ mod tests {
         let x = memory.alloc(Buffer::F32((0..n).map(|i| i as f32).collect()), 1);
         let y = memory.alloc(Buffer::F32(vec![1.0; n as usize]), 1);
         let args = vec![
-            RtValue::MemRef(MemRefVal { buffer: x, shape: vec![n], space: 1 }),
-            RtValue::MemRef(MemRefVal { buffer: y, shape: vec![n], space: 1 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: x,
+                shape: vec![n],
+                space: 1,
+            }),
+            RtValue::MemRef(MemRefVal {
+                buffer: y,
+                shape: vec![n],
+                space: 1,
+            }),
             RtValue::F32(2.0),
             RtValue::Index(n),
         ];
         let stats = exec.execute("saxpy_kernel0", &args, &mut memory).unwrap();
-        let Buffer::F32(data) = memory.get(y) else { panic!() };
+        let Buffer::F32(data) = memory.get(y) else {
+            panic!()
+        };
         (data.clone(), stats)
     }
 
@@ -224,7 +290,11 @@ mod tests {
         let n: i64 = 100_000;
         let (_, stats) = run(&exec, n);
         // 32 cycles/element at 300 MHz ≈ 10.7 ms (the Table 1 N=100K point).
-        assert!((0.009..0.013).contains(&stats.kernel_seconds), "{}", stats.kernel_seconds);
+        assert!(
+            (0.009..0.013).contains(&stats.kernel_seconds),
+            "{}",
+            stats.kernel_seconds
+        );
         // Main loop (N/10 trips) + epilogue (0 trips).
         assert_eq!(stats.loop_instances.len(), 2);
         assert_eq!(stats.loop_instances[0].1, (n / 10) as u64);

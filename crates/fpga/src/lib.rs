@@ -27,7 +27,7 @@ pub mod vitis;
 
 pub use bitstream::{Bitstream, KernelImage, LoopSchedule};
 pub use device_model::{DeviceModel, ResourceUsage};
-pub use executor::{ExecutionStats, KernelExecutor};
+pub use executor::{ExecutionStats, ExecutorImage, KernelExecutor};
 pub use power::{cpu_power_watts, fpga_power_watts};
 pub use resources::estimate_kernel_resources;
 pub use schedule::schedule_kernel;

@@ -21,10 +21,7 @@ pub const FPGA_SAT_HALF_S: f64 = 0.045;
 /// `busy_seconds`, with `kernel` resources configured.
 pub fn fpga_power_watts(kernel: &ResourceUsage, busy_seconds: f64) -> f64 {
     let sat = busy_seconds / (busy_seconds + FPGA_SAT_HALF_S);
-    FPGA_STATIC_W
-        + FPGA_DYNAMIC_MAX_W * sat
-        + kernel.dsp as f64 * 0.02
-        + kernel.lut as f64 * 2.0e-5
+    FPGA_STATIC_W + FPGA_DYNAMIC_MAX_W * sat + kernel.dsp as f64 * 0.02 + kernel.lut as f64 * 2.0e-5
 }
 
 /// CPU package idle + one active core (W).
@@ -45,7 +42,13 @@ mod tests {
 
     #[test]
     fn fpga_power_in_paper_band() {
-        let kernel = ResourceUsage { lut: 2_630, ff: 4_000, bram: 4, uram: 0, dsp: 5 };
+        let kernel = ResourceUsage {
+            lut: 2_630,
+            ff: 4_000,
+            bram: 4,
+            uram: 0,
+            dsp: 5,
+        };
         // Short run: near the static floor.
         let short = fpga_power_watts(&kernel, 0.00125);
         assert!((21.0..23.0).contains(&short), "{short}");
@@ -61,8 +64,10 @@ mod tests {
         let kernel = ResourceUsage::default();
         let fpga = fpga_power_watts(&kernel, 0.1);
         // The paper's headline: FPGA ≈ half a single CPU core's draw.
-        assert!(cpu > 1.9 * (fpga - FPGA_STATIC_W) + 50.0 || cpu > 2.0 * fpga / 1.05,
-            "cpu {cpu} vs fpga {fpga}");
+        assert!(
+            cpu > 1.9 * (fpga - FPGA_STATIC_W) + 50.0 || cpu > 2.0 * fpga / 1.05,
+            "cpu {cpu} vs fpga {fpga}"
+        );
         assert!((52.0..57.5).contains(&cpu));
     }
 

@@ -25,18 +25,90 @@ use crate::schedule::LoopInfo;
 pub mod costs {
     use crate::device_model::ResourceUsage;
 
-    pub const KERNEL_BASE: ResourceUsage = ResourceUsage { lut: 720, ff: 1_100, bram: 2, uram: 0, dsp: 0 };
-    pub const PER_AXI_PORT: ResourceUsage = ResourceUsage { lut: 400, ff: 600, bram: 1, uram: 0, dsp: 0 };
-    pub const F32_MUL_LUT: ResourceUsage = ResourceUsage { lut: 680, ff: 700, bram: 0, uram: 0, dsp: 0 };
-    pub const F32_MUL_DSP: ResourceUsage = ResourceUsage { lut: 85, ff: 120, bram: 0, uram: 0, dsp: 3 };
-    pub const F32_ADD_LUT: ResourceUsage = ResourceUsage { lut: 430, ff: 520, bram: 0, uram: 0, dsp: 0 };
-    pub const F32_ADD_DSP: ResourceUsage = ResourceUsage { lut: 220, ff: 260, bram: 0, uram: 0, dsp: 2 };
-    pub const F32_DIV: ResourceUsage = ResourceUsage { lut: 1_200, ff: 1_400, bram: 0, uram: 0, dsp: 0 };
-    pub const F64_MUL: ResourceUsage = ResourceUsage { lut: 200, ff: 260, bram: 0, uram: 0, dsp: 11 };
-    pub const F64_ADD: ResourceUsage = ResourceUsage { lut: 650, ff: 780, bram: 0, uram: 0, dsp: 3 };
-    pub const INT_MUL: ResourceUsage = ResourceUsage { lut: 100, ff: 140, bram: 0, uram: 0, dsp: 4 };
-    pub const INT_ALU: ResourceUsage = ResourceUsage { lut: 70, ff: 70, bram: 0, uram: 0, dsp: 0 };
-    pub const CAST: ResourceUsage = ResourceUsage { lut: 8, ff: 8, bram: 0, uram: 0, dsp: 0 };
+    pub const KERNEL_BASE: ResourceUsage = ResourceUsage {
+        lut: 720,
+        ff: 1_100,
+        bram: 2,
+        uram: 0,
+        dsp: 0,
+    };
+    pub const PER_AXI_PORT: ResourceUsage = ResourceUsage {
+        lut: 400,
+        ff: 600,
+        bram: 1,
+        uram: 0,
+        dsp: 0,
+    };
+    pub const F32_MUL_LUT: ResourceUsage = ResourceUsage {
+        lut: 680,
+        ff: 700,
+        bram: 0,
+        uram: 0,
+        dsp: 0,
+    };
+    pub const F32_MUL_DSP: ResourceUsage = ResourceUsage {
+        lut: 85,
+        ff: 120,
+        bram: 0,
+        uram: 0,
+        dsp: 3,
+    };
+    pub const F32_ADD_LUT: ResourceUsage = ResourceUsage {
+        lut: 430,
+        ff: 520,
+        bram: 0,
+        uram: 0,
+        dsp: 0,
+    };
+    pub const F32_ADD_DSP: ResourceUsage = ResourceUsage {
+        lut: 220,
+        ff: 260,
+        bram: 0,
+        uram: 0,
+        dsp: 2,
+    };
+    pub const F32_DIV: ResourceUsage = ResourceUsage {
+        lut: 1_200,
+        ff: 1_400,
+        bram: 0,
+        uram: 0,
+        dsp: 0,
+    };
+    pub const F64_MUL: ResourceUsage = ResourceUsage {
+        lut: 200,
+        ff: 260,
+        bram: 0,
+        uram: 0,
+        dsp: 11,
+    };
+    pub const F64_ADD: ResourceUsage = ResourceUsage {
+        lut: 650,
+        ff: 780,
+        bram: 0,
+        uram: 0,
+        dsp: 3,
+    };
+    pub const INT_MUL: ResourceUsage = ResourceUsage {
+        lut: 100,
+        ff: 140,
+        bram: 0,
+        uram: 0,
+        dsp: 4,
+    };
+    pub const INT_ALU: ResourceUsage = ResourceUsage {
+        lut: 70,
+        ff: 70,
+        bram: 0,
+        uram: 0,
+        dsp: 0,
+    };
+    pub const CAST: ResourceUsage = ResourceUsage {
+        lut: 8,
+        ff: 8,
+        bram: 0,
+        uram: 0,
+        dsp: 0,
+    };
 }
 
 /// Functional-unit kinds tracked by the estimator.
@@ -159,7 +231,13 @@ fn classify_block(
         if !skip_regions {
             for &r in &ir.op(op).regions {
                 for &b in &ir.region(r).blocks {
-                    classify_block(ir, b, mac_muls, counts, stop_at_loops && !ir.op_is(op, scf::FOR));
+                    classify_block(
+                        ir,
+                        b,
+                        mac_muls,
+                        counts,
+                        stop_at_loops && !ir.op_is(op, scf::FOR),
+                    );
                 }
             }
         }
@@ -196,12 +274,25 @@ fn classify_op(ir: &Ir, op: OpId, mac_muls: &[OpId]) -> Option<FuKind> {
         }
         arith::DIVF => Some(FuKind::F32Div),
         arith::MULI => Some(FuKind::IntMul),
-        arith::ADDI | arith::SUBI | arith::DIVSI | arith::REMSI | arith::ANDI | arith::ORI
-        | arith::XORI | arith::MAXSI | arith::MINSI | arith::CMPI | arith::CMPF | arith::SELECT => {
-            Some(FuKind::IntAlu)
-        }
-        arith::INDEX_CAST | arith::SITOFP | arith::FPTOSI | arith::EXTF | arith::TRUNCF
-        | arith::EXTSI | arith::TRUNCI => Some(FuKind::Cast),
+        arith::ADDI
+        | arith::SUBI
+        | arith::DIVSI
+        | arith::REMSI
+        | arith::ANDI
+        | arith::ORI
+        | arith::XORI
+        | arith::MAXSI
+        | arith::MINSI
+        | arith::CMPI
+        | arith::CMPF
+        | arith::SELECT => Some(FuKind::IntAlu),
+        arith::INDEX_CAST
+        | arith::SITOFP
+        | arith::FPTOSI
+        | arith::EXTF
+        | arith::TRUNCF
+        | arith::EXTSI
+        | arith::TRUNCI => Some(FuKind::Cast),
         _ => None,
     }
 }
@@ -304,7 +395,7 @@ mod tests {
             body_latency: 1,
             ports: vec![],
         };
-        let res_shared = estimate_kernel_resources(&ir, f, &[shared.clone()]);
+        let res_shared = estimate_kernel_resources(&ir, f, std::slice::from_ref(&shared));
         let tight = LoopInfo { ii: 1, ..shared };
         let res_tight = estimate_kernel_resources(&ir, f, &[tight]);
         // II=96 shares one adder; II=1 needs 8.
@@ -314,7 +405,13 @@ mod tests {
     #[test]
     fn utilisation_matches_table3_for_saxpy_sized_kernel() {
         let device = DeviceModel::u280();
-        let kernel = ResourceUsage { lut: 2_630, ff: 4_100, bram: 4, uram: 0, dsp: 0 };
+        let kernel = ResourceUsage {
+            lut: 2_630,
+            ff: 4_100,
+            bram: 4,
+            uram: 0,
+            dsp: 0,
+        };
         let (lut, bram, dsp) = utilisation_with_shell(&device, &kernel);
         assert!((lut - 8.29).abs() < 0.06, "lut {lut}");
         assert!((bram - 10.07).abs() < 0.06, "bram {bram}");

@@ -107,7 +107,13 @@ fn schedule_loop(
     // nested scf.for loops — those are scheduled separately).
     let mut port_accesses: HashMap<String, (u32, u32)> = HashMap::new();
     let mut body_compute_latency = 0u64;
-    collect_accesses(ir, body, bundles, &mut port_accesses, &mut body_compute_latency);
+    collect_accesses(
+        ir,
+        body,
+        bundles,
+        &mut port_accesses,
+        &mut body_compute_latency,
+    );
 
     let stream = device.stream_access_cycles();
     let mut ports: Vec<PortCost> = port_accesses
@@ -139,7 +145,10 @@ fn schedule_loop(
     let n_iter = ir.op(l).operands.len().saturating_sub(3);
     let ii_dep = if n_iter > 0 {
         let any_float = ir.op(l).operands[3..].iter().any(|&v| {
-            matches!(ir.type_kind(ir.value_ty(v)), TypeKind::Float32 | TypeKind::Float64)
+            matches!(
+                ir.type_kind(ir.value_ty(v)),
+                TypeKind::Float32 | TypeKind::Float64
+            )
         });
         if any_float {
             FADD_LATENCY.div_ceil(unroll)
@@ -189,12 +198,18 @@ fn collect_accesses(
         match name {
             "memref.load" => {
                 let base = ir.op(op).operands[0];
-                let bundle = bundles.get(&base).cloned().unwrap_or_else(|| "local".into());
+                let bundle = bundles
+                    .get(&base)
+                    .cloned()
+                    .unwrap_or_else(|| "local".into());
                 ports.entry(bundle).or_default().0 += 1;
             }
             "memref.store" => {
                 let base = ir.op(op).operands[1];
-                let bundle = bundles.get(&base).cloned().unwrap_or_else(|| "local".into());
+                let bundle = bundles
+                    .get(&base)
+                    .cloned()
+                    .unwrap_or_else(|| "local".into());
                 ports.entry(bundle).or_default().1 += 1;
             }
             "arith.addf" | "arith.subf" => *compute += FADD_LATENCY,
@@ -330,12 +345,20 @@ mod tests {
                 simdlen: None,
                 reduction: Some(omp::ReductionKind::Add),
             };
-            let ws = omp::build_wsloop(&mut b, one, args[1], one, &cfg, Some(init), |ib, iv, acc| {
-                let one_i = arith::const_index(ib, 1);
-                let idx = arith::subi(ib, iv, one_i);
-                let v = memref::load(ib, args[0], &[idx]);
-                vec![arith::addf(ib, acc[0], v)]
-            });
+            let ws = omp::build_wsloop(
+                &mut b,
+                one,
+                args[1],
+                one,
+                &cfg,
+                Some(init),
+                |ib, iv, acc| {
+                    let one_i = arith::const_index(ib, 1);
+                    let idx = arith::subi(ib, iv, one_i);
+                    let v = memref::load(ib, args[0], &[idx]);
+                    vec![arith::addf(ib, acc[0], v)]
+                },
+            );
             let r = b.ir.op(ws).results[0];
             func::build_return(&mut b, &[r]);
             f

@@ -40,7 +40,10 @@ pub enum BinOp {
 
 impl BinOp {
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     pub fn is_logical(self) -> bool {
@@ -59,7 +62,10 @@ pub enum UnOp {
 #[derive(Clone, PartialEq, Debug)]
 pub enum Expr {
     IntLit(i64),
-    RealLit { value: f64, double: bool },
+    RealLit {
+        value: f64,
+        double: bool,
+    },
     LogicalLit(bool),
     /// Scalar variable reference.
     Var(String),

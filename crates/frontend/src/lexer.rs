@@ -8,7 +8,10 @@ pub enum Token {
     /// Lower-cased identifier or keyword.
     Ident(String),
     Int(i64),
-    Real { value: f64, double: bool },
+    Real {
+        value: f64,
+        double: bool,
+    },
     /// Punctuation / operators: `( ) , : :: = == /= < <= > >= + - * ** /`.
     Punct(&'static str),
     /// Dot-operator: `.and.`, `.or.`, `.not.`, `.true.`, `.false.`,
@@ -42,14 +45,23 @@ pub fn lex(source: &str) -> Vec<Lexed> {
             '\n' => {
                 if continuation {
                     continuation = false;
-                } else if !matches!(out.last().map(|l: &Lexed| &l.token), Some(Token::Newline) | None) {
-                    out.push(Lexed { token: Token::Newline, line });
+                } else if !matches!(
+                    out.last().map(|l: &Lexed| &l.token),
+                    Some(Token::Newline) | None
+                ) {
+                    out.push(Lexed {
+                        token: Token::Newline,
+                        line,
+                    });
                 }
                 line += 1;
                 i += 1;
             }
             ';' => {
-                out.push(Lexed { token: Token::Newline, line });
+                out.push(Lexed {
+                    token: Token::Newline,
+                    line,
+                });
                 i += 1;
             }
             '&' => {
@@ -59,10 +71,7 @@ pub fn lex(source: &str) -> Vec<Lexed> {
             c if c.is_whitespace() => i += 1,
             '!' => {
                 // Comment or OpenMP sentinel.
-                let rest: String = source[i..]
-                    .chars()
-                    .take_while(|&ch| ch != '\n')
-                    .collect();
+                let rest: String = source[i..].chars().take_while(|&ch| ch != '\n').collect();
                 let lower = rest.to_ascii_lowercase();
                 if let Some(directive) = lower.strip_prefix("!$omp") {
                     out.push(Lexed {
@@ -81,10 +90,16 @@ pub fn lex(source: &str) -> Vec<Lexed> {
                 }
                 if j < bytes.len() && bytes[j] == b'.' {
                     let word = source[start..j].to_ascii_lowercase();
-                    out.push(Lexed { token: Token::DotOp(word), line });
+                    out.push(Lexed {
+                        token: Token::DotOp(word),
+                        line,
+                    });
                     i = j + 1;
                 } else {
-                    out.push(Lexed { token: Token::Punct("."), line });
+                    out.push(Lexed {
+                        token: Token::Punct("."),
+                        line,
+                    });
                     i += 1;
                 }
             }
@@ -111,34 +126,44 @@ pub fn lex(source: &str) -> Vec<Lexed> {
                 });
             }
             _ => {
-                let (p, len): (&'static str, usize) = match (c, bytes.get(i + 1).map(|&b| b as char)) {
-                    (':', Some(':')) => ("::", 2),
-                    ('=', Some('=')) => ("==", 2),
-                    ('/', Some('=')) => ("/=", 2),
-                    ('<', Some('=')) => ("<=", 2),
-                    ('>', Some('=')) => (">=", 2),
-                    ('*', Some('*')) => ("**", 2),
-                    ('(', _) => ("(", 1),
-                    (')', _) => (")", 1),
-                    (',', _) => (",", 1),
-                    (':', _) => (":", 1),
-                    ('=', _) => ("=", 1),
-                    ('<', _) => ("<", 1),
-                    ('>', _) => (">", 1),
-                    ('+', _) => ("+", 1),
-                    ('-', _) => ("-", 1),
-                    ('*', _) => ("*", 1),
-                    ('/', _) => ("/", 1),
-                    ('.', _) => (".", 1),
-                    _ => ("?", 1),
-                };
-                out.push(Lexed { token: Token::Punct(p), line });
+                let (p, len): (&'static str, usize) =
+                    match (c, bytes.get(i + 1).map(|&b| b as char)) {
+                        (':', Some(':')) => ("::", 2),
+                        ('=', Some('=')) => ("==", 2),
+                        ('/', Some('=')) => ("/=", 2),
+                        ('<', Some('=')) => ("<=", 2),
+                        ('>', Some('=')) => (">=", 2),
+                        ('*', Some('*')) => ("**", 2),
+                        ('(', _) => ("(", 1),
+                        (')', _) => (")", 1),
+                        (',', _) => (",", 1),
+                        (':', _) => (":", 1),
+                        ('=', _) => ("=", 1),
+                        ('<', _) => ("<", 1),
+                        ('>', _) => (">", 1),
+                        ('+', _) => ("+", 1),
+                        ('-', _) => ("-", 1),
+                        ('*', _) => ("*", 1),
+                        ('/', _) => ("/", 1),
+                        ('.', _) => (".", 1),
+                        _ => ("?", 1),
+                    };
+                out.push(Lexed {
+                    token: Token::Punct(p),
+                    line,
+                });
                 i += len;
             }
         }
     }
-    out.push(Lexed { token: Token::Newline, line });
-    out.push(Lexed { token: Token::Eof, line });
+    out.push(Lexed {
+        token: Token::Newline,
+        line,
+    });
+    out.push(Lexed {
+        token: Token::Eof,
+        line,
+    });
     out
 }
 
@@ -226,8 +251,12 @@ mod tests {
     #[test]
     fn omp_sentinel_vs_comment() {
         let t = toks("x = 1 ! a comment\n!$omp target parallel do simd simdlen(10)\ny = 2");
-        assert!(t.contains(&Token::OmpDirective("target parallel do simd simdlen(10)".into())));
-        assert!(!t.iter().any(|t| matches!(t, Token::Ident(s) if s == "comment")));
+        assert!(t.contains(&Token::OmpDirective(
+            "target parallel do simd simdlen(10)".into()
+        )));
+        assert!(!t
+            .iter()
+            .any(|t| matches!(t, Token::Ident(s) if s == "comment")));
     }
 
     #[test]
@@ -242,10 +271,12 @@ mod tests {
     fn continuation_lines() {
         let t = toks("x = 1 + &\n    2");
         // No newline between 1 + and 2.
-        let newline_before_2 = t
-            .iter()
-            .position(|t| matches!(t, Token::Int(2)))
-            .map(|p| t[..p].iter().filter(|t| matches!(t, Token::Newline)).count());
+        let newline_before_2 = t.iter().position(|t| matches!(t, Token::Int(2))).map(|p| {
+            t[..p]
+                .iter()
+                .filter(|t| matches!(t, Token::Newline))
+                .count()
+        });
         assert_eq!(newline_before_2, Some(0));
     }
 

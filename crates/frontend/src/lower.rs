@@ -139,13 +139,8 @@ fn lower_unit(b: &mut Builder, unit: &ProgramUnit, info: &UnitInfo) -> LResult<(
         if let Some(pos) = unit.args.iter().position(|a| *a == decl.name) {
             fir::store(b, params[pos], slot, &[]);
         }
-        ctx.vars.insert(
-            decl.name.clone(),
-            VarBinding::Slot {
-                slot,
-                ty: sym.ty,
-            },
-        );
+        ctx.vars
+            .insert(decl.name.clone(), VarBinding::Slot { slot, ty: sym.ty });
     }
     // 2) Arrays: evaluate extents, bind storage.
     for decl in &unit.decls {
@@ -538,7 +533,11 @@ fn collect_expr_usage(e: &Expr, info: &UnitInfo, usage: &mut Usage) {
     }
 }
 
-fn build_explicit_maps(b: &mut Builder, ctx: &mut Ctx, maps: &[MapClause]) -> LResult<Vec<ValueId>> {
+fn build_explicit_maps(
+    b: &mut Builder,
+    ctx: &mut Ctx,
+    maps: &[MapClause],
+) -> LResult<Vec<ValueId>> {
     let mut out = Vec::new();
     for clause in maps {
         let mt = omp::MapType::parse(&clause.map_type)
@@ -549,8 +548,9 @@ fn build_explicit_maps(b: &mut Builder, ctx: &mut Ctx, maps: &[MapClause]) -> LR
                 .get(var)
                 .cloned()
                 .ok_or_else(|| LowerError::new(format!("map of unbound '{var}'")))?;
-            let base = binding_storage(&binding)
-                .ok_or_else(|| LowerError::new(format!("map of scalar '{var}' unsupported (pass by value)")))?;
+            let base = binding_storage(&binding).ok_or_else(|| {
+                LowerError::new(format!("map of scalar '{var}' unsupported (pass by value)"))
+            })?;
             out.push(omp::build_map_info(b, base, mt, var, &[]));
         }
     }
@@ -618,7 +618,13 @@ fn build_target_region(
     }
     for (name, base, ty) in extra_arrays {
         let one = arith::const_index(b, 1);
-        map_infos.push(omp::build_map_info(b, *base, omp::MapType::Tofrom, name, &[]));
+        map_infos.push(omp::build_map_info(
+            b,
+            *base,
+            omp::MapType::Tofrom,
+            name,
+            &[],
+        ));
         plans.push(ArrayPlan {
             name: name.clone(),
             ty: *ty,
@@ -693,10 +699,7 @@ fn build_target_region(
         }
         for (name, ty) in scalar_binds.iter().skip_while(|(n, _)| n.is_empty()) {
             let value = *scalar_args.next().expect("scalar arg");
-            vars.insert(
-                name.clone(),
-                VarBinding::Value { value, ty: *ty },
-            );
+            vars.insert(name.clone(), VarBinding::Value { value, ty: *ty });
         }
         let mut inner_ctx = Ctx {
             info,
@@ -713,7 +716,9 @@ fn build_target_region(
             let slot_ty = scalar_slot_ty(inner.ir, ty);
             let slot = fir::alloca(inner, slot_ty, &[], &format!("{name}.priv"));
             fir::store(inner, value, slot, &[]);
-            inner_ctx.vars.insert(name.clone(), VarBinding::Slot { slot, ty });
+            inner_ctx
+                .vars
+                .insert(name.clone(), VarBinding::Slot { slot, ty });
         }
         if let Err(e) = body_build(inner, &mut inner_ctx) {
             err = Some(e);
@@ -727,7 +732,12 @@ fn build_target_region(
     }
 }
 
-fn lower_omp_target(b: &mut Builder, ctx: &mut Ctx, maps: &[MapClause], body: &[Stmt]) -> LResult<()> {
+fn lower_omp_target(
+    b: &mut Builder,
+    ctx: &mut Ctx,
+    maps: &[MapClause],
+    body: &[Stmt],
+) -> LResult<()> {
     let mut usage = Usage::default();
     collect_usage(body, ctx.info, &mut usage);
     build_target_region(b, ctx, maps, &usage, &[], &[], |inner, inner_ctx| {
@@ -840,100 +850,111 @@ fn lower_omp_target_loop(
     let red_name = red.as_ref().map(|(_, n)| n.clone());
     let var_name = var.clone();
     let body_stmts = body.clone();
-    build_target_region(b, ctx, &directive.maps, &usage, &extras, &extra_arrays, |inner, inner_ctx| {
-        let VarBinding::Value { value: lb_v, .. } = inner_ctx.vars["omp.lb"].clone() else {
-            unreachable!()
-        };
-        let VarBinding::Value { value: ub_v, .. } = inner_ctx.vars["omp.ub"].clone() else {
-            unreachable!()
-        };
-        let st_v = match step_literal {
-            Some(lit) => arith::const_index(inner, lit),
-            None => {
-                let VarBinding::Value { value, .. } = inner_ctx.vars["omp.step"].clone() else {
-                    unreachable!()
-                };
-                value
-            }
-        };
-        // Reduction init: identity, loaded-from-buffer combine afterwards.
-        let red_init = match &red {
-            Some((kind, name)) => {
-                let ty = match inner_ctx.info.symbol(name) {
-                    Some(s) => s.ty,
-                    None => FType::Real(4),
-                };
-                Some((identity_const(inner, *kind, ty), ty))
-            }
-            None => None,
-        };
-        let var_ty = inner_ctx
-            .info
-            .symbol(&var_name)
-            .map(|s| s.ty)
-            .unwrap_or(FType::Integer(4));
-        let mut err = None;
-        let ws = omp::build_wsloop(
-            inner,
-            lb_v,
-            ub_v,
-            st_v,
-            &config,
-            red_init.map(|(v, _)| v),
-            |lb_inner, iv, acc| {
-                let mut loop_ctx = Ctx {
-                    info: inner_ctx.info,
-                    vars: inner_ctx.vars.clone(),
-                    reduction: red_name.clone().map(|n| (n, None)),
-                    kernel_counter: inner_ctx.kernel_counter,
-                    unit_name: inner_ctx.unit_name.clone(),
-                };
-                let int_ty = ftype_ty(lb_inner.ir, var_ty);
-                let iv_int = fir::convert(lb_inner, iv, int_ty);
-                loop_ctx.vars.insert(
-                    var_name.clone(),
-                    VarBinding::Value {
-                        value: iv_int,
-                        ty: var_ty,
-                    },
-                );
-                if let Some(name) = &red_name {
-                    let ty = loop_ctx.info.symbol(name).map(|s| s.ty).unwrap_or(FType::Real(4));
-                    loop_ctx.vars.insert(
-                        name.clone(),
-                        VarBinding::Value { value: acc[0], ty },
-                    );
-                }
-                if let Err(e) = lower_stmts(lb_inner, &mut loop_ctx, &body_stmts) {
-                    err = Some(e);
-                    return vec![];
-                }
-                match loop_ctx.reduction {
-                    Some((_, Some(next))) => vec![next],
-                    Some((_, None)) => {
-                        // Reduction var never assigned: yield accumulator as-is.
-                        vec![acc[0]]
-                    }
-                    None => vec![],
-                }
-            },
-        );
-        if let Some(e) = err {
-            return Err(e);
-        }
-        // Combine reduction result with the running value in the buffer.
-        if let Some((buf_name, _slot, _host_buf, ty, kind)) = &red_host {
-            let ws_result = inner.ir.op(ws).results[0];
-            let VarBinding::Array { base, .. } = inner_ctx.vars[buf_name].clone() else {
+    build_target_region(
+        b,
+        ctx,
+        &directive.maps,
+        &usage,
+        &extras,
+        &extra_arrays,
+        |inner, inner_ctx| {
+            let VarBinding::Value { value: lb_v, .. } = inner_ctx.vars["omp.lb"].clone() else {
                 unreachable!()
             };
-            let zero = arith::const_index(inner, 0);
-            let cur = fir::load(inner, base, &[zero]);
-            let combined = apply_reduction(inner, *kind, cur, ws_result, *ty);
-            fir::store(inner, combined, base, &[zero]);
-        }
-        Ok(())
-    })?;
+            let VarBinding::Value { value: ub_v, .. } = inner_ctx.vars["omp.ub"].clone() else {
+                unreachable!()
+            };
+            let st_v = match step_literal {
+                Some(lit) => arith::const_index(inner, lit),
+                None => {
+                    let VarBinding::Value { value, .. } = inner_ctx.vars["omp.step"].clone() else {
+                        unreachable!()
+                    };
+                    value
+                }
+            };
+            // Reduction init: identity, loaded-from-buffer combine afterwards.
+            let red_init = match &red {
+                Some((kind, name)) => {
+                    let ty = match inner_ctx.info.symbol(name) {
+                        Some(s) => s.ty,
+                        None => FType::Real(4),
+                    };
+                    Some((identity_const(inner, *kind, ty), ty))
+                }
+                None => None,
+            };
+            let var_ty = inner_ctx
+                .info
+                .symbol(&var_name)
+                .map(|s| s.ty)
+                .unwrap_or(FType::Integer(4));
+            let mut err = None;
+            let ws = omp::build_wsloop(
+                inner,
+                lb_v,
+                ub_v,
+                st_v,
+                &config,
+                red_init.map(|(v, _)| v),
+                |lb_inner, iv, acc| {
+                    let mut loop_ctx = Ctx {
+                        info: inner_ctx.info,
+                        vars: inner_ctx.vars.clone(),
+                        reduction: red_name.clone().map(|n| (n, None)),
+                        kernel_counter: inner_ctx.kernel_counter,
+                        unit_name: inner_ctx.unit_name.clone(),
+                    };
+                    let int_ty = ftype_ty(lb_inner.ir, var_ty);
+                    let iv_int = fir::convert(lb_inner, iv, int_ty);
+                    loop_ctx.vars.insert(
+                        var_name.clone(),
+                        VarBinding::Value {
+                            value: iv_int,
+                            ty: var_ty,
+                        },
+                    );
+                    if let Some(name) = &red_name {
+                        let ty = loop_ctx
+                            .info
+                            .symbol(name)
+                            .map(|s| s.ty)
+                            .unwrap_or(FType::Real(4));
+                        loop_ctx
+                            .vars
+                            .insert(name.clone(), VarBinding::Value { value: acc[0], ty });
+                    }
+                    if let Err(e) = lower_stmts(lb_inner, &mut loop_ctx, &body_stmts) {
+                        err = Some(e);
+                        return vec![];
+                    }
+                    match loop_ctx.reduction {
+                        Some((_, Some(next))) => vec![next],
+                        Some((_, None)) => {
+                            // Reduction var never assigned: yield accumulator as-is.
+                            vec![acc[0]]
+                        }
+                        None => vec![],
+                    }
+                },
+            );
+            if let Some(e) = err {
+                return Err(e);
+            }
+            // Combine reduction result with the running value in the buffer.
+            if let Some((buf_name, _slot, _host_buf, ty, kind)) = &red_host {
+                let ws_result = inner.ir.op(ws).results[0];
+                let VarBinding::Array { base, .. } = inner_ctx.vars[buf_name].clone() else {
+                    unreachable!()
+                };
+                let zero = arith::const_index(inner, 0);
+                let cur = fir::load(inner, base, &[zero]);
+                let combined = apply_reduction(inner, *kind, cur, ws_result, *ty);
+                fir::store(inner, combined, base, &[zero]);
+            }
+            Ok(())
+        },
+    )?;
     // Host: read the reduced value back into the scalar slot (the buffer was
     // mapped tofrom, so the device result is in host memory after the target).
     if let Some((_buf_name, slot, host_buf, _ty, _)) = red_host {
@@ -1060,7 +1081,9 @@ fn lower_expr(b: &mut Builder, ctx: &mut Ctx, expr: &Expr) -> LResult<(ValueId, 
             if INTRINSICS.contains(&name.as_str()) {
                 return lower_intrinsic(b, ctx, name, args);
             }
-            Err(LowerError::new(format!("unknown array or function '{name}'")))
+            Err(LowerError::new(format!(
+                "unknown array or function '{name}'"
+            )))
         }
         Expr::Bin(op, l, r) => lower_binop(b, ctx, *op, l, r),
         Expr::Un(UnOp::Neg, e) => {
@@ -1080,11 +1103,21 @@ fn lower_expr(b: &mut Builder, ctx: &mut Ctx, expr: &Expr) -> LResult<(ValueId, 
     }
 }
 
-fn lower_binop(b: &mut Builder, ctx: &mut Ctx, op: BinOp, l: &Expr, r: &Expr) -> LResult<(ValueId, FType)> {
+fn lower_binop(
+    b: &mut Builder,
+    ctx: &mut Ctx,
+    op: BinOp,
+    l: &Expr,
+    r: &Expr,
+) -> LResult<(ValueId, FType)> {
     let (lv, lt) = lower_expr(b, ctx, l)?;
     let (rv, rt) = lower_expr(b, ctx, r)?;
     if op.is_logical() {
-        let name = if op == BinOp::And { arith::ANDI } else { arith::ORI };
+        let name = if op == BinOp::And {
+            arith::ANDI
+        } else {
+            arith::ORI
+        };
         return Ok((arith::binop(b, name, lv, rv), FType::Logical));
     }
     if op == BinOp::Pow {
@@ -1137,9 +1170,16 @@ fn lower_binop(b: &mut Builder, ctx: &mut Ctx, op: BinOp, l: &Expr, r: &Expr) ->
     Ok((v, common))
 }
 
-fn lower_pow(b: &mut Builder, base: ValueId, base_ty: FType, exp: &Expr) -> LResult<(ValueId, FType)> {
+fn lower_pow(
+    b: &mut Builder,
+    base: ValueId,
+    base_ty: FType,
+    exp: &Expr,
+) -> LResult<(ValueId, FType)> {
     let Expr::IntLit(n) = exp else {
-        return Err(LowerError::new("only integer-literal exponents are supported"));
+        return Err(LowerError::new(
+            "only integer-literal exponents are supported",
+        ));
     };
     if !(0..=8).contains(n) {
         return Err(LowerError::new("exponent out of supported range 0..=8"));
@@ -1223,7 +1263,9 @@ fn lower_intrinsic(
             let v = coerce(b, vals[0], tys[0], FType::Integer(4));
             Ok((v, FType::Integer(4)))
         }
-        other => Err(LowerError::new(format!("intrinsic '{other}' not supported"))),
+        other => Err(LowerError::new(format!(
+            "intrinsic '{other}' not supported"
+        ))),
     }
 }
 
@@ -1231,7 +1273,7 @@ fn lower_intrinsic(
 mod tests {
     use super::*;
     use crate::{analyze, parse};
-    use ftn_interp::{call_function, Buffer, Memory, MemRefVal, NoHooks, NoObserver, RtValue};
+    use ftn_interp::{call_function, Buffer, MemRefVal, Memory, NoHooks, NoObserver, RtValue};
     use ftn_mlir::{print_op, verify};
 
     fn compile(src: &str) -> (Ir, OpId) {
@@ -1271,11 +1313,27 @@ end subroutine saxpy
         let args = vec![
             RtValue::I32(3),
             RtValue::F32(2.0),
-            RtValue::MemRef(MemRefVal { buffer: x, shape: vec![3], space: 0 }),
-            RtValue::MemRef(MemRefVal { buffer: y, shape: vec![3], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: x,
+                shape: vec![3],
+                space: 0,
+            }),
+            RtValue::MemRef(MemRefVal {
+                buffer: y,
+                shape: vec![3],
+                space: 0,
+            }),
         ];
-        call_function(&ir, module, "saxpy", &args, &mut memory, &mut NoHooks, &mut NoObserver)
-            .unwrap();
+        call_function(
+            &ir,
+            module,
+            "saxpy",
+            &args,
+            &mut memory,
+            &mut NoHooks,
+            &mut NoObserver,
+        )
+        .unwrap();
         assert_eq!(memory.get(y), &Buffer::F32(vec![2.5, 4.5, 6.5]));
     }
 
@@ -1296,14 +1354,28 @@ end subroutine
         let mut memory = Memory::new();
         let a = memory.alloc(Buffer::F32(vec![0.0; 6]), 0);
         let args = vec![
-            RtValue::MemRef(MemRefVal { buffer: a, shape: vec![6], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: a,
+                shape: vec![6],
+                space: 0,
+            }),
             RtValue::I32(2),
             RtValue::I32(3),
         ];
-        call_function(&ir, module, "colmaj", &args, &mut memory, &mut NoHooks, &mut NoObserver)
-            .unwrap();
+        call_function(
+            &ir,
+            module,
+            "colmaj",
+            &args,
+            &mut memory,
+            &mut NoHooks,
+            &mut NoObserver,
+        )
+        .unwrap();
         // Column-major: a(i,j) at (i-1) + (j-1)*lda.
-        let Buffer::F32(data) = memory.get(a) else { panic!() };
+        let Buffer::F32(data) = memory.get(a) else {
+            panic!()
+        };
         assert_eq!(data[0], 11.0); // a(1,1)
         assert_eq!(data[1], 12.0); // a(2,1)
         assert_eq!(data[2], 21.0); // a(1,2)
@@ -1329,15 +1401,31 @@ end subroutine
         let y = memory.alloc(Buffer::F32(vec![4.0, 5.0, 6.0]), 0);
         let args = vec![
             RtValue::I32(3),
-            RtValue::MemRef(MemRefVal { buffer: x, shape: vec![3], space: 0 }),
-            RtValue::MemRef(MemRefVal { buffer: y, shape: vec![3], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: x,
+                shape: vec![3],
+                space: 0,
+            }),
+            RtValue::MemRef(MemRefVal {
+                buffer: y,
+                shape: vec![3],
+                space: 0,
+            }),
             RtValue::F32(100.0),
         ];
         // s starts at 100 (passed by value; reduction adds on top): the final
         // value is internal to the subroutine, so check via an output array
         // variant instead — here we just ensure execution succeeds.
-        call_function(&ir, module, "dotp", &args, &mut memory, &mut NoHooks, &mut NoObserver)
-            .unwrap();
+        call_function(
+            &ir,
+            module,
+            "dotp",
+            &args,
+            &mut memory,
+            &mut NoHooks,
+            &mut NoObserver,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -1357,12 +1445,24 @@ end subroutine
         let mut memory = Memory::new();
         let bbuf = memory.alloc(Buffer::F32(vec![10.0, 20.0, 30.0]), 0);
         let args = vec![
-            RtValue::MemRef(MemRefVal { buffer: bbuf, shape: vec![3], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: bbuf,
+                shape: vec![3],
+                space: 0,
+            }),
             RtValue::I32(3),
             RtValue::I32(3),
         ];
-        call_function(&ir, module, "swapfirst", &args, &mut memory, &mut NoHooks, &mut NoObserver)
-            .unwrap();
+        call_function(
+            &ir,
+            module,
+            "swapfirst",
+            &args,
+            &mut memory,
+            &mut NoHooks,
+            &mut NoObserver,
+        )
+        .unwrap();
         assert_eq!(memory.get(bbuf), &Buffer::F32(vec![30.0, 20.0, 10.0]));
     }
 

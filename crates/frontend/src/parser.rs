@@ -143,16 +143,14 @@ impl Parser {
                     self.bump();
                     let name = self.ident()?;
                     let mut args = vec![];
-                    if self.eat_punct("(") {
-                        if !self.eat_punct(")") {
-                            loop {
-                                args.push(self.ident()?);
-                                if !self.eat_punct(",") {
-                                    break;
-                                }
+                    if self.eat_punct("(") && !self.eat_punct(")") {
+                        loop {
+                            args.push(self.ident()?);
+                            if !self.eat_punct(",") {
+                                break;
                             }
-                            self.expect_punct(")")?;
                         }
+                        self.expect_punct(")")?;
                     }
                     self.expect_newline()?;
                     let unit = self.parse_unit_body(UnitKind::Subroutine, name, args)?;
@@ -458,7 +456,9 @@ impl Parser {
                 Ok(Stmt::OmpUpdate { line, motion, vars })
             }
             ["target", "parallel", "do", ..] | ["target", "teams", ..] => {
-                let directive = d.parse_loop_directive().map_err(|m| self.dir_err(line, m))?;
+                let directive = d
+                    .parse_loop_directive()
+                    .map_err(|m| self.dir_err(line, m))?;
                 self.skip_newlines();
                 let loop_line = self.line();
                 let loop_stmt = self.parse_do(loop_line)?;
@@ -782,7 +782,12 @@ end subroutine saxpy
         assert_eq!(u.args, vec!["n", "a", "x", "y"]);
         assert_eq!(u.decls.len(), 5);
         assert_eq!(u.body.len(), 1);
-        let Stmt::OmpTargetLoop { directive, loop_stmt, .. } = &u.body[0] else {
+        let Stmt::OmpTargetLoop {
+            directive,
+            loop_stmt,
+            ..
+        } = &u.body[0]
+        else {
             panic!("expected OmpTargetLoop, got {:?}", u.body[0]);
         };
         assert!(directive.simd);
@@ -820,7 +825,9 @@ end program
         assert_eq!(maps[0].vars, vec!["a"]);
         assert_eq!(body.len(), 2);
         assert!(matches!(&body[0], Stmt::OmpTarget { maps, .. } if maps[0].map_type == "to"));
-        assert!(matches!(&body[1], Stmt::OmpUpdate { motion, vars, .. } if motion == "from" && vars == &["a"]));
+        assert!(
+            matches!(&body[1], Stmt::OmpUpdate { motion, vars, .. } if motion == "from" && vars == &["a"])
+        );
     }
 
     #[test]
@@ -852,7 +859,10 @@ end subroutine
         };
         assert_eq!(body.len(), 4);
         assert!(matches!(&body[3], Stmt::OmpTargetLoop { .. }));
-        let Stmt::If { cond, then_body, .. } = &body[2] else {
+        let Stmt::If {
+            cond, then_body, ..
+        } = &body[2]
+        else {
             panic!("expected if")
         };
         assert!(matches!(cond, Expr::Bin(BinOp::Ne, _, _)));
@@ -877,7 +887,10 @@ end subroutine
         let Stmt::OmpTargetLoop { directive, .. } = &p.units[0].body[1] else {
             panic!("expected loop");
         };
-        assert_eq!(directive.reduction, Some(("+".to_string(), "s".to_string())));
+        assert_eq!(
+            directive.reduction,
+            Some(("+".to_string(), "s".to_string()))
+        );
     }
 
     #[test]
@@ -888,14 +901,19 @@ end subroutine
             panic!()
         };
         // 1 + (2 * (3**2))
-        let Expr::Bin(BinOp::Add, _, r) = value else { panic!("{value:?}") };
-        let Expr::Bin(BinOp::Mul, _, rr) = r.as_ref() else { panic!() };
+        let Expr::Bin(BinOp::Add, _, r) = value else {
+            panic!("{value:?}")
+        };
+        let Expr::Bin(BinOp::Mul, _, rr) = r.as_ref() else {
+            panic!()
+        };
         assert!(matches!(rr.as_ref(), Expr::Bin(BinOp::Pow, _, _)));
     }
 
     #[test]
     fn unterminated_target_is_error() {
-        let src = "program p\nreal :: a(4)\n!$omp target data map(from: a)\na(1) = 0.0\nend program\n";
+        let src =
+            "program p\nreal :: a(4)\n!$omp target data map(from: a)\na(1) = 0.0\nend program\n";
         assert!(parse(src).is_err());
     }
 

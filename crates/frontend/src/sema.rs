@@ -66,7 +66,7 @@ pub fn analyze(program: &Program) -> Result<SemaInfo, SemaError> {
     }
     // Check calls resolve to subroutines with matching arity (or are external).
     for unit in &program.units {
-        check_calls(&unit.body, program, unit)?;
+        check_calls(&unit.body, program)?;
     }
     Ok(info)
 }
@@ -143,7 +143,10 @@ fn check_stmt(stmt: &Stmt, info: &UnitInfo) -> Result<(), SemaError> {
             };
             if target.subscripts.is_empty() {
                 if sym.is_array() {
-                    return err(line, format!("whole-array assignment to '{}' unsupported", target.name));
+                    return err(
+                        line,
+                        format!("whole-array assignment to '{}' unsupported", target.name),
+                    );
                 }
             } else {
                 if !sym.is_array() {
@@ -163,7 +166,10 @@ fn check_stmt(stmt: &Stmt, info: &UnitInfo) -> Result<(), SemaError> {
                 for s in &target.subscripts {
                     let t = type_of(s, info, line)?;
                     if !t.is_integer() {
-                        return err(line, format!("subscript of '{}' must be integer", target.name));
+                        return err(
+                            line,
+                            format!("subscript of '{}' must be integer", target.name),
+                        );
                     }
                 }
             }
@@ -175,7 +181,10 @@ fn check_stmt(stmt: &Stmt, info: &UnitInfo) -> Result<(), SemaError> {
                 _ => true, // numeric conversions are implicit in Fortran
             };
             if !compatible {
-                return err(line, format!("type mismatch assigning to '{}'", target.name));
+                return err(
+                    line,
+                    format!("type mismatch assigning to '{}'", target.name),
+                );
             }
             Ok(())
         }
@@ -191,7 +200,10 @@ fn check_stmt(stmt: &Stmt, info: &UnitInfo) -> Result<(), SemaError> {
                 return err(line, format!("loop variable '{var}' not declared"));
             };
             if !sym.ty.is_integer() || sym.is_array() {
-                return err(line, format!("loop variable '{var}' must be an integer scalar"));
+                return err(
+                    line,
+                    format!("loop variable '{var}' must be an integer scalar"),
+                );
             }
             for e in [Some(from), Some(to), step.as_ref()].into_iter().flatten() {
                 let t = type_of(e, info, line)?;
@@ -254,7 +266,10 @@ fn check_stmt(stmt: &Stmt, info: &UnitInfo) -> Result<(), SemaError> {
                 }
             }
             if !matches!(loop_stmt.as_ref(), Stmt::Do { .. }) {
-                return err(line, "target parallel do must be followed by a do loop".into());
+                return err(
+                    line,
+                    "target parallel do must be followed by a do loop".into(),
+                );
             }
             check_stmt(loop_stmt, info)
         }
@@ -297,7 +312,7 @@ fn check_maps(maps: &[MapClause], info: &UnitInfo, line: u32) -> Result<(), Sema
     Ok(())
 }
 
-fn check_calls(stmts: &[Stmt], program: &Program, unit: &ProgramUnit) -> Result<(), SemaError> {
+fn check_calls(stmts: &[Stmt], program: &Program) -> Result<(), SemaError> {
     for stmt in stmts {
         match stmt {
             Stmt::Call { name, args, line } => {
@@ -314,20 +329,20 @@ fn check_calls(stmts: &[Stmt], program: &Program, unit: &ProgramUnit) -> Result<
                     }
                 }
             }
-            Stmt::Do { body, .. } => check_calls(body, program, unit)?,
+            Stmt::Do { body, .. } => check_calls(body, program)?,
             Stmt::If {
                 then_body,
                 else_body,
                 ..
             } => {
-                check_calls(then_body, program, unit)?;
-                check_calls(else_body, program, unit)?;
+                check_calls(then_body, program)?;
+                check_calls(else_body, program)?;
             }
             Stmt::OmpTargetData { body, .. } | Stmt::OmpTarget { body, .. } => {
-                check_calls(body, program, unit)?;
+                check_calls(body, program)?;
             }
             Stmt::OmpTargetLoop { loop_stmt, .. } => {
-                check_calls(std::slice::from_ref(loop_stmt.as_ref()), program, unit)?;
+                check_calls(std::slice::from_ref(loop_stmt.as_ref()), program)?;
             }
             _ => {}
         }
@@ -362,7 +377,11 @@ pub fn type_of(expr: &Expr, info: &UnitInfo, line: u32) -> Result<FType, SemaErr
                 if args.len() != sym.dims.len() {
                     return err(
                         line,
-                        format!("'{name}' has rank {}, {} subscripts given", sym.dims.len(), args.len()),
+                        format!(
+                            "'{name}' has rank {}, {} subscripts given",
+                            sym.dims.len(),
+                            args.len()
+                        ),
                     );
                 }
                 for a in args {
@@ -383,7 +402,10 @@ pub fn type_of(expr: &Expr, info: &UnitInfo, line: u32) -> Result<FType, SemaErr
                     _ => Ok(ty),
                 }
             } else {
-                err(line, format!("reference to undeclared array or function '{name}'"))
+                err(
+                    line,
+                    format!("reference to undeclared array or function '{name}'"),
+                )
             }
         }
         Expr::Bin(op, l, r) => {
@@ -465,14 +487,17 @@ mod tests {
 
     #[test]
     fn rejects_logical_arithmetic() {
-        let e = analyze_src("program p\nlogical :: l\nreal :: x\nl = .true.\nx = l + 1.0\nend program\n")
-            .unwrap_err();
+        let e = analyze_src(
+            "program p\nlogical :: l\nreal :: x\nl = .true.\nx = l + 1.0\nend program\n",
+        )
+        .unwrap_err();
         assert!(e.message.contains("logical"), "{e}");
     }
 
     #[test]
     fn rejects_real_loop_var() {
-        let e = analyze_src("program p\nreal :: r\ndo r = 1, 10\nend do\nend program\n").unwrap_err();
+        let e =
+            analyze_src("program p\nreal :: r\ndo r = 1, 10\nend do\nend program\n").unwrap_err();
         assert!(e.message.contains("integer scalar"), "{e}");
     }
 
@@ -489,7 +514,10 @@ mod tests {
     fn promotion_rules() {
         assert_eq!(promote(FType::Integer(4), FType::Real(4)), FType::Real(4));
         assert_eq!(promote(FType::Real(4), FType::Real(8)), FType::Real(8));
-        assert_eq!(promote(FType::Integer(4), FType::Integer(8)), FType::Integer(8));
+        assert_eq!(
+            promote(FType::Integer(4), FType::Integer(8)),
+            FType::Integer(8)
+        );
     }
 
     #[test]

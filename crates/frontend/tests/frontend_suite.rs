@@ -2,14 +2,23 @@
 //! semantics of lowered constructs checked through the interpreter.
 
 use ftn_frontend::{analyze, compile_to_fir, parse};
-use ftn_interp::{call_function, Buffer, Memory, MemRefVal, NoHooks, NoObserver, RtValue};
+use ftn_interp::{call_function, Buffer, MemRefVal, Memory, NoHooks, NoObserver, RtValue};
 use ftn_mlir::Ir;
 
 fn run_unit(src: &str, func: &str, args: Vec<RtValue>, memory: &mut Memory) -> Vec<RtValue> {
     let mut ir = Ir::new();
     let module = compile_to_fir(&mut ir, src).expect("compiles");
     ftn_mlir::verify(&ir, module, &ftn_dialects::registry()).expect("verifies");
-    call_function(&ir, module, func, &args, memory, &mut NoHooks, &mut NoObserver).expect("runs")
+    call_function(
+        &ir,
+        module,
+        func,
+        &args,
+        memory,
+        &mut NoHooks,
+        &mut NoObserver,
+    )
+    .expect("runs")
 }
 
 #[test]
@@ -31,11 +40,17 @@ end subroutine
         "stepped",
         vec![
             RtValue::I32(10),
-            RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![10], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: buf,
+                shape: vec![10],
+                space: 0,
+            }),
         ],
         &mut memory,
     );
-    let Buffer::F32(a) = memory.get(buf) else { panic!() };
+    let Buffer::F32(a) = memory.get(buf) else {
+        panic!()
+    };
     // i = 2, 5, 8 (1-based) -> indices 1, 4, 7.
     let expect: Vec<f32> = (0..10)
         .map(|i| if i == 1 || i == 4 || i == 7 { 1.0 } else { 0.0 })
@@ -64,11 +79,17 @@ end subroutine
         "logicals",
         vec![
             RtValue::I32(6),
-            RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![6], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: buf,
+                shape: vec![6],
+                space: 0,
+            }),
         ],
         &mut memory,
     );
-    let Buffer::F32(a) = memory.get(buf) else { panic!() };
+    let Buffer::F32(a) = memory.get(buf) else {
+        panic!()
+    };
     assert_eq!(a, &vec![0.0, 0.0, 3.0, 4.0, 0.0, 6.0]);
 }
 
@@ -91,10 +112,16 @@ end subroutine
     run_unit(
         src,
         "intr",
-        vec![RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![4], space: 0 })],
+        vec![RtValue::MemRef(MemRefVal {
+            buffer: buf,
+            shape: vec![4],
+            space: 0,
+        })],
         &mut memory,
     );
-    let Buffer::F32(a) = memory.get(buf) else { panic!() };
+    let Buffer::F32(a) = memory.get(buf) else {
+        panic!()
+    };
     assert_eq!(a, &vec![2.5, 2.5, 2.0, 2.0]);
 }
 
@@ -114,10 +141,16 @@ end subroutine
     run_unit(
         src,
         "pw",
-        vec![RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![2], space: 0 })],
+        vec![RtValue::MemRef(MemRefVal {
+            buffer: buf,
+            shape: vec![2],
+            space: 0,
+        })],
         &mut memory,
     );
-    let Buffer::F32(a) = memory.get(buf) else { panic!() };
+    let Buffer::F32(a) = memory.get(buf) else {
+        panic!()
+    };
     assert_eq!(a, &vec![9.0, 8.0]);
 }
 
@@ -147,7 +180,11 @@ end subroutine
         "caller",
         vec![
             RtValue::I32(3),
-            RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![3], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: buf,
+                shape: vec![3],
+                space: 0,
+            }),
         ],
         &mut memory,
     );
@@ -170,7 +207,11 @@ end subroutine
     run_unit(
         src,
         "dp",
-        vec![RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![2], space: 0 })],
+        vec![RtValue::MemRef(MemRefVal {
+            buffer: buf,
+            shape: vec![2],
+            space: 0,
+        })],
         &mut memory,
     );
     assert_eq!(memory.get(buf), &Buffer::F64(vec![3.0, 1.75]));
@@ -236,7 +277,11 @@ end subroutine
         "nest",
         vec![
             RtValue::I32(4),
-            RtValue::MemRef(MemRefVal { buffer: buf, shape: vec![4], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: buf,
+                shape: vec![4],
+                space: 0,
+            }),
         ],
         &mut memory,
     );

@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use ftn_interp::{InterpError, Memory, MemRefVal};
+use ftn_interp::{InterpError, MemRefVal, Memory};
 
 /// One tracked device allocation.
 #[derive(Clone, Debug)]

@@ -1,22 +1,27 @@
 //! The OpenCL-like host runtime: implements the `device` dialect ops as
-//! [`ftn_interp::DialectHooks`], dispatching kernel launches to the FPGA
-//! simulator on a worker thread and accounting transfer/kernel time the way
-//! the paper's tables measure it (kernel time excludes per-launch PCIe
-//! traffic, which the data environment makes resident).
+//! [`ftn_interp::DialectHooks`], executing kernel launches against the FPGA
+//! simulator and accounting transfer/kernel time the way the paper's tables
+//! measure it (kernel time excludes per-launch PCIe traffic, which the data
+//! environment makes resident).
+//!
+//! Launches run inline on the calling thread. Historically every launch
+//! spawned a crossbeam scoped thread that was joined immediately — pure
+//! overhead with no overlap. Asynchrony now lives a level up: `ftn-cluster`
+//! hosts one `HostRuntime` per pool device on a persistent worker thread, so
+//! the worker is reused across launches instead of re-spawned per launch.
 
 use std::collections::HashMap;
 
-use crossbeam::thread as cb_thread;
 use ftn_dialects::device;
 use ftn_fpga::{DeviceModel, ExecutionStats, KernelExecutor};
 use ftn_interp::{DialectHooks, InterpError, Memory, RtValue};
 use ftn_mlir::{Ir, OpId, TypeKind};
-use parking_lot::Mutex;
+use serde::Serialize;
 
 use crate::data_env::DataEnvironment;
 
 /// Statistics accumulated over one host run.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct RunStats {
     /// Sum of kernel execution times (the paper's reported runtime metric).
     pub kernel_seconds: f64,
@@ -27,6 +32,22 @@ pub struct RunStats {
     pub launches: u64,
     pub transfers: u64,
     pub total_cycles: u64,
+    /// Cycles charged by each kernel launch, in launch order (per-launch
+    /// accounting surfaced for pool-level metrics).
+    pub launch_cycles: Vec<u64>,
+}
+
+impl RunStats {
+    /// Fold `other` into `self` (pool aggregation across devices).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.kernel_seconds += other.kernel_seconds;
+        self.kernel_wall_seconds += other.kernel_wall_seconds;
+        self.transfer_seconds += other.transfer_seconds;
+        self.launches += other.launches;
+        self.transfers += other.transfers;
+        self.total_cycles += other.total_cycles;
+        self.launch_cycles.extend_from_slice(&other.launch_cycles);
+    }
 }
 
 struct KernelInstance {
@@ -65,7 +86,9 @@ impl HostRuntime {
             TypeKind::Integer { width: 32 } => Ok("i32"),
             TypeKind::Integer { .. } => Ok("i64"),
             TypeKind::Index => Ok("index"),
-            other => Err(InterpError::new(format!("bad device element type {other:?}"))),
+            other => Err(InterpError::new(format!(
+                "bad device element type {other:?}"
+            ))),
         }
     }
 
@@ -106,25 +129,15 @@ impl HostRuntime {
             .kernels
             .get_mut(&handle)
             .ok_or_else(|| InterpError::new("kernel_launch with unknown handle"))?;
-        // Execute on a dedicated worker thread (the async-launch substrate);
+        // Execute inline: the calling thread is the (reused) device worker;
         // the simulated timeline charges the kernel at the matching wait.
-        let executor = &self.executor;
         let func = instance.device_function.clone();
         let args = instance.args.clone();
-        let result: Mutex<Option<Result<ExecutionStats, InterpError>>> = Mutex::new(None);
-        cb_thread::scope(|s| {
-            s.spawn(|_| {
-                let r = executor.execute(&func, &args, memory);
-                *result.lock() = Some(r);
-            });
-        })
-        .map_err(|_| InterpError::new("kernel worker thread panicked"))?;
-        let stats = result
-            .into_inner()
-            .ok_or_else(|| InterpError::new("kernel produced no result"))??;
+        let stats = self.executor.execute(&func, &args, memory)?;
         self.stats.kernel_seconds += stats.kernel_seconds;
         self.stats.kernel_wall_seconds += stats.wall_seconds;
         self.stats.total_cycles += stats.cycles;
+        self.stats.launch_cycles.push(stats.cycles);
         self.stats.launches += 1;
         instance.completed = Some(stats);
         Ok(())
@@ -231,7 +244,10 @@ mod tests {
             let args = b.ir.block(entry).args.clone();
             b.set_insertion_point_to_end(entry);
             let one = arith::const_index(&mut b, 1);
-            let cfg = omp::WsLoopConfig { parallel: true, ..Default::default() };
+            let cfg = omp::WsLoopConfig {
+                parallel: true,
+                ..Default::default()
+            };
             omp::build_wsloop(&mut b, one, args[2], one, &cfg, None, |ib, iv, _| {
                 let one_i = arith::const_index(ib, 1);
                 let idx = arith::subi(ib, iv, one_i);
@@ -242,7 +258,9 @@ mod tests {
             func::build_return(&mut b, &[]);
         }
         lower_omp_to_hls::run(&mut ir, module).unwrap();
-        let bs = VitisBackend::new(DeviceModel::u280()).synthesize(&ir, module).unwrap();
+        let bs = VitisBackend::new(DeviceModel::u280())
+            .synthesize(&ir, module)
+            .unwrap();
         KernelExecutor::from_bitstream(&bs, DeviceModel::u280()).unwrap()
     }
 
@@ -284,12 +302,28 @@ mod tests {
         let x = memory.alloc(Buffer::F32(vec![3.0, 1.0, 4.0, 1.0, 5.0]), 0);
         let y = memory.alloc(Buffer::F32(vec![0.0; 5]), 0);
         let args = vec![
-            RtValue::MemRef(MemRefVal { buffer: x, shape: vec![5], space: 0 }),
-            RtValue::MemRef(MemRefVal { buffer: y, shape: vec![5], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: x,
+                shape: vec![5],
+                space: 0,
+            }),
+            RtValue::MemRef(MemRefVal {
+                buffer: y,
+                shape: vec![5],
+                space: 0,
+            }),
             RtValue::Index(5),
         ];
-        call_function(&ir, module, "main", &args, &mut memory, &mut runtime, &mut NoObserver)
-            .unwrap();
+        call_function(
+            &ir,
+            module,
+            "main",
+            &args,
+            &mut memory,
+            &mut runtime,
+            &mut NoObserver,
+        )
+        .unwrap();
         assert_eq!(memory.get(y), &Buffer::F32(vec![3.0, 1.0, 4.0, 1.0, 5.0]));
         assert_eq!(runtime.stats.launches, 1);
         assert_eq!(runtime.stats.transfers, 2);

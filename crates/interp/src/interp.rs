@@ -159,7 +159,10 @@ impl<'a, 'h> Exec<'a, 'h> {
             return Ok(vec![]);
         };
         let name = self.ir.op_name(term);
-        if !matches!(name, "scf.yield" | "omp.yield" | "fir.result" | "omp.terminator") {
+        if !matches!(
+            name,
+            "scf.yield" | "omp.yield" | "fir.result" | "omp.terminator"
+        ) {
             return Ok(vec![]);
         }
         self.ir
@@ -185,7 +188,12 @@ impl<'a, 'h> Exec<'a, 'h> {
             .collect()
     }
 
-    fn bind_results(&self, op: OpId, env: &mut Env, values: Vec<RtValue>) -> Result<(), InterpError> {
+    fn bind_results(
+        &self,
+        op: OpId,
+        env: &mut Env,
+        values: Vec<RtValue>,
+    ) -> Result<(), InterpError> {
         let results = &self.ir.op(op).results;
         if results.len() != values.len() {
             return Err(InterpError::new(format!(
@@ -548,7 +556,9 @@ impl<'a, 'h> Exec<'a, 'h> {
             TypeKind::Index => "index",
             other => return Err(InterpError::new(format!("bad memref element {other:?}"))),
         };
-        let buffer = self.memory.alloc_zeroed(elem_name, len as usize, memory_space)?;
+        let buffer = self
+            .memory
+            .alloc_zeroed(elem_name, len as usize, memory_space)?;
         Ok(RtValue::MemRef(MemRefVal {
             buffer,
             shape: resolved,
@@ -713,14 +723,18 @@ fn convert_value(ir: &Ir, v: &RtValue, to: ftn_mlir::TypeId) -> Result<RtValue, 
             RtValue::F64(f) => Ok(RtValue::F64(*f)),
             other => Ok(RtValue::F64(other.as_int()? as f64)),
         },
-        other => Err(InterpError::new(format!("unsupported conversion to {other:?}"))),
+        other => Err(InterpError::new(format!(
+            "unsupported conversion to {other:?}"
+        ))),
     }
 }
 
 fn load_buffer(buffer: &Buffer, off: usize) -> Result<RtValue, InterpError> {
     let check = |len: usize| {
         if off >= len {
-            Err(InterpError::new(format!("load offset {off} out of bounds ({len})")))
+            Err(InterpError::new(format!(
+                "load offset {off} out of bounds ({len})"
+            )))
         } else {
             Ok(())
         }
@@ -825,12 +839,28 @@ mod tests {
         let y = memory.alloc(Buffer::F32(vec![10.0, 20.0, 30.0, 40.0]), 0);
         let args = vec![
             RtValue::F32(2.0),
-            RtValue::MemRef(MemRefVal { buffer: x, shape: vec![4], space: 0 }),
-            RtValue::MemRef(MemRefVal { buffer: y, shape: vec![4], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: x,
+                shape: vec![4],
+                space: 0,
+            }),
+            RtValue::MemRef(MemRefVal {
+                buffer: y,
+                shape: vec![4],
+                space: 0,
+            }),
             RtValue::Index(4),
         ];
-        call_function(&ir, module, "axpy", &args, &mut memory, &mut NoHooks, &mut NoObserver)
-            .unwrap();
+        call_function(
+            &ir,
+            module,
+            "axpy",
+            &args,
+            &mut memory,
+            &mut NoHooks,
+            &mut NoObserver,
+        )
+        .unwrap();
         assert_eq!(memory.get(y), &Buffer::F32(vec![12.0, 24.0, 36.0, 48.0]));
     }
 
@@ -849,12 +879,29 @@ mod tests {
         let y = memory.alloc(Buffer::F32(vec![0.0; 7]), 0);
         let args = vec![
             RtValue::F32(1.0),
-            RtValue::MemRef(MemRefVal { buffer: x, shape: vec![7], space: 0 }),
-            RtValue::MemRef(MemRefVal { buffer: y, shape: vec![7], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: x,
+                shape: vec![7],
+                space: 0,
+            }),
+            RtValue::MemRef(MemRefVal {
+                buffer: y,
+                shape: vec![7],
+                space: 0,
+            }),
             RtValue::Index(7),
         ];
         let mut obs = Trips(vec![]);
-        call_function(&ir, module, "axpy", &args, &mut memory, &mut NoHooks, &mut obs).unwrap();
+        call_function(
+            &ir,
+            module,
+            "axpy",
+            &args,
+            &mut memory,
+            &mut NoHooks,
+            &mut obs,
+        )
+        .unwrap();
         assert_eq!(obs.0, vec![7]);
     }
 
@@ -875,10 +922,11 @@ mod tests {
                 reduction: Some(omp::ReductionKind::Add),
                 ..Default::default()
             };
-            let ws = omp::build_wsloop(&mut b, one, ten, one, &cfg, Some(init), |inner, iv, acc| {
-                let f = b_iv_to_f64(inner, iv);
-                vec![arith::addf(inner, acc[0], f)]
-            });
+            let ws =
+                omp::build_wsloop(&mut b, one, ten, one, &cfg, Some(init), |inner, iv, acc| {
+                    let f = b_iv_to_f64(inner, iv);
+                    vec![arith::addf(inner, acc[0], f)]
+                });
             let result = b.ir.op(ws).results[0];
             func::build_return(&mut b, &[result]);
         }
@@ -887,8 +935,16 @@ mod tests {
             arith::sitofp(b, iv, f64t)
         }
         let mut memory = Memory::new();
-        let out = call_function(&ir, module, "sum1toN", &[], &mut memory, &mut NoHooks, &mut NoObserver)
-            .unwrap();
+        let out = call_function(
+            &ir,
+            module,
+            "sum1toN",
+            &[],
+            &mut memory,
+            &mut NoHooks,
+            &mut NoObserver,
+        )
+        .unwrap();
         // 1..=10 sums to 55 (inclusive Fortran semantics).
         assert_eq!(out, vec![RtValue::F64(55.0)]);
     }
@@ -916,9 +972,27 @@ mod tests {
             func::build_return(&mut b, &[r]);
         }
         let mut memory = Memory::new();
-        let small = call_function(&ir, module, "pick", &[RtValue::I32(5)], &mut memory, &mut NoHooks, &mut NoObserver).unwrap();
+        let small = call_function(
+            &ir,
+            module,
+            "pick",
+            &[RtValue::I32(5)],
+            &mut memory,
+            &mut NoHooks,
+            &mut NoObserver,
+        )
+        .unwrap();
         assert_eq!(small, vec![RtValue::I32(1)]);
-        let big = call_function(&ir, module, "pick", &[RtValue::I32(50)], &mut memory, &mut NoHooks, &mut NoObserver).unwrap();
+        let big = call_function(
+            &ir,
+            module,
+            "pick",
+            &[RtValue::I32(50)],
+            &mut memory,
+            &mut NoHooks,
+            &mut NoObserver,
+        )
+        .unwrap();
         assert_eq!(big, vec![RtValue::I32(2)]);
     }
 
@@ -932,12 +1006,28 @@ mod tests {
         // Claim length 4 but buffers only hold 2.
         let args = vec![
             RtValue::F32(1.0),
-            RtValue::MemRef(MemRefVal { buffer: x, shape: vec![4], space: 0 }),
-            RtValue::MemRef(MemRefVal { buffer: y, shape: vec![4], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: x,
+                shape: vec![4],
+                space: 0,
+            }),
+            RtValue::MemRef(MemRefVal {
+                buffer: y,
+                shape: vec![4],
+                space: 0,
+            }),
             RtValue::Index(4),
         ];
-        let err = call_function(&ir, module, "axpy", &args, &mut memory, &mut NoHooks, &mut NoObserver)
-            .unwrap_err();
+        let err = call_function(
+            &ir,
+            module,
+            "axpy",
+            &args,
+            &mut memory,
+            &mut NoHooks,
+            &mut NoObserver,
+        )
+        .unwrap_err();
         assert!(err.message.contains("out of bounds"));
     }
 }

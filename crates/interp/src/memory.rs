@@ -71,14 +71,23 @@ impl Memory {
         id
     }
 
-    pub fn alloc_zeroed(&mut self, elem: &str, len: usize, space: u32) -> Result<BufferId, InterpError> {
+    pub fn alloc_zeroed(
+        &mut self,
+        elem: &str,
+        len: usize,
+        space: u32,
+    ) -> Result<BufferId, InterpError> {
         let buffer = match elem {
             "f32" => Buffer::F32(vec![0.0; len]),
             "f64" => Buffer::F64(vec![0.0; len]),
             "i32" => Buffer::I32(vec![0; len]),
             "i64" | "index" => Buffer::I64(vec![0; len]),
             "i1" => Buffer::I1(vec![false; len]),
-            other => return Err(InterpError::new(format!("cannot allocate element type {other}"))),
+            other => {
+                return Err(InterpError::new(format!(
+                    "cannot allocate element type {other}"
+                )))
+            }
         };
         Ok(self.alloc(buffer, space))
     }

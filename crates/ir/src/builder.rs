@@ -100,12 +100,7 @@ mod tests {
             let mut b = Builder::before(&mut ir, third);
             b.insert(OpSpec::new("second"));
         }
-        let names: Vec<&str> = ir
-            .block(block)
-            .ops
-            .iter()
-            .map(|&o| ir.op_name(o))
-            .collect();
+        let names: Vec<&str> = ir.block(block).ops.iter().map(|&o| ir.op_name(o)).collect();
         assert_eq!(names, vec!["first", "second", "third"]);
     }
 
@@ -123,12 +118,7 @@ mod tests {
             let mut b = Builder::after(&mut ir, a);
             b.insert(OpSpec::new("b"));
         }
-        let names: Vec<&str> = ir
-            .block(block)
-            .ops
-            .iter()
-            .map(|&o| ir.op_name(o))
-            .collect();
+        let names: Vec<&str> = ir.block(block).ops.iter().map(|&o| ir.op_name(o)).collect();
         assert_eq!(names, vec!["a", "b"]);
     }
 }

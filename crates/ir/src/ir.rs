@@ -536,8 +536,12 @@ impl Ir {
             .iter()
             .map(|v| *value_map.get(v).unwrap_or(v))
             .collect();
-        let result_types: Vec<TypeId> =
-            self.op(op).results.iter().map(|&r| self.value_ty(r)).collect();
+        let result_types: Vec<TypeId> = self
+            .op(op)
+            .results
+            .iter()
+            .map(|&r| self.value_ty(r))
+            .collect();
         let src_regions = self.op(op).regions.clone();
         debug_assert!(
             self.op(op).successors.is_empty(),
@@ -641,11 +645,7 @@ mod tests {
         );
         ir.append_op(block, c1);
         let v = ir.result(c1);
-        let add = ir.create_op(
-            OpSpec::new("arith.addi")
-                .operands(&[v, v])
-                .results(&[i32t]),
-        );
+        let add = ir.create_op(OpSpec::new("arith.addi").operands(&[v, v]).results(&[i32t]));
         ir.append_op(block, add);
         assert_eq!(ir.parent_op(add), Some(module));
         assert_eq!(ir.value(v).uses.len(), 2);

@@ -22,7 +22,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -401,9 +405,7 @@ impl<'a> Parser<'a> {
         for (name, ty) in operand_names.iter().zip(&operand_types) {
             let v = self.resolve_value(name)?;
             if self.ir.value_ty(v) != *ty {
-                return Err(self.err(format!(
-                    "op '{op_name}': operand %{name} type mismatch"
-                )));
+                return Err(self.err(format!("op '{op_name}': operand %{name} type mismatch")));
             }
             operands.push(v);
         }
@@ -603,7 +605,10 @@ impl<'a> Parser<'a> {
                 self.expect(b'>')?;
                 Ok(self.ir.memref_t(&shape, elem, memory_space))
             }
-            w if w.starts_with('i') && w[1..].chars().all(|c| c.is_ascii_digit()) && w.len() > 1 => {
+            w if w.starts_with('i')
+                && w[1..].chars().all(|c| c.is_ascii_digit())
+                && w.len() > 1 =>
+            {
                 let width: u32 = w[1..].parse().map_err(|_| self.err("bad integer width"))?;
                 Ok(self.ir.ty(TypeKind::Integer { width }))
             }

@@ -72,7 +72,9 @@ mod tests {
             if !ir.op_is(def, "test.constant") {
                 return Ok(false);
             }
-            let v = ir.attr_int_of(def, "value").ok_or("constant without value")?;
+            let v = ir
+                .attr_int_of(def, "value")
+                .ok_or("constant without value")?;
             let ty = ir.value_ty(operand);
             let attr = ir.attr_int(v * 2, ty);
             let (block, pos) = ir.op_position(op).unwrap();

@@ -48,7 +48,11 @@ pub struct VerifyError {
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "verification failed on '{}': {}", self.op_name, self.message)
+        write!(
+            f,
+            "verification failed on '{}': {}",
+            self.op_name, self.message
+        )
     }
 }
 

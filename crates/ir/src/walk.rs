@@ -47,7 +47,9 @@ fn walk_post_into(ir: &Ir, op: OpId, out: &mut Vec<OpId>) {
 
 /// First op with the given name nested under `root` (pre-order), if any.
 pub fn find_first(ir: &Ir, root: OpId, name: &str) -> Option<OpId> {
-    walk_preorder(ir, root).into_iter().find(|&o| ir.op_is(o, name))
+    walk_preorder(ir, root)
+        .into_iter()
+        .find(|&o| ir.op_is(o, name))
 }
 
 /// All ops with the given name nested under `root`, pre-order.

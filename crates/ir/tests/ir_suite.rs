@@ -17,7 +17,8 @@ fn parses_empty_module() {
 
 #[test]
 fn parses_comments_and_whitespace() {
-    let text = "// leading comment\n\"builtin.module\"() ({\n  // inner\n}) : () -> ()\n// trailing";
+    let text =
+        "// leading comment\n\"builtin.module\"() ({\n  // inner\n}) : () -> ()\n// trailing";
     let mut ir = Ir::new();
     assert!(parse_module(&mut ir, text).is_ok());
 }
@@ -92,7 +93,9 @@ fn special_float_attrs_roundtrip() {
         let mut ir2 = Ir::new();
         let m2 = parse_module(&mut ir2, &printed).unwrap();
         let inner = ir2.block(ir2.entry_block(m2, 0)).ops[0];
-        let got = ir2.get_attr(inner, "value").and_then(|x| ir2.attr_as_float(x));
+        let got = ir2
+            .get_attr(inner, "value")
+            .and_then(|x| ir2.attr_as_float(x));
         assert_eq!(got, Some(v), "value {v}");
     }
 }

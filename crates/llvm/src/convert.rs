@@ -102,7 +102,12 @@ fn convert_func(ir: &mut Ir, f: OpId, dest_body: BlockId) -> Result<(), ConvertE
         .block(final_bb)
         .ops
         .last()
-        .map(|&op| !matches!(conv.ir.op_name(op), "llvm.return" | "llvm.br" | "llvm.cond_br"))
+        .map(|&op| {
+            !matches!(
+                conv.ir.op_name(op),
+                "llvm.return" | "llvm.br" | "llvm.cond_br"
+            )
+        })
         .unwrap_or(true);
     if needs_ret {
         let mut b = Builder::at_end(conv.ir, final_bb);
@@ -113,21 +118,28 @@ fn convert_func(ir: &mut Ir, f: OpId, dest_body: BlockId) -> Result<(), ConvertE
 
 impl<'a> FuncConverter<'a> {
     fn v(&self, old: ValueId) -> Result<ValueId, ConvertError> {
-        self.map
-            .get(&old)
-            .copied()
-            .ok_or_else(|| ConvertError {
-                message: "value not yet converted (dominance violation?)".into(),
-            })
+        self.map.get(&old).copied().ok_or_else(|| ConvertError {
+            message: "value not yet converted (dominance violation?)".into(),
+        })
     }
 
     fn operand_vs(&self, op: OpId) -> Result<Vec<ValueId>, ConvertError> {
-        self.ir.op(op).operands.clone().into_iter().map(|o| self.v(o)).collect()
+        self.ir
+            .op(op)
+            .operands
+            .clone()
+            .into_iter()
+            .map(|o| self.v(o))
+            .collect()
     }
 
     /// Convert the ops of `old_block` emitting into `bb`; returns the block
     /// where control continues (changes when structured ops expand to CFG).
-    fn convert_block_ops(&mut self, old_block: BlockId, mut bb: BlockId) -> Result<BlockId, ConvertError> {
+    fn convert_block_ops(
+        &mut self,
+        old_block: BlockId,
+        mut bb: BlockId,
+    ) -> Result<BlockId, ConvertError> {
         let ops = self.ir.block(old_block).ops.clone();
         for op in ops {
             bb = self.convert_op(op, bb)?;
@@ -147,7 +159,9 @@ impl<'a> FuncConverter<'a> {
                 })?;
                 // Index constants re-type their attribute to i64.
                 let attr = match self.ir.attr_kind(attr).clone() {
-                    ftn_mlir::AttrKind::Int(v, _) if matches!(self.ir.type_kind(ty), TypeKind::Index) => {
+                    ftn_mlir::AttrKind::Int(v, _)
+                        if matches!(self.ir.type_kind(ty), TypeKind::Index) =>
+                    {
                         let i64t = self.ir.i64t();
                         self.ir.attr_int(v, i64t)
                     }
@@ -219,7 +233,9 @@ impl<'a> FuncConverter<'a> {
                 let callee = self
                     .ir
                     .attr_str_of(op, "callee")
-                    .ok_or(ConvertError { message: "call without callee".into() })?
+                    .ok_or(ConvertError {
+                        message: "call without callee".into(),
+                    })?
                     .to_string();
                 let old_results = self.ir.op(op).results.clone();
                 let result_tys: Vec<TypeId> = old_results
@@ -254,7 +270,12 @@ impl<'a> FuncConverter<'a> {
         }
     }
 
-    fn convert_arith(&mut self, op: OpId, bb: BlockId, name: &str) -> Result<BlockId, ConvertError> {
+    fn convert_arith(
+        &mut self,
+        op: OpId,
+        bb: BlockId,
+        name: &str,
+    ) -> Result<BlockId, ConvertError> {
         let vs = self.operand_vs(op)?;
         let fastmath = self.ir.attr_str_of(op, "fastmath").map(|s| s.to_string());
         let predicate = self.ir.attr_str_of(op, "predicate").map(|s| s.to_string());
@@ -311,10 +332,18 @@ impl<'a> FuncConverter<'a> {
             }
             "arith.negf" => {
                 let ty = b.ir.value_ty(vs[0]);
-                b.insert_r(ftn_mlir::OpSpec::new(l::FNEG).operands(&[vs[0]]).results(&[ty]))
+                b.insert_r(
+                    ftn_mlir::OpSpec::new(l::FNEG)
+                        .operands(&[vs[0]])
+                        .results(&[ty]),
+                )
             }
             "arith.cmpi" | "arith.cmpf" => {
-                let lname = if name == "arith.cmpi" { l::ICMP } else { l::FCMP };
+                let lname = if name == "arith.cmpi" {
+                    l::ICMP
+                } else {
+                    l::FCMP
+                };
                 let i1 = b.ir.i1();
                 let p = b.ir.attr_str(&predicate.unwrap_or_else(|| "eq".into()));
                 b.insert_r(
@@ -364,7 +393,11 @@ impl<'a> FuncConverter<'a> {
                     let t = b.ir.value_ty(old_r);
                     lower_type(b.ir, t)
                 };
-                b.insert_r(ftn_mlir::OpSpec::new(lname).operands(&[vs[0]]).results(&[to]))
+                b.insert_r(
+                    ftn_mlir::OpSpec::new(lname)
+                        .operands(&[vs[0]])
+                        .results(&[to]),
+                )
             }
             other => return err(format!("unsupported arith op '{other}'")),
         };
@@ -412,12 +445,9 @@ impl<'a> FuncConverter<'a> {
         }
         let body_end = self.convert_block_ops(old_body, body_bb)?;
         // Yield operands become the next accs.
-        let yield_op = *self
-            .ir
-            .block(old_body)
-            .ops
-            .last()
-            .ok_or(ConvertError { message: "empty loop body".into() })?;
+        let yield_op = *self.ir.block(old_body).ops.last().ok_or(ConvertError {
+            message: "empty loop body".into(),
+        })?;
         let yields = self.operand_vs(yield_op)?;
         {
             let mut b = Builder::at_end(self.ir, body_end);

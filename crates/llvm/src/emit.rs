@@ -116,7 +116,11 @@ impl<'a> FuncEmitter<'a> {
         for &b in &blocks {
             for &op in &self.ir.block(b).ops {
                 if self.ir.op_is(op, l::GEP) || self.ir.op_is(op, l::ALLOCA) {
-                    if let Some(e) = self.ir.get_attr(op, "elem_type").and_then(|a| self.ir.attr_as_type(a)) {
+                    if let Some(e) = self
+                        .ir
+                        .get_attr(op, "elem_type")
+                        .and_then(|a| self.ir.attr_as_type(a))
+                    {
                         self.ptr_elems.insert(self.ir.result(op), e);
                     }
                 }
@@ -154,7 +158,10 @@ impl<'a> FuncEmitter<'a> {
                     "llvm.cond_br" => {
                         let succs = self.ir.op(term).successors.clone();
                         let (_c, t_args, f_args) = cond_br_operands(self.ir, term);
-                        preds.entry(succs[0]).or_default().push((label.clone(), t_args));
+                        preds
+                            .entry(succs[0])
+                            .or_default()
+                            .push((label.clone(), t_args));
                         preds.entry(succs[1]).or_default().push((label, f_args));
                     }
                     _ => {}
@@ -533,12 +540,19 @@ mod tests {
     fn emits_modern_llvm_ir() {
         let (ir, llvm_mod) = build_and_convert();
         let text = emit_llvm_ir(&ir, llvm_mod, EmitOptions::default());
-        assert!(text.contains("define void @my_kernel(ptr %0, i64 %1)"), "{text}");
+        assert!(
+            text.contains("define void @my_kernel(ptr %0, i64 %1)"),
+            "{text}"
+        );
         assert!(text.contains("phi i64"), "{text}");
         assert!(text.contains("getelementptr inbounds float, ptr"), "{text}");
         assert!(text.contains("fmul contract float"), "{text}");
         assert!(text.contains("br i1"), "{text}");
-        assert!(text.contains("declare void (i32) @_hls_spec_pipeline") || text.contains("declare void"), "{text}");
+        assert!(
+            text.contains("declare void (i32) @_hls_spec_pipeline")
+                || text.contains("declare void"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -553,8 +567,14 @@ mod tests {
             },
         );
         assert!(text.contains("float* %0"), "{text}");
-        assert!(text.contains("getelementptr inbounds float, float*"), "{text}");
+        assert!(
+            text.contains("getelementptr inbounds float, float*"),
+            "{text}"
+        );
         assert!(text.contains("@_ssdm_op_SpecPipeline"), "{text}");
-        assert!(!text.contains(" ptr "), "no opaque pointers allowed:\n{text}");
+        assert!(
+            !text.contains(" ptr "),
+            "no opaque pointers allowed:\n{text}"
+        );
     }
 }

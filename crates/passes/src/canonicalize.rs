@@ -38,7 +38,10 @@ fn is_pure(name: &str) -> bool {
     name.starts_with("arith.")
         || matches!(
             name,
-            "memref.load" | "memref.dim" | "hls.axi_protocol" | "device.lookup"
+            "memref.load"
+                | "memref.dim"
+                | "hls.axi_protocol"
+                | "device.lookup"
                 | "device.data_check_exists"
         )
 }
@@ -146,8 +149,12 @@ impl RewritePattern for ForwardStoreToLoad {
             let barrier = !ir.op(prev).regions.is_empty()
                 || matches!(
                     pname,
-                    "func.call" | "memref.dma_start" | "memref.wait" | "memref.copy"
-                        | "device.kernel_launch" | "device.kernel_wait"
+                    "func.call"
+                        | "memref.dma_start"
+                        | "memref.wait"
+                        | "memref.copy"
+                        | "device.kernel_launch"
+                        | "device.kernel_wait"
                 );
             if barrier {
                 return Ok(false);

@@ -143,7 +143,11 @@ mod tests {
         };
         let before = ftn_mlir::print_op(&ir, module);
         CommuteMacPass.run(&mut ir, module).unwrap();
-        assert_eq!(before, ftn_mlir::print_op(&ir, module), "no change expected");
+        assert_eq!(
+            before,
+            ftn_mlir::print_op(&ir, module),
+            "no change expected"
+        );
         assert_eq!(ftn_fpga::resources::count_recognized_macs(&ir, f), 1);
     }
 

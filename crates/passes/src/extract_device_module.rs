@@ -16,7 +16,8 @@ pub fn extract_device_module(ir: &mut Ir, host_module: OpId) -> OpId {
     for kc in ftn_mlir::find_all(ir, host_module, device::KERNEL_CREATE) {
         let region = ir.op(kc).regions[0];
         let blocks = ir.region(region).blocks.clone();
-        let is_empty = blocks.len() == 1 && ir.block(blocks[0]).ops.is_empty()
+        let is_empty = blocks.len() == 1
+            && ir.block(blocks[0]).ops.is_empty()
             && ir.block(blocks[0]).args.is_empty();
         if is_empty {
             continue; // already extracted
@@ -122,7 +123,10 @@ mod tests {
         assert!(!host_text.contains("memref.load"), "{host_text}");
         // Device: tagged module with the extracted function.
         assert!(dev_text.contains("target = \"fpga\""), "{dev_text}");
-        assert!(dev_text.contains("sym_name = \"main_kernel0\""), "{dev_text}");
+        assert!(
+            dev_text.contains("sym_name = \"main_kernel0\""),
+            "{dev_text}"
+        );
         assert!(dev_text.contains("memref.load"), "{dev_text}");
         assert!(dev_text.contains("func.return"), "{dev_text}");
         // Idempotent: a second run extracts nothing new.

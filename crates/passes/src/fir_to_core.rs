@@ -75,9 +75,8 @@ fn lower_convert(ir: &mut Ir, op: OpId) -> Result<(), String> {
         return Ok(());
     }
     let cast = match (ir.type_kind(from).clone(), ir.type_kind(to).clone()) {
-        (TypeKind::Index, TypeKind::Integer { .. }) | (TypeKind::Integer { .. }, TypeKind::Index) => {
-            arith::INDEX_CAST
-        }
+        (TypeKind::Index, TypeKind::Integer { .. })
+        | (TypeKind::Integer { .. }, TypeKind::Index) => arith::INDEX_CAST,
         (TypeKind::Integer { .. }, TypeKind::Float32 | TypeKind::Float64) => arith::SITOFP,
         (TypeKind::Float32 | TypeKind::Float64, TypeKind::Integer { .. }) => arith::FPTOSI,
         (TypeKind::Float32, TypeKind::Float64) => arith::EXTF,
@@ -132,7 +131,7 @@ fn lower_do_loop(ir: &mut Ir, op: OpId) {
 mod tests {
     use super::*;
     use ftn_dialects::{builtin, func, memref, registry};
-    use ftn_interp::{call_function, Buffer, Memory, MemRefVal, NoHooks, NoObserver, RtValue};
+    use ftn_interp::{call_function, Buffer, MemRefVal, Memory, NoHooks, NoObserver, RtValue};
     use ftn_mlir::{print_op, verify, Builder};
 
     /// fir-based function: fills arr[i-1] = i for i in 1..=n.
@@ -171,11 +170,23 @@ mod tests {
         let mut memory = Memory::new();
         let a = memory.alloc(Buffer::F32(vec![0.0; 5]), 0);
         let args = vec![
-            RtValue::MemRef(MemRefVal { buffer: a, shape: vec![5], space: 0 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: a,
+                shape: vec![5],
+                space: 0,
+            }),
             RtValue::Index(5),
         ];
-        call_function(&ir, module, "fill", &args, &mut memory, &mut NoHooks, &mut NoObserver)
-            .unwrap();
+        call_function(
+            &ir,
+            module,
+            "fill",
+            &args,
+            &mut memory,
+            &mut NoHooks,
+            &mut NoObserver,
+        )
+        .unwrap();
         // Inclusive 1..=5 must fill all five slots.
         assert_eq!(memory.get(a), &Buffer::F32(vec![1.0, 2.0, 3.0, 4.0, 5.0]));
     }

@@ -68,7 +68,11 @@ fn replace_with_call(ir: &mut Ir, op: OpId, callee: &str, keep: &[usize]) -> OpI
     let operands: Vec<_> = keep.iter().map(|&i| ir.op(op).operands[i]).collect();
     let (block, pos) = ir.op_position(op).expect("op in block");
     let sym = ir.attr_symbol(callee);
-    let call = ir.create_op(OpSpec::new("func.call").operands(&operands).attr("callee", sym));
+    let call = ir.create_op(
+        OpSpec::new("func.call")
+            .operands(&operands)
+            .attr("callee", sym),
+    );
     ir.insert_op(block, pos, call);
     ir.erase_op(op);
     call

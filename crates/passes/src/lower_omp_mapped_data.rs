@@ -84,7 +84,11 @@ impl LowerOmpMappedDataPass {
             let Some(op) = ftn_mlir::walk_preorder(ir, module).into_iter().find(|&o| {
                 matches!(
                     ir.op_name(o),
-                    omp::TARGET_DATA | omp::TARGET_ENTER_DATA | omp::TARGET_EXIT_DATA | omp::TARGET_UPDATE | omp::TARGET
+                    omp::TARGET_DATA
+                        | omp::TARGET_ENTER_DATA
+                        | omp::TARGET_EXIT_DATA
+                        | omp::TARGET_UPDATE
+                        | omp::TARGET
                 ) && !ir.has_attr(o, "data_lowered")
             }) else {
                 return Ok(());

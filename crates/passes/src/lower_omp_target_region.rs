@@ -32,10 +32,11 @@ impl Pass for LowerOmpTargetRegionPass {
 
     fn run(&mut self, ir: &mut Ir, module: OpId) -> Result<(), PassError> {
         for target in ftn_mlir::find_all(ir, module, omp::TARGET) {
-            self.lower_one(ir, module, target).map_err(|message| PassError {
-                pass: "lower-omp-target-region".into(),
-                message,
-            })?;
+            self.lower_one(ir, module, target)
+                .map_err(|message| PassError {
+                    pass: "lower-omp-target-region".into(),
+                    message,
+                })?;
         }
         Ok(())
     }

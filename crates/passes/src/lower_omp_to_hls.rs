@@ -122,15 +122,16 @@ fn lower_wsloop(ir: &mut Ir, ws: OpId) -> Result<(), String> {
 
     if unroll <= 1 {
         let inits: Vec<ValueId> = red_init.into_iter().collect();
-        let loop_op = build_pipelined_for(&mut b, lb, ub_ex, step, &inits, 1, |ir, dest, iv, accs| {
-            let mut map = HashMap::new();
-            map.insert(body_args[0], iv);
-            if let (Some(acc_arg), Some(acc)) = (body_args.get(1), accs.first()) {
-                map.insert(*acc_arg, *acc);
-            }
-            let y = clone_body(ir, body, dest, &mut map);
-            y.into_iter().collect()
-        });
+        let loop_op =
+            build_pipelined_for(&mut b, lb, ub_ex, step, &inits, 1, |ir, dest, iv, accs| {
+                let mut map = HashMap::new();
+                map.insert(body_args[0], iv);
+                if let (Some(acc_arg), Some(acc)) = (body_args.get(1), accs.first()) {
+                    map.insert(*acc_arg, *acc);
+                }
+                let y = clone_body(ir, body, dest, &mut map);
+                y.into_iter().collect()
+            });
         final_value = b.ir.op(loop_op).results.first().copied();
     } else {
         // Partial unroll by U: main loop with replicated body + epilogue.
@@ -304,7 +305,7 @@ fn apply_kind(b: &mut Builder, kind: omp::ReductionKind, l: ValueId, r: ValueId)
 mod tests {
     use super::*;
     use ftn_dialects::{builtin, memref, registry};
-    use ftn_interp::{call_function, Buffer, Memory, MemRefVal, NoHooks, NoObserver, RtValue};
+    use ftn_interp::{call_function, Buffer, MemRefVal, Memory, NoHooks, NoObserver, RtValue};
     use ftn_mlir::{print_op, verify};
 
     /// Device kernel: y[i-1] += 2*x[i-1] over i in 1..=n (omp.wsloop form).
@@ -344,12 +345,31 @@ mod tests {
         let x = memory.alloc(Buffer::F32((0..n).map(|i| i as f32).collect()), 1);
         let y = memory.alloc(Buffer::F32(vec![1.0; n as usize]), 1);
         let args = vec![
-            RtValue::MemRef(MemRefVal { buffer: x, shape: vec![n], space: 1 }),
-            RtValue::MemRef(MemRefVal { buffer: y, shape: vec![n], space: 1 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: x,
+                shape: vec![n],
+                space: 1,
+            }),
+            RtValue::MemRef(MemRefVal {
+                buffer: y,
+                shape: vec![n],
+                space: 1,
+            }),
             RtValue::Index(n),
         ];
-        call_function(ir, module, "k", &args, &mut memory, &mut NoHooks, &mut NoObserver).unwrap();
-        let Buffer::F32(data) = memory.get(y) else { panic!() };
+        call_function(
+            ir,
+            module,
+            "k",
+            &args,
+            &mut memory,
+            &mut NoHooks,
+            &mut NoObserver,
+        )
+        .unwrap();
+        let Buffer::F32(data) = memory.get(y) else {
+            panic!()
+        };
         data.clone()
     }
 
@@ -367,7 +387,11 @@ mod tests {
         assert!(text.contains("hls.axi_protocol"), "{text}");
         assert!(text.contains("scf.for"), "{text}");
         assert!(text.contains("bundle = \"gmem1\""), "{text}");
-        assert_eq!(run_kernel(&ir, module, 7), reference, "lowering must preserve semantics");
+        assert_eq!(
+            run_kernel(&ir, module, 7),
+            reference,
+            "lowering must preserve semantics"
+        );
     }
 
     #[test]
@@ -404,12 +428,20 @@ mod tests {
                 simdlen: Some(3),
                 reduction: Some(omp::ReductionKind::Add),
             };
-            let ws = omp::build_wsloop(&mut b, one, args[1], one, &cfg, Some(init), |ib, iv, accs| {
-                let one_i = arith::const_index(ib, 1);
-                let idx = arith::subi(ib, iv, one_i);
-                let v = memref::load(ib, args[0], &[idx]);
-                vec![arith::addf(ib, accs[0], v)]
-            });
+            let ws = omp::build_wsloop(
+                &mut b,
+                one,
+                args[1],
+                one,
+                &cfg,
+                Some(init),
+                |ib, iv, accs| {
+                    let one_i = arith::const_index(ib, 1);
+                    let idx = arith::subi(ib, iv, one_i);
+                    let v = memref::load(ib, args[0], &[idx]);
+                    vec![arith::addf(ib, accs[0], v)]
+                },
+            );
             let r = b.ir.op(ws).results[0];
             func::build_return(&mut b, &[r]);
         }
@@ -418,10 +450,23 @@ mod tests {
             let mut memory = Memory::new();
             let x = memory.alloc(Buffer::F64((1..=7).map(|i| i as f64).collect()), 1);
             let args = vec![
-                RtValue::MemRef(MemRefVal { buffer: x, shape: vec![7], space: 1 }),
+                RtValue::MemRef(MemRefVal {
+                    buffer: x,
+                    shape: vec![7],
+                    space: 1,
+                }),
                 RtValue::Index(7),
             ];
-            call_function(&ir, module, "dot", &args, &mut memory, &mut NoHooks, &mut NoObserver).unwrap()
+            call_function(
+                &ir,
+                module,
+                "dot",
+                &args,
+                &mut memory,
+                &mut NoHooks,
+                &mut NoObserver,
+            )
+            .unwrap()
         };
         assert_eq!(reference, vec![RtValue::F64(38.0)]); // 10 + 28
 
@@ -430,10 +475,23 @@ mod tests {
         let mut memory = Memory::new();
         let x = memory.alloc(Buffer::F64((1..=7).map(|i| i as f64).collect()), 1);
         let args = vec![
-            RtValue::MemRef(MemRefVal { buffer: x, shape: vec![7], space: 1 }),
+            RtValue::MemRef(MemRefVal {
+                buffer: x,
+                shape: vec![7],
+                space: 1,
+            }),
             RtValue::Index(7),
         ];
-        let lowered = call_function(&ir, module, "dot", &args, &mut memory, &mut NoHooks, &mut NoObserver).unwrap();
+        let lowered = call_function(
+            &ir,
+            module,
+            "dot",
+            &args,
+            &mut memory,
+            &mut NoHooks,
+            &mut NoObserver,
+        )
+        .unwrap();
         assert_eq!(lowered, vec![RtValue::F64(38.0)]);
     }
 }

@@ -23,7 +23,8 @@ pub fn host_pipeline() -> PassManager {
 /// form consumed by the Vitis-substitute backend.
 pub fn device_pipeline() -> PassManager {
     let mut pm = PassManager::new();
-    pm.add(Box::new(LowerOmpToHlsPass)).add(Box::new(CanonicalizePass));
+    pm.add(Box::new(LowerOmpToHlsPass))
+        .add(Box::new(CanonicalizePass));
     pm
 }
 
@@ -31,7 +32,8 @@ pub fn device_pipeline() -> PassManager {
 /// simulator has consumed the `hls` form.
 pub fn device_llvm_pipeline() -> PassManager {
     let mut pm = PassManager::new();
-    pm.add(Box::new(HlsToFuncPass)).add(Box::new(CanonicalizePass));
+    pm.add(Box::new(HlsToFuncPass))
+        .add(Box::new(CanonicalizePass));
     pm
 }
 
@@ -118,7 +120,10 @@ mod tests {
                 "canonicalize"
             ]
         );
-        assert_eq!(device_pipeline().pipeline(), vec!["lower-omp-to-hls", "canonicalize"]);
+        assert_eq!(
+            device_pipeline().pipeline(),
+            vec!["lower-omp-to-hls", "canonicalize"]
+        );
         assert_eq!(
             device_llvm_pipeline().pipeline(),
             vec!["lower-hls-to-func", "canonicalize"]

@@ -1,0 +1,135 @@
+//! Vendored stand-in for the `bytes` crate (offline build). Implements the
+//! small cursor-advancing subset the bitstream framing uses: `Bytes` is an
+//! owned buffer with a read cursor (`Deref` yields the *remaining* bytes, as
+//! in the real crate), `BytesMut` is an append-only builder.
+
+use std::ops::Deref;
+
+/// Read side: consuming accessors advance an internal cursor.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    fn get_u64(&mut self) -> u64;
+}
+
+/// Write side: big-endian appenders.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+    fn put_u64(&mut self, v: u64);
+}
+
+/// An owned byte buffer with a read cursor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes::from_vec(data)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::from_vec(data.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice out of bounds");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_be_bytes(raw)
+    }
+}
+
+/// An append-only builder frozen into [`Bytes`].
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.data)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_framing() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_slice(b"MAGIC!!!");
+        b.put_u64(5);
+        b.put_slice(b"hello");
+        let mut bytes = b.freeze();
+        assert_eq!(&bytes[..8], b"MAGIC!!!");
+        let mut magic = [0u8; 8];
+        bytes.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"MAGIC!!!");
+        assert_eq!(bytes.get_u64(), 5);
+        assert_eq!(&bytes[..5], b"hello");
+        assert_eq!(bytes.len(), 5);
+    }
+}

@@ -1,0 +1,83 @@
+//! Vendored stand-in for the `crossbeam` crate (offline build): scoped
+//! threads implemented over `std::thread::scope` with crossbeam's
+//! panic-collecting `Result` return.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Mirror of `crossbeam::thread::Scope`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Mirror of `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Returns `Err` if `f` or any unjoined thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_joins_and_returns() {
+            let mut results = vec![0u64; 4];
+            let out = super::scope(|s| {
+                let mut handles = Vec::new();
+                for (i, slot) in results.iter_mut().enumerate() {
+                    handles.push(s.spawn(move |_| {
+                        *slot = i as u64 * 2;
+                        i
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum::<usize>()
+            })
+            .unwrap();
+            assert_eq!(out, 6);
+            assert_eq!(results, vec![0, 2, 4, 6]);
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

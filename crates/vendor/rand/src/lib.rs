@@ -1,0 +1,153 @@
+//! Vendored stand-in for the `rand` crate (offline build). Deterministic
+//! seeded generation via SplitMix64 — statistically plenty for the seeded
+//! measurement jitter and test-input generation this workspace does. The
+//! API subset mirrors rand 0.8: `StdRng::seed_from_u64` + `Rng::gen_range`
+//! over `Range`/`RangeInclusive` of the common numeric types.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    type Output;
+    fn sample_from<G: RngCore>(self, g: &mut G) -> Self::Output;
+}
+
+/// Uniform f64 in [0, 1).
+fn unit_f64<G: RngCore>(g: &mut G) -> f64 {
+    (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<G: RngCore>(self, g: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                self.start + (unit_f64(g) as $t) * (self.end - self.start)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<G: RngCore>(self, g: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                lo + (unit_f64(g) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<G: RngCore>(self, g: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (g.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<G: RngCore>(self, g: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (g.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 generator (stands in for rand's StdRng; deterministic
+    /// across platforms, which is all the workspace relies on).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_deterministic_and_bounded() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x = a.gen_range(-3.0f32..3.0);
+            let y = b.gen_range(-3.0f32..3.0);
+            assert_eq!(x, y);
+            assert!((-3.0..3.0).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen_range(0.0f64..1.0), c.gen_range(0.0f64..1.0));
+    }
+
+    #[test]
+    fn int_ranges_inclusive_and_exclusive() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = r.gen_range(1usize..10);
+            assert!((1..10).contains(&v));
+            let w = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let v = r.gen_range(-0.01f64..=0.01);
+            assert!((-0.01..=0.01).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Vendored stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! ships a minimal `serde` facade (see `crates/vendor/serde`) and this derive
+//! implementation. It supports exactly what the repository needs: plain,
+//! non-generic structs with named fields. Enums, tuple structs and generics
+//! are rejected with a compile error so misuse fails loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extract `(struct_name, field_names)` from the derive input.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Outer attribute: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("vendored serde_derive supports structs only".into());
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => return Err(format!("expected struct name, found {other:?}")),
+                };
+                return match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Ok((name, parse_fields(g.stream())))
+                    }
+                    _ => Err(format!(
+                        "vendored serde_derive supports only non-generic named-field structs \
+                         (deriving on `{name}`)"
+                    )),
+                };
+            }
+            _ => {}
+        }
+    }
+    Err("no struct found in derive input".into())
+}
+
+/// Field names from the brace-group token stream. Types are skipped by
+/// scanning to the next top-level comma, tracking `<`/`>` depth so
+/// multi-parameter generics like `HashMap<String, u64>` don't split early
+/// (parenthesized/bracketed types arrive as single group tokens).
+fn parse_fields(ts: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    'fields: loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        let Some(TokenTree::Ident(fname)) = iter.next() else {
+            break;
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => break,
+        }
+        fields.push(fname.to_string());
+        let mut depth = 0i64;
+        loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(v) => v,
+        Err(e) => return compile_error(&e),
+    };
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!("obj.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Obj(obj)\n\
+             }}\n\
+         }}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(v) => v,
+        Err(e) => return compile_error(&e),
+    };
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(v, {f:?})?,\n"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}\n"
+    )
+    .parse()
+    .unwrap()
+}

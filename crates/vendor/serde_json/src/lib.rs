@@ -1,0 +1,395 @@
+//! Vendored stand-in for `serde_json`: prints and parses the [`serde::Value`]
+//! tree of the vendored `serde` facade as standards-compliant JSON.
+
+use std::fmt;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+// ---- printing -------------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(f: f64) -> String {
+    if f.is_finite() {
+        // `{}` prints the shortest representation that round-trips.
+        let s = format!("{f}");
+        if s.contains('.') || s.contains('e') || s.contains("inf") {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        // JSON has no NaN/inf; encode as null like serde_json's lossy modes.
+        "null".to_string()
+    }
+}
+
+fn write_value(v: &Value, indent: Option<usize>, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => out.push_str(&number_to_string(*f)),
+        Value::Str(s) => escape_into(s, out),
+        Value::Arr(items) => write_seq(items.iter().map(Item::Bare), '[', ']', indent, out),
+        Value::Obj(kvs) => write_seq(
+            kvs.iter().map(|(k, v)| Item::Keyed(k, v)),
+            '{',
+            '}',
+            indent,
+            out,
+        ),
+    }
+}
+
+enum Item<'a> {
+    Bare(&'a Value),
+    Keyed(&'a str, &'a Value),
+}
+
+fn write_seq<'a>(
+    items: impl Iterator<Item = Item<'a>>,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    out: &mut String,
+) {
+    let items: Vec<Item<'a>> = items.collect();
+    if items.is_empty() {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    let inner = indent.map(|n| n + 1);
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(n) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(n));
+        }
+        match item {
+            Item::Bare(v) => write_value(v, inner, out),
+            Item::Keyed(k, v) => {
+                escape_into(k, out);
+                out.push_str(": ");
+                write_value(v, inner, out);
+            }
+        }
+    }
+    if let Some(n) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(n));
+    }
+    out.push(close);
+}
+
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(0), &mut out);
+    Ok(out)
+}
+
+// ---- parsing --------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, Error> {
+        Err(Error(format!(
+            "json parse error at byte {}: {msg}",
+            self.pos
+        )))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_lit("null") => Ok(Value::Null),
+            Some(b't') if self.eat_lit("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_lit("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return self.err("expected ',' or ']'"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut kvs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(kvs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let val = self.value()?;
+                    kvs.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(kvs));
+                        }
+                        _ => return self.err("expected ',' or '}'"),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid utf-8 in string".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) => Ok(Value::Float(f)),
+            Err(_) => self.err(&format!("bad number '{text}'")),
+        }
+    }
+}
+
+/// Parse `s` and deserialize into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(T::from_value(&v)?)
+}
+
+/// Parse `s` into a raw [`Value`].
+pub fn value_from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        name: String,
+        count: u64,
+        ratio: f64,
+        flag: bool,
+        opt: Option<i64>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        items: Vec<Inner>,
+        pairs: Vec<(usize, u64)>,
+    }
+
+    #[test]
+    fn derive_roundtrip() {
+        let o = Outer {
+            items: vec![Inner {
+                name: "a\"b\\c\nd".into(),
+                count: 42,
+                ratio: 1.5,
+                flag: true,
+                opt: None,
+            }],
+            pairs: vec![(0, 7), (1, 9)],
+        };
+        let json = to_string_pretty(&o).unwrap();
+        let back: Outer = from_str(&json).unwrap();
+        assert_eq!(o, back);
+        let compact = to_string(&o).unwrap();
+        let back2: Outer = from_str(&compact).unwrap();
+        assert_eq!(o, back2);
+    }
+
+    #[test]
+    fn integers_preserved() {
+        let v: u64 = from_str("18446744073709551615").unwrap();
+        assert_eq!(v, u64::MAX);
+        let v: i64 = from_str("-42").unwrap();
+        assert_eq!(v, -42);
+    }
+}

@@ -30,7 +30,9 @@ end subroutine nested
 "#;
 
 fn main() {
-    let artifacts = Compiler::default().compile_source(LISTING1).expect("compiles");
+    let artifacts = Compiler::default()
+        .compile_source(LISTING1)
+        .expect("compiles");
 
     // The host module shows the counter protocol around both kernels.
     let host = &artifacts.host_module_text;

@@ -39,7 +39,10 @@ fn main() {
     let s_out = machine.host_f32(&[0.0]);
     let _ = &s_out;
     machine
-        .run("dotprod", &[RtValue::I32(n as i32), xa, ya, RtValue::F32(0.0)])
+        .run(
+            "dotprod",
+            &[RtValue::I32(n as i32), xa, ya, RtValue::F32(0.0)],
+        )
         .expect("runs");
     // The reduced value lives in the subroutine's local `s`; recompute via
     // the reference to demonstrate agreement of the kernel math itself.

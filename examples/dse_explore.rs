@@ -22,17 +22,32 @@ end subroutine saxpy
 
 fn main() {
     let compiler = Compiler::default();
-    let candidates = [None, Some(2), Some(4), Some(8), Some(10), Some(16), Some(32)];
+    let candidates = [
+        None,
+        Some(2),
+        Some(4),
+        Some(8),
+        Some(10),
+        Some(16),
+        Some(32),
+    ];
     let report = explore_simdlen(&compiler, SAXPY_NO_SIMD, &candidates).expect("dse");
 
     println!("== DSE: simdlen sweep for SAXPY ==");
-    println!("{:12} | {:>16} | {:>10} | {:>6} | {:>5}", "simdlen", "cycles/element", "kernel LUT", "DSP", "fits");
+    println!(
+        "{:12} | {:>16} | {:>10} | {:>6} | {:>5}",
+        "simdlen", "cycles/element", "kernel LUT", "DSP", "fits"
+    );
     for (i, p) in report.points.iter().enumerate() {
         let label = match p.simdlen {
             Some(u) => format!("simdlen({u})"),
             None => "scalar".into(),
         };
-        let marker = if i == report.best { "  <== selected" } else { "" };
+        let marker = if i == report.best {
+            "  <== selected"
+        } else {
+            ""
+        };
         println!(
             "{label:12} | {:>16.1} | {:>10} | {:>6} | {:>5}{marker}",
             p.cycles_per_element, p.kernel_lut, p.kernel_dsp, p.fits

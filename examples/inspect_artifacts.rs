@@ -30,7 +30,11 @@ fn main() {
     for k in &bs.kernels {
         println!(
             "kernel {}: {} LUT / {} FF / {} BRAM / {} DSP, {} recognized MAC(s)",
-            k.name, k.resources.lut, k.resources.ff, k.resources.bram, k.resources.dsp,
+            k.name,
+            k.resources.lut,
+            k.resources.ff,
+            k.resources.bram,
+            k.resources.dsp,
             k.recognized_macs
         );
         for s in &k.schedule {

@@ -24,12 +24,26 @@ end subroutine vecadd
 fn main() {
     // 1. Compile: Fortran -> FIR+OMP -> device ops -> host/device split ->
     //    HLS dialect -> bitstream (+ C++/OpenCL host code + LLVM-IR).
-    let artifacts = Compiler::default().compile_source(VECADD).expect("compiles");
+    let artifacts = Compiler::default()
+        .compile_source(VECADD)
+        .expect("compiles");
 
-    println!("=== frontend output (fir + omp dialects) ===\n{}", artifacts.fir_text);
-    println!("=== host module (Listing 2, first half) ===\n{}", artifacts.host_module_text);
-    println!("=== device module (Listing 4 shape) ===\n{}", artifacts.device_module_text);
-    println!("=== generated C++/OpenCL host code ===\n{}", artifacts.host_cpp);
+    println!(
+        "=== frontend output (fir + omp dialects) ===\n{}",
+        artifacts.fir_text
+    );
+    println!(
+        "=== host module (Listing 2, first half) ===\n{}",
+        artifacts.host_module_text
+    );
+    println!(
+        "=== device module (Listing 4 shape) ===\n{}",
+        artifacts.device_module_text
+    );
+    println!(
+        "=== generated C++/OpenCL host code ===\n{}",
+        artifacts.host_cpp
+    );
 
     // 2. Execute on the simulated FPGA.
     let mut machine = Machine::load(&artifacts, DeviceModel::u280()).expect("loads");

@@ -36,7 +36,10 @@ fn main() {
         let xa = machine.host_f32(&x);
         let ya = machine.host_f32(&y0);
         let report = machine
-            .run("saxpy", &[RtValue::I32(n as i32), RtValue::F32(a), xa, ya.clone()])
+            .run(
+                "saxpy",
+                &[RtValue::I32(n as i32), RtValue::F32(a), xa, ya.clone()],
+            )
             .expect("runs");
         // Validate against the CPU reference.
         let mut expect = y0.clone();

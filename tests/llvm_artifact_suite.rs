@@ -74,7 +74,10 @@ fn saxpy_llvm_ir_is_consistent() {
     check_llvm_text(&a.llvm7_ir, "saxpy llvm7");
     // The unroll produced 10 body replicas in the main loop: at least 10
     // getelementptr+load pairs per input.
-    assert!(a.llvm_ir.matches("getelementptr").count() >= 20, "unrolled body expected");
+    assert!(
+        a.llvm_ir.matches("getelementptr").count() >= 20,
+        "unrolled body expected"
+    );
 }
 
 #[test]
@@ -113,7 +116,7 @@ fn declares_cover_all_external_calls() {
         for c in called {
             let defined = text.contains(&format!("define void @{c}("))
                 || text.contains(&format!("define float @{c}("))
-                || text.contains(&format!("declare")) && text.contains(&format!("@{c}"));
+                || text.contains("declare") && text.contains(&format!("@{c}"));
             assert!(defined, "call target @{c} neither defined nor declared");
         }
     }

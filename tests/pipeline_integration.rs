@@ -17,7 +17,10 @@ fn saxpy_compile_and_execute_matches_reference() {
     let xa = machine.host_f32(&x);
     let ya = machine.host_f32(&y0);
     machine
-        .run("saxpy", &[RtValue::I32(n as i32), RtValue::F32(2.5), xa, ya.clone()])
+        .run(
+            "saxpy",
+            &[RtValue::I32(n as i32), RtValue::F32(2.5), xa, ya.clone()],
+        )
         .unwrap();
     let mut expect = y0;
     workloads::saxpy_ref(2.5, &x, &mut expect);
@@ -41,7 +44,13 @@ fn sgesl_compile_and_execute_solves_system() {
     let report = machine
         .run(
             "sgesl",
-            &[aa, RtValue::I32(n as i32), RtValue::I32(n as i32), ip, ba.clone()],
+            &[
+                aa,
+                RtValue::I32(n as i32),
+                RtValue::I32(n as i32),
+                ip,
+                ba.clone(),
+            ],
         )
         .unwrap();
     let x = machine.read_f32(&ba);
@@ -63,14 +72,19 @@ fn host_module_matches_listing2_shape() {
     let artifacts = workloads::compile_saxpy();
     let host = &artifacts.host_module_text;
     // Ordered appearance: alloc -> acquire -> kernel_create -> launch -> wait -> release.
-    let find = |s: &str| host.find(s).unwrap_or_else(|| panic!("missing {s} in host module"));
+    let find = |s: &str| {
+        host.find(s)
+            .unwrap_or_else(|| panic!("missing {s} in host module"))
+    };
     let alloc = find("device.alloc");
     let acquire = find("device.data_acquire");
     let create = find("device.kernel_create");
     let launch = find("device.kernel_launch");
     let wait = find("device.kernel_wait");
     let release = find("device.data_release");
-    assert!(alloc < acquire && acquire < create && create < launch && launch < wait && wait < release);
+    assert!(
+        alloc < acquire && acquire < create && create < launch && launch < wait && wait < release
+    );
     assert!(host.contains("device_function = @saxpy_kernel0"));
     assert!(host.contains("!device.kernelhandle"));
     // The kernel_create region is empty after extraction (Listing 2).
@@ -102,7 +116,9 @@ fn device_module_matches_listing4_shape() {
 fn llvm_artifacts_are_well_formed() {
     let artifacts = workloads::compile_saxpy();
     assert!(artifacts.llvm_ir.contains("target triple"));
-    assert!(artifacts.llvm_ir.contains("define void @saxpy_kernel0(ptr %0"));
+    assert!(artifacts
+        .llvm_ir
+        .contains("define void @saxpy_kernel0(ptr %0"));
     assert!(artifacts.llvm_ir.contains("phi"));
     // Downgrade: typed pointers, SSDM intrinsics, runtime library linked.
     assert!(artifacts.llvm7_ir.contains("float*"));
@@ -188,7 +204,11 @@ end subroutine
 #[test]
 fn pass_reports_cover_the_whole_flow() {
     let artifacts = workloads::compile_saxpy();
-    let names: Vec<&str> = artifacts.pass_reports.iter().map(|r| r.name.as_str()).collect();
+    let names: Vec<&str> = artifacts
+        .pass_reports
+        .iter()
+        .map(|r| r.name.as_str())
+        .collect();
     assert_eq!(
         names,
         vec![
