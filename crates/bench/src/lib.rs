@@ -9,10 +9,13 @@
 //! * [`stats`] — median/std/jitter helpers.
 //! * [`locs`] — Table 7 lines-of-code accounting over this repository.
 //! * [`diagram`] — Figures 1–2 regenerated from the registered pass pipeline.
+//! * [`serve_bench`] — session vs sessionless launch throughput and
+//!   transfer-elision measurements over the cluster (`BENCH_serve.json`).
 
 pub mod diagram;
 pub mod experiments;
 pub mod locs;
+pub mod serve_bench;
 pub mod stats;
 pub mod workloads;
 

@@ -1,0 +1,177 @@
+//! Serve-path benchmark: launch throughput and transfer-elision ratio of
+//! persistent `target data` sessions versus the sessionless whole-program
+//! path, at 1/2/4 pool devices. Emitted as `BENCH_serve.json` by the
+//! `bench_serve` binary so the repository carries a perf trajectory for the
+//! service layer.
+
+use ftn_cluster::{ClusterMachine, MapKind};
+use ftn_core::Artifacts;
+use ftn_fpga::DeviceModel;
+use ftn_interp::RtValue;
+use serde::Serialize;
+
+use crate::workloads;
+
+/// One measured configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeBenchPoint {
+    pub devices: usize,
+    pub sessions: usize,
+    pub launches: u64,
+    /// Kernel launches per simulated second, session path (map once, launch
+    /// many, fetch once).
+    pub session_launches_per_sim_second: f64,
+    /// Kernel launches per simulated second, sessionless path (every launch
+    /// re-runs the host program with its full host↔device traffic).
+    pub sessionless_launches_per_sim_second: f64,
+    pub speedup_vs_sessionless: f64,
+    /// Host↔device transfers performed by each path.
+    pub session_transfers: u64,
+    /// Per-launch maps skipped because the buffer was already resident
+    /// (summed over sessions).
+    pub session_elided_transfers: u64,
+    pub sessionless_transfers: u64,
+    /// `1 - session/sessionless` — fraction of the baseline traffic elided.
+    pub transfer_elision_ratio: f64,
+    pub session_makespan_sim_seconds: f64,
+    pub sessionless_makespan_sim_seconds: f64,
+}
+
+/// The emitted report.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeBenchReport {
+    pub workload: String,
+    pub elements: usize,
+    pub sessions_per_device: usize,
+    pub launches_per_session: usize,
+    pub points: Vec<ServeBenchPoint>,
+}
+
+/// `saxpy_kernel0(x, y, n, n, a, 1, n)`.
+fn saxpy_kernel_args(x: &RtValue, y: &RtValue, n: usize, a: f32) -> Vec<RtValue> {
+    vec![
+        x.clone(),
+        y.clone(),
+        RtValue::Index(n as i64),
+        RtValue::Index(n as i64),
+        RtValue::F32(a),
+        RtValue::Index(1),
+        RtValue::Index(n as i64),
+    ]
+}
+
+fn measure_point(
+    artifacts: &Artifacts,
+    devices: usize,
+    n: usize,
+    sessions: usize,
+    launches_per_session: usize,
+) -> ServeBenchPoint {
+    let x: Vec<f32> = (0..n).map(|i| (i % 97) as f32 * 0.25).collect();
+    let y: Vec<f32> = vec![1.0; n];
+    let models = vec![DeviceModel::u280(); devices];
+
+    // Session path: one session per stream of launches; all launches of all
+    // sessions submitted before any wait, so devices overlap.
+    let mut pool = ClusterMachine::load(artifacts, &models).expect("session pool");
+    let mut sids = Vec::with_capacity(sessions);
+    let mut arrays = Vec::with_capacity(sessions);
+    for _ in 0..sessions {
+        let xa = pool.host_f32(&x);
+        let ya = pool.host_f32(&y);
+        let sid = pool
+            .open_session(&[
+                ("x", xa.clone(), MapKind::To),
+                ("y", ya.clone(), MapKind::ToFrom),
+            ])
+            .expect("open session");
+        sids.push(sid);
+        arrays.push((xa, ya));
+    }
+    let mut handles = Vec::new();
+    for _ in 0..launches_per_session {
+        for (sid, (xa, ya)) in sids.iter().zip(&arrays) {
+            let ticket = pool
+                .session_launch(*sid, "saxpy_kernel0", &saxpy_kernel_args(xa, ya, n, 2.0))
+                .expect("session launch");
+            handles.push(ticket.handle);
+        }
+    }
+    for h in handles {
+        pool.wait(h).expect("launch completes");
+    }
+    let mut session_elided = 0u64;
+    for sid in &sids {
+        session_elided += pool.session_stats(*sid).expect("open").elided_transfers;
+        pool.close_session(*sid).expect("close session");
+    }
+    let session_stats = pool.pool_stats();
+
+    // Sessionless path: the same number of kernel launches, each as a
+    // whole-program job over fresh arrays (per-launch map in + map out).
+    let mut base = ClusterMachine::load(artifacts, &models).expect("baseline pool");
+    let mut handles = Vec::new();
+    for _ in 0..sessions * launches_per_session {
+        let xa = base.host_f32(&x);
+        let ya = base.host_f32(&y);
+        let h = base
+            .submit(
+                "saxpy",
+                &[RtValue::I32(n as i32), RtValue::F32(2.0), xa, ya],
+            )
+            .expect("baseline submit");
+        handles.push(h);
+    }
+    for h in handles {
+        base.wait(h).expect("baseline completes");
+    }
+    let base_stats = base.pool_stats();
+
+    let launches = session_stats.totals.launches;
+    assert_eq!(launches, base_stats.totals.launches, "same launch count");
+    let session_tput = launches as f64 / session_stats.makespan_sim_seconds;
+    let base_tput = launches as f64 / base_stats.makespan_sim_seconds;
+    ServeBenchPoint {
+        devices,
+        sessions,
+        launches,
+        session_launches_per_sim_second: session_tput,
+        sessionless_launches_per_sim_second: base_tput,
+        speedup_vs_sessionless: session_tput / base_tput,
+        session_transfers: session_stats.totals.transfers,
+        session_elided_transfers: session_elided,
+        sessionless_transfers: base_stats.totals.transfers,
+        transfer_elision_ratio: 1.0
+            - session_stats.totals.transfers as f64 / base_stats.totals.transfers as f64,
+        session_makespan_sim_seconds: session_stats.makespan_sim_seconds,
+        sessionless_makespan_sim_seconds: base_stats.makespan_sim_seconds,
+    }
+}
+
+/// Run the benchmark at 1, 2 and 4 devices.
+pub fn run(
+    elements: usize,
+    sessions_per_device: usize,
+    launches_per_session: usize,
+) -> ServeBenchReport {
+    let artifacts = workloads::compile_saxpy();
+    let points = [1usize, 2, 4]
+        .iter()
+        .map(|&devices| {
+            measure_point(
+                &artifacts,
+                devices,
+                elements,
+                devices * sessions_per_device,
+                launches_per_session,
+            )
+        })
+        .collect();
+    ServeBenchReport {
+        workload: "saxpy_kernel0 sessions vs sessionless host-program jobs".to_string(),
+        elements,
+        sessions_per_device,
+        launches_per_session,
+        points,
+    }
+}

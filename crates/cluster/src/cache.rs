@@ -162,22 +162,34 @@ impl ArtifactCache {
         options: &CompilerOptions,
         source: &str,
     ) -> Result<Arc<Artifacts>, CompileError> {
+        self.get_or_compile_with_hit(options, source)
+            .map(|(a, _)| a)
+    }
+
+    /// Like [`ArtifactCache::get_or_compile`], also reporting whether the
+    /// artifacts came from the cache (memory or disk) rather than a fresh
+    /// compile — per-request, unlike the global [`ArtifactCache::stats`].
+    pub fn get_or_compile_with_hit(
+        &self,
+        options: &CompilerOptions,
+        source: &str,
+    ) -> Result<(Arc<Artifacts>, bool), CompileError> {
         let key = Self::key(source, options);
         if let Some(hit) = self.mem.lock().unwrap().get(&key).cloned() {
             self.stats.lock().unwrap().hits += 1;
-            return Ok(hit);
+            return Ok((hit, true));
         }
         if let Some(artifacts) = self.load_from_disk(&key) {
             let artifacts = Arc::new(artifacts);
             self.mem.lock().unwrap().insert(key, Arc::clone(&artifacts));
             self.stats.lock().unwrap().disk_hits += 1;
-            return Ok(artifacts);
+            return Ok((artifacts, true));
         }
         self.stats.lock().unwrap().misses += 1;
         let artifacts = Arc::new(Compiler::new(options.clone()).compile_source(source)?);
         self.store_to_disk(&key, &artifacts);
         self.mem.lock().unwrap().insert(key, Arc::clone(&artifacts));
-        Ok(artifacts)
+        Ok((artifacts, false))
     }
 
     fn load_from_disk(&self, key: &str) -> Option<Artifacts> {

@@ -12,21 +12,32 @@
 //!   bitstream images).
 //! * [`machine`] — [`ClusterMachine`]: the pool-level mirror of
 //!   [`ftn_core::Machine`] with `submit`/`wait` asynchrony, per-device
-//!   [`ftn_host::RunStats`] aggregation, and pool occupancy metrics.
+//!   [`ftn_host::RunStats`] aggregation, and pool occupancy metrics. Jobs
+//!   come in two granularities: whole host-program calls and kernel-level
+//!   launches against resident buffers.
+//! * [`session`] — persistent `target data` environments over the pool:
+//!   arrays mapped once, kernel launches with deferred writeback, one fetch
+//!   at close, redundant transfers elided and counted.
 //!
 //! With a single device and the same call sequence, `ClusterMachine`
 //! produces bit-identical results and statistics to `Machine` — the workers
-//! run the same [`ftn_core::HostProgram`] routine.
+//! run the same [`ftn_core::HostProgram`] routine. A scripted session
+//! (map → N launches → writeback) is likewise bit-identical, results and
+//! stats, to the equivalent `target data` program run on `Machine`.
 
 pub mod cache;
 pub mod machine;
 pub mod pool;
 pub mod scheduler;
+pub mod session;
 
 pub use cache::{ArtifactCache, CacheStats, CachedCompiler, ImageCache};
-pub use machine::{ClusterMachine, ClusterRunReport, DevicePoolStats, LaunchHandle, PoolStats};
+pub use machine::{
+    ClusterMachine, ClusterRunReport, DevicePoolStats, KernelTicket, LaunchHandle, PoolStats,
+};
 pub use pool::DevicePool;
 pub use scheduler::{BufferInfo, Placement, PlacementPolicy, PlacementReason};
+pub use session::{MapKind, SessionReport, SessionStats};
 
 #[cfg(test)]
 mod tests {
@@ -320,6 +331,116 @@ end subroutine saxpy
         assert_eq!(cluster.read_f32(&ya), vec![3.0f32; n]);
         let ps = cluster.pool_stats();
         assert!(ps.forced_colocations >= 2, "{ps:?}");
+    }
+
+    /// Argument list of the compiled `saxpy_kernel0` device kernel:
+    /// `(x, y, n, n, a, 1, n)` — see the generated `device.kernel_create`.
+    fn saxpy_kernel_args(x: &RtValue, y: &RtValue, n: usize, a: f32) -> Vec<RtValue> {
+        vec![
+            x.clone(),
+            y.clone(),
+            RtValue::Index(n as i64),
+            RtValue::Index(n as i64),
+            RtValue::F32(a),
+            RtValue::Index(1),
+            RtValue::Index(n as i64),
+        ]
+    }
+
+    #[test]
+    fn kernel_level_job_writes_back_and_charges_staging() {
+        let mut cluster = pool(2);
+        let n = 500usize;
+        let x: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let y = vec![1.0f32; n];
+        let xa = cluster.host_f32(&x);
+        let ya = cluster.host_f32(&y);
+        let ticket = cluster
+            .submit_kernel("saxpy_kernel0", &saxpy_kernel_args(&xa, &ya, n, 2.0))
+            .unwrap();
+        assert_eq!((ticket.staged, ticket.elided), (2, 0));
+        let handle = ticket.handle;
+        let report = cluster.wait(handle).unwrap();
+        assert_eq!(report.report.stats.launches, 1);
+        // Staging x and y is charged as two host→device transfers.
+        assert_eq!(report.report.stats.transfers, 2);
+        assert!(report.report.stats.transfer_seconds > 0.0);
+        let got = cluster.read_f32(&ya);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, 1.0 + 2.0 * (i as f32 * 0.5), "element {i}");
+        }
+        // A second identical launch finds both buffers resident.
+        let ticket = cluster
+            .submit_kernel("saxpy_kernel0", &saxpy_kernel_args(&xa, &ya, n, 2.0))
+            .unwrap();
+        assert_eq!((ticket.staged, ticket.elided), (0, 2));
+        cluster.wait(ticket.handle).unwrap();
+    }
+
+    #[test]
+    fn session_maps_once_and_elides_per_launch_transfers() {
+        use crate::MapKind;
+        let mut cluster = pool(2);
+        let n = 256usize;
+        let x = vec![1.0f32; n];
+        let y = vec![0.5f32; n];
+        let xa = cluster.host_f32(&x);
+        let ya = cluster.host_f32(&y);
+        let sid = cluster
+            .open_session(&[
+                ("x", xa.clone(), MapKind::To),
+                ("y", ya.clone(), MapKind::ToFrom),
+            ])
+            .unwrap();
+        assert_eq!(cluster.session_array(sid, "x"), Some(xa.clone()));
+        let launches = 4usize;
+        for _ in 0..launches {
+            let ticket = cluster
+                .session_launch(sid, "saxpy_kernel0", &saxpy_kernel_args(&xa, &ya, n, 3.0))
+                .unwrap();
+            cluster.wait(ticket.handle).unwrap();
+        }
+        // Host memory is stale until close: launches defer writeback.
+        assert_eq!(cluster.read_f32(&ya), y, "no per-launch writeback");
+        let report = cluster.close_session(sid).unwrap();
+        assert_eq!(report.stats.launches, launches as u64);
+        assert_eq!(report.stats.staged_uploads, 2, "x and y mapped once");
+        assert_eq!(report.stats.elided_transfers, 2 * launches as u64);
+        assert_eq!(report.stats.fetched_downloads, 1, "only y comes back");
+        // y += 3*x, four times.
+        let expect: Vec<f32> = y.iter().map(|v| v + 4.0 * 3.0).collect();
+        assert_eq!(cluster.read_f32(&ya), expect);
+        // Pool totals: 2 uploads + 1 download, `launches` kernel launches.
+        let ps = cluster.pool_stats();
+        assert_eq!(ps.totals.transfers, 3);
+        assert_eq!(ps.totals.launches, launches as u64);
+        assert!(cluster.open_sessions().is_empty());
+    }
+
+    #[test]
+    fn worker_arena_does_not_grow_across_jobs() {
+        // Regression for the ROADMAP item "pool workers never free device
+        // buffers": the high-water-mark reset must keep the worker arena
+        // flat across whole-program jobs (which allocate device data
+        // environments) and session launches.
+        let mut cluster = pool(1);
+        let n = 64usize;
+        let xa = cluster.host_f32(&vec![1.0f32; n]);
+        let ya = cluster.host_f32(&vec![0.0f32; n]);
+        let args = [RtValue::I32(n as i32), RtValue::F32(1.0), xa, ya];
+        for _ in 0..3 {
+            cluster.run("saxpy", &args).unwrap();
+        }
+        let settled = cluster.pool_stats().devices[0].arena_buffers;
+        assert!(settled > 0);
+        for _ in 0..20 {
+            cluster.run("saxpy", &args).unwrap();
+        }
+        let after = cluster.pool_stats().devices[0].arena_buffers;
+        assert_eq!(
+            settled, after,
+            "arena must stay flat across jobs (reset between jobs)"
+        );
     }
 
     #[test]

@@ -9,30 +9,52 @@
 //! writes argument buffers back into host memory, and folds the device's
 //! [`RunStats`] into the pool totals. With one device and the same call
 //! sequence, results and statistics are bit-identical to `Machine`.
+//!
+//! Two job granularities are exposed: [`ClusterMachine::submit`] runs a whole
+//! host program function (the original path), while
+//! [`ClusterMachine::submit_kernel`] launches one device kernel directly
+//! against resident buffers — the building block of persistent `target data`
+//! sessions (see [`crate::session`]). Placement backlogs are priced by the
+//! per-kernel cost model derived from the bitstream's loop schedules
+//! ([`ftn_fpga::CostModel`]), falling back to the observed mean only for
+//! jobs the schedules cannot predict.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use ftn_core::{report_from_stats, Artifacts, CompileError, HostProgram, RunReport};
-use ftn_fpga::{DeviceModel, ExecutorImage, ResourceUsage};
+use ftn_fpga::{CostModel, DeviceModel, ExecutorImage, ResourceUsage};
 use ftn_host::RunStats;
 use ftn_interp::{Buffer, BufferId, MemRefVal, Memory, RtValue};
 use serde::Serialize;
 
-use crate::pool::{DevicePool, Job, JobOutcome, JobSuccess, WorkerMessage};
+use crate::pool::{DevicePool, Job, JobKind, JobOutcome, JobSuccess, StagedBuffer, WorkerMessage};
 use crate::scheduler::{BufferInfo, PlacementPolicy, PlacementReason};
 
 /// Ticket for one submitted job; redeem with [`ClusterMachine::wait`].
 #[derive(Debug)]
 #[must_use = "a LaunchHandle must be waited on to observe results"]
 pub struct LaunchHandle {
-    job_id: u64,
+    pub(crate) job_id: u64,
 }
 
 impl LaunchHandle {
     pub fn job_id(&self) -> u64 {
         self.job_id
     }
+}
+
+/// Receipt for a kernel-level submission: the handle plus what the staging
+/// step actually moved (`elided` buffers were already resident, so their
+/// host↔device transfers were skipped).
+#[derive(Debug)]
+#[must_use = "wait on the contained handle to observe results"]
+pub struct KernelTicket {
+    pub handle: LaunchHandle,
+    pub device: usize,
+    pub staged: u64,
+    pub staged_bytes: u64,
+    pub elided: u64,
 }
 
 /// A completed pool run: the device that executed it plus the standard
@@ -53,6 +75,9 @@ pub struct DevicePoolStats {
     /// Simulated seconds of device-timeline occupancy (kernel wall +
     /// transfers) across completed jobs.
     pub busy_sim_seconds: f64,
+    /// Device memory arena size after the worker's last post-job reset
+    /// (stays flat across jobs thanks to the high-water-mark reset).
+    pub arena_buffers: usize,
     pub stats: RunStats,
 }
 
@@ -85,42 +110,73 @@ pub struct PoolStats {
     /// Jobs pinned to a device because an argument buffer was in flight
     /// there.
     pub forced_colocations: u64,
+    /// Jobs pinned to a device because it held the only current copy of an
+    /// argument buffer (deferred-writeback session data).
+    pub residency_pins: u64,
 }
 
 /// Residency bookkeeping for one host buffer.
 #[derive(Default)]
-struct BufState {
-    version: u64,
+pub(crate) struct BufState {
+    pub(crate) version: u64,
     /// Version whose contents host memory currently holds (monotone guard:
     /// an older job's late writeback must not clobber newer data).
-    written: u64,
+    pub(crate) written: u64,
     /// device -> version of the copy it holds.
-    resident: HashMap<usize, u64>,
+    pub(crate) resident: HashMap<usize, u64>,
     /// Device with in-flight writers, and how many.
-    in_flight: Option<(usize, u32)>,
+    pub(crate) in_flight: Option<(usize, u32)>,
+}
+
+impl BufState {
+    /// Device holding the only current copy when host memory is stale.
+    fn pinned_device(&self) -> Option<usize> {
+        if self.written >= self.version {
+            return None;
+        }
+        self.resident
+            .iter()
+            .find(|&(_, &v)| v == self.version)
+            .map(|(&d, _)| d)
+    }
+}
+
+/// Bookkeeping for a submitted-but-unprocessed job.
+pub(crate) struct PendingJob {
+    pub(crate) arg_ids: Vec<BufferId>,
+    /// Schedule-derived simulated-seconds estimate charged to the device's
+    /// backlog at submission (removed on completion).
+    pub(crate) est_sim_seconds: f64,
+    pub(crate) device: usize,
 }
 
 /// See module docs.
 pub struct ClusterMachine {
-    pool: DevicePool,
+    pub(crate) pool: DevicePool,
     pub memory: Memory,
-    buffers: HashMap<BufferId, BufState>,
-    policy: PlacementPolicy,
-    loads: Vec<u64>,
-    busy_sim: Vec<f64>,
-    device_stats: Vec<RunStats>,
-    device_jobs: Vec<u64>,
-    kernel_resources: ResourceUsage,
-    /// job id -> argument buffer ids (for in-flight accounting).
-    pending: HashMap<u64, Vec<BufferId>>,
+    pub(crate) buffers: HashMap<BufferId, BufState>,
+    pub(crate) policy: PlacementPolicy,
+    pub(crate) loads: Vec<u64>,
+    pub(crate) est_backlog: Vec<f64>,
+    pub(crate) busy_sim: Vec<f64>,
+    pub(crate) device_stats: Vec<RunStats>,
+    pub(crate) device_jobs: Vec<u64>,
+    pub(crate) arena_buffers: Vec<usize>,
+    pub(crate) kernel_resources: ResourceUsage,
+    pub(crate) cost_model: CostModel,
+    /// job id -> pending bookkeeping (for in-flight + backlog accounting).
+    pub(crate) pending: HashMap<u64, PendingJob>,
     /// Completed but not yet waited-on reports.
-    completed: HashMap<u64, Result<(usize, JobSuccess), String>>,
-    next_job: u64,
-    affinity_hits: u64,
-    staged_uploads: u64,
-    staged_bytes: u64,
-    steals: u64,
-    forced_colocations: u64,
+    pub(crate) completed: HashMap<u64, Result<(usize, JobSuccess), String>>,
+    pub(crate) next_job: u64,
+    pub(crate) sessions: HashMap<u64, crate::session::DataSession>,
+    pub(crate) next_session: u64,
+    pub(crate) affinity_hits: u64,
+    pub(crate) staged_uploads: u64,
+    pub(crate) staged_bytes: u64,
+    pub(crate) steals: u64,
+    pub(crate) forced_colocations: u64,
+    pub(crate) residency_pins: u64,
 }
 
 impl ClusterMachine {
@@ -157,18 +213,24 @@ impl ClusterMachine {
             buffers: HashMap::new(),
             policy: PlacementPolicy::new(),
             loads: vec![0; n],
+            est_backlog: vec![0.0; n],
             busy_sim: vec![0.0; n],
             device_stats: vec![RunStats::default(); n],
             device_jobs: vec![0; n],
+            arena_buffers: vec![0; n],
             kernel_resources: artifacts.bitstream.kernel_resources(),
+            cost_model: CostModel::from_bitstream(&artifacts.bitstream),
             pending: HashMap::new(),
             completed: HashMap::new(),
             next_job: 1,
+            sessions: HashMap::new(),
+            next_session: 1,
             affinity_hits: 0,
             staged_uploads: 0,
             staged_bytes: 0,
             steals: 0,
             forced_colocations: 0,
+            residency_pins: 0,
         })
     }
 
@@ -209,8 +271,8 @@ impl ClusterMachine {
         }
     }
 
-    /// Read back a host f32 array. Only jobs that have been `wait`ed on are
-    /// reflected.
+    /// Read back a host f32 array. Only jobs that have been `wait`ed on (or
+    /// a closed session's writeback) are reflected.
     pub fn read_f32(&self, v: &RtValue) -> Vec<f32> {
         let m = v.as_memref().expect("memref value");
         match self.memory.get(m.buffer) {
@@ -219,12 +281,247 @@ impl ClusterMachine {
         }
     }
 
-    /// Submit host function `func` asynchronously. Placement, staging and
-    /// residency bookkeeping happen here; execution overlaps with the
-    /// caller until [`ClusterMachine::wait`].
+    /// Submit host function `func` asynchronously (whole-program job).
+    /// Placement, staging and residency bookkeeping happen here; execution
+    /// overlaps with the caller until [`ClusterMachine::wait`].
     pub fn submit(&mut self, func: &str, args: &[RtValue]) -> Result<LaunchHandle, CompileError> {
-        let arg_ids = distinct_memref_buffers(args);
+        let kind = JobKind::HostCall {
+            func: func.to_string(),
+        };
+        Ok(self.submit_compute(kind, args)?.handle)
+    }
 
+    /// Submit one device-kernel launch against resident buffers (kernel-level
+    /// job granularity). Argument buffers the chosen device already holds
+    /// are not re-staged; staged buffers are charged PCIe transfer time as
+    /// an explicit host→device map. Results are written back to host memory
+    /// at [`ClusterMachine::wait`].
+    pub fn submit_kernel(
+        &mut self,
+        kernel: &str,
+        args: &[RtValue],
+    ) -> Result<KernelTicket, CompileError> {
+        let kind = JobKind::Kernel {
+            kernel: kernel.to_string(),
+            writeback: true,
+        };
+        self.submit_compute(kind, args)
+    }
+
+    /// Kernel launch with deferred writeback: the device copy stays
+    /// authoritative and host memory is only synced by a later fetch
+    /// (sessions close with one). Used by [`crate::session`].
+    pub(crate) fn submit_kernel_deferred(
+        &mut self,
+        kernel: &str,
+        args: &[RtValue],
+    ) -> Result<KernelTicket, CompileError> {
+        let kind = JobKind::Kernel {
+            kernel: kernel.to_string(),
+            writeback: false,
+        };
+        self.submit_compute(kind, args)
+    }
+
+    /// Shared submission path for compute jobs (host calls and kernels).
+    fn submit_compute(
+        &mut self,
+        kind: JobKind,
+        args: &[RtValue],
+    ) -> Result<KernelTicket, CompileError> {
+        let arg_ids = distinct_memref_buffers(args);
+        let device = self.place_for(&arg_ids)?;
+
+        // Stage exactly the buffers the device does not hold at the current
+        // version; everything else is an affinity hit. Every argument buffer
+        // is conservatively treated as written: the device copy becomes the
+        // only current one.
+        let charge = matches!(kind, JobKind::Kernel { .. });
+        let mut staged = Vec::new();
+        let mut out_versions = Vec::with_capacity(arg_ids.len());
+        let mut ticket_staged = 0u64;
+        let mut ticket_staged_bytes = 0u64;
+        let mut ticket_elided = 0u64;
+        for id in &arg_ids {
+            let state = self.buffers.entry(*id).or_default();
+            let current = state.version;
+            let next = current + 1;
+            if state.resident.get(&device) == Some(&current) {
+                self.affinity_hits += 1;
+                ticket_elided += 1;
+            } else {
+                let contents = self.memory.get(*id).clone();
+                self.staged_uploads += 1;
+                self.staged_bytes += contents.byte_len() as u64;
+                ticket_staged += 1;
+                ticket_staged_bytes += contents.byte_len() as u64;
+                staged.push(StagedBuffer {
+                    host: *id,
+                    contents,
+                    version: next,
+                    charge,
+                });
+            }
+            let state = self.buffers.get_mut(id).expect("state created above");
+            state.version = next;
+            state.resident.clear();
+            state.resident.insert(device, next);
+            mark_in_flight(state, device);
+            out_versions.push((*id, next));
+        }
+
+        let est = self.estimate_compute_seconds(&kind, &arg_ids, ticket_staged_bytes, device);
+        let handle = self.dispatch(
+            device,
+            kind,
+            arg_ids,
+            args.to_vec(),
+            staged,
+            out_versions,
+            vec![],
+            est,
+        )?;
+        Ok(KernelTicket {
+            handle,
+            device,
+            staged: ticket_staged,
+            staged_bytes: ticket_staged_bytes,
+            elided: ticket_elided,
+        })
+    }
+
+    /// Session open: establish residency for mapped buffers on one device.
+    /// `zeroed` buffers model `map(from:)` — the device copy starts
+    /// uninitialized (zeroed) and is charged no upload transfer.
+    pub(crate) fn submit_upload(
+        &mut self,
+        maps: &[(BufferId, bool)],
+    ) -> Result<KernelTicket, CompileError> {
+        let arg_ids: Vec<BufferId> = maps.iter().map(|&(id, _)| id).collect();
+        let device = self.place_for(&arg_ids)?;
+        let mut staged = Vec::new();
+        let mut out_versions = Vec::new();
+        let mut ticket_staged = 0u64;
+        let mut ticket_staged_bytes = 0u64;
+        let mut ticket_elided = 0u64;
+        let mut bytes = 0usize;
+        for &(id, zeroed) in maps {
+            let state = self.buffers.entry(id).or_default();
+            let current = state.version;
+            if zeroed {
+                // Fresh uninitialized device copy: a version bump with no
+                // host upload (host contents are not copied in).
+                let next = current + 1;
+                let contents = zeroed_like(self.memory.get(id));
+                let state = self.buffers.get_mut(&id).expect("present");
+                state.version = next;
+                state.resident.clear();
+                state.resident.insert(device, next);
+                mark_in_flight(state, device);
+                staged.push(StagedBuffer {
+                    host: id,
+                    contents,
+                    version: next,
+                    charge: false,
+                });
+                out_versions.push((id, next));
+            } else if state.resident.get(&device) == Some(&current) {
+                self.affinity_hits += 1;
+                ticket_elided += 1;
+                mark_in_flight(state, device);
+                out_versions.push((id, current));
+            } else {
+                let contents = self.memory.get(id).clone();
+                bytes += contents.byte_len();
+                self.staged_uploads += 1;
+                self.staged_bytes += contents.byte_len() as u64;
+                ticket_staged += 1;
+                ticket_staged_bytes += contents.byte_len() as u64;
+                staged.push(StagedBuffer {
+                    host: id,
+                    contents,
+                    version: current,
+                    charge: true,
+                });
+                let state = self.buffers.get_mut(&id).expect("present");
+                state.resident.insert(device, current);
+                mark_in_flight(state, device);
+                out_versions.push((id, current));
+            }
+        }
+        let est = self.pool.slots[device].model.transfer_seconds(bytes);
+        let handle = self.dispatch(
+            device,
+            JobKind::Upload,
+            arg_ids,
+            vec![],
+            staged,
+            out_versions,
+            vec![],
+            est,
+        )?;
+        Ok(KernelTicket {
+            handle,
+            device,
+            staged: ticket_staged,
+            staged_bytes: ticket_staged_bytes,
+            elided: ticket_elided,
+        })
+    }
+
+    /// Download `ids` from device `device` back into host memory (session
+    /// close / host sync), charging device→host transfer time per buffer.
+    pub(crate) fn submit_fetch(
+        &mut self,
+        device: usize,
+        ids: &[BufferId],
+    ) -> Result<LaunchHandle, CompileError> {
+        let mut fetch = Vec::with_capacity(ids.len());
+        let mut bytes = 0usize;
+        for id in ids {
+            let state = self.buffers.entry(*id).or_default();
+            fetch.push((*id, state.version));
+            mark_in_flight(state, device);
+            bytes += self.memory.get(*id).byte_len();
+        }
+        let est = self.pool.slots[device].model.transfer_seconds(bytes);
+        self.dispatch(
+            device,
+            JobKind::Fetch,
+            ids.to_vec(),
+            vec![],
+            vec![],
+            vec![],
+            fetch,
+            est,
+        )
+    }
+
+    /// Bring host memory up to date for `ids` whose only current copy is
+    /// device-resident (used to resolve conflicting residency pins before
+    /// staging from host memory).
+    fn sync_to_host(&mut self, ids: &[BufferId]) -> Result<(), CompileError> {
+        let mut by_device: HashMap<usize, Vec<BufferId>> = HashMap::new();
+        for id in ids {
+            if let Some(d) = self.buffers.get(id).and_then(|s| s.pinned_device()) {
+                by_device.entry(d).or_default().push(*id);
+            }
+        }
+        let mut handles = Vec::new();
+        let mut devices: Vec<usize> = by_device.keys().copied().collect();
+        devices.sort_unstable();
+        for d in devices {
+            handles.push(self.submit_fetch(d, &by_device[&d])?);
+        }
+        for h in handles {
+            self.wait(h)?;
+        }
+        Ok(())
+    }
+
+    /// Drain conflicts, resolve pins, and choose a device for a job over
+    /// `arg_ids`.
+    fn place_for(&mut self, arg_ids: &[BufferId]) -> Result<usize, CompileError> {
         // A buffer may have in-flight writers on at most one device; if two
         // argument buffers disagree, drain completions until they don't.
         loop {
@@ -244,6 +541,44 @@ impl ClusterMachine {
             self.process_one_outcome()?;
         }
 
+        // Buffers pinned to different devices (each holding the only current
+        // copy of its buffer) cannot be staged together; sync the minority
+        // through the host first.
+        loop {
+            let mut pin_devices: Vec<usize> = arg_ids
+                .iter()
+                .filter_map(|id| self.buffers.get(id).and_then(|b| b.pinned_device()))
+                .collect();
+            pin_devices.sort_unstable();
+            pin_devices.dedup();
+            if pin_devices.len() <= 1 {
+                break;
+            }
+            // Keep the device pinning the most bytes; fetch the rest home.
+            let mut bytes_on: HashMap<usize, usize> = HashMap::new();
+            for id in arg_ids {
+                if let Some(d) = self.buffers.get(id).and_then(|b| b.pinned_device()) {
+                    *bytes_on.entry(d).or_default() += self.memory.get(*id).byte_len();
+                }
+            }
+            let keep = *bytes_on
+                .iter()
+                .max_by_key(|&(d, b)| (*b, std::cmp::Reverse(*d)))
+                .map(|(d, _)| d)
+                .expect("non-empty");
+            let move_ids: Vec<BufferId> = arg_ids
+                .iter()
+                .filter(|id| {
+                    self.buffers
+                        .get(id)
+                        .and_then(|b| b.pinned_device())
+                        .is_some_and(|d| d != keep)
+                })
+                .copied()
+                .collect();
+            self.sync_to_host(&move_ids)?;
+        }
+
         let infos: Vec<BufferInfo> = arg_ids
             .iter()
             .map(|id| {
@@ -257,60 +592,86 @@ impl ClusterMachine {
                         .map(|(&d, _)| d)
                         .collect(),
                     in_flight: state.in_flight.map(|(d, _)| d),
+                    pinned: state.pinned_device(),
                 }
             })
             .collect();
         let models: Vec<DeviceModel> = self.pool.models();
-        let placement = self.policy.place(&self.loads, &models, &infos);
-        let device = placement.device;
+        let placement = self
+            .policy
+            .place(&self.loads, &self.est_backlog, &models, &infos);
         match placement.reason {
             PlacementReason::Steal => self.steals += 1,
             PlacementReason::ForcedColocation => self.forced_colocations += 1,
+            PlacementReason::PinnedResidency => self.residency_pins += 1,
             _ => {}
         }
+        Ok(placement.device)
+    }
 
-        // Stage exactly the buffers the device does not hold at the current
-        // version; everything else is an affinity hit.
-        let mut staged = Vec::new();
-        let mut out_versions = Vec::with_capacity(arg_ids.len());
-        for id in &arg_ids {
-            let state = self.buffers.get_mut(id).expect("state created above");
-            let current = state.version;
-            let next = current + 1;
-            if state.resident.get(&device) == Some(&current) {
-                self.affinity_hits += 1;
-            } else {
-                let contents = self.memory.get(*id).clone();
-                self.staged_uploads += 1;
-                self.staged_bytes += contents.byte_len() as u64;
-                staged.push((*id, contents, next));
-            }
-            // The job conservatively writes every argument buffer: the
-            // device copy becomes the only current one.
-            state.version = next;
-            state.resident.clear();
-            state.resident.insert(device, next);
-            state.in_flight = Some(match state.in_flight {
-                Some((d, c)) => {
-                    debug_assert_eq!(d, device, "colocation invariant");
-                    (device, c + 1)
-                }
-                None => (device, 1),
-            });
-            out_versions.push((*id, next));
-        }
+    /// Price a compute job for the backlog ledger: the schedule-derived
+    /// kernel estimate (per-kernel when known, worst-case over the bitstream
+    /// for whole-program jobs) plus the PCIe time of the staged bytes. Falls
+    /// back to the observed mean when the schedules cannot predict the job.
+    fn estimate_compute_seconds(
+        &self,
+        kind: &JobKind,
+        arg_ids: &[BufferId],
+        staged_bytes: u64,
+        device: usize,
+    ) -> f64 {
+        let model = &self.pool.slots[device].model;
+        let elements = arg_ids
+            .iter()
+            .map(|id| self.memory.get(*id).len() as u64)
+            .max()
+            .unwrap_or(0);
+        let kernel_est = match kind {
+            JobKind::Kernel { kernel, .. } => self
+                .cost_model
+                .kernel(kernel)
+                .map(|k| k.estimate_seconds(model, elements)),
+            JobKind::HostCall { .. } => self.cost_model.estimate_any_seconds(model, elements),
+            JobKind::Upload | JobKind::Fetch => Some(0.0),
+        };
+        kernel_est.unwrap_or_else(|| self.policy.mean_job_sim_seconds())
+            + model.transfer_seconds(staged_bytes as usize)
+    }
 
+    /// Enqueue a fully-prepared job on `device`. `arg_ids` are the distinct
+    /// buffers whose in-flight counters the job holds until completion.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        device: usize,
+        kind: JobKind,
+        arg_ids: Vec<BufferId>,
+        args: Vec<RtValue>,
+        staged: Vec<StagedBuffer>,
+        out_versions: Vec<(BufferId, u64)>,
+        fetch: Vec<(BufferId, u64)>,
+        est_sim_seconds: f64,
+    ) -> Result<LaunchHandle, CompileError> {
         let job_id = self.next_job;
         self.next_job += 1;
         let job = Job {
             job_id,
-            func: func.to_string(),
-            args: args.to_vec(),
+            kind,
+            args,
             staged,
             out_versions,
+            fetch,
         };
         self.loads[device] += 1;
-        self.pending.insert(job_id, arg_ids);
+        self.est_backlog[device] += est_sim_seconds;
+        self.pending.insert(
+            job_id,
+            PendingJob {
+                arg_ids,
+                est_sim_seconds,
+                device,
+            },
+        );
         self.pool.slots[device]
             .sender
             .send(WorkerMessage::Job(Box::new(job)))
@@ -363,8 +724,24 @@ impl ClusterMachine {
         self.wait(handle)
     }
 
+    /// Drain any outcomes the workers have already produced, without
+    /// blocking. Lets a caller that must not hold this machine locked
+    /// across a blocking [`ClusterMachine::wait`] (e.g. an HTTP worker
+    /// sharing the pool with other requests) poll for completion instead.
+    pub fn poll_outcomes(&mut self) {
+        while let Ok(outcome) = self.pool.outcomes.try_recv() {
+            self.apply_outcome(outcome);
+        }
+    }
+
+    /// Whether `handle`'s job has completed — its report is ready and
+    /// [`ClusterMachine::wait`] will return without blocking.
+    pub fn is_complete(&self, handle: &LaunchHandle) -> bool {
+        self.completed.contains_key(&handle.job_id)
+    }
+
     /// Receive one worker outcome (blocking) and apply its bookkeeping.
-    fn process_one_outcome(&mut self) -> Result<(), CompileError> {
+    pub(crate) fn process_one_outcome(&mut self) -> Result<(), CompileError> {
         let outcome = self.pool.outcomes.recv().map_err(|_| {
             CompileError::new("cluster-wait", "all device workers exited".to_string())
         })?;
@@ -379,13 +756,16 @@ impl ClusterMachine {
             result,
         } = outcome;
         self.loads[device] = self.loads[device].saturating_sub(1);
-        let arg_ids = self.pending.remove(&job_id).unwrap_or_default();
-        for id in &arg_ids {
-            if let Some(state) = self.buffers.get_mut(id) {
-                state.in_flight = match state.in_flight {
-                    Some((d, c)) if c > 1 => Some((d, c - 1)),
-                    _ => None,
-                };
+        let pending = self.pending.remove(&job_id);
+        if let Some(p) = &pending {
+            self.est_backlog[p.device] = (self.est_backlog[p.device] - p.est_sim_seconds).max(0.0);
+            for id in &p.arg_ids {
+                if let Some(state) = self.buffers.get_mut(id) {
+                    state.in_flight = match state.in_flight {
+                        Some((d, c)) if c > 1 => Some((d, c - 1)),
+                        _ => None,
+                    };
+                }
             }
         }
         let stored = match result {
@@ -410,6 +790,7 @@ impl ClusterMachine {
                 self.busy_sim[device] += success.sim_busy_seconds;
                 self.device_stats[device].merge(&success.stats);
                 self.device_jobs[device] += 1;
+                self.arena_buffers[device] = success.arena_buffers;
                 self.policy.observe_job(success.sim_busy_seconds);
                 Ok((device, success))
             }
@@ -430,6 +811,7 @@ impl ClusterMachine {
                 name: slot.model.name.clone(),
                 jobs: self.device_jobs[i],
                 busy_sim_seconds: self.busy_sim[i],
+                arena_buffers: self.arena_buffers[i],
                 stats: self.device_stats[i].clone(),
             })
             .collect();
@@ -460,12 +842,35 @@ impl ClusterMachine {
             staged_bytes: self.staged_bytes,
             steals: self.steals,
             forced_colocations: self.forced_colocations,
+            residency_pins: self.residency_pins,
         }
     }
 }
 
+/// Mark `device` as having one more in-flight job over this buffer.
+fn mark_in_flight(state: &mut BufState, device: usize) {
+    state.in_flight = Some(match state.in_flight {
+        Some((d, c)) => {
+            debug_assert_eq!(d, device, "colocation invariant");
+            (device, c + 1)
+        }
+        None => (device, 1),
+    });
+}
+
+/// A zeroed buffer with the same type and length as `b`.
+fn zeroed_like(b: &Buffer) -> Buffer {
+    match b {
+        Buffer::F32(v) => Buffer::F32(vec![0.0; v.len()]),
+        Buffer::F64(v) => Buffer::F64(vec![0.0; v.len()]),
+        Buffer::I32(v) => Buffer::I32(vec![0; v.len()]),
+        Buffer::I64(v) => Buffer::I64(vec![0; v.len()]),
+        Buffer::I1(v) => Buffer::I1(vec![false; v.len()]),
+    }
+}
+
 /// Distinct buffer ids among memref arguments, in first-appearance order.
-fn distinct_memref_buffers(args: &[RtValue]) -> Vec<BufferId> {
+pub(crate) fn distinct_memref_buffers(args: &[RtValue]) -> Vec<BufferId> {
     let mut out: Vec<BufferId> = Vec::new();
     for a in args {
         if let RtValue::MemRef(m) = a {

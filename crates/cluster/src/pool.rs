@@ -2,6 +2,22 @@
 //! owning its executor (bound to a shared parsed bitstream image), its own
 //! device-side [`Memory`], and a FIFO job queue. Workers are reused across
 //! launches — no thread is ever spawned per kernel launch.
+//!
+//! Workers understand two job granularities plus two residency housekeeping
+//! jobs:
+//! * [`JobKind::HostCall`] — run a whole host program function (the original
+//!   `Machine`-equivalent path; the program performs its own device maps).
+//! * [`JobKind::Kernel`] — execute one device kernel directly against the
+//!   worker's resident buffer mirror (`target data` sessions launch these;
+//!   staging is charged as an explicit host→device map).
+//! * [`JobKind::Upload`] / [`JobKind::Fetch`] — establish residency for a
+//!   session's mapped arrays / copy mirror contents back to the host,
+//!   charging PCIe transfer time the way a data-region entry/exit does.
+//!
+//! Between jobs the worker resets its memory arena to the high-water mark
+//! taken after staging, so transient device allocations (a host program's
+//! data-environment buffers, kernel-local scratch) do not accumulate across
+//! the life of the pool. Mirror buffers live below the mark and persist.
 
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
@@ -13,19 +29,48 @@ use ftn_fpga::{DeviceModel, KernelExecutor};
 use ftn_host::RunStats;
 use ftn_interp::{Buffer, BufferId, Memory, RtValue};
 
-/// A unit of work for a device worker: run one host function end-to-end.
+/// What a job asks the worker to execute.
+pub(crate) enum JobKind {
+    /// Run host function `func` end-to-end.
+    HostCall { func: String },
+    /// Execute device kernel `kernel` against resident buffers. With
+    /// `writeback`, final argument-buffer contents are shipped back to the
+    /// host when the outcome is processed; sessions leave it off and fetch
+    /// once at close.
+    Kernel { kernel: String, writeback: bool },
+    /// Stage the job's buffers and nothing else (session open).
+    Upload,
+    /// Download the job's `fetch` buffers from the mirror (session close).
+    Fetch,
+}
+
+/// One host buffer upload accompanying a job.
+pub(crate) struct StagedBuffer {
+    pub host: BufferId,
+    pub contents: Buffer,
+    /// Mirror version the staged contents represent.
+    pub version: u64,
+    /// Charge PCIe transfer time for this upload. Session/kernel staging is
+    /// an explicit host→device map and is charged; whole-program staging is
+    /// not (the program's own dma ops account for its transfers).
+    pub charge: bool,
+}
+
+/// A unit of work for a device worker.
 pub(crate) struct Job {
     pub job_id: u64,
-    pub func: String,
+    pub kind: JobKind,
     /// Arguments; memrefs reference *host* buffer ids and are remapped to
     /// the worker's local memory before execution.
     pub args: Vec<RtValue>,
-    /// Buffers whose current host contents must be uploaded before the run:
-    /// `(host id, contents, version)`.
-    pub staged: Vec<(BufferId, Buffer, u64)>,
+    /// Buffers whose current host contents must be uploaded before the run.
+    pub staged: Vec<StagedBuffer>,
     /// Post-run version assigned to every argument buffer (they are all
     /// conservatively treated as written).
     pub out_versions: Vec<(BufferId, u64)>,
+    /// For [`JobKind::Fetch`]: `(host id, version)` of mirror buffers to
+    /// download.
+    pub fetch: Vec<(BufferId, u64)>,
 }
 
 /// What comes back from a worker when a job finishes.
@@ -38,12 +83,15 @@ pub(crate) struct JobOutcome {
 pub(crate) struct JobSuccess {
     pub stats: RunStats,
     pub results: Vec<RtValue>,
-    /// Final contents of every argument buffer, written back to host memory
-    /// when the outcome is processed: `(host id, contents, version)`.
+    /// Final contents of buffers to write back to host memory when the
+    /// outcome is processed: `(host id, contents, version)`.
     pub writeback: Vec<(BufferId, Buffer, u64)>,
     /// Simulated seconds this job occupied the device timeline (kernel wall
     /// time + PCIe transfers).
     pub sim_busy_seconds: f64,
+    /// Device memory arena size after the post-job reset (regression signal
+    /// for unbounded growth in long-lived pools).
+    pub arena_buffers: usize,
 }
 
 pub(crate) enum WorkerMessage {
@@ -135,25 +183,11 @@ struct Worker {
 }
 
 impl Worker {
-    fn run_job(&mut self, job: Job) -> Result<JobSuccess, String> {
-        // 1. Stage uploads into the local mirror.
-        for (host_id, contents, version) in job.staged {
-            match self.mirror.get(&host_id) {
-                Some(&(local, _)) => {
-                    *self.memory.get_mut(local) = contents;
-                    self.mirror.insert(host_id, (local, version));
-                }
-                None => {
-                    let local = self.memory.alloc(contents, 0);
-                    self.mirror.insert(host_id, (local, version));
-                }
-            }
-        }
-
-        // 2. Remap argument memrefs host id -> local id.
-        let mut args = job.args;
+    /// Remap argument memrefs host id → local id; returns the distinct
+    /// `(host, local)` pairs in first-appearance order.
+    fn remap_args(&self, args: &mut [RtValue]) -> Result<Vec<(BufferId, BufferId)>, String> {
         let mut arg_buffers: Vec<(BufferId, BufferId)> = Vec::new();
-        for a in &mut args {
+        for a in args.iter_mut() {
             if let RtValue::MemRef(m) = a {
                 let &(local, _) = self.mirror.get(&m.buffer).ok_or_else(|| {
                     format!(
@@ -167,29 +201,72 @@ impl Worker {
                 m.buffer = local;
             }
         }
+        Ok(arg_buffers)
+    }
 
-        // 3. Execute the host program exactly as `Machine::run` does.
-        let (stats, mut results) = self
-            .program
-            .run(
-                &job.func,
-                &args,
-                &mut self.memory,
-                &self.executor,
-                &self.model,
-            )
-            .map_err(|e| e.to_string())?;
+    fn run_job(&mut self, job: Job) -> Result<JobSuccess, String> {
+        let mut stats = RunStats::default();
 
-        // 4. Map result memrefs back to host ids where they alias arguments.
-        for r in &mut results {
-            if let RtValue::MemRef(m) = r {
-                if let Some(&(host, _)) = arg_buffers.iter().find(|&&(_, l)| l == m.buffer) {
-                    m.buffer = host;
+        // 1. Stage uploads into the local mirror, charging PCIe time where
+        // the upload models an explicit map (sessions/kernel jobs).
+        for sb in job.staged {
+            if sb.charge {
+                stats.transfer_seconds += self.model.transfer_seconds(sb.contents.byte_len());
+                stats.transfers += 1;
+            }
+            match self.mirror.get(&sb.host) {
+                Some(&(local, _)) => {
+                    *self.memory.get_mut(local) = sb.contents;
+                    self.mirror.insert(sb.host, (local, sb.version));
+                }
+                None => {
+                    let local = self.memory.alloc(sb.contents, 0);
+                    self.mirror.insert(sb.host, (local, sb.version));
                 }
             }
         }
 
-        // 5. Collect writeback contents and bump mirror versions.
+        // Everything allocated past this mark is job-transient (a host
+        // program's device data environment, kernel-local scratch) and is
+        // freed after the job; the mirror lives below the mark.
+        let mark = self.memory.high_water_mark();
+
+        // 2. Remap argument memrefs and execute per job kind.
+        let mut args = job.args;
+        let arg_buffers = self.remap_args(&mut args)?;
+        let mut results = match &job.kind {
+            JobKind::HostCall { func } => {
+                let (run_stats, results) = self
+                    .program
+                    .run(func, &args, &mut self.memory, &self.executor, &self.model)
+                    .map_err(|e| e.to_string())?;
+                stats.merge(&run_stats);
+                results
+            }
+            JobKind::Kernel { kernel, .. } => {
+                let es = self
+                    .executor
+                    .execute(kernel, &args, &mut self.memory)
+                    .map_err(|e| e.to_string())?;
+                // Same accounting order as `HostRuntime::handle_launch`, so
+                // session launch totals are bit-identical to the program path.
+                stats.kernel_seconds += es.kernel_seconds;
+                stats.kernel_wall_seconds += es.wall_seconds;
+                stats.total_cycles += es.cycles;
+                stats.launch_cycles.push(es.cycles);
+                stats.launches += 1;
+                es.results
+            }
+            JobKind::Upload => Vec::new(),
+            JobKind::Fetch => Vec::new(),
+        };
+
+        // 3. Collect writeback contents and bump mirror versions.
+        let collect_writeback = match &job.kind {
+            JobKind::HostCall { .. } => true,
+            JobKind::Kernel { writeback, .. } => *writeback,
+            JobKind::Upload | JobKind::Fetch => false,
+        };
         let mut writeback = Vec::with_capacity(arg_buffers.len());
         for &(host, local) in &arg_buffers {
             let version = job
@@ -199,7 +276,39 @@ impl Worker {
                 .map(|(_, v)| *v)
                 .unwrap_or(0);
             self.mirror.insert(host, (local, version));
+            if collect_writeback {
+                writeback.push((host, self.memory.get(local).clone(), version));
+            }
+        }
+        for &(host, version) in &job.fetch {
+            let &(local, _) = self
+                .mirror
+                .get(&host)
+                .ok_or_else(|| format!("device {}: fetch of non-resident {host:?}", self.index))?;
+            stats.transfer_seconds += self
+                .model
+                .transfer_seconds(self.memory.get(local).byte_len());
+            stats.transfers += 1;
             writeback.push((host, self.memory.get(local).clone(), version));
+            let entry = self.mirror.get_mut(&host).expect("present above");
+            entry.1 = entry.1.max(version);
+        }
+
+        // 4. Map result memrefs back to host ids where they alias arguments,
+        // then free job-transient allocations. A result referencing a fresh
+        // (non-argument) buffer must keep the arena intact.
+        let mut fresh_result = false;
+        for r in &mut results {
+            if let RtValue::MemRef(m) = r {
+                if let Some(&(host, _)) = arg_buffers.iter().find(|&&(_, l)| l == m.buffer) {
+                    m.buffer = host;
+                } else if (m.buffer.0 as usize) >= mark {
+                    fresh_result = true;
+                }
+            }
+        }
+        if !fresh_result {
+            self.memory.reset_to(mark);
         }
 
         let sim_busy_seconds = stats.kernel_wall_seconds + stats.transfer_seconds;
@@ -208,6 +317,7 @@ impl Worker {
             results,
             writeback,
             sim_busy_seconds,
+            arena_buffers: self.memory.len(),
         })
     }
 }

@@ -5,14 +5,21 @@
 //! 1. **Forced colocation** — if an argument buffer has an in-flight job on
 //!    some device, the new job must follow it there: per-device queues are
 //!    FIFO, so this serializes conflicting jobs without blocking the host.
-//! 2. **Data affinity** — prefer the device already holding the largest
+//! 2. **Pinned residency** — if a buffer's only current copy lives on a
+//!    device (the host mirror is stale, as for session arrays launched with
+//!    deferred writeback), the job must run where the data is; staging from
+//!    the stale host copy would compute on old bits.
+//! 3. **Data affinity** — prefer the device already holding the largest
 //!    share of the job's buffers at their current version (PCIe staging
 //!    avoided).
-//! 3. **Transfer-cost-aware stealing** — when the affinity device has a
+//! 4. **Transfer-cost-aware stealing** — when the affinity device has a
 //!    deeper backlog than the least-loaded device, move the job iff the
-//!    estimated backlog delay (queue gap × observed mean simulated job
-//!    time) exceeds the PCIe cost of re-staging the missing bytes.
-//! 4. **Least-loaded** — otherwise pick the shallowest queue, breaking ties
+//!    backlog gap on the simulated timeline exceeds the PCIe cost of
+//!    re-staging the missing bytes. Backlogs are priced by the per-kernel
+//!    cost model ([`ftn_fpga::CostModel`], derived from bitstream schedules:
+//!    II, pipeline depth, trip counts) — not by the mean observed job time,
+//!    which mis-prices mixed light/heavy queues.
+//! 5. **Least-loaded** — otherwise pick the shallowest queue, breaking ties
 //!    round-robin so bursts spread across the pool.
 
 use ftn_fpga::DeviceModel;
@@ -26,12 +33,17 @@ pub struct BufferInfo {
     /// Device with an in-flight (submitted, not yet completed) job writing
     /// this buffer, if any.
     pub in_flight: Option<usize>,
+    /// Device holding the *only* current copy (host mirror stale): the job
+    /// cannot be staged anywhere else without first syncing through the
+    /// host.
+    pub pinned: Option<usize>,
 }
 
 /// Why a device was chosen (surfaced in pool metrics and tests).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PlacementReason {
     ForcedColocation,
+    PinnedResidency,
     Affinity,
     Steal,
     LeastLoaded,
@@ -45,7 +57,8 @@ pub struct Placement {
 }
 
 /// Deterministic placement state: a round-robin cursor for load ties and a
-/// running mean of simulated job time that calibrates stealing.
+/// running mean of simulated job time, kept as the fallback price for jobs
+/// the per-kernel cost model cannot predict.
 #[derive(Debug)]
 pub struct PlacementPolicy {
     rr: usize,
@@ -69,7 +82,8 @@ impl PlacementPolicy {
     }
 
     /// Record a completed job's simulated device time (kernel wall +
-    /// transfers) to calibrate the backlog estimate used for stealing.
+    /// transfers). Used only as the backlog price for jobs without a
+    /// schedule-derived estimate.
     pub fn observe_job(&mut self, sim_seconds: f64) {
         self.jobs_observed += 1;
         let n = self.jobs_observed as f64;
@@ -81,15 +95,19 @@ impl PlacementPolicy {
     }
 
     /// Choose a device for a job over buffers `bufs`, given per-device queue
-    /// depths `loads`. `models[d]` supplies the PCIe cost model for staging
+    /// depths `loads` and per-device outstanding simulated work
+    /// `backlog_sim_seconds` (sum of schedule-derived cost estimates of the
+    /// queued jobs). `models[d]` supplies the PCIe cost model for staging
     /// onto device `d`.
     pub fn place(
         &mut self,
         loads: &[u64],
+        backlog_sim_seconds: &[f64],
         models: &[DeviceModel],
         bufs: &[BufferInfo],
     ) -> Placement {
         assert!(!loads.is_empty() && loads.len() == models.len());
+        assert_eq!(loads.len(), backlog_sim_seconds.len());
         let n = loads.len();
 
         // 1. Forced colocation with an in-flight writer.
@@ -100,14 +118,24 @@ impl PlacementPolicy {
             };
         }
 
-        // Least-loaded with round-robin tie-break (candidate for 3/4).
+        // 2. A buffer whose only current copy is device-resident pins the
+        // job there (the caller resolves conflicting pins by syncing through
+        // the host before placement).
+        if let Some(d) = bufs.iter().find_map(|b| b.pinned) {
+            return Placement {
+                device: d,
+                reason: PlacementReason::PinnedResidency,
+            };
+        }
+
+        // Least-loaded with round-robin tie-break (candidate for 4/5).
         let min_load = *loads.iter().min().expect("non-empty");
         let least = (0..n)
             .map(|i| (self.rr + i) % n)
             .find(|&d| loads[d] == min_load)
             .expect("some device has the min load");
 
-        // 2. Affinity: most resident bytes at current version.
+        // 3. Affinity: most resident bytes at current version.
         let mut aff_bytes = vec![0usize; n];
         for b in bufs {
             for &d in &b.resident {
@@ -131,15 +159,16 @@ impl PlacementPolicy {
             };
         }
 
-        // 3. Affinity device is backlogged: steal iff waiting out the
-        // backlog costs more than re-staging the missing bytes.
+        // 4. Affinity device is backlogged: steal iff waiting out the
+        // backlog (priced by the per-kernel cost estimates) costs more than
+        // re-staging the missing bytes.
         let missing_on_least: usize = bufs
             .iter()
             .filter(|b| !b.resident.contains(&least))
             .map(|b| b.bytes)
             .sum();
         let transfer_cost = models[least].transfer_seconds(missing_on_least);
-        let backlog_gap = (loads[best_aff] - loads[least]) as f64 * self.mean_job_sim_seconds;
+        let backlog_gap = backlog_sim_seconds[best_aff] - backlog_sim_seconds[least];
         if backlog_gap > transfer_cost {
             self.rr = (least + 1) % n;
             Placement {
@@ -168,6 +197,7 @@ mod tests {
             bytes,
             resident: resident.to_vec(),
             in_flight: None,
+            pinned: None,
         }
     }
 
@@ -175,10 +205,11 @@ mod tests {
     fn least_loaded_spreads_round_robin() {
         let mut p = PlacementPolicy::new();
         let mut loads = vec![0u64; 4];
+        let backlog = vec![0.0f64; 4];
         let m = models(4);
         let mut picked = Vec::new();
         for _ in 0..8 {
-            let d = p.place(&loads, &m, &[buf(4096, &[])]).device;
+            let d = p.place(&loads, &backlog, &m, &[buf(4096, &[])]).device;
             loads[d] += 1;
             picked.push(d);
         }
@@ -191,12 +222,13 @@ mod tests {
         // Round-robin cursor would point at device 1 after one placement...
         let m = models(4);
         let mut loads = vec![0u64; 4];
-        let d0 = p.place(&loads, &m, &[buf(4096, &[])]).device;
+        let backlog = vec![0.0f64; 4];
+        let d0 = p.place(&loads, &backlog, &m, &[buf(4096, &[])]).device;
         assert_eq!(d0, 0);
         loads[d0] += 1;
         loads[d0] -= 1; // job completed
                         // ...but a buffer resident on device 0 pulls the job back there.
-        let pl = p.place(&loads, &m, &[buf(4096, &[0])]);
+        let pl = p.place(&loads, &backlog, &m, &[buf(4096, &[0])]);
         assert_eq!(pl.device, 0);
         assert_eq!(pl.reason, PlacementReason::Affinity);
     }
@@ -206,32 +238,63 @@ mod tests {
         let mut p = PlacementPolicy::new();
         let m = models(2);
         let loads = vec![9u64, 0];
+        let backlog = vec![9.0f64, 0.0];
         let b = BufferInfo {
             bytes: 10,
             resident: vec![1],
             in_flight: Some(0),
+            pinned: Some(1),
         };
-        let pl = p.place(&loads, &m, &[b]);
+        let pl = p.place(&loads, &backlog, &m, &[b]);
         assert_eq!(pl.device, 0);
         assert_eq!(pl.reason, PlacementReason::ForcedColocation);
     }
 
     #[test]
+    fn pinned_residency_overrides_load_and_affinity() {
+        let mut p = PlacementPolicy::new();
+        let m = models(3);
+        // Device 2 holds the only current copy despite a deep queue there.
+        let b = BufferInfo {
+            bytes: 1 << 20,
+            resident: vec![2],
+            in_flight: None,
+            pinned: Some(2),
+        };
+        let pl = p.place(&[0, 0, 7], &[0.0, 0.0, 7.0], &m, &[b]);
+        assert_eq!(pl.device, 2);
+        assert_eq!(pl.reason, PlacementReason::PinnedResidency);
+    }
+
+    #[test]
     fn steals_only_when_backlog_exceeds_transfer_cost() {
         let m = models(2);
-        // Tiny buffer, deep backlog on the affinity device: steal.
+        // Tiny buffer, 50 ms of queued work on the affinity device: steal.
         let mut p = PlacementPolicy::new();
-        p.observe_job(0.010); // 10 ms jobs
-        let pl = p.place(&[5, 0], &m, &[buf(1024, &[0])]);
+        let pl = p.place(&[5, 0], &[0.050, 0.0], &m, &[buf(1024, &[0])]);
         assert_eq!(pl.reason, PlacementReason::Steal);
         assert_eq!(pl.device, 1);
 
-        // Huge buffer, shallow backlog: staying with the data is cheaper.
+        // Huge buffer, 30 µs of queued work: staying with the data is
+        // cheaper than the ~30 ms PCIe restage.
         let mut p = PlacementPolicy::new();
-        p.observe_job(30e-6); // 30 µs jobs
         let huge = buf(512 * 1024 * 1024, &[0]);
-        let pl = p.place(&[1, 0], &m, &[huge]);
+        let pl = p.place(&[1, 0], &[30e-6, 0.0], &m, &[huge]);
         assert_eq!(pl.reason, PlacementReason::Affinity);
         assert_eq!(pl.device, 0);
+    }
+
+    #[test]
+    fn cost_priced_backlog_beats_job_counting() {
+        // One queued job, but the cost model knows it is a heavy kernel
+        // (200 ms): the gap dwarfs a 4 KiB restage even though the queue is
+        // only one deep — a mean-of-history policy with light history would
+        // have stayed.
+        let m = models(2);
+        let mut p = PlacementPolicy::new();
+        p.observe_job(30e-6); // history says jobs are tiny
+        let pl = p.place(&[1, 0], &[0.200, 0.0], &m, &[buf(4096, &[0])]);
+        assert_eq!(pl.reason, PlacementReason::Steal);
+        assert_eq!(pl.device, 1);
     }
 }

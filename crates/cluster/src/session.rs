@@ -1,0 +1,279 @@
+//! Persistent data-environment sessions over the device pool — the cluster
+//! analogue of an `omp target data` region that stays open across many
+//! kernel launches.
+//!
+//! A session maps named host arrays once ([`ClusterMachine::open_session`]
+//! stages them to one device, charging the PCIe uploads a data-region entry
+//! would), then individual kernel-level jobs run against the resident
+//! buffers with deferred writeback: no host↔device traffic per launch. The
+//! final contents come home in one fetch at
+//! [`ClusterMachine::close_session`] (the data-region exit). Redundant
+//! transfers skipped because a buffer was already resident are counted in
+//! [`SessionStats::elided_transfers`].
+//!
+//! The per-session mapping reuses [`ftn_host::DataEnvironment`] — the same
+//! presence-counter protocol the generated host programs drive through
+//! `device.data_acquire` / `data_release`, here acquired for the lifetime of
+//! the session.
+
+use ftn_core::CompileError;
+use ftn_host::DataEnvironment;
+use ftn_interp::{BufferId, RtValue};
+use serde::Serialize;
+
+use crate::machine::{distinct_memref_buffers, ClusterMachine, LaunchHandle};
+
+/// OpenMP-style map kind for a session array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapKind {
+    /// Uploaded at open, not fetched at close (`map(to:)`).
+    To,
+    /// Device copy starts zeroed (uninitialized), fetched at close
+    /// (`map(from:)`).
+    From,
+    /// Uploaded at open and fetched at close (`map(tofrom:)`).
+    ToFrom,
+}
+
+impl MapKind {
+    pub fn parse(s: &str) -> Option<MapKind> {
+        match s {
+            "to" => Some(MapKind::To),
+            "from" => Some(MapKind::From),
+            "tofrom" => Some(MapKind::ToFrom),
+            _ => None,
+        }
+    }
+}
+
+/// Transfer/launch accounting for one session.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct SessionStats {
+    pub launches: u64,
+    /// Host→device uploads actually performed (open staging + any re-staging
+    /// a launch needed).
+    pub staged_uploads: u64,
+    pub staged_bytes: u64,
+    /// Host↔device transfers skipped because the buffer was already resident
+    /// at its current version.
+    pub elided_transfers: u64,
+    /// Device→host downloads at close.
+    pub fetched_downloads: u64,
+}
+
+/// Result of closing a session.
+#[derive(Clone, Debug, Serialize)]
+pub struct SessionReport {
+    pub session: u64,
+    pub device: usize,
+    pub stats: SessionStats,
+}
+
+/// One open session (owned by the [`ClusterMachine`]).
+pub struct DataSession {
+    /// Named mapping table — the reused `target data` environment.
+    pub(crate) env: DataEnvironment,
+    pub(crate) maps: Vec<(String, BufferId, MapKind)>,
+    /// Device the open upload landed on (launches follow it via residency).
+    pub(crate) device: usize,
+    /// Launch job ids not yet known-waited (close drains the stragglers).
+    pub(crate) outstanding: Vec<u64>,
+    pub(crate) stats: SessionStats,
+}
+
+impl ClusterMachine {
+    /// Open a persistent data environment: map each `(name, array, kind)`
+    /// once onto one device. `to`/`tofrom` arrays are uploaded (charged as
+    /// PCIe transfers); `from` arrays get a zeroed device copy, exactly like
+    /// a `map(from:)` data-region entry. Returns the session id.
+    pub fn open_session(&mut self, maps: &[(&str, RtValue, MapKind)]) -> Result<u64, CompileError> {
+        if maps.is_empty() {
+            return Err(CompileError::new(
+                "cluster-session",
+                "a session must map at least one array".to_string(),
+            ));
+        }
+        let mut env = DataEnvironment::new();
+        let mut upload = Vec::with_capacity(maps.len());
+        let mut entries = Vec::with_capacity(maps.len());
+        for (name, value, kind) in maps {
+            let m = value
+                .as_memref()
+                .map_err(|e| CompileError::new("cluster-session", format!("map '{name}': {e}")))?;
+            if !self.buffers.contains_key(&m.buffer) {
+                return Err(CompileError::new(
+                    "cluster-session",
+                    format!("map '{name}': buffer not allocated on this machine"),
+                ));
+            }
+            env.insert_mapped(name, m.clone(), self.memory.get(m.buffer).type_name());
+            env.acquire(name)
+                .map_err(|e| CompileError::new("cluster-session", e.to_string()))?;
+            upload.push((m.buffer, *kind == MapKind::From));
+            entries.push((name.to_string(), m.buffer, *kind));
+        }
+
+        let ticket = self.submit_upload(&upload)?;
+        let device = ticket.device;
+        let stats = SessionStats {
+            staged_uploads: ticket.staged,
+            staged_bytes: ticket.staged_bytes,
+            elided_transfers: ticket.elided,
+            ..Default::default()
+        };
+        self.wait(ticket.handle)?;
+
+        let session = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(
+            session,
+            DataSession {
+                env,
+                maps: entries,
+                device,
+                outstanding: Vec::new(),
+                stats,
+            },
+        );
+        Ok(session)
+    }
+
+    /// The mapped array registered under `name` in session `session`.
+    pub fn session_array(&self, session: u64, name: &str) -> Option<RtValue> {
+        let s = self.sessions.get(&session)?;
+        s.env.lookup(name).ok().map(RtValue::MemRef)
+    }
+
+    /// The device session `session` is resident on.
+    pub fn session_device(&self, session: u64) -> Option<usize> {
+        self.sessions.get(&session).map(|s| s.device)
+    }
+
+    /// Launch one kernel-level job against the session's resident buffers.
+    /// Memref arguments must be arrays mapped by this session. The device
+    /// copies stay authoritative (no per-launch writeback); host memory is
+    /// synced once at close. Returns the ticket whose handle must be waited.
+    pub fn session_launch(
+        &mut self,
+        session: u64,
+        kernel: &str,
+        args: &[RtValue],
+    ) -> Result<crate::machine::KernelTicket, CompileError> {
+        let s = self
+            .sessions
+            .get(&session)
+            .ok_or_else(|| CompileError::new("cluster-session", no_session(session)))?;
+        for id in distinct_memref_buffers(args) {
+            if !s.maps.iter().any(|&(_, b, _)| b == id) {
+                return Err(CompileError::new(
+                    "cluster-session",
+                    format!("launch argument buffer {id:?} is not mapped by session {session}"),
+                ));
+            }
+        }
+        let ticket = self.submit_kernel_deferred(kernel, args)?;
+        let s = self.sessions.get_mut(&session).expect("checked above");
+        s.stats.launches += 1;
+        s.stats.staged_uploads += ticket.staged;
+        s.stats.staged_bytes += ticket.staged_bytes;
+        s.stats.elided_transfers += ticket.elided;
+        s.outstanding.push(ticket.handle.job_id());
+        Ok(ticket)
+    }
+
+    /// Current accounting for an open session.
+    pub fn session_stats(&self, session: u64) -> Option<SessionStats> {
+        self.sessions.get(&session).map(|s| s.stats.clone())
+    }
+
+    /// The `(name, array, kind)` mappings of an open session, in map order.
+    pub fn session_maps(&self, session: u64) -> Option<Vec<(String, RtValue, MapKind)>> {
+        let s = self.sessions.get(&session)?;
+        Some(
+            s.maps
+                .iter()
+                .map(|(name, _, kind)| {
+                    let m = s.env.lookup(name).expect("mapped name resolves");
+                    (name.clone(), RtValue::MemRef(m), *kind)
+                })
+                .collect(),
+        )
+    }
+
+    /// Close a session: drain its outstanding launches, fetch every
+    /// `from`/`tofrom` array back into host memory (charging the
+    /// device→host transfers a data-region exit performs), and release the
+    /// data environment.
+    pub fn close_session(&mut self, session: u64) -> Result<SessionReport, CompileError> {
+        let s = self
+            .sessions
+            .get(&session)
+            .ok_or_else(|| CompileError::new("cluster-session", no_session(session)))?;
+        let outstanding = s.outstanding.clone();
+        for job_id in outstanding {
+            // The caller may have waited some launches itself; skip those.
+            if self.pending.contains_key(&job_id) || self.completed.contains_key(&job_id) {
+                self.wait(LaunchHandle { job_id })?;
+            }
+        }
+
+        let s = self.sessions.get(&session).expect("still present");
+        let fetch_ids: Vec<BufferId> = s
+            .maps
+            .iter()
+            .filter(|(_, _, kind)| matches!(kind, MapKind::From | MapKind::ToFrom))
+            .map(|&(_, id, _)| id)
+            .collect();
+        // Group by the device holding each buffer's current copy (launches
+        // cannot silently migrate a session buffer — residency pins them —
+        // but a cross-session sync through the host can move one).
+        let mut groups: Vec<(usize, Vec<BufferId>)> = Vec::new();
+        for id in fetch_ids {
+            let state = self.buffers.get(&id).ok_or_else(|| {
+                CompileError::new("cluster-session", format!("mapped buffer {id:?} vanished"))
+            })?;
+            let device = state
+                .resident
+                .iter()
+                .filter(|&(_, &v)| v == state.version)
+                .map(|(&d, _)| d)
+                .min()
+                .unwrap_or(s.device);
+            match groups.iter_mut().find(|(d, _)| *d == device) {
+                Some((_, ids)) => ids.push(id),
+                None => groups.push((device, vec![id])),
+            }
+        }
+        let mut fetched = 0u64;
+        let mut handles = Vec::new();
+        for (device, ids) in &groups {
+            fetched += ids.len() as u64;
+            handles.push(self.submit_fetch(*device, ids)?);
+        }
+        for h in handles {
+            self.wait(h)?;
+        }
+
+        let mut s = self.sessions.remove(&session).expect("still present");
+        for (name, _, _) in &s.maps {
+            let _ = s.env.release(name);
+        }
+        s.stats.fetched_downloads = fetched;
+        Ok(SessionReport {
+            session,
+            device: s.device,
+            stats: s.stats,
+        })
+    }
+
+    /// Ids of the currently open sessions.
+    pub fn open_sessions(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.sessions.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+fn no_session(session: u64) -> String {
+    format!("no open session {session}")
+}

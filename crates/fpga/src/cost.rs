@@ -1,0 +1,157 @@
+//! Schedule→cost export: predicts a kernel invocation's cycle count from the
+//! bitstream's loop schedules (II, pipeline depth, unroll factors) and a trip
+//! count, without executing anything. The cluster scheduler uses these
+//! predictions to price per-device backlogs for its stealing decision instead
+//! of the mean observed job time it used before.
+//!
+//! The prediction mirrors the executor's closed form (`depth + (t-1)·II` per
+//! pipelined loop instance, `t·body_latency` otherwise) with trip counts
+//! derived from the element count: an unrolled loop runs `elements / unroll`
+//! trips and its scalar epilogue mops up `elements % unroll`. For
+//! single-level kernels (SAXPY, dot product) this is exact; for nested
+//! kernels it is a same-order estimate, which is all placement needs.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitstream::Bitstream;
+use crate::device_model::DeviceModel;
+use crate::executor::KERNEL_CONTROL_CYCLES;
+use crate::schedule::LoopInfo;
+
+/// Cost predictor for one kernel, distilled from its loop schedules.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelCostModel {
+    pub kernel: String,
+    loops: Vec<LoopInfo>,
+    /// Largest unroll factor among the kernel's loops (1 if none).
+    main_unroll: u64,
+}
+
+impl KernelCostModel {
+    pub fn from_schedule(kernel: &str, schedule: &[LoopInfo]) -> Self {
+        let main_unroll = schedule.iter().map(|l| l.unroll).max().unwrap_or(1).max(1);
+        KernelCostModel {
+            kernel: kernel.to_string(),
+            loops: schedule.to_vec(),
+            main_unroll,
+        }
+    }
+
+    /// Predicted cycles for one invocation touching `elements` elements.
+    pub fn estimate_cycles(&self, elements: u64) -> u64 {
+        let mut cycles = KERNEL_CONTROL_CYCLES;
+        for l in &self.loops {
+            // Unrolled loops cover `elements` in `elements / unroll` trips;
+            // their scalar epilogues (unroll == 1 alongside an unrolled main
+            // loop) cover the remainder.
+            let trips = if l.unroll > 1 {
+                elements / l.unroll
+            } else if self.main_unroll > 1 {
+                elements % self.main_unroll
+            } else {
+                elements
+            };
+            cycles += if l.pipelined {
+                if trips == 0 {
+                    2
+                } else {
+                    l.depth + (trips - 1) * l.ii
+                }
+            } else {
+                trips * l.body_latency + 2
+            };
+        }
+        cycles
+    }
+
+    /// Predicted simulated seconds of device-timeline occupancy for one
+    /// launch (kernel wall time including the OpenCL launch overhead).
+    pub fn estimate_seconds(&self, device: &DeviceModel, elements: u64) -> f64 {
+        device.cycles_to_seconds(self.estimate_cycles(elements)) + device.launch_overhead_us * 1e-6
+    }
+}
+
+/// Per-kernel cost models for every kernel in a bitstream.
+#[derive(Clone, Debug, Default)]
+pub struct CostModel {
+    kernels: HashMap<String, KernelCostModel>,
+}
+
+impl CostModel {
+    pub fn from_bitstream(bitstream: &Bitstream) -> Self {
+        CostModel {
+            kernels: bitstream
+                .kernels
+                .iter()
+                .map(|k| {
+                    (
+                        k.name.clone(),
+                        KernelCostModel::from_schedule(&k.name, &k.schedule),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    pub fn kernel(&self, name: &str) -> Option<&KernelCostModel> {
+        self.kernels.get(name)
+    }
+
+    /// Worst-case prediction over all kernels — used to price a whole host
+    /// program job whose launch sequence is not statically known.
+    pub fn estimate_any_seconds(&self, device: &DeviceModel, elements: u64) -> Option<f64> {
+        self.kernels
+            .values()
+            .map(|k| k.estimate_seconds(device, elements))
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::LoopInfo;
+
+    fn loop_info(loop_index: usize, pipelined: bool, unroll: u64, ii: u64) -> LoopInfo {
+        LoopInfo {
+            loop_index,
+            pipelined,
+            unroll,
+            ii,
+            depth: 120,
+            body_latency: 10,
+            ports: vec![],
+        }
+    }
+
+    #[test]
+    fn matches_executor_closed_form_for_unrolled_plus_epilogue() {
+        // SAXPY simd(10) shape: main loop II=320 unroll=10, epilogue II=96.
+        let model = KernelCostModel::from_schedule(
+            "saxpy",
+            &[loop_info(0, true, 10, 320), loop_info(1, true, 1, 96)],
+        );
+        let n = 100_007u64;
+        // Main: depth + (n/10 - 1)*320; epilogue: depth + (n%10 - 1)*96.
+        let expect = KERNEL_CONTROL_CYCLES + 120 + (n / 10 - 1) * 320 + 120 + (7 - 1) * 96;
+        assert_eq!(model.estimate_cycles(n), expect);
+        // Zero-trip epilogue charges the 2-cycle guard.
+        let expect_even = KERNEL_CONTROL_CYCLES + 120 + (1000 - 1) * 320 + 2;
+        assert_eq!(model.estimate_cycles(10_000), expect_even);
+    }
+
+    #[test]
+    fn scalar_kernel_and_seconds() {
+        let model = KernelCostModel::from_schedule("s", &[loop_info(0, true, 1, 96)]);
+        assert_eq!(
+            model.estimate_cycles(1000),
+            KERNEL_CONTROL_CYCLES + 120 + 999 * 96
+        );
+        let device = DeviceModel::u280();
+        let secs = model.estimate_seconds(&device, 1000);
+        let kernel = device.cycles_to_seconds(model.estimate_cycles(1000));
+        assert!((secs - kernel - device.launch_overhead_us * 1e-6).abs() < 1e-15);
+    }
+}

@@ -18,6 +18,7 @@
 //! * [`vitis`] — the `v++`-like driver tying synthesis steps together.
 
 pub mod bitstream;
+pub mod cost;
 pub mod device_model;
 pub mod executor;
 pub mod power;
@@ -26,6 +27,7 @@ pub mod schedule;
 pub mod vitis;
 
 pub use bitstream::{Bitstream, KernelImage, LoopSchedule};
+pub use cost::{CostModel, KernelCostModel};
 pub use device_model::{DeviceModel, ResourceUsage};
 pub use executor::{ExecutionStats, ExecutorImage, KernelExecutor};
 pub use power::{cpu_power_watts, fpga_power_watts};

@@ -112,6 +112,23 @@ impl Memory {
         self.buffers.is_empty()
     }
 
+    /// High-water mark of the arena: buffers allocated from here on can be
+    /// freed together with [`Memory::reset_to`]. Long-lived owners (pool
+    /// workers, sessions) take a mark after staging their persistent buffers
+    /// and reset after each job so transient device allocations do not
+    /// accumulate.
+    pub fn high_water_mark(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Free every buffer allocated at or after `mark` (a prior
+    /// [`Memory::high_water_mark`]). The caller must ensure no live
+    /// [`BufferId`] at or above `mark` is used afterwards; ids below `mark`
+    /// are untouched and freed slots are reused by later allocations.
+    pub fn reset_to(&mut self, mark: usize) {
+        self.buffers.truncate(mark);
+    }
+
     /// Copy the full contents of `src` into `dst` (must be same type & len).
     pub fn copy(&mut self, src: BufferId, dst: BufferId) -> Result<(), InterpError> {
         if src == dst {
@@ -167,6 +184,22 @@ mod tests {
         assert!(m.copy(a, b).is_err());
         let c = m.alloc_zeroed("f32", 2, 0).unwrap();
         assert!(m.copy(a, c).is_err());
+    }
+
+    #[test]
+    fn high_water_reset_frees_and_reuses_slots() {
+        let mut m = Memory::new();
+        let keep = m.alloc(Buffer::F32(vec![1.0, 2.0]), 0);
+        let mark = m.high_water_mark();
+        let _t1 = m.alloc_zeroed("f32", 64, 1).unwrap();
+        let _t2 = m.alloc_zeroed("i32", 64, 1).unwrap();
+        assert_eq!(m.len(), 3);
+        m.reset_to(mark);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(keep), &Buffer::F32(vec![1.0, 2.0]));
+        // The freed slot is reused by the next allocation.
+        let again = m.alloc_zeroed("f64", 4, 1).unwrap();
+        assert_eq!(again.0, mark as u32);
     }
 
     #[test]

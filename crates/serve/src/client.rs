@@ -1,0 +1,37 @@
+//! Minimal blocking HTTP/1.1 client for exercising the service from tests,
+//! examples and smoke checks — one request per connection, mirroring the
+//! server's `Connection: close` behaviour.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use serde::Value;
+
+/// Send one request and return `(status, parsed JSON body)`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, Value)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let json = response.split("\r\n\r\n").nth(1).unwrap_or("{}");
+    let value = serde_json::value_from_str(json)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((status, value))
+}

@@ -1,0 +1,106 @@
+//! Minimal std-only HTTP/1.1 plumbing for the service: parses one request
+//! per connection (`Connection: close` semantics) and writes JSON responses.
+//! Deliberately small — the service speaks a fixed JSON API to trusted
+//! clients; this is not a general-purpose web server.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum header block size (bytes).
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum request body size (arrays of a few million f32 as JSON).
+const MAX_BODY_BYTES: usize = 256 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: String,
+}
+
+impl Request {
+    /// Path split on `/`, empty segments dropped: `/sessions/3/launch` →
+    /// `["sessions", "3", "launch"]`.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Read one HTTP/1.1 request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Read the header block byte-wise until CRLFCRLF (requests are small;
+    // bodies are read in bulk below).
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-header",
+            ));
+        }
+        head.push(byte[0]);
+        if head.len() > MAX_HEADER_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "header block too large",
+            ));
+        }
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    Ok(Request { method, path, body })
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write a JSON response and flush.
+pub fn write_json(stream: &mut TcpStream, status: u16, json: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        json.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(json.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,723 @@
+//! `ftn-serve` — the compile-and-run service: a multi-threaded, std-only
+//! HTTP/1.1 JSON front for the FPGA cluster, keeping compiled artifacts and
+//! device-resident data alive across requests the way a long-lived OpenMP
+//! offload daemon would.
+//!
+//! | Method & path               | Body                                   | Effect |
+//! |-----------------------------|----------------------------------------|--------|
+//! | `POST /compile`             | `{source, fix_mac_pattern?}`           | Compile via the content-addressed [`ArtifactCache`]; returns the key, whether it was a cache hit, and each kernel's launch signature. |
+//! | `POST /sessions`            | `{key, maps: [{name, kind, data}]}`    | Open a persistent `target data` session: arrays are mapped once onto one pool device. |
+//! | `POST /sessions/{id}/launch`| `{kernel, args: [{array\|f32\|...}]}`  | Run one kernel-level job against the session's resident buffers (no per-launch transfers). |
+//! | `DELETE /sessions/{id}`     |                                        | Close the session: write `from`/`tofrom` arrays back and return them with the session stats. |
+//! | `POST /run`                 | `{key, func, args}`                    | Sessionless whole-program run (the baseline the elision ratio is measured against). |
+//! | `GET /stats`                |                                        | Cache, pool, and session statistics. |
+//! | `GET /healthz`              |                                        | Liveness probe. |
+//! | `POST /shutdown`            |                                        | Drain and stop the server. |
+//!
+//! One [`ClusterMachine`] pool is kept per compiled artifact key (all
+//! sessions of a program share its devices); pools are created lazily with
+//! the configured device count and a shared parsed-bitstream image.
+
+pub mod api;
+pub mod client;
+pub mod http;
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use ftn_cluster::{ArtifactCache, ClusterMachine, ImageCache, MapKind};
+use ftn_core::{Artifacts, CompilerOptions};
+use ftn_fpga::DeviceModel;
+use ftn_interp::{Buffer, RtValue};
+use serde::{Serialize, Value};
+
+use api::ArgSpec;
+use http::{read_request, write_json, Request};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Simulated U280s per program pool.
+    pub devices: usize,
+    /// HTTP worker threads.
+    pub workers: usize,
+    /// Optional on-disk artifact cache directory.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            devices: 4,
+            workers: 4,
+            cache_dir: None,
+        }
+    }
+}
+
+/// A serve-level session: which pool it lives in and the cluster-level id.
+struct ServeSession {
+    pool_key: String,
+    cluster_sid: u64,
+}
+
+struct ServeState {
+    config: ServeConfig,
+    cache: ArtifactCache,
+    /// key → compiled artifacts (what sessions/runs reference).
+    registry: Mutex<HashMap<String, Arc<Artifacts>>>,
+    images: ImageCache,
+    pools: Mutex<HashMap<String, Arc<Mutex<ClusterMachine>>>>,
+    sessions: Mutex<HashMap<u64, ServeSession>>,
+    next_session: AtomicU64,
+    shutdown: AtomicBool,
+    launches: AtomicU64,
+    runs: AtomicU64,
+    local_addr: SocketAddr,
+}
+
+/// Handler error: HTTP status + message.
+type HandlerError = (u16, String);
+
+/// Poison-tolerant lock: a panic in one handler must not brick every later
+/// request with poisoned-mutex panics — the cluster/session invariants are
+/// job-scoped, so continuing with the inner value is safe.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Wait for a job without holding the pool locked: other HTTP workers keep
+/// submitting to (and draining) the same pool while this job runs, so
+/// concurrent clients genuinely overlap across the pool's devices.
+fn wait_unlocked(
+    pool: &Arc<Mutex<ClusterMachine>>,
+    handle: ftn_cluster::LaunchHandle,
+) -> Result<ftn_cluster::ClusterRunReport, ftn_core::CompileError> {
+    loop {
+        let mut machine = lock(pool);
+        machine.poll_outcomes();
+        if machine.is_complete(&handle) {
+            return machine.wait(handle);
+        }
+        drop(machine);
+        std::thread::sleep(std::time::Duration::from_micros(100));
+    }
+}
+
+fn bad_request(msg: impl Into<String>) -> HandlerError {
+    (400, msg.into())
+}
+
+fn not_found(msg: impl Into<String>) -> HandlerError {
+    (404, msg.into())
+}
+
+#[derive(Serialize)]
+struct KernelDesc {
+    name: String,
+    args: Vec<String>,
+    lut: u64,
+    bram: u64,
+    dsp: u64,
+    loops: usize,
+}
+
+#[derive(Serialize)]
+struct CompileResponse {
+    key: String,
+    cached: bool,
+    kernels: Vec<KernelDesc>,
+}
+
+#[derive(Serialize)]
+struct SessionOpened {
+    session: u64,
+    device: usize,
+    mapped: usize,
+}
+
+#[derive(Serialize)]
+struct LaunchResponse {
+    session: u64,
+    device: usize,
+    cycles: u64,
+    kernel_seconds: f64,
+    kernel_wall_seconds: f64,
+    /// Buffers uploaded for this launch (0 once resident).
+    staged: u64,
+    /// Host↔device transfers elided because the buffer was resident.
+    elided: u64,
+}
+
+impl ServeState {
+    fn handle(&self, req: &Request) -> Result<Value, HandlerError> {
+        let segments = req.segments();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("POST", ["compile"]) => self.compile(&req.body),
+            ("POST", ["sessions"]) => self.open_session(&req.body),
+            ("POST", ["sessions", id, "launch"]) => self.launch(parse_id(id)?, &req.body),
+            ("GET", ["sessions", id]) => self.session_info(parse_id(id)?),
+            ("DELETE", ["sessions", id]) => self.close_session(parse_id(id)?),
+            ("POST", ["run"]) => self.run_program(&req.body),
+            ("GET", ["stats"]) => self.stats(),
+            ("GET", ["healthz"]) => Ok(api::obj(vec![("ok", Value::Bool(true))])),
+            ("POST", ["shutdown"]) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Ok(api::obj(vec![("shutting_down", Value::Bool(true))]))
+            }
+            _ => Err(not_found(format!("no route {} {}", req.method, req.path))),
+        }
+    }
+
+    fn compile(&self, body: &str) -> Result<Value, HandlerError> {
+        let v = api::parse_body(body).map_err(bad_request)?;
+        let source = api::get_str(&v, "source").map_err(bad_request)?;
+        let options = CompilerOptions {
+            fix_mac_pattern: api::get_bool_or(&v, "fix_mac_pattern", false),
+            ..Default::default()
+        };
+        let key = ArtifactCache::key(source, &options);
+        let (artifacts, cached) = self
+            .cache
+            .get_or_compile_with_hit(&options, source)
+            .map_err(|e| bad_request(e.to_string()))?;
+        lock(&self.registry).insert(key.clone(), Arc::clone(&artifacts));
+
+        let signatures = api::kernel_signatures(&artifacts.bitstream).map_err(|e| (500, e))?;
+        let kernels = artifacts
+            .bitstream
+            .kernels
+            .iter()
+            .map(|k| {
+                let args = signatures
+                    .iter()
+                    .find(|(n, _)| n == &k.name)
+                    .map(|(_, a)| a.clone())
+                    .unwrap_or_default();
+                KernelDesc {
+                    name: k.name.clone(),
+                    args,
+                    lut: k.resources.lut,
+                    bram: k.resources.bram,
+                    dsp: k.resources.dsp,
+                    loops: k.schedule.len(),
+                }
+            })
+            .collect();
+        Ok(CompileResponse {
+            key,
+            cached,
+            kernels,
+        }
+        .to_value())
+    }
+
+    /// The pool serving artifact `key`, created on first use.
+    fn pool_for(&self, key: &str) -> Result<Arc<Mutex<ClusterMachine>>, HandlerError> {
+        if let Some(pool) = lock(&self.pools).get(key) {
+            return Ok(Arc::clone(pool));
+        }
+        let artifacts = lock(&self.registry)
+            .get(key)
+            .cloned()
+            .ok_or_else(|| not_found(format!("unknown artifact key '{key}' (compile first)")))?;
+        let image = self
+            .images
+            .instantiate(&artifacts.bitstream)
+            .map_err(|e| (500, e))?;
+        let devices = vec![DeviceModel::u280(); self.config.devices.max(1)];
+        let machine = ClusterMachine::load_with_image(&artifacts, &devices, image)
+            .map_err(|e| (500, e.to_string()))?;
+        let pool = Arc::new(Mutex::new(machine));
+        // Another worker may have raced us; keep the first one inserted.
+        let mut pools = lock(&self.pools);
+        Ok(Arc::clone(pools.entry(key.to_string()).or_insert(pool)))
+    }
+
+    fn open_session(&self, body: &str) -> Result<Value, HandlerError> {
+        let v = api::parse_body(body).map_err(bad_request)?;
+        let key = api::get_str(&v, "key").map_err(bad_request)?;
+        let maps = api::get_arr(&v, "maps").map_err(bad_request)?;
+        if maps.is_empty() {
+            return Err(bad_request("'maps' must name at least one array"));
+        }
+        let pool = self.pool_for(key)?;
+        let mut machine = lock(&pool);
+        let mut triples: Vec<(String, RtValue, MapKind)> = Vec::with_capacity(maps.len());
+        for m in maps {
+            let name = api::get_str(m, "name").map_err(bad_request)?;
+            let kind = MapKind::parse(api::get_str(m, "kind").map_err(bad_request)?)
+                .ok_or_else(|| bad_request("map 'kind' must be to | from | tofrom"))?;
+            let data = api::get_arr(m, "data").map_err(bad_request)?;
+            let data = api::f32_slice(data).map_err(bad_request)?;
+            let value = machine.host_f32(&data);
+            triples.push((name.to_string(), value, kind));
+        }
+        let borrowed: Vec<(&str, RtValue, MapKind)> = triples
+            .iter()
+            .map(|(n, v, k)| (n.as_str(), v.clone(), *k))
+            .collect();
+        let cluster_sid = machine
+            .open_session(&borrowed)
+            .map_err(|e| bad_request(e.to_string()))?;
+        let device = machine.session_device(cluster_sid).unwrap_or(0);
+        drop(machine);
+        let session = self.next_session.fetch_add(1, Ordering::SeqCst);
+        lock(&self.sessions).insert(
+            session,
+            ServeSession {
+                pool_key: key.to_string(),
+                cluster_sid,
+            },
+        );
+        Ok(SessionOpened {
+            session,
+            device,
+            mapped: triples.len(),
+        }
+        .to_value())
+    }
+
+    fn session_ref(&self, session: u64) -> Result<(Arc<Mutex<ClusterMachine>>, u64), HandlerError> {
+        let sessions = lock(&self.sessions);
+        let s = sessions
+            .get(&session)
+            .ok_or_else(|| not_found(format!("no session {session}")))?;
+        let pool = lock(&self.pools)
+            .get(&s.pool_key)
+            .cloned()
+            .ok_or_else(|| (500, format!("pool for session {session} vanished")))?;
+        Ok((pool, s.cluster_sid))
+    }
+
+    fn launch(&self, session: u64, body: &str) -> Result<Value, HandlerError> {
+        let v = api::parse_body(body).map_err(bad_request)?;
+        let kernel = api::get_str(&v, "kernel").map_err(bad_request)?;
+        let arg_values = api::get_arr(&v, "args").map_err(bad_request)?;
+        let (pool, sid) = self.session_ref(session)?;
+        let mut machine = lock(&pool);
+        let mut args = Vec::with_capacity(arg_values.len());
+        for a in arg_values {
+            let spec = api::parse_arg(a).map_err(bad_request)?;
+            args.push(match spec {
+                ArgSpec::Named(name) => machine.session_array(sid, &name).ok_or_else(|| {
+                    bad_request(format!("session {session} has no array '{name}'"))
+                })?,
+                ArgSpec::ArrayF32(_) | ArgSpec::ArrayI32(_) => {
+                    return Err(bad_request(
+                        "inline arrays are not allowed in session launches; map them at open",
+                    ))
+                }
+                ArgSpec::F32(x) => RtValue::F32(x),
+                ArgSpec::F64(x) => RtValue::F64(x),
+                ArgSpec::I32(x) => RtValue::I32(x),
+                ArgSpec::I64(x) => RtValue::I64(x),
+                ArgSpec::Index(x) => RtValue::Index(x),
+            });
+        }
+        let ticket = machine
+            .session_launch(sid, kernel, &args)
+            .map_err(|e| bad_request(e.to_string()))?;
+        let (staged, elided) = (ticket.staged, ticket.elided);
+        drop(machine);
+        let report = wait_unlocked(&pool, ticket.handle).map_err(|e| (500, e.to_string()))?;
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        Ok(LaunchResponse {
+            session,
+            device: report.device,
+            cycles: report.report.stats.total_cycles,
+            kernel_seconds: report.report.stats.kernel_seconds,
+            kernel_wall_seconds: report.report.stats.kernel_wall_seconds,
+            staged,
+            elided,
+        }
+        .to_value())
+    }
+
+    fn session_info(&self, session: u64) -> Result<Value, HandlerError> {
+        let (pool, sid) = self.session_ref(session)?;
+        let machine = lock(&pool);
+        let stats = machine
+            .session_stats(sid)
+            .ok_or_else(|| not_found(format!("no session {session}")))?;
+        let device = machine.session_device(sid).unwrap_or(0);
+        Ok(api::obj(vec![
+            ("session", session.to_value()),
+            ("device", device.to_value()),
+            ("stats", stats.to_value()),
+        ]))
+    }
+
+    fn close_session(&self, session: u64) -> Result<Value, HandlerError> {
+        let (pool, sid) = self.session_ref(session)?;
+        let mut machine = lock(&pool);
+        let maps = machine
+            .session_maps(sid)
+            .ok_or_else(|| not_found(format!("no session {session}")))?;
+        let report = machine
+            .close_session(sid)
+            .map_err(|e| (500, e.to_string()))?;
+        // `from`/`tofrom` arrays now hold the device results; return them.
+        let mut arrays = Vec::new();
+        for (name, value, kind) in &maps {
+            if matches!(kind, MapKind::From | MapKind::ToFrom) {
+                let m = value.as_memref().expect("session arrays are memrefs");
+                let contents = match machine.memory.get(m.buffer) {
+                    Buffer::F32(data) => data.to_value(),
+                    Buffer::F64(data) => data.to_value(),
+                    Buffer::I32(data) => data.to_value(),
+                    Buffer::I64(data) => data.to_value(),
+                    Buffer::I1(data) => data.to_value(),
+                };
+                arrays.push((name.clone(), contents));
+            }
+        }
+        drop(machine);
+        lock(&self.sessions).remove(&session);
+        Ok(api::obj(vec![
+            ("session", session.to_value()),
+            ("device", report.device.to_value()),
+            ("stats", report.stats.to_value()),
+            ("arrays", Value::Obj(arrays)),
+        ]))
+    }
+
+    fn run_program(&self, body: &str) -> Result<Value, HandlerError> {
+        let v = api::parse_body(body).map_err(bad_request)?;
+        let key = api::get_str(&v, "key").map_err(bad_request)?;
+        let func = api::get_str(&v, "func").map_err(bad_request)?;
+        let arg_values = api::get_arr(&v, "args").map_err(bad_request)?;
+        let pool = self.pool_for(key)?;
+        let mut machine = lock(&pool);
+        let mut args = Vec::with_capacity(arg_values.len());
+        let mut array_handles = Vec::new();
+        for a in arg_values {
+            let spec = api::parse_arg(a).map_err(bad_request)?;
+            args.push(match spec {
+                ArgSpec::ArrayF32(data) => {
+                    let h = machine.host_f32(&data);
+                    array_handles.push(h.clone());
+                    h
+                }
+                ArgSpec::ArrayI32(data) => {
+                    let h = machine.host_i32(&data);
+                    array_handles.push(h.clone());
+                    h
+                }
+                ArgSpec::Named(_) => {
+                    return Err(bad_request(
+                        "named arrays are session-only; pass array_f32/array_i32 to /run",
+                    ))
+                }
+                ArgSpec::F32(x) => RtValue::F32(x),
+                ArgSpec::F64(x) => RtValue::F64(x),
+                ArgSpec::I32(x) => RtValue::I32(x),
+                ArgSpec::I64(x) => RtValue::I64(x),
+                ArgSpec::Index(x) => RtValue::Index(x),
+            });
+        }
+        let handle = machine
+            .submit(func, &args)
+            .map_err(|e| bad_request(e.to_string()))?;
+        drop(machine);
+        let report = wait_unlocked(&pool, handle).map_err(|e| bad_request(e.to_string()))?;
+        let machine = lock(&pool);
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        let arrays: Vec<Value> = array_handles
+            .iter()
+            .map(|h| {
+                let m = h.as_memref().expect("array handle");
+                match machine.memory.get(m.buffer) {
+                    Buffer::F32(data) => data.to_value(),
+                    Buffer::F64(data) => data.to_value(),
+                    Buffer::I32(data) => data.to_value(),
+                    Buffer::I64(data) => data.to_value(),
+                    Buffer::I1(data) => data.to_value(),
+                }
+            })
+            .collect();
+        Ok(api::obj(vec![
+            ("device", report.device.to_value()),
+            ("stats", report.report.stats.to_value()),
+            ("arrays", Value::Arr(arrays)),
+        ]))
+    }
+
+    fn stats(&self) -> Result<Value, HandlerError> {
+        let pools = lock(&self.pools);
+        let mut pool_stats = Vec::new();
+        for (key, pool) in pools.iter() {
+            let machine = lock(pool);
+            pool_stats.push(api::obj(vec![
+                ("key", key.as_str().to_value()),
+                ("devices", machine.device_count().to_value()),
+                ("open_sessions", machine.open_sessions().len().to_value()),
+                ("stats", machine.pool_stats().to_value()),
+            ]));
+        }
+        drop(pools);
+        Ok(api::obj(vec![
+            ("cache", self.cache.stats().to_value()),
+            ("image_cache", self.images.stats().to_value()),
+            ("sessions_open", lock(&self.sessions).len().to_value()),
+            ("launches", self.launches.load(Ordering::Relaxed).to_value()),
+            ("runs", self.runs.load(Ordering::Relaxed).to_value()),
+            ("pools", Value::Arr(pool_stats)),
+        ]))
+    }
+}
+
+fn parse_id(s: &str) -> Result<u64, HandlerError> {
+    s.parse()
+        .map_err(|_| bad_request(format!("bad session id '{s}'")))
+}
+
+fn handle_connection(state: &ServeState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let req = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(_) => return, // includes the wake-up probe connection
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.handle(&req)));
+    let (status, json) = match outcome {
+        Ok(Ok(value)) => (200, serde_json::to_string(&value).unwrap_or_default()),
+        Ok(Err((status, msg))) => {
+            let err = api::obj(vec![("error", Value::Str(msg))]);
+            (status, serde_json::to_string(&err).unwrap_or_default())
+        }
+        Err(_) => {
+            let err = api::obj(vec![(
+                "error",
+                Value::Str("internal panic while handling request".to_string()),
+            )]);
+            (500, serde_json::to_string(&err).unwrap_or_default())
+        }
+    };
+    let _ = write_json(&mut stream, status, &json);
+}
+
+/// The HTTP server. Bind, then [`Server::run`] until a `POST /shutdown`.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let cache = match &config.cache_dir {
+            Some(dir) => ArtifactCache::with_disk(dir)?,
+            None => ArtifactCache::new(),
+        };
+        let state = Arc::new(ServeState {
+            config,
+            cache,
+            registry: Mutex::new(HashMap::new()),
+            images: ImageCache::new(),
+            pools: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            launches: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            local_addr,
+        });
+        Ok(Server { listener, state })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Serve requests until a `POST /shutdown` arrives; joins all worker
+    /// threads before returning, so a clean return means a clean shutdown.
+    pub fn run(self) -> std::io::Result<()> {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..self.state.config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&self.state);
+                std::thread::Builder::new()
+                    .name(format!("ftn-serve-{i}"))
+                    .spawn(move || loop {
+                        let stream = lock(&rx).recv();
+                        match stream {
+                            Ok(s) => {
+                                handle_connection(&state, s);
+                                // After /shutdown is processed, wake the
+                                // acceptor so it can observe the flag.
+                                if state.shutdown.load(Ordering::SeqCst) {
+                                    let _ = TcpStream::connect(state.local_addr);
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+
+        for conn in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAXPY: &str = r#"
+subroutine saxpy(n, a, x, y)
+  implicit none
+  integer :: n, i
+  real :: a, x(n), y(n)
+  !$omp target parallel do simd simdlen(10)
+  do i = 1, n
+    y(i) = y(i) + a*x(i)
+  end do
+  !$omp end target parallel do simd
+end subroutine saxpy
+"#;
+
+    fn as_u64(v: Option<&Value>) -> u64 {
+        match v {
+            Some(Value::UInt(u)) => *u,
+            Some(Value::Int(i)) if *i >= 0 => *i as u64,
+            other => panic!("expected unsigned number, got {other:?}"),
+        }
+    }
+
+    fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Value) {
+        crate::client::request(addr, method, path, body).expect("request round-trips")
+    }
+
+    #[test]
+    fn end_to_end_session_over_http() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                devices: 2,
+                workers: 2,
+                cache_dir: None,
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+
+        // Compile twice: second is a cache hit.
+        let body =
+            serde_json::to_string(&api::obj(vec![("source", Value::Str(SAXPY.to_string()))]))
+                .unwrap();
+        let (status, first) = request(addr, "POST", "/compile", &body);
+        assert_eq!(status, 200, "{first:?}");
+        assert_eq!(first.get("cached"), Some(&Value::Bool(false)));
+        let (_, second) = request(addr, "POST", "/compile", &body);
+        assert_eq!(second.get("cached"), Some(&Value::Bool(true)));
+        let Some(Value::Str(key)) = first.get("key") else {
+            panic!("no key in {first:?}");
+        };
+
+        // Open a session mapping x (to) and y (tofrom).
+        let n = 32usize;
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let y = vec![1.0f32; n];
+        let open = api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            (
+                "maps",
+                Value::Arr(vec![
+                    api::obj(vec![
+                        ("name", Value::Str("x".into())),
+                        ("kind", Value::Str("to".into())),
+                        ("data", x.to_value()),
+                    ]),
+                    api::obj(vec![
+                        ("name", Value::Str("y".into())),
+                        ("kind", Value::Str("tofrom".into())),
+                        ("data", y.to_value()),
+                    ]),
+                ]),
+            ),
+        ]);
+        let (status, opened) = request(
+            addr,
+            "POST",
+            "/sessions",
+            &serde_json::to_string(&open).unwrap(),
+        );
+        assert_eq!(status, 200, "{opened:?}");
+        let sid = as_u64(opened.get("session"));
+
+        // Two launches; the second also finds everything resident.
+        let launch = api::obj(vec![
+            ("kernel", Value::Str("saxpy_kernel0".into())),
+            (
+                "args",
+                Value::Arr(vec![
+                    api::obj(vec![("array", Value::Str("x".into()))]),
+                    api::obj(vec![("array", Value::Str("y".into()))]),
+                    api::obj(vec![("index", (n as i64).to_value())]),
+                    api::obj(vec![("index", (n as i64).to_value())]),
+                    api::obj(vec![("f32", Value::Float(2.0))]),
+                    api::obj(vec![("index", Value::Int(1))]),
+                    api::obj(vec![("index", (n as i64).to_value())]),
+                ]),
+            ),
+        ]);
+        let launch_body = serde_json::to_string(&launch).unwrap();
+        for _ in 0..2 {
+            let (status, resp) = request(
+                addr,
+                "POST",
+                &format!("/sessions/{sid}/launch"),
+                &launch_body,
+            );
+            assert_eq!(status, 200, "{resp:?}");
+            assert_eq!(as_u64(resp.get("elided")), 2, "{resp:?}");
+        }
+
+        // Close: y comes back with both launches applied.
+        let (status, closed) = request(addr, "DELETE", &format!("/sessions/{sid}"), "");
+        assert_eq!(status, 200, "{closed:?}");
+        let arrays = closed.get("arrays").expect("arrays");
+        let Some(Value::Arr(ys)) = arrays.get("y") else {
+            panic!("no y in {closed:?}");
+        };
+        assert_eq!(ys.len(), n);
+        for (i, v) in ys.iter().enumerate() {
+            let Value::Float(f) = v else { panic!("{v:?}") };
+            assert_eq!(*f as f32, 1.0 + 2.0 * 2.0 * i as f32, "element {i}");
+        }
+
+        // Stats reflect the session traffic; then shut down cleanly.
+        let (status, stats) = request(addr, "GET", "/stats", "");
+        assert_eq!(status, 200);
+        assert_eq!(as_u64(stats.get("launches")), 2, "{stats:?}");
+        let (status, _) = request(addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200);
+        handle.join().expect("server thread").expect("clean run");
+    }
+}

@@ -81,6 +81,20 @@ fn unexpected<T>(want: &str, got: &Value) -> Result<T, DeError> {
 
 // ---- scalars --------------------------------------------------------------------
 
+/// Identity impls so hand-built `Value` trees flow through the same
+/// `to_string`/`from_str` entry points as derived types.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

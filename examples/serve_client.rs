@@ -1,0 +1,248 @@
+//! Round trip against `ftn-serve`: start the service on an ephemeral port,
+//! compile SAXPY twice (the second request hits the content-addressed
+//! cache), run a sessionless baseline, then open a persistent `target data`
+//! session, fire 8 kernel launches against the resident buffers, and close.
+//!
+//! Asserts the acceptance criteria of the serve subsystem:
+//! * the second `POST /compile` is a cache hit,
+//! * ≥ 50% of host↔device transfers are elided versus the sessionless path,
+//! * the session result is bit-identical to the single-device `Machine`,
+//! * the server shuts down cleanly on `POST /shutdown`.
+//!
+//! Run with: `cargo run --release --example serve_client`
+
+use std::net::SocketAddr;
+
+use ftn_core::{Compiler, Machine};
+use ftn_fpga::DeviceModel;
+use ftn_interp::RtValue;
+use ftn_serve::{ServeConfig, Server};
+use serde::{Serialize, Value};
+
+const N: usize = 4096;
+const LAUNCHES: usize = 8;
+const A: f32 = 1.5;
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Value) {
+    let (status, value) = ftn_serve::client::request(addr, method, path, body)
+        .expect("request against ftn-serve round-trips");
+    assert_eq!(status, 200, "{method} {path}: {value:?}");
+    (status, value)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn body(v: &Value) -> String {
+    serde_json::to_string(v).expect("serialize request")
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    match v.get(key) {
+        Some(Value::UInt(u)) => *u,
+        Some(Value::Int(i)) if *i >= 0 => *i as u64,
+        other => panic!("field '{key}': expected unsigned number, got {other:?}"),
+    }
+}
+
+fn get_f32s(v: &Value) -> Vec<f32> {
+    let Value::Arr(items) = v else {
+        panic!("expected array, got {v:?}")
+    };
+    items
+        .iter()
+        .map(|x| match x {
+            Value::Float(f) => *f as f32,
+            Value::Int(i) => *i as f32,
+            Value::UInt(u) => *u as f32,
+            other => panic!("expected number, got {other:?}"),
+        })
+        .collect()
+}
+
+fn saxpy_launch_args(n: usize, a: f32) -> Value {
+    // saxpy_kernel0(x, y, n, n, a, 1, n) — signature reported by /compile.
+    Value::Arr(vec![
+        obj(vec![("array", Value::Str("x".into()))]),
+        obj(vec![("array", Value::Str("y".into()))]),
+        obj(vec![("index", (n as i64).to_value())]),
+        obj(vec![("index", (n as i64).to_value())]),
+        obj(vec![("f32", Value::Float(a as f64))]),
+        obj(vec![("index", Value::Int(1))]),
+        obj(vec![("index", (n as i64).to_value())]),
+    ])
+}
+
+fn main() {
+    let source = ftn_bench::workloads::SAXPY_F90;
+    let x: Vec<f32> = (0..N).map(|i| (i as f32 * 0.37).sin()).collect();
+    let y0: Vec<f32> = (0..N).map(|i| (i as f32 * 0.11).cos()).collect();
+
+    // Reference: the same 8 launches on a single-device Machine.
+    let artifacts = Compiler::default()
+        .compile_source(source)
+        .expect("reference compile");
+    let mut machine = Machine::load(&artifacts, DeviceModel::u280()).expect("machine loads");
+    let xa = machine.host_f32(&x);
+    let ya = machine.host_f32(&y0);
+    for _ in 0..LAUNCHES {
+        machine
+            .run(
+                "saxpy",
+                &[
+                    RtValue::I32(N as i32),
+                    RtValue::F32(A),
+                    xa.clone(),
+                    ya.clone(),
+                ],
+            )
+            .expect("reference run");
+    }
+    let reference = machine.read_f32(&ya);
+
+    // Start the service in-process on an ephemeral port.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            devices: 2,
+            workers: 4,
+            cache_dir: None,
+        },
+    )
+    .expect("bind ftn-serve");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    println!("ftn-serve on http://{addr}");
+
+    // Compile twice: the second request must be a cache hit.
+    let compile_body = body(&obj(vec![("source", Value::Str(source.to_string()))]));
+    let (_, first) = request(addr, "POST", "/compile", &compile_body);
+    let (_, second) = request(addr, "POST", "/compile", &compile_body);
+    assert_eq!(first.get("cached"), Some(&Value::Bool(false)));
+    assert_eq!(
+        second.get("cached"),
+        Some(&Value::Bool(true)),
+        "second compile must hit the artifact cache"
+    );
+    let Some(Value::Str(key)) = first.get("key") else {
+        panic!("no artifact key in {first:?}")
+    };
+    println!(
+        "compiled saxpy -> key {}... (second request: cache hit)",
+        &key[..12]
+    );
+
+    // Sessionless baseline: each request re-runs the whole host program with
+    // fresh arrays — every launch pays the full host↔device traffic.
+    let mut sessionless_transfers = 0u64;
+    for _ in 0..LAUNCHES {
+        let run_body = body(&obj(vec![
+            ("key", Value::Str(key.clone())),
+            ("func", Value::Str("saxpy".into())),
+            (
+                "args",
+                Value::Arr(vec![
+                    obj(vec![("i32", (N as i64).to_value())]),
+                    obj(vec![("f32", Value::Float(A as f64))]),
+                    obj(vec![("array_f32", x.to_value())]),
+                    obj(vec![("array_f32", y0.to_value())]),
+                ]),
+            ),
+        ]));
+        let (_, run) = request(addr, "POST", "/run", &run_body);
+        let stats = run.get("stats").expect("run stats");
+        sessionless_transfers += get_u64(stats, "transfers");
+    }
+    println!("sessionless path: {LAUNCHES} runs, {sessionless_transfers} host<->device transfers");
+
+    // Session path: map once, launch 8 times, write back once.
+    let open_body = body(&obj(vec![
+        ("key", Value::Str(key.clone())),
+        (
+            "maps",
+            Value::Arr(vec![
+                obj(vec![
+                    ("name", Value::Str("x".into())),
+                    ("kind", Value::Str("to".into())),
+                    ("data", x.to_value()),
+                ]),
+                obj(vec![
+                    ("name", Value::Str("y".into())),
+                    ("kind", Value::Str("tofrom".into())),
+                    ("data", y0.to_value()),
+                ]),
+            ]),
+        ),
+    ]));
+    let (_, opened) = request(addr, "POST", "/sessions", &open_body);
+    let sid = get_u64(&opened, "session");
+    println!(
+        "session {sid} open on device {} (x mapped to, y mapped tofrom)",
+        get_u64(&opened, "device")
+    );
+
+    let launch_body = body(&obj(vec![
+        ("kernel", Value::Str("saxpy_kernel0".into())),
+        ("args", saxpy_launch_args(N, A)),
+    ]));
+    let mut elided = 0u64;
+    for i in 0..LAUNCHES {
+        let (_, launch) = request(
+            addr,
+            "POST",
+            &format!("/sessions/{sid}/launch"),
+            &launch_body,
+        );
+        elided += get_u64(&launch, "elided");
+        assert_eq!(
+            get_u64(&launch, "staged"),
+            0,
+            "launch {i} must find all buffers resident"
+        );
+    }
+
+    let (_, closed) = request(addr, "DELETE", &format!("/sessions/{sid}"), "");
+    let stats = closed.get("stats").expect("session stats");
+    let session_transfers = get_u64(stats, "staged_uploads") + get_u64(stats, "fetched_downloads");
+    assert_eq!(get_u64(stats, "launches"), LAUNCHES as u64);
+    println!(
+        "session path: {LAUNCHES} launches, {session_transfers} transfers ({elided} elided per-launch maps)"
+    );
+
+    // >= 50% of the sessionless traffic must be elided.
+    let elision_ratio = 1.0 - session_transfers as f64 / sessionless_transfers as f64;
+    println!(
+        "transfer elision vs sessionless path: {:.1}%",
+        elision_ratio * 100.0
+    );
+    assert!(
+        elision_ratio >= 0.5,
+        "expected >= 50% elision, got {:.1}%",
+        elision_ratio * 100.0
+    );
+
+    // Bit-identical to the single-device Machine.
+    let got = get_f32s(closed.get("arrays").and_then(|a| a.get("y")).expect("y"));
+    assert_eq!(got.len(), reference.len());
+    for (i, (g, r)) in got.iter().zip(&reference).enumerate() {
+        assert!(
+            g.to_bits() == r.to_bits(),
+            "element {i}: session {g} != machine {r}"
+        );
+    }
+    println!("session result is bit-identical to single-device Machine ({N} elements)");
+
+    // Clean shutdown.
+    let (_, _) = request(addr, "POST", "/shutdown", "");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+    println!("server shut down cleanly. OK");
+}

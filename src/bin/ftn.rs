@@ -1,0 +1,181 @@
+//! `ftn` — the command-line driver (the repository's namesake tool).
+//!
+//! ```text
+//! ftn <input.f90> [--out DIR] [--quiet]      compile one Fortran file
+//! ftn serve [--port P] [--devices N]         run the compile-and-run service
+//!           [--workers W] [--cache-dir DIR]
+//! ```
+//!
+//! Compile mode runs the full OpenMP→FPGA pipeline and writes every artifact
+//! next to the input (or to `--out DIR`): `<stem>.host.mlir`,
+//! `<stem>.device.mlir`, `<stem>.host.cpp`, `<stem>.ll`, `<stem>.llvm7.ll`,
+//! `<stem>.xclbin.json`.
+//!
+//! Serve mode starts `ftn-serve`: an HTTP/1.1 JSON service with a
+//! content-addressed compile cache and persistent `target data` sessions
+//! over a simulated multi-FPGA pool (see the README "ftn-serve" section for
+//! the API).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftn_core::Compiler;
+use ftn_serve::{ServeConfig, Server};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve(&args[1..]);
+    }
+    compile(&args)
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut port: u16 = 8080;
+    let mut config = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--port" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(p) => port = p,
+                    None => {
+                        eprintln!("error: --port needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--devices" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => config.devices = n,
+                    _ => {
+                        eprintln!("error: --devices needs a positive number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => config.workers = n,
+                    _ => {
+                        eprintln!("error: --workers needs a positive number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                config.cache_dir = args.get(i).map(PathBuf::from);
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ftn serve [--port P] [--devices N] [--workers W] [--cache-dir DIR]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown serve flag '{other}' (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let server = match Server::bind(("127.0.0.1", port), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("ftn-serve listening on http://{}", server.local_addr());
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn compile(args: &[String]) -> ExitCode {
+    let mut input: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).map(PathBuf::from);
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: ftn <input.f90> [--out DIR] [--quiet]");
+                eprintln!("       ftn serve [--port P] [--devices N] [--workers W]");
+                return ExitCode::SUCCESS;
+            }
+            other => input = Some(PathBuf::from(other)),
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        eprintln!("error: no input file (try --help)");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let artifacts = match Compiler::default().compile_source(&source) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stem = input
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".into());
+    let dir = out_dir.unwrap_or_else(|| input.parent().map(PathBuf::from).unwrap_or_default());
+    let _ = std::fs::create_dir_all(&dir);
+    let write = |name: &str, contents: &str| {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+        } else if !quiet {
+            println!("wrote {}", path.display());
+        }
+    };
+    write(&format!("{stem}.host.mlir"), &artifacts.host_module_text);
+    write(
+        &format!("{stem}.device.mlir"),
+        &artifacts.device_module_text,
+    );
+    write(&format!("{stem}.host.cpp"), &artifacts.host_cpp);
+    write(&format!("{stem}.ll"), &artifacts.llvm_ir);
+    write(&format!("{stem}.llvm7.ll"), &artifacts.llvm7_ir);
+    write(
+        &format!("{stem}.xclbin.json"),
+        &artifacts.bitstream.to_json(),
+    );
+    if !quiet {
+        for k in &artifacts.bitstream.kernels {
+            println!(
+                "kernel {}: {} LUT / {} BRAM / {} DSP; {} loop(s) scheduled",
+                k.name,
+                k.resources.lut,
+                k.resources.bram,
+                k.resources.dsp,
+                k.schedule.len()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,214 @@
+//! Persistent `target data` sessions over the cluster, checked against the
+//! single-device reference:
+//!
+//! * A scripted session (map → N kernel launches → writeback) is
+//!   bit-identical — results AND `RunStats` totals — to the same program
+//!   expressed as a `target data` region and run on `Machine`.
+//! * Property: random interleavings of kernel launches across two sessions
+//!   on a four-device pool preserve per-session buffer versioning — no
+//!   stale writeback ever reaches host memory (extends PR 1's
+//!   monotone-writeback test to the session layer).
+
+use std::sync::OnceLock;
+
+use ftn_cluster::{ClusterMachine, MapKind};
+use ftn_core::{Artifacts, Compiler, Machine};
+use ftn_fpga::DeviceModel;
+use ftn_interp::RtValue;
+use proptest::prelude::*;
+
+/// SAXPY with a `target data` region spanning `reps` kernel launches — the
+/// program-level equivalent of one serve session.
+const SAXPYN: &str = r#"
+subroutine saxpyn(n, reps, a, x, y)
+  implicit none
+  integer :: n, reps, i, k
+  real :: a, x(n), y(n)
+  !$omp target data map(to: x) map(tofrom: y)
+  do k = 1, reps
+    !$omp target parallel do simd simdlen(10)
+    do i = 1, n
+      y(i) = y(i) + a*x(i)
+    end do
+    !$omp end target parallel do simd
+  end do
+  !$omp end target data
+end subroutine saxpyn
+"#;
+
+fn saxpyn_artifacts() -> &'static Artifacts {
+    static CELL: OnceLock<Artifacts> = OnceLock::new();
+    CELL.get_or_init(|| {
+        Compiler::default()
+            .compile_source(SAXPYN)
+            .expect("compiles")
+    })
+}
+
+/// `saxpyn_kernel0(x, y, n, n, a, 1, n)` — the signature the pipeline
+/// generates for the target region above.
+fn kernel_args(x: &RtValue, y: &RtValue, n: usize, a: f32) -> Vec<RtValue> {
+    vec![
+        x.clone(),
+        y.clone(),
+        RtValue::Index(n as i64),
+        RtValue::Index(n as i64),
+        RtValue::F32(a),
+        RtValue::Index(1),
+        RtValue::Index(n as i64),
+    ]
+}
+
+/// The scripted session must reproduce the `target data` program run on a
+/// single-device `Machine` exactly: same bytes in `y`, same `RunStats`
+/// totals (3 transfers — x in, y in, y out — and `reps` launches with
+/// identical cycle logs).
+#[test]
+fn session_is_bit_identical_to_target_data_program_on_machine() {
+    let artifacts = saxpyn_artifacts();
+    let n = 1003usize;
+    let reps = 8usize;
+    let a = 1.75f32;
+    let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.21).sin()).collect();
+    let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.08).cos()).collect();
+
+    // Reference: the whole program, one Machine run.
+    let mut machine = Machine::load(artifacts, DeviceModel::u280()).unwrap();
+    let xa = machine.host_f32(&x);
+    let ya = machine.host_f32(&y);
+    let report = machine
+        .run(
+            "saxpyn",
+            &[
+                RtValue::I32(n as i32),
+                RtValue::I32(reps as i32),
+                RtValue::F32(a),
+                xa,
+                ya.clone(),
+            ],
+        )
+        .unwrap();
+    let y_machine = machine.read_f32(&ya);
+    assert_eq!(report.stats.transfers, 3, "x in, y in, y out");
+    assert_eq!(report.stats.launches, reps as u64);
+
+    // Scripted session on a single-device pool.
+    let mut cluster = ClusterMachine::load(artifacts, &[DeviceModel::u280()]).unwrap();
+    let xa = cluster.host_f32(&x);
+    let ya = cluster.host_f32(&y);
+    let sid = cluster
+        .open_session(&[
+            ("x", xa.clone(), MapKind::To),
+            ("y", ya.clone(), MapKind::ToFrom),
+        ])
+        .unwrap();
+    for _ in 0..reps {
+        let ticket = cluster
+            .session_launch(sid, "saxpyn_kernel0", &kernel_args(&xa, &ya, n, a))
+            .unwrap();
+        cluster.wait(ticket.handle).unwrap();
+    }
+    cluster.close_session(sid).unwrap();
+    let y_session = cluster.read_f32(&ya);
+
+    assert_eq!(y_machine.len(), y_session.len());
+    for (i, (m, s)) in y_machine.iter().zip(&y_session).enumerate() {
+        assert_eq!(m.to_bits(), s.to_bits(), "element {i}: {m} vs {s}");
+    }
+    let totals = cluster.pool_stats().totals;
+    assert_eq!(
+        totals, report.stats,
+        "session RunStats totals must equal the Machine program run"
+    );
+}
+
+/// Deterministic shuffle of `0..len` from a seed (xorshift Fisher–Yates).
+fn shuffled(len: usize, mut seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        let j = (seed % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random launch interleavings across two sessions on four devices:
+    /// every session's final arrays must match the f32 reference folded in
+    /// that session's submission order, bit for bit. A stale writeback (an
+    /// old device copy or the untouched host copy landing over newer data)
+    /// or a cross-session mixup would break the equality.
+    #[test]
+    fn interleaved_session_launches_preserve_versioning(
+        ops in proptest::collection::vec((0usize..2usize, 1u8..4u8), 1..20),
+        wait_seed in 0u64..1_000,
+    ) {
+        let artifacts = saxpyn_artifacts();
+        let n = 96usize;
+        let devices = vec![DeviceModel::u280(); 4];
+        let mut cluster = ClusterMachine::load(artifacts, &devices).unwrap();
+
+        // Two independent sessions with distinct data.
+        let mut arrays = Vec::new();
+        let mut sids = Vec::new();
+        let mut models = Vec::new();
+        for s in 0..2usize {
+            let x: Vec<f32> = (0..n).map(|i| (s * n + i) as f32 * 0.125).collect();
+            let y: Vec<f32> = vec![s as f32 + 0.5; n];
+            let xa = cluster.host_f32(&x);
+            let ya = cluster.host_f32(&y);
+            let sid = cluster
+                .open_session(&[
+                    ("x", xa.clone(), MapKind::To),
+                    ("y", ya.clone(), MapKind::ToFrom),
+                ])
+                .unwrap();
+            sids.push(sid);
+            arrays.push((xa, ya));
+            models.push((x, y));
+        }
+
+        // Submit every launch without waiting, interleaved across sessions,
+        // and fold the same operations into the f32 reference model.
+        let mut handles = Vec::new();
+        for &(s, k) in &ops {
+            let a = k as f32 * 0.5;
+            let (xa, ya) = &arrays[s];
+            let ticket = cluster
+                .session_launch(sids[s], "saxpyn_kernel0", &kernel_args(xa, ya, n, a))
+                .unwrap();
+            handles.push(ticket.handle);
+            let (x, y) = &mut models[s];
+            for i in 0..n {
+                y[i] += a * x[i];
+            }
+        }
+        // Wait in a random order; completion order must not matter.
+        let order = shuffled(handles.len(), wait_seed.wrapping_mul(2654435761).max(1));
+        let mut handles: Vec<Option<_>> = handles.into_iter().map(Some).collect();
+        for idx in order {
+            let h = handles[idx].take().unwrap();
+            cluster.wait(h).unwrap();
+        }
+
+        // Close in reverse open order and compare bit-exactly.
+        for s in (0..2usize).rev() {
+            cluster.close_session(sids[s]).unwrap();
+            let got = cluster.read_f32(&arrays[s].1);
+            let (_, expect) = &models[s];
+            for i in 0..n {
+                prop_assert_eq!(
+                    got[i].to_bits(),
+                    expect[i].to_bits(),
+                    "session {} element {}: {} vs {}",
+                    s, i, got[i], expect[i]
+                );
+            }
+        }
+    }
+}
