@@ -16,6 +16,7 @@ pub mod diagram;
 pub mod experiments;
 pub mod locs;
 pub mod serve_bench;
+pub mod shard_bench;
 pub mod stats;
 pub mod workloads;
 

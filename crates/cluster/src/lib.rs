@@ -18,6 +18,11 @@
 //! * [`session`] — persistent `target data` environments over the pool:
 //!   arrays mapped once, kernel launches with deferred writeback, one fetch
 //!   at close, redundant transfers elided and counted.
+//! * [`sharded`] — sharded sessions: one data environment partitioned
+//!   across the pool ([`ftn_shard::ShardPlan`] leading-dim blocks with
+//!   optional halos, replicated broadcast arrays, per-shard reduction
+//!   copies); every launch fans out as force-placed per-shard jobs and the
+//!   close gathers or reduces the results.
 //!
 //! With a single device and the same call sequence, `ClusterMachine`
 //! produces bit-identical results and statistics to `Machine` — the workers
@@ -30,14 +35,17 @@ pub mod machine;
 pub mod pool;
 pub mod scheduler;
 pub mod session;
+pub mod sharded;
 
 pub use cache::{ArtifactCache, CacheStats, CachedCompiler, ImageCache};
+pub use ftn_shard::{Partition, ReduceOp, ShardPlan};
 pub use machine::{
     ClusterMachine, ClusterRunReport, DevicePoolStats, KernelTicket, LaunchHandle, PoolStats,
 };
 pub use pool::DevicePool;
 pub use scheduler::{BufferInfo, Placement, PlacementPolicy, PlacementReason};
 pub use session::{MapKind, SessionReport, SessionStats};
+pub use sharded::{ShardArg, ShardCount, ShardedLaunchReport, ShardedLaunchTicket, ShardedReport};
 
 #[cfg(test)]
 mod tests {
@@ -441,6 +449,161 @@ end subroutine saxpy
             settled, after,
             "arena must stay flat across jobs (reset between jobs)"
         );
+    }
+
+    #[test]
+    fn sharded_session_fans_out_and_gathers() {
+        use crate::sharded::{ShardArg, ShardCount};
+        use crate::{MapKind, Partition};
+        let mut cluster = pool(4);
+        let n = 1003usize;
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).sin()).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.07).cos()).collect();
+        let xa = cluster.host_f32(&x);
+        let ya = cluster.host_f32(&y);
+        let sid = cluster
+            .open_sharded_session(
+                &[
+                    ("x", xa.clone(), MapKind::To, Partition::Split { halo: 0 }),
+                    (
+                        "y",
+                        ya.clone(),
+                        MapKind::ToFrom,
+                        Partition::Split { halo: 0 },
+                    ),
+                ],
+                ShardCount::Fixed(4),
+            )
+            .unwrap();
+        assert_eq!(cluster.sharded_shards(sid), Some(4));
+        assert_eq!(cluster.sharded_devices(sid), Some(vec![0, 1, 2, 3]));
+        let a = 2.25f32;
+        let args = [
+            ShardArg::Array("x".into()),
+            ShardArg::Array("y".into()),
+            ShardArg::Extent("x".into()),
+            ShardArg::Extent("y".into()),
+            ShardArg::Scalar(RtValue::F32(a)),
+            ShardArg::Scalar(RtValue::Index(1)),
+            ShardArg::Extent("x".into()),
+        ];
+        let reps = 3usize;
+        for _ in 0..reps {
+            let ticket = cluster.sharded_launch(sid, "saxpy_kernel0", &args).unwrap();
+            assert_eq!(ticket.devices, vec![0, 1, 2, 3]);
+            let report = cluster.wait_sharded(ticket).unwrap();
+            assert_eq!(report.stats.launches, 4);
+        }
+        // Host memory is stale until close (deferred writeback).
+        assert_eq!(cluster.read_f32(&ya), y);
+        let report = cluster.close_sharded_session(sid).unwrap();
+        assert_eq!(report.shards, 4);
+        assert_eq!(report.stats.launches, (reps * 4) as u64);
+        assert_eq!(report.stats.fetched_downloads, 4, "one y slice per shard");
+        let got = cluster.read_f32(&ya);
+        for i in 0..n {
+            let mut expect = y[i];
+            for _ in 0..reps {
+                expect += a * x[i];
+            }
+            assert_eq!(got[i].to_bits(), expect.to_bits(), "element {i}");
+        }
+        // All four devices really ran shard jobs, force-placed.
+        let ps = cluster.pool_stats();
+        assert!(ps.devices.iter().all(|d| d.jobs > 0), "{ps:?}");
+        assert!(ps.shard_forced >= (4 + reps * 4) as u64, "{ps:?}");
+        assert_eq!(ps.steals, 0, "stealing is disabled across shards");
+        // The shard sub-buffers were freed at close: only x and y remain.
+        assert_eq!(ps.host_buffers, 2, "{ps:?}");
+        assert!(cluster.open_sharded_sessions().is_empty());
+    }
+
+    #[test]
+    fn free_host_keeps_host_and_device_arenas_flat() {
+        let mut cluster = pool(1);
+        let n = 128usize;
+        // Settle the arena with a few allocate-run-free cycles first.
+        let mut settled = None;
+        for round in 0..12 {
+            let xa = cluster.host_f32(&vec![1.0f32; n]);
+            let ya = cluster.host_f32(&vec![0.0f32; n]);
+            cluster
+                .run(
+                    "saxpy",
+                    &[
+                        RtValue::I32(n as i32),
+                        RtValue::F32(1.0),
+                        xa.clone(),
+                        ya.clone(),
+                    ],
+                )
+                .unwrap();
+            cluster.free_host(&xa).unwrap();
+            cluster.free_host(&ya).unwrap();
+            // Double-free is rejected.
+            assert!(cluster.free_host(&xa).is_err());
+            let ps = cluster.pool_stats();
+            assert_eq!(ps.host_buffers, 0, "round {round}: {ps:?}");
+            if round == 2 {
+                settled = Some(ps.devices[0].arena_buffers);
+            }
+        }
+        // Device mirrors of freed buffers were evicted: the worker arena is
+        // no bigger after 12 rounds than after 3.
+        let after = cluster.pool_stats().devices[0].arena_buffers;
+        assert_eq!(Some(after), settled, "device arena must stay flat");
+    }
+
+    #[test]
+    fn failed_jobs_do_not_grow_the_worker_arena() {
+        // Regression: a job that allocates its device data environment and
+        // then fails mid-execution must still free those transients — a
+        // session retrying a failing kernel would otherwise grow the arena
+        // without bound (the error path used to skip the reclaim).
+        let mut cluster = pool(1);
+        let n = 8usize;
+        let good = |cluster: &mut ClusterMachine| {
+            let xa = cluster.host_f32(&vec![1.0f32; n]);
+            let ya = cluster.host_f32(&vec![0.0f32; n]);
+            cluster
+                .run(
+                    "saxpy",
+                    &[
+                        RtValue::I32(n as i32),
+                        RtValue::F32(1.0),
+                        xa.clone(),
+                        ya.clone(),
+                    ],
+                )
+                .unwrap();
+            cluster.free_host(&xa).unwrap();
+            cluster.free_host(&ya).unwrap();
+        };
+        for _ in 0..3 {
+            good(&mut cluster);
+        }
+        let settled = cluster.pool_stats().devices[0].arena_buffers;
+        for _ in 0..10 {
+            // n lies about the array length: the kernel indexes out of
+            // bounds after the host program built its data environment.
+            let xa = cluster.host_f32(&vec![1.0f32; n]);
+            let ya = cluster.host_f32(&vec![0.0f32; n]);
+            let err = cluster.run(
+                "saxpy",
+                &[
+                    RtValue::I32(9999),
+                    RtValue::F32(1.0),
+                    xa.clone(),
+                    ya.clone(),
+                ],
+            );
+            assert!(err.is_err(), "out-of-bounds run must fail");
+            cluster.free_host(&xa).unwrap();
+            cluster.free_host(&ya).unwrap();
+        }
+        good(&mut cluster);
+        let after = cluster.pool_stats().devices[0].arena_buffers;
+        assert_eq!(settled, after, "failed jobs must not leak transients");
     }
 
     #[test]

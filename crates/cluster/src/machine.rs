@@ -113,6 +113,14 @@ pub struct PoolStats {
     /// Jobs pinned to a device because it held the only current copy of an
     /// argument buffer (deferred-writeback session data).
     pub residency_pins: u64,
+    /// Jobs dispatched to a device fixed by their shard assignment (sharded
+    /// sessions bypass placement: no affinity scoring, no stealing).
+    pub shard_forced: u64,
+    /// Live host buffers in pool memory (requests/sessions must free what
+    /// they allocate; flat under sustained traffic).
+    pub host_buffers: usize,
+    /// Bytes held by live host buffers.
+    pub host_bytes: u64,
 }
 
 /// Residency bookkeeping for one host buffer.
@@ -170,6 +178,7 @@ pub struct ClusterMachine {
     pub(crate) completed: HashMap<u64, Result<(usize, JobSuccess), String>>,
     pub(crate) next_job: u64,
     pub(crate) sessions: HashMap<u64, crate::session::DataSession>,
+    pub(crate) sharded: HashMap<u64, crate::sharded::ShardedSession>,
     pub(crate) next_session: u64,
     pub(crate) affinity_hits: u64,
     pub(crate) staged_uploads: u64,
@@ -177,6 +186,7 @@ pub struct ClusterMachine {
     pub(crate) steals: u64,
     pub(crate) forced_colocations: u64,
     pub(crate) residency_pins: u64,
+    pub(crate) shard_forced: u64,
 }
 
 impl ClusterMachine {
@@ -224,6 +234,7 @@ impl ClusterMachine {
             completed: HashMap::new(),
             next_job: 1,
             sessions: HashMap::new(),
+            sharded: HashMap::new(),
             next_session: 1,
             affinity_hits: 0,
             staged_uploads: 0,
@@ -231,6 +242,7 @@ impl ClusterMachine {
             steals: 0,
             forced_colocations: 0,
             residency_pins: 0,
+            shard_forced: 0,
         })
     }
 
@@ -288,7 +300,7 @@ impl ClusterMachine {
         let kind = JobKind::HostCall {
             func: func.to_string(),
         };
-        Ok(self.submit_compute(kind, args)?.handle)
+        Ok(self.submit_compute(kind, args, None)?.handle)
     }
 
     /// Submit one device-kernel launch against resident buffers (kernel-level
@@ -305,32 +317,46 @@ impl ClusterMachine {
             kernel: kernel.to_string(),
             writeback: true,
         };
-        self.submit_compute(kind, args)
+        self.submit_compute(kind, args, None)
     }
 
     /// Kernel launch with deferred writeback: the device copy stays
     /// authoritative and host memory is only synced by a later fetch
-    /// (sessions close with one). Used by [`crate::session`].
+    /// (sessions close with one). Used by [`crate::session`]. A sharded
+    /// session passes `forced` to pin each shard's launches to its device
+    /// (see [`crate::sharded`]); placement is bypassed entirely there.
     pub(crate) fn submit_kernel_deferred(
         &mut self,
         kernel: &str,
         args: &[RtValue],
+        forced: Option<usize>,
     ) -> Result<KernelTicket, CompileError> {
         let kind = JobKind::Kernel {
             kernel: kernel.to_string(),
             writeback: false,
         };
-        self.submit_compute(kind, args)
+        self.submit_compute(kind, args, forced)
     }
 
     /// Shared submission path for compute jobs (host calls and kernels).
+    /// With `forced`, the scheduler is bypassed and the job runs on that
+    /// device (shard jobs: colocation with the shard's residency, stealing
+    /// disabled).
     fn submit_compute(
         &mut self,
         kind: JobKind,
         args: &[RtValue],
+        forced: Option<usize>,
     ) -> Result<KernelTicket, CompileError> {
         let arg_ids = distinct_memref_buffers(args);
-        let device = self.place_for(&arg_ids)?;
+        let device = match forced {
+            Some(d) => {
+                self.check_forced(d)?;
+                self.shard_forced += 1;
+                d
+            }
+            None => self.place_for(&arg_ids)?,
+        };
 
         // Stage exactly the buffers the device does not hold at the current
         // version; everything else is an affinity hit. Every argument buffer
@@ -391,28 +417,40 @@ impl ClusterMachine {
     }
 
     /// Session open: establish residency for mapped buffers on one device.
-    /// `zeroed` buffers model `map(from:)` — the device copy starts
-    /// uninitialized (zeroed) and is charged no upload transfer.
+    /// A `Some(seed)` map models `map(from:)` — the device copy starts from
+    /// `seed` (zeroed, or a reduction identity for sharded reduction
+    /// copies) rather than the host contents, and is charged no upload
+    /// transfer. With `forced`, residency lands on that device (sharded
+    /// sessions stage each shard onto its assigned device).
     pub(crate) fn submit_upload(
         &mut self,
-        maps: &[(BufferId, bool)],
+        maps: &[(BufferId, Option<Buffer>)],
+        forced: Option<usize>,
     ) -> Result<KernelTicket, CompileError> {
         let arg_ids: Vec<BufferId> = maps.iter().map(|&(id, _)| id).collect();
-        let device = self.place_for(&arg_ids)?;
+        let device = match forced {
+            Some(d) => {
+                self.check_forced(d)?;
+                self.shard_forced += 1;
+                d
+            }
+            None => self.place_for(&arg_ids)?,
+        };
         let mut staged = Vec::new();
         let mut out_versions = Vec::new();
         let mut ticket_staged = 0u64;
         let mut ticket_staged_bytes = 0u64;
         let mut ticket_elided = 0u64;
         let mut bytes = 0usize;
-        for &(id, zeroed) in maps {
+        for (id, seed) in maps {
+            let id = *id;
             let state = self.buffers.entry(id).or_default();
             let current = state.version;
-            if zeroed {
-                // Fresh uninitialized device copy: a version bump with no
+            if let Some(seed) = seed {
+                // Fresh device-initialized copy: a version bump with no
                 // host upload (host contents are not copied in).
                 let next = current + 1;
-                let contents = zeroed_like(self.memory.get(id));
+                let contents = seed.clone();
                 let state = self.buffers.get_mut(&id).expect("present");
                 state.version = next;
                 state.resident.clear();
@@ -607,6 +645,67 @@ impl ClusterMachine {
             _ => {}
         }
         Ok(placement.device)
+    }
+
+    /// Validate a forced (shard-assigned) device index.
+    fn check_forced(&self, device: usize) -> Result<(), CompileError> {
+        if device >= self.pool.len() {
+            return Err(CompileError::new(
+                "cluster-submit",
+                format!(
+                    "forced device {device} out of range for a {}-device pool",
+                    self.pool.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Free a host array: release its pool-memory slot and evict every
+    /// worker's mirror copy, so sustained allocate-run-free traffic keeps
+    /// both host and device arenas flat. The buffer must be quiescent — no
+    /// in-flight job and not mapped by an open session.
+    pub fn free_host(&mut self, v: &RtValue) -> Result<(), CompileError> {
+        let m = v
+            .as_memref()
+            .map_err(|e| CompileError::new("cluster-free", e.to_string()))?;
+        let id = m.buffer;
+        let Some(state) = self.buffers.get(&id) else {
+            return Err(CompileError::new(
+                "cluster-free",
+                format!("buffer {id:?} is not allocated on this machine"),
+            ));
+        };
+        if state.in_flight.is_some() {
+            return Err(CompileError::new(
+                "cluster-free",
+                format!("buffer {id:?} has in-flight jobs; wait before freeing"),
+            ));
+        }
+        let mapped = self
+            .sessions
+            .values()
+            .any(|s| s.maps.iter().any(|&(_, b, _)| b == id))
+            || self.sharded.values().any(|s| s.uses_buffer(id));
+        if mapped {
+            return Err(CompileError::new(
+                "cluster-free",
+                format!("buffer {id:?} is mapped by an open session; close it first"),
+            ));
+        }
+        self.buffers.remove(&id);
+        self.memory.free(id);
+        self.evict_mirrors(vec![id]);
+        Ok(())
+    }
+
+    /// Tell every worker to drop its mirror of these host buffers. Queue
+    /// order (FIFO per worker) guarantees the eviction happens after any
+    /// already-queued job that still reads the mirror.
+    pub(crate) fn evict_mirrors(&self, ids: Vec<BufferId>) {
+        for slot in &self.pool.slots {
+            let _ = slot.sender.send(WorkerMessage::Evict(ids.clone()));
+        }
     }
 
     /// Price a compute job for the backlog ledger: the schedule-derived
@@ -843,6 +942,9 @@ impl ClusterMachine {
             steals: self.steals,
             forced_colocations: self.forced_colocations,
             residency_pins: self.residency_pins,
+            shard_forced: self.shard_forced,
+            host_buffers: self.memory.live(),
+            host_bytes: self.memory.live_bytes(),
         }
     }
 }
@@ -859,7 +961,7 @@ fn mark_in_flight(state: &mut BufState, device: usize) {
 }
 
 /// A zeroed buffer with the same type and length as `b`.
-fn zeroed_like(b: &Buffer) -> Buffer {
+pub(crate) fn zeroed_like(b: &Buffer) -> Buffer {
     match b {
         Buffer::F32(v) => Buffer::F32(vec![0.0; v.len()]),
         Buffer::F64(v) => Buffer::F64(vec![0.0; v.len()]),

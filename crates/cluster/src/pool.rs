@@ -14,10 +14,11 @@
 //!   session's mapped arrays / copy mirror contents back to the host,
 //!   charging PCIe transfer time the way a data-region entry/exit does.
 //!
-//! Between jobs the worker resets its memory arena to the high-water mark
-//! taken after staging, so transient device allocations (a host program's
-//! data-environment buffers, kernel-local scratch) do not accumulate across
-//! the life of the pool. Mirror buffers live below the mark and persist.
+//! Between jobs the worker frees every allocation the job recorded, so
+//! transient device allocations (a host program's data-environment buffers,
+//! kernel-local scratch) do not accumulate across the life of the pool.
+//! Mirror buffers persist until the host buffer they shadow is freed, at
+//! which point an [`WorkerMessage::Evict`] reclaims the local copy too.
 
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
@@ -89,13 +90,17 @@ pub(crate) struct JobSuccess {
     /// Simulated seconds this job occupied the device timeline (kernel wall
     /// time + PCIe transfers).
     pub sim_busy_seconds: f64,
-    /// Device memory arena size after the post-job reset (regression signal
-    /// for unbounded growth in long-lived pools).
+    /// Live device-memory buffers after the post-job transient reclaim
+    /// (regression signal for unbounded growth in long-lived pools).
     pub arena_buffers: usize,
 }
 
 pub(crate) enum WorkerMessage {
     Job(Box<Job>),
+    /// Drop the mirror entries for these host buffers and free their local
+    /// copies (the host buffer was freed). FIFO-ordered with jobs, so an
+    /// eviction never races a queued job that still uses the mirror.
+    Evict(Vec<BufferId>),
     Shutdown,
 }
 
@@ -204,12 +209,12 @@ impl Worker {
         Ok(arg_buffers)
     }
 
-    fn run_job(&mut self, job: Job) -> Result<JobSuccess, String> {
+    fn run_job(&mut self, mut job: Job) -> Result<JobSuccess, String> {
         let mut stats = RunStats::default();
 
         // 1. Stage uploads into the local mirror, charging PCIe time where
         // the upload models an explicit map (sessions/kernel jobs).
-        for sb in job.staged {
+        for sb in std::mem::take(&mut job.staged) {
             if sb.charge {
                 stats.transfer_seconds += self.model.transfer_seconds(sb.contents.byte_len());
                 stats.transfers += 1;
@@ -226,15 +231,76 @@ impl Worker {
             }
         }
 
-        // Everything allocated past this mark is job-transient (a host
+        // Everything allocated from here on is job-transient (a host
         // program's device data environment, kernel-local scratch) and is
-        // freed after the job; the mirror lives below the mark.
-        let mark = self.memory.high_water_mark();
+        // freed after the job — on the error path too. Recording (not a bare
+        // high-water mark) captures transients that reuse slots of evicted
+        // mirror buffers.
+        self.memory.start_recording();
+        let outcome = self.execute_recorded(job, &mut stats);
+        let transient = self.memory.take_recorded();
+        let (mut results, writeback, arg_buffers) = match outcome {
+            Ok(parts) => parts,
+            Err(e) => {
+                // A failed job produces no results; its transients must not
+                // outlive it (a session retrying a failing kernel would
+                // otherwise grow the arena without bound).
+                for id in transient {
+                    self.memory.free(id);
+                }
+                return Err(e);
+            }
+        };
 
+        // Map result memrefs back to host ids where they alias arguments,
+        // then free job-transient allocations. A result referencing a fresh
+        // (non-argument) buffer must keep the transients intact.
+        let mut fresh_result = false;
+        for r in &mut results {
+            if let RtValue::MemRef(m) = r {
+                if let Some(&(host, _)) = arg_buffers.iter().find(|&&(_, l)| l == m.buffer) {
+                    m.buffer = host;
+                } else if transient.contains(&m.buffer) {
+                    fresh_result = true;
+                }
+            }
+        }
+        if !fresh_result {
+            for id in transient {
+                self.memory.free(id);
+            }
+        }
+
+        let sim_busy_seconds = stats.kernel_wall_seconds + stats.transfer_seconds;
+        Ok(JobSuccess {
+            stats,
+            results,
+            writeback,
+            sim_busy_seconds,
+            arena_buffers: self.memory.live(),
+        })
+    }
+
+    /// Steps 2–3 of a job — everything fallible that may allocate
+    /// job-transient memory. Returns `(results, writeback, arg_buffers)`;
+    /// the caller reclaims recorded transients on both paths.
+    #[allow(clippy::type_complexity)]
+    fn execute_recorded(
+        &mut self,
+        job: Job,
+        stats: &mut RunStats,
+    ) -> Result<
+        (
+            Vec<RtValue>,
+            Vec<(BufferId, Buffer, u64)>,
+            Vec<(BufferId, BufferId)>,
+        ),
+        String,
+    > {
         // 2. Remap argument memrefs and execute per job kind.
         let mut args = job.args;
         let arg_buffers = self.remap_args(&mut args)?;
-        let mut results = match &job.kind {
+        let results = match &job.kind {
             JobKind::HostCall { func } => {
                 let (run_stats, results) = self
                     .program
@@ -293,32 +359,7 @@ impl Worker {
             let entry = self.mirror.get_mut(&host).expect("present above");
             entry.1 = entry.1.max(version);
         }
-
-        // 4. Map result memrefs back to host ids where they alias arguments,
-        // then free job-transient allocations. A result referencing a fresh
-        // (non-argument) buffer must keep the arena intact.
-        let mut fresh_result = false;
-        for r in &mut results {
-            if let RtValue::MemRef(m) = r {
-                if let Some(&(host, _)) = arg_buffers.iter().find(|&&(_, l)| l == m.buffer) {
-                    m.buffer = host;
-                } else if (m.buffer.0 as usize) >= mark {
-                    fresh_result = true;
-                }
-            }
-        }
-        if !fresh_result {
-            self.memory.reset_to(mark);
-        }
-
-        let sim_busy_seconds = stats.kernel_wall_seconds + stats.transfer_seconds;
-        Ok(JobSuccess {
-            stats,
-            results,
-            writeback,
-            sim_busy_seconds,
-            arena_buffers: self.memory.len(),
-        })
+        Ok((results, writeback, arg_buffers))
     }
 }
 
@@ -342,7 +383,19 @@ pub(crate) fn spawn_worker(
                 memory: Memory::new(),
                 mirror: HashMap::new(),
             };
-            while let Ok(WorkerMessage::Job(job)) = jobs.recv() {
+            loop {
+                let job = match jobs.recv() {
+                    Ok(WorkerMessage::Job(job)) => job,
+                    Ok(WorkerMessage::Evict(ids)) => {
+                        for id in ids {
+                            if let Some((local, _)) = worker.mirror.remove(&id) {
+                                worker.memory.free(local);
+                            }
+                        }
+                        continue;
+                    }
+                    Ok(WorkerMessage::Shutdown) | Err(_) => break,
+                };
                 let job_id = job.job_id;
                 // Contain panics (e.g. from a malformed bitstream module):
                 // an unwinding worker that never reports its outcome would
@@ -350,6 +403,12 @@ pub(crate) fn spawn_worker(
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run_job(*job)))
                         .unwrap_or_else(|panic| {
+                            // Best-effort reclaim of the aborted job's
+                            // transients (recording is still active when a
+                            // job unwinds mid-execution).
+                            for id in worker.memory.take_recorded() {
+                                worker.memory.free(id);
+                            }
                             let msg = panic
                                 .downcast_ref::<&str>()
                                 .map(|s| s.to_string())

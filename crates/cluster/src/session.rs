@@ -109,11 +109,13 @@ impl ClusterMachine {
             env.insert_mapped(name, m.clone(), self.memory.get(m.buffer).type_name());
             env.acquire(name)
                 .map_err(|e| CompileError::new("cluster-session", e.to_string()))?;
-            upload.push((m.buffer, *kind == MapKind::From));
+            let seed = (*kind == MapKind::From)
+                .then(|| crate::machine::zeroed_like(self.memory.get(m.buffer)));
+            upload.push((m.buffer, seed));
             entries.push((name.to_string(), m.buffer, *kind));
         }
 
-        let ticket = self.submit_upload(&upload)?;
+        let ticket = self.submit_upload(&upload, None)?;
         let device = ticket.device;
         let stats = SessionStats {
             staged_uploads: ticket.staged,
@@ -171,7 +173,7 @@ impl ClusterMachine {
                 ));
             }
         }
-        let ticket = self.submit_kernel_deferred(kernel, args)?;
+        let ticket = self.submit_kernel_deferred(kernel, args, None)?;
         let s = self.sessions.get_mut(&session).expect("checked above");
         s.stats.launches += 1;
         s.stats.staged_uploads += ticket.staged;

@@ -1,0 +1,474 @@
+//! Sharded sessions: one persistent `target data` environment spanning the
+//! whole device pool — the cluster analogue of `target teams distribute`
+//! over a multi-FPGA machine.
+//!
+//! [`ClusterMachine::open_sharded_session`] partitions every mapped array
+//! with an [`ftn_shard::ShardPlan`] (leading-dimension blocks, optional halo
+//! rows; replicated broadcast arrays; per-shard reduction copies), assigns
+//! each shard a device, and stages the shard sub-buffers there — one
+//! resident sub-environment per device, driven through the usual
+//! `ftn_host::DataEnvironment` presence protocol inside
+//! [`ftn_shard::ShardedEnvironment`].
+//!
+//! Each [`ClusterMachine::sharded_launch`] fans one logical kernel launch
+//! out as per-shard kernel jobs with rebased trip counts
+//! ([`ShardArg::Extent`] resolves to the shard's local leading-dim extent).
+//! Shard jobs are *force-placed* on their shard's device: no affinity
+//! scoring, no stealing across shards — the data already lives there, and
+//! the per-shard trip counts price each device's backlog honestly through
+//! [`ftn_fpga::CostModel`]. Close fetches every shard's `from`/`tofrom`
+//! sub-buffers, gathers (concatenates owned rows, dropping halos) or reduces
+//! (sum/min/max private copies) into the caller's arrays, and frees the
+//! sub-buffers on host and devices alike.
+//!
+//! With one shard the scatter and gather are exact copies and the session is
+//! bit-identical — results and `RunStats` totals — to a plain
+//! [`ClusterMachine::open_session`] session.
+
+use ftn_core::CompileError;
+use ftn_host::RunStats;
+use ftn_interp::{BufferId, RtValue};
+use ftn_shard::{Partition, ShardedEnvironment};
+use serde::Serialize;
+
+use crate::machine::{ClusterMachine, LaunchHandle};
+use crate::session::{MapKind, SessionStats};
+
+/// How many shards a sharded session should open.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardCount {
+    /// Let the cost model pick from the pool size and the mapped array
+    /// lengths (see [`ftn_fpga::CostModel::auto_shards`]).
+    Auto,
+    /// Exactly this many shards (clamped to the pool size and to the
+    /// shortest split array's leading-dim extent).
+    Fixed(usize),
+}
+
+impl ShardCount {
+    /// Parse the serve-API form: `"auto"` or a positive integer.
+    pub fn parse(s: &str) -> Option<ShardCount> {
+        if s == "auto" {
+            return Some(ShardCount::Auto);
+        }
+        s.parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .map(ShardCount::Fixed)
+    }
+}
+
+/// One argument of a sharded kernel launch, resolved per shard.
+#[derive(Clone, Debug)]
+pub enum ShardArg {
+    /// A mapped array by name → the shard's sub-buffer.
+    Array(String),
+    /// The local leading-dim extent of a mapped array (owned rows plus
+    /// halos) as an `index` value — the rebased trip count / loop bound.
+    Extent(String),
+    /// A scalar broadcast unchanged to every shard.
+    Scalar(RtValue),
+}
+
+/// One open sharded session (owned by the [`ClusterMachine`]).
+pub struct ShardedSession {
+    pub(crate) env: ShardedEnvironment,
+    /// `(name, global buffer, kind, partition)` in map order.
+    pub(crate) maps: Vec<(String, BufferId, MapKind, Partition)>,
+    /// shard index → device index.
+    pub(crate) devices: Vec<usize>,
+    pub(crate) outstanding: Vec<u64>,
+    pub(crate) stats: SessionStats,
+}
+
+impl ShardedSession {
+    /// Whether `id` is one of this session's global or shard sub-buffers.
+    pub(crate) fn uses_buffer(&self, id: BufferId) -> bool {
+        self.maps.iter().any(|&(_, b, _, _)| b == id) || self.env.buffer_ids().contains(&id)
+    }
+}
+
+/// Receipt for one logical sharded launch: per-shard handles plus the
+/// aggregate staging the fan-out performed. Redeem with
+/// [`ClusterMachine::wait_sharded`].
+#[derive(Debug)]
+#[must_use = "wait on the ticket (wait_sharded) to observe results"]
+pub struct ShardedLaunchTicket {
+    pub session: u64,
+    pub handles: Vec<LaunchHandle>,
+    /// Device of each per-shard job, in shard order.
+    pub devices: Vec<usize>,
+    pub staged: u64,
+    pub staged_bytes: u64,
+    pub elided: u64,
+}
+
+/// A completed sharded launch: merged statistics over the per-shard jobs.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShardedLaunchReport {
+    pub session: u64,
+    pub devices: Vec<usize>,
+    /// Per-shard `RunStats` merged in shard order.
+    pub stats: RunStats,
+}
+
+/// Result of closing a sharded session.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShardedReport {
+    pub session: u64,
+    pub shards: usize,
+    pub devices: Vec<usize>,
+    pub stats: SessionStats,
+}
+
+impl ClusterMachine {
+    /// Open a sharded data environment: partition each `(name, array, kind,
+    /// partition)` across `shards` devices and stage every shard's
+    /// sub-buffers onto its device. The effective shard count is clamped to
+    /// the pool size and to the shortest `Split` array's leading-dim extent;
+    /// [`ShardCount::Auto`] asks the cost model. Returns the session id —
+    /// the id space is shared with unsharded sessions.
+    pub fn open_sharded_session(
+        &mut self,
+        maps: &[(&str, RtValue, MapKind, Partition)],
+        shards: ShardCount,
+    ) -> Result<u64, CompileError> {
+        if maps.is_empty() {
+            return Err(CompileError::new(
+                "cluster-shard",
+                "a sharded session must map at least one array".to_string(),
+            ));
+        }
+        let mut resolved = Vec::with_capacity(maps.len());
+        for (name, value, kind, partition) in maps {
+            let m = value
+                .as_memref()
+                .map_err(|e| CompileError::new("cluster-shard", format!("map '{name}': {e}")))?;
+            if !self.buffers.contains_key(&m.buffer) {
+                return Err(CompileError::new(
+                    "cluster-shard",
+                    format!("map '{name}': buffer not allocated on this machine"),
+                ));
+            }
+            match (partition, kind) {
+                (Partition::Replicated, MapKind::From | MapKind::ToFrom) => {
+                    return Err(CompileError::new(
+                        "cluster-shard",
+                        format!("map '{name}': replicated arrays must be map(to:)"),
+                    ));
+                }
+                (Partition::Reduced(_), MapKind::To) => {
+                    return Err(CompileError::new(
+                        "cluster-shard",
+                        format!("map '{name}': reduced arrays must be map(from:|tofrom:)"),
+                    ));
+                }
+                _ => {}
+            }
+            resolved.push((name.to_string(), m.clone(), *kind, *partition));
+        }
+
+        // Effective shard count: request (or cost-model pick) clamped so no
+        // split array ends up with an empty shard.
+        let pool = self.pool.len();
+        let split_rows = resolved
+            .iter()
+            .filter(|(_, _, _, p)| matches!(p, Partition::Split { .. }))
+            .map(|(_, m, _, _)| m.shape.first().copied().unwrap_or(1).max(0) as usize)
+            .min();
+        let requested = match shards {
+            ShardCount::Fixed(n) => n.max(1),
+            ShardCount::Auto => {
+                let elements = resolved
+                    .iter()
+                    .filter(|(_, _, _, p)| matches!(p, Partition::Split { .. }))
+                    .map(|(_, m, _, _)| m.num_elements() as u64)
+                    .max()
+                    .unwrap_or(0);
+                self.cost_model
+                    .auto_shards(&self.pool.slots[0].model, elements, pool)
+            }
+        };
+        let shards = requested
+            .min(pool)
+            .min(split_rows.unwrap_or(requested))
+            .max(1);
+
+        // Scatter: one sub-environment per shard, sub-buffers in pool host
+        // memory (they behave like any other host buffer from here on). A
+        // failed map must not leak the slices of the arrays mapped before
+        // it.
+        let mut env = ShardedEnvironment::new(shards);
+        for (name, m, _, partition) in &resolved {
+            if let Err(e) = env.map(&mut self.memory, name, m, *partition) {
+                for id in env.buffer_ids() {
+                    self.memory.free(id);
+                }
+                return Err(CompileError::new("cluster-shard", e.to_string()));
+            }
+        }
+        for id in env.buffer_ids() {
+            self.buffers.insert(id, Default::default());
+        }
+
+        // Stage every shard onto its device; uploads overlap across devices.
+        let devices: Vec<usize> = (0..shards).map(|s| s % pool).collect();
+        let mut stats = SessionStats::default();
+        let mut handles = Vec::with_capacity(shards);
+        for (shard, &device) in devices.iter().enumerate() {
+            // `map(from:)` copies start device-initialized rather than from
+            // host contents: zeroed normally, but a reduction copy must
+            // start at the operation's identity (+∞ for min, −∞ for max —
+            // zero would corrupt the fold).
+            let upload: Vec<(BufferId, Option<ftn_interp::Buffer>)> = env
+                .arrays()
+                .iter()
+                .zip(&resolved)
+                .map(|(a, (_, _, kind, partition))| {
+                    let id = a.slices[shard].memref.buffer;
+                    let seed = (*kind == MapKind::From).then(|| match partition {
+                        Partition::Reduced(op) => op.identity_like(self.memory.get(id)),
+                        _ => crate::machine::zeroed_like(self.memory.get(id)),
+                    });
+                    (id, seed)
+                })
+                .collect();
+            let ticket = self.submit_upload(&upload, Some(device))?;
+            stats.staged_uploads += ticket.staged;
+            stats.staged_bytes += ticket.staged_bytes;
+            stats.elided_transfers += ticket.elided;
+            handles.push(ticket.handle);
+        }
+        for h in handles {
+            self.wait(h)?;
+        }
+
+        let session = self.next_session;
+        self.next_session += 1;
+        self.sharded.insert(
+            session,
+            ShardedSession {
+                env,
+                maps: resolved
+                    .into_iter()
+                    .map(|(name, m, kind, partition)| (name, m.buffer, kind, partition))
+                    .collect(),
+                devices,
+                outstanding: Vec::new(),
+                stats,
+            },
+        );
+        Ok(session)
+    }
+
+    /// The shard count of an open sharded session.
+    pub fn sharded_shards(&self, session: u64) -> Option<usize> {
+        self.sharded.get(&session).map(|s| s.env.shards())
+    }
+
+    /// The devices an open sharded session spans, in shard order.
+    pub fn sharded_devices(&self, session: u64) -> Option<Vec<usize>> {
+        self.sharded.get(&session).map(|s| s.devices.clone())
+    }
+
+    /// Current accounting for an open sharded session.
+    pub fn sharded_stats(&self, session: u64) -> Option<SessionStats> {
+        self.sharded.get(&session).map(|s| s.stats.clone())
+    }
+
+    /// The `(name, global array, kind, partition)` mappings of an open
+    /// sharded session, in map order.
+    pub fn sharded_maps(&self, session: u64) -> Option<Vec<(String, RtValue, MapKind, Partition)>> {
+        let s = self.sharded.get(&session)?;
+        Some(
+            s.maps
+                .iter()
+                .map(|(name, _, kind, partition)| {
+                    let a = s.env.array(name).expect("mapped name resolves");
+                    (
+                        name.clone(),
+                        RtValue::MemRef(a.global.clone()),
+                        *kind,
+                        *partition,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Ids of the currently open sharded sessions.
+    pub fn open_sharded_sessions(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.sharded.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Fan one logical kernel launch out as one kernel-level job per shard,
+    /// each force-placed on its shard's device with rebased array and extent
+    /// arguments. Device copies stay authoritative (deferred writeback);
+    /// host memory syncs at close. Returns the per-shard handles.
+    pub fn sharded_launch(
+        &mut self,
+        session: u64,
+        kernel: &str,
+        args: &[ShardArg],
+    ) -> Result<ShardedLaunchTicket, CompileError> {
+        let s = self
+            .sharded
+            .get(&session)
+            .ok_or_else(|| CompileError::new("cluster-shard", no_session(session)))?;
+        let shards = s.env.shards();
+        let devices = s.devices.clone();
+        let mut per_shard: Vec<Vec<RtValue>> = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let mut argv = Vec::with_capacity(args.len());
+            for a in args {
+                argv.push(match a {
+                    ShardArg::Array(name) => s.env.shard_value(shard, name).ok_or_else(|| {
+                        CompileError::new(
+                            "cluster-shard",
+                            format!("session {session} maps no array '{name}'"),
+                        )
+                    })?,
+                    ShardArg::Extent(name) => {
+                        RtValue::Index(s.env.shard_extent(shard, name).ok_or_else(|| {
+                            CompileError::new(
+                                "cluster-shard",
+                                format!("session {session} maps no array '{name}'"),
+                            )
+                        })?)
+                    }
+                    ShardArg::Scalar(v) => {
+                        if matches!(v, RtValue::MemRef(_)) {
+                            return Err(CompileError::new(
+                                "cluster-shard",
+                                "memref scalars are not allowed; map arrays by name".to_string(),
+                            ));
+                        }
+                        v.clone()
+                    }
+                });
+            }
+            per_shard.push(argv);
+        }
+
+        let mut ticket = ShardedLaunchTicket {
+            session,
+            handles: Vec::with_capacity(shards),
+            devices: devices.clone(),
+            staged: 0,
+            staged_bytes: 0,
+            elided: 0,
+        };
+        for (shard, argv) in per_shard.iter().enumerate() {
+            let t = self.submit_kernel_deferred(kernel, argv, Some(devices[shard]))?;
+            ticket.staged += t.staged;
+            ticket.staged_bytes += t.staged_bytes;
+            ticket.elided += t.elided;
+            ticket.handles.push(t.handle);
+        }
+        let s = self.sharded.get_mut(&session).expect("checked above");
+        s.stats.launches += shards as u64;
+        s.stats.staged_uploads += ticket.staged;
+        s.stats.staged_bytes += ticket.staged_bytes;
+        s.stats.elided_transfers += ticket.elided;
+        s.outstanding
+            .extend(ticket.handles.iter().map(|h| h.job_id()));
+        Ok(ticket)
+    }
+
+    /// Wait for every per-shard job of one sharded launch and merge their
+    /// statistics in shard order.
+    pub fn wait_sharded(
+        &mut self,
+        ticket: ShardedLaunchTicket,
+    ) -> Result<ShardedLaunchReport, CompileError> {
+        let mut stats = RunStats::default();
+        for handle in ticket.handles {
+            let report = self.wait(handle)?;
+            stats.merge(&report.report.stats);
+        }
+        Ok(ShardedLaunchReport {
+            session: ticket.session,
+            devices: ticket.devices,
+            stats,
+        })
+    }
+
+    /// Close a sharded session: drain outstanding launches, fetch every
+    /// shard's `from`/`tofrom` sub-buffers from its device, gather
+    /// (concatenate owned rows) or reduce (combine private copies) into the
+    /// caller's global arrays, and free the shard sub-buffers on host and
+    /// devices.
+    pub fn close_sharded_session(&mut self, session: u64) -> Result<ShardedReport, CompileError> {
+        let s = self
+            .sharded
+            .get(&session)
+            .ok_or_else(|| CompileError::new("cluster-shard", no_session(session)))?;
+        let outstanding = s.outstanding.clone();
+        for job_id in outstanding {
+            // The caller may have waited some launches itself; skip those.
+            if self.pending.contains_key(&job_id) || self.completed.contains_key(&job_id) {
+                self.wait(LaunchHandle { job_id })?;
+            }
+        }
+
+        let s = self.sharded.get(&session).expect("still present");
+        let shards = s.env.shards();
+        let devices = s.devices.clone();
+        let mut per_shard_fetch: Vec<Vec<BufferId>> = vec![Vec::new(); shards];
+        for (name, _, kind, _) in &s.maps {
+            if matches!(kind, MapKind::From | MapKind::ToFrom) {
+                let a = s.env.array(name).expect("mapped name resolves");
+                for (shard, slice) in a.slices.iter().enumerate() {
+                    per_shard_fetch[shard].push(slice.memref.buffer);
+                }
+            }
+        }
+        let mut fetched = 0u64;
+        let mut handles = Vec::new();
+        for (shard, ids) in per_shard_fetch.iter().enumerate() {
+            if !ids.is_empty() {
+                fetched += ids.len() as u64;
+                handles.push(self.submit_fetch(devices[shard], ids)?);
+            }
+        }
+        for h in handles {
+            self.wait(h)?;
+        }
+
+        let mut s = self.sharded.remove(&session).expect("still present");
+        for (name, global, kind, _) in &s.maps {
+            if matches!(kind, MapKind::From | MapKind::ToFrom) {
+                s.env
+                    .gather(&mut self.memory, name)
+                    .map_err(|e| CompileError::new("cluster-shard", e.to_string()))?;
+                // The gather rewrote host memory directly: bump the global
+                // buffer's version so stale device copies are not trusted.
+                if let Some(state) = self.buffers.get_mut(global) {
+                    state.version += 1;
+                    state.written = state.version;
+                    state.resident.clear();
+                }
+            }
+        }
+        s.env.release();
+        let sub = s.env.buffer_ids();
+        for id in &sub {
+            self.buffers.remove(id);
+            self.memory.free(*id);
+        }
+        self.evict_mirrors(sub);
+        s.stats.fetched_downloads = fetched;
+        Ok(ShardedReport {
+            session,
+            shards,
+            devices: s.devices,
+            stats: s.stats,
+        })
+    }
+}
+
+fn no_session(session: u64) -> String {
+    format!("no open sharded session {session}")
+}

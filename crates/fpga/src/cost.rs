@@ -71,6 +71,21 @@ impl KernelCostModel {
     pub fn estimate_seconds(&self, device: &DeviceModel, elements: u64) -> f64 {
         device.cycles_to_seconds(self.estimate_cycles(elements)) + device.launch_overhead_us * 1e-6
     }
+
+    /// Predicted cycles of the *largest* shard when `elements` are split into
+    /// `shards` near-equal contiguous leading-dim blocks — the critical path
+    /// of a sharded launch fanned out across devices.
+    pub fn estimate_shard_cycles(&self, elements: u64, shards: u64) -> u64 {
+        self.estimate_cycles(elements.div_ceil(shards.max(1)))
+    }
+
+    /// Predicted per-device occupancy of the largest shard of a sharded
+    /// launch (kernel wall time of `ceil(elements/shards)` elements plus the
+    /// per-shard launch overhead).
+    pub fn estimate_shard_seconds(&self, device: &DeviceModel, elements: u64, shards: u64) -> f64 {
+        device.cycles_to_seconds(self.estimate_shard_cycles(elements, shards))
+            + device.launch_overhead_us * 1e-6
+    }
 }
 
 /// Per-kernel cost models for every kernel in a bitstream.
@@ -107,6 +122,46 @@ impl CostModel {
             .map(|k| k.estimate_seconds(device, elements))
             .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
     }
+
+    /// Worst case over all kernels of the largest-shard occupancy (see
+    /// [`KernelCostModel::estimate_shard_seconds`]).
+    pub fn estimate_any_shard_seconds(
+        &self,
+        device: &DeviceModel,
+        elements: u64,
+        shards: u64,
+    ) -> Option<f64> {
+        self.kernels
+            .values()
+            .map(|k| k.estimate_shard_seconds(device, elements, shards))
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+    }
+
+    /// Pick a shard count for `elements` on a pool of `max_shards` devices:
+    /// the largest count whose predicted per-launch makespan (largest-shard
+    /// kernel time + launch overhead) still improves by ≥ 10% per added
+    /// shard. Small arrays stop early — once the fixed launch overhead
+    /// dominates, extra shards stop paying for their fan-out. With no
+    /// predictable kernel the pool size is returned (capped by `elements`).
+    pub fn auto_shards(&self, device: &DeviceModel, elements: u64, max_shards: usize) -> usize {
+        let cap = max_shards.max(1).min(elements.max(1) as usize);
+        let Some(mut prev) = self.estimate_any_shard_seconds(device, elements, 1) else {
+            return cap;
+        };
+        let mut best = 1usize;
+        for n in 2..=cap {
+            let est = self
+                .estimate_any_shard_seconds(device, elements, n as u64)
+                .expect("non-empty model");
+            if est < prev * 0.9 {
+                best = n;
+                prev = est;
+            } else {
+                break;
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +195,52 @@ mod tests {
         // Zero-trip epilogue charges the 2-cycle guard.
         let expect_even = KERNEL_CONTROL_CYCLES + 120 + (1000 - 1) * 320 + 2;
         assert_eq!(model.estimate_cycles(10_000), expect_even);
+    }
+
+    #[test]
+    fn shard_estimate_prices_the_largest_shard() {
+        let model = KernelCostModel::from_schedule("s", &[loop_info(0, true, 1, 96)]);
+        // 1003 elements over 4 shards: largest shard is ceil(1003/4) = 251.
+        assert_eq!(
+            model.estimate_shard_cycles(1003, 4),
+            model.estimate_cycles(251)
+        );
+        // One shard is the plain estimate; zero shards is clamped to one.
+        assert_eq!(
+            model.estimate_shard_cycles(1003, 1),
+            model.estimate_cycles(1003)
+        );
+        assert_eq!(
+            model.estimate_shard_cycles(1003, 0),
+            model.estimate_cycles(1003)
+        );
+        let device = DeviceModel::u280();
+        let secs = model.estimate_shard_seconds(&device, 1000, 4);
+        let expect =
+            device.cycles_to_seconds(model.estimate_cycles(250)) + device.launch_overhead_us * 1e-6;
+        assert!((secs - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn auto_shards_scales_with_array_size() {
+        let mut kernels = HashMap::new();
+        kernels.insert(
+            "k".to_string(),
+            KernelCostModel::from_schedule("k", &[loop_info(0, true, 1, 96)]),
+        );
+        let model = CostModel { kernels };
+        let device = DeviceModel::u280();
+        // A big array amortizes the launch overhead: use the whole pool.
+        assert_eq!(model.auto_shards(&device, 1_000_000, 4), 4);
+        // A tiny array is overhead-dominated: one device is enough.
+        assert_eq!(model.auto_shards(&device, 2, 4), 1);
+        // Never more shards than elements (or devices).
+        assert!(model.auto_shards(&device, 3, 8) <= 3);
+        assert_eq!(model.auto_shards(&device, 1_000_000, 1), 1);
+        // An empty model falls back to the pool size capped by elements.
+        let empty = CostModel::default();
+        assert_eq!(empty.auto_shards(&device, 100, 4), 4);
+        assert_eq!(empty.auto_shards(&device, 2, 4), 2);
     }
 
     #[test]

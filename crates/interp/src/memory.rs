@@ -1,4 +1,21 @@
 //! Typed buffer arena shared by host and (simulated) device memory spaces.
+//!
+//! Two reclamation mechanisms coexist:
+//!
+//! * **Free-list** — [`Memory::free`] releases one buffer; its slot is reused
+//!   by a later [`Memory::alloc`]. Long-lived owners with individually-dying
+//!   buffers (the serving layer's per-request host arrays, worker mirror
+//!   copies evicted when their host buffer is freed) use this so sustained
+//!   traffic keeps the arena flat.
+//! * **High-water reset** — [`Memory::high_water_mark`] /
+//!   [`Memory::reset_to`] free a whole suffix of the arena at once (a pool
+//!   worker's job-transient allocations).
+//!
+//! Because the free-list lets an allocation land *below* a high-water mark,
+//! owners that must reclaim everything a job allocated use
+//! [`Memory::start_recording`] / [`Memory::take_recorded`] instead of a bare
+//! mark: recording captures every allocation id regardless of which slot it
+//! reused.
 
 use crate::error::InterpError;
 
@@ -57,7 +74,12 @@ impl Buffer {
 /// memory space they live in (0 = host, 1.. = device spaces).
 #[derive(Default, Debug)]
 pub struct Memory {
-    buffers: Vec<(Buffer, u32)>,
+    /// `None` = freed slot awaiting reuse.
+    slots: Vec<Option<(Buffer, u32)>>,
+    /// Indices of freed slots (LIFO reuse).
+    free: Vec<u32>,
+    /// When recording, every allocation id since `start_recording`.
+    recorded: Option<Vec<BufferId>>,
 }
 
 impl Memory {
@@ -66,8 +88,20 @@ impl Memory {
     }
 
     pub fn alloc(&mut self, buffer: Buffer, space: u32) -> BufferId {
-        let id = BufferId(self.buffers.len() as u32);
-        self.buffers.push((buffer, space));
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some((buffer, space));
+                BufferId(slot)
+            }
+            None => {
+                let id = BufferId(self.slots.len() as u32);
+                self.slots.push(Some((buffer, space)));
+                id
+            }
+        };
+        if let Some(recorded) = &mut self.recorded {
+            recorded.push(id);
+        }
         id
     }
 
@@ -92,33 +126,86 @@ impl Memory {
         Ok(self.alloc(buffer, space))
     }
 
+    /// Release one buffer; its slot is reused by a later [`Memory::alloc`].
+    /// Freeing an already-freed id is a no-op. The caller must ensure the id
+    /// is not used again until it is reissued by `alloc`.
+    pub fn free(&mut self, id: BufferId) {
+        let slot = id.0 as usize;
+        if slot < self.slots.len() && self.slots[slot].is_some() {
+            self.slots[slot] = None;
+            self.free.push(id.0);
+        }
+    }
+
+    /// Whether `id` currently refers to a live buffer.
+    pub fn is_live(&self, id: BufferId) -> bool {
+        self.slots
+            .get(id.0 as usize)
+            .is_some_and(|slot| slot.is_some())
+    }
+
     pub fn get(&self, id: BufferId) -> &Buffer {
-        &self.buffers[id.0 as usize].0
+        match &self.slots[id.0 as usize] {
+            Some((buffer, _)) => buffer,
+            None => panic!("use of freed buffer {id:?}"),
+        }
     }
 
     pub fn get_mut(&mut self, id: BufferId) -> &mut Buffer {
-        &mut self.buffers[id.0 as usize].0
+        match &mut self.slots[id.0 as usize] {
+            Some((buffer, _)) => buffer,
+            None => panic!("use of freed buffer {id:?}"),
+        }
     }
 
     pub fn space(&self, id: BufferId) -> u32 {
-        self.buffers[id.0 as usize].1
+        match &self.slots[id.0 as usize] {
+            Some((_, space)) => *space,
+            None => panic!("use of freed buffer {id:?}"),
+        }
     }
 
+    /// Total slot count, including freed slots awaiting reuse.
     pub fn len(&self) -> usize {
-        self.buffers.len()
+        self.slots.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.buffers.is_empty()
+        self.live() == 0
+    }
+
+    /// Number of live buffers.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Total bytes held by live buffers.
+    pub fn live_bytes(&self) -> u64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|(buffer, _)| buffer.byte_len() as u64)
+            .sum()
+    }
+
+    /// Start capturing allocation ids; pair with [`Memory::take_recorded`].
+    /// Unlike a high-water mark, recording also captures allocations that
+    /// reuse freed slots below the mark.
+    pub fn start_recording(&mut self) {
+        self.recorded = Some(Vec::new());
+    }
+
+    /// Stop capturing and return every id allocated since
+    /// [`Memory::start_recording`].
+    pub fn take_recorded(&mut self) -> Vec<BufferId> {
+        self.recorded.take().unwrap_or_default()
     }
 
     /// High-water mark of the arena: buffers allocated from here on can be
-    /// freed together with [`Memory::reset_to`]. Long-lived owners (pool
-    /// workers, sessions) take a mark after staging their persistent buffers
-    /// and reset after each job so transient device allocations do not
-    /// accumulate.
+    /// freed together with [`Memory::reset_to`] — but see
+    /// [`Memory::start_recording`] when freed-slot reuse is in play.
     pub fn high_water_mark(&self) -> usize {
-        self.buffers.len()
+        self.slots.len()
     }
 
     /// Free every buffer allocated at or after `mark` (a prior
@@ -126,7 +213,8 @@ impl Memory {
     /// [`BufferId`] at or above `mark` is used afterwards; ids below `mark`
     /// are untouched and freed slots are reused by later allocations.
     pub fn reset_to(&mut self, mark: usize) {
-        self.buffers.truncate(mark);
+        self.slots.truncate(mark);
+        self.free.retain(|&slot| (slot as usize) < mark);
     }
 
     /// Copy the full contents of `src` into `dst` (must be same type & len).
@@ -135,11 +223,14 @@ impl Memory {
             return Ok(());
         }
         let (a, b) = if src.0 < dst.0 {
-            let (lo, hi) = self.buffers.split_at_mut(dst.0 as usize);
-            (&lo[src.0 as usize].0, &mut hi[0].0)
+            let (lo, hi) = self.slots.split_at_mut(dst.0 as usize);
+            (&lo[src.0 as usize], &mut hi[0])
         } else {
-            let (lo, hi) = self.buffers.split_at_mut(src.0 as usize);
-            (&hi[0].0, &mut lo[dst.0 as usize].0)
+            let (lo, hi) = self.slots.split_at_mut(src.0 as usize);
+            (&hi[0], &mut lo[dst.0 as usize])
+        };
+        let (Some((a, _)), Some((b, _))) = (a, b) else {
+            return Err(InterpError::new("buffer copy touches a freed buffer"));
         };
         match (a, b) {
             (Buffer::F32(s), Buffer::F32(d)) if s.len() == d.len() => d.copy_from_slice(s),
@@ -200,6 +291,50 @@ mod tests {
         // The freed slot is reused by the next allocation.
         let again = m.alloc_zeroed("f64", 4, 1).unwrap();
         assert_eq!(again.0, mark as u32);
+    }
+
+    #[test]
+    fn free_list_reuses_slots_and_keeps_arena_flat() {
+        let mut m = Memory::new();
+        let keep = m.alloc(Buffer::F32(vec![1.0]), 0);
+        for _ in 0..10 {
+            let a = m.alloc_zeroed("f32", 1024, 0).unwrap();
+            let b = m.alloc_zeroed("i64", 256, 0).unwrap();
+            assert!(m.is_live(a));
+            m.free(a);
+            m.free(b);
+            assert!(!m.is_live(a));
+        }
+        // Slot count never exceeded live + 2 transients; live stays 1.
+        assert_eq!(m.live(), 1);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.live_bytes(), 4);
+        // Double-free is a no-op.
+        let a = m.alloc_zeroed("f32", 2, 0).unwrap();
+        m.free(a);
+        m.free(a);
+        assert_eq!(m.live(), 1);
+        assert_eq!(m.get(keep), &Buffer::F32(vec![1.0]));
+    }
+
+    #[test]
+    fn recording_captures_reused_slots() {
+        let mut m = Memory::new();
+        let dying = m.alloc_zeroed("f32", 8, 0).unwrap();
+        let _mirror = m.alloc_zeroed("f32", 8, 0).unwrap();
+        m.free(dying);
+        // A bare high-water mark would now miss a transient landing in the
+        // freed slot below it; recording does not.
+        m.start_recording();
+        let t1 = m.alloc_zeroed("f32", 4, 1).unwrap();
+        let t2 = m.alloc_zeroed("f32", 4, 1).unwrap();
+        assert_eq!(t1, dying, "transient reuses the freed slot");
+        let recorded = m.take_recorded();
+        assert_eq!(recorded, vec![t1, t2]);
+        for id in recorded {
+            m.free(id);
+        }
+        assert_eq!(m.live(), 1);
     }
 
     #[test]

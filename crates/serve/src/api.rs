@@ -83,6 +83,10 @@ pub fn i32_slice(items: &[Value]) -> Result<Vec<i32>, String> {
 pub enum ArgSpec {
     /// A session array referenced by its mapped name.
     Named(String),
+    /// The per-shard leading-dim extent of a mapped array (sharded session
+    /// launches: the rebased trip count / loop bound). On an unsharded
+    /// session this is the array's full leading-dim extent.
+    Extent(String),
     /// An inline f32 array (sessionless runs).
     ArrayF32(Vec<f32>),
     /// An inline i32 array (sessionless runs).
@@ -94,9 +98,9 @@ pub enum ArgSpec {
     Index(i64),
 }
 
-/// Decode one argument object: `{"array": "x"}`, `{"array_f32": [...]}`,
-/// `{"array_i32": [...]}`, `{"f32": 2.0}`, `{"f64": 2.0}`, `{"i32": 5}`,
-/// `{"i64": 5}` or `{"index": 5}`.
+/// Decode one argument object: `{"array": "x"}`, `{"extent": "x"}`,
+/// `{"array_f32": [...]}`, `{"array_i32": [...]}`, `{"f32": 2.0}`,
+/// `{"f64": 2.0}`, `{"i32": 5}`, `{"i64": 5}` or `{"index": 5}`.
 pub fn parse_arg(v: &Value) -> Result<ArgSpec, String> {
     let Value::Obj(fields) = v else {
         return Err("argument must be an object like {\"f32\": 2.0}".to_string());
@@ -108,6 +112,10 @@ pub fn parse_arg(v: &Value) -> Result<ArgSpec, String> {
         "array" => match value {
             Value::Str(s) => Ok(ArgSpec::Named(s.clone())),
             _ => Err("'array' must name a mapped array".to_string()),
+        },
+        "extent" => match value {
+            Value::Str(s) => Ok(ArgSpec::Extent(s.clone())),
+            _ => Err("'extent' must name a mapped array".to_string()),
         },
         "array_f32" => match value {
             Value::Arr(items) => Ok(ArgSpec::ArrayF32(f32_slice(items)?)),

@@ -1,13 +1,45 @@
 //! Minimal blocking HTTP/1.1 client for exercising the service from tests,
-//! examples and smoke checks — one request per connection, mirroring the
-//! server's `Connection: close` behaviour.
+//! examples and smoke checks.
+//!
+//! [`Conn`] holds one keep-alive connection and reuses it across requests —
+//! a launch burst pays the TCP connect once. The free-standing [`request`]
+//! helper keeps the old one-shot behaviour (`Connection: close` per
+//! request).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
 use serde::Value;
 
-/// Send one request and return `(status, parsed JSON body)`.
+/// One persistent keep-alive connection to the service.
+pub struct Conn {
+    stream: TcpStream,
+}
+
+impl Conn {
+    pub fn open(addr: SocketAddr) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        // Request head+body go out as one segment already; disable Nagle so
+        // a pipelined burst never waits on delayed ACKs.
+        let _ = stream.set_nodelay(true);
+        Ok(Conn { stream })
+    }
+
+    /// Send one request on the persistent connection and return
+    /// `(status, parsed JSON body)`. The connection stays open for the next
+    /// request.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, Value)> {
+        round_trip(&mut self.stream, method, path, body, true)
+    }
+}
+
+/// Send one request on a fresh connection (`Connection: close`) and return
+/// `(status, parsed JSON body)`.
 pub fn request(
     addr: SocketAddr,
     method: &str,
@@ -15,23 +47,61 @@ pub fn request(
     body: &str,
 ) -> std::io::Result<(u16, Value)> {
     let mut stream = TcpStream::connect(addr)?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+    round_trip(&mut stream, method, path, body, false)
+}
+
+fn round_trip(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<(u16, Value)> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n",
         body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    let mut response = String::new();
-    stream.read_to_string(&mut response)?;
-    let status: u16 = response
+    )
+    .into_bytes();
+    request.extend_from_slice(body.as_bytes());
+    stream.write_all(&request)?;
+    stream.flush()?;
+
+    // Read the response head byte-wise, then the body by Content-Length —
+    // on a keep-alive connection the server does not close the stream, so
+    // read-to-EOF would hang.
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let status: u16 = head
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
         })?;
-    let json = response.split("\r\n\r\n").nth(1).unwrap_or("{}");
-    let value = serde_json::value_from_str(json)
+    let mut content_length = 0usize;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body).into_owned();
+    let value = serde_json::value_from_str(&body)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     Ok((status, value))
 }

@@ -1,7 +1,8 @@
-//! Minimal std-only HTTP/1.1 plumbing for the service: parses one request
-//! per connection (`Connection: close` semantics) and writes JSON responses.
-//! Deliberately small — the service speaks a fixed JSON API to trusted
-//! clients; this is not a general-purpose web server.
+//! Minimal std-only HTTP/1.1 plumbing for the service: parses requests,
+//! honors `Connection: keep-alive` (one request loop per connection with an
+//! idle timeout — see `handle_connection` in the crate root) and writes JSON
+//! responses. Deliberately small — the service speaks a fixed JSON API to
+//! trusted clients; this is not a general-purpose web server.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -17,6 +18,11 @@ pub struct Request {
     pub method: String,
     pub path: String,
     pub body: String,
+    /// Whether the connection should stay open after the response —
+    /// HTTP/1.1 defaults to keep-alive unless the client sends
+    /// `Connection: close`; HTTP/1.0 defaults to close unless the client
+    /// sends `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -55,6 +61,7 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
     let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
     if method.is_empty() || path.is_empty() {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -62,10 +69,19 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
         ));
     }
     let mut content_length = 0usize;
+    let mut keep_alive = !version.eq_ignore_ascii_case("HTTP/1.0");
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().unwrap_or(0);
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
@@ -79,7 +95,12 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
     stream.read_exact(&mut body)?;
     let body = String::from_utf8(body)
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
 }
 
 fn status_text(status: u16) -> &'static str {
@@ -93,14 +114,24 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// Write a JSON response and flush.
-pub fn write_json(stream: &mut TcpStream, status: u16, json: &str) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+/// Write a JSON response and flush. `keep_alive` controls the `Connection`
+/// header; the caller closes the stream when it is false. Head and body go
+/// out as one write so a keep-alive connection never trips the Nagle /
+/// delayed-ACK interaction (a ~40 ms stall per response).
+pub fn write_json(
+    stream: &mut TcpStream,
+    status: u16,
+    json: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut response = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         status_text(status),
         json.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(json.as_bytes())?;
+    )
+    .into_bytes();
+    response.extend_from_slice(json.as_bytes());
+    stream.write_all(&response)?;
     stream.flush()
 }

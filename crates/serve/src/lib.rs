@@ -6,17 +6,20 @@
 //! | Method & path               | Body                                   | Effect |
 //! |-----------------------------|----------------------------------------|--------|
 //! | `POST /compile`             | `{source, fix_mac_pattern?}`           | Compile via the content-addressed [`ArtifactCache`]; returns the key, whether it was a cache hit, and each kernel's launch signature. |
-//! | `POST /sessions`            | `{key, maps: [{name, kind, data}]}`    | Open a persistent `target data` session: arrays are mapped once onto one pool device. |
-//! | `POST /sessions/{id}/launch`| `{kernel, args: [{array\|f32\|...}]}`  | Run one kernel-level job against the session's resident buffers (no per-launch transfers). |
-//! | `DELETE /sessions/{id}`     |                                        | Close the session: write `from`/`tofrom` arrays back and return them with the session stats. |
-//! | `POST /run`                 | `{key, func, args}`                    | Sessionless whole-program run (the baseline the elision ratio is measured against). |
-//! | `GET /stats`                |                                        | Cache, pool, and session statistics. |
+//! | `POST /sessions`            | `{key, maps: [{name, kind, data, partition?, halo?}], shards?}` | Open a persistent `target data` session. Without `shards`, arrays map onto one pool device; with `shards: N` (or `"auto"`) each array is partitioned across N devices (`partition`: `split` (default, with optional `halo` rows) \| `replicated` \| `sum`/`min`/`max`). |
+//! | `POST /sessions/{id}/launch`| `{kernel, args: [{array\|extent\|f32\|...}]}` | Run one kernel-level job against the session's resident buffers (no per-launch transfers). On a sharded session the launch fans out per shard, with `{extent: name}` rebased to each shard's local length. |
+//! | `DELETE /sessions/{id}`     |                                        | Close the session: gather (or reduce) `from`/`tofrom` arrays back and return them with the session stats; all session memory is released. |
+//! | `POST /run`                 | `{key, func, args}`                    | Sessionless whole-program run (the baseline the elision ratio is measured against); request arrays are freed after the response. |
+//! | `GET /stats`                |                                        | Cache, pool, session, and HTTP statistics. |
 //! | `GET /healthz`              |                                        | Liveness probe. |
 //! | `POST /shutdown`            |                                        | Drain and stop the server. |
 //!
 //! One [`ClusterMachine`] pool is kept per compiled artifact key (all
 //! sessions of a program share its devices); pools are created lazily with
 //! the configured device count and a shared parsed-bitstream image.
+//! Connections are HTTP/1.1 keep-alive: a client can drive a whole
+//! compile-open-launch-close burst over one TCP connection (idle
+//! connections are reaped after [`ServeConfig::idle_timeout_secs`]).
 
 pub mod api;
 pub mod client;
@@ -28,7 +31,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
-use ftn_cluster::{ArtifactCache, ClusterMachine, ImageCache, MapKind};
+use ftn_cluster::{
+    ArtifactCache, ClusterMachine, ImageCache, MapKind, Partition, ShardArg, ShardCount,
+};
 use ftn_core::{Artifacts, CompilerOptions};
 use ftn_fpga::DeviceModel;
 use ftn_interp::{Buffer, RtValue};
@@ -46,6 +51,12 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Optional on-disk artifact cache directory.
     pub cache_dir: Option<PathBuf>,
+    /// Seconds an idle keep-alive connection may hold a worker before it is
+    /// closed.
+    pub idle_timeout_secs: u64,
+    /// Shard count applied to `POST /sessions` bodies that do not carry a
+    /// `shards` field (`ftn serve --shards N|auto`). `None` = unsharded.
+    pub default_shards: Option<ShardCount>,
 }
 
 impl Default for ServeConfig {
@@ -54,14 +65,19 @@ impl Default for ServeConfig {
             devices: 4,
             workers: 4,
             cache_dir: None,
+            idle_timeout_secs: 5,
+            default_shards: None,
         }
     }
 }
 
-/// A serve-level session: which pool it lives in and the cluster-level id.
+/// A serve-level session: which pool it lives in, the cluster-level id, and
+/// the global array handles to free when it closes.
 struct ServeSession {
     pool_key: String,
     cluster_sid: u64,
+    sharded: bool,
+    arrays: Vec<RtValue>,
 }
 
 struct ServeState {
@@ -76,6 +92,8 @@ struct ServeState {
     shutdown: AtomicBool,
     launches: AtomicU64,
     runs: AtomicU64,
+    http_connections: AtomicU64,
+    http_requests: AtomicU64,
     local_addr: SocketAddr,
 }
 
@@ -107,6 +125,18 @@ fn wait_unlocked(
     }
 }
 
+/// [`wait_unlocked`] over a sharded launch's per-shard handles, in shard
+/// order.
+fn wait_many_unlocked(
+    pool: &Arc<Mutex<ClusterMachine>>,
+    handles: Vec<ftn_cluster::LaunchHandle>,
+) -> Result<Vec<ftn_cluster::ClusterRunReport>, ftn_core::CompileError> {
+    handles
+        .into_iter()
+        .map(|h| wait_unlocked(pool, h))
+        .collect()
+}
+
 fn bad_request(msg: impl Into<String>) -> HandlerError {
     (400, msg.into())
 }
@@ -130,13 +160,6 @@ struct CompileResponse {
     key: String,
     cached: bool,
     kernels: Vec<KernelDesc>,
-}
-
-#[derive(Serialize)]
-struct SessionOpened {
-    session: u64,
-    device: usize,
-    mapped: usize,
 }
 
 #[derive(Serialize)]
@@ -244,26 +267,103 @@ impl ServeState {
         if maps.is_empty() {
             return Err(bad_request("'maps' must name at least one array"));
         }
+        // `shards` may be an integer, "auto", or absent (then the server
+        // default — `ftn serve --shards` — applies; unsharded when none).
+        let shards =
+            match v.get("shards") {
+                Some(Value::Str(s)) => Some(ShardCount::parse(s).ok_or_else(|| {
+                    bad_request("'shards' must be a positive integer or \"auto\"")
+                })?),
+                Some(Value::Int(i)) if *i > 0 => Some(ShardCount::Fixed(*i as usize)),
+                Some(Value::UInt(u)) if *u > 0 => Some(ShardCount::Fixed(*u as usize)),
+                Some(_) => {
+                    return Err(bad_request(
+                        "'shards' must be a positive integer or \"auto\"",
+                    ))
+                }
+                None => self.config.default_shards,
+            };
+
         let pool = self.pool_for(key)?;
-        let mut machine = lock(&pool);
-        let mut triples: Vec<(String, RtValue, MapKind)> = Vec::with_capacity(maps.len());
+        // Parse and validate every map before allocating anything, so a bad
+        // later map cannot strand earlier arrays in pool memory.
+        let mut parsed: Vec<(String, Vec<f32>, MapKind, Partition)> =
+            Vec::with_capacity(maps.len());
         for m in maps {
             let name = api::get_str(m, "name").map_err(bad_request)?;
             let kind = MapKind::parse(api::get_str(m, "kind").map_err(bad_request)?)
                 .ok_or_else(|| bad_request("map 'kind' must be to | from | tofrom"))?;
+            let halo = match m.get("halo") {
+                Some(Value::Int(i)) if *i >= 0 => *i as usize,
+                Some(Value::UInt(u)) => *u as usize,
+                None => 0,
+                Some(_) => return Err(bad_request("map 'halo' must be a non-negative integer")),
+            };
+            let partition = match api::get_opt_str(m, "partition") {
+                Some(p) => Partition::parse(p, halo).ok_or_else(|| {
+                    bad_request("map 'partition' must be split | replicated | sum | min | max")
+                })?,
+                None => Partition::Split { halo },
+            };
             let data = api::get_arr(m, "data").map_err(bad_request)?;
             let data = api::f32_slice(data).map_err(bad_request)?;
-            let value = machine.host_f32(&data);
-            triples.push((name.to_string(), value, kind));
+            parsed.push((name.to_string(), data, kind, partition));
         }
-        let borrowed: Vec<(&str, RtValue, MapKind)> = triples
-            .iter()
-            .map(|(n, v, k)| (n.as_str(), v.clone(), *k))
+
+        let mut machine = lock(&pool);
+        let triples: Vec<(String, RtValue, MapKind, Partition)> = parsed
+            .into_iter()
+            .map(|(name, data, kind, partition)| {
+                let value = machine.host_f32(&data);
+                (name, value, kind, partition)
+            })
             .collect();
-        let cluster_sid = machine
-            .open_session(&borrowed)
-            .map_err(|e| bad_request(e.to_string()))?;
-        let device = machine.session_device(cluster_sid).unwrap_or(0);
+        let arrays: Vec<RtValue> = triples.iter().map(|(_, v, _, _)| v.clone()).collect();
+        // A failed open (duplicate names, invalid kind/partition combos)
+        // must release the arrays it will never map.
+        let free_all = |machine: &mut ClusterMachine| {
+            for v in &arrays {
+                let _ = machine.free_host(v);
+            }
+        };
+
+        let open_result = match shards {
+            Some(count) => {
+                let borrowed: Vec<(&str, RtValue, MapKind, Partition)> = triples
+                    .iter()
+                    .map(|(n, v, k, p)| (n.as_str(), v.clone(), *k, *p))
+                    .collect();
+                machine.open_sharded_session(&borrowed, count).map(|sid| {
+                    let shards = machine.sharded_shards(sid).unwrap_or(1);
+                    let devices = machine.sharded_devices(sid).unwrap_or_default();
+                    (
+                        sid,
+                        true,
+                        vec![
+                            ("shards", shards.to_value()),
+                            ("devices", devices.to_value()),
+                        ],
+                    )
+                })
+            }
+            None => {
+                let borrowed: Vec<(&str, RtValue, MapKind)> = triples
+                    .iter()
+                    .map(|(n, v, k, _)| (n.as_str(), v.clone(), *k))
+                    .collect();
+                machine.open_session(&borrowed).map(|sid| {
+                    let device = machine.session_device(sid).unwrap_or(0);
+                    (sid, false, vec![("device", device.to_value())])
+                })
+            }
+        };
+        let (cluster_sid, sharded, detail) = match open_result {
+            Ok(opened) => opened,
+            Err(e) => {
+                free_all(&mut machine);
+                return Err(bad_request(e.to_string()));
+            }
+        };
         drop(machine);
         let session = self.next_session.fetch_add(1, Ordering::SeqCst);
         lock(&self.sessions).insert(
@@ -271,17 +371,22 @@ impl ServeState {
             ServeSession {
                 pool_key: key.to_string(),
                 cluster_sid,
+                sharded,
+                arrays,
             },
         );
-        Ok(SessionOpened {
-            session,
-            device,
-            mapped: triples.len(),
-        }
-        .to_value())
+        let mut fields = vec![
+            ("session", session.to_value()),
+            ("mapped", triples.len().to_value()),
+        ];
+        fields.extend(detail);
+        Ok(api::obj(fields))
     }
 
-    fn session_ref(&self, session: u64) -> Result<(Arc<Mutex<ClusterMachine>>, u64), HandlerError> {
+    fn session_ref(
+        &self,
+        session: u64,
+    ) -> Result<(Arc<Mutex<ClusterMachine>>, u64, bool), HandlerError> {
         let sessions = lock(&self.sessions);
         let s = sessions
             .get(&session)
@@ -290,14 +395,17 @@ impl ServeState {
             .get(&s.pool_key)
             .cloned()
             .ok_or_else(|| (500, format!("pool for session {session} vanished")))?;
-        Ok((pool, s.cluster_sid))
+        Ok((pool, s.cluster_sid, s.sharded))
     }
 
     fn launch(&self, session: u64, body: &str) -> Result<Value, HandlerError> {
         let v = api::parse_body(body).map_err(bad_request)?;
         let kernel = api::get_str(&v, "kernel").map_err(bad_request)?;
         let arg_values = api::get_arr(&v, "args").map_err(bad_request)?;
-        let (pool, sid) = self.session_ref(session)?;
+        let (pool, sid, sharded) = self.session_ref(session)?;
+        if sharded {
+            return self.launch_sharded(session, sid, kernel, arg_values, &pool);
+        }
         let mut machine = lock(&pool);
         let mut args = Vec::with_capacity(arg_values.len());
         for a in arg_values {
@@ -306,6 +414,13 @@ impl ServeState {
                 ArgSpec::Named(name) => machine.session_array(sid, &name).ok_or_else(|| {
                     bad_request(format!("session {session} has no array '{name}'"))
                 })?,
+                ArgSpec::Extent(name) => {
+                    let value = machine.session_array(sid, &name).ok_or_else(|| {
+                        bad_request(format!("session {session} has no array '{name}'"))
+                    })?;
+                    let m = value.as_memref().expect("session arrays are memrefs");
+                    RtValue::Index(m.shape.first().copied().unwrap_or(1))
+                }
                 ArgSpec::ArrayF32(_) | ArgSpec::ArrayI32(_) => {
                     return Err(bad_request(
                         "inline arrays are not allowed in session launches; map them at open",
@@ -337,9 +452,81 @@ impl ServeState {
         .to_value())
     }
 
+    /// Sharded launch: fan out per shard, wait all shard jobs, and report
+    /// the aggregate (total cycles, per-launch makespan = slowest shard).
+    fn launch_sharded(
+        &self,
+        session: u64,
+        sid: u64,
+        kernel: &str,
+        arg_values: &[Value],
+        pool: &Arc<Mutex<ClusterMachine>>,
+    ) -> Result<Value, HandlerError> {
+        let mut args = Vec::with_capacity(arg_values.len());
+        for a in arg_values {
+            let spec = api::parse_arg(a).map_err(bad_request)?;
+            args.push(match spec {
+                ArgSpec::Named(name) => ShardArg::Array(name),
+                ArgSpec::Extent(name) => ShardArg::Extent(name),
+                ArgSpec::ArrayF32(_) | ArgSpec::ArrayI32(_) => {
+                    return Err(bad_request(
+                        "inline arrays are not allowed in session launches; map them at open",
+                    ))
+                }
+                ArgSpec::F32(x) => ShardArg::Scalar(RtValue::F32(x)),
+                ArgSpec::F64(x) => ShardArg::Scalar(RtValue::F64(x)),
+                ArgSpec::I32(x) => ShardArg::Scalar(RtValue::I32(x)),
+                ArgSpec::I64(x) => ShardArg::Scalar(RtValue::I64(x)),
+                ArgSpec::Index(x) => ShardArg::Scalar(RtValue::Index(x)),
+            });
+        }
+        let mut machine = lock(pool);
+        let ticket = machine
+            .sharded_launch(sid, kernel, &args)
+            .map_err(|e| bad_request(e.to_string()))?;
+        let (staged, elided) = (ticket.staged, ticket.elided);
+        let devices = ticket.devices;
+        drop(machine);
+        let reports = wait_many_unlocked(pool, ticket.handles).map_err(|e| (500, e.to_string()))?;
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        let cycles: u64 = reports.iter().map(|r| r.report.stats.total_cycles).sum();
+        let kernel_seconds: f64 = reports.iter().map(|r| r.report.stats.kernel_seconds).sum();
+        let makespan = reports
+            .iter()
+            .map(|r| r.report.stats.kernel_wall_seconds)
+            .fold(0.0f64, f64::max);
+        Ok(api::obj(vec![
+            ("session", session.to_value()),
+            ("shards", reports.len().to_value()),
+            ("devices", devices.to_value()),
+            ("cycles", cycles.to_value()),
+            ("kernel_seconds", kernel_seconds.to_value()),
+            ("kernel_wall_seconds_max", makespan.to_value()),
+            ("staged", staged.to_value()),
+            ("elided", elided.to_value()),
+        ]))
+    }
+
     fn session_info(&self, session: u64) -> Result<Value, HandlerError> {
-        let (pool, sid) = self.session_ref(session)?;
+        let (pool, sid, sharded) = self.session_ref(session)?;
         let machine = lock(&pool);
+        if sharded {
+            let stats = machine
+                .sharded_stats(sid)
+                .ok_or_else(|| not_found(format!("no session {session}")))?;
+            return Ok(api::obj(vec![
+                ("session", session.to_value()),
+                (
+                    "shards",
+                    machine.sharded_shards(sid).unwrap_or(1).to_value(),
+                ),
+                (
+                    "devices",
+                    machine.sharded_devices(sid).unwrap_or_default().to_value(),
+                ),
+                ("stats", stats.to_value()),
+            ]));
+        }
         let stats = machine
             .session_stats(sid)
             .ok_or_else(|| not_found(format!("no session {session}")))?;
@@ -352,15 +539,42 @@ impl ServeState {
     }
 
     fn close_session(&self, session: u64) -> Result<Value, HandlerError> {
-        let (pool, sid) = self.session_ref(session)?;
+        let (pool, sid, sharded) = self.session_ref(session)?;
         let mut machine = lock(&pool);
-        let maps = machine
-            .session_maps(sid)
-            .ok_or_else(|| not_found(format!("no session {session}")))?;
-        let report = machine
-            .close_session(sid)
-            .map_err(|e| (500, e.to_string()))?;
-        // `from`/`tofrom` arrays now hold the device results; return them.
+        let (maps, detail) = if sharded {
+            let maps = machine
+                .sharded_maps(sid)
+                .ok_or_else(|| not_found(format!("no session {session}")))?;
+            let report = machine
+                .close_sharded_session(sid)
+                .map_err(|e| (500, e.to_string()))?;
+            let maps: Vec<(String, RtValue, MapKind)> =
+                maps.into_iter().map(|(n, v, k, _)| (n, v, k)).collect();
+            (
+                maps,
+                vec![
+                    ("shards", report.shards.to_value()),
+                    ("devices", report.devices.to_value()),
+                    ("stats", report.stats.to_value()),
+                ],
+            )
+        } else {
+            let maps = machine
+                .session_maps(sid)
+                .ok_or_else(|| not_found(format!("no session {session}")))?;
+            let report = machine
+                .close_session(sid)
+                .map_err(|e| (500, e.to_string()))?;
+            (
+                maps,
+                vec![
+                    ("device", report.device.to_value()),
+                    ("stats", report.stats.to_value()),
+                ],
+            )
+        };
+        // `from`/`tofrom` arrays now hold the gathered device results;
+        // return them, then release every array the session allocated.
         let mut arrays = Vec::new();
         for (name, value, kind) in &maps {
             if matches!(kind, MapKind::From | MapKind::ToFrom) {
@@ -375,14 +589,18 @@ impl ServeState {
                 arrays.push((name.clone(), contents));
             }
         }
+        let handles = lock(&self.sessions)
+            .remove(&session)
+            .map(|s| s.arrays)
+            .unwrap_or_default();
+        for h in &handles {
+            machine.free_host(h).map_err(|e| (500, e.to_string()))?;
+        }
         drop(machine);
-        lock(&self.sessions).remove(&session);
-        Ok(api::obj(vec![
-            ("session", session.to_value()),
-            ("device", report.device.to_value()),
-            ("stats", report.stats.to_value()),
-            ("arrays", Value::Obj(arrays)),
-        ]))
+        let mut fields = vec![("session", session.to_value())];
+        fields.extend(detail);
+        fields.push(("arrays", Value::Obj(arrays)));
+        Ok(api::obj(fields))
     }
 
     fn run_program(&self, body: &str) -> Result<Value, HandlerError> {
@@ -391,11 +609,23 @@ impl ServeState {
         let func = api::get_str(&v, "func").map_err(bad_request)?;
         let arg_values = api::get_arr(&v, "args").map_err(bad_request)?;
         let pool = self.pool_for(key)?;
-        let mut machine = lock(&pool);
-        let mut args = Vec::with_capacity(arg_values.len());
-        let mut array_handles = Vec::new();
+        // Parse (and reject) every argument before allocating anything, so
+        // a malformed later argument cannot strand earlier arrays in pool
+        // memory.
+        let mut specs = Vec::with_capacity(arg_values.len());
         for a in arg_values {
             let spec = api::parse_arg(a).map_err(bad_request)?;
+            if matches!(spec, ArgSpec::Named(_) | ArgSpec::Extent(_)) {
+                return Err(bad_request(
+                    "named arrays/extents are session-only; pass array_f32/array_i32 to /run",
+                ));
+            }
+            specs.push(spec);
+        }
+        let mut machine = lock(&pool);
+        let mut args = Vec::with_capacity(specs.len());
+        let mut array_handles = Vec::new();
+        for spec in specs {
             args.push(match spec {
                 ArgSpec::ArrayF32(data) => {
                     let h = machine.host_f32(&data);
@@ -407,11 +637,7 @@ impl ServeState {
                     array_handles.push(h.clone());
                     h
                 }
-                ArgSpec::Named(_) => {
-                    return Err(bad_request(
-                        "named arrays are session-only; pass array_f32/array_i32 to /run",
-                    ))
-                }
+                ArgSpec::Named(_) | ArgSpec::Extent(_) => unreachable!("rejected above"),
                 ArgSpec::F32(x) => RtValue::F32(x),
                 ArgSpec::F64(x) => RtValue::F64(x),
                 ArgSpec::I32(x) => RtValue::I32(x),
@@ -419,12 +645,29 @@ impl ServeState {
                 ArgSpec::Index(x) => RtValue::Index(x),
             });
         }
-        let handle = machine
-            .submit(func, &args)
-            .map_err(|e| bad_request(e.to_string()))?;
+        // From here on the arrays are allocated: every exit, including the
+        // error ones, must release them.
+        let free_all = |machine: &mut ClusterMachine| {
+            for h in &array_handles {
+                let _ = machine.free_host(h);
+            }
+        };
+        let handle = match machine.submit(func, &args) {
+            Ok(h) => h,
+            Err(e) => {
+                free_all(&mut machine);
+                return Err(bad_request(e.to_string()));
+            }
+        };
         drop(machine);
-        let report = wait_unlocked(&pool, handle).map_err(|e| bad_request(e.to_string()))?;
-        let machine = lock(&pool);
+        let report = match wait_unlocked(&pool, handle) {
+            Ok(r) => r,
+            Err(e) => {
+                free_all(&mut lock(&pool));
+                return Err(bad_request(e.to_string()));
+            }
+        };
+        let mut machine = lock(&pool);
         self.runs.fetch_add(1, Ordering::Relaxed);
         let arrays: Vec<Value> = array_handles
             .iter()
@@ -439,6 +682,10 @@ impl ServeState {
                 }
             })
             .collect();
+        // The request's arrays are dead once serialized: free them (host
+        // slot + worker mirrors) so sustained /run traffic stays flat.
+        free_all(&mut machine);
+        drop(machine);
         Ok(api::obj(vec![
             ("device", report.device.to_value()),
             ("stats", report.report.stats.to_value()),
@@ -455,6 +702,10 @@ impl ServeState {
                 ("key", key.as_str().to_value()),
                 ("devices", machine.device_count().to_value()),
                 ("open_sessions", machine.open_sessions().len().to_value()),
+                (
+                    "open_sharded_sessions",
+                    machine.open_sharded_sessions().len().to_value(),
+                ),
                 ("stats", machine.pool_stats().to_value()),
             ]));
         }
@@ -465,6 +716,19 @@ impl ServeState {
             ("sessions_open", lock(&self.sessions).len().to_value()),
             ("launches", self.launches.load(Ordering::Relaxed).to_value()),
             ("runs", self.runs.load(Ordering::Relaxed).to_value()),
+            (
+                "http",
+                api::obj(vec![
+                    (
+                        "connections",
+                        self.http_connections.load(Ordering::Relaxed).to_value(),
+                    ),
+                    (
+                        "requests",
+                        self.http_requests.load(Ordering::Relaxed).to_value(),
+                    ),
+                ]),
+            ),
             ("pools", Value::Arr(pool_stats)),
         ]))
     }
@@ -475,28 +739,43 @@ fn parse_id(s: &str) -> Result<u64, HandlerError> {
         .map_err(|_| bad_request(format!("bad session id '{s}'")))
 }
 
+/// Serve one connection: a keep-alive request loop. The idle timeout bounds
+/// how long a quiet connection may hold a worker thread; a request that
+/// asked for `Connection: close` (or a shutdown) ends the loop.
 fn handle_connection(state: &ServeState, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
-    let req = match read_request(&mut stream) {
-        Ok(r) => r,
-        Err(_) => return, // includes the wake-up probe connection
-    };
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.handle(&req)));
-    let (status, json) = match outcome {
-        Ok(Ok(value)) => (200, serde_json::to_string(&value).unwrap_or_default()),
-        Ok(Err((status, msg))) => {
-            let err = api::obj(vec![("error", Value::Str(msg))]);
-            (status, serde_json::to_string(&err).unwrap_or_default())
+    state.http_connections.fetch_add(1, Ordering::Relaxed);
+    // Responses are single-write; pair that with TCP_NODELAY so keep-alive
+    // request/response cycles never stall on delayed ACKs.
+    let _ = stream.set_nodelay(true);
+    let idle = std::time::Duration::from_secs(state.config.idle_timeout_secs.max(1));
+    loop {
+        let _ = stream.set_read_timeout(Some(idle));
+        let req = match read_request(&mut stream) {
+            Ok(r) => r,
+            // Idle timeout, client close, or the wake-up probe connection.
+            Err(_) => return,
+        };
+        state.http_requests.fetch_add(1, Ordering::Relaxed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.handle(&req)));
+        let (status, json) = match outcome {
+            Ok(Ok(value)) => (200, serde_json::to_string(&value).unwrap_or_default()),
+            Ok(Err((status, msg))) => {
+                let err = api::obj(vec![("error", Value::Str(msg))]);
+                (status, serde_json::to_string(&err).unwrap_or_default())
+            }
+            Err(_) => {
+                let err = api::obj(vec![(
+                    "error",
+                    Value::Str("internal panic while handling request".to_string()),
+                )]);
+                (500, serde_json::to_string(&err).unwrap_or_default())
+            }
+        };
+        let keep_alive = req.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+        if write_json(&mut stream, status, &json, keep_alive).is_err() || !keep_alive {
+            return;
         }
-        Err(_) => {
-            let err = api::obj(vec![(
-                "error",
-                Value::Str("internal panic while handling request".to_string()),
-            )]);
-            (500, serde_json::to_string(&err).unwrap_or_default())
-        }
-    };
-    let _ = write_json(&mut stream, status, &json);
+    }
 }
 
 /// The HTTP server. Bind, then [`Server::run`] until a `POST /shutdown`.
@@ -525,6 +804,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             launches: AtomicU64::new(0),
             runs: AtomicU64::new(0),
+            http_connections: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
             local_addr,
         });
         Ok(Server { listener, state })
@@ -620,7 +901,7 @@ end subroutine saxpy
             ServeConfig {
                 devices: 2,
                 workers: 2,
-                cache_dir: None,
+                ..Default::default()
             },
         )
         .expect("bind");
@@ -719,5 +1000,282 @@ end subroutine saxpy
         let (status, _) = request(addr, "POST", "/shutdown", "");
         assert_eq!(status, 200);
         handle.join().expect("server thread").expect("clean run");
+    }
+
+    fn start_server(
+        devices: usize,
+        workers: usize,
+    ) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                devices,
+                workers,
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        (addr, std::thread::spawn(move || server.run()))
+    }
+
+    fn compile_key(addr: SocketAddr) -> String {
+        let body =
+            serde_json::to_string(&api::obj(vec![("source", Value::Str(SAXPY.to_string()))]))
+                .unwrap();
+        let (status, resp) = request(addr, "POST", "/compile", &body);
+        assert_eq!(status, 200, "{resp:?}");
+        let Some(Value::Str(key)) = resp.get("key") else {
+            panic!("no key in {resp:?}");
+        };
+        key.clone()
+    }
+
+    fn shutdown(addr: SocketAddr, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+        let (status, _) = request(addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200);
+        handle.join().expect("server thread").expect("clean run");
+    }
+
+    #[test]
+    fn sharded_session_over_http_spans_the_pool() {
+        let (addr, handle) = start_server(4, 2);
+        let key = compile_key(addr);
+
+        let n = 103usize;
+        let x: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let y = vec![1.0f32; n];
+        let open = api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            ("shards", Value::Int(4)),
+            (
+                "maps",
+                Value::Arr(vec![
+                    api::obj(vec![
+                        ("name", Value::Str("x".into())),
+                        ("kind", Value::Str("to".into())),
+                        ("data", x.to_value()),
+                    ]),
+                    api::obj(vec![
+                        ("name", Value::Str("y".into())),
+                        ("kind", Value::Str("tofrom".into())),
+                        ("data", y.to_value()),
+                    ]),
+                ]),
+            ),
+        ]);
+        let (status, opened) = request(
+            addr,
+            "POST",
+            "/sessions",
+            &serde_json::to_string(&open).unwrap(),
+        );
+        assert_eq!(status, 200, "{opened:?}");
+        assert_eq!(as_u64(opened.get("shards")), 4, "{opened:?}");
+        let Some(Value::Arr(devices)) = opened.get("devices") else {
+            panic!("no devices in {opened:?}");
+        };
+        assert_eq!(devices.len(), 4);
+        let sid = as_u64(opened.get("session"));
+
+        // Extents rebase per shard: the same launch body works at any N.
+        let launch = api::obj(vec![
+            ("kernel", Value::Str("saxpy_kernel0".into())),
+            (
+                "args",
+                Value::Arr(vec![
+                    api::obj(vec![("array", Value::Str("x".into()))]),
+                    api::obj(vec![("array", Value::Str("y".into()))]),
+                    api::obj(vec![("extent", Value::Str("x".into()))]),
+                    api::obj(vec![("extent", Value::Str("y".into()))]),
+                    api::obj(vec![("f32", Value::Float(2.0))]),
+                    api::obj(vec![("index", Value::Int(1))]),
+                    api::obj(vec![("extent", Value::Str("x".into()))]),
+                ]),
+            ),
+        ]);
+        let launch_body = serde_json::to_string(&launch).unwrap();
+        for _ in 0..2 {
+            let (status, resp) = request(
+                addr,
+                "POST",
+                &format!("/sessions/{sid}/launch"),
+                &launch_body,
+            );
+            assert_eq!(status, 200, "{resp:?}");
+            assert_eq!(as_u64(resp.get("shards")), 4, "{resp:?}");
+            assert_eq!(as_u64(resp.get("elided")), 8, "all shard buffers resident");
+        }
+
+        let (status, closed) = request(addr, "DELETE", &format!("/sessions/{sid}"), "");
+        assert_eq!(status, 200, "{closed:?}");
+        let Some(Value::Arr(ys)) = closed.get("arrays").and_then(|a| a.get("y")) else {
+            panic!("no y in {closed:?}");
+        };
+        assert_eq!(ys.len(), n);
+        for (i, v) in ys.iter().enumerate() {
+            let Value::Float(f) = v else { panic!("{v:?}") };
+            let expect = 1.0 + 2.0 * 2.0 * (i as f32 * 0.5);
+            assert_eq!(*f as f32, expect, "element {i}");
+        }
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection_for_a_burst() {
+        let (addr, handle) = start_server(1, 2);
+        let mut conn = crate::client::Conn::open(addr).expect("connect");
+        for _ in 0..5 {
+            let (status, resp) = conn
+                .request("GET", "/healthz", "")
+                .expect("keep-alive request");
+            assert_eq!(status, 200, "{resp:?}");
+        }
+        let (status, stats) = conn.request("GET", "/stats", "").expect("stats");
+        assert_eq!(status, 200);
+        let http = stats.get("http").expect("http stats");
+        assert_eq!(as_u64(http.get("requests")), 6, "{stats:?}");
+        assert_eq!(
+            as_u64(http.get("connections")),
+            1,
+            "one connection served all requests"
+        );
+        drop(conn);
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn failed_requests_do_not_leak_pool_memory() {
+        let (addr, handle) = start_server(2, 2);
+        let key = compile_key(addr);
+        let data: Vec<f32> = vec![1.0; 64];
+
+        // /run whose later argument is invalid: the first array was already
+        // allocated and must be released on the 400 path.
+        let bad_run = serde_json::to_string(&api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            ("func", Value::Str("saxpy".into())),
+            (
+                "args",
+                Value::Arr(vec![
+                    api::obj(vec![("array_f32", data.to_value())]),
+                    api::obj(vec![("array", Value::Str("x".into()))]),
+                ]),
+            ),
+        ]))
+        .unwrap();
+        // /sessions whose second map is invalid, and one whose kind/partition
+        // combination the cluster rejects (replicated must be map(to:)).
+        let bad_open = serde_json::to_string(&api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            (
+                "maps",
+                Value::Arr(vec![
+                    api::obj(vec![
+                        ("name", Value::Str("x".into())),
+                        ("kind", Value::Str("to".into())),
+                        ("data", data.to_value()),
+                    ]),
+                    api::obj(vec![
+                        ("name", Value::Str("y".into())),
+                        ("kind", Value::Str("tofrom".into())),
+                        ("partition", Value::Str("bogus".into())),
+                        ("data", data.to_value()),
+                    ]),
+                ]),
+            ),
+        ]))
+        .unwrap();
+        let bad_combo = serde_json::to_string(&api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            ("shards", Value::Int(2)),
+            (
+                "maps",
+                Value::Arr(vec![api::obj(vec![
+                    ("name", Value::Str("x".into())),
+                    ("kind", Value::Str("tofrom".into())),
+                    ("partition", Value::Str("replicated".into())),
+                    ("data", data.to_value()),
+                ])]),
+            ),
+        ]))
+        .unwrap();
+        for body in [&bad_run, &bad_open, &bad_combo] {
+            let path = if body == &bad_run {
+                "/run"
+            } else {
+                "/sessions"
+            };
+            let (status, resp) = request(addr, "POST", path, body);
+            assert_eq!(status, 400, "{resp:?}");
+        }
+
+        let (_, stats) = request(addr, "GET", "/stats", "");
+        let Some(Value::Arr(pools)) = stats.get("pools") else {
+            panic!("no pools in {stats:?}");
+        };
+        let ps = pools
+            .first()
+            .expect("one pool")
+            .get("stats")
+            .expect("stats");
+        assert_eq!(
+            as_u64(ps.get("host_buffers")),
+            0,
+            "failed requests must release everything they allocated: {stats:?}"
+        );
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn sustained_run_traffic_keeps_pool_memory_flat() {
+        let (addr, handle) = start_server(1, 2);
+        let key = compile_key(addr);
+        let n = 64usize;
+        let x = vec![1.0f32; n];
+        let y = vec![0.5f32; n];
+        let run_body = serde_json::to_string(&api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            ("func", Value::Str("saxpy".into())),
+            (
+                "args",
+                Value::Arr(vec![
+                    api::obj(vec![("i32", Value::Int(n as i64))]),
+                    api::obj(vec![("f32", Value::Float(2.0))]),
+                    api::obj(vec![("array_f32", x.to_value())]),
+                    api::obj(vec![("array_f32", y.to_value())]),
+                ]),
+            ),
+        ]))
+        .unwrap();
+
+        let host_buffers = |addr| {
+            let (_, stats) = request(addr, "GET", "/stats", "");
+            let Some(Value::Arr(pools)) = stats.get("pools") else {
+                panic!("no pools in {stats:?}");
+            };
+            let pool = pools.first().expect("one pool");
+            let ps = pool.get("stats").expect("pool stats");
+            (as_u64(ps.get("host_buffers")), as_u64(ps.get("host_bytes")))
+        };
+
+        let mut conn = crate::client::Conn::open(addr).expect("connect");
+        for _ in 0..5 {
+            let (status, _) = conn.request("POST", "/run", &run_body).expect("run");
+            assert_eq!(status, 200);
+        }
+        let settled = host_buffers(addr);
+        assert_eq!(settled.0, 0, "request arrays are freed after /run");
+        for _ in 0..20 {
+            let (status, _) = conn.request("POST", "/run", &run_body).expect("run");
+            assert_eq!(status, 200);
+        }
+        let after = host_buffers(addr);
+        assert_eq!(
+            settled, after,
+            "pool host memory must stay flat under sustained /run traffic"
+        );
+        drop(conn);
+        shutdown(addr, handle);
     }
 }

@@ -1,0 +1,202 @@
+//! Leading-dimension partition plans: how one mapped array is split into
+//! per-device shards, with optional halo rows for stencil-style kernels.
+//!
+//! A plan is computed per array from its leading-dim extent; shard `i` of
+//! every array in a sharded environment corresponds to the same device. The
+//! partition is the balanced contiguous-block scheme `target teams
+//! distribute` uses for its outermost loop: the first `rows % shards` shards
+//! own one extra row, so shard sizes differ by at most one.
+
+use crate::reduce::ReduceOp;
+
+/// How one mapped array is distributed across the shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partition {
+    /// Partition along the leading dimension into contiguous blocks; each
+    /// shard's mapped slice is its owned block extended by up to `halo` rows
+    /// on each side (clamped at the array ends). Halos are read-only ghost
+    /// rows: the gather writes only owned rows back.
+    Split { halo: usize },
+    /// Every shard maps the full array (read-only broadcast data such as
+    /// coefficient tables).
+    Replicated,
+    /// Every shard gets a private copy combined element-wise at gather time
+    /// (scalar/vector reduction targets). Shard 0 starts from the real host
+    /// contents, later shards from the operation's identity, so a
+    /// single-shard environment is exactly the unsharded one.
+    Reduced(ReduceOp),
+}
+
+impl Partition {
+    /// Parse a serve-API partition string: `split` (with a separate halo
+    /// field), `replicated`, or a reduction op (`sum` | `min` | `max`).
+    pub fn parse(s: &str, halo: usize) -> Option<Partition> {
+        match s {
+            "split" => Some(Partition::Split { halo }),
+            "replicated" | "broadcast" => Some(Partition::Replicated),
+            other => ReduceOp::parse(other).map(Partition::Reduced),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Partition::Split { .. } => "split",
+            Partition::Replicated => "replicated",
+            Partition::Reduced(op) => op.name(),
+        }
+    }
+}
+
+/// One shard's slice of a partitioned array, in leading-dim rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRange {
+    /// First owned row.
+    pub start: usize,
+    /// Owned rows (written back at gather).
+    pub len: usize,
+    /// Halo rows mapped below `start`.
+    pub halo_lo: usize,
+    /// Halo rows mapped past `start + len`.
+    pub halo_hi: usize,
+}
+
+impl ShardRange {
+    /// First mapped row (owned block extended by the low halo).
+    pub fn mapped_start(&self) -> usize {
+        self.start - self.halo_lo
+    }
+
+    /// Mapped rows (owned block plus both halos).
+    pub fn mapped_len(&self) -> usize {
+        self.halo_lo + self.len + self.halo_hi
+    }
+}
+
+/// The partition of one array's leading dimension into shard ranges.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    rows: usize,
+    ranges: Vec<ShardRange>,
+}
+
+impl ShardPlan {
+    /// Balanced contiguous partition of `rows` into `shards` blocks with up
+    /// to `halo` ghost rows on each side of every block. The effective shard
+    /// count is clamped to `rows` (no empty shards) and to at least one.
+    pub fn partition(rows: usize, shards: usize, halo: usize) -> ShardPlan {
+        let n = shards.max(1).min(rows.max(1));
+        let base = rows / n;
+        let rem = rows % n;
+        let mut ranges = Vec::with_capacity(n);
+        let mut start = 0usize;
+        for i in 0..n {
+            let len = base + usize::from(i < rem);
+            let halo_lo = halo.min(start);
+            let halo_hi = halo.min(rows - (start + len));
+            ranges.push(ShardRange {
+                start,
+                len,
+                halo_lo,
+                halo_hi,
+            });
+            start += len;
+        }
+        ShardPlan { rows, ranges }
+    }
+
+    /// Rows of the partitioned dimension.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Effective shard count (≤ the requested count when `rows` is smaller).
+    pub fn shard_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    pub fn ranges(&self) -> &[ShardRange] {
+        &self.ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_a_balanced_disjoint_cover() {
+        for rows in [1usize, 2, 3, 7, 100, 1003] {
+            for shards in 1usize..=6 {
+                let plan = ShardPlan::partition(rows, shards, 0);
+                assert_eq!(plan.shard_count(), shards.min(rows));
+                let mut next = 0usize;
+                let mut max_len = 0usize;
+                let mut min_len = usize::MAX;
+                for r in plan.ranges() {
+                    assert_eq!(r.start, next, "contiguous cover");
+                    assert!(r.len > 0, "no empty shards");
+                    next = r.start + r.len;
+                    max_len = max_len.max(r.len);
+                    min_len = min_len.min(r.len);
+                }
+                assert_eq!(next, rows, "covers every row");
+                assert!(max_len - min_len <= 1, "balanced to within one row");
+            }
+        }
+    }
+
+    #[test]
+    fn halos_extend_but_clamp_at_array_ends() {
+        let plan = ShardPlan::partition(10, 3, 2);
+        let r = plan.ranges();
+        // Shards own 4/3/3 rows.
+        assert_eq!((r[0].start, r[0].len), (0, 4));
+        assert_eq!((r[1].start, r[1].len), (4, 3));
+        assert_eq!((r[2].start, r[2].len), (7, 3));
+        // First shard has no low halo (clamped), full high halo.
+        assert_eq!((r[0].halo_lo, r[0].halo_hi), (0, 2));
+        assert_eq!(r[0].mapped_start(), 0);
+        assert_eq!(r[0].mapped_len(), 6);
+        // Middle shard has both halos.
+        assert_eq!((r[1].halo_lo, r[1].halo_hi), (2, 2));
+        assert_eq!(r[1].mapped_start(), 2);
+        assert_eq!(r[1].mapped_len(), 7);
+        // Last shard's high halo is clamped.
+        assert_eq!((r[2].halo_lo, r[2].halo_hi), (2, 0));
+        assert_eq!(r[2].mapped_len(), 5);
+        // A huge halo degenerates to full replication of the mapped slice.
+        let plan = ShardPlan::partition(4, 2, 100);
+        assert_eq!(plan.ranges()[0].mapped_len(), 4);
+        assert_eq!(plan.ranges()[1].mapped_len(), 4);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        // More shards than rows: clamped, still a cover.
+        let plan = ShardPlan::partition(2, 5, 0);
+        assert_eq!(plan.shard_count(), 2);
+        // Zero rows: one empty shard so the environment stays well-formed.
+        let plan = ShardPlan::partition(0, 3, 1);
+        assert_eq!(plan.shard_count(), 1);
+        assert_eq!(plan.ranges()[0].mapped_len(), 0);
+    }
+
+    #[test]
+    fn partition_parse() {
+        assert_eq!(
+            Partition::parse("split", 2),
+            Some(Partition::Split { halo: 2 })
+        );
+        assert_eq!(
+            Partition::parse("replicated", 0),
+            Some(Partition::Replicated)
+        );
+        assert_eq!(
+            Partition::parse("sum", 0),
+            Some(Partition::Reduced(ReduceOp::Sum))
+        );
+        assert_eq!(Partition::parse("nope", 0), None);
+        assert_eq!(Partition::Split { halo: 1 }.name(), "split");
+        assert_eq!(Partition::Reduced(ReduceOp::Max).name(), "max");
+    }
+}

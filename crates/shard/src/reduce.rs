@@ -1,0 +1,170 @@
+//! Element-wise reduction of per-shard private copies at gather time — the
+//! combine step of an OpenMP `reduction(+|min|max:)` clause whose iterations
+//! were distributed across devices.
+
+use ftn_interp::Buffer;
+
+/// The supported combine operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    pub fn parse(s: &str) -> Option<ReduceOp> {
+        match s {
+            "sum" | "+" | "add" => Some(ReduceOp::Sum),
+            "min" => Some(ReduceOp::Min),
+            "max" => Some(ReduceOp::Max),
+            _ => None,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+        }
+    }
+
+    /// A buffer of the same type and length as `b`, filled with this
+    /// operation's identity element (0 for sum, +∞/MAX for min, −∞/MIN for
+    /// max; for `i1`, `false`/`true`/`false`).
+    pub fn identity_like(&self, b: &Buffer) -> Buffer {
+        let n = b.len();
+        match (b, self) {
+            (Buffer::F32(_), ReduceOp::Sum) => Buffer::F32(vec![0.0; n]),
+            (Buffer::F32(_), ReduceOp::Min) => Buffer::F32(vec![f32::INFINITY; n]),
+            (Buffer::F32(_), ReduceOp::Max) => Buffer::F32(vec![f32::NEG_INFINITY; n]),
+            (Buffer::F64(_), ReduceOp::Sum) => Buffer::F64(vec![0.0; n]),
+            (Buffer::F64(_), ReduceOp::Min) => Buffer::F64(vec![f64::INFINITY; n]),
+            (Buffer::F64(_), ReduceOp::Max) => Buffer::F64(vec![f64::NEG_INFINITY; n]),
+            (Buffer::I32(_), ReduceOp::Sum) => Buffer::I32(vec![0; n]),
+            (Buffer::I32(_), ReduceOp::Min) => Buffer::I32(vec![i32::MAX; n]),
+            (Buffer::I32(_), ReduceOp::Max) => Buffer::I32(vec![i32::MIN; n]),
+            (Buffer::I64(_), ReduceOp::Sum) => Buffer::I64(vec![0; n]),
+            (Buffer::I64(_), ReduceOp::Min) => Buffer::I64(vec![i64::MAX; n]),
+            (Buffer::I64(_), ReduceOp::Max) => Buffer::I64(vec![i64::MIN; n]),
+            // Boolean reductions: sum/max = any (or), min = all (and).
+            (Buffer::I1(_), ReduceOp::Sum) | (Buffer::I1(_), ReduceOp::Max) => {
+                Buffer::I1(vec![false; n])
+            }
+            (Buffer::I1(_), ReduceOp::Min) => Buffer::I1(vec![true; n]),
+        }
+    }
+
+    /// Fold `part` into `acc` element-wise. Types and lengths must match.
+    pub fn combine(&self, acc: &mut Buffer, part: &Buffer) -> Result<(), String> {
+        if acc.type_name() != part.type_name() || acc.len() != part.len() {
+            return Err(format!(
+                "reduce combine mismatch: {}[{}] vs {}[{}]",
+                acc.type_name(),
+                acc.len(),
+                part.type_name(),
+                part.len()
+            ));
+        }
+        match (acc, part) {
+            (Buffer::F32(a), Buffer::F32(p)) => fold(a, p, self),
+            (Buffer::F64(a), Buffer::F64(p)) => fold(a, p, self),
+            (Buffer::I32(a), Buffer::I32(p)) => fold_int(a, p, self),
+            (Buffer::I64(a), Buffer::I64(p)) => fold_int(a, p, self),
+            (Buffer::I1(a), Buffer::I1(p)) => {
+                for (x, y) in a.iter_mut().zip(p) {
+                    *x = match self {
+                        ReduceOp::Sum | ReduceOp::Max => *x || *y,
+                        ReduceOp::Min => *x && *y,
+                    };
+                }
+            }
+            _ => unreachable!("type equality checked above"),
+        }
+        Ok(())
+    }
+}
+
+fn fold<T: Copy + std::ops::AddAssign + PartialOrd>(a: &mut [T], p: &[T], op: &ReduceOp) {
+    for (x, y) in a.iter_mut().zip(p) {
+        match op {
+            ReduceOp::Sum => *x += *y,
+            ReduceOp::Min => {
+                if *y < *x {
+                    *x = *y;
+                }
+            }
+            ReduceOp::Max => {
+                if *y > *x {
+                    *x = *y;
+                }
+            }
+        }
+    }
+}
+
+fn fold_int<T: Copy + Ord + std::ops::AddAssign>(a: &mut [T], p: &[T], op: &ReduceOp) {
+    for (x, y) in a.iter_mut().zip(p) {
+        match op {
+            ReduceOp::Sum => *x += *y,
+            ReduceOp::Min => *x = (*x).min(*y),
+            ReduceOp::Max => *x = (*x).max(*y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_min_max_combine() {
+        let mut acc = Buffer::F32(vec![1.0, 5.0, -2.0]);
+        ReduceOp::Sum
+            .combine(&mut acc, &Buffer::F32(vec![2.0, -1.0, 0.5]))
+            .unwrap();
+        assert_eq!(acc, Buffer::F32(vec![3.0, 4.0, -1.5]));
+
+        let mut acc = Buffer::I32(vec![3, -7]);
+        ReduceOp::Min
+            .combine(&mut acc, &Buffer::I32(vec![1, 0]))
+            .unwrap();
+        assert_eq!(acc, Buffer::I32(vec![1, -7]));
+        ReduceOp::Max
+            .combine(&mut acc, &Buffer::I32(vec![2, 9]))
+            .unwrap();
+        assert_eq!(acc, Buffer::I32(vec![2, 9]));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+            let data = Buffer::F32(vec![2.0, -3.5, 0.0]);
+            let mut acc = data.clone();
+            let id = op.identity_like(&data);
+            op.combine(&mut acc, &id).unwrap();
+            assert_eq!(acc, data, "{} identity must be neutral", op.name());
+        }
+    }
+
+    #[test]
+    fn mismatch_is_error() {
+        let mut acc = Buffer::F32(vec![0.0]);
+        assert!(ReduceOp::Sum
+            .combine(&mut acc, &Buffer::F64(vec![0.0]))
+            .is_err());
+        assert!(ReduceOp::Sum
+            .combine(&mut acc, &Buffer::F32(vec![0.0, 1.0]))
+            .is_err());
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(ReduceOp::parse("sum"), Some(ReduceOp::Sum));
+        assert_eq!(ReduceOp::parse("+"), Some(ReduceOp::Sum));
+        assert_eq!(ReduceOp::parse("min"), Some(ReduceOp::Min));
+        assert_eq!(ReduceOp::parse("max"), Some(ReduceOp::Max));
+        assert_eq!(ReduceOp::parse("xor"), None);
+    }
+}

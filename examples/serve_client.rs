@@ -2,20 +2,26 @@
 //! compile SAXPY twice (the second request hits the content-addressed
 //! cache), run a sessionless baseline, then open a persistent `target data`
 //! session, fire 8 kernel launches against the resident buffers, and close.
+//! Finally, open the same workload as a *sharded* session spanning both
+//! pool devices and verify it returns identical bytes.
+//!
+//! The whole conversation rides one keep-alive connection ([`Conn`]); the
+//! burst never reconnects.
 //!
 //! Asserts the acceptance criteria of the serve subsystem:
 //! * the second `POST /compile` is a cache hit,
 //! * ≥ 50% of host↔device transfers are elided versus the sessionless path,
 //! * the session result is bit-identical to the single-device `Machine`,
+//! * the sharded session result is bit-identical to the unsharded one,
+//! * `/stats` shows the burst reused one connection (keep-alive),
 //! * the server shuts down cleanly on `POST /shutdown`.
 //!
 //! Run with: `cargo run --release --example serve_client`
 
-use std::net::SocketAddr;
-
 use ftn_core::{Compiler, Machine};
 use ftn_fpga::DeviceModel;
 use ftn_interp::RtValue;
+use ftn_serve::client::Conn;
 use ftn_serve::{ServeConfig, Server};
 use serde::{Serialize, Value};
 
@@ -23,8 +29,9 @@ const N: usize = 4096;
 const LAUNCHES: usize = 8;
 const A: f32 = 1.5;
 
-fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Value) {
-    let (status, value) = ftn_serve::client::request(addr, method, path, body)
+fn request(conn: &mut Conn, method: &str, path: &str, body: &str) -> (u16, Value) {
+    let (status, value) = conn
+        .request(method, path, body)
         .expect("request against ftn-serve round-trips");
     assert_eq!(status, 200, "{method} {path}: {value:?}");
     (status, value)
@@ -112,7 +119,7 @@ fn main() {
         ServeConfig {
             devices: 2,
             workers: 4,
-            cache_dir: None,
+            ..Default::default()
         },
     )
     .expect("bind ftn-serve");
@@ -120,10 +127,13 @@ fn main() {
     let server_thread = std::thread::spawn(move || server.run());
     println!("ftn-serve on http://{addr}");
 
+    // One keep-alive connection carries the whole conversation.
+    let mut conn = Conn::open(addr).expect("connect");
+
     // Compile twice: the second request must be a cache hit.
     let compile_body = body(&obj(vec![("source", Value::Str(source.to_string()))]));
-    let (_, first) = request(addr, "POST", "/compile", &compile_body);
-    let (_, second) = request(addr, "POST", "/compile", &compile_body);
+    let (_, first) = request(&mut conn, "POST", "/compile", &compile_body);
+    let (_, second) = request(&mut conn, "POST", "/compile", &compile_body);
     assert_eq!(first.get("cached"), Some(&Value::Bool(false)));
     assert_eq!(
         second.get("cached"),
@@ -155,7 +165,7 @@ fn main() {
                 ]),
             ),
         ]));
-        let (_, run) = request(addr, "POST", "/run", &run_body);
+        let (_, run) = request(&mut conn, "POST", "/run", &run_body);
         let stats = run.get("stats").expect("run stats");
         sessionless_transfers += get_u64(stats, "transfers");
     }
@@ -180,7 +190,7 @@ fn main() {
             ]),
         ),
     ]));
-    let (_, opened) = request(addr, "POST", "/sessions", &open_body);
+    let (_, opened) = request(&mut conn, "POST", "/sessions", &open_body);
     let sid = get_u64(&opened, "session");
     println!(
         "session {sid} open on device {} (x mapped to, y mapped tofrom)",
@@ -194,7 +204,7 @@ fn main() {
     let mut elided = 0u64;
     for i in 0..LAUNCHES {
         let (_, launch) = request(
-            addr,
+            &mut conn,
             "POST",
             &format!("/sessions/{sid}/launch"),
             &launch_body,
@@ -207,7 +217,7 @@ fn main() {
         );
     }
 
-    let (_, closed) = request(addr, "DELETE", &format!("/sessions/{sid}"), "");
+    let (_, closed) = request(&mut conn, "DELETE", &format!("/sessions/{sid}"), "");
     let stats = closed.get("stats").expect("session stats");
     let session_transfers = get_u64(stats, "staged_uploads") + get_u64(stats, "fetched_downloads");
     assert_eq!(get_u64(stats, "launches"), LAUNCHES as u64);
@@ -238,8 +248,81 @@ fn main() {
     }
     println!("session result is bit-identical to single-device Machine ({N} elements)");
 
+    // Sharded mode: the same workload as one data environment spanning both
+    // pool devices. Extent args rebase trip counts per shard; the gathered
+    // result must be byte-identical to the unsharded session.
+    let open_sharded = body(&obj(vec![
+        ("key", Value::Str(key.clone())),
+        ("shards", Value::Int(2)),
+        (
+            "maps",
+            Value::Arr(vec![
+                obj(vec![
+                    ("name", Value::Str("x".into())),
+                    ("kind", Value::Str("to".into())),
+                    ("data", x.to_value()),
+                ]),
+                obj(vec![
+                    ("name", Value::Str("y".into())),
+                    ("kind", Value::Str("tofrom".into())),
+                    ("data", y0.to_value()),
+                ]),
+            ]),
+        ),
+    ]));
+    let (_, opened) = request(&mut conn, "POST", "/sessions", &open_sharded);
+    let shards = get_u64(&opened, "shards");
+    let sid = get_u64(&opened, "session");
+    println!(
+        "sharded session {sid}: {shards} shards on devices {:?}",
+        opened.get("devices")
+    );
+    assert_eq!(shards, 2);
+    let sharded_launch = body(&obj(vec![
+        ("kernel", Value::Str("saxpy_kernel0".into())),
+        (
+            "args",
+            Value::Arr(vec![
+                obj(vec![("array", Value::Str("x".into()))]),
+                obj(vec![("array", Value::Str("y".into()))]),
+                obj(vec![("extent", Value::Str("x".into()))]),
+                obj(vec![("extent", Value::Str("y".into()))]),
+                obj(vec![("f32", Value::Float(A as f64))]),
+                obj(vec![("index", Value::Int(1))]),
+                obj(vec![("extent", Value::Str("x".into()))]),
+            ]),
+        ),
+    ]));
+    for _ in 0..LAUNCHES {
+        let (_, launch) = request(
+            &mut conn,
+            "POST",
+            &format!("/sessions/{sid}/launch"),
+            &sharded_launch,
+        );
+        assert_eq!(get_u64(&launch, "shards"), 2);
+    }
+    let (_, closed) = request(&mut conn, "DELETE", &format!("/sessions/{sid}"), "");
+    let sharded_y = get_f32s(closed.get("arrays").and_then(|a| a.get("y")).expect("y"));
+    for (i, (g, r)) in sharded_y.iter().zip(&got).enumerate() {
+        assert!(
+            g.to_bits() == r.to_bits(),
+            "element {i}: sharded {g} != unsharded {r}"
+        );
+    }
+    println!("sharded session is bit-identical to the unsharded session ({shards} shards)");
+
+    // The whole conversation rode one keep-alive connection.
+    let (_, stats) = request(&mut conn, "GET", "/stats", "");
+    let http = stats.get("http").expect("http stats");
+    let connections = get_u64(http, "connections");
+    let requests = get_u64(http, "requests");
+    assert_eq!(connections, 1, "burst must reuse one connection");
+    assert!(requests > 20, "stats: {stats:?}");
+    println!("keep-alive: {requests} requests over {connections} connection(s)");
+
     // Clean shutdown.
-    let (_, _) = request(addr, "POST", "/shutdown", "");
+    let (_, _) = request(&mut conn, "POST", "/shutdown", "");
     server_thread
         .join()
         .expect("server thread")

@@ -4,6 +4,8 @@
 //! ftn <input.f90> [--out DIR] [--quiet]      compile one Fortran file
 //! ftn serve [--port P] [--devices N]         run the compile-and-run service
 //!           [--workers W] [--cache-dir DIR]
+//!           [--shards N|auto]                default sharding for sessions
+//!           [--idle-timeout SECS]            keep-alive idle timeout
 //! ```
 //!
 //! Compile mode runs the full OpenMP→FPGA pipeline and writes every artifact
@@ -11,10 +13,11 @@
 //! `<stem>.device.mlir`, `<stem>.host.cpp`, `<stem>.ll`, `<stem>.llvm7.ll`,
 //! `<stem>.xclbin.json`.
 //!
-//! Serve mode starts `ftn-serve`: an HTTP/1.1 JSON service with a
+//! Serve mode starts `ftn-serve`: a keep-alive HTTP/1.1 JSON service with a
 //! content-addressed compile cache and persistent `target data` sessions
-//! over a simulated multi-FPGA pool (see the README "ftn-serve" section for
-//! the API).
+//! over a simulated multi-FPGA pool. With `--shards N|auto`, sessions that
+//! do not specify a shard count themselves are sharded across the pool
+//! (ftn-shard; see the README "ftn-serve"/"ftn-shard" sections for the API).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -70,9 +73,29 @@ fn serve(args: &[String]) -> ExitCode {
                 i += 1;
                 config.cache_dir = args.get(i).map(PathBuf::from);
             }
+            "--shards" => {
+                i += 1;
+                match args.get(i).and_then(|v| ftn_cluster::ShardCount::parse(v)) {
+                    Some(count) => config.default_shards = Some(count),
+                    None => {
+                        eprintln!("error: --shards needs a positive number or 'auto'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--idle-timeout" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(secs) if secs > 0 => config.idle_timeout_secs = secs,
+                    _ => {
+                        eprintln!("error: --idle-timeout needs a positive number of seconds");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: ftn serve [--port P] [--devices N] [--workers W] [--cache-dir DIR]"
+                    "usage: ftn serve [--port P] [--devices N] [--workers W] [--cache-dir DIR] [--shards N|auto] [--idle-timeout SECS]"
                 );
                 return ExitCode::SUCCESS;
             }

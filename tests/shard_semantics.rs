@@ -1,0 +1,419 @@
+//! Sharded data environments over the cluster (ftn-shard + ftn-cluster),
+//! checked against the single-device reference:
+//!
+//! * A sharded session with one shard is bit-identical — results AND
+//!   `SessionStats`/`RunStats` totals — to a plain (unsharded) session.
+//! * A sharded session over 4 devices is bit-identical (results) to the
+//!   single-device session on the same program: the split is element-wise
+//!   exact for SAXPY-style kernels, and the gather reassembles the array in
+//!   order. The aggregated stats are deterministic across identical runs.
+//! * Halo rows are mapped to neighbouring shards but never gathered back.
+//! * A distributed `reduction(+:s)` (dot product) combines per-shard
+//!   partials and the caller's initial value exactly once.
+//! * Property: random array lengths (including lengths not divisible by the
+//!   shard count) and shard counts agree with the f32 reference model.
+
+use std::sync::OnceLock;
+
+use ftn_cluster::{ClusterMachine, MapKind, Partition, ReduceOp, ShardArg, ShardCount};
+use ftn_core::{Artifacts, Compiler};
+use ftn_fpga::DeviceModel;
+use ftn_interp::RtValue;
+use proptest::prelude::*;
+
+const SAXPYN: &str = r#"
+subroutine saxpyn(n, reps, a, x, y)
+  implicit none
+  integer :: n, reps, i, k
+  real :: a, x(n), y(n)
+  !$omp target data map(to: x) map(tofrom: y)
+  do k = 1, reps
+    !$omp target parallel do simd simdlen(10)
+    do i = 1, n
+      y(i) = y(i) + a*x(i)
+    end do
+    !$omp end target parallel do simd
+  end do
+  !$omp end target data
+end subroutine saxpyn
+"#;
+
+const DOTPROD: &str = r#"
+subroutine dotprod(n, x, y, s)
+  implicit none
+  integer :: n, i
+  real :: x(n), y(n), s
+  !$omp target parallel do simd simdlen(8) reduction(+:s)
+  do i = 1, n
+    s = s + x(i)*y(i)
+  end do
+  !$omp end target parallel do simd
+end subroutine dotprod
+"#;
+
+fn saxpyn_artifacts() -> &'static Artifacts {
+    static CELL: OnceLock<Artifacts> = OnceLock::new();
+    CELL.get_or_init(|| {
+        Compiler::default()
+            .compile_source(SAXPYN)
+            .expect("compiles")
+    })
+}
+
+fn dotprod_artifacts() -> &'static Artifacts {
+    static CELL: OnceLock<Artifacts> = OnceLock::new();
+    CELL.get_or_init(|| {
+        Compiler::default()
+            .compile_source(DOTPROD)
+            .expect("compiles")
+    })
+}
+
+/// `saxpyn_kernel0(x, y, n, n, a, 1, n)` with per-shard extents.
+fn saxpy_shard_args(a: f32) -> Vec<ShardArg> {
+    vec![
+        ShardArg::Array("x".into()),
+        ShardArg::Array("y".into()),
+        ShardArg::Extent("x".into()),
+        ShardArg::Extent("y".into()),
+        ShardArg::Scalar(RtValue::F32(a)),
+        ShardArg::Scalar(RtValue::Index(1)),
+        ShardArg::Extent("x".into()),
+    ]
+}
+
+/// Run `reps` sharded saxpy launches over a `devices`-device pool and
+/// return `(y result, SessionStats, RunStats totals)`.
+fn run_sharded(
+    devices: usize,
+    shards: ShardCount,
+    reps: usize,
+    a: f32,
+    halo: usize,
+    x: &[f32],
+    y: &[f32],
+) -> (Vec<f32>, ftn_cluster::SessionStats, ftn_host::RunStats) {
+    let models = vec![DeviceModel::u280(); devices];
+    let mut cluster = ClusterMachine::load(saxpyn_artifacts(), &models).unwrap();
+    let xa = cluster.host_f32(x);
+    let ya = cluster.host_f32(y);
+    let sid = cluster
+        .open_sharded_session(
+            &[
+                ("x", xa.clone(), MapKind::To, Partition::Split { halo }),
+                ("y", ya.clone(), MapKind::ToFrom, Partition::Split { halo }),
+            ],
+            shards,
+        )
+        .unwrap();
+    for _ in 0..reps {
+        let ticket = cluster
+            .sharded_launch(sid, "saxpyn_kernel0", &saxpy_shard_args(a))
+            .unwrap();
+        cluster.wait_sharded(ticket).unwrap();
+    }
+    let report = cluster.close_sharded_session(sid).unwrap();
+    let got = cluster.read_f32(&ya);
+    (got, report.stats, cluster.pool_stats().totals)
+}
+
+/// The same workload as a plain (unsharded) session on a 1-device pool.
+fn run_plain_session(
+    n: usize,
+    reps: usize,
+    a: f32,
+    x: &[f32],
+    y: &[f32],
+) -> (Vec<f32>, ftn_cluster::SessionStats, ftn_host::RunStats) {
+    let mut cluster = ClusterMachine::load(saxpyn_artifacts(), &[DeviceModel::u280()]).unwrap();
+    let xa = cluster.host_f32(x);
+    let ya = cluster.host_f32(y);
+    let sid = cluster
+        .open_session(&[
+            ("x", xa.clone(), MapKind::To),
+            ("y", ya.clone(), MapKind::ToFrom),
+        ])
+        .unwrap();
+    let args = vec![
+        xa.clone(),
+        ya.clone(),
+        RtValue::Index(n as i64),
+        RtValue::Index(n as i64),
+        RtValue::F32(a),
+        RtValue::Index(1),
+        RtValue::Index(n as i64),
+    ];
+    for _ in 0..reps {
+        let ticket = cluster
+            .session_launch(sid, "saxpyn_kernel0", &args)
+            .unwrap();
+        cluster.wait(ticket.handle).unwrap();
+    }
+    let report = cluster.close_session(sid).unwrap();
+    let got = cluster.read_f32(&ya);
+    (got, report.stats, cluster.pool_stats().totals)
+}
+
+fn inputs(n: usize) -> (Vec<f32>, Vec<f32>) {
+    let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.21).sin()).collect();
+    let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.08).cos()).collect();
+    (x, y)
+}
+
+/// One shard is the unsharded session: same bytes, same session stats, same
+/// `RunStats` totals.
+#[test]
+fn one_shard_is_bit_identical_to_plain_session_including_stats() {
+    let n = 1003usize;
+    let reps = 4usize;
+    let a = 1.75f32;
+    let (x, y) = inputs(n);
+    let (y_plain, plain_stats, plain_totals) = run_plain_session(n, reps, a, &x, &y);
+    let (y_shard, shard_stats, shard_totals) =
+        run_sharded(1, ShardCount::Fixed(1), reps, a, 0, &x, &y);
+    assert_eq!(y_plain.len(), y_shard.len());
+    for (i, (p, s)) in y_plain.iter().zip(&y_shard).enumerate() {
+        assert_eq!(p.to_bits(), s.to_bits(), "element {i}: {p} vs {s}");
+    }
+    assert_eq!(plain_stats.launches, shard_stats.launches);
+    assert_eq!(plain_stats.staged_uploads, shard_stats.staged_uploads);
+    assert_eq!(plain_stats.staged_bytes, shard_stats.staged_bytes);
+    assert_eq!(plain_stats.elided_transfers, shard_stats.elided_transfers);
+    assert_eq!(plain_stats.fetched_downloads, shard_stats.fetched_downloads);
+    assert_eq!(
+        plain_totals, shard_totals,
+        "RunStats totals must be bit-identical at one shard"
+    );
+}
+
+/// Sharded over 2 and 4 devices: results bit-identical to the single-device
+/// session (SAXPY is element-wise, so distribution preserves every FP op),
+/// and the aggregated totals are deterministic across identical runs.
+#[test]
+fn sharded_n2_n4_results_are_bit_identical_to_single_device() {
+    let n = 1003usize;
+    let reps = 5usize;
+    let a = 2.5f32;
+    let (x, y) = inputs(n);
+    let (y_single, _, _) = run_plain_session(n, reps, a, &x, &y);
+    for devices in [2usize, 4] {
+        let (y_shard, stats, totals) =
+            run_sharded(devices, ShardCount::Fixed(devices), reps, a, 0, &x, &y);
+        for (i, (p, s)) in y_single.iter().zip(&y_shard).enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                s.to_bits(),
+                "N={devices} element {i}: {p} vs {s}"
+            );
+        }
+        assert_eq!(stats.launches, (reps * devices) as u64);
+        assert_eq!(stats.fetched_downloads, devices as u64);
+        // Aggregated RunStats totals are deterministic: a second identical
+        // sharded run produces exactly the same totals.
+        let (_, _, totals2) = run_sharded(devices, ShardCount::Fixed(devices), reps, a, 0, &x, &y);
+        assert_eq!(totals, totals2, "N={devices} totals must be deterministic");
+        assert_eq!(totals.launches, (reps * devices) as u64);
+    }
+}
+
+/// Halo rows change what each shard maps, not what the gather writes: the
+/// result stays bit-identical for an element-wise kernel (overlap rows are
+/// computed twice, once per neighbour, and discarded from the halo side).
+#[test]
+fn halo_rows_are_mapped_but_not_gathered() {
+    let n = 257usize;
+    let reps = 2usize;
+    let a = 0.75f32;
+    let (x, y) = inputs(n);
+    let (y_single, _, _) = run_plain_session(n, reps, a, &x, &y);
+    for halo in [1usize, 3] {
+        let (y_shard, _, _) = run_sharded(4, ShardCount::Fixed(4), reps, a, halo, &x, &y);
+        for (i, (p, s)) in y_single.iter().zip(&y_shard).enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                s.to_bits(),
+                "halo={halo} element {i}: {p} vs {s}"
+            );
+        }
+    }
+}
+
+/// Auto shard selection: a SAXPY-scale array fills the pool; the shard
+/// count never exceeds pool size or array length.
+#[test]
+fn auto_shards_picks_pool_size_for_large_arrays() {
+    let n = 65536usize;
+    let (x, y) = inputs(n);
+    let models = vec![DeviceModel::u280(); 4];
+    let mut cluster = ClusterMachine::load(saxpyn_artifacts(), &models).unwrap();
+    let xa = cluster.host_f32(&x);
+    let ya = cluster.host_f32(&y);
+    let sid = cluster
+        .open_sharded_session(
+            &[
+                ("x", xa.clone(), MapKind::To, Partition::Split { halo: 0 }),
+                ("y", ya, MapKind::ToFrom, Partition::Split { halo: 0 }),
+            ],
+            ShardCount::Auto,
+        )
+        .unwrap();
+    assert_eq!(
+        cluster.sharded_shards(sid),
+        Some(4),
+        "big array → full pool"
+    );
+    cluster.close_sharded_session(sid).unwrap();
+
+    // A tiny array refuses to over-shard.
+    let xa = cluster.host_f32(&[1.0, 2.0]);
+    let sid = cluster
+        .open_sharded_session(
+            &[("x", xa, MapKind::To, Partition::Split { halo: 0 })],
+            ShardCount::Auto,
+        )
+        .unwrap();
+    assert!(cluster.sharded_shards(sid).unwrap() <= 2);
+    cluster.close_sharded_session(sid).unwrap();
+}
+
+/// A distributed sum reduction: x and y split, the accumulator reduced.
+/// Each shard folds its partial into a private copy (shard 0 seeded with
+/// the caller's initial value, the rest with the identity); the close
+/// combines them. Checked against the single-device kernel within FP
+/// reassociation tolerance, and exactly at one shard.
+#[test]
+fn sharded_dot_product_reduces_across_devices() {
+    let n = 1000usize;
+    let x: Vec<f32> = (0..n)
+        .map(|i| ((i * 37) % 101) as f32 * 0.01 - 0.5)
+        .collect();
+    let y: Vec<f32> = (0..n)
+        .map(|i| ((i * 53) % 97) as f32 * 0.02 - 1.0)
+        .collect();
+    let s0 = 10.0f32;
+
+    let dot_args = vec![
+        ShardArg::Array("x".into()),
+        ShardArg::Array("y".into()),
+        ShardArg::Array("s".into()),
+        ShardArg::Extent("x".into()),
+        ShardArg::Extent("y".into()),
+        ShardArg::Extent("s".into()),
+        ShardArg::Scalar(RtValue::Index(1)),
+        ShardArg::Extent("x".into()),
+    ];
+    let run = |devices: usize, shards: usize| -> f32 {
+        let models = vec![DeviceModel::u280(); devices];
+        let mut cluster = ClusterMachine::load(dotprod_artifacts(), &models).unwrap();
+        let xa = cluster.host_f32(&x);
+        let ya = cluster.host_f32(&y);
+        let sa = cluster.host_f32(&[s0]);
+        let sid = cluster
+            .open_sharded_session(
+                &[
+                    ("x", xa, MapKind::To, Partition::Split { halo: 0 }),
+                    ("y", ya, MapKind::To, Partition::Split { halo: 0 }),
+                    (
+                        "s",
+                        sa.clone(),
+                        MapKind::ToFrom,
+                        Partition::Reduced(ReduceOp::Sum),
+                    ),
+                ],
+                ShardCount::Fixed(shards),
+            )
+            .unwrap();
+        let ticket = cluster
+            .sharded_launch(sid, "dotprod_kernel0", &dot_args)
+            .unwrap();
+        cluster.wait_sharded(ticket).unwrap();
+        cluster.close_sharded_session(sid).unwrap();
+        cluster.read_f32(&sa)[0]
+    };
+
+    let single = run(1, 1);
+    let reference: f32 = s0 + x.iter().zip(&y).map(|(a, b)| a * b).sum::<f32>();
+    assert!(
+        (single - reference).abs() <= 1e-3 * reference.abs().max(1.0),
+        "single-device kernel sanity: {single} vs {reference}"
+    );
+    for shards in [2usize, 4] {
+        let sharded = run(4, shards);
+        assert!(
+            (sharded - single).abs() <= 1e-3 * single.abs().max(1.0),
+            "{shards} shards: {sharded} vs single {single} (initial folded once)"
+        );
+    }
+}
+
+/// `map(from:)` reduction copies must start at the operation's identity on
+/// every shard — zero-initializing them (the plain `from` behaviour) would
+/// corrupt min/max folds. With no launches, the gathered value IS the
+/// identity.
+#[test]
+fn reduced_from_copies_start_at_the_identity() {
+    let models = vec![DeviceModel::u280(); 2];
+    for (op, identity) in [
+        (ReduceOp::Min, f32::INFINITY),
+        (ReduceOp::Max, f32::NEG_INFINITY),
+        (ReduceOp::Sum, 0.0),
+    ] {
+        let mut cluster = ClusterMachine::load(dotprod_artifacts(), &models).unwrap();
+        let sa = cluster.host_f32(&[42.0]);
+        let xa = cluster.host_f32(&[1.0, 2.0]);
+        let sid = cluster
+            .open_sharded_session(
+                &[
+                    ("x", xa, MapKind::To, Partition::Split { halo: 0 }),
+                    ("s", sa.clone(), MapKind::From, Partition::Reduced(op)),
+                ],
+                ShardCount::Fixed(2),
+            )
+            .unwrap();
+        cluster.close_sharded_session(sid).unwrap();
+        let got = cluster.read_f32(&sa)[0];
+        assert_eq!(
+            got.to_bits(),
+            identity.to_bits(),
+            "{}: map(from:) must fold device-initialized identities, got {got}",
+            op.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random lengths (including lengths not divisible by the shard count)
+    /// and shard counts: the sharded session always matches the f32
+    /// reference model bit-for-bit, and one shard always matches the plain
+    /// session.
+    #[test]
+    fn sharded_saxpy_matches_reference_for_random_shapes(
+        n in 1usize..300,
+        shards in 1usize..=4,
+        reps in 1usize..=3,
+        a in 1u8..=8u8,
+    ) {
+        let a = a as f32 * 0.25;
+        let (x, y) = inputs(n);
+        let (got, stats, _) = run_sharded(4, ShardCount::Fixed(shards), reps, a, 0, &x, &y);
+        // The effective shard count never exceeds the array length.
+        let effective = shards.min(n);
+        prop_assert_eq!(stats.launches, (reps * effective) as u64);
+        let mut expect = y.clone();
+        for _ in 0..reps {
+            for i in 0..n {
+                expect[i] += a * x[i];
+            }
+        }
+        for i in 0..n {
+            prop_assert_eq!(
+                got[i].to_bits(),
+                expect[i].to_bits(),
+                "n={} shards={} element {}: {} vs {}",
+                n, shards, i, got[i], expect[i]
+            );
+        }
+    }
+}
