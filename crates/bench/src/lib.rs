@@ -11,9 +11,13 @@
 //! * [`diagram`] — Figures 1–2 regenerated from the registered pass pipeline.
 //! * [`serve_bench`] — session vs sessionless launch throughput and
 //!   transfer-elision measurements over the cluster (`BENCH_serve.json`).
+//! * [`hetero_bench`] — throughput-weighted vs uniform shard plans on a
+//!   mixed-speed pool and batched vs per-shard fan-out submit cost
+//!   (`BENCH_hetero.json`).
 
 pub mod diagram;
 pub mod experiments;
+pub mod hetero_bench;
 pub mod locs;
 pub mod serve_bench;
 pub mod shard_bench;

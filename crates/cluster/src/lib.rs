@@ -45,7 +45,10 @@ pub use machine::{
 pub use pool::DevicePool;
 pub use scheduler::{BufferInfo, Placement, PlacementPolicy, PlacementReason};
 pub use session::{MapKind, SessionReport, SessionStats};
-pub use sharded::{ShardArg, ShardCount, ShardedLaunchReport, ShardedLaunchTicket, ShardedReport};
+pub use sharded::{
+    ShardArg, ShardCount, ShardOptions, ShardedLaunchReport, ShardedLaunchTicket, ShardedReport,
+    MAX_SHARDS_PER_DEVICE,
+};
 
 #[cfg(test)]
 mod tests {
@@ -516,6 +519,138 @@ end subroutine saxpy
         // The shard sub-buffers were freed at close: only x and y remain.
         assert_eq!(ps.host_buffers, 2, "{ps:?}");
         assert!(cluster.open_sharded_sessions().is_empty());
+    }
+
+    #[test]
+    fn batched_fanout_sends_one_message_per_device_and_matches_unbatched() {
+        use crate::sharded::{ShardArg, ShardCount, ShardOptions};
+        use crate::{MapKind, Partition};
+        let n = 403usize;
+        let reps = 3usize;
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).sin()).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.05).cos()).collect();
+        let args = [
+            ShardArg::Array("x".into()),
+            ShardArg::Array("y".into()),
+            ShardArg::Extent("x".into()),
+            ShardArg::Extent("y".into()),
+            ShardArg::Scalar(RtValue::F32(1.5)),
+            ShardArg::Scalar(RtValue::Index(1)),
+            ShardArg::Extent("x".into()),
+        ];
+        let run = |batched: bool| {
+            let mut cluster = pool(4);
+            let xa = cluster.host_f32(&x);
+            let ya = cluster.host_f32(&y);
+            let sid = cluster
+                .open_sharded_session_with(
+                    &[
+                        ("x", xa, MapKind::To, Partition::Split { halo: 0 }),
+                        (
+                            "y",
+                            ya.clone(),
+                            MapKind::ToFrom,
+                            Partition::Split { halo: 0 },
+                        ),
+                    ],
+                    ShardCount::Fixed(4),
+                    ShardOptions {
+                        weighted: true,
+                        batched,
+                    },
+                )
+                .unwrap();
+            for _ in 0..reps {
+                let t = cluster.sharded_launch(sid, "saxpy_kernel0", &args).unwrap();
+                cluster.wait_sharded(t).unwrap();
+            }
+            let report = cluster.close_sharded_session(sid).unwrap();
+            let ps = cluster.pool_stats();
+            (cluster.read_f32(&ya), report.stats, ps)
+        };
+        let (y_batched, stats_batched, ps_batched) = run(true);
+        let (y_unbatched, stats_unbatched, ps_unbatched) = run(false);
+        // Identical results and session statistics either way.
+        assert_eq!(y_batched, y_unbatched);
+        assert_eq!(stats_batched, stats_unbatched);
+        assert_eq!(ps_batched.totals, ps_unbatched.totals);
+        // The batched session messaged O(devices): one Batch per device per
+        // fan-out (open staging + each launch + the close fetch).
+        let fanouts = (1 + reps + 1) as u64;
+        assert_eq!(ps_batched.batched_messages, fanouts * 4, "{ps_batched:?}");
+        assert_eq!(ps_batched.batched_jobs, fanouts * 4, "{ps_batched:?}");
+        assert_eq!(ps_unbatched.batched_messages, 0, "{ps_unbatched:?}");
+    }
+
+    #[test]
+    fn more_shards_than_devices_cycle_the_pool_and_still_batch_per_device() {
+        use crate::sharded::{ShardArg, ShardCount};
+        use crate::{MapKind, Partition};
+        let mut cluster = pool(2);
+        let n = 600usize;
+        let x: Vec<f32> = (0..n).map(|i| i as f32 * 0.01).collect();
+        let y = vec![1.0f32; n];
+        let xa = cluster.host_f32(&x);
+        let ya = cluster.host_f32(&y);
+        let sid = cluster
+            .open_sharded_session(
+                &[
+                    ("x", xa, MapKind::To, Partition::Split { halo: 0 }),
+                    (
+                        "y",
+                        ya.clone(),
+                        MapKind::ToFrom,
+                        Partition::Split { halo: 0 },
+                    ),
+                ],
+                ShardCount::Fixed(6),
+            )
+            .unwrap();
+        // Six shards cycle the two devices; each worker runs its three
+        // shard jobs of a launch back-to-back.
+        assert_eq!(cluster.sharded_shards(sid), Some(6));
+        assert_eq!(cluster.sharded_devices(sid), Some(vec![0, 1, 0, 1, 0, 1]));
+        let args = [
+            ShardArg::Array("x".into()),
+            ShardArg::Array("y".into()),
+            ShardArg::Extent("x".into()),
+            ShardArg::Extent("y".into()),
+            ShardArg::Scalar(RtValue::F32(2.0)),
+            ShardArg::Scalar(RtValue::Index(1)),
+            ShardArg::Extent("x".into()),
+        ];
+        let ticket = cluster.sharded_launch(sid, "saxpy_kernel0", &args).unwrap();
+        assert_eq!(ticket.handles.len(), 6);
+        let report = cluster.wait_sharded(ticket).unwrap();
+        assert_eq!(report.stats.launches, 6);
+        cluster.close_sharded_session(sid).unwrap();
+        let got = cluster.read_f32(&ya);
+        for (i, v) in got.iter().enumerate() {
+            let expect = 1.0 + 2.0 * (i as f32 * 0.01);
+            assert_eq!(v.to_bits(), expect.to_bits(), "element {i}");
+        }
+        // Batched fan-out coalesced each fan-out into one message per
+        // *device*, not per shard: open (2 devices × 3 upload jobs each),
+        // one launch, one close fetch → 3 fan-outs × 2 messages, 18 jobs.
+        let ps = cluster.pool_stats();
+        assert_eq!(ps.batched_messages, 6, "{ps:?}");
+        assert_eq!(ps.batched_jobs, 18, "{ps:?}");
+
+        // An absurd shard request is bounded: a single (possibly hostile)
+        // session cannot allocate more than MAX_SHARDS_PER_DEVICE shards
+        // per device.
+        let xa = cluster.host_f32(&x);
+        let sid = cluster
+            .open_sharded_session(
+                &[("x", xa, MapKind::To, Partition::Split { halo: 0 })],
+                ShardCount::Fixed(1_000_000),
+            )
+            .unwrap();
+        assert_eq!(
+            cluster.sharded_shards(sid),
+            Some(2 * crate::MAX_SHARDS_PER_DEVICE)
+        );
+        cluster.close_sharded_session(sid).unwrap();
     }
 
     #[test]

@@ -71,6 +71,9 @@ pub struct ClusterRunReport {
 pub struct DevicePoolStats {
     pub device: usize,
     pub name: String,
+    /// Kernel clock of this device's model — the first-order throughput
+    /// signal in a heterogeneous pool.
+    pub clock_mhz: f64,
     pub jobs: u64,
     /// Simulated seconds of device-timeline occupancy (kernel wall +
     /// transfers) across completed jobs.
@@ -116,6 +119,11 @@ pub struct PoolStats {
     /// Jobs dispatched to a device fixed by their shard assignment (sharded
     /// sessions bypass placement: no affinity scoring, no stealing).
     pub shard_forced: u64,
+    /// Coalesced worker messages sent by batched sharded fan-outs (one
+    /// [`WorkerMessage::Batch`] per device per logical operation).
+    pub batched_messages: u64,
+    /// Jobs delivered inside those batch messages.
+    pub batched_jobs: u64,
     /// Live host buffers in pool memory (requests/sessions must free what
     /// they allocate; flat under sustained traffic).
     pub host_buffers: usize,
@@ -187,6 +195,12 @@ pub struct ClusterMachine {
     pub(crate) forced_colocations: u64,
     pub(crate) residency_pins: u64,
     pub(crate) shard_forced: u64,
+    pub(crate) batched_messages: u64,
+    pub(crate) batched_jobs: u64,
+    /// When active (a sharded fan-out between `begin_batch`/`flush_batch`),
+    /// dispatched jobs are buffered here instead of being sent, then
+    /// delivered as one [`WorkerMessage::Batch`] per device.
+    pub(crate) batch_buffer: Option<Vec<(usize, Job)>>,
 }
 
 impl ClusterMachine {
@@ -243,11 +257,19 @@ impl ClusterMachine {
             forced_colocations: 0,
             residency_pins: 0,
             shard_forced: 0,
+            batched_messages: 0,
+            batched_jobs: 0,
+            batch_buffer: None,
         })
     }
 
     pub fn device_count(&self) -> usize {
         self.pool.len()
+    }
+
+    /// The device models backing the pool, in device-index order.
+    pub fn device_models(&self) -> Vec<DeviceModel> {
+        self.pool.models()
     }
 
     /// Allocate a host f32 array (mirror of `Machine::host_f32`).
@@ -771,6 +793,10 @@ impl ClusterMachine {
                 device,
             },
         );
+        if let Some(buffer) = self.batch_buffer.as_mut() {
+            buffer.push((device, job));
+            return Ok(LaunchHandle { job_id });
+        }
         self.pool.slots[device]
             .sender
             .send(WorkerMessage::Job(Box::new(job)))
@@ -778,6 +804,42 @@ impl ClusterMachine {
                 CompileError::new("cluster-submit", "device worker is gone".to_string())
             })?;
         Ok(LaunchHandle { job_id })
+    }
+
+    /// Start buffering dispatches for a batched sharded fan-out. Every job
+    /// dispatched until [`ClusterMachine::flush_batch`] is held back and
+    /// delivered grouped by device. Only forced (shard-placed) submissions
+    /// may run inside a batch window — placement never drains outcomes here.
+    pub(crate) fn begin_batch(&mut self) {
+        debug_assert!(self.batch_buffer.is_none(), "batch window already open");
+        self.batch_buffer = Some(Vec::new());
+    }
+
+    /// Close the batch window: deliver every buffered job as one
+    /// [`WorkerMessage::Batch`] per device (per-device submission order is
+    /// preserved, keeping the FIFO colocation invariants intact). Buckets
+    /// are a linear-scanned small vector — fan-outs touch at most
+    /// pool-size distinct devices.
+    pub(crate) fn flush_batch(&mut self) -> Result<(), CompileError> {
+        let buffered = self.batch_buffer.take().unwrap_or_default();
+        let mut buckets: Vec<(usize, Vec<Job>)> = Vec::with_capacity(self.pool.len());
+        for (device, job) in buffered {
+            match buckets.iter_mut().find(|(d, _)| *d == device) {
+                Some((_, jobs)) => jobs.push(job),
+                None => buckets.push((device, vec![job])),
+            }
+        }
+        for (device, jobs) in buckets {
+            self.batched_jobs += jobs.len() as u64;
+            self.batched_messages += 1;
+            self.pool.slots[device]
+                .sender
+                .send(WorkerMessage::Batch(jobs))
+                .map_err(|_| {
+                    CompileError::new("cluster-submit", "device worker is gone".to_string())
+                })?;
+        }
+        Ok(())
     }
 
     /// Wait for a submitted job, fold its statistics into the pool totals,
@@ -908,6 +970,7 @@ impl ClusterMachine {
             .map(|(i, slot)| DevicePoolStats {
                 device: i,
                 name: slot.model.name.clone(),
+                clock_mhz: slot.model.clock_mhz,
                 jobs: self.device_jobs[i],
                 busy_sim_seconds: self.busy_sim[i],
                 arena_buffers: self.arena_buffers[i],
@@ -943,6 +1006,8 @@ impl ClusterMachine {
             forced_colocations: self.forced_colocations,
             residency_pins: self.residency_pins,
             shard_forced: self.shard_forced,
+            batched_messages: self.batched_messages,
+            batched_jobs: self.batched_jobs,
             host_buffers: self.memory.live(),
             host_bytes: self.memory.live_bytes(),
         }

@@ -97,6 +97,12 @@ pub(crate) struct JobSuccess {
 
 pub(crate) enum WorkerMessage {
     Job(Box<Job>),
+    /// Several jobs for this device delivered as one message — the batched
+    /// fan-out of a sharded launch sends every shard job bound for one
+    /// device together, so a logical launch costs O(devices) messages
+    /// instead of O(shards). The worker runs them in order and reports one
+    /// outcome per job, exactly as if they had arrived individually.
+    Batch(Vec<Job>),
     /// Drop the mirror entries for these host buffers and free their local
     /// copies (the host buffer was freed). FIFO-ordered with jobs, so an
     /// eviction never races a queued job that still uses the mirror.
@@ -363,6 +369,35 @@ impl Worker {
     }
 }
 
+/// Run one job and report its outcome. Panics are contained (e.g. from a
+/// malformed bitstream module): an unwinding worker that never reports its
+/// outcome would leave `ClusterMachine::wait` blocked forever.
+fn run_and_report(worker: &mut Worker, job: Job, outcomes: &Sender<JobOutcome>) {
+    let index = worker.index;
+    let job_id = job.job_id;
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run_job(job)))
+        .unwrap_or_else(|panic| {
+            // Best-effort reclaim of the aborted job's transients (recording
+            // is still active when a job unwinds mid-execution).
+            for id in worker.memory.take_recorded() {
+                worker.memory.free(id);
+            }
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Err(format!("device {index} worker panicked: {msg}"))
+        });
+    // The pool half may already be gone during teardown; a failed send just
+    // drops the outcome.
+    let _ = outcomes.send(JobOutcome {
+        job_id,
+        device: index,
+        result,
+    });
+}
+
 /// Spawn the worker thread for device `index`.
 pub(crate) fn spawn_worker(
     index: usize,
@@ -384,45 +419,22 @@ pub(crate) fn spawn_worker(
                 mirror: HashMap::new(),
             };
             loop {
-                let job = match jobs.recv() {
-                    Ok(WorkerMessage::Job(job)) => job,
+                match jobs.recv() {
+                    Ok(WorkerMessage::Job(job)) => run_and_report(&mut worker, *job, &outcomes),
+                    Ok(WorkerMessage::Batch(batch)) => {
+                        for job in batch {
+                            run_and_report(&mut worker, job, &outcomes);
+                        }
+                    }
                     Ok(WorkerMessage::Evict(ids)) => {
                         for id in ids {
                             if let Some((local, _)) = worker.mirror.remove(&id) {
                                 worker.memory.free(local);
                             }
                         }
-                        continue;
                     }
                     Ok(WorkerMessage::Shutdown) | Err(_) => break,
-                };
-                let job_id = job.job_id;
-                // Contain panics (e.g. from a malformed bitstream module):
-                // an unwinding worker that never reports its outcome would
-                // leave `ClusterMachine::wait` blocked forever.
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run_job(*job)))
-                        .unwrap_or_else(|panic| {
-                            // Best-effort reclaim of the aborted job's
-                            // transients (recording is still active when a
-                            // job unwinds mid-execution).
-                            for id in worker.memory.take_recorded() {
-                                worker.memory.free(id);
-                            }
-                            let msg = panic
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| panic.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "unknown panic".to_string());
-                            Err(format!("device {index} worker panicked: {msg}"))
-                        });
-                // The pool half may already be gone during teardown; a
-                // failed send just drops the outcome.
-                let _ = outcomes.send(JobOutcome {
-                    job_id,
-                    device: index,
-                    result,
-                });
+                }
             }
         })
         .expect("spawn device worker thread")

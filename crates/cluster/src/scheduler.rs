@@ -285,6 +285,34 @@ mod tests {
     }
 
     #[test]
+    fn steal_pricing_uses_the_target_devices_own_link_model() {
+        // Heterogeneous pool: the steal target's PCIe model prices the
+        // restage. A Gen4 card (u55c, 24 GB/s) accepts a steal that a card
+        // with a crippled link refuses at the same backlog gap.
+        let buf256m = buf(256 * 1024 * 1024, &[0]);
+        let gap = 0.015f64; // 15 ms of queued work on the affinity device
+
+        let fast_link = vec![DeviceModel::u280(), DeviceModel::u55c()];
+        let mut p = PlacementPolicy::new();
+        let pl = p.place(
+            &[1, 0],
+            &[gap, 0.0],
+            &fast_link,
+            std::slice::from_ref(&buf256m),
+        );
+        assert_eq!(pl.reason, PlacementReason::Steal);
+        assert_eq!(pl.device, 1);
+
+        let mut slow = DeviceModel::u280();
+        slow.pcie_gbps = 1.0; // ~256 ms to restage 256 MiB
+        let slow_link = vec![DeviceModel::u280(), slow];
+        let mut p = PlacementPolicy::new();
+        let pl = p.place(&[1, 0], &[gap, 0.0], &slow_link, &[buf256m]);
+        assert_eq!(pl.reason, PlacementReason::Affinity);
+        assert_eq!(pl.device, 0);
+    }
+
+    #[test]
     fn cost_priced_backlog_beats_job_counting() {
         // One queued job, but the cost model knows it is a heavy kernel
         // (200 ms): the gap dwarfs a 4 KiB restage even though the queue is

@@ -47,7 +47,7 @@ impl MapKind {
 }
 
 /// Transfer/launch accounting for one session.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct SessionStats {
     pub launches: u64,
     /// Host→device uploads actually performed (open staging + any re-staging

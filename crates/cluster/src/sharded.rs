@@ -10,16 +10,29 @@
 //! `ftn_host::DataEnvironment` presence protocol inside
 //! [`ftn_shard::ShardedEnvironment`].
 //!
+//! The pool may be heterogeneous (mixed [`ftn_fpga::DeviceModel`]s): by
+//! default ([`ShardOptions::weighted`]) devices are ordered fastest-first by
+//! predicted throughput, the largest shard lands on the fastest card, and
+//! each shard's row count is proportional to its device's
+//! [`ftn_fpga::CostModel::device_weight`] — a 2× faster card owns ~2× the
+//! rows, so every device finishes its shard at about the same simulated
+//! time. On a homogeneous pool this reproduces the uniform plan and the
+//! 0..N device order bit-exactly.
+//!
 //! Each [`ClusterMachine::sharded_launch`] fans one logical kernel launch
 //! out as per-shard kernel jobs with rebased trip counts
 //! ([`ShardArg::Extent`] resolves to the shard's local leading-dim extent).
 //! Shard jobs are *force-placed* on their shard's device: no affinity
 //! scoring, no stealing across shards — the data already lives there, and
 //! the per-shard trip counts price each device's backlog honestly through
-//! [`ftn_fpga::CostModel`]. Close fetches every shard's `from`/`tofrom`
-//! sub-buffers, gathers (concatenates owned rows, dropping halos) or reduces
-//! (sum/min/max private copies) into the caller's arrays, and frees the
-//! sub-buffers on host and devices alike.
+//! [`ftn_fpga::CostModel`] (per that device's own model). Under
+//! [`ShardOptions::batched`] (the default) every fan-out — open staging,
+//! launches, close fetches — coalesces all jobs bound for one device into a
+//! single [`crate::pool::WorkerMessage::Batch`], so a logical launch costs
+//! O(devices) messages instead of O(shards). Close fetches every shard's
+//! `from`/`tofrom` sub-buffers, gathers (concatenates owned rows, dropping
+//! halos) or reduces (sum/min/max private copies) into the caller's arrays,
+//! and frees the sub-buffers on host and devices alike.
 //!
 //! With one shard the scatter and gather are exact copies and the session is
 //! bit-identical — results and `RunStats` totals — to a plain
@@ -34,14 +47,24 @@ use serde::Serialize;
 use crate::machine::{ClusterMachine, LaunchHandle};
 use crate::session::{MapKind, SessionStats};
 
+/// Upper bound on shards per pool device: bounds the sub-environments and
+/// per-launch jobs a single (possibly hostile, via the HTTP API) session
+/// request can allocate, while leaving ample room for the
+/// several-shards-per-device fan-outs batching is built for.
+pub const MAX_SHARDS_PER_DEVICE: usize = 16;
+
 /// How many shards a sharded session should open.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ShardCount {
     /// Let the cost model pick from the pool size and the mapped array
     /// lengths (see [`ftn_fpga::CostModel::auto_shards`]).
     Auto,
-    /// Exactly this many shards (clamped to the pool size and to the
-    /// shortest split array's leading-dim extent).
+    /// Exactly this many shards (clamped to the shortest split array's
+    /// leading-dim extent and to [`MAX_SHARDS_PER_DEVICE`] × pool size).
+    /// More shards than devices is allowed: devices are cycled
+    /// (fastest-first under [`ShardOptions::weighted`]) and each worker
+    /// runs its shards of a launch back-to-back — a batched fan-out still
+    /// sends only one message per device.
     Fixed(usize),
 }
 
@@ -55,6 +78,36 @@ impl ShardCount {
             .ok()
             .filter(|&n| n > 0)
             .map(ShardCount::Fixed)
+    }
+}
+
+/// How a sharded session distributes and dispatches its shards. The
+/// defaults (weighted plans, batched fan-out) are what production traffic
+/// wants; the legacy behaviours remain selectable so conformance tests and
+/// benchmarks can compare against them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardOptions {
+    /// Size each shard proportionally to its device's predicted throughput
+    /// ([`ftn_fpga::CostModel::device_weight`]) and place the largest shard
+    /// on the fastest device. On a homogeneous pool this reproduces the
+    /// uniform plan and the 0..N device order exactly. When disabled, the
+    /// legacy uniform split with static `shard i → device i % N` assignment
+    /// is used.
+    pub weighted: bool,
+    /// Coalesce all shard jobs bound for one device into a single
+    /// [`crate::pool::WorkerMessage::Batch`] per fan-out (open staging,
+    /// launches, close fetches), cutting per-launch messaging from
+    /// O(shards) to O(devices). Results and statistics are identical either
+    /// way — only the message count changes.
+    pub batched: bool,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            weighted: true,
+            batched: true,
+        }
     }
 }
 
@@ -75,8 +128,10 @@ pub struct ShardedSession {
     pub(crate) env: ShardedEnvironment,
     /// `(name, global buffer, kind, partition)` in map order.
     pub(crate) maps: Vec<(String, BufferId, MapKind, Partition)>,
-    /// shard index → device index.
+    /// shard index → device index (fastest device first under
+    /// [`ShardOptions::weighted`]).
     pub(crate) devices: Vec<usize>,
+    pub(crate) opts: ShardOptions,
     pub(crate) outstanding: Vec<u64>,
     pub(crate) stats: SessionStats,
 }
@@ -125,13 +180,27 @@ impl ClusterMachine {
     /// Open a sharded data environment: partition each `(name, array, kind,
     /// partition)` across `shards` devices and stage every shard's
     /// sub-buffers onto its device. The effective shard count is clamped to
-    /// the pool size and to the shortest `Split` array's leading-dim extent;
-    /// [`ShardCount::Auto`] asks the cost model. Returns the session id —
-    /// the id space is shared with unsharded sessions.
+    /// the shortest `Split` array's leading-dim extent (more shards than
+    /// devices cycle through the pool); [`ShardCount::Auto`] asks the cost
+    /// model. Returns the session id — the id space is shared with
+    /// unsharded sessions.
     pub fn open_sharded_session(
         &mut self,
         maps: &[(&str, RtValue, MapKind, Partition)],
         shards: ShardCount,
+    ) -> Result<u64, CompileError> {
+        self.open_sharded_session_with(maps, shards, ShardOptions::default())
+    }
+
+    /// [`ClusterMachine::open_sharded_session`] with explicit
+    /// [`ShardOptions`] (weighted vs uniform plans, batched vs per-shard
+    /// fan-out) — the default options are right for production traffic;
+    /// this entry point exists for conformance tests and benchmarks.
+    pub fn open_sharded_session_with(
+        &mut self,
+        maps: &[(&str, RtValue, MapKind, Partition)],
+        shards: ShardCount,
+        opts: ShardOptions,
     ) -> Result<u64, CompileError> {
         if maps.is_empty() {
             return Err(CompileError::new(
@@ -171,34 +240,62 @@ impl ClusterMachine {
         // Effective shard count: request (or cost-model pick) clamped so no
         // split array ends up with an empty shard.
         let pool = self.pool.len();
+        let models = self.pool.models();
         let split_rows = resolved
             .iter()
             .filter(|(_, _, _, p)| matches!(p, Partition::Split { .. }))
             .map(|(_, m, _, _)| m.shape.first().copied().unwrap_or(1).max(0) as usize)
             .min();
+        let elements = resolved
+            .iter()
+            .filter(|(_, _, _, p)| matches!(p, Partition::Split { .. }))
+            .map(|(_, m, _, _)| m.num_elements() as u64)
+            .max()
+            .unwrap_or(0);
         let requested = match shards {
             ShardCount::Fixed(n) => n.max(1),
+            ShardCount::Auto if opts.weighted => {
+                // Pool-aware pick: a heterogeneous pool prices each added
+                // (fastest-first) device by its own model, so a straggler
+                // card that would extend the makespan is left out.
+                self.cost_model.auto_shards_pool(&models, elements)
+            }
             ShardCount::Auto => {
-                let elements = resolved
-                    .iter()
-                    .filter(|(_, _, _, p)| matches!(p, Partition::Split { .. }))
-                    .map(|(_, m, _, _)| m.num_elements() as u64)
-                    .max()
-                    .unwrap_or(0);
                 self.cost_model
                     .auto_shards(&self.pool.slots[0].model, elements, pool)
             }
         };
         let shards = requested
-            .min(pool)
+            .min(pool * MAX_SHARDS_PER_DEVICE)
             .min(split_rows.unwrap_or(requested))
             .max(1);
+
+        // Shard → device assignment and the matching split weights. Weighted
+        // sessions order devices fastest-first (predicted throughput on a
+        // uniform share, ties by index) so shard 0 — the largest block of a
+        // weighted plan — lands on the fastest card; a homogeneous pool
+        // keeps its natural 0..N order and uniform split exactly. More
+        // shards than devices cycle through the order (a device's shards of
+        // one launch run back-to-back on its FIFO worker). Unweighted
+        // sessions keep the legacy static `shard i → device i % N` map.
+        let (devices, weights): (Vec<usize>, Vec<f64>) = if opts.weighted {
+            let share = elements.max(1).div_ceil(shards.min(pool) as u64);
+            let order = self.cost_model.device_order(&models, share);
+            let devices: Vec<usize> = (0..shards).map(|s| order[s % pool]).collect();
+            let weights = devices
+                .iter()
+                .map(|&d| self.cost_model.device_weight(&models[d], share))
+                .collect();
+            (devices, weights)
+        } else {
+            ((0..shards).map(|s| s % pool).collect(), vec![1.0; shards])
+        };
 
         // Scatter: one sub-environment per shard, sub-buffers in pool host
         // memory (they behave like any other host buffer from here on). A
         // failed map must not leak the slices of the arrays mapped before
         // it.
-        let mut env = ShardedEnvironment::new(shards);
+        let mut env = ShardedEnvironment::weighted(weights);
         for (name, m, _, partition) in &resolved {
             if let Err(e) = env.map(&mut self.memory, name, m, *partition) {
                 for id in env.buffer_ids() {
@@ -211,10 +308,14 @@ impl ClusterMachine {
             self.buffers.insert(id, Default::default());
         }
 
-        // Stage every shard onto its device; uploads overlap across devices.
-        let devices: Vec<usize> = (0..shards).map(|s| s % pool).collect();
+        // Stage every shard onto its device; uploads overlap across devices
+        // (and, when batched, travel as one message per device).
         let mut stats = SessionStats::default();
         let mut handles = Vec::with_capacity(shards);
+        if opts.batched {
+            self.begin_batch();
+        }
+        let mut submit_err = None;
         for (shard, &device) in devices.iter().enumerate() {
             // `map(from:)` copies start device-initialized rather than from
             // host contents: zeroed normally, but a reduction copy must
@@ -233,12 +334,30 @@ impl ClusterMachine {
                     (id, seed)
                 })
                 .collect();
-            let ticket = self.submit_upload(&upload, Some(device))?;
-            stats.staged_uploads += ticket.staged;
-            stats.staged_bytes += ticket.staged_bytes;
-            stats.elided_transfers += ticket.elided;
-            handles.push(ticket.handle);
+            match self.submit_upload(&upload, Some(device)) {
+                Ok(ticket) => {
+                    stats.staged_uploads += ticket.staged;
+                    stats.staged_bytes += ticket.staged_bytes;
+                    stats.elided_transfers += ticket.elided;
+                    handles.push(ticket.handle);
+                }
+                Err(e) => {
+                    submit_err = Some(e);
+                    break;
+                }
+            }
         }
+        // Flush even on the error path: already-buffered jobs are in the
+        // pending ledger and must reach their workers.
+        let flushed = if opts.batched {
+            self.flush_batch()
+        } else {
+            Ok(())
+        };
+        if let Some(e) = submit_err {
+            return Err(e);
+        }
+        flushed?;
         for h in handles {
             self.wait(h)?;
         }
@@ -254,6 +373,7 @@ impl ClusterMachine {
                     .map(|(name, m, kind, partition)| (name, m.buffer, kind, partition))
                     .collect(),
                 devices,
+                opts,
                 outstanding: Vec::new(),
                 stats,
             },
@@ -274,6 +394,20 @@ impl ClusterMachine {
     /// Current accounting for an open sharded session.
     pub fn sharded_stats(&self, session: u64) -> Option<SessionStats> {
         self.sharded.get(&session).map(|s| s.stats.clone())
+    }
+
+    /// The per-shard split weights of an open sharded session (uniform for
+    /// an unweighted session or a homogeneous pool).
+    pub fn sharded_weights(&self, session: u64) -> Option<Vec<f64>> {
+        self.sharded.get(&session).map(|s| s.env.weights().to_vec())
+    }
+
+    /// Owned leading-dim rows per shard of a mapped array, in shard order —
+    /// the realized partition (halo rows excluded).
+    pub fn sharded_shard_rows(&self, session: u64, name: &str) -> Option<Vec<usize>> {
+        let s = self.sharded.get(&session)?;
+        let a = s.env.array(name)?;
+        Some(a.slices.iter().map(|slice| slice.range.len).collect())
     }
 
     /// The `(name, global array, kind, partition)` mappings of an open
@@ -319,6 +453,7 @@ impl ClusterMachine {
             .ok_or_else(|| CompileError::new("cluster-shard", no_session(session)))?;
         let shards = s.env.shards();
         let devices = s.devices.clone();
+        let batched = s.opts.batched;
         let mut per_shard: Vec<Vec<RtValue>> = Vec::with_capacity(shards);
         for shard in 0..shards {
             let mut argv = Vec::with_capacity(args.len());
@@ -360,13 +495,31 @@ impl ClusterMachine {
             staged_bytes: 0,
             elided: 0,
         };
-        for (shard, argv) in per_shard.iter().enumerate() {
-            let t = self.submit_kernel_deferred(kernel, argv, Some(devices[shard]))?;
-            ticket.staged += t.staged;
-            ticket.staged_bytes += t.staged_bytes;
-            ticket.elided += t.elided;
-            ticket.handles.push(t.handle);
+        // Fan out: one kernel job per shard. Batched sessions hold the
+        // sends back and deliver one message per device.
+        if batched {
+            self.begin_batch();
         }
+        let mut submit_err = None;
+        for (shard, argv) in per_shard.iter().enumerate() {
+            match self.submit_kernel_deferred(kernel, argv, Some(devices[shard])) {
+                Ok(t) => {
+                    ticket.staged += t.staged;
+                    ticket.staged_bytes += t.staged_bytes;
+                    ticket.elided += t.elided;
+                    ticket.handles.push(t.handle);
+                }
+                Err(e) => {
+                    submit_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let flushed = if batched { self.flush_batch() } else { Ok(()) };
+        if let Some(e) = submit_err {
+            return Err(e);
+        }
+        flushed?;
         let s = self.sharded.get_mut(&session).expect("checked above");
         s.stats.launches += shards as u64;
         s.stats.staged_uploads += ticket.staged;
@@ -425,14 +578,30 @@ impl ClusterMachine {
                 }
             }
         }
+        let batched = s.opts.batched;
         let mut fetched = 0u64;
         let mut handles = Vec::new();
+        if batched {
+            self.begin_batch();
+        }
+        let mut submit_err = None;
         for (shard, ids) in per_shard_fetch.iter().enumerate() {
             if !ids.is_empty() {
                 fetched += ids.len() as u64;
-                handles.push(self.submit_fetch(devices[shard], ids)?);
+                match self.submit_fetch(devices[shard], ids) {
+                    Ok(h) => handles.push(h),
+                    Err(e) => {
+                        submit_err = Some(e);
+                        break;
+                    }
+                }
             }
         }
+        let flushed = if batched { self.flush_batch() } else { Ok(()) };
+        if let Some(e) = submit_err {
+            return Err(e);
+        }
+        flushed?;
         for h in handles {
             self.wait(h)?;
         }

@@ -137,6 +137,93 @@ impl CostModel {
             .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
     }
 
+    /// Relative throughput weight of one device for kernels over `elements`
+    /// elements: the reciprocal of the worst-case predicted per-launch
+    /// occupancy, so a card that finishes the same shard twice as fast
+    /// carries twice the weight. With no predictable kernel the kernel
+    /// clock is the best available proxy.
+    pub fn device_weight(&self, device: &DeviceModel, elements: u64) -> f64 {
+        match self.estimate_any_seconds(device, elements.max(1)) {
+            Some(s) if s > 0.0 => 1.0 / s,
+            _ => device.clock_mhz.max(1.0),
+        }
+    }
+
+    /// Device indices ordered fastest-first by [`CostModel::device_weight`]
+    /// (ties broken by the lower index, keeping homogeneous pools in their
+    /// natural 0..N order).
+    pub fn device_order(&self, devices: &[DeviceModel], elements: u64) -> Vec<usize> {
+        let weights: Vec<f64> = devices
+            .iter()
+            .map(|d| self.device_weight(d, elements))
+            .collect();
+        let mut order: Vec<usize> = (0..devices.len()).collect();
+        order.sort_by(|&a, &b| {
+            weights[b]
+                .partial_cmp(&weights[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Predicted makespan of one launch over `elements` split
+    /// throughput-proportionally across `devices` (each device's share is
+    /// `elements · wᵢ / Σw`, rounded up): the slowest device's occupancy.
+    pub fn estimate_weighted_seconds(&self, devices: &[DeviceModel], elements: u64) -> Option<f64> {
+        if devices.is_empty() {
+            return None;
+        }
+        let weights: Vec<f64> = devices
+            .iter()
+            .map(|d| self.device_weight(d, elements.div_ceil(devices.len() as u64)))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        devices
+            .iter()
+            .zip(&weights)
+            .map(|(d, w)| {
+                let share = (elements as f64 * w / total).ceil() as u64;
+                self.estimate_any_seconds(d, share)
+            })
+            .try_fold(None, |acc: Option<f64>, s| {
+                s.map(|s| Some(acc.map_or(s, |a| a.max(s))))
+            })
+            .flatten()
+    }
+
+    /// Pool-aware shard-count pick for a (possibly heterogeneous) device
+    /// pool: devices are ordered fastest-first and the chosen count is the
+    /// largest prefix whose predicted weighted-split makespan still improves
+    /// by ≥ 10% per added device — a slow straggler card that would *extend*
+    /// the makespan is simply left out. On a homogeneous pool this agrees
+    /// with [`CostModel::auto_shards`] exactly. With no predictable kernel
+    /// the pool size is returned (capped by `elements`).
+    pub fn auto_shards_pool(&self, devices: &[DeviceModel], elements: u64) -> usize {
+        let cap = devices.len().max(1).min(elements.max(1) as usize);
+        if self.kernels.is_empty() || devices.is_empty() {
+            return cap;
+        }
+        let order = self.device_order(devices, elements.div_ceil(cap as u64));
+        let ordered: Vec<DeviceModel> = order.iter().map(|&d| devices[d].clone()).collect();
+        let Some(mut prev) = self.estimate_weighted_seconds(&ordered[..1], elements) else {
+            return cap;
+        };
+        let mut best = 1usize;
+        for n in 2..=cap {
+            let est = self
+                .estimate_weighted_seconds(&ordered[..n], elements)
+                .expect("non-empty model");
+            if est < prev * 0.9 {
+                best = n;
+                prev = est;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
     /// Pick a shard count for `elements` on a pool of `max_shards` devices:
     /// the largest count whose predicted per-launch makespan (largest-shard
     /// kernel time + launch overhead) still improves by ≥ 10% per added
@@ -241,6 +328,95 @@ mod tests {
         let empty = CostModel::default();
         assert_eq!(empty.auto_shards(&device, 100, 4), 4);
         assert_eq!(empty.auto_shards(&device, 2, 4), 2);
+    }
+
+    fn single_kernel_model() -> CostModel {
+        let mut kernels = HashMap::new();
+        kernels.insert(
+            "k".to_string(),
+            KernelCostModel::from_schedule("k", &[loop_info(0, true, 1, 96)]),
+        );
+        CostModel { kernels }
+    }
+
+    #[test]
+    fn device_weight_tracks_clock_and_orders_fastest_first() {
+        let model = single_kernel_model();
+        let fast = DeviceModel::u280();
+        let mut slow = DeviceModel::u280();
+        slow.clock_mhz = 150.0;
+        let wf = model.device_weight(&fast, 100_000);
+        let ws = model.device_weight(&slow, 100_000);
+        // Kernel-dominated occupancy: halving the clock halves the weight.
+        assert!((wf / ws - 2.0).abs() < 0.05, "ratio {}", wf / ws);
+
+        // Fastest-first ordering, ties by index.
+        let pool = vec![
+            slow.clone(),
+            fast.clone(),
+            DeviceModel::u55c(),
+            fast.clone(),
+        ];
+        assert_eq!(model.device_order(&pool, 100_000), vec![2, 1, 3, 0]);
+        // Empty model falls back to the clock.
+        let empty = CostModel::default();
+        assert_eq!(empty.device_order(&pool, 100_000), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn weighted_makespan_beats_uniform_on_a_mixed_pool() {
+        let model = single_kernel_model();
+        let fast = DeviceModel::u280();
+        let mut slow = DeviceModel::u280();
+        slow.clock_mhz = 150.0;
+        let elements = 1_000_000u64;
+        let pool = [fast.clone(), fast.clone(), fast.clone(), slow.clone()];
+        let weighted = model.estimate_weighted_seconds(&pool, elements).unwrap();
+        // Uniform split: the slow card's quarter is the critical path.
+        let uniform = model
+            .estimate_any_shard_seconds(&slow, elements, 4)
+            .unwrap();
+        assert!(
+            weighted < uniform * 0.8,
+            "weighted {weighted} vs uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn auto_shards_pool_matches_single_device_pick_on_homogeneous_pools() {
+        let model = single_kernel_model();
+        let device = DeviceModel::u280();
+        for elements in [2u64, 1_000, 65_536, 1_000_000] {
+            for n in [1usize, 2, 4, 8] {
+                let pool = vec![device.clone(); n];
+                assert_eq!(
+                    model.auto_shards_pool(&pool, elements),
+                    model.auto_shards(&device, elements, n),
+                    "elements {elements} pool {n}"
+                );
+            }
+        }
+        // Empty model: pool size capped by elements, as before.
+        let empty = CostModel::default();
+        assert_eq!(empty.auto_shards_pool(&vec![device.clone(); 4], 100), 4);
+        assert_eq!(empty.auto_shards_pool(&vec![device; 4], 2), 2);
+    }
+
+    #[test]
+    fn auto_shards_pool_leaves_out_a_straggler_that_extends_the_makespan() {
+        let model = single_kernel_model();
+        let fast = DeviceModel::u280();
+        let mut crawl = DeviceModel::u280();
+        // A card 100x slower than the rest: even its throughput-weighted
+        // share barely moves the makespan, so auto stops before it.
+        crawl.clock_mhz = 3.0;
+        let pool = vec![fast.clone(), fast.clone(), fast, crawl];
+        let picked = model.auto_shards_pool(&pool, 1_000_000);
+        assert!(
+            (1..=3).contains(&picked),
+            "straggler must not be auto-included, picked {picked}"
+        );
+        assert!(picked >= 2, "the fast cards still pay off, picked {picked}");
     }
 
     #[test]

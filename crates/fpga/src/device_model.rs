@@ -88,6 +88,108 @@ impl DeviceModel {
         }
     }
 
+    /// The AMD Alveo U250: the DDR-based sibling card. A larger VU13P
+    /// fabric, but four DDR4 channels instead of HBM — longer memory round
+    /// trips with fewer outstanding transactions, same PCIe Gen3 x16 link
+    /// and Vitis default kernel clock.
+    pub fn u250() -> Self {
+        DeviceModel {
+            name: "AMD Alveo U250".into(),
+            clock_mhz: 300.0,
+            total: ResourceUsage {
+                lut: 1_728_000,
+                ff: 3_456_000,
+                bram: 2_688,
+                uram: 1_280,
+                dsp: 12_288,
+            },
+            shell: ResourceUsage {
+                lut: 150_000,
+                ff: 270_000,
+                bram: 240,
+                uram: 0,
+                dsp: 7,
+            },
+            hbm_banks: 0,
+            ddr_banks: 4,
+            // DDR4 round trip is longer than HBM and the controller keeps
+            // fewer requests in flight.
+            hbm_round_trip_cycles: 168,
+            hbm_max_outstanding: 4,
+            pcie_gbps: 12.0,
+            launch_overhead_us: 2.0,
+            pipeline_depth: 120,
+        }
+    }
+
+    /// The AMD Alveo U55C: the HBM2e compute-dense card. Same VU47P-class
+    /// fabric as the U280 but no DDR, twice the HBM pseudo-channels, a PCIe
+    /// Gen4 link, and a lighter shell that closes timing at a faster kernel
+    /// clock in this model.
+    pub fn u55c() -> Self {
+        DeviceModel {
+            name: "AMD Alveo U55C".into(),
+            clock_mhz: 450.0,
+            total: ResourceUsage {
+                lut: 1_303_680,
+                ff: 2_607_360,
+                bram: 2_016,
+                uram: 960,
+                dsp: 9_024,
+            },
+            shell: ResourceUsage {
+                lut: 98_000,
+                ff: 170_000,
+                bram: 180,
+                uram: 0,
+                dsp: 4,
+            },
+            hbm_banks: 32,
+            ddr_banks: 0,
+            hbm_round_trip_cycles: 80,
+            hbm_max_outstanding: 8,
+            pcie_gbps: 24.0,
+            launch_overhead_us: 1.5,
+            pipeline_depth: 120,
+        }
+    }
+
+    /// Resolve a device spec string: a model name (`u280` | `u250` | `u55c`,
+    /// case-insensitive) optionally derated/overclocked with `@MHZ`
+    /// (`u280@150` is a U280 whose kernels closed timing at 150 MHz — the
+    /// easiest way to stand up a mixed-speed pool).
+    pub fn named(spec: &str) -> Option<DeviceModel> {
+        let spec = spec.trim();
+        let (name, clock) = match spec.split_once('@') {
+            Some((name, mhz)) => {
+                let mhz: f64 = mhz.trim().parse().ok()?;
+                if !mhz.is_finite() || mhz <= 0.0 {
+                    return None;
+                }
+                (name.trim(), Some(mhz))
+            }
+            None => (spec, None),
+        };
+        let mut model = match name.to_ascii_lowercase().as_str() {
+            "u280" => DeviceModel::u280(),
+            "u250" => DeviceModel::u250(),
+            "u55c" => DeviceModel::u55c(),
+            _ => return None,
+        };
+        if let Some(mhz) = clock {
+            model.clock_mhz = mhz;
+            model.name = format!("{} @{mhz} MHz", model.name);
+        }
+        Some(model)
+    }
+
+    /// Parse a comma-separated device list (`u280,u280,u250`) into a pool
+    /// configuration. Empty items and unknown names are rejected.
+    pub fn parse_list(list: &str) -> Option<Vec<DeviceModel>> {
+        let devices: Option<Vec<DeviceModel>> = list.split(',').map(DeviceModel::named).collect();
+        devices.filter(|d| !d.is_empty())
+    }
+
     /// Effective per-access cost for a streaming (read-only or unrolled) port.
     pub fn stream_access_cycles(&self) -> u64 {
         self.hbm_round_trip_cycles
@@ -141,6 +243,47 @@ mod tests {
         let d = DeviceModel::u280();
         let t = d.cycles_to_seconds(300_000_000);
         assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn named_variants_have_distinct_memory_and_link_parameters() {
+        let u280 = DeviceModel::u280();
+        let u250 = DeviceModel::u250();
+        let u55c = DeviceModel::u55c();
+        // DDR card: no HBM, longer round trips, fewer outstanding requests.
+        assert_eq!(u250.hbm_banks, 0);
+        assert_eq!(u250.ddr_banks, 4);
+        assert!(u250.stream_access_cycles() > u280.stream_access_cycles());
+        // HBM2e card: more channels, faster clock, Gen4 PCIe.
+        assert_eq!(u55c.hbm_banks, 32);
+        assert!(u55c.clock_mhz > u280.clock_mhz);
+        assert!(u55c.pcie_gbps > u280.pcie_gbps);
+        assert!(u55c.stream_access_cycles() < u280.stream_access_cycles());
+        // The same cycle count completes faster on the faster clock.
+        assert!(u55c.cycles_to_seconds(1_000_000) < u280.cycles_to_seconds(1_000_000));
+    }
+
+    #[test]
+    fn named_resolves_specs_and_clock_overrides() {
+        assert_eq!(DeviceModel::named("u280").unwrap().clock_mhz, 300.0);
+        assert_eq!(
+            DeviceModel::named("U55C").unwrap().name,
+            DeviceModel::u55c().name
+        );
+        let slow = DeviceModel::named("u280@150").unwrap();
+        assert_eq!(slow.clock_mhz, 150.0);
+        assert_eq!(slow.total, DeviceModel::u280().total);
+        assert!(slow.name.contains("150"));
+        assert!(DeviceModel::named("u999").is_none());
+        assert!(DeviceModel::named("u280@0").is_none());
+        assert!(DeviceModel::named("u280@fast").is_none());
+
+        let pool = DeviceModel::parse_list("u280, u280@150 ,u250").unwrap();
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool[1].clock_mhz, 150.0);
+        assert_eq!(pool[2].name, DeviceModel::u250().name);
+        assert!(DeviceModel::parse_list("u280,,u250").is_none());
+        assert!(DeviceModel::parse_list("").is_none());
     }
 
     #[test]

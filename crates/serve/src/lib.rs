@@ -5,7 +5,7 @@
 //!
 //! | Method & path               | Body                                   | Effect |
 //! |-----------------------------|----------------------------------------|--------|
-//! | `POST /compile`             | `{source, fix_mac_pattern?}`           | Compile via the content-addressed [`ArtifactCache`]; returns the key, whether it was a cache hit, and each kernel's launch signature. |
+//! | `POST /compile`             | `{source, fix_mac_pattern?, devices?}` | Compile via the content-addressed [`ArtifactCache`]; returns the key, whether it was a cache hit, each kernel's launch signature, and the device models the key's pool will use. `devices` (a list of model names such as `["u280","u250","u55c"]`, `@MHZ` clock overrides allowed) fixes a heterogeneous pool composition for this key. |
 //! | `POST /sessions`            | `{key, maps: [{name, kind, data, partition?, halo?}], shards?}` | Open a persistent `target data` session. Without `shards`, arrays map onto one pool device; with `shards: N` (or `"auto"`) each array is partitioned across N devices (`partition`: `split` (default, with optional `halo` rows) \| `replicated` \| `sum`/`min`/`max`). |
 //! | `POST /sessions/{id}/launch`| `{kernel, args: [{array\|extent\|f32\|...}]}` | Run one kernel-level job against the session's resident buffers (no per-launch transfers). On a sharded session the launch fans out per shard, with `{extent: name}` rebased to each shard's local length. |
 //! | `DELETE /sessions/{id}`     |                                        | Close the session: gather (or reduce) `from`/`tofrom` arrays back and return them with the session stats; all session memory is released. |
@@ -16,7 +16,12 @@
 //!
 //! One [`ClusterMachine`] pool is kept per compiled artifact key (all
 //! sessions of a program share its devices); pools are created lazily with
-//! the configured device count and a shared parsed-bitstream image.
+//! the configured device composition — homogeneous U280s by default, or a
+//! mixed-model pool from `ftn serve --devices u280,u280,u250` / a
+//! `/compile` `devices` override — and a shared parsed-bitstream image.
+//! Sharded sessions on a heterogeneous pool get throughput-weighted shard
+//! plans automatically (see `ftn_cluster::sharded`); `/stats` reports each
+//! pool's per-device models.
 //! Connections are HTTP/1.1 keep-alive: a client can drive a whole
 //! compile-open-launch-close burst over one TCP connection (idle
 //! connections are reaped after [`ServeConfig::idle_timeout_secs`]).
@@ -45,8 +50,14 @@ use http::{read_request, write_json, Request};
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Simulated U280s per program pool.
+    /// Simulated devices per program pool (U280s unless `device_models`
+    /// overrides the composition).
     pub devices: usize,
+    /// Explicit per-worker device models (`ftn serve --devices
+    /// u280,u280,u250`): a heterogeneous pool composition applied to every
+    /// pool this server creates. Overrides `devices` when set; a `/compile`
+    /// request may still override it per artifact key.
+    pub device_models: Option<Vec<DeviceModel>>,
     /// HTTP worker threads.
     pub workers: usize,
     /// Optional on-disk artifact cache directory.
@@ -63,6 +74,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             devices: 4,
+            device_models: None,
             workers: 4,
             cache_dir: None,
             idle_timeout_secs: 5,
@@ -87,6 +99,9 @@ struct ServeState {
     registry: Mutex<HashMap<String, Arc<Artifacts>>>,
     images: ImageCache,
     pools: Mutex<HashMap<String, Arc<Mutex<ClusterMachine>>>>,
+    /// key → device composition requested by `/compile` (`"devices":
+    /// ["u280","u250",...]`), applied when that key's pool is created.
+    pool_devices: Mutex<HashMap<String, Vec<DeviceModel>>>,
     sessions: Mutex<HashMap<u64, ServeSession>>,
     next_session: AtomicU64,
     shutdown: AtomicBool,
@@ -160,6 +175,8 @@ struct CompileResponse {
     key: String,
     cached: bool,
     kernels: Vec<KernelDesc>,
+    /// Device models this key's pool will run on (names, in device order).
+    devices: Vec<String>,
 }
 
 #[derive(Serialize)]
@@ -203,11 +220,65 @@ impl ServeState {
             ..Default::default()
         };
         let key = ArtifactCache::key(source, &options);
+        // Optional heterogeneous pool composition for this artifact key.
+        // Parsed up front, recorded only after a successful compile (a
+        // failing source must not leave stale overrides behind).
+        let specs = match v.get("devices") {
+            Some(Value::Arr(items)) => Some(
+                items
+                    .iter()
+                    .map(|d| match d {
+                        Value::Str(s) => DeviceModel::named(s)
+                            .ok_or_else(|| bad_request(format!("unknown device '{s}'"))),
+                        other => Err(bad_request(format!("bad device spec {other:?}"))),
+                    })
+                    .collect::<Result<Vec<DeviceModel>, HandlerError>>()?,
+            ),
+            Some(Value::Str(list)) => Some(
+                DeviceModel::parse_list(list)
+                    .ok_or_else(|| bad_request(format!("bad device list '{list}'")))?,
+            ),
+            Some(_) => {
+                return Err(bad_request(
+                    "'devices' must be a list of model names or a comma-separated string",
+                ))
+            }
+            None => None,
+        };
+        if let Some(specs) = &specs {
+            if specs.is_empty() {
+                return Err(bad_request("'devices' must name at least one device"));
+            }
+        }
         let (artifacts, cached) = self
             .cache
             .get_or_compile_with_hit(&options, source)
             .map_err(|e| bad_request(e.to_string()))?;
         lock(&self.registry).insert(key.clone(), Arc::clone(&artifacts));
+        if let Some(specs) = specs {
+            // Record the override under the pools lock: `pool_for` holds
+            // that lock across pool creation, so the override either lands
+            // before the pool is built or is checked against the pool that
+            // already exists — never silently dropped in between.
+            let pools = lock(&self.pools);
+            if let Some(pool) = pools.get(&key) {
+                let existing: Vec<String> = lock(pool)
+                    .device_models()
+                    .iter()
+                    .map(|m| m.name.clone())
+                    .collect();
+                let wanted: Vec<String> = specs.iter().map(|m| m.name.clone()).collect();
+                // Re-POSTing the same composition stays idempotent.
+                if existing != wanted {
+                    return Err(bad_request(format!(
+                        "pool for key '{key}' already runs on [{}]; its devices are fixed",
+                        existing.join(", ")
+                    )));
+                }
+            } else {
+                lock(&self.pool_devices).insert(key.clone(), specs);
+            }
+        }
 
         let signatures = api::kernel_signatures(&artifacts.bitstream).map_err(|e| (500, e))?;
         let kernels = artifacts
@@ -230,17 +301,41 @@ impl ServeState {
                 }
             })
             .collect();
+        let devices = self
+            .devices_for(&key)
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
         Ok(CompileResponse {
             key,
             cached,
             kernels,
+            devices,
         }
         .to_value())
     }
 
-    /// The pool serving artifact `key`, created on first use.
+    /// The device composition key `key`'s pool uses (or will use): the
+    /// `/compile` override, else the server-wide `--devices` list, else
+    /// `devices` × U280.
+    fn devices_for(&self, key: &str) -> Vec<DeviceModel> {
+        if let Some(devices) = lock(&self.pool_devices).get(key) {
+            return devices.clone();
+        }
+        match &self.config.device_models {
+            Some(models) if !models.is_empty() => models.clone(),
+            _ => vec![DeviceModel::u280(); self.config.devices.max(1)],
+        }
+    }
+
+    /// The pool serving artifact `key`, created on first use. The pools
+    /// lock is held across creation (a once-per-key cost): the device
+    /// composition read and the insert are atomic with respect to
+    /// `/compile` recording a `devices` override, so the pool can never be
+    /// built with a composition that disagrees with what was reported.
     fn pool_for(&self, key: &str) -> Result<Arc<Mutex<ClusterMachine>>, HandlerError> {
-        if let Some(pool) = lock(&self.pools).get(key) {
+        let mut pools = lock(&self.pools);
+        if let Some(pool) = pools.get(key) {
             return Ok(Arc::clone(pool));
         }
         let artifacts = lock(&self.registry)
@@ -251,12 +346,10 @@ impl ServeState {
             .images
             .instantiate(&artifacts.bitstream)
             .map_err(|e| (500, e))?;
-        let devices = vec![DeviceModel::u280(); self.config.devices.max(1)];
+        let devices = self.devices_for(key);
         let machine = ClusterMachine::load_with_image(&artifacts, &devices, image)
             .map_err(|e| (500, e.to_string()))?;
         let pool = Arc::new(Mutex::new(machine));
-        // Another worker may have raced us; keep the first one inserted.
-        let mut pools = lock(&self.pools);
         Ok(Arc::clone(pools.entry(key.to_string()).or_insert(pool)))
     }
 
@@ -698,9 +791,15 @@ impl ServeState {
         let mut pool_stats = Vec::new();
         for (key, pool) in pools.iter() {
             let machine = lock(pool);
+            let models: Vec<String> = machine
+                .device_models()
+                .iter()
+                .map(|m| m.name.clone())
+                .collect();
             pool_stats.push(api::obj(vec![
                 ("key", key.as_str().to_value()),
                 ("devices", machine.device_count().to_value()),
+                ("models", models.to_value()),
                 ("open_sessions", machine.open_sessions().len().to_value()),
                 (
                     "open_sharded_sessions",
@@ -799,6 +898,7 @@ impl Server {
             registry: Mutex::new(HashMap::new()),
             images: ImageCache::new(),
             pools: Mutex::new(HashMap::new()),
+            pool_devices: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
@@ -1118,6 +1218,147 @@ end subroutine saxpy
             let expect = 1.0 + 2.0 * 2.0 * (i as f32 * 0.5);
             assert_eq!(*f as f32, expect, "element {i}");
         }
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn heterogeneous_pool_over_http_reports_models_and_weights_shards() {
+        let (addr, handle) = start_server(2, 2);
+        // Compile with an explicit mixed-device pool: a U280, a U55C, and a
+        // half-clock U280 — the session's shard sizes must track speed.
+        let body = serde_json::to_string(&api::obj(vec![
+            ("source", Value::Str(SAXPY.to_string())),
+            (
+                "devices",
+                Value::Arr(vec![
+                    Value::Str("u280".into()),
+                    Value::Str("u55c".into()),
+                    Value::Str("u280@150".into()),
+                ]),
+            ),
+        ]))
+        .unwrap();
+        let (status, resp) = request(addr, "POST", "/compile", &body);
+        assert_eq!(status, 200, "{resp:?}");
+        let Some(Value::Arr(devices)) = resp.get("devices") else {
+            panic!("no devices in {resp:?}");
+        };
+        assert_eq!(devices.len(), 3, "{resp:?}");
+        let Some(Value::Str(key)) = resp.get("key") else {
+            panic!("no key in {resp:?}");
+        };
+        let key = key.clone();
+
+        // An unknown device name is rejected up front.
+        let bad = serde_json::to_string(&api::obj(vec![
+            ("source", Value::Str(SAXPY.to_string())),
+            ("devices", Value::Arr(vec![Value::Str("u999".into())])),
+        ]))
+        .unwrap();
+        let (status, _) = request(addr, "POST", "/compile", &bad);
+        assert_eq!(status, 400);
+
+        // A sharded session spans the mixed pool; the fastest card (u55c,
+        // device 1) leads the shard order.
+        let n = 120usize;
+        let x: Vec<f32> = (0..n).map(|i| i as f32 * 0.25).collect();
+        let y = vec![1.0f32; n];
+        let open = api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            ("shards", Value::Int(3)),
+            (
+                "maps",
+                Value::Arr(vec![
+                    api::obj(vec![
+                        ("name", Value::Str("x".into())),
+                        ("kind", Value::Str("to".into())),
+                        ("data", x.to_value()),
+                    ]),
+                    api::obj(vec![
+                        ("name", Value::Str("y".into())),
+                        ("kind", Value::Str("tofrom".into())),
+                        ("data", y.to_value()),
+                    ]),
+                ]),
+            ),
+        ]);
+        let (status, opened) = request(
+            addr,
+            "POST",
+            "/sessions",
+            &serde_json::to_string(&open).unwrap(),
+        );
+        assert_eq!(status, 200, "{opened:?}");
+        let Some(Value::Arr(order)) = opened.get("devices") else {
+            panic!("no devices in {opened:?}");
+        };
+        assert_eq!(as_u64(order.first()), 1, "u55c leads: {opened:?}");
+        let sid = as_u64(opened.get("session"));
+
+        let launch = api::obj(vec![
+            ("kernel", Value::Str("saxpy_kernel0".into())),
+            (
+                "args",
+                Value::Arr(vec![
+                    api::obj(vec![("array", Value::Str("x".into()))]),
+                    api::obj(vec![("array", Value::Str("y".into()))]),
+                    api::obj(vec![("extent", Value::Str("x".into()))]),
+                    api::obj(vec![("extent", Value::Str("y".into()))]),
+                    api::obj(vec![("f32", Value::Float(2.0))]),
+                    api::obj(vec![("index", Value::Int(1))]),
+                    api::obj(vec![("extent", Value::Str("x".into()))]),
+                ]),
+            ),
+        ]);
+        let (status, resp) = request(
+            addr,
+            "POST",
+            &format!("/sessions/{sid}/launch"),
+            &serde_json::to_string(&launch).unwrap(),
+        );
+        assert_eq!(status, 200, "{resp:?}");
+
+        let (status, closed) = request(addr, "DELETE", &format!("/sessions/{sid}"), "");
+        assert_eq!(status, 200, "{closed:?}");
+        let Some(Value::Arr(ys)) = closed.get("arrays").and_then(|a| a.get("y")) else {
+            panic!("no y in {closed:?}");
+        };
+        for (i, v) in ys.iter().enumerate() {
+            let Value::Float(f) = v else { panic!("{v:?}") };
+            assert_eq!(*f as f32, 1.0 + 2.0 * (i as f32 * 0.25), "element {i}");
+        }
+
+        // The pool now exists: re-POSTing the identical compile body (same
+        // composition) stays idempotent, a *different* composition is
+        // rejected.
+        let (status, resp) = request(addr, "POST", "/compile", &body);
+        assert_eq!(status, 200, "same devices re-POST is idempotent: {resp:?}");
+        assert_eq!(resp.get("cached"), Some(&Value::Bool(true)));
+        let conflicting = serde_json::to_string(&api::obj(vec![
+            ("source", Value::Str(SAXPY.to_string())),
+            ("devices", Value::Arr(vec![Value::Str("u250".into())])),
+        ]))
+        .unwrap();
+        let (status, resp) = request(addr, "POST", "/compile", &conflicting);
+        assert_eq!(status, 400, "conflicting devices rejected: {resp:?}");
+
+        // /stats names every device model of the mixed pool.
+        let (status, stats) = request(addr, "GET", "/stats", "");
+        assert_eq!(status, 200);
+        let Some(Value::Arr(pools)) = stats.get("pools") else {
+            panic!("no pools in {stats:?}");
+        };
+        let pool = pools.first().expect("one pool");
+        let Some(Value::Arr(models)) = pool.get("models") else {
+            panic!("no models in {stats:?}");
+        };
+        assert_eq!(models.len(), 3);
+        assert!(
+            models
+                .iter()
+                .any(|m| matches!(m, Value::Str(s) if s.contains("U55C"))),
+            "{stats:?}"
+        );
         shutdown(addr, handle);
     }
 

@@ -41,22 +41,44 @@ pub struct ShardedArray {
 /// See module docs.
 pub struct ShardedEnvironment {
     shards: usize,
+    /// Per-shard split weight (uniform unless built with
+    /// [`ShardedEnvironment::weighted`]); every `Split` array's plan is
+    /// apportioned by these.
+    weights: Vec<f64>,
     envs: Vec<DataEnvironment>,
     arrays: Vec<ShardedArray>,
 }
 
 impl ShardedEnvironment {
     pub fn new(shards: usize) -> ShardedEnvironment {
-        let shards = shards.max(1);
+        ShardedEnvironment::weighted(vec![1.0; shards.max(1)])
+    }
+
+    /// A sharded environment whose `Split` arrays are partitioned
+    /// proportionally to `weights` (one weight per shard — typically the
+    /// predicted throughput of the device the shard is placed on). Equal
+    /// weights reproduce [`ShardedEnvironment::new`] exactly.
+    pub fn weighted(weights: Vec<f64>) -> ShardedEnvironment {
+        let weights = if weights.is_empty() {
+            vec![1.0]
+        } else {
+            weights
+        };
         ShardedEnvironment {
-            shards,
-            envs: (0..shards).map(|_| DataEnvironment::new()).collect(),
+            shards: weights.len(),
+            envs: (0..weights.len()).map(|_| DataEnvironment::new()).collect(),
             arrays: Vec::new(),
+            weights,
         }
     }
 
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// The per-shard split weights (all ones for an unweighted environment).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
     }
 
     pub fn arrays(&self) -> &[ShardedArray] {
@@ -92,7 +114,7 @@ impl ShardedEnvironment {
 
         let ranges: Vec<ShardRange> = match partition {
             Partition::Split { halo } => {
-                let plan = ShardPlan::partition(rows, self.shards, halo);
+                let plan = ShardPlan::partition_weighted(rows, &self.weights, halo);
                 if plan.shard_count() != self.shards {
                     return Err(InterpError::new(format!(
                         "array '{name}' has {rows} leading-dim rows, fewer than {} shards",
@@ -320,6 +342,31 @@ mod tests {
         }
         env.gather(&mut memory, "x").unwrap();
         let expect: Vec<f32> = (0..10).map(|i| 100.0 * i as f32).collect();
+        assert_eq!(memory.get(g.buffer), &Buffer::F32(expect));
+    }
+
+    #[test]
+    fn weighted_environment_scatters_proportionally_and_gathers_exactly() {
+        let mut memory = Memory::new();
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let g = global_f32(&mut memory, &data);
+        // A 2x-faster shard 0 owns half the rows.
+        let mut env = ShardedEnvironment::weighted(vec![2.0, 1.0, 1.0]);
+        env.map(&mut memory, "x", &g, Partition::Split { halo: 0 })
+            .unwrap();
+        assert_eq!(env.shard_extent(0, "x"), Some(50));
+        assert_eq!(env.shard_extent(1, "x"), Some(25));
+        assert_eq!(env.shard_extent(2, "x"), Some(25));
+        // Mutate every slice, then gather: the weighted cover is exact.
+        for slice in env.array("x").unwrap().slices.clone() {
+            if let Buffer::F32(v) = memory.get_mut(slice.memref.buffer) {
+                for (i, x) in v.iter_mut().enumerate() {
+                    *x = 10.0 * (slice.range.start + i) as f32;
+                }
+            }
+        }
+        env.gather(&mut memory, "x").unwrap();
+        let expect: Vec<f32> = (0..100).map(|i| 10.0 * i as f32).collect();
         assert_eq!(memory.get(g.buffer), &Buffer::F32(expect));
     }
 

@@ -104,6 +104,64 @@ impl ShardPlan {
         ShardPlan { rows, ranges }
     }
 
+    /// Throughput-weighted contiguous partition of `rows`: shard `i` owns a
+    /// block proportional to `weights[i]`, so on a heterogeneous pool a 2×
+    /// faster device gets ~2× the rows. Apportionment is largest-remainder
+    /// over `rows - n` after reserving one row per shard, which keeps every
+    /// shard non-empty (when `rows ≥ shards`) and — crucially — reproduces
+    /// [`ShardPlan::partition`] *exactly* when all weights are equal, so a
+    /// homogeneous pool sees the identical plan it always had. Non-finite or
+    /// non-positive weights degrade to the uniform plan. The shard count is
+    /// `weights.len()`, clamped to `rows` like [`ShardPlan::partition`].
+    pub fn partition_weighted(rows: usize, weights: &[f64], halo: usize) -> ShardPlan {
+        let n = weights.len().max(1).min(rows.max(1));
+        let degenerate = weights.len() < n
+            || weights[..n].iter().any(|w| !w.is_finite() || *w <= 0.0)
+            || weights[..n].windows(2).all(|w| w[0] == w[1]);
+        // (`weights.len() < n` covers the empty-weights case: n is 1 there.)
+        if degenerate {
+            return ShardPlan::partition(rows, n, halo);
+        }
+        // rows ≥ n ≥ 2 from here (n is clamped to rows, and a single shard
+        // has no unequal pair of weights).
+        let extra = rows - n;
+        let total: f64 = weights[..n].iter().sum();
+        let mut lens = vec![1usize; n];
+        let mut assigned = 0usize;
+        let mut fractions: Vec<(usize, f64)> = Vec::with_capacity(n);
+        for (i, w) in weights[..n].iter().enumerate() {
+            let quota = extra as f64 * w / total;
+            let floor = (quota.floor() as usize).min(extra - assigned);
+            lens[i] += floor;
+            assigned += floor;
+            fractions.push((i, quota - quota.floor()));
+        }
+        // Hand the leftover rows to the largest fractional remainders,
+        // lowest shard index first on ties — fully deterministic.
+        fractions.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        for k in 0..(extra - assigned) {
+            lens[fractions[k % n].0] += 1;
+        }
+        let mut ranges = Vec::with_capacity(n);
+        let mut start = 0usize;
+        for &len in &lens {
+            let halo_lo = halo.min(start);
+            let halo_hi = halo.min(rows - (start + len));
+            ranges.push(ShardRange {
+                start,
+                len,
+                halo_lo,
+                halo_hi,
+            });
+            start += len;
+        }
+        ShardPlan { rows, ranges }
+    }
+
     /// Rows of the partitioned dimension.
     pub fn rows(&self) -> usize {
         self.rows
@@ -179,6 +237,91 @@ mod tests {
         let plan = ShardPlan::partition(0, 3, 1);
         assert_eq!(plan.shard_count(), 1);
         assert_eq!(plan.ranges()[0].mapped_len(), 0);
+    }
+
+    /// Shared invariants of any plan: sorted contiguous cover, no empty
+    /// shard unless `rows < shards`.
+    fn assert_cover(plan: &ShardPlan, rows: usize, shards: usize) {
+        assert_eq!(plan.shard_count(), shards.min(rows.max(1)).max(1));
+        let mut next = 0usize;
+        for r in plan.ranges() {
+            assert_eq!(r.start, next, "contiguous cover");
+            assert!(r.len > 0 || rows == 0, "no empty shards");
+            next = r.start + r.len;
+        }
+        assert_eq!(next, rows, "covers every row");
+    }
+
+    #[test]
+    fn equal_weights_reproduce_the_uniform_plan_exactly() {
+        for rows in [0usize, 1, 2, 3, 7, 10, 100, 1003] {
+            for shards in 1usize..=6 {
+                for halo in [0usize, 1, 2] {
+                    let uniform = ShardPlan::partition(rows, shards, halo);
+                    let weighted = ShardPlan::partition_weighted(rows, &vec![1.0; shards], halo);
+                    assert_eq!(
+                        uniform.ranges(),
+                        weighted.ranges(),
+                        "rows={rows} shards={shards} halo={halo}"
+                    );
+                    // Same for any other equal weight value.
+                    let weighted = ShardPlan::partition_weighted(rows, &vec![0.37; shards], halo);
+                    assert_eq!(uniform.ranges(), weighted.ranges());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_partition_is_proportional_and_covers() {
+        // 2:1:1 over 100 rows: 50/25/25.
+        let plan = ShardPlan::partition_weighted(100, &[2.0, 1.0, 1.0], 0);
+        assert_cover(&plan, 100, 3);
+        let lens: Vec<usize> = plan.ranges().iter().map(|r| r.len).collect();
+        assert_eq!(lens, vec![50, 25, 25]);
+        // Non-divisible rows: leftovers go to the largest remainders.
+        let plan = ShardPlan::partition_weighted(10, &[2.0, 1.0, 1.0], 0);
+        assert_cover(&plan, 10, 3);
+        let lens: Vec<usize> = plan.ranges().iter().map(|r| r.len).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 10);
+        assert!(lens[0] >= lens[1] && lens[0] >= lens[2], "{lens:?}");
+        // A heavily skewed pool still leaves no shard empty.
+        let plan = ShardPlan::partition_weighted(5, &[100.0, 1.0, 1.0, 1.0], 0);
+        assert_cover(&plan, 5, 4);
+        assert!(plan.ranges().iter().all(|r| r.len >= 1));
+        assert_eq!(plan.ranges()[0].len, 2, "fast shard takes the slack");
+    }
+
+    #[test]
+    fn weighted_partition_clamps_and_degrades_like_uniform() {
+        // Fewer rows than weights: clamped, still a cover.
+        let plan = ShardPlan::partition_weighted(2, &[3.0, 2.0, 1.0, 1.0, 1.0], 0);
+        assert_eq!(plan.shard_count(), 2);
+        assert_cover(&plan, 2, 5);
+        // Invalid weights degrade to the uniform plan.
+        for bad in [
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, -2.0, 1.0],
+            vec![1.0, f64::NAN, 1.0],
+            vec![1.0, f64::INFINITY, 1.0],
+        ] {
+            let plan = ShardPlan::partition_weighted(10, &bad, 1);
+            assert_eq!(
+                plan.ranges(),
+                ShardPlan::partition(10, 3, 1).ranges(),
+                "{bad:?}"
+            );
+        }
+        // Empty weights behave like one shard; zero rows like partition.
+        assert_eq!(ShardPlan::partition_weighted(7, &[], 0).shard_count(), 1);
+        let plan = ShardPlan::partition_weighted(0, &[2.0, 1.0], 1);
+        assert_eq!(plan.shard_count(), 1);
+        assert_eq!(plan.ranges()[0].mapped_len(), 0);
+        // Halos clamp at the array ends exactly as in the uniform plan.
+        let plan = ShardPlan::partition_weighted(10, &[2.0, 1.0, 1.0], 2);
+        let r = plan.ranges();
+        assert_eq!((r[0].halo_lo, r[0].halo_hi), (0, 2));
+        assert_eq!(r[2].halo_hi, 0);
     }
 
     #[test]

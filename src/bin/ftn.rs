@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! ftn <input.f90> [--out DIR] [--quiet]      compile one Fortran file
-//! ftn serve [--port P] [--devices N]         run the compile-and-run service
+//! ftn serve [--port P]                       run the compile-and-run service
+//!           [--devices N | u280,u250,...]    pool size, or an explicit
+//!                                            (heterogeneous) device list
 //!           [--workers W] [--cache-dir DIR]
 //!           [--shards N|auto]                default sharding for sessions
 //!           [--idle-timeout SECS]            keep-alive idle timeout
@@ -51,10 +53,30 @@ fn serve(args: &[String]) -> ExitCode {
             }
             "--devices" => {
                 i += 1;
-                match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(n) if n > 0 => config.devices = n,
-                    _ => {
-                        eprintln!("error: --devices needs a positive number");
+                // `--devices 4` is a homogeneous pool of N U280s;
+                // `--devices u280,u280,u250` (optionally `name@MHZ`) is an
+                // explicit, possibly heterogeneous, composition.
+                match args.get(i) {
+                    Some(v) => {
+                        if let Ok(n) = v.parse::<usize>() {
+                            if n == 0 {
+                                eprintln!("error: --devices needs a positive number");
+                                return ExitCode::FAILURE;
+                            }
+                            config.devices = n;
+                        } else if let Some(models) = ftn_fpga::DeviceModel::parse_list(v) {
+                            config.devices = models.len();
+                            config.device_models = Some(models);
+                        } else {
+                            eprintln!(
+                                "error: --devices needs a count or a device list \
+                                 (u280|u250|u55c[@MHZ], comma-separated)"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    None => {
+                        eprintln!("error: --devices needs a value");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -95,7 +117,7 @@ fn serve(args: &[String]) -> ExitCode {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: ftn serve [--port P] [--devices N] [--workers W] [--cache-dir DIR] [--shards N|auto] [--idle-timeout SECS]"
+                    "usage: ftn serve [--port P] [--devices N|u280,u250,...] [--workers W] [--cache-dir DIR] [--shards N|auto] [--idle-timeout SECS]"
                 );
                 return ExitCode::SUCCESS;
             }
