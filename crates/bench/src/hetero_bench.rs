@@ -173,6 +173,7 @@ fn measure_submit(
             ShardOptions {
                 weighted: true,
                 batched,
+                ..Default::default()
             },
         )
         .expect("session opens");
@@ -204,6 +205,7 @@ pub fn run(elements: usize, launches: usize) -> HeteroBenchReport {
         ShardOptions {
             weighted: true,
             batched: true,
+            ..Default::default()
         },
         "weighted",
         elements,
@@ -214,6 +216,7 @@ pub fn run(elements: usize, launches: usize) -> HeteroBenchReport {
         ShardOptions {
             weighted: false,
             batched: true,
+            ..Default::default()
         },
         "uniform",
         elements,

@@ -14,11 +14,15 @@
 //! * [`hetero_bench`] — throughput-weighted vs uniform shard plans on a
 //!   mixed-speed pool and batched vs per-shard fan-out submit cost
 //!   (`BENCH_hetero.json`).
+//! * [`rebalance_bench`] — auto-rebalance (re-planning epochs) vs a frozen
+//!   weighted plan when a background tenant lands on one device mid-session
+//!   (`BENCH_rebalance.json`).
 
 pub mod diagram;
 pub mod experiments;
 pub mod hetero_bench;
 pub mod locs;
+pub mod rebalance_bench;
 pub mod serve_bench;
 pub mod shard_bench;
 pub mod stats;

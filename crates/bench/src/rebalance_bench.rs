@@ -1,0 +1,211 @@
+//! Adaptive re-planning benchmark: a sharded session whose pool gains a
+//! background tenant on one device mid-session, measured with the plan
+//! frozen at its open-time split versus with auto-rebalance on. Emitted as
+//! `BENCH_rebalance.json` by the `bench_rebalance` binary.
+//!
+//! The scenario is the ROADMAP's "backlog drift" item: weighted plans are
+//! computed once at session open, so a tenant that starts queueing work on
+//! one card *after* the open leaves the frozen session bottlenecked behind
+//! it — every launch's device-0 shard waits out the tenant queue while the
+//! other three cards idle. With `ShardOptions::auto_rebalance` the session
+//! re-plans against the observed backlog at its next check, migrates most of
+//! device 0's rows to the idle cards (only the owner-changing rows travel),
+//! and finishes the remaining launches on a split the tenant cannot stall.
+//! The binary enforces ≥ 1.2× aggregate launch throughput for the
+//! auto-rebalanced session.
+
+use ftn_cluster::{
+    AutoRebalance, ClusterMachine, MapKind, Partition, ShardArg, ShardCount, ShardOptions,
+};
+use ftn_core::Artifacts;
+use ftn_fpga::DeviceModel;
+use ftn_interp::RtValue;
+use serde::Serialize;
+
+use crate::workloads;
+
+/// One measured policy on the tenant-disturbed pool.
+#[derive(Clone, Debug, Serialize)]
+pub struct RebalancePoint {
+    /// `"frozen"` or `"auto"`.
+    pub policy: String,
+    /// Owned rows per shard before the tenant arrives (the open-time plan).
+    pub shard_rows_before: Vec<usize>,
+    /// Owned rows per shard at close (unchanged for the frozen policy).
+    pub shard_rows_after: Vec<usize>,
+    /// Migration epochs the session executed.
+    pub replans: u64,
+    /// Rows that changed owners across those epochs.
+    pub rows_migrated: u64,
+    /// Wall seconds spent inside migration epochs.
+    pub epoch_seconds: f64,
+    /// Pool makespan on the simulated timeline, tenant occupancy included.
+    pub makespan_sim_seconds: f64,
+    /// Session launches per simulated second of pool makespan.
+    pub launches_per_sim_second: f64,
+}
+
+/// The emitted report.
+#[derive(Clone, Debug, Serialize)]
+pub struct RebalanceBenchReport {
+    pub workload: String,
+    /// Device model names, in device-index order.
+    pub pool: Vec<String>,
+    pub elements: usize,
+    /// Logical launches per point (the tenant arrives after a quarter).
+    pub launches: usize,
+    /// Device the synthetic tenant occupies.
+    pub tenant_device: usize,
+    /// Simulated seconds of tenant work injected on that device.
+    pub tenant_sim_seconds: f64,
+    pub frozen: RebalancePoint,
+    pub auto: RebalancePoint,
+    /// Auto over frozen aggregate launch throughput (≥ 1.2 enforced by the
+    /// `bench_rebalance` binary).
+    pub rebalance_speedup: f64,
+}
+
+fn pool_models() -> Vec<DeviceModel> {
+    vec![DeviceModel::u280(); 4]
+}
+
+fn shard_args(a: f32) -> Vec<ShardArg> {
+    // saxpy_kernel0(x, y, n, n, a, 1, n) with per-shard extents.
+    vec![
+        ShardArg::Array("x".into()),
+        ShardArg::Array("y".into()),
+        ShardArg::Extent("x".into()),
+        ShardArg::Extent("y".into()),
+        ShardArg::Scalar(RtValue::F32(a)),
+        ShardArg::Scalar(RtValue::Index(1)),
+        ShardArg::Extent("x".into()),
+    ]
+}
+
+/// Run one policy: open, run a quarter of the launches, park `tenant`
+/// simulated seconds of foreign work on device 0, run the rest, close.
+/// Launches are waited one by one — the steady drip of a serving workload,
+/// and the cadence auto-rebalance piggybacks on.
+fn measure_point(
+    artifacts: &Artifacts,
+    auto: Option<AutoRebalance>,
+    policy: &str,
+    elements: usize,
+    launches: usize,
+    tenant_sim_seconds: f64,
+) -> RebalancePoint {
+    let x: Vec<f32> = (0..elements).map(|i| (i % 89) as f32 * 0.5).collect();
+    let y: Vec<f32> = vec![1.0; elements];
+    let mut pool = ClusterMachine::load(artifacts, &pool_models()).expect("pool loads");
+    let xa = pool.host_f32(&x);
+    let ya = pool.host_f32(&y);
+    let sid = pool
+        .open_sharded_session_with(
+            &[
+                ("x", xa, MapKind::To, Partition::Split { halo: 0 }),
+                ("y", ya, MapKind::ToFrom, Partition::Split { halo: 0 }),
+            ],
+            ShardCount::Fixed(pool_models().len()),
+            ShardOptions {
+                auto_rebalance: auto,
+                ..Default::default()
+            },
+        )
+        .expect("session opens");
+    let shard_rows_before = pool.sharded_shard_rows(sid, "y").expect("open");
+    let phase1 = (launches / 4).max(1);
+    for _ in 0..phase1 {
+        let t = pool
+            .sharded_launch(sid, "saxpy_kernel0", &shard_args(2.0))
+            .expect("launch");
+        pool.wait_sharded(t).expect("launch completes");
+    }
+    pool.inject_backlog(0, tenant_sim_seconds);
+    for _ in phase1..launches {
+        let t = pool
+            .sharded_launch(sid, "saxpy_kernel0", &shard_args(2.0))
+            .expect("launch");
+        pool.wait_sharded(t).expect("launch completes");
+    }
+    let shard_rows_after = pool.sharded_shard_rows(sid, "y").expect("open");
+    let report = pool.close_sharded_session(sid).expect("close");
+    let makespan = pool.pool_stats().makespan_sim_seconds;
+    RebalancePoint {
+        policy: policy.to_string(),
+        shard_rows_before,
+        shard_rows_after,
+        replans: report.stats.replan_count,
+        rows_migrated: report.stats.rows_migrated,
+        epoch_seconds: report.stats.epoch_seconds,
+        makespan_sim_seconds: makespan,
+        launches_per_sim_second: launches as f64 / makespan,
+    }
+}
+
+/// Calibrate the per-launch makespan of the undisturbed session so the
+/// tenant's load can be sized relative to the session's remaining work.
+fn per_launch_sim_seconds(artifacts: &Artifacts, elements: usize) -> f64 {
+    let x: Vec<f32> = vec![1.0; elements];
+    let y: Vec<f32> = vec![0.5; elements];
+    let mut pool = ClusterMachine::load(artifacts, &pool_models()).expect("pool loads");
+    let xa = pool.host_f32(&x);
+    let ya = pool.host_f32(&y);
+    let sid = pool
+        .open_sharded_session(
+            &[
+                ("x", xa, MapKind::To, Partition::Split { halo: 0 }),
+                ("y", ya, MapKind::ToFrom, Partition::Split { halo: 0 }),
+            ],
+            ShardCount::Fixed(pool_models().len()),
+        )
+        .expect("session opens");
+    let launches = 4usize;
+    for _ in 0..launches {
+        let t = pool
+            .sharded_launch(sid, "saxpy_kernel0", &shard_args(2.0))
+            .expect("launch");
+        pool.wait_sharded(t).expect("completes");
+    }
+    pool.close_sharded_session(sid).expect("close");
+    pool.pool_stats().makespan_sim_seconds / launches as f64
+}
+
+/// Run the frozen-vs-auto comparison: the tenant parks as much simulated
+/// work on device 0 as the session still has left after it arrives.
+pub fn run(elements: usize, launches: usize) -> RebalanceBenchReport {
+    let artifacts = workloads::compile_saxpy();
+    let per_launch = per_launch_sim_seconds(&artifacts, elements);
+    let remaining = launches - (launches / 4).max(1);
+    let tenant_sim_seconds = remaining as f64 * per_launch;
+    let frozen = measure_point(
+        &artifacts,
+        None,
+        "frozen",
+        elements,
+        launches,
+        tenant_sim_seconds,
+    );
+    let auto = measure_point(
+        &artifacts,
+        Some(AutoRebalance {
+            interval: 1,
+            threshold: 1.1,
+        }),
+        "auto",
+        elements,
+        launches,
+        tenant_sim_seconds,
+    );
+    RebalanceBenchReport {
+        workload: "saxpy_kernel0 sharded session with a mid-stream background tenant on device 0"
+            .to_string(),
+        pool: pool_models().iter().map(|m| m.name.clone()).collect(),
+        elements,
+        launches,
+        tenant_device: 0,
+        tenant_sim_seconds,
+        rebalance_speedup: auto.launches_per_sim_second / frozen.launches_per_sim_second,
+        frozen,
+        auto,
+    }
+}

@@ -211,6 +211,7 @@ impl ArtifactCache {
         }
     }
 
+    /// Hit/miss/disk counters so far.
     pub fn stats(&self) -> CacheStats {
         self.stats.lock().unwrap().clone()
     }
@@ -220,6 +221,7 @@ impl ArtifactCache {
         self.mem.lock().unwrap().len()
     }
 
+    /// Whether the memory layer is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -228,19 +230,23 @@ impl ArtifactCache {
 /// A compiler front that routes every `compile_source` through an
 /// [`ArtifactCache`].
 pub struct CachedCompiler {
+    /// Compiler options folded into every content address.
     pub options: CompilerOptions,
     cache: Arc<ArtifactCache>,
 }
 
 impl CachedCompiler {
+    /// A compiler front over `cache` with fixed `options`.
     pub fn new(options: CompilerOptions, cache: Arc<ArtifactCache>) -> Self {
         CachedCompiler { options, cache }
     }
 
+    /// Compile `source` through the cache.
     pub fn compile_source(&self, source: &str) -> Result<Arc<Artifacts>, CompileError> {
         self.cache.get_or_compile(&self.options, source)
     }
 
+    /// The backing cache.
     pub fn cache(&self) -> &Arc<ArtifactCache> {
         &self.cache
     }
@@ -254,6 +260,7 @@ pub struct ImageCache {
 }
 
 impl ImageCache {
+    /// An empty image cache.
     pub fn new() -> Self {
         ImageCache::default()
     }
@@ -271,6 +278,7 @@ impl ImageCache {
         Ok(image)
     }
 
+    /// Hit/miss counters so far.
     pub fn stats(&self) -> CacheStats {
         self.stats.lock().unwrap().clone()
     }

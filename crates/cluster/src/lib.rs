@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `ftn-cluster` — the multi-FPGA execution service: turns the single-device
 //! simulator into a pooled, cached, asynchronous system.
 //!
@@ -46,8 +47,9 @@ pub use pool::DevicePool;
 pub use scheduler::{BufferInfo, Placement, PlacementPolicy, PlacementReason};
 pub use session::{MapKind, SessionReport, SessionStats};
 pub use sharded::{
-    ShardArg, ShardCount, ShardOptions, ShardedLaunchReport, ShardedLaunchTicket, ShardedReport,
-    MAX_SHARDS_PER_DEVICE,
+    AutoRebalance, RebalanceReport, ShardArg, ShardCount, ShardOptions, ShardedLaunchReport,
+    ShardedLaunchTicket, ShardedReport, DEFAULT_REBALANCE_THRESHOLD, MAX_SHARDS_PER_DEVICE,
+    REBALANCE_HORIZON_LAUNCHES,
 };
 
 #[cfg(test)]
@@ -455,6 +457,133 @@ end subroutine saxpy
     }
 
     #[test]
+    fn auto_rebalance_parses_interval_and_threshold() {
+        use crate::{AutoRebalance, DEFAULT_REBALANCE_THRESHOLD};
+        let ar = AutoRebalance::parse("4").unwrap();
+        assert_eq!(ar.interval, 4);
+        assert_eq!(ar.threshold, DEFAULT_REBALANCE_THRESHOLD);
+        let ar = AutoRebalance::parse("2:1.5").unwrap();
+        assert_eq!((ar.interval, ar.threshold), (2, 1.5));
+        for bad in ["0", "-1", "x", "4:0.5", "4:nan", "4:"] {
+            assert!(AutoRebalance::parse(bad).is_none(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rebalance_migrates_rows_off_a_backlogged_device_and_stays_exact() {
+        use crate::sharded::{ShardArg, ShardCount};
+        use crate::{MapKind, Partition};
+        let mut cluster = pool(4);
+        let n = 4096usize;
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.17).sin()).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.03).cos()).collect();
+        let xa = cluster.host_f32(&x);
+        let ya = cluster.host_f32(&y);
+        let sid = cluster
+            .open_sharded_session(
+                &[
+                    ("x", xa, MapKind::To, Partition::Split { halo: 0 }),
+                    (
+                        "y",
+                        ya.clone(),
+                        MapKind::ToFrom,
+                        Partition::Split { halo: 0 },
+                    ),
+                ],
+                ShardCount::Fixed(4),
+            )
+            .unwrap();
+        let a = 1.75f32;
+        let args = [
+            ShardArg::Array("x".into()),
+            ShardArg::Array("y".into()),
+            ShardArg::Extent("x".into()),
+            ShardArg::Extent("y".into()),
+            ShardArg::Scalar(RtValue::F32(a)),
+            ShardArg::Scalar(RtValue::Index(1)),
+            ShardArg::Extent("x".into()),
+        ];
+        let launch = |cluster: &mut ClusterMachine| {
+            let t = cluster.sharded_launch(sid, "saxpy_kernel0", &args).unwrap();
+            cluster.wait_sharded(t).unwrap();
+        };
+        for _ in 0..2 {
+            launch(&mut cluster);
+        }
+
+        // A quiet pool re-plans to the split it already has: pure no-op.
+        let report = cluster.rebalance_session(sid).unwrap();
+        assert!(!report.replanned, "{report:?}");
+        assert_eq!(report.rows_migrated, 0);
+        assert_eq!(report.shard_rows, vec![1024; 4]);
+        assert_eq!(cluster.sharded_stats(sid).unwrap().replan_count, 0);
+
+        // Device 0 gains a co-tenant worth half a re-plan horizon of its
+        // shard work: the epoch migrates a chunk of its rows to the idle
+        // devices and the migrated rows are exactly the delta between the
+        // plans.
+        let per_launch = cluster
+            .cost_model
+            .estimate_any_seconds(&DeviceModel::u280(), (n / 4) as u64)
+            .expect("saxpy is predictable");
+        cluster.inject_backlog(0, 8.0 * per_launch);
+        let report = cluster.rebalance_session(sid).unwrap();
+        assert!(report.replanned, "{report:?}");
+        assert!(report.predicted_gain > 1.05, "{report:?}");
+        assert!(report.shard_rows[0] < 1024, "{report:?}");
+        assert_eq!(report.shard_rows.iter().sum::<usize>(), n);
+        // Two split arrays re-planned identically: rows_migrated counts the
+        // owner-changing rows of both.
+        let old_plan = crate::ShardPlan::partition(n, 4, 0);
+        let new_plan = crate::ShardPlan::from_ranges(n, {
+            let mut start = 0;
+            report
+                .shard_rows
+                .iter()
+                .map(|&len| {
+                    let r = ftn_shard::ShardRange {
+                        start,
+                        len,
+                        halo_lo: 0,
+                        halo_hi: 0,
+                    };
+                    start += len;
+                    r
+                })
+                .collect()
+        });
+        let per_array: u64 = crate::ShardPlan::delta(&old_plan, &new_plan)
+            .iter()
+            .map(|m| m.len as u64)
+            .sum();
+        assert!(per_array >= 1, "some rows moved");
+        assert_eq!(report.rows_migrated, 2 * per_array, "{report:?}");
+        let stats = cluster.sharded_stats(sid).unwrap();
+        assert_eq!(stats.replan_count, 1);
+        assert_eq!(stats.rows_migrated, report.rows_migrated);
+        assert!(stats.epoch_seconds > 0.0);
+
+        // The session keeps running under the new plan and closes exactly.
+        for _ in 0..2 {
+            launch(&mut cluster);
+        }
+        cluster.close_sharded_session(sid).unwrap();
+        let got = cluster.read_f32(&ya);
+        for i in 0..n {
+            let mut expect = y[i];
+            for _ in 0..4 {
+                expect += a * x[i];
+            }
+            assert_eq!(got[i].to_bits(), expect.to_bits(), "element {i}");
+        }
+        // No leaks: only x and y remain; epoch counters surfaced pool-wide.
+        let ps = cluster.pool_stats();
+        assert_eq!(ps.host_buffers, 2, "{ps:?}");
+        assert_eq!(ps.replans, 1);
+        assert_eq!(ps.rows_migrated, report.rows_migrated);
+    }
+
+    #[test]
     fn sharded_session_fans_out_and_gathers() {
         use crate::sharded::{ShardArg, ShardCount};
         use crate::{MapKind, Partition};
@@ -557,6 +686,7 @@ end subroutine saxpy
                     ShardOptions {
                         weighted: true,
                         batched,
+                        ..Default::default()
                     },
                 )
                 .unwrap();

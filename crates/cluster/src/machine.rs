@@ -28,7 +28,10 @@ use ftn_host::RunStats;
 use ftn_interp::{Buffer, BufferId, MemRefVal, Memory, RtValue};
 use serde::Serialize;
 
-use crate::pool::{DevicePool, Job, JobKind, JobOutcome, JobSuccess, StagedBuffer, WorkerMessage};
+use crate::pool::{
+    DevicePool, Job, JobKind, JobOutcome, JobSuccess, ReshardSpec, RowFetch, StagedBuffer,
+    WorkerMessage,
+};
 use crate::scheduler::{BufferInfo, PlacementPolicy, PlacementReason};
 
 /// Ticket for one submitted job; redeem with [`ClusterMachine::wait`].
@@ -39,6 +42,7 @@ pub struct LaunchHandle {
 }
 
 impl LaunchHandle {
+    /// The pool-wide job id this handle redeems.
     pub fn job_id(&self) -> u64 {
         self.job_id
     }
@@ -50,10 +54,15 @@ impl LaunchHandle {
 #[derive(Debug)]
 #[must_use = "wait on the contained handle to observe results"]
 pub struct KernelTicket {
+    /// Handle to redeem with [`ClusterMachine::wait`].
     pub handle: LaunchHandle,
+    /// Device the job was placed on.
     pub device: usize,
+    /// Buffers uploaded by the staging step.
     pub staged: u64,
+    /// Bytes those uploads moved.
     pub staged_bytes: u64,
+    /// Buffers already resident (transfer skipped).
     pub elided: u64,
 }
 
@@ -61,19 +70,25 @@ pub struct KernelTicket {
 /// [`RunReport`].
 #[derive(Clone, Debug)]
 pub struct ClusterRunReport {
+    /// Device that executed the job.
     pub device: usize,
+    /// The job's pool-wide id.
     pub job_id: u64,
+    /// The standard run report (stats, results, power).
     pub report: RunReport,
 }
 
 /// Per-device slice of the pool statistics.
 #[derive(Clone, Debug, Serialize)]
 pub struct DevicePoolStats {
+    /// Device index in the pool.
     pub device: usize,
+    /// Device model name.
     pub name: String,
     /// Kernel clock of this device's model — the first-order throughput
     /// signal in a heterogeneous pool.
     pub clock_mhz: f64,
+    /// Jobs completed (waited) on this device.
     pub jobs: u64,
     /// Simulated seconds of device-timeline occupancy (kernel wall +
     /// transfers) across completed jobs.
@@ -81,16 +96,19 @@ pub struct DevicePoolStats {
     /// Device memory arena size after the worker's last post-job reset
     /// (stays flat across jobs thanks to the high-water-mark reset).
     pub arena_buffers: usize,
+    /// This device's accumulated run statistics.
     pub stats: RunStats,
 }
 
 /// Pool-level statistics over all *completed* (waited) jobs.
 #[derive(Clone, Debug, Serialize)]
 pub struct PoolStats {
+    /// Per-device breakdown, in device-index order.
     pub devices: Vec<DevicePoolStats>,
     /// Sum of per-device stats; for an N=1 pool this equals the single
     /// `Machine` run stats exactly.
     pub totals: RunStats,
+    /// Jobs completed pool-wide.
     pub jobs: u64,
     /// Pool makespan on the simulated timeline: the busiest device's
     /// occupancy (devices run concurrently).
@@ -106,6 +124,7 @@ pub struct PoolStats {
     pub affinity_hits: u64,
     /// Buffers uploaded to a device (host→device staging copies).
     pub staged_uploads: u64,
+    /// Bytes those uploads moved.
     pub staged_bytes: u64,
     /// Jobs moved off their affinity device because its backlog outweighed
     /// the transfer cost.
@@ -120,10 +139,22 @@ pub struct PoolStats {
     /// sessions bypass placement: no affinity scoring, no stealing).
     pub shard_forced: u64,
     /// Coalesced worker messages sent by batched sharded fan-outs (one
-    /// [`WorkerMessage::Batch`] per device per logical operation).
+    /// `WorkerMessage::Batch` per device per logical operation).
     pub batched_messages: u64,
     /// Jobs delivered inside those batch messages.
     pub batched_jobs: u64,
+    /// Migration epochs executed by sharded-session re-plans.
+    pub replans: u64,
+    /// Leading-dim rows that changed owners across those epochs (summed
+    /// over arrays).
+    pub rows_migrated: u64,
+    /// Wall seconds spent inside migration epochs (quiesce + delta gather +
+    /// restage).
+    pub epoch_seconds: f64,
+    /// Per-device outstanding simulated work (the cost-priced backlog
+    /// ledger the scheduler and the re-planner read), at the moment the
+    /// stats were taken.
+    pub est_backlog: Vec<f64>,
     /// Live host buffers in pool memory (requests/sessions must free what
     /// they allocate; flat under sustained traffic).
     pub host_buffers: usize,
@@ -157,6 +188,32 @@ impl BufState {
     }
 }
 
+/// Everything a dispatched job carries besides its id (see
+/// [`crate::pool::Job`]); the payload half of [`ClusterMachine::dispatch`].
+pub(crate) struct JobSpec {
+    pub(crate) kind: JobKind,
+    pub(crate) args: Vec<RtValue>,
+    pub(crate) staged: Vec<StagedBuffer>,
+    pub(crate) out_versions: Vec<(BufferId, u64)>,
+    pub(crate) fetch: Vec<(BufferId, u64)>,
+    pub(crate) fetch_rows: Vec<RowFetch>,
+    pub(crate) reshard: Vec<ReshardSpec>,
+}
+
+impl JobSpec {
+    pub(crate) fn new(kind: JobKind) -> JobSpec {
+        JobSpec {
+            kind,
+            args: Vec::new(),
+            staged: Vec::new(),
+            out_versions: Vec::new(),
+            fetch: Vec::new(),
+            fetch_rows: Vec::new(),
+            reshard: Vec::new(),
+        }
+    }
+}
+
 /// Bookkeeping for a submitted-but-unprocessed job.
 pub(crate) struct PendingJob {
     pub(crate) arg_ids: Vec<BufferId>,
@@ -169,6 +226,7 @@ pub(crate) struct PendingJob {
 /// See module docs.
 pub struct ClusterMachine {
     pub(crate) pool: DevicePool,
+    /// Pool host memory: every host array and shard sub-buffer lives here.
     pub memory: Memory,
     pub(crate) buffers: HashMap<BufferId, BufState>,
     pub(crate) policy: PlacementPolicy,
@@ -197,9 +255,12 @@ pub struct ClusterMachine {
     pub(crate) shard_forced: u64,
     pub(crate) batched_messages: u64,
     pub(crate) batched_jobs: u64,
+    pub(crate) replans: u64,
+    pub(crate) rows_migrated: u64,
+    pub(crate) epoch_seconds: f64,
     /// When active (a sharded fan-out between `begin_batch`/`flush_batch`),
     /// dispatched jobs are buffered here instead of being sent, then
-    /// delivered as one [`WorkerMessage::Batch`] per device.
+    /// delivered as one `WorkerMessage::Batch` per device.
     pub(crate) batch_buffer: Option<Vec<(usize, Job)>>,
 }
 
@@ -259,10 +320,14 @@ impl ClusterMachine {
             shard_forced: 0,
             batched_messages: 0,
             batched_jobs: 0,
+            replans: 0,
+            rows_migrated: 0,
+            epoch_seconds: 0.0,
             batch_buffer: None,
         })
     }
 
+    /// Number of devices in the pool.
     pub fn device_count(&self) -> usize {
         self.pool.len()
     }
@@ -419,16 +484,13 @@ impl ClusterMachine {
         }
 
         let est = self.estimate_compute_seconds(&kind, &arg_ids, ticket_staged_bytes, device);
-        let handle = self.dispatch(
-            device,
-            kind,
-            arg_ids,
-            args.to_vec(),
+        let spec = JobSpec {
+            args: args.to_vec(),
             staged,
             out_versions,
-            vec![],
-            est,
-        )?;
+            ..JobSpec::new(kind)
+        };
+        let handle = self.dispatch(device, arg_ids, spec, est)?;
         Ok(KernelTicket {
             handle,
             device,
@@ -510,16 +572,12 @@ impl ClusterMachine {
             }
         }
         let est = self.pool.slots[device].model.transfer_seconds(bytes);
-        let handle = self.dispatch(
-            device,
-            JobKind::Upload,
-            arg_ids,
-            vec![],
+        let spec = JobSpec {
             staged,
             out_versions,
-            vec![],
-            est,
-        )?;
+            ..JobSpec::new(JobKind::Upload)
+        };
+        let handle = self.dispatch(device, arg_ids, spec, est)?;
         Ok(KernelTicket {
             handle,
             device,
@@ -545,16 +603,94 @@ impl ClusterMachine {
             bytes += self.memory.get(*id).byte_len();
         }
         let est = self.pool.slots[device].model.transfer_seconds(bytes);
-        self.dispatch(
-            device,
-            JobKind::Fetch,
-            ids.to_vec(),
-            vec![],
-            vec![],
-            vec![],
+        let spec = JobSpec {
             fetch,
-            est,
-        )
+            ..JobSpec::new(JobKind::Fetch)
+        };
+        self.dispatch(device, ids.to_vec(), spec, est)
+    }
+
+    /// Delta gather of a migration epoch: download only the element ranges
+    /// in `rows` from `device`'s mirrors into their dedicated move buffers.
+    /// The move buffers must be allocated (with [`BufState`] entries) before
+    /// the call; each is fully overwritten by the writeback.
+    pub(crate) fn submit_fetch_rows(
+        &mut self,
+        device: usize,
+        rows: Vec<RowFetch>,
+    ) -> Result<LaunchHandle, CompileError> {
+        let mut arg_ids: Vec<BufferId> = Vec::new();
+        let mut bytes = 0usize;
+        for rf in &rows {
+            for id in [rf.src, rf.dst] {
+                if !arg_ids.contains(&id) {
+                    arg_ids.push(id);
+                }
+            }
+            bytes += self.memory.get(rf.dst).byte_len();
+        }
+        for id in &arg_ids {
+            let state = self.buffers.entry(*id).or_default();
+            mark_in_flight(state, device);
+        }
+        let est = self.pool.slots[device].model.transfer_seconds(bytes);
+        let spec = JobSpec {
+            fetch_rows: rows,
+            ..JobSpec::new(JobKind::Fetch)
+        };
+        self.dispatch(device, arg_ids, spec, est)
+    }
+
+    /// Delta scatter of a migration epoch: rebuild the listed shard
+    /// sub-buffer mirrors on `device` — retained rows copied device-locally
+    /// from the old mirrors, migrated/halo rows spliced in from the spec's
+    /// host contents (charged as staging). Registers each new sub-buffer as
+    /// device-resident with the device holding the only current copy (the
+    /// host copy, like any session sub-buffer, is stale until the close
+    /// fetch). Returns the handle plus the staged upload accounting.
+    pub(crate) fn submit_reshard(
+        &mut self,
+        device: usize,
+        specs: Vec<ReshardSpec>,
+    ) -> Result<KernelTicket, CompileError> {
+        let mut arg_ids: Vec<BufferId> = Vec::new();
+        let mut bytes = 0usize;
+        let mut staged = 0u64;
+        for spec in &specs {
+            for id in [spec.old_host, spec.new_host] {
+                if !arg_ids.contains(&id) {
+                    arg_ids.push(id);
+                }
+            }
+            for (_, contents) in &spec.inject {
+                bytes += contents.byte_len();
+                staged += 1;
+            }
+            let state = self.buffers.entry(spec.new_host).or_default();
+            state.version = spec.version;
+            state.written = 0;
+            state.resident.clear();
+            state.resident.insert(device, spec.version);
+        }
+        for id in &arg_ids {
+            let state = self.buffers.entry(*id).or_default();
+            mark_in_flight(state, device);
+        }
+        self.staged_uploads += staged;
+        self.staged_bytes += bytes as u64;
+        let est = self.pool.slots[device].model.transfer_seconds(bytes);
+        let spec = JobSpec {
+            reshard: specs,
+            ..JobSpec::new(JobKind::Reshard)
+        };
+        let handle = self.dispatch(device, arg_ids, spec, est)?;
+        Ok(KernelTicket {
+            handle,
+            device,
+            staged,
+            staged_bytes: bytes as u64,
+            elided: 0,
+        })
     }
 
     /// Bring host memory up to date for `ids` whose only current copy is
@@ -683,6 +819,27 @@ impl ClusterMachine {
         Ok(())
     }
 
+    /// Per-device outstanding simulated work: the cost-model-priced backlog
+    /// ledger the stealing scheduler and the sharded-session re-planner
+    /// read. Grows as jobs are submitted, shrinks as their outcomes are
+    /// processed; [`ClusterMachine::inject_backlog`] adds synthetic load.
+    pub fn device_backlogs(&self) -> Vec<f64> {
+        self.est_backlog.clone()
+    }
+
+    /// Model a co-tenant occupying `device`: adds `sim_seconds` of foreign
+    /// work to the device's backlog ledger (the re-planning signal) and to
+    /// its simulated occupancy (so pool makespans account for the tenant).
+    /// Real traffic creates backlog by submitting jobs; this hook exists so
+    /// tests and benchmarks can create deterministic backlog drift without
+    /// racing a second submission thread.
+    pub fn inject_backlog(&mut self, device: usize, sim_seconds: f64) {
+        if device < self.pool.len() && sim_seconds.is_finite() && sim_seconds > 0.0 {
+            self.est_backlog[device] += sim_seconds;
+            self.busy_sim[device] += sim_seconds;
+        }
+    }
+
     /// Free a host array: release its pool-memory slot and evict every
     /// worker's mirror copy, so sustained allocate-run-free traffic keeps
     /// both host and device arenas flat. The buffer must be quiescent — no
@@ -753,7 +910,7 @@ impl ClusterMachine {
                 .kernel(kernel)
                 .map(|k| k.estimate_seconds(model, elements)),
             JobKind::HostCall { .. } => self.cost_model.estimate_any_seconds(model, elements),
-            JobKind::Upload | JobKind::Fetch => Some(0.0),
+            JobKind::Upload | JobKind::Fetch | JobKind::Reshard => Some(0.0),
         };
         kernel_est.unwrap_or_else(|| self.policy.mean_job_sim_seconds())
             + model.transfer_seconds(staged_bytes as usize)
@@ -761,27 +918,24 @@ impl ClusterMachine {
 
     /// Enqueue a fully-prepared job on `device`. `arg_ids` are the distinct
     /// buffers whose in-flight counters the job holds until completion.
-    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &mut self,
         device: usize,
-        kind: JobKind,
         arg_ids: Vec<BufferId>,
-        args: Vec<RtValue>,
-        staged: Vec<StagedBuffer>,
-        out_versions: Vec<(BufferId, u64)>,
-        fetch: Vec<(BufferId, u64)>,
+        spec: JobSpec,
         est_sim_seconds: f64,
     ) -> Result<LaunchHandle, CompileError> {
         let job_id = self.next_job;
         self.next_job += 1;
         let job = Job {
             job_id,
-            kind,
-            args,
-            staged,
-            out_versions,
-            fetch,
+            kind: spec.kind,
+            args: spec.args,
+            staged: spec.staged,
+            out_versions: spec.out_versions,
+            fetch: spec.fetch,
+            fetch_rows: spec.fetch_rows,
+            reshard: spec.reshard,
         };
         self.loads[device] += 1;
         self.est_backlog[device] += est_sim_seconds;
@@ -816,7 +970,7 @@ impl ClusterMachine {
     }
 
     /// Close the batch window: deliver every buffered job as one
-    /// [`WorkerMessage::Batch`] per device (per-device submission order is
+    /// `WorkerMessage::Batch` per device (per-device submission order is
     /// preserved, keeping the FIFO colocation invariants intact). Buckets
     /// are a linear-scanned small vector — fan-outs touch at most
     /// pool-size distinct devices.
@@ -1008,6 +1162,10 @@ impl ClusterMachine {
             shard_forced: self.shard_forced,
             batched_messages: self.batched_messages,
             batched_jobs: self.batched_jobs,
+            replans: self.replans,
+            rows_migrated: self.rows_migrated,
+            epoch_seconds: self.epoch_seconds,
+            est_backlog: self.est_backlog.clone(),
             host_buffers: self.memory.live(),
             host_bytes: self.memory.live_bytes(),
         }

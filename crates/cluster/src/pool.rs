@@ -5,12 +5,12 @@
 //!
 //! Workers understand two job granularities plus two residency housekeeping
 //! jobs:
-//! * [`JobKind::HostCall`] — run a whole host program function (the original
+//! * `JobKind::HostCall` — run a whole host program function (the original
 //!   `Machine`-equivalent path; the program performs its own device maps).
-//! * [`JobKind::Kernel`] — execute one device kernel directly against the
+//! * `JobKind::Kernel` — execute one device kernel directly against the
 //!   worker's resident buffer mirror (`target data` sessions launch these;
 //!   staging is charged as an explicit host→device map).
-//! * [`JobKind::Upload`] / [`JobKind::Fetch`] — establish residency for a
+//! * `JobKind::Upload` / `JobKind::Fetch` — establish residency for a
 //!   session's mapped arrays / copy mirror contents back to the host,
 //!   charging PCIe transfer time the way a data-region entry/exit does.
 //!
@@ -18,7 +18,7 @@
 //! transient device allocations (a host program's data-environment buffers,
 //! kernel-local scratch) do not accumulate across the life of the pool.
 //! Mirror buffers persist until the host buffer they shadow is freed, at
-//! which point an [`WorkerMessage::Evict`] reclaims the local copy too.
+//! which point an `WorkerMessage::Evict` reclaims the local copy too.
 
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
@@ -41,8 +41,49 @@ pub(crate) enum JobKind {
     Kernel { kernel: String, writeback: bool },
     /// Stage the job's buffers and nothing else (session open).
     Upload,
-    /// Download the job's `fetch` buffers from the mirror (session close).
+    /// Download the job's `fetch` buffers (and `fetch_rows` row slices) from
+    /// the mirror (session close / migration-epoch delta gather).
     Fetch,
+    /// Rebuild shard sub-buffer mirrors per the job's `reshard` specs (the
+    /// delta-scatter half of a migration epoch).
+    Reshard,
+}
+
+/// One element-range download of a migration epoch's delta gather: read
+/// `src[start .. start+len]` from the device mirror and write it back into
+/// the dedicated host move buffer `dst`. Only the rows that change owners
+/// travel — the rest of the shard never leaves the device.
+pub(crate) struct RowFetch {
+    /// Host id of the shard sub-buffer whose mirror donates the rows.
+    pub src: BufferId,
+    /// Host id of the move buffer receiving them (whole-buffer writeback).
+    pub dst: BufferId,
+    /// First element of the slice within the mirror.
+    pub start: usize,
+    /// Elements in the slice.
+    pub len: usize,
+    /// Writeback version for `dst`.
+    pub version: u64,
+}
+
+/// Rebuild one shard sub-buffer's device mirror for a migration epoch:
+/// retained element ranges are copied device-locally from the old mirror
+/// (free — they never cross PCIe) and migrated/halo rows are spliced in
+/// from host contents carried by the spec (charged as host→device
+/// transfers).
+pub(crate) struct ReshardSpec {
+    /// Host id of the new sub-buffer (its mirror is created by this job).
+    pub new_host: BufferId,
+    /// Host id of the old sub-buffer whose mirror donates retained rows.
+    pub old_host: BufferId,
+    /// Elements of the new sub-buffer.
+    pub len: usize,
+    /// `(dst_start, src_start, len)` element copies old mirror → new mirror.
+    pub keep: Vec<(usize, usize, usize)>,
+    /// `(dst_start, contents)` element blocks staged from the host.
+    pub inject: Vec<(usize, Buffer)>,
+    /// Mirror version of the new sub-buffer.
+    pub version: u64,
 }
 
 /// One host buffer upload accompanying a job.
@@ -69,9 +110,15 @@ pub(crate) struct Job {
     /// Post-run version assigned to every argument buffer (they are all
     /// conservatively treated as written).
     pub out_versions: Vec<(BufferId, u64)>,
-    /// For [`JobKind::Fetch`]: `(host id, version)` of mirror buffers to
+    /// For `JobKind::Fetch`: `(host id, version)` of mirror buffers to
     /// download.
     pub fetch: Vec<(BufferId, u64)>,
+    /// For `JobKind::Fetch`: element-range downloads of a migration
+    /// epoch's delta gather.
+    pub fetch_rows: Vec<RowFetch>,
+    /// For `JobKind::Reshard`: mirror rebuilds of a migration epoch's
+    /// delta scatter.
+    pub reshard: Vec<ReshardSpec>,
 }
 
 /// What comes back from a worker when a job finishes.
@@ -156,14 +203,17 @@ impl DevicePool {
         DevicePool { slots, outcomes }
     }
 
+    /// Number of devices.
     pub fn len(&self) -> usize {
         self.slots.len()
     }
 
+    /// Whether the pool has no devices.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
     }
 
+    /// The device models, in device-index order.
     pub fn models(&self) -> Vec<DeviceModel> {
         self.slots.iter().map(|s| s.model.clone()).collect()
     }
@@ -235,6 +285,32 @@ impl Worker {
                     self.mirror.insert(sb.host, (local, sb.version));
                 }
             }
+        }
+
+        // 1b. Rebuild shard sub-buffer mirrors (migration epoch). Like
+        // staging this happens before transient recording starts: the new
+        // mirrors outlive the job. Retained ranges copy device-locally from
+        // the old mirror; injected blocks are host→device transfers.
+        for spec in std::mem::take(&mut job.reshard) {
+            let &(old_local, _) = self.mirror.get(&spec.old_host).ok_or_else(|| {
+                format!(
+                    "device {}: reshard of non-resident {:?}",
+                    self.index, spec.old_host
+                )
+            })?;
+            let mut rebuilt = empty_like(self.memory.get(old_local), spec.len);
+            for &(dst, src, len) in &spec.keep {
+                ftn_shard::copy_elems(&mut rebuilt, dst, self.memory.get(old_local), src, len)
+                    .map_err(|e| format!("device {}: reshard keep: {e}", self.index))?;
+            }
+            for (dst, contents) in &spec.inject {
+                stats.transfer_seconds += self.model.transfer_seconds(contents.byte_len());
+                stats.transfers += 1;
+                ftn_shard::copy_elems(&mut rebuilt, *dst, contents, 0, contents.len())
+                    .map_err(|e| format!("device {}: reshard inject: {e}", self.index))?;
+            }
+            let local = self.memory.alloc(rebuilt, 0);
+            self.mirror.insert(spec.new_host, (local, spec.version));
         }
 
         // Everything allocated from here on is job-transient (a host
@@ -329,15 +405,14 @@ impl Worker {
                 stats.launches += 1;
                 es.results
             }
-            JobKind::Upload => Vec::new(),
-            JobKind::Fetch => Vec::new(),
+            JobKind::Upload | JobKind::Fetch | JobKind::Reshard => Vec::new(),
         };
 
         // 3. Collect writeback contents and bump mirror versions.
         let collect_writeback = match &job.kind {
             JobKind::HostCall { .. } => true,
             JobKind::Kernel { writeback, .. } => *writeback,
-            JobKind::Upload | JobKind::Fetch => false,
+            JobKind::Upload | JobKind::Fetch | JobKind::Reshard => false,
         };
         let mut writeback = Vec::with_capacity(arg_buffers.len());
         for &(host, local) in &arg_buffers {
@@ -365,7 +440,33 @@ impl Worker {
             let entry = self.mirror.get_mut(&host).expect("present above");
             entry.1 = entry.1.max(version);
         }
+        // Delta gather: only the requested element ranges travel back — a
+        // migration epoch never round-trips whole shards through the host.
+        for rf in &job.fetch_rows {
+            let &(local, _) = self.mirror.get(&rf.src).ok_or_else(|| {
+                format!(
+                    "device {}: row fetch of non-resident {:?}",
+                    self.index, rf.src
+                )
+            })?;
+            let contents = ftn_shard::slice_of(self.memory.get(local), rf.start, rf.len)
+                .map_err(|e| format!("device {}: row fetch: {e}", self.index))?;
+            stats.transfer_seconds += self.model.transfer_seconds(contents.byte_len());
+            stats.transfers += 1;
+            writeback.push((rf.dst, contents, rf.version));
+        }
         Ok((results, writeback, arg_buffers))
+    }
+}
+
+/// An uninitialized (zeroed) buffer of `len` elements with `like`'s type.
+fn empty_like(like: &Buffer, len: usize) -> Buffer {
+    match like {
+        Buffer::F32(_) => Buffer::F32(vec![0.0; len]),
+        Buffer::F64(_) => Buffer::F64(vec![0.0; len]),
+        Buffer::I32(_) => Buffer::I32(vec![0; len]),
+        Buffer::I64(_) => Buffer::I64(vec![0; len]),
+        Buffer::I1(_) => Buffer::I1(vec![false; len]),
     }
 }
 

@@ -27,6 +27,7 @@ use ftn_fpga::DeviceModel;
 /// What the scheduler knows about one argument buffer at placement time.
 #[derive(Clone, Debug)]
 pub struct BufferInfo {
+    /// Buffer size (prices the staging transfer).
     pub bytes: usize,
     /// Devices holding this buffer at its current version.
     pub resident: Vec<usize>,
@@ -42,17 +43,24 @@ pub struct BufferInfo {
 /// Why a device was chosen (surfaced in pool metrics and tests).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PlacementReason {
+    /// An argument buffer has an in-flight job on this device.
     ForcedColocation,
+    /// This device holds the only current copy of an argument buffer.
     PinnedResidency,
+    /// This device already holds the largest share of the job's bytes.
     Affinity,
+    /// Moved off the affinity device: its backlog outweighed the restage.
     Steal,
+    /// No residency signal: shallowest queue, round-robin on ties.
     LeastLoaded,
 }
 
 /// A placement decision.
 #[derive(Clone, Copy, Debug)]
 pub struct Placement {
+    /// The chosen device.
     pub device: usize,
+    /// Which rung of the policy ladder decided it.
     pub reason: PlacementReason,
 }
 
@@ -73,6 +81,7 @@ impl Default for PlacementPolicy {
 }
 
 impl PlacementPolicy {
+    /// A fresh policy (round-robin cursor at device 0, no history).
     pub fn new() -> Self {
         PlacementPolicy {
             rr: 0,
@@ -90,6 +99,7 @@ impl PlacementPolicy {
         self.mean_job_sim_seconds += (sim_seconds - self.mean_job_sim_seconds) / n;
     }
 
+    /// The observed mean simulated job time (the fallback backlog price).
     pub fn mean_job_sim_seconds(&self) -> f64 {
         self.mean_job_sim_seconds
     }

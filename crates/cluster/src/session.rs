@@ -36,6 +36,7 @@ pub enum MapKind {
 }
 
 impl MapKind {
+    /// Parse the serve-API spelling: `to` | `from` | `tofrom`.
     pub fn parse(s: &str) -> Option<MapKind> {
         match s {
             "to" => Some(MapKind::To),
@@ -47,25 +48,39 @@ impl MapKind {
 }
 
 /// Transfer/launch accounting for one session.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct SessionStats {
+    /// Kernel-level jobs launched (one per shard on sharded sessions).
     pub launches: u64,
     /// Host→device uploads actually performed (open staging + any re-staging
-    /// a launch needed).
+    /// a launch needed + migration-epoch splices).
     pub staged_uploads: u64,
+    /// Bytes those uploads moved.
     pub staged_bytes: u64,
     /// Host↔device transfers skipped because the buffer was already resident
     /// at its current version.
     pub elided_transfers: u64,
     /// Device→host downloads at close.
     pub fetched_downloads: u64,
+    /// Migration epochs executed by re-plans (sharded sessions only;
+    /// below-threshold and zero-delta re-plan checks do not count).
+    pub replan_count: u64,
+    /// Leading-dim rows that changed owners across those epochs, summed
+    /// over the session's split arrays.
+    pub rows_migrated: u64,
+    /// Wall seconds spent inside migration epochs (quiesce, delta gather,
+    /// restage).
+    pub epoch_seconds: f64,
 }
 
 /// Result of closing a session.
 #[derive(Clone, Debug, Serialize)]
 pub struct SessionReport {
+    /// The closed session's id.
     pub session: u64,
+    /// The device the session was resident on.
     pub device: usize,
+    /// Final transfer/launch accounting.
     pub stats: SessionStats,
 }
 

@@ -28,7 +28,7 @@
 //! [`ftn_fpga::CostModel`] (per that device's own model). Under
 //! [`ShardOptions::batched`] (the default) every fan-out — open staging,
 //! launches, close fetches — coalesces all jobs bound for one device into a
-//! single [`crate::pool::WorkerMessage::Batch`], so a logical launch costs
+//! single `WorkerMessage::Batch`, so a logical launch costs
 //! O(devices) messages instead of O(shards). Close fetches every shard's
 //! `from`/`tofrom` sub-buffers, gathers (concatenates owned rows, dropping
 //! halos) or reduces (sum/min/max private copies) into the caller's arrays,
@@ -41,10 +41,11 @@
 use ftn_core::CompileError;
 use ftn_host::RunStats;
 use ftn_interp::{BufferId, RtValue};
-use ftn_shard::{Partition, ShardedEnvironment};
+use ftn_shard::{slice_of, Partition, ShardPlan, ShardedEnvironment};
 use serde::Serialize;
 
-use crate::machine::{ClusterMachine, LaunchHandle};
+use crate::machine::{BufState, ClusterMachine, LaunchHandle};
+use crate::pool::{ReshardSpec, RowFetch};
 use crate::session::{MapKind, SessionStats};
 
 /// Upper bound on shards per pool device: bounds the sub-environments and
@@ -52,6 +53,65 @@ use crate::session::{MapKind, SessionStats};
 /// request can allocate, while leaving ample room for the
 /// several-shards-per-device fan-outs batching is built for.
 pub const MAX_SHARDS_PER_DEVICE: usize = 16;
+
+/// Minimum predicted makespan improvement (old / new over the re-plan
+/// horizon) before a re-plan executes a migration epoch, when neither the
+/// caller nor [`AutoRebalance`] specifies one. Migrations are cheap (only
+/// owner-changing rows travel) but not free; a 5% predicted win is where
+/// they start paying for themselves.
+pub const DEFAULT_REBALANCE_THRESHOLD: f64 = 1.05;
+
+/// Launch horizon over which a re-plan amortizes observed backlog when
+/// derating device weights and pricing candidate plans (see
+/// [`ftn_fpga::CostModel::effective_weights`]): a device with one launch's
+/// worth of foreign queue is mildly derated; one with a horizon's worth is
+/// effectively abandoned until the next epoch.
+pub const REBALANCE_HORIZON_LAUNCHES: u64 = 16;
+
+/// Automatic re-planning policy of a sharded session: every `interval`
+/// logical launches the session snapshots per-device backlogs, re-computes
+/// effective weights, and — when the predicted makespan improvement clears
+/// `threshold` — executes a migration epoch before the next fan-out.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AutoRebalance {
+    /// Logical launches between re-plan checks (≥ 1).
+    pub interval: u64,
+    /// Minimum predicted makespan improvement (old / new) that triggers a
+    /// migration epoch.
+    pub threshold: f64,
+}
+
+impl Default for AutoRebalance {
+    fn default() -> Self {
+        AutoRebalance {
+            interval: 8,
+            threshold: DEFAULT_REBALANCE_THRESHOLD,
+        }
+    }
+}
+
+impl AutoRebalance {
+    /// Parse the serve-API / CLI form `INTERVAL[:THRESHOLD]` — e.g. `4`
+    /// (check every 4 launches, default threshold) or `4:1.2`.
+    pub fn parse(s: &str) -> Option<AutoRebalance> {
+        let (interval, threshold) = match s.split_once(':') {
+            Some((i, t)) => (i, Some(t)),
+            None => (s, None),
+        };
+        let interval = interval.parse::<u64>().ok().filter(|&n| n > 0)?;
+        let threshold = match threshold {
+            Some(t) => t
+                .parse::<f64>()
+                .ok()
+                .filter(|t| t.is_finite() && *t >= 1.0)?,
+            None => DEFAULT_REBALANCE_THRESHOLD,
+        };
+        Some(AutoRebalance {
+            interval,
+            threshold,
+        })
+    }
+}
 
 /// How many shards a sharded session should open.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,7 +145,7 @@ impl ShardCount {
 /// defaults (weighted plans, batched fan-out) are what production traffic
 /// wants; the legacy behaviours remain selectable so conformance tests and
 /// benchmarks can compare against them.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ShardOptions {
     /// Size each shard proportionally to its device's predicted throughput
     /// ([`ftn_fpga::CostModel::device_weight`]) and place the largest shard
@@ -95,11 +155,19 @@ pub struct ShardOptions {
     /// is used.
     pub weighted: bool,
     /// Coalesce all shard jobs bound for one device into a single
-    /// [`crate::pool::WorkerMessage::Batch`] per fan-out (open staging,
+    /// `WorkerMessage::Batch` per fan-out (open staging,
     /// launches, close fetches), cutting per-launch messaging from
     /// O(shards) to O(devices). Results and statistics are identical either
     /// way — only the message count changes.
     pub batched: bool,
+    /// Re-plan the session automatically as device backlogs drift: every
+    /// `interval` logical launches, fold the observed backlogs into the
+    /// device weights and — when the predicted makespan improvement clears
+    /// `threshold` — run a migration epoch (see
+    /// [`ClusterMachine::rebalance_session`]). `None` (the default) keeps
+    /// the plan frozen at its open-time split; manual
+    /// [`ClusterMachine::rebalance_session`] calls still work.
+    pub auto_rebalance: Option<AutoRebalance>,
 }
 
 impl Default for ShardOptions {
@@ -107,6 +175,7 @@ impl Default for ShardOptions {
         ShardOptions {
             weighted: true,
             batched: true,
+            auto_rebalance: None,
         }
     }
 }
@@ -133,6 +202,8 @@ pub struct ShardedSession {
     pub(crate) devices: Vec<usize>,
     pub(crate) opts: ShardOptions,
     pub(crate) outstanding: Vec<u64>,
+    /// Logical launches since the last auto re-plan check.
+    pub(crate) launches_since_replan: u64,
     pub(crate) stats: SessionStats,
 }
 
@@ -149,19 +220,26 @@ impl ShardedSession {
 #[derive(Debug)]
 #[must_use = "wait on the ticket (wait_sharded) to observe results"]
 pub struct ShardedLaunchTicket {
+    /// The session the launch belongs to.
     pub session: u64,
+    /// One handle per shard job, in shard order.
     pub handles: Vec<LaunchHandle>,
     /// Device of each per-shard job, in shard order.
     pub devices: Vec<usize>,
+    /// Buffers the fan-out re-staged (0 once resident).
     pub staged: u64,
+    /// Bytes those uploads moved.
     pub staged_bytes: u64,
+    /// Buffers already resident (transfer skipped).
     pub elided: u64,
 }
 
 /// A completed sharded launch: merged statistics over the per-shard jobs.
 #[derive(Clone, Debug, Serialize)]
 pub struct ShardedLaunchReport {
+    /// The session the launch belonged to.
     pub session: u64,
+    /// Device of each per-shard job, in shard order.
     pub devices: Vec<usize>,
     /// Per-shard `RunStats` merged in shard order.
     pub stats: RunStats,
@@ -170,10 +248,37 @@ pub struct ShardedLaunchReport {
 /// Result of closing a sharded session.
 #[derive(Clone, Debug, Serialize)]
 pub struct ShardedReport {
+    /// The closed session's id.
     pub session: u64,
+    /// How many shards the session spanned.
     pub shards: usize,
+    /// shard → device assignment, in shard order.
     pub devices: Vec<usize>,
+    /// Final transfer/launch/epoch accounting.
     pub stats: SessionStats,
+}
+
+/// Result of one re-plan check (see [`ClusterMachine::rebalance_session`]).
+/// A check that does not clear its threshold — or finds the plan already
+/// optimal — reports `replanned: false` and moves nothing.
+#[derive(Clone, Debug, Serialize)]
+pub struct RebalanceReport {
+    /// The sharded session the check ran against.
+    pub session: u64,
+    /// Whether a migration epoch actually executed.
+    pub replanned: bool,
+    /// Predicted makespan improvement (old / new) over the re-plan horizon.
+    pub predicted_gain: f64,
+    /// Threshold the gain was compared against.
+    pub threshold: f64,
+    /// Leading-dim rows that changed owners (summed over the session's
+    /// split arrays); 0 for a no-op.
+    pub rows_migrated: u64,
+    /// Owned rows per shard of the reference (largest) split array after
+    /// the call.
+    pub shard_rows: Vec<usize>,
+    /// Wall seconds the epoch took (0.0 for a no-op).
+    pub epoch_seconds: f64,
 }
 
 impl ClusterMachine {
@@ -194,8 +299,47 @@ impl ClusterMachine {
 
     /// [`ClusterMachine::open_sharded_session`] with explicit
     /// [`ShardOptions`] (weighted vs uniform plans, batched vs per-shard
-    /// fan-out) — the default options are right for production traffic;
-    /// this entry point exists for conformance tests and benchmarks.
+    /// fan-out, automatic re-planning) — the default options are right for
+    /// production traffic; this entry point exists for conformance tests,
+    /// benchmarks, and sessions opting into [`ShardOptions::auto_rebalance`].
+    ///
+    /// # Example
+    ///
+    /// One SAXPY spanning two devices: `x`/`y` are split row-wise, every
+    /// launch fans out with per-shard extents, and the close gathers `y`.
+    ///
+    /// ```
+    /// use ftn_cluster::{ClusterMachine, MapKind, Partition, ShardArg, ShardCount, ShardOptions};
+    /// use ftn_fpga::DeviceModel;
+    /// use ftn_interp::RtValue;
+    ///
+    /// let src = "subroutine saxpy(n, a, x, y)\n  implicit none\n  integer :: n, i\n  real :: a, x(n), y(n)\n  !$omp target parallel do\n  do i = 1, n\n    y(i) = y(i) + a*x(i)\n  end do\n  !$omp end target parallel do\nend subroutine saxpy\n";
+    /// let artifacts = ftn_core::Compiler::default().compile_source(src)?;
+    /// let mut pool = ClusterMachine::load(&artifacts, &vec![DeviceModel::u280(); 2])?;
+    /// let x = pool.host_f32(&[1.0; 64]);
+    /// let y = pool.host_f32(&[0.5; 64]);
+    /// let sid = pool.open_sharded_session_with(
+    ///     &[
+    ///         ("x", x, MapKind::To, Partition::Split { halo: 0 }),
+    ///         ("y", y.clone(), MapKind::ToFrom, Partition::Split { halo: 0 }),
+    ///     ],
+    ///     ShardCount::Fixed(2),
+    ///     ShardOptions::default(),
+    /// )?;
+    /// let ticket = pool.sharded_launch(sid, "saxpy_kernel0", &[
+    ///     ShardArg::Array("x".into()),
+    ///     ShardArg::Array("y".into()),
+    ///     ShardArg::Extent("x".into()),
+    ///     ShardArg::Extent("y".into()),
+    ///     ShardArg::Scalar(RtValue::F32(2.0)),
+    ///     ShardArg::Scalar(RtValue::Index(1)),
+    ///     ShardArg::Extent("x".into()),
+    /// ])?;
+    /// pool.wait_sharded(ticket)?;
+    /// pool.close_sharded_session(sid)?;
+    /// assert_eq!(pool.read_f32(&y), vec![2.5f32; 64]);
+    /// # Ok::<(), ftn_core::CompileError>(())
+    /// ```
     pub fn open_sharded_session_with(
         &mut self,
         maps: &[(&str, RtValue, MapKind, Partition)],
@@ -375,6 +519,7 @@ impl ClusterMachine {
                 devices,
                 opts,
                 outstanding: Vec::new(),
+                launches_since_replan: 0,
                 stats,
             },
         );
@@ -447,6 +592,23 @@ impl ClusterMachine {
         kernel: &str,
         args: &[ShardArg],
     ) -> Result<ShardedLaunchTicket, CompileError> {
+        // Auto re-plan: every `interval` logical launches, re-decide the
+        // split before rebasing this launch's extents — a stale plan would
+        // fan the launch out with the old row counts.
+        let auto = self
+            .sharded
+            .get(&session)
+            .ok_or_else(|| CompileError::new("cluster-shard", no_session(session)))?
+            .opts
+            .auto_rebalance;
+        if let Some(ar) = auto {
+            let s = self.sharded.get_mut(&session).expect("checked above");
+            s.launches_since_replan += 1;
+            if s.launches_since_replan >= ar.interval.max(1) {
+                s.launches_since_replan = 0;
+                self.rebalance_session_with(session, Some(ar.threshold))?;
+            }
+        }
         let s = self
             .sharded
             .get(&session)
@@ -634,6 +796,502 @@ impl ClusterMachine {
             shards,
             devices: s.devices,
             stats: s.stats,
+        })
+    }
+
+    /// Re-plan a sharded session against the pool's *current* backlogs —
+    /// the dynamic half of the placement ladder. Snapshots each device's
+    /// cost-priced queue depth, folds it into the static device weights
+    /// ([`ftn_fpga::CostModel::effective_weights`]), and compares the
+    /// session's current split against the re-weighted candidate over the
+    /// [`REBALANCE_HORIZON_LAUNCHES`] horizon. When the predicted makespan
+    /// improvement clears the session's threshold (its
+    /// [`AutoRebalance::threshold`], else
+    /// [`DEFAULT_REBALANCE_THRESHOLD`]), a **migration epoch** runs:
+    ///
+    /// 1. **Quiesce** — every outstanding shard job completes (outcomes
+    ///    stay claimable by tickets the caller already holds).
+    /// 2. **Delta gather** — only the rows that change owners are fetched
+    ///    from their old devices into move buffers; resident rows never
+    ///    leave their device.
+    /// 3. **Restage** — each changed shard's mirror is rebuilt in place:
+    ///    retained rows copy device-locally, migrated rows and halo ghost
+    ///    rows splice in from the host (halos restart from the caller's
+    ///    contents, exactly as the original scatter seeded them).
+    /// 4. **Resume** — the session continues under the new plan; replaced
+    ///    sub-buffers are freed on host and devices.
+    ///
+    /// [`SessionStats`] records `replan_count`, `rows_migrated`, and
+    /// `epoch_seconds` for executed epochs; a below-threshold or zero-delta
+    /// check is a pure no-op. Sessions opened with
+    /// [`ShardOptions::auto_rebalance`] run this automatically every
+    /// `interval` launches; this entry point serves manual callers (e.g.
+    /// `POST /sessions/{id}/rebalance`).
+    ///
+    /// # Example
+    ///
+    /// A quiet pool re-plans to the split it already has (a no-op); once a
+    /// co-tenant parks work on device 0, the epoch migrates rows away:
+    ///
+    /// ```
+    /// use ftn_cluster::{ClusterMachine, MapKind, Partition, ShardCount};
+    /// use ftn_fpga::DeviceModel;
+    ///
+    /// let src = "subroutine saxpy(n, a, x, y)\n  implicit none\n  integer :: n, i\n  real :: a, x(n), y(n)\n  !$omp target parallel do\n  do i = 1, n\n    y(i) = y(i) + a*x(i)\n  end do\n  !$omp end target parallel do\nend subroutine saxpy\n";
+    /// let artifacts = ftn_core::Compiler::default().compile_source(src)?;
+    /// let mut pool = ClusterMachine::load(&artifacts, &vec![DeviceModel::u280(); 4])?;
+    /// let x = pool.host_f32(&[1.0; 4096]);
+    /// let sid = pool.open_sharded_session(
+    ///     &[("x", x, MapKind::To, Partition::Split { halo: 0 })],
+    ///     ShardCount::Fixed(4),
+    /// )?;
+    /// let report = pool.rebalance_session(sid)?;
+    /// assert!(!report.replanned, "balanced pool: nothing to do");
+    ///
+    /// pool.inject_backlog(0, 1.0); // a second of foreign queue on device 0
+    /// let report = pool.rebalance_session(sid)?;
+    /// assert!(report.replanned && report.rows_migrated > 0);
+    /// assert!(report.shard_rows[0] < 1024, "device 0 shed rows");
+    /// pool.close_sharded_session(sid)?;
+    /// # Ok::<(), ftn_core::CompileError>(())
+    /// ```
+    pub fn rebalance_session(&mut self, session: u64) -> Result<RebalanceReport, CompileError> {
+        self.rebalance_session_with(session, None)
+    }
+
+    /// [`ClusterMachine::rebalance_session`] with an explicit improvement
+    /// threshold (old/new predicted makespan, ≥ 1.0) overriding the
+    /// session's configured one.
+    pub fn rebalance_session_with(
+        &mut self,
+        session: u64,
+        threshold: Option<f64>,
+    ) -> Result<RebalanceReport, CompileError> {
+        let s = self
+            .sharded
+            .get(&session)
+            .ok_or_else(|| CompileError::new("cluster-shard", no_session(session)))?;
+        let threshold = threshold
+            .or_else(|| s.opts.auto_rebalance.map(|ar| ar.threshold))
+            .unwrap_or(DEFAULT_REBALANCE_THRESHOLD);
+        let devices = s.devices.clone();
+        let batched = s.opts.batched;
+        // The largest split array prices the decision; a session mapping
+        // only replicated/reduced arrays has nothing to re-partition.
+        let reference = s
+            .env
+            .arrays()
+            .iter()
+            .filter_map(|a| match a.partition {
+                Partition::Split { halo } => {
+                    let rows: usize = a.slices.iter().map(|sl| sl.range.len).sum();
+                    Some((a.name.clone(), rows, a.row_elems, halo))
+                }
+                _ => None,
+            })
+            .max_by_key(|&(_, rows, row_elems, _)| rows * row_elems);
+        let Some((ref_name, rows, row_elems, halo)) = reference else {
+            return Ok(RebalanceReport {
+                session,
+                replanned: false,
+                predicted_gain: 1.0,
+                threshold,
+                rows_migrated: 0,
+                shard_rows: Vec::new(),
+                epoch_seconds: 0.0,
+            });
+        };
+
+        // Quiesce: every outstanding shard job's outcome must be applied
+        // before backlogs are read or rows move. Outcomes are *not*
+        // consumed — completed-but-unwaited reports stay claimable by the
+        // caller's launch tickets.
+        let outstanding = s.outstanding.clone();
+        for job_id in outstanding {
+            while self.pending.contains_key(&job_id) {
+                self.process_one_outcome()?;
+            }
+        }
+        // Everything quiesced is done: prune the ledger down to the
+        // completed-but-unwaited ids (close still drains those), so a
+        // long-lived auto-rebalancing session does not re-walk its entire
+        // launch history on every check.
+        let keep: Vec<u64> = self
+            .sharded
+            .get(&session)
+            .expect("still present")
+            .outstanding
+            .iter()
+            .copied()
+            .filter(|id| self.completed.contains_key(id))
+            .collect();
+        self.sharded
+            .get_mut(&session)
+            .expect("still present")
+            .outstanding = keep;
+
+        // Effective weights from the backlog snapshot.
+        let backlogs = self.est_backlog.clone();
+        let models = self.pool.models();
+        let s = self.sharded.get(&session).expect("still present");
+        let shards = s.env.shards();
+        let elements = (rows * row_elems) as u64;
+        let share = elements
+            .max(1)
+            .div_ceil(shards.min(models.len()).max(1) as u64);
+        let eff = self.cost_model.effective_weights(
+            &models,
+            share,
+            &backlogs,
+            REBALANCE_HORIZON_LAUNCHES,
+        );
+        let weights: Vec<f64> = devices.iter().map(|&d| eff[d]).collect();
+
+        // Decision: predicted *session* horizon makespan of the current
+        // split versus the re-weighted candidate. Each device's session
+        // work is scaled by a queue-dilution factor `1 + B_d / (h · t_d)` —
+        // the co-tenant's backlog amortized over the horizon as sustained
+        // competition — rather than added as a one-shot constant: an
+        // additive model would let a backlog much larger than the session's
+        // own work dominate both sides of the ratio and freeze the plan in
+        // exactly the regime where migrating away helps most.
+        let ref_array = s.env.array(&ref_name).expect("reference resolves");
+        let old_rows: Vec<usize> = ref_array.slices.iter().map(|sl| sl.range.len).collect();
+        let candidate = ShardPlan::partition_weighted(rows, &weights, halo);
+        let new_rows: Vec<usize> = candidate.ranges().iter().map(|r| r.len).collect();
+        let horizon = REBALANCE_HORIZON_LAUNCHES as f64;
+        let predict = |rows_per_shard: &[usize]| -> f64 {
+            let mut per_dev = vec![0.0f64; models.len()];
+            for (shard, &r) in rows_per_shard.iter().enumerate() {
+                let d = devices[shard];
+                let est = self
+                    .cost_model
+                    .estimate_any_seconds(&models[d], (r * row_elems) as u64)
+                    .unwrap_or(0.0);
+                per_dev[d] += horizon * est;
+            }
+            for (d, work) in per_dev.iter_mut().enumerate() {
+                let t = self
+                    .cost_model
+                    .estimate_any_seconds(&models[d], share)
+                    .unwrap_or(0.0);
+                if t > 0.0 {
+                    *work *= 1.0 + backlogs[d] / (horizon * t);
+                }
+            }
+            per_dev.iter().cloned().fold(0.0, f64::max)
+        };
+        let predicted_old = predict(&old_rows);
+        let predicted_new = predict(&new_rows);
+        let predicted_gain = if predicted_new > 0.0 {
+            predicted_old / predicted_new
+        } else {
+            1.0
+        };
+        if old_rows == new_rows || predicted_gain < threshold || predicted_gain.is_nan() {
+            return Ok(RebalanceReport {
+                session,
+                replanned: false,
+                predicted_gain,
+                threshold,
+                rows_migrated: 0,
+                shard_rows: old_rows,
+                epoch_seconds: 0.0,
+            });
+        }
+
+        // Migration epoch. The session is taken out of the table so the
+        // epoch can drive the machine; it is reinstated on every path.
+        let epoch = std::time::Instant::now();
+        let mut s = self.sharded.remove(&session).expect("still present");
+        let outcome = self.migration_epoch(&mut s, weights, batched);
+        let epoch_seconds = epoch.elapsed().as_secs_f64();
+        if let Ok(rows_migrated) = outcome {
+            s.stats.replan_count += 1;
+            s.stats.rows_migrated += rows_migrated;
+            s.stats.epoch_seconds += epoch_seconds;
+            self.replans += 1;
+            self.rows_migrated += rows_migrated;
+            self.epoch_seconds += epoch_seconds;
+        }
+        let shard_rows = s
+            .env
+            .array(&ref_name)
+            .map(|a| a.slices.iter().map(|sl| sl.range.len).collect())
+            .unwrap_or_default();
+        self.sharded.insert(session, s);
+        let rows_migrated = outcome?;
+        Ok(RebalanceReport {
+            session,
+            replanned: true,
+            predicted_gain,
+            threshold,
+            rows_migrated,
+            shard_rows,
+            epoch_seconds,
+        })
+    }
+
+    /// Execute one migration epoch over a quiesced session: host-side
+    /// replan, delta gather of owner-changing rows, in-place mirror
+    /// restage, and release of the replaced sub-buffers. Returns the rows
+    /// migrated.
+    fn migration_epoch(
+        &mut self,
+        s: &mut ShardedSession,
+        weights: Vec<f64>,
+        batched: bool,
+    ) -> Result<u64, CompileError> {
+        fn free_all(m: &mut ClusterMachine, bufs: &[Vec<BufferId>]) {
+            for id in bufs.iter().flatten() {
+                m.buffers.remove(id);
+                m.memory.free(*id);
+            }
+        }
+        let pool = self.pool.len();
+        let devices = s.devices.clone();
+        // Host-side replan: fresh sub-buffers for the slices whose range
+        // changes; unchanged slices (and replicated/reduced arrays) keep
+        // their buffers and their device mirrors untouched.
+        let replans = s
+            .env
+            .replan(&mut self.memory, weights)
+            .map_err(|e| CompileError::new("cluster-rebalance", e.to_string()))?;
+        // Register the fresh sub-buffers immediately: even if a transfer
+        // below fails, the session's buffer set must stay fully tracked so
+        // nothing it references can leak.
+        for rp in &replans {
+            let a = s.env.array(&rp.name).expect("replanned array resolves");
+            for (shard, old) in rp.old_slices.iter().enumerate() {
+                if old.is_some() {
+                    self.buffers
+                        .entry(a.slices[shard].memref.buffer)
+                        .or_default();
+                }
+            }
+        }
+
+        // Delta gather: one move buffer per owner-changing row block,
+        // fetched from the block's old device. Only these rows cross PCIe.
+        let mut rows_migrated = 0u64;
+        let mut move_bufs: Vec<Vec<BufferId>> = Vec::with_capacity(replans.len());
+        let mut per_device_fetch: Vec<Vec<RowFetch>> = (0..pool).map(|_| Vec::new()).collect();
+        let mut alloc_err = None;
+        'replans: for rp in &replans {
+            let mut bufs = Vec::with_capacity(rp.moves.len());
+            for mv in &rp.moves {
+                rows_migrated += mv.len as u64;
+                let dst = match self.memory.alloc_zeroed(&rp.elem, mv.len * rp.row_elems, 0) {
+                    Ok(id) => id,
+                    Err(e) => {
+                        // Fall through to the common cleanup: the replaced
+                        // sub-buffers must still be released below.
+                        alloc_err = Some(CompileError::new("cluster-rebalance", e.to_string()));
+                        move_bufs.push(bufs);
+                        break 'replans;
+                    }
+                };
+                self.buffers.insert(dst, BufState::default());
+                let old = rp.old_slices[mv.from_shard]
+                    .as_ref()
+                    .expect("a move's source slice was replaced");
+                per_device_fetch[devices[mv.from_shard]].push(RowFetch {
+                    src: old.memref.buffer,
+                    dst,
+                    start: (mv.start - old.range.mapped_start()) * rp.row_elems,
+                    len: mv.len * rp.row_elems,
+                    version: 1,
+                });
+                bufs.push(dst);
+            }
+            move_bufs.push(bufs);
+        }
+        let transfers = match alloc_err {
+            Some(e) => Err(e),
+            None => self.epoch_transfers(s, &replans, &move_bufs, per_device_fetch, batched),
+        };
+
+        // A failed fan-out can leave epoch jobs in flight over buffers we
+        // are about to free; a recycled id with a pending writeback or
+        // in-flight counter would corrupt whatever reuses it. Drain
+        // outcomes until every epoch buffer is quiescent (best effort —
+        // draining itself fails only when all workers are gone).
+        let olds: Vec<BufferId> = replans
+            .iter()
+            .flat_map(|rp| rp.old_slices.iter().flatten().map(|sl| sl.memref.buffer))
+            .collect();
+        if transfers.is_err() {
+            let busy = |m: &ClusterMachine| {
+                move_bufs
+                    .iter()
+                    .flatten()
+                    .chain(&olds)
+                    .any(|id| m.buffers.get(id).is_some_and(|b| b.in_flight.is_some()))
+            };
+            while busy(self) {
+                if self.process_one_outcome().is_err() {
+                    break;
+                }
+            }
+        }
+
+        // Move buffers are epoch-transient on every path (they were never
+        // mirrored on a device — row fetches write back without creating
+        // mirror entries, and splices carry contents by value).
+        free_all(self, &move_bufs);
+
+        // Free the replaced sub-buffers and their mirrors — on the error
+        // path too: the environment already switched to the new slices, so
+        // the old ones are unreachable and would otherwise leak (a failed
+        // epoch means dead workers; the propagated error is the signal, but
+        // pool memory must still balance). Queue order (FIFO per worker)
+        // guarantees each eviction lands after the restage that copied
+        // retained rows out of the old mirror.
+        for id in &olds {
+            self.buffers.remove(id);
+            self.memory.free(*id);
+        }
+        self.evict_mirrors(olds);
+        transfers?;
+        Ok(rows_migrated)
+    }
+
+    /// One batched fan-out of a migration epoch: submit every per-device
+    /// payload, flush the batch window (even when a submit failed —
+    /// already-buffered jobs are in the pending ledger and must reach
+    /// their workers), then wait every submitted handle.
+    fn epoch_fanout<T>(
+        &mut self,
+        batched: bool,
+        items: Vec<(usize, T)>,
+        mut submit: impl FnMut(&mut Self, usize, T) -> Result<LaunchHandle, CompileError>,
+    ) -> Result<(), CompileError> {
+        if batched {
+            self.begin_batch();
+        }
+        let mut handles = Vec::new();
+        let mut submit_err = None;
+        for (device, item) in items {
+            match submit(self, device, item) {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    submit_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let flushed = if batched { self.flush_batch() } else { Ok(()) };
+        if let Some(e) = submit_err {
+            return Err(e);
+        }
+        flushed?;
+        for h in handles {
+            self.wait(h)?;
+        }
+        Ok(())
+    }
+
+    /// The device-traffic half of an epoch: fetch owner-changing rows into
+    /// their move buffers, then rebuild every replaced shard mirror in
+    /// place (retained rows device-local, migrated/halo rows spliced from
+    /// the host). Both fan-outs batch to one message per device.
+    fn epoch_transfers(
+        &mut self,
+        s: &mut ShardedSession,
+        replans: &[ftn_shard::ArrayReplan],
+        move_bufs: &[Vec<BufferId>],
+        per_device_fetch: Vec<Vec<RowFetch>>,
+        batched: bool,
+    ) -> Result<(), CompileError> {
+        let devices = s.devices.clone();
+        let fetches: Vec<(usize, Vec<RowFetch>)> = per_device_fetch
+            .into_iter()
+            .enumerate()
+            .filter(|(_, rows)| !rows.is_empty())
+            .collect();
+        self.epoch_fanout(batched, fetches, |m, device, rows| {
+            m.submit_fetch_rows(device, rows)
+        })?;
+
+        // Restage: build one ReshardSpec per replaced (array, shard) slice.
+        let mut per_device: Vec<Vec<ReshardSpec>> =
+            (0..self.pool.len()).map(|_| Vec::new()).collect();
+        for (rp, bufs) in replans.iter().zip(move_bufs) {
+            let a = s.env.array(&rp.name).expect("replanned array resolves");
+            let global = a.global.buffer;
+            for (shard, old) in rp.old_slices.iter().enumerate() {
+                let Some(old) = old else { continue };
+                let new = &a.slices[shard];
+                let (nr, or_) = (new.range, old.range);
+                // Rows owned before and after stay device-local.
+                let mut keep = Vec::new();
+                let lo = nr.start.max(or_.start);
+                let hi = (nr.start + nr.len).min(or_.start + or_.len);
+                if hi > lo {
+                    keep.push((
+                        (lo - nr.mapped_start()) * rp.row_elems,
+                        (lo - or_.mapped_start()) * rp.row_elems,
+                        (hi - lo) * rp.row_elems,
+                    ));
+                }
+                // Rows gained from other shards splice in from their move
+                // buffers; halo ghost rows restart from the caller's
+                // contents, exactly as the original scatter seeded them.
+                let mut inject = Vec::new();
+                for (mv, dst_buf) in rp.moves.iter().zip(bufs) {
+                    if mv.to_shard == shard {
+                        inject.push((
+                            (mv.start - nr.mapped_start()) * rp.row_elems,
+                            self.memory.get(*dst_buf).clone(),
+                        ));
+                    }
+                }
+                let halo_err = |e: ftn_interp::InterpError| {
+                    CompileError::new("cluster-rebalance", e.to_string())
+                };
+                if nr.halo_lo > 0 {
+                    inject.push((
+                        0,
+                        slice_of(
+                            self.memory.get(global),
+                            nr.mapped_start() * rp.row_elems,
+                            nr.halo_lo * rp.row_elems,
+                        )
+                        .map_err(halo_err)?,
+                    ));
+                }
+                if nr.halo_hi > 0 {
+                    inject.push((
+                        (nr.halo_lo + nr.len) * rp.row_elems,
+                        slice_of(
+                            self.memory.get(global),
+                            (nr.start + nr.len) * rp.row_elems,
+                            nr.halo_hi * rp.row_elems,
+                        )
+                        .map_err(halo_err)?,
+                    ));
+                }
+                per_device[devices[shard]].push(ReshardSpec {
+                    new_host: new.memref.buffer,
+                    old_host: old.memref.buffer,
+                    len: nr.mapped_len() * rp.row_elems,
+                    keep,
+                    inject,
+                    version: 1,
+                });
+            }
+        }
+        let reshards: Vec<(usize, Vec<ReshardSpec>)> = per_device
+            .into_iter()
+            .enumerate()
+            .filter(|(_, specs)| !specs.is_empty())
+            .collect();
+        let stats = &mut s.stats;
+        self.epoch_fanout(batched, reshards, |m, device, specs| {
+            let t = m.submit_reshard(device, specs)?;
+            stats.staged_uploads += t.staged;
+            stats.staged_bytes += t.staged_bytes;
+            Ok(t.handle)
         })
     }
 }

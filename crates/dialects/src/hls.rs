@@ -1,4 +1,4 @@
-//! `hls` dialect — High-Level Synthesis ops from Stencil-HMLS [20].
+//! `hls` dialect — High-Level Synthesis ops from Stencil-HMLS \[20\].
 //!
 //! * `hls.axi_protocol` — wraps an AXI mode constant into `!hls.axi_protocol`.
 //! * `hls.interface`    — binds a kernel argument to an AXI port (`bundle`

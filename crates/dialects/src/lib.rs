@@ -10,7 +10,7 @@
 //! * [`omp`] — the OpenMP dialect subset used by `target` offload,
 //! * [`device`] — **the paper's contribution**: host↔device data management and
 //!   kernel lifetime ops,
-//! * [`hls`] — the High-Level Synthesis dialect of Stencil-HMLS [20],
+//! * [`hls`] — the High-Level Synthesis dialect of Stencil-HMLS \[20\],
 //! * [`fir`] — a Flang-like Fortran IR the frontend lowers through,
 //! * [`llvm`] — the LLVM dialect subset used on the device path.
 

@@ -16,7 +16,9 @@ pub const BITSTREAM_MAGIC: &[u8; 8] = b"FTNXCLB1";
 /// One synthesized kernel.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct KernelImage {
+    /// The kernel's symbol name in the device module.
     pub name: String,
+    /// Loop schedules (II, depth, unroll) computed at synthesis.
     pub schedule: Vec<LoopSchedule>,
     /// Kernel-only resources (shell excluded).
     pub resources: ResourceUsage,
@@ -27,14 +29,18 @@ pub struct KernelImage {
 /// A "programmed device" image.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Bitstream {
+    /// Target device name (e.g. "AMD Alveo U280").
     pub device_name: String,
+    /// Achieved kernel clock.
     pub frequency_mhz: f64,
     /// The device module in generic MLIR text (all kernels).
     pub module_text: String,
+    /// One image per synthesized kernel.
     pub kernels: Vec<KernelImage>,
 }
 
 impl Bitstream {
+    /// The image of kernel `name`, if present.
     pub fn kernel(&self, name: &str) -> Option<&KernelImage> {
         self.kernels.iter().find(|k| k.name == name)
     }
@@ -53,10 +59,12 @@ impl Bitstream {
         parse_module(ir, &self.module_text).map_err(|e| e.to_string())
     }
 
+    /// Pretty-printed JSON form (the `.xclbin.json` artifact).
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("bitstream serializes")
     }
 
+    /// Parse the JSON form produced by [`Bitstream::to_json`].
     pub fn from_json(s: &str) -> Result<Self, String> {
         serde_json::from_str(s).map_err(|e| e.to_string())
     }
@@ -71,6 +79,7 @@ impl Bitstream {
         buf.freeze()
     }
 
+    /// Parse the framed binary form produced by [`Bitstream::to_bytes`].
     pub fn from_bytes(mut data: Bytes) -> Result<Self, String> {
         if data.len() < 16 {
             return Err("bitstream too short".into());

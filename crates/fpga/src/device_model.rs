@@ -6,15 +6,20 @@ use serde::{Deserialize, Serialize};
 /// FPGA resource vector (absolute counts).
 #[derive(Clone, Copy, Default, PartialEq, Debug, Serialize, Deserialize)]
 pub struct ResourceUsage {
+    /// Look-up tables.
     pub lut: u64,
+    /// Flip-flops.
     pub ff: u64,
     /// 36 Kb BRAM blocks.
     pub bram: u64,
+    /// UltraRAM blocks.
     pub uram: u64,
+    /// DSP48 slices.
     pub dsp: u64,
 }
 
 impl ResourceUsage {
+    /// Accumulate `other` into `self`, component-wise.
     pub fn add(&mut self, other: &ResourceUsage) {
         self.lut += other.lut;
         self.ff += other.ff;
@@ -23,6 +28,7 @@ impl ResourceUsage {
         self.dsp += other.dsp;
     }
 
+    /// Every component multiplied by `n` (n compute-unit replication).
     pub fn scaled(&self, n: u64) -> ResourceUsage {
         ResourceUsage {
             lut: self.lut * n,
@@ -38,13 +44,17 @@ impl ResourceUsage {
 /// used, at a 300 MHz kernel clock (Vitis 2020.2 default target).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DeviceModel {
+    /// Marketing name (e.g. "AMD Alveo U280").
     pub name: String,
+    /// Kernel clock in MHz.
     pub clock_mhz: f64,
     /// Total device resources (XCU280).
     pub total: ResourceUsage,
     /// Resources consumed by the XRT shell / platform region.
     pub shell: ResourceUsage,
+    /// On-card HBM2(e) pseudo-channel count (0 for DDR-only cards).
     pub hbm_banks: u32,
+    /// On-card DDR4 channel count.
     pub ddr_banks: u32,
     /// HBM round-trip latency in kernel clock cycles (~320 ns @300 MHz).
     pub hbm_round_trip_cycles: u64,

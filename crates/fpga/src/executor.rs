@@ -20,7 +20,9 @@ pub const KERNEL_CONTROL_CYCLES: u64 = 300;
 /// Result of one kernel execution.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExecutionStats {
+    /// The executed kernel's name.
     pub kernel: String,
+    /// Total charged cycles (control + every loop instance).
     pub cycles: u64,
     /// Kernel time (cycles / clock), excluding launch overhead.
     pub kernel_seconds: f64,
@@ -28,6 +30,7 @@ pub struct ExecutionStats {
     pub wall_seconds: f64,
     /// (loop index, trip count) for every executed loop instance.
     pub loop_instances: Vec<(usize, u64)>,
+    /// The kernel's return values.
     pub results: Vec<RtValue>,
 }
 
@@ -81,6 +84,7 @@ impl ExecutorImage {
 #[derive(Clone)]
 pub struct KernelExecutor {
     image: Arc<ExecutorImage>,
+    /// The device model timing this executor's cycle accounting.
     pub device: DeviceModel,
 }
 
@@ -133,6 +137,7 @@ impl KernelExecutor {
         &self.image
     }
 
+    /// The parsed device module.
     pub fn ir(&self) -> &Ir {
         &self.image.ir
     }

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `ftn-fpga` — the FPGA / Vitis-HLS substrate: a cycle-approximate simulator
 //! of an AMD Alveo U280 standing in for the proprietary toolchain and the
 //! physical card the paper evaluated on (see DESIGN.md §1/§5 for the

@@ -25,6 +25,7 @@ use crate::schedule::LoopInfo;
 pub mod costs {
     use crate::device_model::ResourceUsage;
 
+    /// Fixed control logic of one kernel (FSM, AXI-lite slave).
     pub const KERNEL_BASE: ResourceUsage = ResourceUsage {
         lut: 720,
         ff: 1_100,
@@ -32,6 +33,7 @@ pub mod costs {
         uram: 0,
         dsp: 0,
     };
+    /// Per-`m_axi` port adapter (read/write engines, FIFO).
     pub const PER_AXI_PORT: ResourceUsage = ResourceUsage {
         lut: 400,
         ff: 600,
@@ -39,6 +41,7 @@ pub mod costs {
         uram: 0,
         dsp: 0,
     };
+    /// f32 multiply in fabric (no MAC pattern match).
     pub const F32_MUL_LUT: ResourceUsage = ResourceUsage {
         lut: 680,
         ff: 700,
@@ -46,6 +49,7 @@ pub mod costs {
         uram: 0,
         dsp: 0,
     };
+    /// f32 multiply packed into DSP48 slices (MAC pattern).
     pub const F32_MUL_DSP: ResourceUsage = ResourceUsage {
         lut: 85,
         ff: 120,
@@ -53,6 +57,7 @@ pub mod costs {
         uram: 0,
         dsp: 3,
     };
+    /// f32 add in fabric.
     pub const F32_ADD_LUT: ResourceUsage = ResourceUsage {
         lut: 430,
         ff: 520,
@@ -60,6 +65,7 @@ pub mod costs {
         uram: 0,
         dsp: 0,
     };
+    /// f32 add packed into DSP48 slices (MAC pattern).
     pub const F32_ADD_DSP: ResourceUsage = ResourceUsage {
         lut: 220,
         ff: 260,
@@ -67,6 +73,7 @@ pub mod costs {
         uram: 0,
         dsp: 2,
     };
+    /// f32 divide (always fabric).
     pub const F32_DIV: ResourceUsage = ResourceUsage {
         lut: 1_200,
         ff: 1_400,
@@ -74,6 +81,7 @@ pub mod costs {
         uram: 0,
         dsp: 0,
     };
+    /// f64 multiply.
     pub const F64_MUL: ResourceUsage = ResourceUsage {
         lut: 200,
         ff: 260,
@@ -81,6 +89,7 @@ pub mod costs {
         uram: 0,
         dsp: 11,
     };
+    /// f64 add.
     pub const F64_ADD: ResourceUsage = ResourceUsage {
         lut: 650,
         ff: 780,
@@ -88,6 +97,7 @@ pub mod costs {
         uram: 0,
         dsp: 3,
     };
+    /// Integer multiply.
     pub const INT_MUL: ResourceUsage = ResourceUsage {
         lut: 100,
         ff: 140,
@@ -95,6 +105,7 @@ pub mod costs {
         uram: 0,
         dsp: 4,
     };
+    /// Integer add/sub/logic.
     pub const INT_ALU: ResourceUsage = ResourceUsage {
         lut: 70,
         ff: 70,
@@ -102,6 +113,7 @@ pub mod costs {
         uram: 0,
         dsp: 0,
     };
+    /// Width/type conversion.
     pub const CAST: ResourceUsage = ResourceUsage {
         lut: 8,
         ff: 8,

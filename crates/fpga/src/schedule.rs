@@ -30,10 +30,16 @@ pub const FDIV_LATENCY: u64 = 30;
 /// Per-port cost summary for one loop.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PortCost {
+    /// The `m_axi` bundle the accesses go through.
     pub bundle: String,
+    /// Reads per iteration on this port.
     pub reads: u32,
+    /// Writes per iteration on this port.
     pub writes: u32,
+    /// Whether a read-modify-write hazard serializes the port (a full
+    /// round trip per iteration).
     pub serialized_rmw: bool,
+    /// Cycles this port contributes to the loop's II.
     pub cycles: u64,
 }
 
@@ -41,8 +47,11 @@ pub struct PortCost {
 /// kernel's `scf.for` ops, which is stable across print/parse round trips).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct LoopInfo {
+    /// Pre-order index of the loop among the kernel's `scf.for` ops.
     pub loop_index: usize,
+    /// Whether the loop is pipelined (`hls.pipeline` marker).
     pub pipelined: bool,
+    /// Unroll factor (`simd(n)` → n; 1 when not unrolled).
     pub unroll: u64,
     /// Initiation interval (cycles per loop iteration).
     pub ii: u64,
@@ -50,6 +59,7 @@ pub struct LoopInfo {
     pub depth: u64,
     /// Per-iteration latency used when not pipelined.
     pub body_latency: u64,
+    /// Per-port cost breakdown feeding the II.
     pub ports: Vec<PortCost>,
 }
 

@@ -13,10 +13,12 @@ use crate::schedule::schedule_kernel;
 
 /// The synthesis backend.
 pub struct VitisBackend {
+    /// The target device (clock, resources, cost model).
     pub device: DeviceModel,
 }
 
 impl VitisBackend {
+    /// A backend targeting `device`.
     pub fn new(device: DeviceModel) -> Self {
         VitisBackend { device }
     }

@@ -5,7 +5,7 @@
 //! | [`fir_to_core`] | "Lowering from HLFIR & FIR to core dialects" `[3]` |
 //! | [`lower_omp_mapped_data`] | *this work*: `omp.map_info` → `device` data ops with presence-counter conditionals |
 //! | [`lower_omp_target_region`] | *this work*: `omp.target` → `device.kernel_create/launch/wait` |
-//! | [`extract_device_module`] | *this work*: split host / `target="fpga"` device modules (Listing 2) |
+//! | [`extract_device_module`](fn@extract_device_module) | *this work*: split host / `target="fpga"` device modules (Listing 2) |
 //! | [`lower_omp_to_hls`] | *this work*: `omp.wsloop` → pipelined/unrolled `scf.for` + `hls` ops (Listing 4) |
 //! | [`hls_to_func`] | "HLS dialect and lowering" `[20]`: `hls` ops → `func.call` |
 //! | [`canonicalize`] | constant folding, DCE, store→load forwarding |

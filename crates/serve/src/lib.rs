@@ -8,6 +8,7 @@
 //! | `POST /compile`             | `{source, fix_mac_pattern?, devices?}` | Compile via the content-addressed [`ArtifactCache`]; returns the key, whether it was a cache hit, each kernel's launch signature, and the device models the key's pool will use. `devices` (a list of model names such as `["u280","u250","u55c"]`, `@MHZ` clock overrides allowed) fixes a heterogeneous pool composition for this key. |
 //! | `POST /sessions`            | `{key, maps: [{name, kind, data, partition?, halo?}], shards?}` | Open a persistent `target data` session. Without `shards`, arrays map onto one pool device; with `shards: N` (or `"auto"`) each array is partitioned across N devices (`partition`: `split` (default, with optional `halo` rows) \| `replicated` \| `sum`/`min`/`max`). |
 //! | `POST /sessions/{id}/launch`| `{kernel, args: [{array\|extent\|f32\|...}]}` | Run one kernel-level job against the session's resident buffers (no per-launch transfers). On a sharded session the launch fans out per shard, with `{extent: name}` rebased to each shard's local length. |
+//! | `POST /sessions/{id}/rebalance` | `{threshold?}`                     | Re-plan a sharded session against the pool's current backlogs: when the predicted makespan gain clears the threshold, a migration epoch moves only the owner-changing rows between devices and the session resumes under the new split. Sessions opened with `auto_rebalance` (or `ftn serve --auto-rebalance N[:T]`) do this automatically every N launches. |
 //! | `DELETE /sessions/{id}`     |                                        | Close the session: gather (or reduce) `from`/`tofrom` arrays back and return them with the session stats; all session memory is released. |
 //! | `POST /run`                 | `{key, func, args}`                    | Sessionless whole-program run (the baseline the elision ratio is measured against); request arrays are freed after the response. |
 //! | `GET /stats`                |                                        | Cache, pool, session, and HTTP statistics. |
@@ -37,7 +38,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 use ftn_cluster::{
-    ArtifactCache, ClusterMachine, ImageCache, MapKind, Partition, ShardArg, ShardCount,
+    ArtifactCache, AutoRebalance, ClusterMachine, ImageCache, MapKind, Partition, ShardArg,
+    ShardCount, ShardOptions,
 };
 use ftn_core::{Artifacts, CompilerOptions};
 use ftn_fpga::DeviceModel;
@@ -68,6 +70,13 @@ pub struct ServeConfig {
     /// Shard count applied to `POST /sessions` bodies that do not carry a
     /// `shards` field (`ftn serve --shards N|auto`). `None` = unsharded.
     pub default_shards: Option<ShardCount>,
+    /// Automatic re-planning applied to sharded sessions that do not carry
+    /// an `auto_rebalance` field (`ftn serve --auto-rebalance N[:T]`):
+    /// every N launches the session re-plans against observed device
+    /// backlogs and migrates shard rows when the predicted win clears T.
+    /// `None` = plans stay frozen at their open-time split (manual
+    /// `POST /sessions/{id}/rebalance` still works).
+    pub auto_rebalance: Option<AutoRebalance>,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +88,7 @@ impl Default for ServeConfig {
             cache_dir: None,
             idle_timeout_secs: 5,
             default_shards: None,
+            auto_rebalance: None,
         }
     }
 }
@@ -199,6 +209,7 @@ impl ServeState {
             ("POST", ["compile"]) => self.compile(&req.body),
             ("POST", ["sessions"]) => self.open_session(&req.body),
             ("POST", ["sessions", id, "launch"]) => self.launch(parse_id(id)?, &req.body),
+            ("POST", ["sessions", id, "rebalance"]) => self.rebalance(parse_id(id)?, &req.body),
             ("GET", ["sessions", id]) => self.session_info(parse_id(id)?),
             ("DELETE", ["sessions", id]) => self.close_session(parse_id(id)?),
             ("POST", ["run"]) => self.run_program(&req.body),
@@ -377,6 +388,43 @@ impl ServeState {
                 None => self.config.default_shards,
             };
 
+        // `auto_rebalance` may be an interval, an "INTERVAL[:THRESHOLD]"
+        // string, an explicit opt-out (`0`, `false`, or `"off"` — a
+        // session that must keep a frozen plan can escape a server-wide
+        // `ftn serve --auto-rebalance` default), or absent (then the
+        // server default applies).
+        let auto_rebalance = match v.get("auto_rebalance") {
+            Some(Value::Str(s)) if s == "off" || s == "none" => None,
+            Some(Value::Str(s)) => Some(AutoRebalance::parse(s).ok_or_else(|| {
+                bad_request("'auto_rebalance' must be \"INTERVAL[:THRESHOLD]\" or \"off\"")
+            })?),
+            Some(Value::Bool(false)) => None,
+            Some(Value::Int(0)) | Some(Value::UInt(0)) => None,
+            Some(Value::Int(i)) if *i > 0 => Some(AutoRebalance {
+                interval: *i as u64,
+                ..Default::default()
+            }),
+            Some(Value::UInt(u)) if *u > 0 => Some(AutoRebalance {
+                interval: *u,
+                ..Default::default()
+            }),
+            Some(_) => {
+                return Err(bad_request(
+                    "'auto_rebalance' must be a positive interval, \
+                     \"INTERVAL[:THRESHOLD]\", or an opt-out (0 | false | \"off\")",
+                ))
+            }
+            None => self.config.auto_rebalance,
+        };
+        // Only sharded sessions re-plan: an explicit request to enable it
+        // on an unsharded session would be silently dead, so reject it
+        // (explicit opt-outs and inherited server defaults stay harmless).
+        if shards.is_none() && v.get("auto_rebalance").is_some() && auto_rebalance.is_some() {
+            return Err(bad_request(
+                "'auto_rebalance' requires a sharded session; set 'shards' too",
+            ));
+        }
+
         let pool = self.pool_for(key)?;
         // Parse and validate every map before allocating anything, so a bad
         // later map cannot strand earlier arrays in pool memory.
@@ -426,18 +474,24 @@ impl ServeState {
                     .iter()
                     .map(|(n, v, k, p)| (n.as_str(), v.clone(), *k, *p))
                     .collect();
-                machine.open_sharded_session(&borrowed, count).map(|sid| {
-                    let shards = machine.sharded_shards(sid).unwrap_or(1);
-                    let devices = machine.sharded_devices(sid).unwrap_or_default();
-                    (
-                        sid,
-                        true,
-                        vec![
-                            ("shards", shards.to_value()),
-                            ("devices", devices.to_value()),
-                        ],
-                    )
-                })
+                let opts = ShardOptions {
+                    auto_rebalance,
+                    ..Default::default()
+                };
+                machine
+                    .open_sharded_session_with(&borrowed, count, opts)
+                    .map(|sid| {
+                        let shards = machine.sharded_shards(sid).unwrap_or(1);
+                        let devices = machine.sharded_devices(sid).unwrap_or_default();
+                        (
+                            sid,
+                            true,
+                            vec![
+                                ("shards", shards.to_value()),
+                                ("devices", devices.to_value()),
+                            ],
+                        )
+                    })
             }
             None => {
                 let borrowed: Vec<(&str, RtValue, MapKind)> = triples
@@ -600,6 +654,48 @@ impl ServeState {
         ]))
     }
 
+    /// Manual re-plan of a sharded session against the pool's current
+    /// backlogs. Body: optional `{"threshold": T}` overriding the session's
+    /// configured improvement threshold. Replies with the cluster's
+    /// [`ftn_cluster::RebalanceReport`] (whether an epoch ran, the predicted
+    /// gain, rows migrated, and the new per-shard row counts).
+    fn rebalance(&self, session: u64, body: &str) -> Result<Value, HandlerError> {
+        let v = api::parse_body(body).map_err(bad_request)?;
+        let threshold = match v.get("threshold") {
+            Some(Value::Float(f)) if f.is_finite() && *f >= 1.0 => Some(*f),
+            Some(Value::Int(i)) if *i >= 1 => Some(*i as f64),
+            Some(Value::UInt(u)) if *u >= 1 => Some(*u as f64),
+            None => None,
+            Some(_) => return Err(bad_request("'threshold' must be a number ≥ 1.0")),
+        };
+        let (pool, sid, sharded) = self.session_ref(session)?;
+        if !sharded {
+            return Err(bad_request(format!(
+                "session {session} is not sharded; only sharded sessions re-plan"
+            )));
+        }
+        // The epoch runs under the pool lock — like session open and close,
+        // it is a rare, stop-the-world event for its pool (quiesce + delta
+        // transfers), not a per-launch wait, so the wait-unlocked pattern
+        // the launch path uses does not apply here. Concurrent requests on
+        // the same pool queue behind it for the epoch's duration.
+        let mut machine = lock(&pool);
+        let report = machine
+            .rebalance_session_with(sid, threshold)
+            .map_err(|e| (500, e.to_string()))?;
+        drop(machine);
+        let mut value = report.to_value();
+        // Report the serve-level session id, not the cluster-internal one.
+        if let Value::Obj(fields) = &mut value {
+            for (k, v) in fields.iter_mut() {
+                if k == "session" {
+                    *v = session.to_value();
+                }
+            }
+        }
+        Ok(value)
+    }
+
     fn session_info(&self, session: u64) -> Result<Value, HandlerError> {
         let (pool, sid, sharded) = self.session_ref(session)?;
         let machine = lock(&pool);
@@ -607,6 +703,22 @@ impl ServeState {
             let stats = machine
                 .sharded_stats(sid)
                 .ok_or_else(|| not_found(format!("no session {session}")))?;
+            // The realized partition (owned rows per shard) of the largest
+            // split array — the live view of re-planning epochs, and the
+            // same reference array the rebalance decision and its report
+            // use, so the two endpoints always agree.
+            let shard_rows = machine
+                .sharded_maps(sid)
+                .and_then(|maps| {
+                    maps.into_iter()
+                        .filter(|(_, _, _, p)| matches!(p, Partition::Split { .. }))
+                        .max_by_key(|(_, v, _, _)| {
+                            v.as_memref().map(|m| m.num_elements()).unwrap_or(0)
+                        })
+                        .map(|(name, _, _, _)| name)
+                })
+                .and_then(|name| machine.sharded_shard_rows(sid, &name))
+                .unwrap_or_default();
             return Ok(api::obj(vec![
                 ("session", session.to_value()),
                 (
@@ -617,6 +729,7 @@ impl ServeState {
                     "devices",
                     machine.sharded_devices(sid).unwrap_or_default().to_value(),
                 ),
+                ("shard_rows", shard_rows.to_value()),
                 ("stats", stats.to_value()),
             ]));
         }
@@ -1359,6 +1472,166 @@ end subroutine saxpy
                 .any(|m| matches!(m, Value::Str(s) if s.contains("U55C"))),
             "{stats:?}"
         );
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn rebalance_endpoint_replans_sharded_sessions() {
+        let (addr, handle) = start_server(4, 2);
+        let key = compile_key(addr);
+        let n = 256usize;
+        let x: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let y = vec![1.0f32; n];
+        let open = api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            ("shards", Value::Int(4)),
+            ("auto_rebalance", Value::Str("8:1.2".into())),
+            (
+                "maps",
+                Value::Arr(vec![
+                    api::obj(vec![
+                        ("name", Value::Str("x".into())),
+                        ("kind", Value::Str("to".into())),
+                        ("data", x.to_value()),
+                    ]),
+                    api::obj(vec![
+                        ("name", Value::Str("y".into())),
+                        ("kind", Value::Str("tofrom".into())),
+                        ("data", y.to_value()),
+                    ]),
+                ]),
+            ),
+        ]);
+        let (status, opened) = request(
+            addr,
+            "POST",
+            "/sessions",
+            &serde_json::to_string(&open).unwrap(),
+        );
+        assert_eq!(status, 200, "{opened:?}");
+        let sid = as_u64(opened.get("session"));
+
+        // A quiet pool re-plans to the split it already has: pure no-op.
+        let (status, resp) = request(addr, "POST", &format!("/sessions/{sid}/rebalance"), "");
+        assert_eq!(status, 200, "{resp:?}");
+        assert_eq!(resp.get("replanned"), Some(&Value::Bool(false)), "{resp:?}");
+        assert_eq!(as_u64(resp.get("rows_migrated")), 0);
+        assert_eq!(as_u64(resp.get("session")), sid, "serve-level id reported");
+        let Some(Value::Arr(rows)) = resp.get("shard_rows") else {
+            panic!("no shard_rows in {resp:?}");
+        };
+        assert_eq!(rows.len(), 4);
+
+        // Session info surfaces the live partition; /stats carries the
+        // epoch counters and the backlog ledger.
+        let (status, info) = request(addr, "GET", &format!("/sessions/{sid}"), "");
+        assert_eq!(status, 200);
+        assert!(info.get("shard_rows").is_some(), "{info:?}");
+        let (_, stats) = request(addr, "GET", "/stats", "");
+        let Some(Value::Arr(pools)) = stats.get("pools") else {
+            panic!("no pools in {stats:?}");
+        };
+        let ps = pools.first().unwrap().get("stats").unwrap();
+        assert_eq!(as_u64(ps.get("replans")), 0, "{stats:?}");
+        assert!(ps.get("est_backlog").is_some(), "{stats:?}");
+
+        // An explicit opt-out escapes any server-wide auto-rebalance
+        // default (and bad spellings are rejected).
+        let opt_out = api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            ("shards", Value::Int(2)),
+            ("auto_rebalance", Value::Int(0)),
+            (
+                "maps",
+                Value::Arr(vec![api::obj(vec![
+                    ("name", Value::Str("x".into())),
+                    ("kind", Value::Str("to".into())),
+                    ("data", x.to_value()),
+                ])]),
+            ),
+        ]);
+        let (status, opened_frozen) = request(
+            addr,
+            "POST",
+            "/sessions",
+            &serde_json::to_string(&opt_out).unwrap(),
+        );
+        assert_eq!(status, 200, "{opened_frozen:?}");
+        let frozen_sid = as_u64(opened_frozen.get("session"));
+        let (status, _) = request(addr, "DELETE", &format!("/sessions/{frozen_sid}"), "");
+        assert_eq!(status, 200);
+        let bad_auto = serde_json::to_string(&api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            ("shards", Value::Int(2)),
+            ("auto_rebalance", Value::Str("sometimes".into())),
+            (
+                "maps",
+                Value::Arr(vec![api::obj(vec![
+                    ("name", Value::Str("x".into())),
+                    ("kind", Value::Str("to".into())),
+                    ("data", x.to_value()),
+                ])]),
+            ),
+        ]))
+        .unwrap();
+        let (status, _) = request(addr, "POST", "/sessions", &bad_auto);
+        assert_eq!(status, 400);
+        // Enabling auto-rebalance on an unsharded session would be silently
+        // dead: rejected up front.
+        let unsharded_auto = serde_json::to_string(&api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            ("auto_rebalance", Value::Int(4)),
+            (
+                "maps",
+                Value::Arr(vec![api::obj(vec![
+                    ("name", Value::Str("x".into())),
+                    ("kind", Value::Str("to".into())),
+                    ("data", x.to_value()),
+                ])]),
+            ),
+        ]))
+        .unwrap();
+        let (status, resp) = request(addr, "POST", "/sessions", &unsharded_auto);
+        assert_eq!(status, 400, "{resp:?}");
+
+        // A bad threshold is rejected; an unsharded session cannot re-plan.
+        let (status, _) = request(
+            addr,
+            "POST",
+            &format!("/sessions/{sid}/rebalance"),
+            "{\"threshold\": 0.5}",
+        );
+        assert_eq!(status, 400);
+        let plain = api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            (
+                "maps",
+                Value::Arr(vec![api::obj(vec![
+                    ("name", Value::Str("x".into())),
+                    ("kind", Value::Str("to".into())),
+                    ("data", x.to_value()),
+                ])]),
+            ),
+        ]);
+        let (_, opened_plain) = request(
+            addr,
+            "POST",
+            "/sessions",
+            &serde_json::to_string(&plain).unwrap(),
+        );
+        let plain_sid = as_u64(opened_plain.get("session"));
+        let (status, resp) = request(
+            addr,
+            "POST",
+            &format!("/sessions/{plain_sid}/rebalance"),
+            "",
+        );
+        assert_eq!(status, 400, "{resp:?}");
+
+        let (status, _) = request(addr, "DELETE", &format!("/sessions/{sid}"), "");
+        assert_eq!(status, 200);
+        let (status, _) = request(addr, "DELETE", &format!("/sessions/{plain_sid}"), "");
+        assert_eq!(status, 200);
         shutdown(addr, handle);
     }
 

@@ -13,7 +13,7 @@
 use ftn_host::DataEnvironment;
 use ftn_interp::{Buffer, BufferId, InterpError, MemRefVal, Memory, RtValue};
 
-use crate::plan::{Partition, ShardPlan, ShardRange};
+use crate::plan::{Partition, RowMove, ShardPlan, ShardRange};
 
 /// One shard's sub-buffer of a mapped array.
 #[derive(Clone, Debug)]
@@ -27,15 +27,38 @@ pub struct ShardSlice {
 /// One array mapped into the sharded environment.
 #[derive(Clone, Debug)]
 pub struct ShardedArray {
+    /// The name the array was mapped under.
     pub name: String,
     /// The caller's full array.
     pub global: MemRefVal,
+    /// Element type name (`"f32"`, ...).
     pub elem: String,
+    /// How the array distributes across the shards.
     pub partition: Partition,
     /// Elements per leading-dim row (product of trailing extents).
     pub row_elems: usize,
     /// One slice per shard, in shard order.
     pub slices: Vec<ShardSlice>,
+}
+
+/// The per-array outcome of [`ShardedEnvironment::replan`]: which row
+/// blocks changed owners and which shard sub-buffers were replaced. The
+/// cluster layer turns this into the device-side half of a migration epoch
+/// (fetch the moved rows from their old devices, splice them into rebuilt
+/// mirrors on their new ones, free the replaced sub-buffers).
+#[derive(Clone, Debug)]
+pub struct ArrayReplan {
+    /// The mapped array's name.
+    pub name: String,
+    /// Element type name of the array (`"f32"`, ...).
+    pub elem: String,
+    /// Elements per leading-dim row.
+    pub row_elems: usize,
+    /// Maximal contiguous row blocks changing owners, ascending by row.
+    pub moves: Vec<RowMove>,
+    /// Per shard: the replaced old slice, or `None` where the range was
+    /// unchanged and the sub-buffer was kept.
+    pub old_slices: Vec<Option<ShardSlice>>,
 }
 
 /// See module docs.
@@ -50,6 +73,7 @@ pub struct ShardedEnvironment {
 }
 
 impl ShardedEnvironment {
+    /// An environment of `shards` uniformly-weighted shards.
     pub fn new(shards: usize) -> ShardedEnvironment {
         ShardedEnvironment::weighted(vec![1.0; shards.max(1)])
     }
@@ -72,6 +96,7 @@ impl ShardedEnvironment {
         }
     }
 
+    /// Number of shards (and per-shard data environments).
     pub fn shards(&self) -> usize {
         self.shards
     }
@@ -81,10 +106,12 @@ impl ShardedEnvironment {
         &self.weights
     }
 
+    /// Every mapped array, in map order.
     pub fn arrays(&self) -> &[ShardedArray] {
         &self.arrays
     }
 
+    /// The mapped array registered under `name`, if any.
     pub fn array(&self, name: &str) -> Option<&ShardedArray> {
         self.arrays.iter().find(|a| a.name == name)
     }
@@ -246,6 +273,101 @@ impl ShardedEnvironment {
         Ok(())
     }
 
+    /// Re-partition every `Split` array proportionally to `weights` — the
+    /// host-side half of a migration epoch.
+    ///
+    /// Shards whose [`ShardRange`] is unchanged keep their sub-buffer
+    /// untouched; every changed shard gets a *fresh* host sub-buffer laid
+    /// out for the new range and seeded from the caller's global array
+    /// (exactly what a fresh scatter would map — including halo ghost rows,
+    /// which always restart from the caller's contents). Device residency is
+    /// untouched: the caller (the cluster layer) migrates device-resident
+    /// rows using the returned [`ArrayReplan`]s, which name, per array, the
+    /// row blocks that changed owners and the replaced old slices.
+    /// `Replicated` and `Reduced` arrays are not row-partitioned and are
+    /// left alone.
+    ///
+    /// `weights.len()` must equal the environment's shard count; the new
+    /// plans keep the shard count (guaranteed because every split array has
+    /// at least `shards` rows — checked at map time).
+    pub fn replan(
+        &mut self,
+        memory: &mut Memory,
+        weights: Vec<f64>,
+    ) -> Result<Vec<ArrayReplan>, InterpError> {
+        if weights.len() != self.shards {
+            return Err(InterpError::new(format!(
+                "replan weights for {} shards, environment has {}",
+                weights.len(),
+                self.shards
+            )));
+        }
+        let mut replans = Vec::new();
+        for a in &mut self.arrays {
+            let Partition::Split { halo } = a.partition else {
+                continue;
+            };
+            let rows: usize = a.slices.iter().map(|s| s.range.len).sum();
+            let old = ShardPlan::from_ranges(rows, a.slices.iter().map(|s| s.range).collect());
+            let new = ShardPlan::partition_weighted(rows, &weights, halo);
+            if new.shard_count() != self.shards {
+                return Err(InterpError::new(format!(
+                    "replan of '{}' changed the shard count ({} → {})",
+                    a.name,
+                    self.shards,
+                    new.shard_count()
+                )));
+            }
+            let moves = ShardPlan::delta(&old, &new);
+            if moves.is_empty() && old.ranges() == new.ranges() {
+                continue;
+            }
+            let mut old_slices: Vec<Option<ShardSlice>> = vec![None; self.shards];
+            for (shard, range) in new.ranges().iter().enumerate() {
+                if a.slices[shard].range == *range {
+                    continue;
+                }
+                // Fresh sub-buffer for the new range, seeded from the
+                // caller's array. For device-authoritative arrays these host
+                // contents are placeholders (the close fetch overwrites
+                // them); the device mirror is rebuilt by the cluster layer.
+                let contents = slice_of(
+                    memory.get(a.global.buffer),
+                    range.mapped_start() * a.row_elems,
+                    range.mapped_len() * a.row_elems,
+                )?;
+                let buffer = memory.alloc(contents, a.global.space);
+                let mut shape = a.global.shape.clone();
+                if let Some(first) = shape.first_mut() {
+                    *first = range.mapped_len() as i64;
+                }
+                let memref = MemRefVal {
+                    buffer,
+                    shape,
+                    space: a.global.space,
+                };
+                self.envs[shard].insert_mapped(&a.name, memref.clone(), &a.elem);
+                self.envs[shard].acquire(&a.name)?;
+                old_slices[shard] = Some(std::mem::replace(
+                    &mut a.slices[shard],
+                    ShardSlice {
+                        memref,
+                        range: *range,
+                    },
+                ));
+            }
+            replans.push(ArrayReplan {
+                name: a.name.clone(),
+                elem: a.elem.clone(),
+                row_elems: a.row_elems,
+                moves,
+                old_slices,
+            });
+        }
+        self.weights = weights;
+        Ok(replans)
+    }
+
     /// Release every presence counter (the data-region exit).
     pub fn release(&mut self) {
         for env in &mut self.envs {
@@ -256,8 +378,10 @@ impl ShardedEnvironment {
     }
 }
 
-/// `b[start .. start+len]` as a fresh buffer of the same type.
-fn slice_of(b: &Buffer, start: usize, len: usize) -> Result<Buffer, InterpError> {
+/// `b[start .. start+len]` as a fresh buffer of the same type. Exported for
+/// the cluster layer, which slices migrated row blocks out of move buffers
+/// and halo rows out of the caller's arrays during an epoch.
+pub fn slice_of(b: &Buffer, start: usize, len: usize) -> Result<Buffer, InterpError> {
     let end = start + len;
     if end > b.len() {
         return Err(InterpError::new(format!(
@@ -276,9 +400,24 @@ fn slice_of(b: &Buffer, start: usize, len: usize) -> Result<Buffer, InterpError>
 
 /// Copy all of `src` into `dst` starting at element `at`.
 fn write_into(dst: &mut Buffer, at: usize, src: &Buffer) -> Result<(), InterpError> {
-    if at + src.len() > dst.len() || dst.type_name() != src.type_name() {
+    let len = src.len();
+    copy_elems(dst, at, src, 0, len)
+}
+
+/// Copy `len` elements `src[from ..]` → `dst[at ..]`; types and bounds must
+/// match. Exported for the cluster layer: migration epochs rebuild shard
+/// mirrors by splicing retained and migrated element ranges with exactly
+/// this dispatch.
+pub fn copy_elems(
+    dst: &mut Buffer,
+    at: usize,
+    src: &Buffer,
+    from: usize,
+    len: usize,
+) -> Result<(), InterpError> {
+    if at + len > dst.len() || from + len > src.len() || dst.type_name() != src.type_name() {
         return Err(InterpError::new(format!(
-            "shard gather mismatch: {}[{}] into {}[{}] at {at}",
+            "shard copy mismatch: {len} elements of {}[{}] at {from} into {}[{}] at {at}",
             src.type_name(),
             src.len(),
             dst.type_name(),
@@ -286,11 +425,11 @@ fn write_into(dst: &mut Buffer, at: usize, src: &Buffer) -> Result<(), InterpErr
         )));
     }
     match (dst, src) {
-        (Buffer::F32(d), Buffer::F32(s)) => d[at..at + s.len()].copy_from_slice(s),
-        (Buffer::F64(d), Buffer::F64(s)) => d[at..at + s.len()].copy_from_slice(s),
-        (Buffer::I32(d), Buffer::I32(s)) => d[at..at + s.len()].copy_from_slice(s),
-        (Buffer::I64(d), Buffer::I64(s)) => d[at..at + s.len()].copy_from_slice(s),
-        (Buffer::I1(d), Buffer::I1(s)) => d[at..at + s.len()].copy_from_slice(s),
+        (Buffer::F32(d), Buffer::F32(s)) => d[at..at + len].copy_from_slice(&s[from..from + len]),
+        (Buffer::F64(d), Buffer::F64(s)) => d[at..at + len].copy_from_slice(&s[from..from + len]),
+        (Buffer::I32(d), Buffer::I32(s)) => d[at..at + len].copy_from_slice(&s[from..from + len]),
+        (Buffer::I64(d), Buffer::I64(s)) => d[at..at + len].copy_from_slice(&s[from..from + len]),
+        (Buffer::I1(d), Buffer::I1(s)) => d[at..at + len].copy_from_slice(&s[from..from + len]),
         _ => unreachable!("type equality checked above"),
     }
     Ok(())
@@ -415,6 +554,62 @@ mod tests {
         }
         env.gather(&mut memory, "s").unwrap();
         assert_eq!(memory.get(g.buffer), &Buffer::F32(vec![17.0]));
+    }
+
+    #[test]
+    fn replan_replaces_only_changed_slices_and_reports_the_moves() {
+        let mut memory = Memory::new();
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let g = global_f32(&mut memory, &data);
+        let mut env = ShardedEnvironment::new(4);
+        env.map(&mut memory, "x", &g, Partition::Split { halo: 0 })
+            .unwrap();
+        let old_buffers: Vec<BufferId> = env
+            .array("x")
+            .unwrap()
+            .slices
+            .iter()
+            .map(|s| s.memref.buffer)
+            .collect();
+
+        // Equal weights: a no-op — nothing replaced, nothing reported.
+        assert!(env.replan(&mut memory, vec![1.0; 4]).unwrap().is_empty());
+        let same: Vec<BufferId> = env
+            .array("x")
+            .unwrap()
+            .slices
+            .iter()
+            .map(|s| s.memref.buffer)
+            .collect();
+        assert_eq!(old_buffers, same);
+
+        // Skew the weights: 25/25/25/25 → 49/17/17/17. Every slice changes;
+        // the moves name exactly the boundary blocks; presence still gates.
+        let replans = env.replan(&mut memory, vec![3.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(replans.len(), 1);
+        let rp = &replans[0];
+        assert_eq!(rp.name, "x");
+        assert_eq!(rp.moves.iter().map(|m| m.len).sum::<usize>(), 48);
+        assert!(rp.old_slices.iter().all(|s| s.is_some()));
+        assert_eq!(env.shard_extent(0, "x"), Some(49));
+        assert!(env.shard_value(0, "x").is_some(), "presence re-acquired");
+        // New sub-buffers are seeded from the caller's array.
+        let m = env.shard_value(1, "x").unwrap();
+        let m = m.as_memref().unwrap().clone();
+        let expect: Vec<f32> = (49..66).map(|i| i as f32).collect();
+        assert_eq!(memory.get(m.buffer), &Buffer::F32(expect));
+        // Old sub-buffers can now be freed by the owner; gather still works
+        // against the new layout.
+        for s in rp.old_slices.iter().flatten() {
+            memory.free(s.memref.buffer);
+        }
+        env.gather(&mut memory, "x").unwrap();
+        assert_eq!(
+            memory.get(g.buffer),
+            &Buffer::F32((0..100).map(|i| i as f32).collect::<Vec<f32>>())
+        );
+        // A wrong weight count is rejected.
+        assert!(env.replan(&mut memory, vec![1.0; 3]).is_err());
     }
 
     #[test]

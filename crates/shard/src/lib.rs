@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `ftn-shard` — sharded data environments: the host-side data plane that
 //! lets one OpenMP `target data` region span a pool of FPGAs.
 //!
@@ -8,7 +9,7 @@
 //! * [`reduce`] — [`ReduceOp`]: element-wise sum/min/max combination of
 //!   per-shard private copies (the combine step of a distributed
 //!   `reduction(...)` clause).
-//! * [`env`] — [`ShardedEnvironment`]: scatters mapped arrays into per-shard
+//! * [`env`](mod@env) — [`ShardedEnvironment`]: scatters mapped arrays into per-shard
 //!   host sub-buffers (one [`ftn_host::DataEnvironment`] per shard, driven
 //!   through the usual presence-counter protocol) and reassembles them at
 //!   gather time — concatenating owned rows or reducing private copies.
@@ -23,6 +24,6 @@ pub mod env;
 pub mod plan;
 pub mod reduce;
 
-pub use env::{ShardSlice, ShardedArray, ShardedEnvironment};
-pub use plan::{Partition, ShardPlan, ShardRange};
+pub use env::{copy_elems, slice_of, ArrayReplan, ShardSlice, ShardedArray, ShardedEnvironment};
+pub use plan::{Partition, RowMove, ShardPlan, ShardRange};
 pub use reduce::ReduceOp;

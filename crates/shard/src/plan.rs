@@ -16,7 +16,10 @@ pub enum Partition {
     /// shard's mapped slice is its owned block extended by up to `halo` rows
     /// on each side (clamped at the array ends). Halos are read-only ghost
     /// rows: the gather writes only owned rows back.
-    Split { halo: usize },
+    Split {
+        /// Read-only ghost rows mapped on each side of the owned block.
+        halo: usize,
+    },
     /// Every shard maps the full array (read-only broadcast data such as
     /// coefficient tables).
     Replicated,
@@ -38,6 +41,7 @@ impl Partition {
         }
     }
 
+    /// The canonical name (`"split"` / `"replicated"` / the reduce op's).
     pub fn name(&self) -> &'static str {
         match self {
             Partition::Split { .. } => "split",
@@ -70,6 +74,22 @@ impl ShardRange {
     pub fn mapped_len(&self) -> usize {
         self.halo_lo + self.len + self.halo_hi
     }
+}
+
+/// One maximal contiguous block of leading-dim rows that changes owners
+/// between two plans over the same array (see [`ShardPlan::delta`]). A
+/// migration epoch moves exactly these blocks between devices — everything
+/// else stays resident where it is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowMove {
+    /// Shard owning the block under the old plan.
+    pub from_shard: usize,
+    /// Shard owning the block under the new plan.
+    pub to_shard: usize,
+    /// First global row of the block.
+    pub start: usize,
+    /// Rows in the block.
+    pub len: usize,
 }
 
 /// The partition of one array's leading dimension into shard ranges.
@@ -113,6 +133,18 @@ impl ShardPlan {
     /// homogeneous pool sees the identical plan it always had. Non-finite or
     /// non-positive weights degrade to the uniform plan. The shard count is
     /// `weights.len()`, clamped to `rows` like [`ShardPlan::partition`].
+    ///
+    /// ```
+    /// use ftn_shard::ShardPlan;
+    /// // A 2× faster first device owns half the rows.
+    /// let plan = ShardPlan::partition_weighted(100, &[2.0, 1.0, 1.0], 0);
+    /// let rows: Vec<usize> = plan.ranges().iter().map(|r| r.len).collect();
+    /// assert_eq!(rows, vec![50, 25, 25]);
+    /// // Equal weights reproduce the uniform plan bit-exactly.
+    /// let uniform = ShardPlan::partition(100, 3, 0);
+    /// let weighted = ShardPlan::partition_weighted(100, &[1.0; 3], 0);
+    /// assert_eq!(uniform.ranges(), weighted.ranges());
+    /// ```
     pub fn partition_weighted(rows: usize, weights: &[f64], halo: usize) -> ShardPlan {
         let n = weights.len().max(1).min(rows.max(1));
         let degenerate = weights.len() < n
@@ -162,6 +194,69 @@ impl ShardPlan {
         ShardPlan { rows, ranges }
     }
 
+    /// Rebuild a plan from the realized ranges of a live environment (the
+    /// counterpart of [`ShardPlan::ranges`], used to diff a session's
+    /// current partition against a re-planned one). The ranges must be a
+    /// sorted contiguous cover of `rows`, as every plan constructor
+    /// produces.
+    pub fn from_ranges(rows: usize, ranges: Vec<ShardRange>) -> ShardPlan {
+        debug_assert_eq!(
+            ranges.iter().map(|r| r.len).sum::<usize>(),
+            rows,
+            "ranges must cover every row"
+        );
+        ShardPlan { rows, ranges }
+    }
+
+    /// Diff two plans over the same `rows`: the maximal contiguous row
+    /// blocks whose *owning* shard differs, in ascending row order. Halo
+    /// ghost rows are not compared — a migration epoch refreshes halos
+    /// wholesale from the caller's array, exactly as the original scatter
+    /// seeded them. Identical plans yield an empty delta.
+    ///
+    /// ```
+    /// use ftn_shard::ShardPlan;
+    /// let old = ShardPlan::partition(100, 4, 0);                     // 25 rows each
+    /// let new = ShardPlan::partition_weighted(100, &[3.0, 1.0, 1.0, 1.0], 0);
+    /// let moves = ShardPlan::delta(&old, &new);
+    /// // Shard 0 grew: the rows it gained flow in from its neighbour, and
+    /// // every later boundary shifts down by a block.
+    /// let gained: usize = moves.iter().filter(|m| m.to_shard == 0).map(|m| m.len).sum();
+    /// assert_eq!(gained, new.ranges()[0].len - old.ranges()[0].len);
+    /// assert!(ShardPlan::delta(&old, &old).is_empty());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plans partition different row counts.
+    pub fn delta(old: &ShardPlan, new: &ShardPlan) -> Vec<RowMove> {
+        assert_eq!(old.rows, new.rows, "plans must partition the same rows");
+        let mut moves = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut row = 0usize;
+        while row < old.rows {
+            while old.ranges[i].start + old.ranges[i].len <= row {
+                i += 1;
+            }
+            while new.ranges[j].start + new.ranges[j].len <= row {
+                j += 1;
+            }
+            // The next boundary of either plan ends this maximal segment.
+            let end = (old.ranges[i].start + old.ranges[i].len)
+                .min(new.ranges[j].start + new.ranges[j].len);
+            if i != j {
+                moves.push(RowMove {
+                    from_shard: i,
+                    to_shard: j,
+                    start: row,
+                    len: end - row,
+                });
+            }
+            row = end;
+        }
+        moves
+    }
+
     /// Rows of the partitioned dimension.
     pub fn rows(&self) -> usize {
         self.rows
@@ -172,6 +267,8 @@ impl ShardPlan {
         self.ranges.len()
     }
 
+    /// The per-shard ranges, in shard order (a contiguous cover of
+    /// [`ShardPlan::rows`]).
     pub fn ranges(&self) -> &[ShardRange] {
         &self.ranges
     }
@@ -322,6 +419,63 @@ mod tests {
         let r = plan.ranges();
         assert_eq!((r[0].halo_lo, r[0].halo_hi), (0, 2));
         assert_eq!(r[2].halo_hi, 0);
+    }
+
+    #[test]
+    fn delta_is_empty_for_identical_plans_and_complete_for_changed_ones() {
+        for rows in [4usize, 10, 97, 1003] {
+            for shards in 1usize..=4 {
+                let plan = ShardPlan::partition(rows, shards, 1);
+                assert!(ShardPlan::delta(&plan, &plan).is_empty());
+            }
+        }
+        // 25/25/25/25 → 49/17/17/17: each boundary shifts by one block.
+        let old = ShardPlan::partition(100, 4, 0);
+        let new = ShardPlan::partition_weighted(100, &[3.0, 1.0, 1.0, 1.0], 0);
+        let moves = ShardPlan::delta(&old, &new);
+        assert_eq!(
+            moves,
+            vec![
+                RowMove {
+                    from_shard: 1,
+                    to_shard: 0,
+                    start: 25,
+                    len: 24
+                },
+                RowMove {
+                    from_shard: 2,
+                    to_shard: 1,
+                    start: 50,
+                    len: 16
+                },
+                RowMove {
+                    from_shard: 3,
+                    to_shard: 2,
+                    start: 75,
+                    len: 8
+                },
+            ]
+        );
+        // The delta, applied to the old owner map, reproduces the new one.
+        for rows in [7usize, 64, 101] {
+            let old = ShardPlan::partition_weighted(rows, &[1.0, 2.0, 1.0], 0);
+            let new = ShardPlan::partition_weighted(rows, &[4.0, 1.0, 1.0], 0);
+            let mut owner: Vec<usize> = Vec::new();
+            for (s, r) in old.ranges().iter().enumerate() {
+                owner.extend(std::iter::repeat_n(s, r.len));
+            }
+            for m in ShardPlan::delta(&old, &new) {
+                for o in &mut owner[m.start..m.start + m.len] {
+                    assert_eq!(*o, m.from_shard, "move source owns the row");
+                    *o = m.to_shard;
+                }
+            }
+            for (s, r) in new.ranges().iter().enumerate() {
+                for (row, o) in owner.iter().enumerate().skip(r.start).take(r.len) {
+                    assert_eq!(*o, s, "rows={rows} row {row}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,12 +7,16 @@ use ftn_interp::Buffer;
 /// The supported combine operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReduceOp {
+    /// Element-wise addition (`reduction(+:)`); boolean `or` for `i1`.
     Sum,
+    /// Element-wise minimum; boolean `and` for `i1`.
     Min,
+    /// Element-wise maximum; boolean `or` for `i1`.
     Max,
 }
 
 impl ReduceOp {
+    /// Parse the serve-API spelling: `sum` (also `+` / `add`), `min`, `max`.
     pub fn parse(s: &str) -> Option<ReduceOp> {
         match s {
             "sum" | "+" | "add" => Some(ReduceOp::Sum),
@@ -22,6 +26,7 @@ impl ReduceOp {
         }
     }
 
+    /// The canonical name (`"sum"` / `"min"` / `"max"`).
     pub fn name(&self) -> &'static str {
         match self {
             ReduceOp::Sum => "sum",

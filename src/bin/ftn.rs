@@ -7,6 +7,9 @@
 //!                                            (heterogeneous) device list
 //!           [--workers W] [--cache-dir DIR]
 //!           [--shards N|auto]                default sharding for sessions
+//!           [--auto-rebalance N[:T]]         re-plan sharded sessions every
+//!                                            N launches when the predicted
+//!                                            makespan gain clears T
 //!           [--idle-timeout SECS]            keep-alive idle timeout
 //! ```
 //!
@@ -105,6 +108,22 @@ fn serve(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--auto-rebalance" => {
+                i += 1;
+                match args
+                    .get(i)
+                    .and_then(|v| ftn_cluster::AutoRebalance::parse(v))
+                {
+                    Some(ar) => config.auto_rebalance = Some(ar),
+                    None => {
+                        eprintln!(
+                            "error: --auto-rebalance needs INTERVAL[:THRESHOLD] \
+                             (e.g. 8 or 8:1.2, threshold >= 1.0)"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--idle-timeout" => {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse().ok()) {
@@ -117,7 +136,7 @@ fn serve(args: &[String]) -> ExitCode {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: ftn serve [--port P] [--devices N|u280,u250,...] [--workers W] [--cache-dir DIR] [--shards N|auto] [--idle-timeout SECS]"
+                    "usage: ftn serve [--port P] [--devices N|u280,u250,...] [--workers W] [--cache-dir DIR] [--shards N|auto] [--auto-rebalance N[:T]] [--idle-timeout SECS]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -228,6 +228,7 @@ fn equal_weights_on_homogeneous_pool_reproduce_the_uniform_plan() {
         ShardOptions {
             weighted: false,
             batched: false,
+            ..Default::default()
         },
         reps,
         a,
@@ -386,12 +387,12 @@ proptest! {
         let models = hetero_pool();
         let batched = run_sharded(
             &models, ShardCount::Fixed(shards),
-            ShardOptions { weighted: true, batched: true },
+            ShardOptions { weighted: true, batched: true, ..Default::default() },
             reps, a, 0, &x, &y,
         );
         let unbatched = run_sharded(
             &models, ShardCount::Fixed(shards),
-            ShardOptions { weighted: true, batched: false },
+            ShardOptions { weighted: true, batched: false, ..Default::default() },
             reps, a, 0, &x, &y,
         );
         prop_assert_eq!(&batched.y, &unbatched.y);
