@@ -1,0 +1,83 @@
+//! Emit `BENCH_obs.json`: end-to-end request latency (p50/p99) at 1/8/64
+//! concurrent keep-alive clients, and the tracing layer's enabled-vs-disabled
+//! overhead — the process exits non-zero if that overhead exceeds the 3%
+//! budget (`ftn_bench::obs_bench::MAX_OVERHEAD_FRACTION`).
+//!
+//! ```text
+//! bench_obs [--out PATH] [--quick]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftn_bench::obs_bench::MAX_OVERHEAD_FRACTION;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("BENCH_obs.json");
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = PathBuf::from(p),
+                    None => {
+                        eprintln!("error: --out needs a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                eprintln!("usage: bench_obs [--out PATH] [--quick]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let (requests_per_client, trials, burst) = if quick { (50, 7, 100) } else { (200, 11, 200) };
+    let report = ftn_bench::obs_bench::run(requests_per_client, trials, burst);
+    for p in &report.latency {
+        println!(
+            "{:2} clients: p50 {:7.1} us, p99 {:7.1} us, {:7.0} req/s ({} requests)",
+            p.clients,
+            p.p50_seconds * 1e6,
+            p.p99_seconds * 1e6,
+            p.throughput_rps,
+            p.requests,
+        );
+    }
+    let o = &report.overhead;
+    println!(
+        "tracing overhead: {:.2}% floor / {:.2}% median (best: enabled {:.4}s vs disabled {:.4}s over {} requests, {} interleaved pairs); disabled span = {:.1} ns/call",
+        o.overhead_fraction * 100.0,
+        o.median_overhead_fraction * 100.0,
+        o.enabled_seconds,
+        o.disabled_seconds,
+        o.requests_per_trial,
+        o.trials,
+        o.disabled_span_nanos,
+    );
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+    if o.overhead_fraction > MAX_OVERHEAD_FRACTION {
+        eprintln!(
+            "error: tracing overhead {:.2}% exceeds the {:.0}% budget",
+            o.overhead_fraction * 100.0,
+            MAX_OVERHEAD_FRACTION * 100.0,
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

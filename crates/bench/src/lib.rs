@@ -17,11 +17,15 @@
 //! * [`rebalance_bench`] — auto-rebalance (re-planning epochs) vs a frozen
 //!   weighted plan when a background tenant lands on one device mid-session
 //!   (`BENCH_rebalance.json`).
+//! * [`obs_bench`] — HTTP request latency under concurrent keep-alive
+//!   clients and the tracing layer's enabled-vs-disabled overhead
+//!   (`BENCH_obs.json`).
 
 pub mod diagram;
 pub mod experiments;
 pub mod hetero_bench;
 pub mod locs;
+pub mod obs_bench;
 pub mod rebalance_bench;
 pub mod serve_bench;
 pub mod shard_bench;

@@ -26,6 +26,7 @@ use ftn_core::{report_from_stats, Artifacts, CompileError, HostProgram, RunRepor
 use ftn_fpga::{CostModel, DeviceModel, ExecutorImage, ResourceUsage};
 use ftn_host::RunStats;
 use ftn_interp::{Buffer, BufferId, MemRefVal, Memory, RtValue};
+use ftn_trace::MetricsRegistry;
 use serde::Serialize;
 
 use crate::pool::{
@@ -214,6 +215,46 @@ impl JobSpec {
     }
 }
 
+/// Cached handles into the machine's [`MetricsRegistry`] — one atomic
+/// bump per event on the completion path, no registry lookup.
+pub(crate) struct PoolMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Wall-clock enqueue→dispatch wait per job.
+    pub(crate) queue_wait: Arc<ftn_trace::Histogram>,
+    /// Simulated device occupancy per job.
+    pub(crate) job_sim: Arc<ftn_trace::Histogram>,
+    /// Jobs completed pool-wide.
+    pub(crate) jobs: Arc<ftn_trace::Counter>,
+    /// Wall seconds per migration epoch.
+    pub(crate) epoch: Arc<ftn_trace::Histogram>,
+    /// Rows that changed owners across migration epochs.
+    pub(crate) rows_migrated: Arc<ftn_trace::Counter>,
+    /// Migration epochs executed.
+    pub(crate) replans: Arc<ftn_trace::Counter>,
+}
+
+impl PoolMetrics {
+    pub(crate) fn new(registry: Arc<MetricsRegistry>) -> PoolMetrics {
+        PoolMetrics {
+            queue_wait: registry.histogram("ftn_pool_queue_wait_seconds"),
+            job_sim: registry.histogram("ftn_pool_job_sim_seconds"),
+            jobs: registry.counter("ftn_pool_jobs_total"),
+            epoch: registry.histogram("ftn_pool_epoch_seconds"),
+            rows_migrated: registry.counter("ftn_pool_rows_migrated_total"),
+            replans: registry.counter("ftn_pool_replans_total"),
+            registry,
+        }
+    }
+
+    /// The placement-ladder counter for one decision reason.
+    pub(crate) fn placement(&self, reason: PlacementReason) -> Arc<ftn_trace::Counter> {
+        self.registry.counter(&format!(
+            "ftn_pool_placements_total{{reason=\"{}\"}}",
+            reason.as_str()
+        ))
+    }
+}
+
 /// Bookkeeping for a submitted-but-unprocessed job.
 pub(crate) struct PendingJob {
     pub(crate) arg_ids: Vec<BufferId>,
@@ -262,6 +303,10 @@ pub struct ClusterMachine {
     /// dispatched jobs are buffered here instead of being sent, then
     /// delivered as one `WorkerMessage::Batch` per device.
     pub(crate) batch_buffer: Option<Vec<(usize, Job)>>,
+    /// Registry-backed observability handles. Standalone machines get a
+    /// private registry; `ftn-serve` attaches its server-wide one via
+    /// [`ClusterMachine::use_metrics`].
+    pub(crate) metrics: PoolMetrics,
 }
 
 impl ClusterMachine {
@@ -324,7 +369,27 @@ impl ClusterMachine {
             rows_migrated: 0,
             epoch_seconds: 0.0,
             batch_buffer: None,
+            metrics: PoolMetrics::new(Arc::new(MetricsRegistry::new())),
         })
+    }
+
+    /// Re-point this machine's observability at `registry` (the server-wide
+    /// registry when the pool backs `ftn-serve`). Prior observations stay in
+    /// the old registry; only new events land in `registry`.
+    pub fn use_metrics(&mut self, registry: &Arc<MetricsRegistry>) {
+        self.metrics = PoolMetrics::new(Arc::clone(registry));
+    }
+
+    /// The registry this machine's metrics land in.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics.registry
+    }
+
+    /// Current per-device queue depth (jobs submitted and not yet
+    /// completed), in device-index order — the `/stats` and
+    /// `ftn_pool_queue_depth` gauge source.
+    pub fn queue_depths(&self) -> Vec<u64> {
+        self.loads.clone()
     }
 
     /// Number of devices in the pool.
@@ -802,6 +867,7 @@ impl ClusterMachine {
             PlacementReason::PinnedResidency => self.residency_pins += 1,
             _ => {}
         }
+        self.metrics.placement(placement.reason).inc();
         Ok(placement.device)
     }
 
@@ -930,6 +996,12 @@ impl ClusterMachine {
         let job = Job {
             job_id,
             kind: spec.kind,
+            // Stamp the submitting request's trace context and the enqueue
+            // time; the worker continues the trace on its own lane and
+            // reports the measured queue wait back with the outcome.
+            trace_id: ftn_trace::current_trace_id(),
+            parent_span: ftn_trace::current_span_id(),
+            enqueued_nanos: ftn_trace::now_nanos(),
             args: spec.args,
             staged: spec.staged,
             out_versions: spec.out_versions,
@@ -1107,6 +1179,9 @@ impl ClusterMachine {
                 self.device_jobs[device] += 1;
                 self.arena_buffers[device] = success.arena_buffers;
                 self.policy.observe_job(success.sim_busy_seconds);
+                self.metrics.jobs.inc();
+                self.metrics.queue_wait.observe(success.queue_wait_seconds);
+                self.metrics.job_sim.observe(success.sim_busy_seconds);
                 Ok((device, success))
             }
             Err(msg) => Err(msg),

@@ -49,6 +49,17 @@ pub(crate) enum JobKind {
     Reshard,
 }
 
+/// The worker-lane span name for a job kind (see docs/OBSERVABILITY.md).
+pub(crate) fn kind_label(kind: &JobKind) -> &'static str {
+    match kind {
+        JobKind::HostCall { .. } => "job.host_call",
+        JobKind::Kernel { .. } => "job.kernel",
+        JobKind::Upload => "job.upload",
+        JobKind::Fetch => "job.fetch",
+        JobKind::Reshard => "job.reshard",
+    }
+}
+
 /// One element-range download of a migration epoch's delta gather: read
 /// `src[start .. start+len]` from the device mirror and write it back into
 /// the dedicated host move buffer `dst`. Only the rows that change owners
@@ -102,6 +113,15 @@ pub(crate) struct StagedBuffer {
 pub(crate) struct Job {
     pub job_id: u64,
     pub kind: JobKind,
+    /// Trace id of the request that submitted the job (0 = none); worker
+    /// spans carry it so a request can be followed across device lanes.
+    pub trace_id: u64,
+    /// Span id of the submitting operation — the worker-side job span links
+    /// to it as its parent across the thread boundary.
+    pub parent_span: u64,
+    /// Wall-clock submission time ([`ftn_trace::now_nanos`]); the worker
+    /// derives the job's queue wait from it at dispatch.
+    pub enqueued_nanos: u64,
     /// Arguments; memrefs reference *host* buffer ids and are remapped to
     /// the worker's local memory before execution.
     pub args: Vec<RtValue>,
@@ -140,6 +160,10 @@ pub(crate) struct JobSuccess {
     /// Live device-memory buffers after the post-job transient reclaim
     /// (regression signal for unbounded growth in long-lived pools).
     pub arena_buffers: usize,
+    /// Wall-clock seconds the job sat in the worker's queue between
+    /// submission and dispatch (PR 5's open load-path observation, now
+    /// measured in seconds rather than inferred from cost-model cycles).
+    pub queue_wait_seconds: f64,
 }
 
 pub(crate) enum WorkerMessage {
@@ -360,6 +384,7 @@ impl Worker {
             writeback,
             sim_busy_seconds,
             arena_buffers: self.memory.live(),
+            queue_wait_seconds: 0.0,
         })
     }
 
@@ -476,7 +501,35 @@ fn empty_like(like: &Buffer, len: usize) -> Buffer {
 fn run_and_report(worker: &mut Worker, job: Job, outcomes: &Sender<JobOutcome>) {
     let index = worker.index;
     let job_id = job.job_id;
+    // Queue wait = submission to dispatch, measured on the shared monotonic
+    // trace clock; the worker span continues the submitting request's trace
+    // so the job shows up on this device's lane under that trace id.
+    let queue_wait_seconds =
+        ftn_trace::now_nanos().saturating_sub(job.enqueued_nanos) as f64 * 1e-9;
+    let _trace = ftn_trace::trace_scope(job.trace_id);
+    let mut span = ftn_trace::span_linked(
+        kind_label(&job.kind),
+        "worker",
+        job.trace_id,
+        job.parent_span,
+    );
+    span.arg("device", index);
+    span.arg("job", job_id);
+    if let JobKind::Kernel { kernel, .. } = &job.kind {
+        span.arg("kernel", kernel.as_str());
+    }
+    span.arg("queue_wait_us", format!("{:.1}", queue_wait_seconds * 1e6));
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run_job(job)))
+        .map(|r| {
+            r.map(|mut success| {
+                success.queue_wait_seconds = queue_wait_seconds;
+                span.arg(
+                    "sim_busy_us",
+                    format!("{:.1}", success.sim_busy_seconds * 1e6),
+                );
+                success
+            })
+        })
         .unwrap_or_else(|panic| {
             // Best-effort reclaim of the aborted job's transients (recording
             // is still active when a job unwinds mid-execution).

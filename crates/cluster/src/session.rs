@@ -108,6 +108,8 @@ impl ClusterMachine {
                 "a session must map at least one array".to_string(),
             ));
         }
+        let mut span = ftn_trace::span("session.open", "cluster");
+        span.arg("maps", maps.len());
         let mut env = DataEnvironment::new();
         let mut upload = Vec::with_capacity(maps.len());
         let mut entries = Vec::with_capacity(maps.len());
@@ -188,7 +190,11 @@ impl ClusterMachine {
                 ));
             }
         }
+        let mut span = ftn_trace::span("session.launch", "cluster");
+        span.arg("session", session);
+        span.arg("kernel", kernel);
         let ticket = self.submit_kernel_deferred(kernel, args, None)?;
+        drop(span);
         let s = self.sessions.get_mut(&session).expect("checked above");
         s.stats.launches += 1;
         s.stats.staged_uploads += ticket.staged;
@@ -226,6 +232,8 @@ impl ClusterMachine {
             .sessions
             .get(&session)
             .ok_or_else(|| CompileError::new("cluster-session", no_session(session)))?;
+        let mut span = ftn_trace::span("session.close", "cluster");
+        span.arg("session", session);
         let outstanding = s.outstanding.clone();
         for job_id in outstanding {
             // The caller may have waited some launches itself; skip those.

@@ -616,6 +616,12 @@ impl ClusterMachine {
         let shards = s.env.shards();
         let devices = s.devices.clone();
         let batched = s.opts.batched;
+        // Held to the end of the fan-out so every per-shard job dispatched
+        // below links its worker span back to this launch.
+        let mut launch_span = ftn_trace::span("session.launch_sharded", "cluster");
+        launch_span.arg("session", session);
+        launch_span.arg("kernel", kernel);
+        launch_span.arg("shards", shards);
         let mut per_shard: Vec<Vec<RtValue>> = Vec::with_capacity(shards);
         for shard in 0..shards {
             let mut argv = Vec::with_capacity(args.len());
@@ -907,9 +913,14 @@ impl ClusterMachine {
         // consumed — completed-but-unwaited reports stay claimable by the
         // caller's launch tickets.
         let outstanding = s.outstanding.clone();
-        for job_id in outstanding {
-            while self.pending.contains_key(&job_id) {
-                self.process_one_outcome()?;
+        {
+            let mut sp = ftn_trace::span("epoch.quiesce", "epoch");
+            sp.arg("session", session);
+            sp.arg("outstanding", outstanding.len());
+            for job_id in outstanding {
+                while self.pending.contains_key(&job_id) {
+                    self.process_one_outcome()?;
+                }
             }
         }
         // Everything quiesced is done: prune the ledger down to the
@@ -1003,17 +1014,25 @@ impl ClusterMachine {
         // Migration epoch. The session is taken out of the table so the
         // epoch can drive the machine; it is reinstated on every path.
         let epoch = std::time::Instant::now();
+        let mut epoch_span = ftn_trace::span("epoch.migrate", "epoch");
+        epoch_span.arg("session", session);
+        epoch_span.arg("predicted_gain", format!("{predicted_gain:.3}"));
         let mut s = self.sharded.remove(&session).expect("still present");
         let outcome = self.migration_epoch(&mut s, weights, batched);
         let epoch_seconds = epoch.elapsed().as_secs_f64();
         if let Ok(rows_migrated) = outcome {
+            epoch_span.arg("rows_migrated", rows_migrated);
             s.stats.replan_count += 1;
             s.stats.rows_migrated += rows_migrated;
             s.stats.epoch_seconds += epoch_seconds;
             self.replans += 1;
             self.rows_migrated += rows_migrated;
             self.epoch_seconds += epoch_seconds;
+            self.metrics.replans.inc();
+            self.metrics.rows_migrated.add(rows_migrated);
+            self.metrics.epoch.observe(epoch_seconds);
         }
+        drop(epoch_span);
         let shard_rows = s
             .env
             .array(&ref_name)
@@ -1209,9 +1228,13 @@ impl ClusterMachine {
             .enumerate()
             .filter(|(_, rows)| !rows.is_empty())
             .collect();
-        self.epoch_fanout(batched, fetches, |m, device, rows| {
-            m.submit_fetch_rows(device, rows)
-        })?;
+        {
+            let mut sp = ftn_trace::span("epoch.delta_gather", "epoch");
+            sp.arg("devices", fetches.len());
+            self.epoch_fanout(batched, fetches, |m, device, rows| {
+                m.submit_fetch_rows(device, rows)
+            })?;
+        }
 
         // Restage: build one ReshardSpec per replaced (array, shard) slice.
         let mut per_device: Vec<Vec<ReshardSpec>> =
@@ -1287,6 +1310,8 @@ impl ClusterMachine {
             .filter(|(_, specs)| !specs.is_empty())
             .collect();
         let stats = &mut s.stats;
+        let mut sp = ftn_trace::span("epoch.reshard", "epoch");
+        sp.arg("devices", reshards.len());
         self.epoch_fanout(batched, reshards, |m, device, specs| {
             let t = m.submit_reshard(device, specs)?;
             stats.staged_uploads += t.staged;

@@ -30,6 +30,10 @@ pub struct ExecutionStats {
     pub wall_seconds: f64,
     /// (loop index, trip count) for every executed loop instance.
     pub loop_instances: Vec<(usize, u64)>,
+    /// Real wall-clock seconds the simulator's interpreter spent executing
+    /// the kernel on the host (not simulated device time — the cost of the
+    /// simulation itself, surfaced for observability).
+    pub host_wall_seconds: f64,
     /// The kernel's return values.
     pub results: Vec<RtValue>,
 }
@@ -44,6 +48,10 @@ impl serde::Serialize for ExecutionStats {
             ("cycles".into(), self.cycles.to_value()),
             ("kernel_seconds".into(), self.kernel_seconds.to_value()),
             ("wall_seconds".into(), self.wall_seconds.to_value()),
+            (
+                "host_wall_seconds".into(),
+                self.host_wall_seconds.to_value(),
+            ),
             ("loop_instances".into(), self.loop_instances.to_value()),
         ])
     }
@@ -159,8 +167,12 @@ impl KernelExecutor {
             index_of: loop_index_map(&image.ir, func),
             instances: Vec::new(),
         };
+        let mut span = ftn_trace::span("kernel.execute", "fpga");
+        span.arg("kernel", kernel);
+        let started = std::time::Instant::now();
         let interp = Interp::new(&image.ir, image.module);
         let results = interp.call(kernel, args, memory, &mut NoHooks, &mut observer)?;
+        let host_wall_seconds = started.elapsed().as_secs_f64();
 
         let schedule = image.schedules.get(kernel).cloned().unwrap_or_default();
         let mut cycles = KERNEL_CONTROL_CYCLES;
@@ -181,12 +193,15 @@ impl KernelExecutor {
         }
         let kernel_seconds = self.device.cycles_to_seconds(cycles);
         let wall_seconds = kernel_seconds + self.device.launch_overhead_us * 1e-6;
+        span.arg("cycles", cycles);
+        span.arg("sim_us", format!("{:.1}", wall_seconds * 1e6));
         Ok(ExecutionStats {
             kernel: kernel.to_string(),
             cycles,
             kernel_seconds,
             wall_seconds,
             loop_instances: observer.instances,
+            host_wall_seconds,
             results,
         })
     }

@@ -36,6 +36,19 @@ impl Conn {
     ) -> std::io::Result<(u16, Value)> {
         round_trip(&mut self.stream, method, path, body, true)
     }
+
+    /// Like [`Conn::request`] but returning the raw response body — for the
+    /// non-JSON endpoints (`GET /metrics` serves a Prometheus text
+    /// exposition; `GET /trace` a Chrome trace-event document the caller may
+    /// want byte-for-byte).
+    pub fn request_text(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        round_trip_text(&mut self.stream, method, path, body, true)
+    }
 }
 
 /// Send one request on a fresh connection (`Connection: close`) and return
@@ -50,6 +63,18 @@ pub fn request(
     round_trip(&mut stream, method, path, body, false)
 }
 
+/// Send one request on a fresh connection and return the raw response body
+/// (see [`Conn::request_text`]).
+pub fn request_text(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    round_trip_text(&mut stream, method, path, body, false)
+}
+
 fn round_trip(
     stream: &mut TcpStream,
     method: &str,
@@ -57,6 +82,19 @@ fn round_trip(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<(u16, Value)> {
+    let (status, body) = round_trip_text(stream, method, path, body, keep_alive)?;
+    let value = serde_json::value_from_str(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((status, value))
+}
+
+fn round_trip_text(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<(u16, String)> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut request = format!(
         "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n",
@@ -100,8 +138,5 @@ fn round_trip(
     }
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body)?;
-    let body = String::from_utf8_lossy(&body).into_owned();
-    let value = serde_json::value_from_str(&body)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    Ok((status, value))
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
 }

@@ -16,7 +16,11 @@ const MAX_BODY_BYTES: usize = 256 * 1024 * 1024;
 #[derive(Debug)]
 pub struct Request {
     pub method: String,
+    /// Path component only — any `?query` is split off into [`Request::query`].
     pub path: String,
+    /// Raw query string (text after the first `?`, without the `?`); empty
+    /// when the request target carried none.
+    pub query: String,
     pub body: String,
     /// Whether the connection should stay open after the response —
     /// HTTP/1.1 defaults to keep-alive unless the client sends
@@ -30,6 +34,16 @@ impl Request {
     /// `["sessions", "3", "launch"]`.
     pub fn segments(&self) -> Vec<&str> {
         self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// The value of query parameter `name` (`/trace?since=12` → `"12"`).
+    /// A bare `?flag` (no `=`) yields `Some("")`. No percent-decoding — the
+    /// service's parameters are plain numbers.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
     }
 }
 
@@ -60,7 +74,11 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
-    let path = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let version = parts.next().unwrap_or("HTTP/1.1");
     if method.is_empty() || path.is_empty() {
         return Err(std::io::Error::new(
@@ -98,6 +116,7 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
     Ok(Request {
         method,
         path,
+        query,
         body,
         keep_alive,
     })
@@ -115,23 +134,36 @@ fn status_text(status: u16) -> &'static str {
 }
 
 /// Write a JSON response and flush. `keep_alive` controls the `Connection`
-/// header; the caller closes the stream when it is false. Head and body go
-/// out as one write so a keep-alive connection never trips the Nagle /
-/// delayed-ACK interaction (a ~40 ms stall per response).
+/// header; the caller closes the stream when it is false.
 pub fn write_json(
     stream: &mut TcpStream,
     status: u16,
     json: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", json, keep_alive)
+}
+
+/// Write a response with an explicit `Content-Type` (the `/metrics`
+/// Prometheus exposition and `/trace` Chrome-JSON endpoints are not
+/// `application/json` object bodies) and flush. Head and body go out as one
+/// write so a keep-alive connection never trips the Nagle / delayed-ACK
+/// interaction (a ~40 ms stall per response).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         status_text(status),
-        json.len()
+        body.len()
     )
     .into_bytes();
-    response.extend_from_slice(json.as_bytes());
+    response.extend_from_slice(body.as_bytes());
     stream.write_all(&response)?;
     stream.flush()
 }

@@ -44,10 +44,11 @@ use ftn_cluster::{
 use ftn_core::{Artifacts, CompilerOptions};
 use ftn_fpga::DeviceModel;
 use ftn_interp::{Buffer, RtValue};
+use ftn_trace::{Counter, Histogram, Level, MetricsRegistry};
 use serde::{Serialize, Value};
 
 use api::ArgSpec;
-use http::{read_request, write_json, Request};
+use http::{read_request, write_response, Request};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -77,6 +78,14 @@ pub struct ServeConfig {
     /// `None` = plans stay frozen at their open-time split (manual
     /// `POST /sessions/{id}/rebalance` still works).
     pub auto_rebalance: Option<AutoRebalance>,
+    /// Span-recorder ring capacity per lane (`ftn serve --trace-buffer N`).
+    /// `0` disables span recording entirely (the zero-cost path); `GET
+    /// /trace` then serves an empty timeline. The recorder is
+    /// process-global, so the most recent `Server::bind` wins.
+    pub trace_buffer: usize,
+    /// Maximum structured-log level (`ftn serve --log-level debug`). Like
+    /// the span recorder, the log level is process-global.
+    pub log_level: Level,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +98,8 @@ impl Default for ServeConfig {
             idle_timeout_secs: 5,
             default_shards: None,
             auto_rebalance: None,
+            trace_buffer: 4096,
+            log_level: Level::Info,
         }
     }
 }
@@ -100,6 +111,36 @@ struct ServeSession {
     cluster_sid: u64,
     sharded: bool,
     arrays: Vec<RtValue>,
+}
+
+/// The server's metric handles, all backed by one per-server
+/// [`MetricsRegistry`] — per-server (not process-global) so several bound
+/// servers in one process (tests, embedders) keep independent counts. Every
+/// pool the server creates shares the same registry via
+/// [`ClusterMachine::use_metrics`], so `GET /metrics` is one scrape across
+/// the whole serve→cluster→worker stack.
+struct ServeMetrics {
+    registry: Arc<MetricsRegistry>,
+    http_connections: Arc<Counter>,
+    http_requests: Arc<Counter>,
+    launches: Arc<Counter>,
+    runs: Arc<Counter>,
+    /// End-to-end request handling latency (read to serialized response).
+    request_seconds: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        let registry = Arc::new(MetricsRegistry::new());
+        ServeMetrics {
+            http_connections: registry.counter("ftn_http_connections_total"),
+            http_requests: registry.counter("ftn_http_requests_total"),
+            launches: registry.counter("ftn_launches_total"),
+            runs: registry.counter("ftn_runs_total"),
+            request_seconds: registry.histogram("ftn_http_request_seconds"),
+            registry,
+        }
+    }
 }
 
 struct ServeState {
@@ -115,11 +156,20 @@ struct ServeState {
     sessions: Mutex<HashMap<u64, ServeSession>>,
     next_session: AtomicU64,
     shutdown: AtomicBool,
-    launches: AtomicU64,
-    runs: AtomicU64,
-    http_connections: AtomicU64,
-    http_requests: AtomicU64,
+    metrics: ServeMetrics,
+    started: std::time::Instant,
     local_addr: SocketAddr,
+}
+
+/// A route's response body: most endpoints speak JSON, but `GET /metrics`
+/// serves the Prometheus text exposition and `GET /trace` a Chrome
+/// trace-event document (raw text the Perfetto UI loads directly).
+enum Reply {
+    Json(Value),
+    Text {
+        content_type: &'static str,
+        body: String,
+    },
 }
 
 /// Handler error: HTTP status + message.
@@ -203,8 +253,23 @@ struct LaunchResponse {
 }
 
 impl ServeState {
-    fn handle(&self, req: &Request) -> Result<Value, HandlerError> {
+    fn handle(&self, req: &Request) -> Result<Reply, HandlerError> {
         let segments = req.segments();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["metrics"]) => {
+                return Ok(Reply::Text {
+                    content_type: "text/plain; version=0.0.4",
+                    body: self.render_metrics(),
+                })
+            }
+            ("GET", ["trace"]) => {
+                return Ok(Reply::Text {
+                    content_type: "application/json",
+                    body: self.render_trace(req)?,
+                })
+            }
+            _ => {}
+        }
         match (req.method.as_str(), segments.as_slice()) {
             ("POST", ["compile"]) => self.compile(&req.body),
             ("POST", ["sessions"]) => self.open_session(&req.body),
@@ -221,6 +286,42 @@ impl ServeState {
             }
             _ => Err(not_found(format!("no route {} {}", req.method, req.path))),
         }
+        .map(Reply::Json)
+    }
+
+    /// `GET /metrics`: refresh the point-in-time gauges, then render the
+    /// whole registry as a Prometheus text exposition.
+    fn render_metrics(&self) -> String {
+        let uptime = self.metrics.registry.gauge("ftn_uptime_seconds");
+        uptime.set(self.started.elapsed().as_secs() as i64);
+        // Queue depths are sampled at scrape time: one gauge per device per
+        // pool (pools are labelled by a key prefix — full artifact keys are
+        // 64-hex-char hashes, unreadable as label values).
+        for (key, pool) in lock(&self.pools).iter() {
+            let machine = lock(pool);
+            for (device, depth) in machine.queue_depths().iter().enumerate() {
+                let name = format!(
+                    "ftn_pool_queue_depth{{pool=\"{}\",device=\"{device}\"}}",
+                    short_key(key)
+                );
+                self.metrics.registry.gauge(&name).set(*depth as i64);
+            }
+        }
+        self.metrics.registry.render_prometheus()
+    }
+
+    /// `GET /trace?since=NANOS`: the recorded span timeline as a Chrome
+    /// trace-event document. `since` (nanoseconds since the recorder's
+    /// epoch, as reported by earlier exports' `ts`×1000) filters to spans
+    /// that were still running at or after that instant.
+    fn render_trace(&self, req: &Request) -> Result<String, HandlerError> {
+        let since = match req.query_param("since") {
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| bad_request(format!("bad 'since' value '{v}' (want nanoseconds)")))?,
+            None => 0,
+        };
+        Ok(ftn_trace::export_chrome(since))
     }
 
     fn compile(&self, body: &str) -> Result<Value, HandlerError> {
@@ -358,8 +459,11 @@ impl ServeState {
             .instantiate(&artifacts.bitstream)
             .map_err(|e| (500, e))?;
         let devices = self.devices_for(key);
-        let machine = ClusterMachine::load_with_image(&artifacts, &devices, image)
+        let mut machine = ClusterMachine::load_with_image(&artifacts, &devices, image)
             .map_err(|e| (500, e.to_string()))?;
+        // Every pool reports into the server's registry, so one /metrics
+        // scrape covers queue waits and job counts across all pools.
+        machine.use_metrics(&self.metrics.registry);
         let pool = Arc::new(Mutex::new(machine));
         Ok(Arc::clone(pools.entry(key.to_string()).or_insert(pool)))
     }
@@ -586,7 +690,7 @@ impl ServeState {
         let (staged, elided) = (ticket.staged, ticket.elided);
         drop(machine);
         let report = wait_unlocked(&pool, ticket.handle).map_err(|e| (500, e.to_string()))?;
-        self.launches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.launches.inc();
         Ok(LaunchResponse {
             session,
             device: report.device,
@@ -635,7 +739,7 @@ impl ServeState {
         let devices = ticket.devices;
         drop(machine);
         let reports = wait_many_unlocked(pool, ticket.handles).map_err(|e| (500, e.to_string()))?;
-        self.launches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.launches.inc();
         let cycles: u64 = reports.iter().map(|r| r.report.stats.total_cycles).sum();
         let kernel_seconds: f64 = reports.iter().map(|r| r.report.stats.kernel_seconds).sum();
         let makespan = reports
@@ -874,7 +978,7 @@ impl ServeState {
             }
         };
         let mut machine = lock(&pool);
-        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.metrics.runs.inc();
         let arrays: Vec<Value> = array_handles
             .iter()
             .map(|h| {
@@ -913,6 +1017,7 @@ impl ServeState {
                 ("key", key.as_str().to_value()),
                 ("devices", machine.device_count().to_value()),
                 ("models", models.to_value()),
+                ("queue_depths", machine.queue_depths().to_value()),
                 ("open_sessions", machine.open_sessions().len().to_value()),
                 (
                     "open_sharded_sessions",
@@ -926,19 +1031,20 @@ impl ServeState {
             ("cache", self.cache.stats().to_value()),
             ("image_cache", self.images.stats().to_value()),
             ("sessions_open", lock(&self.sessions).len().to_value()),
-            ("launches", self.launches.load(Ordering::Relaxed).to_value()),
-            ("runs", self.runs.load(Ordering::Relaxed).to_value()),
+            ("launches", self.metrics.launches.get().to_value()),
+            ("runs", self.metrics.runs.get().to_value()),
+            (
+                "uptime_seconds",
+                self.started.elapsed().as_secs_f64().to_value(),
+            ),
             (
                 "http",
                 api::obj(vec![
                     (
                         "connections",
-                        self.http_connections.load(Ordering::Relaxed).to_value(),
+                        self.metrics.http_connections.get().to_value(),
                     ),
-                    (
-                        "requests",
-                        self.http_requests.load(Ordering::Relaxed).to_value(),
-                    ),
+                    ("requests", self.metrics.http_requests.get().to_value()),
                 ]),
             ),
             ("pools", Value::Arr(pool_stats)),
@@ -951,11 +1057,16 @@ fn parse_id(s: &str) -> Result<u64, HandlerError> {
         .map_err(|_| bad_request(format!("bad session id '{s}'")))
 }
 
+/// First 8 chars of an artifact key — the metric-label spelling of a pool.
+fn short_key(key: &str) -> &str {
+    &key[..key.len().min(8)]
+}
+
 /// Serve one connection: a keep-alive request loop. The idle timeout bounds
 /// how long a quiet connection may hold a worker thread; a request that
 /// asked for `Connection: close` (or a shutdown) ends the loop.
 fn handle_connection(state: &ServeState, mut stream: TcpStream) {
-    state.http_connections.fetch_add(1, Ordering::Relaxed);
+    state.metrics.http_connections.inc();
     // Responses are single-write; pair that with TCP_NODELAY so keep-alive
     // request/response cycles never stall on delayed ACKs.
     let _ = stream.set_nodelay(true);
@@ -967,24 +1078,63 @@ fn handle_connection(state: &ServeState, mut stream: TcpStream) {
             // Idle timeout, client close, or the wake-up probe connection.
             Err(_) => return,
         };
-        state.http_requests.fetch_add(1, Ordering::Relaxed);
+        state.metrics.http_requests.inc();
+        // Every request is the root of a fresh trace: the `http.request`
+        // span parents everything the handler does — session ops, per-shard
+        // jobs on device lanes, rebalance epochs — under one trace id.
+        let trace = ftn_trace::trace_scope(ftn_trace::new_trace_id());
+        let started = std::time::Instant::now();
+        let mut span = ftn_trace::span("http.request", "http");
+        span.arg("method", &req.method);
+        span.arg("path", &req.path);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.handle(&req)));
-        let (status, json) = match outcome {
-            Ok(Ok(value)) => (200, serde_json::to_string(&value).unwrap_or_default()),
+        let (status, content_type, body) = match outcome {
+            Ok(Ok(Reply::Json(value))) => (
+                200,
+                "application/json",
+                serde_json::to_string(&value).unwrap_or_default(),
+            ),
+            Ok(Ok(Reply::Text { content_type, body })) => (200, content_type, body),
             Ok(Err((status, msg))) => {
+                ftn_trace::log(
+                    Level::Debug,
+                    "serve",
+                    format!("{} {} -> {status}: {msg}", req.method, req.path),
+                );
                 let err = api::obj(vec![("error", Value::Str(msg))]);
-                (status, serde_json::to_string(&err).unwrap_or_default())
+                (
+                    status,
+                    "application/json",
+                    serde_json::to_string(&err).unwrap_or_default(),
+                )
             }
             Err(_) => {
+                ftn_trace::log(
+                    Level::Error,
+                    "serve",
+                    format!("panic handling {} {}", req.method, req.path),
+                );
                 let err = api::obj(vec![(
                     "error",
                     Value::Str("internal panic while handling request".to_string()),
                 )]);
-                (500, serde_json::to_string(&err).unwrap_or_default())
+                (
+                    500,
+                    "application/json",
+                    serde_json::to_string(&err).unwrap_or_default(),
+                )
             }
         };
+        span.arg("status", status);
+        drop(span);
+        drop(trace);
+        state
+            .metrics
+            .request_seconds
+            .observe(started.elapsed().as_secs_f64());
         let keep_alive = req.keep_alive && !state.shutdown.load(Ordering::SeqCst);
-        if write_json(&mut stream, status, &json, keep_alive).is_err() || !keep_alive {
+        let written = write_response(&mut stream, status, content_type, &body, keep_alive);
+        if written.is_err() || !keep_alive {
             return;
         }
     }
@@ -1005,6 +1155,15 @@ impl Server {
             Some(dir) => ArtifactCache::with_disk(dir)?,
             None => ArtifactCache::new(),
         };
+        // The span recorder and log level are process-global (metrics are
+        // per-server): the most recent bind configures them.
+        if config.trace_buffer > 0 {
+            ftn_trace::set_capacity(config.trace_buffer);
+            ftn_trace::set_enabled(true);
+        } else {
+            ftn_trace::set_enabled(false);
+        }
+        ftn_trace::set_max_level(config.log_level);
         let state = Arc::new(ServeState {
             config,
             cache,
@@ -1015,12 +1174,15 @@ impl Server {
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
-            launches: AtomicU64::new(0),
-            runs: AtomicU64::new(0),
-            http_connections: AtomicU64::new(0),
-            http_requests: AtomicU64::new(0),
+            metrics: ServeMetrics::new(),
+            started: std::time::Instant::now(),
             local_addr,
         });
+        ftn_trace::log(
+            Level::Info,
+            "serve",
+            format!("listening on http://{local_addr}"),
+        );
         Ok(Server { listener, state })
     }
 
@@ -1655,6 +1817,51 @@ end subroutine saxpy
             "one connection served all requests"
         );
         drop(conn);
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn metrics_and_trace_endpoints_expose_observability() {
+        let (addr, handle) = start_server(2, 2);
+        let (status, _) = request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+
+        // /metrics is a Prometheus text exposition carrying the HTTP
+        // counters and the request-latency histogram series.
+        let (status, text) = crate::client::request_text(addr, "GET", "/metrics", "").expect("get");
+        assert_eq!(status, 200);
+        assert!(
+            text.contains("# TYPE ftn_http_requests_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("ftn_http_request_seconds_count"), "{text}");
+        assert!(text.contains("ftn_uptime_seconds"), "{text}");
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
+
+        // /trace serves a Chrome trace-event document (valid JSON with a
+        // traceEvents array); bad `since` values are rejected.
+        let (status, body) = crate::client::request_text(addr, "GET", "/trace", "").expect("get");
+        assert_eq!(status, 200);
+        let doc = serde_json::value_from_str(&body).expect("valid JSON");
+        assert!(
+            matches!(doc.get("traceEvents"), Some(Value::Arr(_))),
+            "{body}"
+        );
+        let (status, _) =
+            crate::client::request_text(addr, "GET", "/trace?since=bogus", "").expect("get");
+        assert_eq!(status, 400);
+
+        // /stats keeps its shape and now reports uptime + queue depths.
+        let (_, stats) = request(addr, "GET", "/stats", "");
+        assert!(
+            matches!(stats.get("uptime_seconds"), Some(Value::Float(f)) if *f >= 0.0),
+            "{stats:?}"
+        );
         shutdown(addr, handle);
     }
 

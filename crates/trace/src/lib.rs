@@ -1,0 +1,38 @@
+//! ftn-trace — structured tracing and metrics for the ftn runtime.
+//!
+//! Three pieces, deliberately small and dependency-free (vendored crates
+//! only):
+//!
+//! - **Spans** ([`span`], [`span_linked`], [`trace_scope`]): a global
+//!   recorder of nested, trace-id-carrying spans in per-thread ring
+//!   buffers. Disabled by default and a single atomic load when off, so
+//!   library users of `ftn-cluster` pay nothing; `ftn serve` switches it on
+//!   (`--trace-buffer N`).
+//! - **Metrics** ([`MetricsRegistry`], [`Counter`], [`Gauge`],
+//!   [`Histogram`]): named counters/gauges plus log-bucketed latency
+//!   histograms with p50/p95/p99 extraction, rendered as Prometheus text
+//!   exposition for `GET /metrics`.
+//! - **Export** ([`export_chrome`]) and a leveled event [`fn@log`]: the span
+//!   buffers serialize to Chrome trace-event JSON (`GET /trace`,
+//!   Perfetto-viewable, one lane per device worker and per HTTP worker).
+//!
+//! The span taxonomy and metric names threaded through the stack are
+//! documented in `docs/OBSERVABILITY.md`.
+
+#![warn(missing_docs)]
+
+mod chrome;
+pub mod log;
+mod metrics;
+mod span;
+
+pub use chrome::export_chrome;
+pub use log::{events as log_events, log, max_level, set_max_level, Level, LogEvent};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS,
+};
+pub use span::{
+    clear, current_span_id, current_trace_id, enabled, instant, new_trace_id, now_nanos,
+    set_capacity, set_enabled, snapshot, span, span_linked, trace_scope, LaneSnapshot, Span,
+    SpanEvent, TraceScope,
+};

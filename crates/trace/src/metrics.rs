@@ -1,0 +1,450 @@
+//! Counters, gauges and log-bucketed latency histograms behind a central
+//! [`MetricsRegistry`], rendered in Prometheus text-exposition format.
+//!
+//! All metric handles are `Arc`-shared and update through relaxed atomics —
+//! the hot path (a counter bump, a histogram observation) is a handful of
+//! `fetch_add`s with no lock. The registry itself is only locked on handle
+//! creation and on `/metrics` rendering.
+//!
+//! Histograms bucket durations logarithmically: four linear sub-buckets per
+//! power-of-two octave of nanoseconds, so every bucket's width is at most a
+//! quarter of its lower bound. Reported quantiles are the inclusive upper
+//! bound of the rank's bucket, hence overestimates by at most 25% — tight
+//! enough for p50/p95/p99 regression gates, cheap enough for one atomic
+//! increment per observation, and mergeable across shards by bucket-wise
+//! addition.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Number of histogram buckets: 4 exact small-value buckets (0–3 ns) plus
+/// 4 sub-buckets for each of the 62 remaining nanosecond octaves.
+pub const HISTOGRAM_BUCKETS: usize = 252;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Index of the bucket holding a `nanos` observation.
+fn bucket_index(nanos: u64) -> usize {
+    if nanos < 4 {
+        return nanos as usize;
+    }
+    let msb = 63 - nanos.leading_zeros() as usize;
+    let sub = ((nanos >> (msb - 2)) & 3) as usize;
+    (msb - 1) * 4 + sub
+}
+
+/// Inclusive upper bound (in nanoseconds) of bucket `i`.
+fn bucket_upper_nanos(i: usize) -> u64 {
+    if i < 4 {
+        return i as u64;
+    }
+    let octave = i / 4 + 1;
+    let sub = (i % 4) as u64;
+    let width = 1u64 << (octave - 2);
+    ((1u64 << octave) - 1) + (sub + 1) * width
+}
+
+/// A log-bucketed duration histogram (see the module docs for the bucket
+/// scheme and error bound).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a duration in seconds. Negative or NaN values clamp to zero.
+    pub fn observe(&self, seconds: f64) {
+        let nanos = if seconds.is_finite() && seconds > 0.0 {
+            (seconds * 1e9).min(1.8e19) as u64
+        } else {
+            0
+        };
+        self.observe_nanos(nanos);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn observe_nanos(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed durations, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Mean observed duration in seconds (0 when empty).
+    pub fn mean_seconds(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_seconds() / n as f64
+        }
+    }
+
+    /// Fold another histogram into this one, bucket-wise.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.sum_nanos
+            .fetch_add(other.sum_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in seconds — the inclusive upper bound
+    /// of the bucket holding the rank, so at most 25% above the true value.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    sum_nanos: u64,
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of observed durations in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos as f64 * 1e-9
+    }
+
+    /// The `q`-quantile in seconds (see [`Histogram::quantile`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total: u64 = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_nanos(i) as f64 * 1e-9;
+            }
+        }
+        bucket_upper_nanos(HISTOGRAM_BUCKETS - 1) as f64 * 1e-9
+    }
+
+    /// `(upper_bound_seconds, cumulative_count)` for every bucket up to and
+    /// including the last non-empty one — the Prometheus `le` series.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            out.push((bucket_upper_nanos(i) as f64 * 1e-9, seen));
+        }
+        out
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics, rendered as Prometheus text exposition.
+///
+/// Handles are created on first use and cached by callers; labels are part
+/// of the name (`ftn_pool_queue_depth{device="0"}`). Creation takes a write
+/// lock, lookups a read lock — hot-path updates go through the returned
+/// `Arc` handles and touch no lock at all.
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            metrics: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The counter registered under `name`, created if absent. If `name` is
+    /// already registered as a different metric kind, a detached handle is
+    /// returned (it updates nothing visible in the exposition).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.metrics.read().get(name) {
+            return c.clone();
+        }
+        let mut w = self.metrics.write();
+        match w
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Arc::new(Counter::default()),
+        }
+    }
+
+    /// The gauge registered under `name`, created if absent (same kind
+    /// rules as [`MetricsRegistry::counter`]).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.metrics.read().get(name) {
+            return g.clone();
+        }
+        let mut w = self.metrics.write();
+        match w
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Arc::new(Gauge::default()),
+        }
+    }
+
+    /// The histogram registered under `name`, created if absent (same kind
+    /// rules as [`MetricsRegistry::counter`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.metrics.read().get(name) {
+            return h.clone();
+        }
+        let mut w = self.metrics.write();
+        match w
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Render every metric in Prometheus text-exposition format. Histograms
+    /// emit the cumulative `_bucket{le=...}` series plus `_sum`/`_count` and
+    /// derived `_p50`/`_p95`/`_p99` gauges.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.read();
+        let mut out = String::new();
+        for (name, metric) in metrics.iter() {
+            let base = base_name(name);
+            match metric {
+                Metric::Counter(c) => {
+                    type_line(&mut out, base, "counter");
+                    out.push_str(&format!("{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    type_line(&mut out, base, "gauge");
+                    out.push_str(&format!("{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    type_line(&mut out, base, "histogram");
+                    let count = snap.count();
+                    let bucket = suffixed(name, "_bucket");
+                    for (le, cum) in snap.cumulative() {
+                        let labelled = with_label(&bucket, &format!("le=\"{le}\""));
+                        out.push_str(&format!("{labelled} {cum}\n"));
+                    }
+                    let inf = with_label(&bucket, "le=\"+Inf\"");
+                    out.push_str(&format!("{inf} {count}\n"));
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        suffixed(name, "_sum"),
+                        snap.sum_seconds()
+                    ));
+                    out.push_str(&format!("{} {count}\n", suffixed(name, "_count")));
+                    for (p, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                        let pname = suffixed(name, &format!("_{p}"));
+                        type_line(&mut out, base_name(&pname), "gauge");
+                        out.push_str(&format!("{pname} {}\n", snap.quantile(q)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The metric name stripped of any `{label}` suffix.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+fn type_line(out: &mut String, base: &str, kind: &str) {
+    let line = format!("# TYPE {base} {kind}\n");
+    // Labelled series of one base metric sit adjacent in the BTreeMap;
+    // emit each TYPE header once.
+    if !out.contains(&line) {
+        out.push_str(&line);
+    }
+}
+
+/// Splice an extra label into a possibly-labelled metric name.
+fn with_label(name: &str, extra: &str) -> String {
+    match name.strip_suffix('}') {
+        Some(head) => format!("{head},{extra}}}"),
+        None => format!("{name}{{{extra}}}"),
+    }
+}
+
+/// Append a suffix to the base name, preserving any label set.
+fn suffixed(name: &str, suffix: &str) -> String {
+    match name.split_once('{') {
+        Some((base, labels)) => format!("{base}{suffix}{{{labels}"),
+        None => format!("{name}{suffix}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_monotone_and_exact_low() {
+        for n in 0..4u64 {
+            assert_eq!(bucket_index(n), n as usize);
+            assert_eq!(bucket_upper_nanos(n as usize), n);
+        }
+        let mut prev = 0;
+        for shift in 2..63 {
+            let n = 1u64 << shift;
+            let i = bucket_index(n);
+            assert!(i >= prev, "bucket index must not decrease");
+            prev = i;
+            assert!(bucket_upper_nanos(i) >= n);
+            // ≤25% relative error: upper bound within 1.25x of the lower
+            // edge of the bucket, which is ≤ the observed value.
+            assert!(bucket_upper_nanos(i) as f64 <= n as f64 * 1.25);
+        }
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_nanos(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bound_observations() {
+        let h = Histogram::new();
+        for ms in [1u64, 2, 3, 10, 100] {
+            h.observe_nanos(ms * 1_000_000);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile(0.5);
+        assert!((0.003..=0.00375).contains(&p50), "p50 = {p50}");
+        let p100 = h.quantile(1.0);
+        assert!((0.1..=0.125).contains(&p100), "p100 = {p100}");
+        assert!(h.mean_seconds() > 0.0);
+    }
+
+    #[test]
+    fn registry_renders_exposition() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ftn_requests_total").add(3);
+        reg.gauge("ftn_queue_depth{device=\"0\"}").set(2);
+        reg.histogram("ftn_latency_seconds").observe(0.01);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE ftn_requests_total counter"));
+        assert!(text.contains("ftn_requests_total 3"));
+        assert!(text.contains("ftn_queue_depth{device=\"0\"} 2"));
+        assert!(text.contains("ftn_latency_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("ftn_latency_seconds_count 1"));
+        assert!(text.contains("ftn_latency_seconds_p99"));
+    }
+
+    #[test]
+    fn same_handle_is_shared() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc();
+        reg.counter("c").inc();
+        assert_eq!(reg.counter("c").get(), 2);
+    }
+}

@@ -1,0 +1,395 @@
+//! The span recorder: per-thread ring buffers of completed spans with a
+//! process-global registry of lanes (one per thread that ever recorded).
+//!
+//! Recording is designed around three costs:
+//!
+//! - **Disabled** (the default): [`span`] is one relaxed atomic load and
+//!   returns an empty guard — no allocation, no lock, no clock read.
+//! - **Enabled hot path**: creating a span allocates its boxed payload and
+//!   reads the monotonic clock; dropping it pushes one event into the
+//!   calling thread's own ring buffer, whose mutex is uncontended except
+//!   during an export snapshot.
+//! - **Bounded memory**: each lane is a ring of at most the configured
+//!   capacity; old events fall off the front.
+//!
+//! Spans nest through a thread-local stack (parent ids are assigned
+//! automatically) and carry a trace id installed with [`trace_scope`] —
+//! worker threads continue a submitting request's trace by re-installing
+//! its id and linking the job span to the submitting span with
+//! [`span_linked`].
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// One completed span (or zero-duration instant event).
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Human-readable span name (e.g. `job.kernel`, `http.request`).
+    pub name: String,
+    /// Category — the Chrome-trace `cat` field (`http`, `worker`, `epoch`, …).
+    pub cat: &'static str,
+    /// The request/trace id this span belongs to (0 = none).
+    pub trace_id: u64,
+    /// This span's unique id.
+    pub span_id: u64,
+    /// The enclosing span's id (0 = root).
+    pub parent_id: u64,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub start_nanos: u64,
+    /// Duration in nanoseconds (0 for instant events).
+    pub dur_nanos: u64,
+    /// Free-form key/value annotations.
+    pub args: Vec<(String, String)>,
+}
+
+/// All events captured on one thread, in completion order.
+#[derive(Debug, Clone)]
+pub struct LaneSnapshot {
+    /// Stable lane index (Chrome-trace `tid`).
+    pub lane: usize,
+    /// The recording thread's name at registration time.
+    pub name: String,
+    /// Completed events, oldest first.
+    pub events: Vec<SpanEvent>,
+}
+
+struct Lane {
+    index: usize,
+    name: String,
+    events: Mutex<VecDeque<SpanEvent>>,
+}
+
+struct Recorder {
+    enabled: AtomicBool,
+    capacity: AtomicUsize,
+    next_id: AtomicU64,
+    lanes: Mutex<Vec<Arc<Lane>>>,
+    epoch: Instant,
+}
+
+fn recorder() -> &'static Recorder {
+    static RECORDER: OnceLock<Recorder> = OnceLock::new();
+    RECORDER.get_or_init(|| Recorder {
+        enabled: AtomicBool::new(false),
+        capacity: AtomicUsize::new(4096),
+        next_id: AtomicU64::new(1),
+        lanes: Mutex::new(Vec::new()),
+        epoch: Instant::now(),
+    })
+}
+
+thread_local! {
+    static LANE: RefCell<Option<Arc<Lane>>> = const { RefCell::new(None) };
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Nanoseconds since the process trace epoch (first recorder touch).
+pub fn now_nanos() -> u64 {
+    recorder().epoch.elapsed().as_nanos() as u64
+}
+
+/// Whether span recording is currently on.
+pub fn enabled() -> bool {
+    recorder().enabled.load(Ordering::Relaxed)
+}
+
+/// Turn span recording on or off. Off (the default) makes [`span`] a no-op.
+pub fn set_enabled(on: bool) {
+    recorder().enabled.store(on, Ordering::Relaxed);
+}
+
+/// Set the per-lane ring capacity (events per thread). Takes effect on the
+/// next push to each lane.
+pub fn set_capacity(events_per_lane: usize) {
+    recorder()
+        .capacity
+        .store(events_per_lane.max(1), Ordering::Relaxed);
+}
+
+/// Drop every recorded event (lanes stay registered). Intended for tests.
+pub fn clear() {
+    for lane in recorder().lanes.lock().iter() {
+        lane.events.lock().clear();
+    }
+}
+
+/// A fresh process-unique trace id.
+pub fn new_trace_id() -> u64 {
+    recorder().next_id.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The trace id installed on this thread (0 = none).
+pub fn current_trace_id() -> u64 {
+    TRACE.with(|t| t.get())
+}
+
+/// The innermost open span's id on this thread (0 = none).
+pub fn current_span_id() -> u64 {
+    STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// Guard restoring the previous thread trace id on drop.
+pub struct TraceScope {
+    prev: u64,
+}
+
+/// Install `trace_id` as this thread's current trace until the returned
+/// guard drops.
+pub fn trace_scope(trace_id: u64) -> TraceScope {
+    let prev = TRACE.with(|t| t.replace(trace_id));
+    TraceScope { prev }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        TRACE.with(|t| t.set(prev));
+    }
+}
+
+struct SpanData {
+    name: String,
+    cat: &'static str,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    start_nanos: u64,
+    args: Vec<(String, String)>,
+}
+
+/// RAII guard for an open span; records a completed event when dropped.
+/// Empty (free) when recording is disabled.
+pub struct Span {
+    data: Option<Box<SpanData>>,
+}
+
+/// Open a span named `name` under the thread's current trace and innermost
+/// open span. Returns an empty guard when recording is disabled.
+pub fn span(name: impl Into<String>, cat: &'static str) -> Span {
+    if !enabled() {
+        return Span { data: None };
+    }
+    open(name.into(), cat, current_trace_id(), current_span_id())
+}
+
+/// Open a span explicitly linked to a `(trace_id, parent_id)` recorded on
+/// another thread — the cross-thread continuation used by pool workers.
+pub fn span_linked(
+    name: impl Into<String>,
+    cat: &'static str,
+    trace_id: u64,
+    parent_id: u64,
+) -> Span {
+    if !enabled() {
+        return Span { data: None };
+    }
+    open(name.into(), cat, trace_id, parent_id)
+}
+
+fn open(name: String, cat: &'static str, trace_id: u64, parent_id: u64) -> Span {
+    let span_id = recorder().next_id.fetch_add(1, Ordering::Relaxed);
+    STACK.with(|s| s.borrow_mut().push(span_id));
+    Span {
+        data: Some(Box::new(SpanData {
+            name,
+            cat,
+            trace_id,
+            span_id,
+            parent_id,
+            start_nanos: now_nanos(),
+            args: Vec::new(),
+        })),
+    }
+}
+
+impl Span {
+    /// Attach a key/value annotation (no-op on a disabled-span guard).
+    pub fn arg(&mut self, key: &str, value: impl std::fmt::Display) {
+        if let Some(d) = &mut self.data {
+            d.args.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// This span's id (0 when recording is disabled).
+    pub fn id(&self) -> u64 {
+        self.data.as_ref().map(|d| d.span_id).unwrap_or(0)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(d) = self.data.take() else { return };
+        let end = now_nanos();
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.last() == Some(&d.span_id) {
+                s.pop();
+            } else {
+                // Out-of-order drop (should not happen with guards held on
+                // the stack); drop our id wherever it sits.
+                s.retain(|&id| id != d.span_id);
+            }
+        });
+        record(SpanEvent {
+            name: d.name,
+            cat: d.cat,
+            trace_id: d.trace_id,
+            span_id: d.span_id,
+            parent_id: d.parent_id,
+            start_nanos: d.start_nanos,
+            dur_nanos: end.saturating_sub(d.start_nanos),
+            args: d.args,
+        });
+    }
+}
+
+/// Record a zero-duration instant event under the current trace/span.
+pub fn instant(name: impl Into<String>, cat: &'static str, args: Vec<(String, String)>) {
+    if !enabled() {
+        return;
+    }
+    let now = now_nanos();
+    record(SpanEvent {
+        name: name.into(),
+        cat,
+        trace_id: current_trace_id(),
+        span_id: recorder().next_id.fetch_add(1, Ordering::Relaxed),
+        parent_id: current_span_id(),
+        start_nanos: now,
+        dur_nanos: 0,
+        args,
+    });
+}
+
+fn record(event: SpanEvent) {
+    let r = recorder();
+    LANE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let lane = slot.get_or_insert_with(|| {
+            let mut lanes = r.lanes.lock();
+            let index = lanes.len();
+            let name = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{index}"));
+            let lane = Arc::new(Lane {
+                index,
+                name,
+                events: Mutex::new(VecDeque::new()),
+            });
+            lanes.push(lane.clone());
+            lane
+        });
+        let capacity = r.capacity.load(Ordering::Relaxed);
+        let mut events = lane.events.lock();
+        while events.len() >= capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+    });
+}
+
+/// Copy out every lane's events that *end* at or after `since_nanos`
+/// (0 = everything currently buffered).
+pub fn snapshot(since_nanos: u64) -> Vec<LaneSnapshot> {
+    recorder()
+        .lanes
+        .lock()
+        .iter()
+        .map(|lane| LaneSnapshot {
+            lane: lane.index,
+            name: lane.name.clone(),
+            events: lane
+                .events
+                .lock()
+                .iter()
+                .filter(|e| e.start_nanos + e.dur_nanos >= since_nanos)
+                .cloned()
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share global recorder state with each other (and with any
+    // other test in this binary); serialize the ones that toggle it.
+    fn lock_recorder() -> parking_lot::MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        GUARD.get_or_init(|| Mutex::new(())).lock()
+    }
+
+    #[test]
+    fn disabled_spans_are_free_and_unrecorded() {
+        let _g = lock_recorder();
+        set_enabled(false);
+        clear();
+        let before: usize = snapshot(0).iter().map(|l| l.events.len()).sum();
+        for _ in 0..100 {
+            let mut s = span("noop", "test");
+            s.arg("k", 1);
+        }
+        let after: usize = snapshot(0).iter().map(|l| l.events.len()).sum();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn nesting_assigns_parents_and_trace_ids() {
+        let _g = lock_recorder();
+        set_enabled(true);
+        clear();
+        let trace = new_trace_id();
+        {
+            let _scope = trace_scope(trace);
+            let outer = span("outer", "test");
+            let outer_id = outer.id();
+            {
+                let inner = span("inner", "test");
+                assert_eq!(current_span_id(), inner.id());
+            }
+            assert_eq!(current_span_id(), outer_id);
+        }
+        set_enabled(false);
+        let events: Vec<SpanEvent> = snapshot(0)
+            .into_iter()
+            .flat_map(|l| l.events)
+            .filter(|e| e.trace_id == trace)
+            .collect();
+        assert_eq!(events.len(), 2);
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!(inner.parent_id, outer.span_id);
+        assert_eq!(outer.parent_id, 0);
+        assert!(inner.start_nanos >= outer.start_nanos);
+        assert!(inner.start_nanos + inner.dur_nanos <= outer.start_nanos + outer.dur_nanos);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _g = lock_recorder();
+        set_enabled(true);
+        clear();
+        set_capacity(8);
+        for i in 0..100 {
+            let mut s = span(format!("s{i}"), "test");
+            s.arg("i", i);
+        }
+        set_enabled(false);
+        let mine: usize = snapshot(0)
+            .iter()
+            .filter(|l| l.events.iter().any(|e| e.cat == "test"))
+            .map(|l| l.events.len())
+            .max()
+            .unwrap_or(0);
+        assert!(mine <= 8, "lane exceeded capacity: {mine}");
+        set_capacity(4096);
+    }
+}

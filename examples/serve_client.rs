@@ -14,6 +14,9 @@
 //! * the session result is bit-identical to the single-device `Machine`,
 //! * the sharded session result is bit-identical to the unsharded one,
 //! * `/stats` shows the burst reused one connection (keep-alive),
+//! * `GET /metrics` exports the request/queue-wait histograms and
+//!   `GET /trace` returns a Chrome trace-event timeline with one lane per
+//!   pool device and the burst's `job.kernel` spans,
 //! * the server shuts down cleanly on `POST /shutdown`.
 //!
 //! Run with: `cargo run --release --example serve_client`
@@ -320,6 +323,53 @@ fn main() {
     assert_eq!(connections, 1, "burst must reuse one connection");
     assert!(requests > 20, "stats: {stats:?}");
     println!("keep-alive: {requests} requests over {connections} connection(s)");
+
+    // Observability endpoints, still on the same connection: /metrics is
+    // Prometheus text exposition fed by the burst above, /trace is a
+    // Chrome trace-event timeline with one lane per pool device.
+    let (status, metrics) = conn
+        .request_text("GET", "/metrics", "")
+        .expect("GET /metrics round-trips");
+    assert_eq!(status, 200);
+    for needle in [
+        "# TYPE ftn_http_requests_total counter",
+        "# TYPE ftn_http_request_seconds histogram",
+        "# TYPE ftn_pool_queue_wait_seconds histogram",
+        "ftn_launches_total",
+        "ftn_uptime_seconds",
+        "ftn_pool_queue_depth{",
+    ] {
+        assert!(metrics.contains(needle), "/metrics missing {needle:?}");
+    }
+    let (status, trace) = conn
+        .request_text("GET", "/trace", "")
+        .expect("GET /trace round-trips");
+    assert_eq!(status, 200);
+    let timeline = serde_json::value_from_str(&trace).expect("/trace is valid JSON");
+    let Some(Value::Arr(events)) = timeline.get("traceEvents") else {
+        panic!("/trace has no traceEvents array");
+    };
+    let device_lanes = events
+        .iter()
+        .filter(|e| {
+            e.get("ph") == Some(&Value::Str("M".into()))
+                && matches!(
+                    e.get("args").and_then(|a| a.get("name")),
+                    Some(Value::Str(s)) if s.starts_with("ftn-device-")
+                )
+        })
+        .count();
+    assert_eq!(device_lanes, 2, "one trace lane per pool device");
+    let job_spans = events
+        .iter()
+        .filter(|e| e.get("name") == Some(&Value::Str("job.kernel".into())))
+        .count();
+    assert!(job_spans > 0, "no job.kernel spans in /trace");
+    println!(
+        "observability: /metrics exports histograms, /trace has {} events on {} device lanes",
+        events.len(),
+        device_lanes
+    );
 
     // Clean shutdown.
     let (_, _) = request(&mut conn, "POST", "/shutdown", "");

@@ -11,6 +11,9 @@
 //!                                            N launches when the predicted
 //!                                            makespan gain clears T
 //!           [--idle-timeout SECS]            keep-alive idle timeout
+//!           [--trace-buffer EVENTS]          span-ring capacity per lane
+//!                                            (0 disables tracing)
+//!           [--log-level LEVEL]              error|warn|info|debug|trace
 //! ```
 //!
 //! Compile mode runs the full OpenMP→FPGA pipeline and writes every artifact
@@ -23,6 +26,8 @@
 //! over a simulated multi-FPGA pool. With `--shards N|auto`, sessions that
 //! do not specify a shard count themselves are sharded across the pool
 //! (ftn-shard; see the README "ftn-serve"/"ftn-shard" sections for the API).
+//! Observability: `GET /metrics` (Prometheus) and `GET /trace` (Chrome
+//! trace-event JSON) — see `docs/OBSERVABILITY.md`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -134,9 +139,30 @@ fn serve(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--trace-buffer" => {
+                i += 1;
+                // 0 is meaningful: it disables span recording entirely.
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(events) => config.trace_buffer = events,
+                    None => {
+                        eprintln!("error: --trace-buffer needs a number of events (0 disables)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--log-level" => {
+                i += 1;
+                match args.get(i).and_then(|v| ftn_trace::Level::parse(v)) {
+                    Some(level) => config.log_level = level,
+                    None => {
+                        eprintln!("error: --log-level needs error|warn|info|debug|trace");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: ftn serve [--port P] [--devices N|u280,u250,...] [--workers W] [--cache-dir DIR] [--shards N|auto] [--auto-rebalance N[:T]] [--idle-timeout SECS]"
+                    "usage: ftn serve [--port P] [--devices N|u280,u250,...] [--workers W] [--cache-dir DIR] [--shards N|auto] [--auto-rebalance N[:T]] [--idle-timeout SECS] [--trace-buffer EVENTS] [--log-level LEVEL]"
                 );
                 return ExitCode::SUCCESS;
             }
