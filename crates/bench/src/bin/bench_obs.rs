@@ -1,7 +1,9 @@
 //! Emit `BENCH_obs.json`: end-to-end request latency (p50/p99) at 1/8/64
-//! concurrent keep-alive clients, and the tracing layer's enabled-vs-disabled
-//! overhead — the process exits non-zero if that overhead exceeds the 3%
-//! budget (`ftn_bench::obs_bench::MAX_OVERHEAD_FRACTION`).
+//! concurrent keep-alive clients, the tracing layer's enabled-vs-disabled
+//! overhead, and the self-monitoring layer's scrape-on-vs-off overhead
+//! (time-series store + SLO burn-rate evaluation at 100 ms cadence) — the
+//! process exits non-zero if either overhead exceeds the 3% budget
+//! (`ftn_bench::obs_bench::MAX_OVERHEAD_FRACTION`).
 //!
 //! ```text
 //! bench_obs [--out PATH] [--quick]
@@ -65,6 +67,18 @@ fn main() -> ExitCode {
         o.trials,
         o.disabled_span_nanos,
     );
+    let s = &report.scrape_overhead;
+    println!(
+        "scrape+SLO overhead @ {} ms cadence: {:.2}% floor / {:.2}% median (best: scraping {:.4}s vs off {:.4}s over {} requests, {} interleaved pairs; SLOs: {})",
+        s.scrape_interval_ms,
+        s.overhead_fraction * 100.0,
+        s.median_overhead_fraction * 100.0,
+        s.enabled_seconds,
+        s.disabled_seconds,
+        s.requests_per_trial,
+        s.trials,
+        s.slos.join(", "),
+    );
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     if let Err(e) = std::fs::write(&out, json + "\n") {
         eprintln!("error: cannot write {}: {e}", out.display());
@@ -75,6 +89,14 @@ fn main() -> ExitCode {
         eprintln!(
             "error: tracing overhead {:.2}% exceeds the {:.0}% budget",
             o.overhead_fraction * 100.0,
+            MAX_OVERHEAD_FRACTION * 100.0,
+        );
+        return ExitCode::FAILURE;
+    }
+    if s.overhead_fraction > MAX_OVERHEAD_FRACTION {
+        eprintln!(
+            "error: scrape+SLO overhead {:.2}% exceeds the {:.0}% budget",
+            s.overhead_fraction * 100.0,
             MAX_OVERHEAD_FRACTION * 100.0,
         );
         return ExitCode::FAILURE;

@@ -1,9 +1,12 @@
 //! Observability benchmark: end-to-end HTTP request latency of the serve
 //! stack at 1/8/64 concurrent keep-alive clients, plus the cost of the
 //! tracing layer itself — the same request burst with the span recorder
-//! enabled vs disabled, and the per-call cost of a disabled span. Emitted as
-//! `BENCH_obs.json` by the `bench_obs` binary; the binary fails if the
-//! enabled-vs-disabled overhead exceeds [`MAX_OVERHEAD_FRACTION`].
+//! enabled vs disabled, and the per-call cost of a disabled span — and the
+//! cost of the self-monitoring layer: identical bursts against a server
+//! scraping its registry into the time-series store and evaluating SLO burn
+//! rates every 100 ms vs one with scraping disabled. Emitted as
+//! `BENCH_obs.json` by the `bench_obs` binary; the binary fails if either
+//! overhead exceeds [`MAX_OVERHEAD_FRACTION`].
 
 use std::net::SocketAddr;
 use std::time::Instant;
@@ -11,8 +14,9 @@ use std::time::Instant;
 use ftn_serve::{api, client::Conn, ServeConfig, Server};
 use serde::{Serialize, Value};
 
-/// The tracing-overhead budget `bench_obs` enforces: enabled-vs-disabled
-/// end-to-end wall time (min over trials) may differ by at most 3%.
+/// The observability-overhead budget `bench_obs` enforces, twice over:
+/// tracing enabled-vs-disabled and scraping(100 ms)+SLO-vs-off end-to-end
+/// wall time (min over interleaved pairs) may each differ by at most 3%.
 pub const MAX_OVERHEAD_FRACTION: f64 = 0.03;
 
 /// Request latency at one concurrency level.
@@ -51,27 +55,53 @@ pub struct ObsOverhead {
     pub disabled_span_nanos: f64,
 }
 
+/// Scrape-on-vs-off cost of the self-monitoring layer (time-series store
+/// snapshots + SLO burn-rate evaluation at 100 ms cadence) over identical
+/// request bursts against two otherwise identical servers.
+#[derive(Clone, Debug, Serialize)]
+pub struct ObsScrapeOverhead {
+    pub trials: usize,
+    pub requests_per_trial: u64,
+    /// Self-scrape cadence of the scraping server, in milliseconds.
+    pub scrape_interval_ms: u64,
+    /// SLOs the scraping server evaluates each scrape (the built-in
+    /// defaults).
+    pub slos: Vec<String>,
+    /// Fastest burst against the server with scraping disabled.
+    pub disabled_seconds: f64,
+    /// Fastest burst against the scraping server.
+    pub enabled_seconds: f64,
+    /// `max(0, min(enabled/disabled per interleaved pair) - 1)` — the
+    /// enforced estimate (same rationale as [`ObsOverhead`]: scheduler
+    /// noise is one-sided, the quietest pair is the honest floor).
+    pub overhead_fraction: f64,
+    /// `max(0, median(enabled/disabled per pair) - 1)` — informational.
+    pub median_overhead_fraction: f64,
+}
+
 /// The emitted report.
 #[derive(Clone, Debug, Serialize)]
 pub struct ObsBenchReport {
     pub workload: String,
     pub latency: Vec<ObsLatencyPoint>,
     pub overhead: ObsOverhead,
-    /// The budget the binary enforces against `overhead.overhead_fraction`.
+    /// Cost of the background scraper + SLO engine on the request path.
+    pub scrape_overhead: ObsScrapeOverhead,
+    /// The budget the binary enforces against both `overhead_fraction`s.
     pub max_overhead_fraction: f64,
 }
 
 fn start_server(workers: usize, trace_buffer: usize) -> (SocketAddr, ServerHandle) {
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServeConfig {
-            devices: 1,
-            workers,
-            trace_buffer,
-            ..Default::default()
-        },
-    )
-    .expect("bind obs-bench server");
+    start_server_with(ServeConfig {
+        devices: 1,
+        workers,
+        trace_buffer,
+        ..Default::default()
+    })
+}
+
+fn start_server_with(config: ServeConfig) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind obs-bench server");
     let addr = server.local_addr();
     (addr, std::thread::spawn(move || server.run()))
 }
@@ -157,71 +187,11 @@ end subroutine saxpy
 /// (median-of-pair-ratios) overhead estimates.
 fn burst_seconds(trials: usize, requests: usize) -> (f64, f64, f64, f64) {
     let (addr, handle) = start_server(2, 4096);
-    let mut conn = Conn::open(addr).expect("connect");
-
-    // Compile and open one persistent session; the bursts launch against it.
-    let compile = serde_json::to_string(&api::obj(vec![("source", Value::Str(SAXPY.to_string()))]))
-        .expect("body serializes");
-    let (status, resp) = conn.request("POST", "/compile", &compile).expect("compile");
-    assert_eq!(status, 200, "{resp:?}");
-    let Some(Value::Str(key)) = resp.get("key") else {
-        panic!("no key in {resp:?}");
-    };
-    let n = 1024usize;
-    let x: Vec<f32> = (0..n).map(|i| (i % 97) as f32 * 0.25).collect();
-    let y = vec![1.0f32; n];
-    let open = serde_json::to_string(&api::obj(vec![
-        ("key", Value::Str(key.clone())),
-        (
-            "maps",
-            Value::Arr(vec![
-                api::obj(vec![
-                    ("name", Value::Str("x".into())),
-                    ("kind", Value::Str("to".into())),
-                    ("data", x.to_value()),
-                ]),
-                api::obj(vec![
-                    ("name", Value::Str("y".into())),
-                    ("kind", Value::Str("tofrom".into())),
-                    ("data", y.to_value()),
-                ]),
-            ]),
-        ),
-    ]))
-    .expect("body serializes");
-    let (status, opened) = conn.request("POST", "/sessions", &open).expect("open");
-    assert_eq!(status, 200, "{opened:?}");
-    let sid = match opened.get("session") {
-        Some(Value::UInt(u)) => *u,
-        Some(Value::Int(i)) => *i as u64,
-        other => panic!("bad session id {other:?}"),
-    };
-    let launch = serde_json::to_string(&api::obj(vec![
-        ("kernel", Value::Str("saxpy_kernel0".into())),
-        (
-            "args",
-            Value::Arr(vec![
-                api::obj(vec![("array", Value::Str("x".into()))]),
-                api::obj(vec![("array", Value::Str("y".into()))]),
-                api::obj(vec![("extent", Value::Str("x".into()))]),
-                api::obj(vec![("extent", Value::Str("y".into()))]),
-                api::obj(vec![("f32", Value::Float(2.0))]),
-                api::obj(vec![("index", Value::Int(1))]),
-                api::obj(vec![("extent", Value::Str("x".into()))]),
-            ]),
-        ),
-    ]))
-    .expect("body serializes");
-    let path = format!("/sessions/{sid}/launch");
+    let mut session = LaunchSession::open(addr);
 
     let mut burst = |on: bool| {
         ftn_trace::set_enabled(on);
-        let t = Instant::now();
-        for _ in 0..requests {
-            let (status, resp) = conn.request("POST", &path, &launch).expect("launch");
-            assert_eq!(status, 200, "{resp:?}");
-        }
-        t.elapsed().as_secs_f64()
+        session.burst(requests)
     };
     // Warm up the session (everything resident) and both code paths.
     burst(true);
@@ -236,12 +206,154 @@ fn burst_seconds(trials: usize, requests: usize) -> (f64, f64, f64, f64) {
         disabled = disabled.min(d);
     }
     ftn_trace::set_enabled(true);
-    drop(conn);
+    drop(session);
     stop_server(addr, handle);
+    let (floor, median) = ratio_floors(ratios);
+    (enabled, disabled, floor, median)
+}
+
+/// One compiled-and-opened SAXPY session on a server, with a keep-alive
+/// connection — `burst(n)` times `n` launch round trips against it.
+struct LaunchSession {
+    conn: Conn,
+    path: String,
+    launch: String,
+}
+
+impl LaunchSession {
+    fn open(addr: SocketAddr) -> LaunchSession {
+        let mut conn = Conn::open(addr).expect("connect");
+        let compile =
+            serde_json::to_string(&api::obj(vec![("source", Value::Str(SAXPY.to_string()))]))
+                .expect("body serializes");
+        let (status, resp) = conn.request("POST", "/compile", &compile).expect("compile");
+        assert_eq!(status, 200, "{resp:?}");
+        let Some(Value::Str(key)) = resp.get("key") else {
+            panic!("no key in {resp:?}");
+        };
+        let n = 1024usize;
+        let x: Vec<f32> = (0..n).map(|i| (i % 97) as f32 * 0.25).collect();
+        let y = vec![1.0f32; n];
+        let open = serde_json::to_string(&api::obj(vec![
+            ("key", Value::Str(key.clone())),
+            (
+                "maps",
+                Value::Arr(vec![
+                    api::obj(vec![
+                        ("name", Value::Str("x".into())),
+                        ("kind", Value::Str("to".into())),
+                        ("data", x.to_value()),
+                    ]),
+                    api::obj(vec![
+                        ("name", Value::Str("y".into())),
+                        ("kind", Value::Str("tofrom".into())),
+                        ("data", y.to_value()),
+                    ]),
+                ]),
+            ),
+        ]))
+        .expect("body serializes");
+        let (status, opened) = conn.request("POST", "/sessions", &open).expect("open");
+        assert_eq!(status, 200, "{opened:?}");
+        let sid = match opened.get("session") {
+            Some(Value::UInt(u)) => *u,
+            Some(Value::Int(i)) => *i as u64,
+            other => panic!("bad session id {other:?}"),
+        };
+        let launch = serde_json::to_string(&api::obj(vec![
+            ("kernel", Value::Str("saxpy_kernel0".into())),
+            (
+                "args",
+                Value::Arr(vec![
+                    api::obj(vec![("array", Value::Str("x".into()))]),
+                    api::obj(vec![("array", Value::Str("y".into()))]),
+                    api::obj(vec![("extent", Value::Str("x".into()))]),
+                    api::obj(vec![("extent", Value::Str("y".into()))]),
+                    api::obj(vec![("f32", Value::Float(2.0))]),
+                    api::obj(vec![("index", Value::Int(1))]),
+                    api::obj(vec![("extent", Value::Str("x".into()))]),
+                ]),
+            ),
+        ]))
+        .expect("body serializes");
+        let path = format!("/sessions/{sid}/launch");
+        LaunchSession { conn, path, launch }
+    }
+
+    fn burst(&mut self, requests: usize) -> f64 {
+        let t = Instant::now();
+        for _ in 0..requests {
+            let (status, resp) = self
+                .conn
+                .request("POST", &self.path, &self.launch)
+                .expect("launch");
+            assert_eq!(status, 200, "{resp:?}");
+        }
+        t.elapsed().as_secs_f64()
+    }
+}
+
+/// `(floor, median)` overhead estimates from per-pair enabled/disabled
+/// ratios.
+fn ratio_floors(mut ratios: Vec<f64>) -> (f64, f64) {
     ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
     let floor = (ratios[0] - 1.0).max(0.0);
     let median = (ratios[ratios.len() / 2] - 1.0).max(0.0);
-    (enabled, disabled, floor, median)
+    (floor, median)
+}
+
+/// Scrape-on-vs-off comparison: two servers identical but for
+/// `scrape_interval_ms` (100 with the default SLOs vs 0 = no scraper
+/// thread, no SLO engine ticks), each with its own session and connection.
+/// Trials interleave one burst against each server so machine drift hits
+/// both sides of a pair; the scraper meanwhile snapshots every registry
+/// metric into the time-series store and re-evaluates both default burn
+/// rates ~10×/s on the scraping side only.
+fn scrape_burst_seconds(trials: usize, requests: usize) -> ObsScrapeOverhead {
+    let scrape_interval_ms = 100u64;
+    let slos: Vec<String> = ftn_trace::default_slos()
+        .iter()
+        .map(|s| s.spec.clone())
+        .collect();
+    let config = |interval: u64| ServeConfig {
+        devices: 1,
+        workers: 2,
+        trace_buffer: 4096,
+        scrape_interval_ms: interval,
+        ..Default::default()
+    };
+    let (addr_on, handle_on) = start_server_with(config(scrape_interval_ms));
+    let (addr_off, handle_off) = start_server_with(config(0));
+    let mut on = LaunchSession::open(addr_on);
+    let mut off = LaunchSession::open(addr_off);
+
+    // Warm both sessions.
+    on.burst(requests);
+    off.burst(requests);
+    let (mut enabled, mut disabled) = (f64::INFINITY, f64::INFINITY);
+    let mut ratios = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let e = on.burst(requests);
+        let d = off.burst(requests);
+        ratios.push(e / d);
+        enabled = enabled.min(e);
+        disabled = disabled.min(d);
+    }
+    drop(on);
+    drop(off);
+    stop_server(addr_on, handle_on);
+    stop_server(addr_off, handle_off);
+    let (overhead_fraction, median_overhead_fraction) = ratio_floors(ratios);
+    ObsScrapeOverhead {
+        trials,
+        requests_per_trial: requests as u64,
+        scrape_interval_ms,
+        slos,
+        disabled_seconds: disabled,
+        enabled_seconds: enabled,
+        overhead_fraction,
+        median_overhead_fraction,
+    }
 }
 
 /// Per-call cost of a disabled span (create + drop), in nanoseconds.
@@ -273,6 +385,8 @@ pub fn run(requests_per_client: usize, trials: usize, burst: usize) -> ObsBenchR
     // Identical interleaved bursts with tracing enabled vs disabled.
     let (enabled_seconds, disabled_seconds, overhead_fraction, median_overhead_fraction) =
         burst_seconds(trials, burst);
+    // And with the self-scraper + SLO engine on vs off.
+    let scrape_overhead = scrape_burst_seconds(trials, burst);
     ObsBenchReport {
         workload: "ftn-serve keep-alive: /healthz latency; session-launch bursts for overhead"
             .to_string(),
@@ -286,6 +400,7 @@ pub fn run(requests_per_client: usize, trials: usize, burst: usize) -> ObsBenchR
             median_overhead_fraction,
             disabled_span_nanos: disabled_span_nanos(),
         },
+        scrape_overhead,
         max_overhead_fraction: MAX_OVERHEAD_FRACTION,
     }
 }

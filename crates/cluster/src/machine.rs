@@ -397,6 +397,12 @@ impl ClusterMachine {
         self.pool.len()
     }
 
+    /// Per-device worker-thread liveness, in device-index order — the
+    /// `/healthz` readiness signal.
+    pub fn devices_alive(&self) -> Vec<bool> {
+        self.pool.alive()
+    }
+
     /// The device models backing the pool, in device-index order.
     pub fn device_models(&self) -> Vec<DeviceModel> {
         self.pool.models()
@@ -1180,7 +1186,11 @@ impl ClusterMachine {
                 self.arena_buffers[device] = success.arena_buffers;
                 self.policy.observe_job(success.sim_busy_seconds);
                 self.metrics.jobs.inc();
-                self.metrics.queue_wait.observe(success.queue_wait_seconds);
+                self.metrics.queue_wait.observe_with_exemplar(
+                    success.queue_wait_seconds,
+                    success.trace_id,
+                    success.span_id,
+                );
                 self.metrics.job_sim.observe(success.sim_busy_seconds);
                 Ok((device, success))
             }

@@ -164,6 +164,11 @@ pub(crate) struct JobSuccess {
     /// submission and dispatch (PR 5's open load-path observation, now
     /// measured in seconds rather than inferred from cost-model cycles).
     pub queue_wait_seconds: f64,
+    /// Trace id of the submitting request (0 = tracing disabled) — rides
+    /// back so the queue-wait histogram can record a trace exemplar.
+    pub trace_id: u64,
+    /// Id of the worker-side job span the queue wait was measured around.
+    pub span_id: u64,
 }
 
 pub(crate) enum WorkerMessage {
@@ -240,6 +245,16 @@ impl DevicePool {
     /// The device models, in device-index order.
     pub fn models(&self) -> Vec<DeviceModel> {
         self.slots.iter().map(|s| s.model.clone()).collect()
+    }
+
+    /// Per-device worker liveness, in device-index order — `false` once a
+    /// worker thread has exited (clean shutdown or a crash that escaped the
+    /// panic guard). The `/healthz` readiness probe reads this.
+    pub fn alive(&self) -> Vec<bool> {
+        self.slots
+            .iter()
+            .map(|s| s.thread.as_ref().is_some_and(|t| !t.is_finished()))
+            .collect()
     }
 }
 
@@ -385,6 +400,8 @@ impl Worker {
             sim_busy_seconds,
             arena_buffers: self.memory.live(),
             queue_wait_seconds: 0.0,
+            trace_id: 0,
+            span_id: 0,
         })
     }
 
@@ -501,6 +518,7 @@ fn empty_like(like: &Buffer, len: usize) -> Buffer {
 fn run_and_report(worker: &mut Worker, job: Job, outcomes: &Sender<JobOutcome>) {
     let index = worker.index;
     let job_id = job.job_id;
+    let trace_id = job.trace_id;
     // Queue wait = submission to dispatch, measured on the shared monotonic
     // trace clock; the worker span continues the submitting request's trace
     // so the job shows up on this device's lane under that trace id.
@@ -523,6 +541,8 @@ fn run_and_report(worker: &mut Worker, job: Job, outcomes: &Sender<JobOutcome>) 
         .map(|r| {
             r.map(|mut success| {
                 success.queue_wait_seconds = queue_wait_seconds;
+                success.trace_id = trace_id;
+                success.span_id = span.id();
                 span.arg(
                     "sim_busy_us",
                     format!("{:.1}", success.sim_busy_seconds * 1e6),

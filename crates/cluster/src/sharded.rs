@@ -1030,7 +1030,11 @@ impl ClusterMachine {
             self.epoch_seconds += epoch_seconds;
             self.metrics.replans.inc();
             self.metrics.rows_migrated.add(rows_migrated);
-            self.metrics.epoch.observe(epoch_seconds);
+            self.metrics.epoch.observe_with_exemplar(
+                epoch_seconds,
+                ftn_trace::current_trace_id(),
+                epoch_span.id(),
+            );
         }
         drop(epoch_span);
         let shard_rows = s

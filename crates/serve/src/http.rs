@@ -36,15 +36,49 @@ impl Request {
         self.path.split('/').filter(|s| !s.is_empty()).collect()
     }
 
-    /// The value of query parameter `name` (`/trace?since=12` → `"12"`).
-    /// A bare `?flag` (no `=`) yields `Some("")`. No percent-decoding — the
-    /// service's parameters are plain numbers.
-    pub fn query_param(&self, name: &str) -> Option<&str> {
+    /// The value of query parameter `name` (`/trace?since=12` → `"12"`),
+    /// percent-decoded (`%7B` → `{`, `+` → space) so labelled metric names
+    /// like `ftn_pool_queue_depth{pool="x",device="0"}` are addressable in
+    /// `/metrics/range?name=`. A bare `?flag` (no `=`) yields `Some("")`.
+    /// Malformed escapes (`%G1`, truncated `%2`) pass through literally
+    /// rather than erroring — the route handler's own validation rejects
+    /// the value if it matters.
+    pub fn query_param(&self, name: &str) -> Option<String> {
         self.query.split('&').find_map(|pair| {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-            (k == name).then_some(v)
+            (k == name).then(|| percent_decode(v))
         })
     }
+}
+
+/// Decode `%XX` escapes and `+`-as-space in a query-parameter value.
+/// Malformed or truncated escapes are kept literally; decoded bytes that are
+/// not valid UTF-8 are replaced (`U+FFFD`) rather than rejected.
+fn percent_decode(value: &str) -> String {
+    let bytes = value.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|pair| {
+                    let text = std::str::from_utf8(pair).ok()?;
+                    u8::from_str_radix(text, 16).ok()
+                });
+                match hex {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// Read one HTTP/1.1 request from the stream.
@@ -129,6 +163,7 @@ fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -166,4 +201,58 @@ pub fn write_response(
     response.extend_from_slice(body.as_bytes());
     stream.write_all(&response)?;
     stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_with_query(query: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: "/metrics/range".to_string(),
+            query: query.to_string(),
+            body: String::new(),
+            keep_alive: true,
+        }
+    }
+
+    #[test]
+    fn query_param_percent_decodes_values() {
+        let req = request_with_query(
+            "name=ftn_pool_queue_depth%7Bpool%3D%22abc%22%2Cdevice%3D%220%22%7D&since=12",
+        );
+        assert_eq!(
+            req.query_param("name").as_deref(),
+            Some("ftn_pool_queue_depth{pool=\"abc\",device=\"0\"}")
+        );
+        assert_eq!(req.query_param("since").as_deref(), Some("12"));
+        assert_eq!(req.query_param("until"), None);
+    }
+
+    #[test]
+    fn query_param_decodes_plus_and_bare_flags() {
+        let req = request_with_query("q=a+b&flag");
+        assert_eq!(req.query_param("q").as_deref(), Some("a b"));
+        assert_eq!(req.query_param("flag").as_deref(), Some(""));
+    }
+
+    #[test]
+    fn malformed_escapes_pass_through_literally() {
+        // Non-hex digits after %.
+        assert_eq!(percent_decode("%G1x"), "%G1x");
+        // Truncated escape at end of string.
+        assert_eq!(percent_decode("abc%2"), "abc%2");
+        assert_eq!(percent_decode("abc%"), "abc%");
+        // A valid escape after a malformed one still decodes.
+        assert_eq!(percent_decode("%zz%20"), "%zz ");
+        // Invalid UTF-8 from decoded bytes is replaced, not an error.
+        assert_eq!(percent_decode("%FF"), "\u{FFFD}");
+    }
+
+    #[test]
+    fn status_text_covers_service_unavailable() {
+        assert_eq!(status_text(503), "Service Unavailable");
+        assert_eq!(status_text(200), "OK");
+    }
 }

@@ -12,7 +12,9 @@
 //! | `DELETE /sessions/{id}`     |                                        | Close the session: gather (or reduce) `from`/`tofrom` arrays back and return them with the session stats; all session memory is released. |
 //! | `POST /run`                 | `{key, func, args}`                    | Sessionless whole-program run (the baseline the elision ratio is measured against); request arrays are freed after the response. |
 //! | `GET /stats`                |                                        | Cache, pool, session, and HTTP statistics. |
-//! | `GET /healthz`              |                                        | Liveness probe. |
+//! | `GET /healthz`              |                                        | Readiness probe: 503 `"unready"` on a dead device worker or saturated queue, `"degraded"` with reasons while an SLO is firing, `{"ok":true,...}` otherwise. |
+//! | `GET /metrics/range`        | `?name=METRIC&since=N&until=N`         | Scraped time-series history of one metric (JSON points; histograms carry per-snapshot p50/p95/p99). |
+//! | `GET /alerts`               |                                        | Every configured SLO with state, fast/slow burn rates, and (for latency objectives) an exemplar `/trace` link. |
 //! | `POST /shutdown`            |                                        | Drain and stop the server. |
 //!
 //! One [`ClusterMachine`] pool is kept per compiled artifact key (all
@@ -44,7 +46,9 @@ use ftn_cluster::{
 use ftn_core::{Artifacts, CompilerOptions};
 use ftn_fpga::DeviceModel;
 use ftn_interp::{Buffer, RtValue};
-use ftn_trace::{Counter, Histogram, Level, MetricsRegistry};
+use ftn_trace::{
+    Counter, Histogram, Level, MetricsRegistry, PointValue, SloEngine, SloSpec, TimeSeriesStore,
+};
 use serde::{Serialize, Value};
 
 use api::ArgSpec;
@@ -86,6 +90,22 @@ pub struct ServeConfig {
     /// Maximum structured-log level (`ftn serve --log-level debug`). Like
     /// the span recorder, the log level is process-global.
     pub log_level: Level,
+    /// Cadence of the background scraper thread that snapshots every
+    /// registry metric into the time-series store and evaluates the SLO
+    /// engine (`ftn serve --scrape-interval MS`). `0` disables scraping —
+    /// `GET /metrics/range` then 404s every series and alerts never move.
+    pub scrape_interval_ms: u64,
+    /// Points retained per time-series ring (`ftn serve --retention N`).
+    /// With the 100 ms default cadence, 600 points ≈ one minute of history.
+    pub retention_points: usize,
+    /// Service-level objectives evaluated by the scraper (`ftn serve --slo
+    /// 'http_p99<5ms/30s'`, repeatable; see [`ftn_trace::SloSpec::parse`]).
+    /// Defaults to [`ftn_trace::default_slos`]: generous p99 bounds on the
+    /// built-in request-latency and queue-wait histograms.
+    pub slos: Vec<SloSpec>,
+    /// Per-device queue depth above which `GET /healthz` reports the server
+    /// unready (503). `0` disables the saturation check.
+    pub healthz_queue_limit: u64,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +120,10 @@ impl Default for ServeConfig {
             auto_rebalance: None,
             trace_buffer: 4096,
             log_level: Level::Info,
+            scrape_interval_ms: 100,
+            retention_points: 600,
+            slos: ftn_trace::default_slos(),
+            healthz_queue_limit: 1024,
         }
     }
 }
@@ -125,8 +149,14 @@ struct ServeMetrics {
     http_requests: Arc<Counter>,
     launches: Arc<Counter>,
     runs: Arc<Counter>,
+    /// Requests answered with a 5xx status (the `errors<P%/W` SLO source).
+    http_errors: Arc<Counter>,
     /// End-to-end request handling latency (read to serialized response).
     request_seconds: Arc<Histogram>,
+    /// Completed background scrapes (self-monitoring of the monitor).
+    scrapes: Arc<Counter>,
+    /// Wall time of one scrape+SLO-evaluation pass.
+    scrape_seconds: Arc<Histogram>,
 }
 
 impl ServeMetrics {
@@ -137,7 +167,10 @@ impl ServeMetrics {
             http_requests: registry.counter("ftn_http_requests_total"),
             launches: registry.counter("ftn_launches_total"),
             runs: registry.counter("ftn_runs_total"),
+            http_errors: registry.counter("ftn_http_errors_total"),
             request_seconds: registry.histogram("ftn_http_request_seconds"),
+            scrapes: registry.counter("ftn_scrapes_total"),
+            scrape_seconds: registry.histogram("ftn_scrape_seconds"),
             registry,
         }
     }
@@ -157,6 +190,11 @@ struct ServeState {
     next_session: AtomicU64,
     shutdown: AtomicBool,
     metrics: ServeMetrics,
+    /// Ring-buffered history of every registry metric, fed by the scraper
+    /// thread (`GET /metrics/range`).
+    store: Arc<TimeSeriesStore>,
+    /// The SLO engine, evaluated on the scrape cadence (`GET /alerts`).
+    slo: Arc<SloEngine>,
     started: std::time::Instant,
     local_addr: SocketAddr,
 }
@@ -164,8 +202,11 @@ struct ServeState {
 /// A route's response body: most endpoints speak JSON, but `GET /metrics`
 /// serves the Prometheus text exposition and `GET /trace` a Chrome
 /// trace-event document (raw text the Perfetto UI loads directly).
+/// `GET /healthz` carries its own status code (503 when unready) with a
+/// JSON body that is not the generic `{"error": ...}` envelope.
 enum Reply {
     Json(Value),
+    StatusJson(u16, Value),
     Text {
         content_type: &'static str,
         body: String,
@@ -268,6 +309,9 @@ impl ServeState {
                     body: self.render_trace(req)?,
                 })
             }
+            ("GET", ["metrics", "range"]) => return self.metrics_range(req).map(Reply::Json),
+            ("GET", ["alerts"]) => return self.alerts().map(Reply::Json),
+            ("GET", ["healthz"]) => return self.healthz(),
             _ => {}
         }
         match (req.method.as_str(), segments.as_slice()) {
@@ -279,7 +323,6 @@ impl ServeState {
             ("DELETE", ["sessions", id]) => self.close_session(parse_id(id)?),
             ("POST", ["run"]) => self.run_program(&req.body),
             ("GET", ["stats"]) => self.stats(),
-            ("GET", ["healthz"]) => Ok(api::obj(vec![("ok", Value::Bool(true))])),
             ("POST", ["shutdown"]) => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 Ok(api::obj(vec![("shutting_down", Value::Bool(true))]))
@@ -289,14 +332,15 @@ impl ServeState {
         .map(Reply::Json)
     }
 
-    /// `GET /metrics`: refresh the point-in-time gauges, then render the
-    /// whole registry as a Prometheus text exposition.
-    fn render_metrics(&self) -> String {
+    /// Refresh the point-in-time gauges: uptime plus per-device queue
+    /// depths, one gauge per device per pool (pools are labelled by a key
+    /// prefix — full artifact keys are 64-hex-char hashes, unreadable as
+    /// label values). Called by `GET /metrics` and by every background
+    /// scrape, so the time-series store retains gauge history even when
+    /// nobody polls `/metrics`.
+    fn refresh_gauges(&self) {
         let uptime = self.metrics.registry.gauge("ftn_uptime_seconds");
         uptime.set(self.started.elapsed().as_secs() as i64);
-        // Queue depths are sampled at scrape time: one gauge per device per
-        // pool (pools are labelled by a key prefix — full artifact keys are
-        // 64-hex-char hashes, unreadable as label values).
         for (key, pool) in lock(&self.pools).iter() {
             let machine = lock(pool);
             for (device, depth) in machine.queue_depths().iter().enumerate() {
@@ -307,21 +351,197 @@ impl ServeState {
                 self.metrics.registry.gauge(&name).set(*depth as i64);
             }
         }
+    }
+
+    /// `GET /metrics`: refresh the point-in-time gauges, then render the
+    /// whole registry as a Prometheus text exposition.
+    fn render_metrics(&self) -> String {
+        self.refresh_gauges();
         self.metrics.registry.render_prometheus()
     }
 
-    /// `GET /trace?since=NANOS`: the recorded span timeline as a Chrome
-    /// trace-event document. `since` (nanoseconds since the recorder's
-    /// epoch, as reported by earlier exports' `ts`×1000) filters to spans
-    /// that were still running at or after that instant.
+    /// One background-scraper pass: refresh gauges, snapshot every metric
+    /// into the time-series store, evaluate the SLO engine.
+    fn scrape_once(&self) {
+        let started = std::time::Instant::now();
+        self.refresh_gauges();
+        let now = ftn_trace::now_nanos();
+        self.store.scrape_at(&self.metrics.registry, now);
+        self.slo.evaluate_at(now);
+        self.metrics.scrapes.inc();
+        self.metrics
+            .scrape_seconds
+            .observe(started.elapsed().as_secs_f64());
+    }
+
+    /// `GET /trace?since=NANOS&until=NANOS`: the recorded span timeline as
+    /// a Chrome trace-event document, clipped to spans overlapping the
+    /// window (nanoseconds since the recorder's epoch, as reported by
+    /// earlier exports' `ts`×1000 — `since` defaults to 0, `until` to
+    /// unbounded).
     fn render_trace(&self, req: &Request) -> Result<String, HandlerError> {
-        let since = match req.query_param("since") {
-            Some(v) => v
-                .parse::<u64>()
-                .map_err(|_| bad_request(format!("bad 'since' value '{v}' (want nanoseconds)")))?,
-            None => 0,
+        let (since, until) = parse_window(req)?;
+        Ok(ftn_trace::export_chrome_range(since, until))
+    }
+
+    /// `GET /metrics/range?name=METRIC&since=NANOS&until=NANOS`: the
+    /// scraped history of one metric as a JSON series of timestamped
+    /// points. Histogram series carry per-snapshot count/sum/p50/p95/p99;
+    /// an unknown series (or scraping disabled) is a 404.
+    fn metrics_range(&self, req: &Request) -> Result<Value, HandlerError> {
+        let name = req
+            .query_param("name")
+            .ok_or_else(|| bad_request("missing 'name' parameter"))?;
+        let (since, until) = parse_window(req)?;
+        let points = self.store.query(&name, since, until).ok_or_else(|| {
+            not_found(format!(
+                "no series '{name}' (scrape interval {} ms; see /metrics for names)",
+                self.config.scrape_interval_ms
+            ))
+        })?;
+        let points: Vec<Value> = points
+            .iter()
+            .map(|p| {
+                let mut fields = vec![("nanos", p.nanos.to_value())];
+                match &p.value {
+                    PointValue::Counter(v) => fields.push(("value", v.to_value())),
+                    PointValue::Gauge(v) => fields.push(("value", v.to_value())),
+                    PointValue::Histogram {
+                        count,
+                        sum_seconds,
+                        p50,
+                        p95,
+                        p99,
+                    } => fields.extend([
+                        ("count", count.to_value()),
+                        ("sum_seconds", sum_seconds.to_value()),
+                        ("p50", p50.to_value()),
+                        ("p95", p95.to_value()),
+                        ("p99", p99.to_value()),
+                    ]),
+                }
+                api::obj(fields)
+            })
+            .collect();
+        Ok(api::obj(vec![
+            ("name", name.as_str().to_value()),
+            ("since", since.to_value()),
+            ("until", until.to_value()),
+            ("interval_ms", self.config.scrape_interval_ms.to_value()),
+            ("retention", self.store.retention().to_value()),
+            ("points", Value::Arr(points)),
+        ]))
+    }
+
+    /// `GET /alerts`: every configured SLO with its state, burn rates, and
+    /// (for latency objectives) the observed histogram's exemplar — with a
+    /// ready-made `/trace?since=&until=` link bracketing the offending
+    /// request.
+    fn alerts(&self) -> Result<Value, HandlerError> {
+        let alerts: Vec<Value> = self
+            .slo
+            .statuses()
+            .iter()
+            .map(|s| {
+                let mut fields = vec![
+                    ("slo", s.spec.as_str().to_value()),
+                    ("metric", s.metric.as_str().to_value()),
+                    ("state", s.state.as_str().to_value()),
+                    ("window_seconds", s.window_seconds.to_value()),
+                    ("fast_burn", s.fast_burn.to_value()),
+                    ("slow_burn", s.slow_burn.to_value()),
+                    ("since_nanos", s.since_nanos.to_value()),
+                ];
+                if let Some(ex) = &s.exemplar {
+                    // Bracket the offending request: it ended around
+                    // `ex.nanos` and ran for `value_seconds`, pad 10 ms on
+                    // both sides.
+                    let pad = 10_000_000u64;
+                    let window_since = ex
+                        .nanos
+                        .saturating_sub((ex.value_seconds * 1e9) as u64 + pad);
+                    let window_until = ex.nanos.saturating_add(pad);
+                    fields.push((
+                        "exemplar",
+                        api::obj(vec![
+                            ("trace_id", ex.trace_id.to_value()),
+                            ("span_id", ex.span_id.to_value()),
+                            ("value_seconds", ex.value_seconds.to_value()),
+                            ("nanos", ex.nanos.to_value()),
+                            (
+                                "trace_link",
+                                format!("/trace?since={window_since}&until={window_until}")
+                                    .to_value(),
+                            ),
+                        ]),
+                    ));
+                }
+                api::obj(fields)
+            })
+            .collect();
+        Ok(api::obj(vec![
+            ("now_nanos", ftn_trace::now_nanos().to_value()),
+            (
+                "scrape_interval_ms",
+                self.config.scrape_interval_ms.to_value(),
+            ),
+            ("alerts", Value::Arr(alerts)),
+        ]))
+    }
+
+    /// `GET /healthz`: a real readiness probe. 503 with `"status":
+    /// "unready"` when any pool device worker is dead or a queue is
+    /// saturated past [`ServeConfig::healthz_queue_limit`]; 200 with
+    /// `"status": "degraded"` and the firing SLO specs while an objective
+    /// is firing; plain `"ok"` otherwise. The original `{"ok": true}` shape
+    /// survives as a subset.
+    fn healthz(&self) -> Result<Reply, HandlerError> {
+        let mut unready: Vec<String> = Vec::new();
+        for (key, pool) in lock(&self.pools).iter() {
+            let machine = lock(pool);
+            for (device, alive) in machine.devices_alive().iter().enumerate() {
+                if !alive {
+                    unready.push(format!(
+                        "pool {} device {device}: worker thread dead",
+                        short_key(key)
+                    ));
+                }
+            }
+            let limit = self.config.healthz_queue_limit;
+            if limit > 0 {
+                for (device, depth) in machine.queue_depths().iter().enumerate() {
+                    if *depth > limit {
+                        unready.push(format!(
+                            "pool {} device {device}: queue depth {depth} > {limit}",
+                            short_key(key)
+                        ));
+                    }
+                }
+            }
+        }
+        let degraded: Vec<String> = self
+            .slo
+            .firing()
+            .into_iter()
+            .map(|spec| format!("slo firing: {spec}"))
+            .collect();
+        let (status, health) = if !unready.is_empty() {
+            (503, "unready")
+        } else if !degraded.is_empty() {
+            (200, "degraded")
+        } else {
+            (200, "ok")
         };
-        Ok(ftn_trace::export_chrome(since))
+        let mut reasons = unready;
+        reasons.extend(degraded);
+        Ok(Reply::StatusJson(
+            status,
+            api::obj(vec![
+                ("ok", Value::Bool(status == 200)),
+                ("status", health.to_value()),
+                ("reasons", reasons.to_value()),
+            ]),
+        ))
     }
 
     fn compile(&self, body: &str) -> Result<Value, HandlerError> {
@@ -1057,6 +1277,26 @@ fn parse_id(s: &str) -> Result<u64, HandlerError> {
         .map_err(|_| bad_request(format!("bad session id '{s}'")))
 }
 
+/// Parse the shared `?since=NANOS&until=NANOS` window of `/trace` and
+/// `/metrics/range`: both optional (`since` defaults to 0, `until` to
+/// unbounded), 400 on non-numeric values or an inverted window.
+fn parse_window(req: &Request) -> Result<(u64, u64), HandlerError> {
+    let bound = |name: &str, default: u64| match req.query_param(name) {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| bad_request(format!("bad '{name}' value '{v}' (want nanoseconds)"))),
+        None => Ok(default),
+    };
+    let since = bound("since", 0)?;
+    let until = bound("until", u64::MAX)?;
+    if since > until {
+        return Err(bad_request(format!(
+            "inverted window: since={since} > until={until}"
+        )));
+    }
+    Ok((since, until))
+}
+
 /// First 8 chars of an artifact key — the metric-label spelling of a pool.
 fn short_key(key: &str) -> &str {
     &key[..key.len().min(8)]
@@ -1082,7 +1322,8 @@ fn handle_connection(state: &ServeState, mut stream: TcpStream) {
         // Every request is the root of a fresh trace: the `http.request`
         // span parents everything the handler does — session ops, per-shard
         // jobs on device lanes, rebalance epochs — under one trace id.
-        let trace = ftn_trace::trace_scope(ftn_trace::new_trace_id());
+        let trace_id = ftn_trace::new_trace_id();
+        let trace = ftn_trace::trace_scope(trace_id);
         let started = std::time::Instant::now();
         let mut span = ftn_trace::span("http.request", "http");
         span.arg("method", &req.method);
@@ -1091,6 +1332,11 @@ fn handle_connection(state: &ServeState, mut stream: TcpStream) {
         let (status, content_type, body) = match outcome {
             Ok(Ok(Reply::Json(value))) => (
                 200,
+                "application/json",
+                serde_json::to_string(&value).unwrap_or_default(),
+            ),
+            Ok(Ok(Reply::StatusJson(status, value))) => (
+                status,
                 "application/json",
                 serde_json::to_string(&value).unwrap_or_default(),
             ),
@@ -1126,12 +1372,21 @@ fn handle_connection(state: &ServeState, mut stream: TcpStream) {
             }
         };
         span.arg("status", status);
+        let span_id = span.id();
         drop(span);
         drop(trace);
-        state
-            .metrics
-            .request_seconds
-            .observe(started.elapsed().as_secs_f64());
+        if status >= 500 {
+            state.metrics.http_errors.inc();
+        }
+        // The latency observation offers itself as the histogram's exemplar
+        // so a firing SLO links this request's trace. `span_id == 0` means
+        // recording is off — pass trace id 0 too, keeping that path free of
+        // the exemplar lock.
+        state.metrics.request_seconds.observe_with_exemplar(
+            started.elapsed().as_secs_f64(),
+            if span_id == 0 { 0 } else { trace_id },
+            span_id,
+        );
         let keep_alive = req.keep_alive && !state.shutdown.load(Ordering::SeqCst);
         let written = write_response(&mut stream, status, content_type, &body, keep_alive);
         if written.is_err() || !keep_alive {
@@ -1164,6 +1419,12 @@ impl Server {
             ftn_trace::set_enabled(false);
         }
         ftn_trace::set_max_level(config.log_level);
+        let metrics = ServeMetrics::new();
+        let store = Arc::new(TimeSeriesStore::new(config.retention_points));
+        let slo = Arc::new(SloEngine::new(
+            config.slos.clone(),
+            Arc::clone(&metrics.registry),
+        ));
         let state = Arc::new(ServeState {
             config,
             cache,
@@ -1174,7 +1435,9 @@ impl Server {
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
-            metrics: ServeMetrics::new(),
+            metrics,
+            store,
+            slo,
             started: std::time::Instant::now(),
             local_addr,
         });
@@ -1191,8 +1454,33 @@ impl Server {
     }
 
     /// Serve requests until a `POST /shutdown` arrives; joins all worker
-    /// threads before returning, so a clean return means a clean shutdown.
+    /// threads (and the background scraper) before returning, so a clean
+    /// return means a clean shutdown.
     pub fn run(self) -> std::io::Result<()> {
+        // The self-monitoring scraper: one pass per configured interval,
+        // sleeping in short steps so shutdown stays prompt. Interval 0
+        // disables the thread entirely.
+        let scraper = (self.state.config.scrape_interval_ms > 0).then(|| {
+            let state = Arc::clone(&self.state);
+            std::thread::Builder::new()
+                .name("ftn-scrape".to_string())
+                .spawn(move || {
+                    let interval =
+                        std::time::Duration::from_millis(state.config.scrape_interval_ms);
+                    let step = std::time::Duration::from_millis(50).min(interval);
+                    while !state.shutdown.load(Ordering::SeqCst) {
+                        let pass = std::time::Instant::now();
+                        state.scrape_once();
+                        let mut remaining = interval.saturating_sub(pass.elapsed());
+                        while !remaining.is_zero() && !state.shutdown.load(Ordering::SeqCst) {
+                            let nap = remaining.min(step);
+                            std::thread::sleep(nap);
+                            remaining = remaining.saturating_sub(nap);
+                        }
+                    }
+                })
+                .expect("spawn scrape thread")
+        });
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
         let workers: Vec<_> = (0..self.state.config.workers.max(1))
@@ -1235,6 +1523,9 @@ impl Server {
         drop(tx);
         for w in workers {
             let _ = w.join();
+        }
+        if let Some(s) = scraper {
+            let _ = s.join();
         }
         Ok(())
     }
@@ -1837,14 +2128,26 @@ end subroutine saxpy
         assert!(text.contains("ftn_http_request_seconds_count"), "{text}");
         assert!(text.contains("ftn_uptime_seconds"), "{text}");
         for line in text.lines() {
+            // `series value` pairs, optionally with an OpenMetrics exemplar
+            // suffix: `... # {trace_id="..",span_id=".."} value timestamp`.
+            let (series, exemplar) = match line.split_once(" # ") {
+                Some((s, e)) => (s, Some(e)),
+                None => (line, None),
+            };
             assert!(
-                line.starts_with('#') || line.split_whitespace().count() == 2,
+                line.starts_with('#') || series.split_whitespace().count() == 2,
                 "malformed exposition line: {line}"
             );
+            if let Some(ex) = exemplar {
+                assert!(
+                    ex.starts_with("{trace_id=") && ex.split_whitespace().count() == 3,
+                    "malformed exemplar: {line}"
+                );
+            }
         }
 
         // /trace serves a Chrome trace-event document (valid JSON with a
-        // traceEvents array); bad `since` values are rejected.
+        // traceEvents array); bad or inverted windows are rejected.
         let (status, body) = crate::client::request_text(addr, "GET", "/trace", "").expect("get");
         assert_eq!(status, 200);
         let doc = serde_json::value_from_str(&body).expect("valid JSON");
@@ -1855,6 +2158,81 @@ end subroutine saxpy
         let (status, _) =
             crate::client::request_text(addr, "GET", "/trace?since=bogus", "").expect("get");
         assert_eq!(status, 400);
+        let (status, _) =
+            crate::client::request_text(addr, "GET", "/trace?until=bogus", "").expect("get");
+        assert_eq!(status, 400);
+        let (status, _) =
+            crate::client::request_text(addr, "GET", "/trace?since=5&until=2", "").expect("get");
+        assert_eq!(status, 400);
+        let (status, body) =
+            crate::client::request_text(addr, "GET", "/trace?since=0&until=1", "").expect("get");
+        assert_eq!(status, 200, "{body}");
+
+        // /metrics/range serves scraped history once the background scraper
+        // (100 ms default cadence) has completed a pass; unknown series are
+        // 404, inverted windows 400.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let series = loop {
+            let (status, body) = crate::client::request_text(
+                addr,
+                "GET",
+                "/metrics/range?name=ftn_http_requests_total",
+                "",
+            )
+            .expect("get");
+            if status == 200 {
+                break serde_json::value_from_str(&body).expect("valid JSON");
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "scraper never populated the store"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let Some(Value::Arr(points)) = series.get("points") else {
+            panic!("no points array in {series:?}");
+        };
+        assert!(!points.is_empty());
+        assert!(as_u64(points[0].get("nanos")) > 0, "{series:?}");
+        let _counter_value = as_u64(points[0].get("value"));
+        let (status, _) =
+            crate::client::request_text(addr, "GET", "/metrics/range?name=nonexistent", "")
+                .expect("get");
+        assert_eq!(status, 404);
+        let (status, _) = crate::client::request_text(
+            addr,
+            "GET",
+            "/metrics/range?name=ftn_http_requests_total&since=5&until=2",
+            "",
+        )
+        .expect("get");
+        assert_eq!(status, 400);
+        let (status, _) =
+            crate::client::request_text(addr, "GET", "/metrics/range", "").expect("get");
+        assert_eq!(status, 400, "missing name");
+
+        // /alerts lists the default SLOs, all quiet on a healthy server.
+        let (status, alerts) = request(addr, "GET", "/alerts", "");
+        assert_eq!(status, 200);
+        let Some(Value::Arr(list)) = alerts.get("alerts") else {
+            panic!("no alerts array in {alerts:?}");
+        };
+        assert_eq!(list.len(), 2, "{alerts:?}");
+        for alert in list {
+            assert!(
+                matches!(alert.get("state"), Some(Value::Str(s)) if s == "ok"),
+                "{alert:?}"
+            );
+        }
+
+        // /healthz reports the readiness shape with the legacy `ok` field.
+        let (status, health) = request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert_eq!(health.get("ok"), Some(&Value::Bool(true)));
+        assert!(
+            matches!(health.get("status"), Some(Value::Str(s)) if s == "ok"),
+            "{health:?}"
+        );
 
         // /stats keeps its shape and now reports uptime + queue depths.
         let (_, stats) = request(addr, "GET", "/stats", "");

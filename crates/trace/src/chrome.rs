@@ -10,7 +10,7 @@
 
 use serde::Value;
 
-use crate::span::{snapshot, LaneSnapshot, SpanEvent};
+use crate::span::{snapshot_range, LaneSnapshot, SpanEvent};
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Obj(
@@ -63,7 +63,13 @@ fn lane_metadata(lane: &LaneSnapshot) -> Value {
 /// Render everything recorded since `since_nanos` (0 = all buffered events)
 /// as a Chrome trace-event JSON document.
 pub fn export_chrome(since_nanos: u64) -> String {
-    let lanes = snapshot(since_nanos);
+    export_chrome_range(since_nanos, u64::MAX)
+}
+
+/// Render events overlapping the `[since_nanos, until_nanos]` window — the
+/// bounded form behind `GET /trace?since=&until=` that alert exemplars link.
+pub fn export_chrome_range(since_nanos: u64, until_nanos: u64) -> String {
+    let lanes = snapshot_range(since_nanos, until_nanos);
     let mut events = vec![obj(vec![
         ("name", Value::Str("process_name".to_string())),
         ("ph", Value::Str("M".to_string())),

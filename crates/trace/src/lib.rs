@@ -12,9 +12,16 @@
 //!   [`Histogram`]): named counters/gauges plus log-bucketed latency
 //!   histograms with p50/p95/p99 extraction, rendered as Prometheus text
 //!   exposition for `GET /metrics`.
-//! - **Export** ([`export_chrome`]) and a leveled event [`fn@log`]: the span
-//!   buffers serialize to Chrome trace-event JSON (`GET /trace`,
-//!   Perfetto-viewable, one lane per device worker and per HTTP worker).
+//! - **Export** ([`export_chrome`], [`export_chrome_range`]) and a leveled
+//!   event [`fn@log`]: the span buffers serialize to Chrome trace-event
+//!   JSON (`GET /trace`, Perfetto-viewable, one lane per device worker and
+//!   per HTTP worker).
+//! - **Self-monitoring** ([`TimeSeriesStore`], [`SloEngine`]): a
+//!   fixed-retention ring of scraped metric points behind
+//!   `GET /metrics/range`, and declarative SLOs evaluated with multi-window
+//!   burn rates behind `GET /alerts`. Histograms carry OpenMetrics
+//!   [`Exemplar`]s so a firing latency alert links the offending request's
+//!   trace.
 //!
 //! The span taxonomy and metric names threaded through the stack are
 //! documented in `docs/OBSERVABILITY.md`.
@@ -24,15 +31,20 @@
 mod chrome;
 pub mod log;
 mod metrics;
+mod slo;
 mod span;
+mod store;
 
-pub use chrome::export_chrome;
+pub use chrome::{export_chrome, export_chrome_range};
 pub use log::{events as log_events, log, max_level, set_max_level, Level, LogEvent};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS,
+    Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry,
+    HISTOGRAM_BUCKETS,
 };
+pub use slo::{default_slos, AlertState, AlertStatus, SloEngine, SloKind, SloSpec};
 pub use span::{
     clear, current_span_id, current_trace_id, enabled, instant, new_trace_id, now_nanos,
-    set_capacity, set_enabled, snapshot, span, span_linked, trace_scope, LaneSnapshot, Span,
-    SpanEvent, TraceScope,
+    set_capacity, set_enabled, snapshot, snapshot_range, span, span_linked, trace_scope,
+    LaneSnapshot, Span, SpanEvent, TraceScope,
 };
+pub use store::{PointValue, RangePoint, TimeSeriesStore};

@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 /// Number of histogram buckets: 4 exact small-value buckets (0–3 ns) plus
 /// 4 sub-buckets for each of the 62 remaining nanosecond octaves.
@@ -87,6 +87,33 @@ fn bucket_upper_nanos(i: usize) -> u64 {
     ((1u64 << octave) - 1) + (sub + 1) * width
 }
 
+/// How long a stored exemplar stays sticky before any trace-carrying
+/// observation may replace it, regardless of bucket rank.
+const EXEMPLAR_TTL_NANOS: u64 = 15_000_000_000;
+
+/// A trace-linked sample observation attached to a [`Histogram`] — the
+/// OpenMetrics exemplar: "here is one concrete request that landed in this
+/// bucket". High-bucket (slow) observations displace lower ones, so the
+/// stored exemplar points at the worst recent request; after 15 s of
+/// staleness any fresh trace-carrying observation takes over, so the link
+/// never points at an evicted trace forever.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    /// Trace id of the observed request (never 0; 0-trace observations are
+    /// not recorded as exemplars).
+    pub trace_id: u64,
+    /// Id of the span whose duration was observed.
+    pub span_id: u64,
+    /// The observed value in seconds (bucket-quantized like the histogram).
+    pub value_seconds: f64,
+    /// When the observation was recorded, in nanoseconds on the trace clock
+    /// ([`crate::now_nanos`]) — the anchor for a `/trace?since=&until=`
+    /// window around the offending request.
+    pub nanos: u64,
+    /// Bucket index of the observation (drives the displacement rule).
+    pub(crate) bucket: usize,
+}
+
 /// A log-bucketed duration histogram (see the module docs for the bucket
 /// scheme and error bound).
 #[derive(Debug)]
@@ -94,6 +121,7 @@ pub struct Histogram {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum_nanos: AtomicU64,
+    exemplar: Mutex<Option<Exemplar>>,
 }
 
 impl Default for Histogram {
@@ -109,17 +137,57 @@ impl Histogram {
             buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_nanos: AtomicU64::new(0),
+            exemplar: Mutex::new(None),
+        }
+    }
+
+    fn clamp_nanos(seconds: f64) -> u64 {
+        if seconds.is_finite() && seconds > 0.0 {
+            (seconds * 1e9).min(1.8e19) as u64
+        } else {
+            0
         }
     }
 
     /// Record a duration in seconds. Negative or NaN values clamp to zero.
     pub fn observe(&self, seconds: f64) {
-        let nanos = if seconds.is_finite() && seconds > 0.0 {
-            (seconds * 1e9).min(1.8e19) as u64
-        } else {
-            0
-        };
+        self.observe_nanos(Self::clamp_nanos(seconds));
+    }
+
+    /// Record a duration and, when `trace_id` is non-zero, offer it as the
+    /// histogram's exemplar. The observation lands in the buckets exactly
+    /// like [`Histogram::observe`]; the exemplar slot keeps whichever recent
+    /// observation sits in the highest bucket (ties and staleness go to the
+    /// newcomer), so `/metrics` and `/alerts` can link the *slowest* recent
+    /// request's trace. Passing `trace_id == 0` (tracing disabled) skips the
+    /// slot entirely and costs nothing beyond a plain observation.
+    pub fn observe_with_exemplar(&self, seconds: f64, trace_id: u64, span_id: u64) {
+        let nanos = Self::clamp_nanos(seconds);
         self.observe_nanos(nanos);
+        if trace_id == 0 {
+            return;
+        }
+        let bucket = bucket_index(nanos);
+        let now = crate::span::now_nanos();
+        let mut slot = self.exemplar.lock();
+        let replace = match &*slot {
+            None => true,
+            Some(e) => bucket >= e.bucket || now.saturating_sub(e.nanos) > EXEMPLAR_TTL_NANOS,
+        };
+        if replace {
+            *slot = Some(Exemplar {
+                trace_id,
+                span_id,
+                value_seconds: nanos as f64 * 1e-9,
+                nanos: now,
+                bucket,
+            });
+        }
+    }
+
+    /// The currently stored exemplar, if any observation carried a trace id.
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        self.exemplar.lock().clone()
     }
 
     /// Record a duration in nanoseconds.
@@ -229,6 +297,47 @@ impl HistogramSnapshot {
         }
         out
     }
+
+    /// Observations known to be at most `seconds`: the cumulative count of
+    /// buckets whose inclusive upper bound is ≤ the threshold. Observations
+    /// in the bucket *straddling* the threshold are excluded (conservatively
+    /// treated as above it), so a threshold-vs-count comparison inherits the
+    /// bucket scheme's ≤25% granularity in the pessimistic direction.
+    pub fn count_le_seconds(&self, seconds: f64) -> u64 {
+        let nanos = Histogram::clamp_nanos(seconds);
+        self.buckets
+            .iter()
+            .enumerate()
+            .take_while(|(i, _)| bucket_upper_nanos(*i) <= nanos)
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// Bucket-wise difference `self - earlier` (saturating), for windowed
+    /// views over cumulative snapshots taken from the same histogram.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            sum_nanos: self.sum_nanos.saturating_sub(earlier.sum_nanos),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time value of one registered metric, as enumerated by
+/// [`MetricsRegistry::snapshot_all`] — what the time-series scraper records.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// A counter's current value.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's full bucket snapshot.
+    Histogram(HistogramSnapshot),
 }
 
 enum Metric {
@@ -310,9 +419,46 @@ impl MetricsRegistry {
         }
     }
 
+    /// The current value of the counter registered under `name`, without
+    /// creating one — `None` if `name` is absent or a different kind.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.metrics.read().get(name) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// A snapshot of the histogram registered under `name`, without creating
+    /// one — `None` if `name` is absent or a different kind.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        match self.metrics.read().get(name) {
+            Some(Metric::Histogram(h)) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, in name order — the
+    /// scrape primitive behind the time-series store.
+    pub fn snapshot_all(&self) -> Vec<(String, MetricValue)> {
+        self.metrics
+            .read()
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
     /// Render every metric in Prometheus text-exposition format. Histograms
     /// emit the cumulative `_bucket{le=...}` series plus `_sum`/`_count` and
-    /// derived `_p50`/`_p95`/`_p99` gauges.
+    /// derived `_p50`/`_p95`/`_p99` gauges; a stored exemplar is appended to
+    /// its bucket's line in OpenMetrics syntax
+    /// (`... # {trace_id="7",span_id="9"} 0.0042 1.5`).
     pub fn render_prometheus(&self) -> String {
         let metrics = self.metrics.read();
         let mut out = String::new();
@@ -329,15 +475,40 @@ impl MetricsRegistry {
                 }
                 Metric::Histogram(h) => {
                     let snap = h.snapshot();
+                    let exemplar = h.exemplar();
+                    let exemplar_text = exemplar.as_ref().map(|e| {
+                        format!(
+                            " # {{trace_id=\"{}\",span_id=\"{}\"}} {} {}",
+                            e.trace_id,
+                            e.span_id,
+                            e.value_seconds,
+                            e.nanos as f64 * 1e-9
+                        )
+                    });
+                    let exemplar_le = exemplar
+                        .as_ref()
+                        .map(|e| bucket_upper_nanos(e.bucket) as f64 * 1e-9);
+                    let mut exemplar_attached = false;
                     type_line(&mut out, base, "histogram");
                     let count = snap.count();
                     let bucket = suffixed(name, "_bucket");
                     for (le, cum) in snap.cumulative() {
                         let labelled = with_label(&bucket, &format!("le=\"{le}\""));
-                        out.push_str(&format!("{labelled} {cum}\n"));
+                        out.push_str(&format!("{labelled} {cum}"));
+                        if !exemplar_attached && exemplar_le.is_some_and(|ele| le >= ele) {
+                            out.push_str(exemplar_text.as_deref().unwrap_or(""));
+                            exemplar_attached = true;
+                        }
+                        out.push('\n');
                     }
                     let inf = with_label(&bucket, "le=\"+Inf\"");
-                    out.push_str(&format!("{inf} {count}\n"));
+                    out.push_str(&format!("{inf} {count}"));
+                    if !exemplar_attached {
+                        if let Some(t) = &exemplar_text {
+                            out.push_str(t);
+                        }
+                    }
+                    out.push('\n');
                     out.push_str(&format!(
                         "{} {}\n",
                         suffixed(name, "_sum"),
@@ -446,5 +617,91 @@ mod tests {
         reg.counter("c").inc();
         reg.counter("c").inc();
         assert_eq!(reg.counter("c").get(), 2);
+    }
+
+    #[test]
+    fn count_le_is_conservative_and_delta_subtracts() {
+        let h = Histogram::new();
+        for ms in [1u64, 2, 3, 10, 100] {
+            h.observe_nanos(ms * 1_000_000);
+        }
+        let snap = h.snapshot();
+        // 1/2/3 ms are surely ≤ 5 ms; 10 and 100 ms are not.
+        assert_eq!(snap.count_le_seconds(0.005), 3);
+        // A threshold below everything counts nothing.
+        assert_eq!(snap.count_le_seconds(0.0001), 0);
+        // Conservative: a threshold inside a bucket excludes that bucket.
+        assert!(snap.count_le_seconds(0.0101) <= 4);
+        h.observe_nanos(200_000_000);
+        let later = h.snapshot();
+        let d = later.delta(&snap);
+        assert_eq!(d.count(), 1);
+        assert!((d.sum_seconds() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exemplar_keeps_highest_bucket_and_skips_zero_trace() {
+        let h = Histogram::new();
+        assert!(h.exemplar().is_none());
+        h.observe_with_exemplar(0.5, 0, 0);
+        assert!(h.exemplar().is_none(), "trace_id 0 must not store");
+        h.observe_with_exemplar(0.5, 7, 70);
+        h.observe_with_exemplar(0.001, 8, 80);
+        let e = h.exemplar().expect("stored");
+        assert_eq!(e.trace_id, 7, "slower observation must stick");
+        h.observe_with_exemplar(1.0, 9, 90);
+        let e = h.exemplar().expect("stored");
+        assert_eq!((e.trace_id, e.span_id), (9, 90), "higher bucket displaces");
+        assert!(e.value_seconds >= 1.0);
+    }
+
+    #[test]
+    fn exemplar_renders_on_matching_bucket_line() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("ftn_latency_seconds");
+        h.observe(0.001);
+        h.observe_with_exemplar(0.2, 42, 43);
+        let text = reg.render_prometheus();
+        let line = text
+            .lines()
+            .find(|l| l.contains("trace_id=\"42\""))
+            .expect("exemplar rendered");
+        assert!(line.starts_with("ftn_latency_seconds_bucket{le=\""));
+        assert!(line.contains("# {trace_id=\"42\",span_id=\"43\"}"));
+        // The exemplar rides the slow bucket's line, not the fast one.
+        let (series, _) = line.split_once(" # ").unwrap();
+        let le: f64 = series
+            .split("le=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(le >= 0.2, "attached to a bucket at or above the value");
+    }
+
+    #[test]
+    fn snapshot_all_and_typed_lookups() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").add(5);
+        reg.gauge("b_depth").set(-2);
+        reg.histogram("c_seconds").observe(0.01);
+        let all = reg.snapshot_all();
+        assert_eq!(all.len(), 3);
+        assert!(matches!(
+            all.iter().find(|(n, _)| n == "a_total"),
+            Some((_, MetricValue::Counter(5)))
+        ));
+        assert!(matches!(
+            all.iter().find(|(n, _)| n == "b_depth"),
+            Some((_, MetricValue::Gauge(-2)))
+        ));
+        assert_eq!(reg.counter_value("a_total"), Some(5));
+        assert_eq!(reg.counter_value("b_depth"), None, "wrong kind");
+        assert_eq!(reg.counter_value("missing"), None);
+        assert_eq!(reg.histogram_snapshot("c_seconds").unwrap().count(), 1);
+        assert!(reg.histogram_snapshot("a_total").is_none());
     }
 }

@@ -298,6 +298,13 @@ fn record(event: SpanEvent) {
 /// Copy out every lane's events that *end* at or after `since_nanos`
 /// (0 = everything currently buffered).
 pub fn snapshot(since_nanos: u64) -> Vec<LaneSnapshot> {
+    snapshot_range(since_nanos, u64::MAX)
+}
+
+/// Copy out every lane's events overlapping the `[since_nanos, until_nanos]`
+/// window: events that *end* at or after `since_nanos` and *start* at or
+/// before `until_nanos`.
+pub fn snapshot_range(since_nanos: u64, until_nanos: u64) -> Vec<LaneSnapshot> {
     recorder()
         .lanes
         .lock()
@@ -309,7 +316,9 @@ pub fn snapshot(since_nanos: u64) -> Vec<LaneSnapshot> {
                 .events
                 .lock()
                 .iter()
-                .filter(|e| e.start_nanos + e.dur_nanos >= since_nanos)
+                .filter(|e| {
+                    e.start_nanos + e.dur_nanos >= since_nanos && e.start_nanos <= until_nanos
+                })
                 .cloned()
                 .collect(),
         })
