@@ -1,8 +1,10 @@
 //! Emit `BENCH_obs.json`: end-to-end request latency (p50/p99) at 1/8/64
 //! concurrent keep-alive clients, the tracing layer's enabled-vs-disabled
-//! overhead, and the self-monitoring layer's scrape-on-vs-off overhead
-//! (time-series store + SLO burn-rate evaluation at 100 ms cadence) — the
-//! process exits non-zero if either overhead exceeds the 3% budget
+//! overhead, the self-monitoring layer's scrape-on-vs-off overhead
+//! (time-series store + SLO burn-rate evaluation at 100 ms cadence), and
+//! the continuous profiler's poll-vs-idle overhead (a sidecar connection
+//! folding `GET /profile` at 100 Hz) — the process exits non-zero if any
+//! overhead exceeds the 3% budget
 //! (`ftn_bench::obs_bench::MAX_OVERHEAD_FRACTION`).
 //!
 //! ```text
@@ -79,6 +81,18 @@ fn main() -> ExitCode {
         s.trials,
         s.slos.join(", "),
     );
+    let p = &report.profile_overhead;
+    println!(
+        "profile-poll overhead @ {} ms cadence: {:.2}% floor / {:.2}% median (best: polling {:.4}s vs idle {:.4}s over {} requests, {} interleaved pairs, {} polls)",
+        p.poll_interval_ms,
+        p.overhead_fraction * 100.0,
+        p.median_overhead_fraction * 100.0,
+        p.enabled_seconds,
+        p.disabled_seconds,
+        p.requests_per_trial,
+        p.trials,
+        p.polls,
+    );
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     if let Err(e) = std::fs::write(&out, json + "\n") {
         eprintln!("error: cannot write {}: {e}", out.display());
@@ -97,6 +111,14 @@ fn main() -> ExitCode {
         eprintln!(
             "error: scrape+SLO overhead {:.2}% exceeds the {:.0}% budget",
             s.overhead_fraction * 100.0,
+            MAX_OVERHEAD_FRACTION * 100.0,
+        );
+        return ExitCode::FAILURE;
+    }
+    if p.overhead_fraction > MAX_OVERHEAD_FRACTION {
+        eprintln!(
+            "error: profile-poll overhead {:.2}% exceeds the {:.0}% budget",
+            p.overhead_fraction * 100.0,
             MAX_OVERHEAD_FRACTION * 100.0,
         );
         return ExitCode::FAILURE;

@@ -1,11 +1,13 @@
 //! Observability benchmark: end-to-end HTTP request latency of the serve
 //! stack at 1/8/64 concurrent keep-alive clients, plus the cost of the
 //! tracing layer itself — the same request burst with the span recorder
-//! enabled vs disabled, and the per-call cost of a disabled span — and the
+//! enabled vs disabled, and the per-call cost of a disabled span — the
 //! cost of the self-monitoring layer: identical bursts against a server
 //! scraping its registry into the time-series store and evaluating SLO burn
-//! rates every 100 ms vs one with scraping disabled. Emitted as
-//! `BENCH_obs.json` by the `bench_obs` binary; the binary fails if either
+//! rates every 100 ms vs one with scraping disabled — and the cost of
+//! continuous profiling: identical bursts with a sidecar connection polling
+//! `GET /profile?format=folded` at 100 Hz vs idle. Emitted as
+//! `BENCH_obs.json` by the `bench_obs` binary; the binary fails if any
 //! overhead exceeds [`MAX_OVERHEAD_FRACTION`].
 
 use std::net::SocketAddr;
@@ -14,9 +16,10 @@ use std::time::Instant;
 use ftn_serve::{api, client::Conn, ServeConfig, Server};
 use serde::{Serialize, Value};
 
-/// The observability-overhead budget `bench_obs` enforces, twice over:
-/// tracing enabled-vs-disabled and scraping(100 ms)+SLO-vs-off end-to-end
-/// wall time (min over interleaved pairs) may each differ by at most 3%.
+/// The observability-overhead budget `bench_obs` enforces, three times
+/// over: tracing enabled-vs-disabled, scraping(100 ms)+SLO-vs-off, and
+/// profile-polling-vs-idle end-to-end wall time (min over interleaved
+/// pairs) may each differ by at most 3%.
 pub const MAX_OVERHEAD_FRACTION: f64 = 0.03;
 
 /// Request latency at one concurrency level.
@@ -79,6 +82,28 @@ pub struct ObsScrapeOverhead {
     pub median_overhead_fraction: f64,
 }
 
+/// Continuous-profiling cost: identical launch bursts while a sidecar
+/// connection polls `GET /profile?format=folded` (folding the whole span
+/// recorder into a self/total tree per poll) vs while it idles.
+#[derive(Clone, Debug, Serialize)]
+pub struct ObsProfileOverhead {
+    pub trials: usize,
+    pub requests_per_trial: u64,
+    /// Milliseconds between sidecar `GET /profile` polls (≈ 100 Hz).
+    pub poll_interval_ms: u64,
+    /// `GET /profile` polls the sidecar completed across all enabled bursts.
+    pub polls: u64,
+    /// Fastest burst with the profile poller idle.
+    pub disabled_seconds: f64,
+    /// Fastest burst with the profile poller running.
+    pub enabled_seconds: f64,
+    /// `max(0, min(enabled/disabled per interleaved pair) - 1)` — the
+    /// enforced estimate (same rationale as [`ObsOverhead`]).
+    pub overhead_fraction: f64,
+    /// `max(0, median(enabled/disabled per pair) - 1)` — informational.
+    pub median_overhead_fraction: f64,
+}
+
 /// The emitted report.
 #[derive(Clone, Debug, Serialize)]
 pub struct ObsBenchReport {
@@ -87,7 +112,9 @@ pub struct ObsBenchReport {
     pub overhead: ObsOverhead,
     /// Cost of the background scraper + SLO engine on the request path.
     pub scrape_overhead: ObsScrapeOverhead,
-    /// The budget the binary enforces against both `overhead_fraction`s.
+    /// Cost of continuous `GET /profile` polling on the request path.
+    pub profile_overhead: ObsProfileOverhead,
+    /// The budget the binary enforces against every `overhead_fraction`.
     pub max_overhead_fraction: f64,
 }
 
@@ -356,6 +383,79 @@ fn scrape_burst_seconds(trials: usize, requests: usize) -> ObsScrapeOverhead {
     }
 }
 
+/// Poller-on-vs-off comparison: one server, one launch session, and a
+/// sidecar thread that — when armed — polls `GET /profile?format=folded`
+/// every `poll_interval_ms` on its own keep-alive connection, the way a
+/// continuous-profiling collector would: a trailing window of 3× the
+/// cadence (overlapping polls, nothing missed), so each poll folds only
+/// recent spans instead of the whole ring. Trials interleave an armed burst
+/// with an idle one so machine drift hits both sides of a pair.
+fn profile_burst_seconds(trials: usize, requests: usize) -> ObsProfileOverhead {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let poll_interval_ms = 10u64;
+    let poll_path = format!(
+        "/profile?format=folded&last={}",
+        poll_interval_ms * 3 * 1_000_000
+    );
+    // 3 workers: the bursting connection, the sidecar poller, and slack.
+    let (addr, handle) = start_server(3, 4096);
+    let mut session = LaunchSession::open(addr);
+
+    let armed = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+    let polls = Arc::new(AtomicU64::new(0));
+    let poller = {
+        let (armed, done, polls) = (armed.clone(), done.clone(), polls.clone());
+        std::thread::spawn(move || {
+            let mut conn = Conn::open(addr).expect("profile poller connects");
+            while !done.load(Ordering::Relaxed) {
+                if armed.load(Ordering::Relaxed) {
+                    let (status, _) = conn
+                        .request_text("GET", &poll_path, "")
+                        .expect("profile poll");
+                    assert_eq!(status, 200);
+                    polls.fetch_add(1, Ordering::Relaxed);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(poll_interval_ms));
+            }
+        })
+    };
+
+    // Warm the session and both sides.
+    armed.store(true, Ordering::Relaxed);
+    session.burst(requests);
+    armed.store(false, Ordering::Relaxed);
+    session.burst(requests);
+    let (mut enabled, mut disabled) = (f64::INFINITY, f64::INFINITY);
+    let mut ratios = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        armed.store(true, Ordering::Relaxed);
+        let e = session.burst(requests);
+        armed.store(false, Ordering::Relaxed);
+        let d = session.burst(requests);
+        ratios.push(e / d);
+        enabled = enabled.min(e);
+        disabled = disabled.min(d);
+    }
+    done.store(true, Ordering::Relaxed);
+    poller.join().expect("profile poller thread");
+    drop(session);
+    stop_server(addr, handle);
+    let (overhead_fraction, median_overhead_fraction) = ratio_floors(ratios);
+    ObsProfileOverhead {
+        trials,
+        requests_per_trial: requests as u64,
+        poll_interval_ms,
+        polls: polls.load(Ordering::Relaxed),
+        disabled_seconds: disabled,
+        enabled_seconds: enabled,
+        overhead_fraction,
+        median_overhead_fraction,
+    }
+}
+
 /// Per-call cost of a disabled span (create + drop), in nanoseconds.
 fn disabled_span_nanos() -> f64 {
     ftn_trace::set_enabled(false);
@@ -387,6 +487,8 @@ pub fn run(requests_per_client: usize, trials: usize, burst: usize) -> ObsBenchR
         burst_seconds(trials, burst);
     // And with the self-scraper + SLO engine on vs off.
     let scrape_overhead = scrape_burst_seconds(trials, burst);
+    // And with a continuous profile poller armed vs idle.
+    let profile_overhead = profile_burst_seconds(trials, burst);
     ObsBenchReport {
         workload: "ftn-serve keep-alive: /healthz latency; session-launch bursts for overhead"
             .to_string(),
@@ -401,6 +503,7 @@ pub fn run(requests_per_client: usize, trials: usize, burst: usize) -> ObsBenchR
             disabled_span_nanos: disabled_span_nanos(),
         },
         scrape_overhead,
+        profile_overhead,
         max_overhead_fraction: MAX_OVERHEAD_FRACTION,
     }
 }

@@ -19,6 +19,9 @@
 //! * [`session`] — persistent `target data` environments over the pool:
 //!   arrays mapped once, kernel launches with deferred writeback, one fetch
 //!   at close, redundant transfers elided and counted.
+//! * [`rollup`] — per-kernel / per-session / per-device cost attribution
+//!   ([`RollupRow`]) folded in where jobs complete; the ranking behind the
+//!   serve stack's `GET /profile/top`.
 //! * [`sharded`] — sharded sessions: one data environment partitioned
 //!   across the pool ([`ftn_shard::ShardPlan`] leading-dim blocks with
 //!   optional halos, replicated broadcast arrays, per-shard reduction
@@ -34,6 +37,7 @@
 pub mod cache;
 pub mod machine;
 pub mod pool;
+pub mod rollup;
 pub mod scheduler;
 pub mod session;
 pub mod sharded;
@@ -44,6 +48,7 @@ pub use machine::{
     ClusterMachine, ClusterRunReport, DevicePoolStats, KernelTicket, LaunchHandle, PoolStats,
 };
 pub use pool::DevicePool;
+pub use rollup::{RollupBy, RollupRow};
 pub use scheduler::{BufferInfo, Placement, PlacementPolicy, PlacementReason};
 pub use session::{MapKind, SessionReport, SessionStats};
 pub use sharded::{
@@ -428,6 +433,68 @@ end subroutine saxpy
         assert_eq!(ps.totals.transfers, 3);
         assert_eq!(ps.totals.launches, launches as u64);
         assert!(cluster.open_sessions().is_empty());
+    }
+
+    #[test]
+    fn rollups_attribute_cycles_per_kernel_session_and_device() {
+        use crate::{MapKind, RollupBy};
+        let mut cluster = pool(2);
+        let n = 256usize;
+        let x = vec![1.0f32; n];
+        let y = vec![0.5f32; n];
+        let xa = cluster.host_f32(&x);
+        let ya = cluster.host_f32(&y);
+
+        // One sessionless kernel launch: kernel + device rows, no session row.
+        let ticket = cluster
+            .submit_kernel("saxpy_kernel0", &saxpy_kernel_args(&xa, &ya, n, 2.0))
+            .unwrap();
+        cluster.wait(ticket.handle).unwrap();
+        assert!(cluster.rollups(RollupBy::Session).is_empty());
+
+        // Three session launches: attributed to the session id.
+        let sid = cluster
+            .open_session(&[
+                ("x", xa.clone(), MapKind::To),
+                ("y", ya.clone(), MapKind::ToFrom),
+            ])
+            .unwrap();
+        for _ in 0..3 {
+            let ticket = cluster
+                .session_launch(sid, "saxpy_kernel0", &saxpy_kernel_args(&xa, &ya, n, 3.0))
+                .unwrap();
+            cluster.wait(ticket.handle).unwrap();
+        }
+        cluster.close_session(sid).unwrap();
+
+        let kernels = cluster.rollups(RollupBy::Kernel);
+        assert_eq!(kernels.len(), 1);
+        let k = &kernels[0];
+        assert_eq!(k.key, "saxpy_kernel0");
+        assert_eq!(k.jobs, 4);
+        assert!(k.sim_cycles > 0);
+        assert!(k.wall_seconds > 0.0);
+        assert!(k.bytes_moved > 0, "staging + writeback move bytes");
+        // Only kernel jobs burn cycles, so the kernel row accounts for the
+        // pool's entire cycle total.
+        assert_eq!(k.sim_cycles, cluster.pool_stats().totals.total_cycles);
+
+        let sessions = cluster.rollups(RollupBy::Session);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].key, sid.to_string());
+        assert_eq!(sessions[0].jobs, 3, "only session launches attributed");
+
+        // Device rows see every job (kernels, the session-open upload and
+        // the close fetch) and their cycles re-add to the kernel total.
+        let devices = cluster.rollups(RollupBy::Device);
+        assert!(!devices.is_empty());
+        let device_cycles: u64 = devices.iter().map(|r| r.sim_cycles).sum();
+        assert_eq!(device_cycles, k.sim_cycles);
+        let device_jobs: u64 = devices.iter().map(|r| r.jobs).sum();
+        assert!(
+            device_jobs >= 4,
+            "at least the four kernel jobs: {devices:?}"
+        );
     }
 
     #[test]

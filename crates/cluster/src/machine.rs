@@ -33,6 +33,7 @@ use crate::pool::{
     DevicePool, Job, JobKind, JobOutcome, JobSuccess, ReshardSpec, RowFetch, StagedBuffer,
     WorkerMessage,
 };
+use crate::rollup::{RollupBy, RollupRow, Rollups};
 use crate::scheduler::{BufferInfo, PlacementPolicy, PlacementReason};
 
 /// Ticket for one submitted job; redeem with [`ClusterMachine::wait`].
@@ -248,9 +249,9 @@ impl PoolMetrics {
 
     /// The placement-ladder counter for one decision reason.
     pub(crate) fn placement(&self, reason: PlacementReason) -> Arc<ftn_trace::Counter> {
-        self.registry.counter(&format!(
-            "ftn_pool_placements_total{{reason=\"{}\"}}",
-            reason.as_str()
+        self.registry.counter(&ftn_trace::labelled(
+            "ftn_pool_placements_total",
+            &[("reason", reason.as_str())],
         ))
     }
 }
@@ -262,6 +263,13 @@ pub(crate) struct PendingJob {
     /// backlog at submission (removed on completion).
     pub(crate) est_sim_seconds: f64,
     pub(crate) device: usize,
+    /// Kernel name for kernel jobs — the rollup attribution key.
+    pub(crate) kernel: Option<String>,
+    /// Session the submission ran under, if any (see
+    /// [`ClusterMachine::submitting_session`]).
+    pub(crate) session: Option<u64>,
+    /// Bytes staged host→device alongside this job.
+    pub(crate) staged_bytes: u64,
 }
 
 /// See module docs.
@@ -307,6 +315,13 @@ pub struct ClusterMachine {
     /// private registry; `ftn-serve` attaches its server-wide one via
     /// [`ClusterMachine::use_metrics`].
     pub(crate) metrics: PoolMetrics,
+    /// Per-kernel/session/device cost attribution, folded in where jobs
+    /// complete ([`ClusterMachine::apply_outcome`]); read via
+    /// [`ClusterMachine::rollups`].
+    pub(crate) rollups: Rollups,
+    /// Session id stamped onto jobs dispatched while a session launch is on
+    /// the stack (set/cleared by `session_launch` / `sharded_launch`).
+    pub(crate) submitting_session: Option<u64>,
 }
 
 impl ClusterMachine {
@@ -370,6 +385,8 @@ impl ClusterMachine {
             epoch_seconds: 0.0,
             batch_buffer: None,
             metrics: PoolMetrics::new(Arc::new(MetricsRegistry::new())),
+            rollups: Rollups::default(),
+            submitting_session: None,
         })
     }
 
@@ -383,6 +400,13 @@ impl ClusterMachine {
     /// The registry this machine's metrics land in.
     pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
         &self.metrics.registry
+    }
+
+    /// Attribution rollups over every job completed so far, costliest first
+    /// (by simulated cycles). `by` picks the axis: kernel name, submitting
+    /// session id, or device index — the table behind `GET /profile/top`.
+    pub fn rollups(&self, by: RollupBy) -> Vec<RollupRow> {
+        self.rollups.rows(by)
     }
 
     /// Current per-device queue depth (jobs submitted and not yet
@@ -999,6 +1023,15 @@ impl ClusterMachine {
     ) -> Result<LaunchHandle, CompileError> {
         let job_id = self.next_job;
         self.next_job += 1;
+        let kernel = match &spec.kind {
+            JobKind::Kernel { kernel, .. } => Some(kernel.clone()),
+            _ => None,
+        };
+        let staged_bytes: u64 = spec
+            .staged
+            .iter()
+            .map(|s| s.contents.byte_len() as u64)
+            .sum();
         let job = Job {
             job_id,
             kind: spec.kind,
@@ -1023,6 +1056,9 @@ impl ClusterMachine {
                 arg_ids,
                 est_sim_seconds,
                 device,
+                kernel,
+                session: self.submitting_session,
+                staged_bytes,
             },
         );
         if let Some(buffer) = self.batch_buffer.as_mut() {
@@ -1192,6 +1228,22 @@ impl ClusterMachine {
                     success.span_id,
                 );
                 self.metrics.job_sim.observe(success.sim_busy_seconds);
+                if let Some(p) = &pending {
+                    let writeback_bytes: u64 = success
+                        .writeback
+                        .iter()
+                        .map(|(_, contents, _)| contents.byte_len() as u64)
+                        .sum();
+                    self.rollups.record(
+                        p.kernel.as_deref(),
+                        p.session,
+                        device,
+                        success.stats.total_cycles,
+                        success.sim_busy_seconds,
+                        success.queue_wait_seconds,
+                        p.staged_bytes + writeback_bytes,
+                    );
+                }
                 Ok((device, success))
             }
             Err(msg) => Err(msg),

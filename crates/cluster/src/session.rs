@@ -193,7 +193,11 @@ impl ClusterMachine {
         let mut span = ftn_trace::span("session.launch", "cluster");
         span.arg("session", session);
         span.arg("kernel", kernel);
-        let ticket = self.submit_kernel_deferred(kernel, args, None)?;
+        // Stamp the session onto the dispatched job for rollup attribution.
+        self.submitting_session = Some(session);
+        let ticket = self.submit_kernel_deferred(kernel, args, None);
+        self.submitting_session = None;
+        let ticket = ticket?;
         drop(span);
         let s = self.sessions.get_mut(&session).expect("checked above");
         s.stats.launches += 1;

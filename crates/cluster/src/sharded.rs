@@ -669,6 +669,8 @@ impl ClusterMachine {
             self.begin_batch();
         }
         let mut submit_err = None;
+        // Stamp the session onto every per-shard job for rollup attribution.
+        self.submitting_session = Some(session);
         for (shard, argv) in per_shard.iter().enumerate() {
             match self.submit_kernel_deferred(kernel, argv, Some(devices[shard])) {
                 Ok(t) => {
@@ -683,6 +685,7 @@ impl ClusterMachine {
                 }
             }
         }
+        self.submitting_session = None;
         let flushed = if batched { self.flush_batch() } else { Ok(()) };
         if let Some(e) = submit_err {
             return Err(e);

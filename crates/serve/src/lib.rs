@@ -13,7 +13,9 @@
 //! | `POST /run`                 | `{key, func, args}`                    | Sessionless whole-program run (the baseline the elision ratio is measured against); request arrays are freed after the response. |
 //! | `GET /stats`                |                                        | Cache, pool, session, and HTTP statistics. |
 //! | `GET /healthz`              |                                        | Readiness probe: 503 `"unready"` on a dead device worker or saturated queue, `"degraded"` with reasons while an SLO is firing, `{"ok":true,...}` otherwise. |
-//! | `GET /metrics/range`        | `?name=METRIC&since=N&until=N`         | Scraped time-series history of one metric (JSON points; histograms carry per-snapshot p50/p95/p99). |
+//! | `GET /metrics/range`        | `?name=METRIC&since=N&until=N`         | Scraped time-series history of one metric (JSON points; histograms carry per-snapshot p50/p95/p99). Without `name`, a discovery index of every retained series (name, kind, point count, window). |
+//! | `GET /profile`              | `?since=N&until=N&format=folded\|svg\|json` | Span-derived hierarchical profile: self/total time per span-name path. `folded` is collapsed-stack text for flamegraph tooling, `svg` a self-contained flamegraph, `json` (default) the tree plus per-device busy/epoch/idle utilization. `?last=N` is the trailing-window shorthand continuous pollers should use (also accepted by `/trace` and `/metrics/range`). |
+//! | `GET /profile/top`          | `?by=kernel\|session\|device&k=N`      | Top-K cost attribution over completed jobs: simulated cycles, wall seconds, queue wait, and bytes moved, merged across pools (`ftn top` renders this). |
 //! | `GET /alerts`               |                                        | Every configured SLO with state, fast/slow burn rates, and (for latency objectives) an exemplar `/trace` link. |
 //! | `POST /shutdown`            |                                        | Drain and stop the server. |
 //!
@@ -32,6 +34,7 @@
 pub mod api;
 pub mod client;
 pub mod http;
+pub mod top;
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -40,8 +43,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 use ftn_cluster::{
-    ArtifactCache, AutoRebalance, ClusterMachine, ImageCache, MapKind, Partition, ShardArg,
-    ShardCount, ShardOptions,
+    ArtifactCache, AutoRebalance, ClusterMachine, ImageCache, MapKind, Partition, RollupBy,
+    RollupRow, ShardArg, ShardCount, ShardOptions,
 };
 use ftn_core::{Artifacts, CompilerOptions};
 use ftn_fpga::DeviceModel;
@@ -226,7 +229,19 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// Wait for a job without holding the pool locked: other HTTP workers keep
 /// submitting to (and draining) the same pool while this job runs, so
 /// concurrent clients genuinely overlap across the pool's devices.
+///
+/// The wait is wrapped in a `session.wait` span: most of a launch request's
+/// wall time is spent right here, and without a named child frame the
+/// profiler would report it as opaque `http.request` self-time.
 fn wait_unlocked(
+    pool: &Arc<Mutex<ClusterMachine>>,
+    handle: ftn_cluster::LaunchHandle,
+) -> Result<ftn_cluster::ClusterRunReport, ftn_core::CompileError> {
+    let _span = ftn_trace::span("session.wait", "cluster");
+    wait_spanless(pool, handle)
+}
+
+fn wait_spanless(
     pool: &Arc<Mutex<ClusterMachine>>,
     handle: ftn_cluster::LaunchHandle,
 ) -> Result<ftn_cluster::ClusterRunReport, ftn_core::CompileError> {
@@ -242,14 +257,16 @@ fn wait_unlocked(
 }
 
 /// [`wait_unlocked`] over a sharded launch's per-shard handles, in shard
-/// order.
+/// order, under a single `session.wait` span.
 fn wait_many_unlocked(
     pool: &Arc<Mutex<ClusterMachine>>,
     handles: Vec<ftn_cluster::LaunchHandle>,
 ) -> Result<Vec<ftn_cluster::ClusterRunReport>, ftn_core::CompileError> {
+    let mut span = ftn_trace::span("session.wait", "cluster");
+    span.arg("shards", handles.len());
     handles
         .into_iter()
-        .map(|h| wait_unlocked(pool, h))
+        .map(|h| wait_spanless(pool, h))
         .collect()
 }
 
@@ -310,6 +327,8 @@ impl ServeState {
                 })
             }
             ("GET", ["metrics", "range"]) => return self.metrics_range(req).map(Reply::Json),
+            ("GET", ["profile"]) => return self.profile(req),
+            ("GET", ["profile", "top"]) => return self.profile_top(req).map(Reply::Json),
             ("GET", ["alerts"]) => return self.alerts().map(Reply::Json),
             ("GET", ["healthz"]) => return self.healthz(),
             _ => {}
@@ -344,12 +363,29 @@ impl ServeState {
         for (key, pool) in lock(&self.pools).iter() {
             let machine = lock(pool);
             for (device, depth) in machine.queue_depths().iter().enumerate() {
-                let name = format!(
-                    "ftn_pool_queue_depth{{pool=\"{}\",device=\"{device}\"}}",
-                    short_key(key)
+                let name = ftn_trace::labelled(
+                    "ftn_pool_queue_depth",
+                    &[("pool", short_key(key)), ("device", &device.to_string())],
                 );
                 self.metrics.registry.gauge(&name).set(*depth as i64);
             }
+        }
+        // Busy percent per device over the trailing second, from job-span
+        // coverage on the `ftn-device-N` lanes. Scraped into the store like
+        // any gauge, so `ftn_device_utilization` history is queryable via
+        // `/metrics/range` and usable in `utilization<P%/W` SLOs. Empty
+        // (no gauges) when span recording is disabled.
+        let now = ftn_trace::now_nanos();
+        let since = now.saturating_sub(UTILIZATION_WINDOW_NANOS);
+        for d in ftn_trace::device_utilization_range(since, now) {
+            let name = ftn_trace::labelled(
+                "ftn_device_utilization",
+                &[("device", &d.device.to_string())],
+            );
+            self.metrics
+                .registry
+                .gauge(&name)
+                .set((d.busy_fraction() * 100.0).round() as i64);
         }
     }
 
@@ -387,15 +423,36 @@ impl ServeState {
     /// `GET /metrics/range?name=METRIC&since=NANOS&until=NANOS`: the
     /// scraped history of one metric as a JSON series of timestamped
     /// points. Histogram series carry per-snapshot count/sum/p50/p95/p99;
-    /// an unknown series (or scraping disabled) is a 404.
+    /// an unknown series (or scraping disabled) is a 404. Without `name`,
+    /// the discovery index: every retained series with its kind, point
+    /// count and covered window.
     fn metrics_range(&self, req: &Request) -> Result<Value, HandlerError> {
-        let name = req
-            .query_param("name")
-            .ok_or_else(|| bad_request("missing 'name' parameter"))?;
+        let Some(name) = req.query_param("name") else {
+            let series: Vec<Value> = self
+                .store
+                .index()
+                .iter()
+                .map(|s| {
+                    api::obj(vec![
+                        ("name", s.name.as_str().to_value()),
+                        ("kind", s.kind.to_value()),
+                        ("points", s.points.to_value()),
+                        ("first_nanos", s.first_nanos.to_value()),
+                        ("last_nanos", s.last_nanos.to_value()),
+                    ])
+                })
+                .collect();
+            return Ok(api::obj(vec![
+                ("interval_ms", self.config.scrape_interval_ms.to_value()),
+                ("retention", self.store.retention().to_value()),
+                ("series", Value::Arr(series)),
+            ]));
+        };
         let (since, until) = parse_window(req)?;
         let points = self.store.query(&name, since, until).ok_or_else(|| {
             not_found(format!(
-                "no series '{name}' (scrape interval {} ms; see /metrics for names)",
+                "no series '{name}' (scrape interval {} ms; GET /metrics/range \
+                 without 'name' lists the retained series)",
                 self.config.scrape_interval_ms
             ))
         })?;
@@ -430,6 +487,129 @@ impl ServeState {
             ("interval_ms", self.config.scrape_interval_ms.to_value()),
             ("retention", self.store.retention().to_value()),
             ("points", Value::Arr(points)),
+        ]))
+    }
+
+    /// `GET /profile?since=NANOS&until=NANOS&format=folded|svg|json`: the
+    /// span-derived profile of the window — self/total time per span-name
+    /// path, aggregated across every recorder lane. `folded` renders
+    /// collapsed-stack text (one `path self_nanos` line per node, directly
+    /// consumable by flamegraph tooling), `svg` a self-contained flamegraph,
+    /// and `json` (the default) the tree plus per-device busy/epoch/idle
+    /// utilization over the same window.
+    fn profile(&self, req: &Request) -> Result<Reply, HandlerError> {
+        let (since, until) = parse_window(req)?;
+        let format = req
+            .query_param("format")
+            .unwrap_or_else(|| "json".to_string());
+        let profile = ftn_trace::Profile::from_recorder(since, until);
+        match format.as_str() {
+            "folded" => Ok(Reply::Text {
+                content_type: "text/plain",
+                body: profile.folded(),
+            }),
+            "svg" => Ok(Reply::Text {
+                content_type: "image/svg+xml",
+                body: profile.flamegraph_svg("ftn-serve profile"),
+            }),
+            "json" => {
+                let utilization: Vec<Value> = ftn_trace::device_utilization_range(since, until)
+                    .iter()
+                    .map(|d| {
+                        api::obj(vec![
+                            ("device", d.device.to_value()),
+                            ("lane", d.lane.as_str().to_value()),
+                            ("window_nanos", d.window_nanos.to_value()),
+                            ("busy_nanos", d.busy_nanos.to_value()),
+                            ("epoch_nanos", d.epoch_nanos.to_value()),
+                            ("idle_nanos", d.idle_nanos.to_value()),
+                            ("busy_fraction", d.busy_fraction().to_value()),
+                            ("epoch_fraction", d.epoch_fraction().to_value()),
+                            ("idle_fraction", d.idle_fraction().to_value()),
+                        ])
+                    })
+                    .collect();
+                Ok(Reply::Json(api::obj(vec![
+                    ("profile", profile.to_value()),
+                    ("utilization", Value::Arr(utilization)),
+                ])))
+            }
+            other => Err(bad_request(format!(
+                "unknown format '{other}' (use folded|svg|json)"
+            ))),
+        }
+    }
+
+    /// `GET /profile/top?by=kernel|session|device&k=N`: the K costliest
+    /// attribution rows over every job completed so far, merged across the
+    /// server's pools and ranked by simulated cycles. `by=session` rows are
+    /// keyed by the serve-level session id (closed sessions fall back to
+    /// `POOLKEY:CLUSTERSID`).
+    fn profile_top(&self, req: &Request) -> Result<Value, HandlerError> {
+        let by_text = req
+            .query_param("by")
+            .unwrap_or_else(|| "kernel".to_string());
+        let by = RollupBy::parse(&by_text).map_err(bad_request)?;
+        let k = match req.query_param("k") {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| bad_request(format!("bad 'k' value '{v}' (want a count)")))?,
+            None => 10,
+        };
+        // Snapshot the session table first (separately from the pool locks)
+        // so session-axis rows can be re-keyed by serve-level session id.
+        let session_keys: Vec<(u64, String, u64)> = lock(&self.sessions)
+            .iter()
+            .map(|(sid, s)| (*sid, s.pool_key.clone(), s.cluster_sid))
+            .collect();
+        let mut merged: Vec<RollupRow> = Vec::new();
+        for (key, pool) in lock(&self.pools).iter() {
+            let machine = lock(pool);
+            for mut row in machine.rollups(by) {
+                if by == RollupBy::Session {
+                    let cluster_sid: u64 = row.key.parse().unwrap_or(0);
+                    row.key = session_keys
+                        .iter()
+                        .find(|(_, pk, cs)| pk == key && *cs == cluster_sid)
+                        .map(|(sid, _, _)| sid.to_string())
+                        .unwrap_or_else(|| format!("{}:{cluster_sid}", short_key(key)));
+                }
+                match merged.iter_mut().find(|r| r.key == row.key) {
+                    Some(r) => {
+                        r.jobs += row.jobs;
+                        r.sim_cycles += row.sim_cycles;
+                        r.wall_seconds += row.wall_seconds;
+                        r.queue_wait_seconds += row.queue_wait_seconds;
+                        r.bytes_moved += row.bytes_moved;
+                    }
+                    None => merged.push(row),
+                }
+            }
+        }
+        merged.sort_by(|a, b| {
+            b.sim_cycles
+                .cmp(&a.sim_cycles)
+                .then(b.wall_seconds.total_cmp(&a.wall_seconds))
+                .then(a.key.cmp(&b.key))
+        });
+        merged.truncate(k);
+        let rows: Vec<Value> = merged
+            .iter()
+            .map(|r| {
+                api::obj(vec![
+                    ("key", r.key.as_str().to_value()),
+                    ("jobs", r.jobs.to_value()),
+                    ("sim_cycles", r.sim_cycles.to_value()),
+                    ("wall_seconds", r.wall_seconds.to_value()),
+                    ("queue_wait_seconds", r.queue_wait_seconds.to_value()),
+                    ("bytes_moved", r.bytes_moved.to_value()),
+                ])
+            })
+            .collect();
+        Ok(api::obj(vec![
+            ("by", by_text.as_str().to_value()),
+            ("k", k.to_value()),
+            ("rows", Value::Arr(rows)),
         ]))
     }
 
@@ -1277,9 +1457,13 @@ fn parse_id(s: &str) -> Result<u64, HandlerError> {
         .map_err(|_| bad_request(format!("bad session id '{s}'")))
 }
 
-/// Parse the shared `?since=NANOS&until=NANOS` window of `/trace` and
-/// `/metrics/range`: both optional (`since` defaults to 0, `until` to
-/// unbounded), 400 on non-numeric values or an inverted window.
+/// Parse the shared `?since=NANOS&until=NANOS` window of `/trace`,
+/// `/metrics/range`, and `/profile`: both optional (`since` defaults to 0,
+/// `until` to unbounded), 400 on non-numeric values or an inverted window.
+/// `?last=NANOS` is the trailing-window shorthand (`since = now - NANOS`,
+/// `until` unbounded) continuous pollers should prefer — it keeps each poll
+/// proportional to recent activity instead of refolding the whole ring —
+/// and is mutually exclusive with explicit bounds.
 fn parse_window(req: &Request) -> Result<(u64, u64), HandlerError> {
     let bound = |name: &str, default: u64| match req.query_param(name) {
         Some(v) => v
@@ -1287,6 +1471,15 @@ fn parse_window(req: &Request) -> Result<(u64, u64), HandlerError> {
             .map_err(|_| bad_request(format!("bad '{name}' value '{v}' (want nanoseconds)"))),
         None => Ok(default),
     };
+    if req.query_param("last").is_some() {
+        if req.query_param("since").is_some() || req.query_param("until").is_some() {
+            return Err(bad_request(
+                "'last' is a trailing window; it excludes 'since' and 'until'",
+            ));
+        }
+        let last = bound("last", 0)?;
+        return Ok((ftn_trace::now_nanos().saturating_sub(last), u64::MAX));
+    }
     let since = bound("since", 0)?;
     let until = bound("until", u64::MAX)?;
     if since > until {
@@ -1301,6 +1494,11 @@ fn parse_window(req: &Request) -> Result<(u64, u64), HandlerError> {
 fn short_key(key: &str) -> &str {
     &key[..key.len().min(8)]
 }
+
+/// Trailing window the `ftn_device_utilization` gauges are computed over on
+/// each scrape (1 s: long enough to smooth single jobs, short enough that a
+/// stalled pool shows up within a few scrapes).
+const UTILIZATION_WINDOW_NANOS: u64 = 1_000_000_000;
 
 /// Serve one connection: a keep-alive request loop. The idle timeout bounds
 /// how long a quiet connection may hold a worker thread; a request that
@@ -2207,9 +2405,20 @@ end subroutine saxpy
         )
         .expect("get");
         assert_eq!(status, 400);
-        let (status, _) =
-            crate::client::request_text(addr, "GET", "/metrics/range", "").expect("get");
-        assert_eq!(status, 400, "missing name");
+        // Bare /metrics/range is the discovery index: every retained series
+        // with its kind, point count and covered window.
+        let (status, index) = request(addr, "GET", "/metrics/range", "");
+        assert_eq!(status, 200, "bare range is the series index");
+        let Some(Value::Arr(listed)) = index.get("series") else {
+            panic!("no series array in {index:?}");
+        };
+        let requests_row = listed
+            .iter()
+            .find(|s| api::get_opt_str(s, "name") == Some("ftn_http_requests_total"))
+            .expect("index lists the scraped request counter");
+        assert_eq!(api::get_opt_str(requests_row, "kind"), Some("counter"));
+        assert!(as_u64(requests_row.get("points")) >= 1);
+        assert!(as_u64(requests_row.get("last_nanos")) >= as_u64(requests_row.get("first_nanos")));
 
         // /alerts lists the default SLOs, all quiet on a healthy server.
         let (status, alerts) = request(addr, "GET", "/alerts", "");

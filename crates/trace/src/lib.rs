@@ -22,6 +22,10 @@
 //!   burn rates behind `GET /alerts`. Histograms carry OpenMetrics
 //!   [`Exemplar`]s so a firing latency alert links the offending request's
 //!   trace.
+//! - **Profiling** ([`Profile`], [`device_utilization`]): the span rings
+//!   aggregated into folded-stack self/total-time trees (collapsed-stack
+//!   text, SVG flamegraph, JSON — `GET /profile`), plus per-device
+//!   busy/epoch/idle utilization splits derived from job-span coverage.
 //!
 //! The span taxonomy and metric names threaded through the stack are
 //! documented in `docs/OBSERVABILITY.md`.
@@ -31,6 +35,7 @@
 mod chrome;
 pub mod log;
 mod metrics;
+mod profile;
 mod slo;
 mod span;
 mod store;
@@ -38,8 +43,11 @@ mod store;
 pub use chrome::{export_chrome, export_chrome_range};
 pub use log::{events as log_events, log, max_level, set_max_level, Level, LogEvent};
 pub use metrics::{
-    Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry,
-    HISTOGRAM_BUCKETS,
+    escape_label_value, labelled, Counter, Exemplar, Gauge, Histogram, HistogramSnapshot,
+    MetricValue, MetricsRegistry, HISTOGRAM_BUCKETS,
+};
+pub use profile::{
+    device_utilization, device_utilization_range, DeviceUtilization, Profile, ProfileNode,
 };
 pub use slo::{default_slos, AlertState, AlertStatus, SloEngine, SloKind, SloSpec};
 pub use span::{
@@ -47,4 +55,4 @@ pub use span::{
     set_capacity, set_enabled, snapshot, snapshot_range, span, span_linked, trace_scope,
     LaneSnapshot, Span, SpanEvent, TraceScope,
 };
-pub use store::{PointValue, RangePoint, TimeSeriesStore};
+pub use store::{PointValue, RangePoint, SeriesInfo, TimeSeriesStore};

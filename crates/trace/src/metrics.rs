@@ -493,15 +493,15 @@ impl MetricsRegistry {
                     let count = snap.count();
                     let bucket = suffixed(name, "_bucket");
                     for (le, cum) in snap.cumulative() {
-                        let labelled = with_label(&bucket, &format!("le=\"{le}\""));
-                        out.push_str(&format!("{labelled} {cum}"));
+                        let series = with_label(&bucket, "le", &le.to_string());
+                        out.push_str(&format!("{series} {cum}"));
                         if !exemplar_attached && exemplar_le.is_some_and(|ele| le >= ele) {
                             out.push_str(exemplar_text.as_deref().unwrap_or(""));
                             exemplar_attached = true;
                         }
                         out.push('\n');
                     }
-                    let inf = with_label(&bucket, "le=\"+Inf\"");
+                    let inf = with_label(&bucket, "le", "+Inf");
                     out.push_str(&format!("{inf} {count}"));
                     if !exemplar_attached {
                         if let Some(t) = &exemplar_text {
@@ -532,6 +532,50 @@ fn base_name(name: &str) -> &str {
     name.split('{').next().unwrap_or(name)
 }
 
+/// Escape a label value per the Prometheus text-exposition format:
+/// backslash, double quote and newline become `\\`, `\"` and `\n`.
+///
+/// Registry names embed their label sets verbatim
+/// (`ftn_pool_queue_depth{pool="..."}`), so escaping must happen when the
+/// name is *built* — a raw quote or newline in a pool/session name would
+/// otherwise corrupt every exposition line of that series. Use
+/// [`labelled`] instead of hand-formatting.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Build a registry metric name with an embedded label set, escaping every
+/// value per the exposition format: `labelled("ftn_jobs_total",
+/// &[("pool", key)])` → `ftn_jobs_total{pool="..."}`.
+pub fn labelled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::with_capacity(base.len() + 16 * labels.len());
+    out.push_str(base);
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(value));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 fn type_line(out: &mut String, base: &str, kind: &str) {
     let line = format!("# TYPE {base} {kind}\n");
     // Labelled series of one base metric sit adjacent in the BTreeMap;
@@ -541,11 +585,13 @@ fn type_line(out: &mut String, base: &str, kind: &str) {
     }
 }
 
-/// Splice an extra label into a possibly-labelled metric name.
-fn with_label(name: &str, extra: &str) -> String {
+/// Splice an extra `key="value"` label into a possibly-labelled metric
+/// name, escaping the value per the exposition format.
+fn with_label(name: &str, key: &str, value: &str) -> String {
+    let pair = format!("{key}=\"{}\"", escape_label_value(value));
     match name.strip_suffix('}') {
-        Some(head) => format!("{head},{extra}}}"),
-        None => format!("{name}{{{extra}}}"),
+        Some(head) => format!("{head},{pair}}}"),
+        None => format!("{name}{{{pair}}}"),
     }
 }
 
@@ -680,6 +726,65 @@ mod tests {
             .parse()
             .unwrap();
         assert!(le >= 0.2, "attached to a bucket at or above the value");
+    }
+
+    #[test]
+    fn escape_label_value_covers_exposition_specials() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        assert_eq!(
+            escape_label_value("\\\"\n"),
+            "\\\\\\\"\\n",
+            "all three specials together"
+        );
+    }
+
+    #[test]
+    fn labelled_builds_escaped_series_names() {
+        assert_eq!(labelled("ftn_jobs_total", &[]), "ftn_jobs_total");
+        assert_eq!(
+            labelled("ftn_jobs_total", &[("pool", "p0"), ("device", "1")]),
+            "ftn_jobs_total{pool=\"p0\",device=\"1\"}"
+        );
+        assert_eq!(
+            labelled("ftn_jobs_total", &[("pool", "evil\"},x 1\n")]),
+            "ftn_jobs_total{pool=\"evil\\\"},x 1\\n\"}"
+        );
+    }
+
+    #[test]
+    fn hostile_label_values_render_escaped_and_unbroken() {
+        let reg = MetricsRegistry::new();
+        // A pool keyed by a hostile name: quote, backslash and newline. Via
+        // `labelled` the registry key already holds the escaped form.
+        let hostile = "po\"ol\\one\nbad";
+        reg.counter(&labelled("ftn_jobs_total", &[("pool", hostile)]))
+            .add(7);
+        reg.gauge(&labelled(
+            "ftn_slo_state",
+            &[("slo", "weird\"spec\\with\nnewline")],
+        ))
+        .set(2);
+        let text = reg.render_prometheus();
+        // No raw newline may survive inside any line: every exposition line
+        // stays `name value` shaped.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(
+                line.split_whitespace().count(),
+                2,
+                "line broken by unescaped label value: {line:?}"
+            );
+        }
+        assert!(
+            text.contains("ftn_jobs_total{pool=\"po\\\"ol\\\\one\\nbad\"} 7"),
+            "escaped series renders verbatim: {text}"
+        );
+        assert!(
+            text.contains("ftn_slo_state{slo=\"weird\\\"spec\\\\with\\nnewline\"} 2"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -56,6 +56,16 @@ pub enum SloKind {
         /// The allowed error fraction, in `(0, 1]`.
         budget: f64,
     },
+    /// A gauge floor: every matching gauge reading (all labelled series of
+    /// the metric base, e.g. each `ftn_device_utilization{device}`) below
+    /// `threshold` is a *bad* sample. The budget is fixed at 0.5 — the
+    /// objective fires when a majority of recent readings sit under the
+    /// floor in both burn windows, i.e. a sustained under-shoot, not a blip.
+    GaugeBelow {
+        /// Readings strictly below this value are bad (same unit as the
+        /// gauge; utilization gauges are integer percent).
+        threshold: f64,
+    },
 }
 
 /// One parsed service-level objective.
@@ -79,6 +89,7 @@ fn alias(name: &str) -> &str {
         "http" => "ftn_http_request_seconds",
         "queue_wait" => "ftn_pool_queue_wait_seconds",
         "epoch" => "ftn_pool_epoch_seconds",
+        "utilization" => "ftn_device_utilization",
         other => other,
     }
 }
@@ -137,6 +148,11 @@ impl SloSpec {
     /// - `errors<PERCENT%/WINDOW` — error-rate budget over the built-in
     ///   `ftn_http_errors_total` / `ftn_http_requests_total` counters.
     ///   Example: `errors<1%/5m`.
+    /// - `METRIC<PERCENT%/WINDOW` (any other `METRIC` with a `%` bound) —
+    ///   gauge floor: fires when a majority of the metric's gauge readings
+    ///   (every labelled series) sit below the threshold across both burn
+    ///   windows. `utilization` aliases `ftn_device_utilization`.
+    ///   Example: `utilization<20%/5m`.
     pub fn parse(text: &str) -> Result<SloSpec, String> {
         let (lhs, rhs) = text
             .split_once('<')
@@ -164,6 +180,23 @@ impl SloSpec {
                 window_nanos,
             });
         }
+        if let Some(percent) = bound.strip_suffix('%') {
+            if lhs.is_empty() {
+                return Err(format!("SLO '{text}' has an empty metric name"));
+            }
+            let percent: f64 = percent
+                .parse()
+                .map_err(|_| format!("bad gauge threshold '{bound}'"))?;
+            if !(percent > 0.0 && percent <= 100.0) {
+                return Err(format!("gauge threshold '{bound}' must be in (0, 100]%"));
+            }
+            return Ok(SloSpec {
+                spec: text.to_string(),
+                metric: alias(lhs).to_string(),
+                kind: SloKind::GaugeBelow { threshold: percent },
+                window_nanos,
+            });
+        }
         let (name, quantile) = lhs
             .rsplit_once("_p")
             .ok_or_else(|| format!("SLO '{text}' needs a '_p50/_p95/_p99' quantile"))?;
@@ -185,11 +218,13 @@ impl SloSpec {
     }
 
     /// The allowed bad fraction: `1 - q` for a quantile bound, the stated
-    /// fraction for an error budget.
+    /// fraction for an error budget, and a fixed 0.5 for a gauge floor (a
+    /// majority of readings under the threshold burns the budget).
     pub fn budget(&self) -> f64 {
         match self.kind {
             SloKind::Quantile { q, .. } => (1.0 - q).max(1e-9),
             SloKind::ErrorRate { budget } => budget,
+            SloKind::GaugeBelow { .. } => 0.5,
         }
     }
 }
@@ -272,6 +307,14 @@ enum Source {
         bad: Arc<Counter>,
         total: Arc<Counter>,
     },
+    /// Gauge-floor objectives sample every matching gauge per evaluation;
+    /// the counters accumulate those samples into the cumulative bad/total
+    /// stream the burn-rate machinery expects.
+    GaugeBelow {
+        threshold: f64,
+        bad: Counter,
+        total: Counter,
+    },
 }
 
 struct RuntimeState {
@@ -346,9 +389,16 @@ impl SloEngine {
                         bad: registry.counter(&spec.metric),
                         total: registry.counter("ftn_http_requests_total"),
                     },
+                    SloKind::GaugeBelow { threshold } => Source::GaugeBelow {
+                        threshold,
+                        bad: Counter::default(),
+                        total: Counter::default(),
+                    },
                 };
-                let state_gauge =
-                    registry.gauge(&format!("ftn_slo_state{{slo=\"{}\"}}", spec.spec));
+                let state_gauge = registry.gauge(&crate::metrics::labelled(
+                    "ftn_slo_state",
+                    &[("slo", &spec.spec)],
+                ));
                 state_gauge.set(AlertState::Ok.as_gauge());
                 SloRuntime {
                     spec,
@@ -394,6 +444,32 @@ impl SloEngine {
                     )
                 }
                 Source::ErrorRate { bad, total } => (bad.get(), total.get()),
+                Source::GaugeBelow {
+                    threshold,
+                    bad,
+                    total,
+                } => {
+                    // Sample every labelled series of the metric base (e.g.
+                    // each ftn_device_utilization{device="N"}) and fold the
+                    // readings into the cumulative bad/total stream. No
+                    // matching gauges means no samples — and no burn.
+                    for (name, value) in self.registry.snapshot_all() {
+                        let matches = name == slo.spec.metric
+                            || name
+                                .strip_prefix(slo.spec.metric.as_str())
+                                .is_some_and(|rest| rest.starts_with('{'));
+                        if !matches {
+                            continue;
+                        }
+                        if let crate::metrics::MetricValue::Gauge(v) = value {
+                            total.inc();
+                            if (v as f64) < *threshold {
+                                bad.inc();
+                            }
+                        }
+                    }
+                    (bad.get(), total.get())
+                }
             };
             let mut rt = slo.runtime.lock();
             rt.history.push_back((now_nanos, bad, total));
@@ -437,10 +513,9 @@ impl SloEngine {
                     ),
                 );
                 self.registry
-                    .counter(&format!(
-                        "ftn_slo_transitions_total{{slo=\"{}\",to=\"{}\"}}",
-                        slo.spec.spec,
-                        next.as_str()
+                    .counter(&crate::metrics::labelled(
+                        "ftn_slo_transitions_total",
+                        &[("slo", &slo.spec.spec), ("to", next.as_str())],
                     ))
                     .inc();
                 slo.state_gauge.set(next.as_gauge());
@@ -466,7 +541,7 @@ impl SloEngine {
                     since_nanos: rt.entered_nanos,
                     exemplar: match &slo.source {
                         Source::Quantile { histogram, .. } => histogram.exemplar(),
-                        Source::ErrorRate { .. } => None,
+                        Source::ErrorRate { .. } | Source::GaugeBelow { .. } => None,
                     },
                 }
             })
@@ -520,6 +595,80 @@ mod tests {
         let s = SloSpec::parse("errors<1%/5m").unwrap();
         assert_eq!(s.metric, "ftn_http_errors_total");
         assert!(matches!(s.kind, SloKind::ErrorRate { budget } if (budget - 0.01).abs() < 1e-12));
+    }
+
+    #[test]
+    fn parse_gauge_floor_spec_with_alias() {
+        let s = SloSpec::parse("utilization<20%/5m").unwrap();
+        assert_eq!(s.metric, "ftn_device_utilization");
+        assert_eq!(s.window_nanos, 300_000_000_000);
+        assert!(matches!(
+            s.kind,
+            SloKind::GaugeBelow { threshold } if (threshold - 20.0).abs() < 1e-12
+        ));
+        assert!((s.budget() - 0.5).abs() < 1e-12);
+        let s = SloSpec::parse("my_gauge<75%/30s").unwrap();
+        assert_eq!(s.metric, "my_gauge");
+    }
+
+    #[test]
+    fn gauge_floor_objective_fires_on_sustained_undershoot() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let engine = SloEngine::new(
+            vec![SloSpec::parse("utilization<20%/60s").unwrap()],
+            registry.clone(),
+        );
+        let d0 = registry.gauge("ftn_device_utilization{device=\"0\"}");
+        let d1 = registry.gauge("ftn_device_utilization{device=\"1\"}");
+        let sec = 1_000_000_000u64;
+        let mut now = 0;
+
+        // Healthy: both devices busy, no burn.
+        d0.set(85);
+        d1.set(90);
+        for _ in 0..5 {
+            now += sec;
+            engine.evaluate_at(now);
+        }
+        assert_eq!(engine.statuses()[0].state, AlertState::Ok);
+
+        // Both devices idle: every sample is bad, burn 1/0.5 = 2x.
+        d0.set(3);
+        d1.set(0);
+        for _ in 0..30 {
+            now += sec;
+            engine.evaluate_at(now);
+        }
+        let s = &engine.statuses()[0];
+        assert_eq!(s.state, AlertState::Firing, "sustained idle fleet fires");
+        assert!(s.fast_burn >= 1.0 && s.slow_burn >= 1.0);
+        assert!(s.exemplar.is_none(), "gauges carry no exemplars");
+
+        // Busy again: recovers.
+        d0.set(60);
+        d1.set(70);
+        for _ in 0..80 {
+            now += sec;
+            engine.evaluate_at(now);
+        }
+        assert!(engine.firing().is_empty(), "recovered");
+    }
+
+    #[test]
+    fn gauge_floor_without_matching_gauges_burns_nothing() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let engine = SloEngine::new(
+            vec![SloSpec::parse("utilization<20%/60s").unwrap()],
+            registry.clone(),
+        );
+        // A prefix-similar but different metric must not be sampled.
+        registry.gauge("ftn_device_utilization_other").set(0);
+        for t in 1..=10u64 {
+            engine.evaluate_at(t * 1_000_000_000);
+        }
+        let s = &engine.statuses()[0];
+        assert_eq!(s.state, AlertState::Ok);
+        assert_eq!((s.fast_burn, s.slow_burn), (0.0, 0.0));
     }
 
     #[test]

@@ -50,6 +50,22 @@ pub enum PointValue {
     },
 }
 
+/// One row of the series index ([`TimeSeriesStore::index`]) — the discovery
+/// payload `GET /metrics/range` returns when no `name=` is given.
+#[derive(Debug, Clone)]
+pub struct SeriesInfo {
+    /// The series (metric) name.
+    pub name: String,
+    /// The metric kind: `counter`, `gauge` or `histogram`.
+    pub kind: &'static str,
+    /// Number of retained points.
+    pub points: u64,
+    /// Timestamp of the oldest retained point (trace-clock nanoseconds).
+    pub first_nanos: u64,
+    /// Timestamp of the newest retained point.
+    pub last_nanos: u64,
+}
+
 /// Fixed-retention rings of scraped metric points, keyed by metric name.
 pub struct TimeSeriesStore {
     retention: usize,
@@ -115,6 +131,31 @@ impl TimeSeriesStore {
     pub fn series_names(&self) -> Vec<String> {
         self.series.lock().keys().cloned().collect()
     }
+
+    /// One [`SeriesInfo`] row per retained series, in name order — the
+    /// discovery index behind a bare `GET /metrics/range`. Series whose ring
+    /// is momentarily empty are skipped (they have no window to report).
+    pub fn index(&self) -> Vec<SeriesInfo> {
+        self.series
+            .lock()
+            .iter()
+            .filter_map(|(name, ring)| {
+                let (first, last) = (ring.front()?, ring.back()?);
+                let kind = match first.value {
+                    PointValue::Counter(_) => "counter",
+                    PointValue::Gauge(_) => "gauge",
+                    PointValue::Histogram { .. } => "histogram",
+                };
+                Some(SeriesInfo {
+                    name: name.clone(),
+                    kind,
+                    points: ring.len() as u64,
+                    first_nanos: first.nanos,
+                    last_nanos: last.nanos,
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +206,28 @@ mod tests {
             }
             other => panic!("expected histogram point, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn index_reports_kind_count_and_window() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total").inc();
+        reg.gauge("g_depth").set(1);
+        reg.histogram("h_seconds").observe(0.5);
+        let store = TimeSeriesStore::new(8);
+        assert!(store.index().is_empty(), "nothing scraped yet");
+        store.scrape_at(&reg, 100);
+        store.scrape_at(&reg, 250);
+        let index = store.index();
+        assert_eq!(index.len(), 3);
+        let c = &index[0];
+        assert_eq!(
+            (c.name.as_str(), c.kind, c.points),
+            ("c_total", "counter", 2)
+        );
+        assert_eq!((c.first_nanos, c.last_nanos), (100, 250));
+        assert_eq!(index[1].kind, "gauge");
+        assert_eq!(index[2].kind, "histogram");
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   to `firing` on `GET /alerts`, whose exemplar `trace_link` resolves to
 //!   the slow request's trace in `/trace?since=&until=`, and the alert
 //!   returns to `resolved` once the bad traffic stops,
+//! * `GET /profile?format=folded` contains a `kernel.execute` frame with
+//!   nonzero self time, `GET /profile/top?by=kernel` attributes the burst's
+//!   simulated cycles to `saxpy_kernel0`, and the `ftn top` renderer turns
+//!   both into a dashboard frame,
 //! * the server shuts down cleanly on `POST /shutdown`.
 //!
 //! Run with: `cargo run --release --example serve_client`
@@ -504,6 +508,51 @@ fn main() {
         }
     }
     println!("alert resolved: {TIGHT_SLO} recovered once the compile load stopped");
+
+    // The continuous profiler has been watching the same spans: the folded
+    // (collapsed-stack) view must attribute real self time to the simulated
+    // kernel executions the burst ran.
+    let (status, folded) = conn
+        .request_text("GET", "/profile?format=folded", "")
+        .expect("GET /profile round-trips");
+    assert_eq!(status, 200);
+    let kernel_self: u64 = folded
+        .lines()
+        .filter_map(|line| {
+            let (path, value) = line.rsplit_once(' ')?;
+            path.ends_with("kernel.execute")
+                .then(|| value.parse::<u64>().ok())
+                .flatten()
+        })
+        .sum();
+    assert!(
+        kernel_self > 0,
+        "no kernel.execute self time in the folded profile:\n{folded}"
+    );
+
+    // Cost attribution: the burst's simulated cycles land on saxpy_kernel0.
+    let (_, top) = request(&mut conn, "GET", "/profile/top?by=kernel", "");
+    let Some(Value::Arr(rows)) = top.get("rows") else {
+        panic!("/profile/top has no rows: {top:?}");
+    };
+    let saxpy = rows
+        .iter()
+        .find(|r| matches!(r.get("key"), Some(Value::Str(s)) if s == "saxpy_kernel0"))
+        .expect("saxpy_kernel0 ranked in /profile/top");
+    assert!(get_u64(saxpy, "sim_cycles") > 0, "{saxpy:?}");
+    println!(
+        "profiling: kernel.execute self time {:.3} ms, saxpy_kernel0 = {} simulated cycles over {} jobs",
+        kernel_self as f64 / 1e6,
+        get_u64(saxpy, "sim_cycles"),
+        get_u64(saxpy, "jobs"),
+    );
+
+    // One `ftn top` frame over the same endpoints (what `ftn top ADDR
+    // --once` prints).
+    let frame = ftn_serve::top::render_once(addr, 5).expect("ftn top frame renders");
+    assert!(frame.contains("TOP KERNEL"), "{frame}");
+    assert!(frame.contains("saxpy_kernel0"), "{frame}");
+    println!("--- ftn top ---\n{frame}");
 
     // Clean shutdown.
     let (_, _) = request(&mut conn, "POST", "/shutdown", "");

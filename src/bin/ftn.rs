@@ -2,6 +2,10 @@
 //!
 //! ```text
 //! ftn <input.f90> [--out DIR] [--quiet]      compile one Fortran file
+//! ftn top HOST:PORT [--interval MS]          live terminal dashboard over a
+//!           [-k ROWS] [--once]               running serve instance: top-K
+//!                                            kernels/sessions/devices,
+//!                                            utilization, and alerts
 //! ftn serve [--port P]                       run the compile-and-run service
 //!           [--devices N | u280,u250,...]    pool size, or an explicit
 //!                                            (heterogeneous) device list
@@ -48,10 +52,73 @@ use ftn_serve::{ServeConfig, Server};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("serve") {
-        return serve(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("top") => top(&args[1..]),
+        _ => compile(&args),
     }
-    compile(&args)
+}
+
+fn top(args: &[String]) -> ExitCode {
+    use std::net::ToSocketAddrs;
+    let mut addr_text: Option<String> = None;
+    let mut opts = ftn_serve::top::TopOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--interval" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(ms) => opts.interval_ms = ms,
+                    None => {
+                        eprintln!("error: --interval needs a number of milliseconds");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "-k" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(k) if k > 0 => opts.k = k,
+                    _ => {
+                        eprintln!("error: -k needs a positive row count");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--once" => opts.once = true,
+            "--help" | "-h" => {
+                eprintln!("usage: ftn top HOST:PORT [--interval MS] [-k ROWS] [--once]");
+                return ExitCode::SUCCESS;
+            }
+            other if addr_text.is_none() && !other.starts_with('-') => {
+                addr_text = Some(other.to_string());
+            }
+            other => {
+                eprintln!("error: unknown top flag '{other}' (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(addr_text) = addr_text else {
+        eprintln!("error: ftn top needs a server address (HOST:PORT)");
+        return ExitCode::FAILURE;
+    };
+    let addr = match addr_text.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => {
+            eprintln!("error: cannot resolve '{addr_text}' (want HOST:PORT)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match ftn_serve::top::run(addr, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: ftn top: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn serve(args: &[String]) -> ExitCode {

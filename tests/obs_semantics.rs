@@ -250,7 +250,7 @@ fn metrics_range_returns_monotonic_series_and_rejects_bad_windows() {
     }
 
     // Window validation is shared with /trace: malformed and inverted
-    // windows are 400s, unknown series 404, missing name 400.
+    // windows are 400s, unknown series 404.
     for (path, expect) in [
         (
             "/metrics/range?name=ftn_http_requests_total&since=bogus",
@@ -261,13 +261,38 @@ fn metrics_range_returns_monotonic_series_and_rejects_bad_windows() {
             400,
         ),
         ("/metrics/range?name=no_such_series", 404),
-        ("/metrics/range", 400),
         ("/trace?since=bogus", 400),
         ("/trace?since=7&until=3", 400),
     ] {
         let (status, resp) = conn.request("GET", path, "").expect("request");
         assert_eq!(status, expect, "GET {path}: {resp:?}");
     }
+
+    // A bare GET /metrics/range is the series index: every retained series
+    // listed with its kind and point count, the scraped series included.
+    let (status, index) = conn.request("GET", "/metrics/range", "").expect("index");
+    assert_eq!(status, 200, "bare /metrics/range: {index:?}");
+    let Some(Value::Arr(series)) = index.get("series") else {
+        panic!("no series index in {index:?}");
+    };
+    assert!(
+        series.iter().any(|s| {
+            get_str(s, "name") == "ftn_http_requests_total"
+                && get_str(s, "kind") == "counter"
+                && get_u64(s, "points") > 0
+        }),
+        "index missing ftn_http_requests_total: {index:?}"
+    );
+
+    // An unknown series' 404 carries a hint pointing at the index.
+    let (status, resp) = conn
+        .request("GET", "/metrics/range?name=no_such_series", "")
+        .expect("404 hint");
+    assert_eq!(status, 404);
+    assert!(
+        get_str(&resp, "error").contains("/metrics/range"),
+        "404 should hint at the series index: {resp:?}"
+    );
 
     drop(conn);
     shutdown(addr, handle);
