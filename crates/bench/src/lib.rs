@@ -20,7 +20,12 @@
 //! * [`obs_bench`] — HTTP request latency under concurrent keep-alive
 //!   clients and the tracing layer's enabled-vs-disabled overhead
 //!   (`BENCH_obs.json`).
+//! * [`concurrency_bench`] — concurrent session launch throughput with
+//!   condvar-notified waits vs the legacy sleep-poll lock, and untouched
+//!   sessions' launch p99 while migration epochs run
+//!   (`BENCH_concurrency.json`).
 
+pub mod concurrency_bench;
 pub mod diagram;
 pub mod experiments;
 pub mod hetero_bench;

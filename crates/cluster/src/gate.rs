@@ -1,0 +1,295 @@
+//! [`PoolGate`] — the concurrent front door to one [`ClusterMachine`].
+//!
+//! The machine itself is single-threaded by design (deterministic
+//! bookkeeping, bit-identical to `ftn_core::Machine`); concurrency lives
+//! here. The gate wraps the machine in a mutex and adds the two pieces a
+//! multi-client serve layer needs to keep that mutex *short-lived*:
+//!
+//! * **Condvar-notified waits.** [`PoolGate::wait_done`] parks on the
+//!   pool's [`CompletionSignal`] between polls instead of sleep-polling the
+//!   machine lock, so a waiter wakes within microseconds of its job's
+//!   outcome and holds the lock only to drain outcomes — never across a
+//!   blocking receive.
+//! * **Phased migration epochs.** [`PoolGate::rebalance_phased`] runs
+//!   quiesce → delta-gather → reshard → resume as explicit phases with the
+//!   machine lock *released* while device traffic is in flight. A
+//!   per-session fence blocks exactly the session whose rows move
+//!   (launches against it park on the fence until the epoch resumes);
+//!   every other session keeps submitting and completing mid-epoch.
+//!
+//! Lock hierarchy (see docs/ARCHITECTURE.md, "Locking & phases"): the
+//! fence set and the machine lock are never held at the same time, and
+//! nothing blocks while holding the machine lock.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use ftn_core::CompileError;
+
+use crate::machine::{ClusterMachine, ClusterRunReport, LaunchHandle};
+use crate::pool::CompletionSignal;
+use crate::sharded::{EpochPhase, MigrationEpoch, RebalanceReport};
+
+/// Safety-valve park slice: a waiter re-polls at least this often even if a
+/// wakeup is lost (e.g. workers torn down mid-wait). Correctness never
+/// depends on it — the seen-sequence protocol makes wakeups lossless — it
+/// only bounds how long a shutdown race can park a thread.
+const PARK_SLICE: Duration = Duration::from_millis(20);
+
+/// A [`ClusterMachine`] behind a short-critical-section lock, with
+/// condvar-notified completion waits and phased, per-session-fenced
+/// migration epochs. One gate per serve-layer pool.
+pub struct PoolGate {
+    machine: Mutex<ClusterMachine>,
+    signal: Arc<CompletionSignal>,
+    /// Sharded sessions currently inside a migration epoch. Launch/close
+    /// traffic for a fenced session parks on `fence_cv`; everything else
+    /// ignores the fence entirely.
+    fences: Mutex<HashSet<u64>>,
+    fence_cv: Condvar,
+}
+
+fn relock<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    // A worker that panicked mid-request poisons the mutex; the machine's
+    // bookkeeping is still coherent (panics are contained per job), so
+    // recover the guard rather than wedging every later request.
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+impl PoolGate {
+    /// Wrap `machine` (grabs its pool's completion signal).
+    pub fn new(machine: ClusterMachine) -> Self {
+        let signal = machine.completion_signal();
+        PoolGate {
+            machine: Mutex::new(machine),
+            signal,
+            fences: Mutex::new(HashSet::new()),
+            fence_cv: Condvar::new(),
+        }
+    }
+
+    /// Lock the machine. Hold only for submission, polling, or snapshot
+    /// reads — never across a blocking wait.
+    pub fn lock(&self) -> MutexGuard<'_, ClusterMachine> {
+        relock(self.machine.lock())
+    }
+
+    /// Non-blocking lock attempt, for observability readers that must not
+    /// queue behind a busy pool (`/healthz`, the metrics scraper).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, ClusterMachine>> {
+        match self.machine.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// The pool's completion signal (exposed for wake-latency tests).
+    pub fn signal(&self) -> &Arc<CompletionSignal> {
+        &self.signal
+    }
+
+    /// Wait for one submitted job without sleep-polling: register this
+    /// job's parking slot, drain outcomes under a short lock, and park on
+    /// the slot until the worker finishing *this* job wakes it — a targeted
+    /// wakeup, so N concurrent waiters cost one wake per outcome instead of
+    /// an N-thread herd racing for the machine lock. An outcome landing
+    /// between the drain and the park has already marked the registered
+    /// slot done, so the park returns immediately — the wake path is
+    /// notification, not timeout.
+    pub fn wait_done(&self, handle: LaunchHandle) -> Result<ClusterRunReport, CompileError> {
+        loop {
+            let slot = self.signal.register(handle.job_id());
+            {
+                let mut m = self.lock();
+                m.poll_outcomes();
+                if m.is_complete(&handle) {
+                    self.signal.deregister(handle.job_id());
+                    return m.wait(handle);
+                }
+            }
+            slot.wait(PARK_SLICE);
+        }
+    }
+
+    /// [`PoolGate::wait_done`] over a sharded launch's per-shard handles,
+    /// in shard order. The first failure propagates (matching
+    /// [`ClusterMachine::wait_sharded`]).
+    pub fn wait_many(
+        &self,
+        handles: Vec<LaunchHandle>,
+    ) -> Result<Vec<ClusterRunReport>, CompileError> {
+        handles.into_iter().map(|h| self.wait_done(h)).collect()
+    }
+
+    /// Whether `session` is currently fenced by a migration epoch.
+    pub fn fenced(&self, session: u64) -> bool {
+        relock(self.fences.lock()).contains(&session)
+    }
+
+    /// Park until `session` is not fenced by a migration epoch. The hot
+    /// launch path calls this *before* taking the machine lock, so only
+    /// traffic for the migrating session waits out the epoch.
+    pub fn wait_unfenced(&self, session: u64) {
+        let mut fences = relock(self.fences.lock());
+        while fences.contains(&session) {
+            fences = relock(self.fence_cv.wait(fences));
+        }
+    }
+
+    fn fence(&self, session: u64) {
+        let mut fences = relock(self.fences.lock());
+        // A concurrent epoch on the same session queues behind this one.
+        while fences.contains(&session) {
+            fences = relock(self.fence_cv.wait(fences));
+        }
+        fences.insert(session);
+    }
+
+    fn unfence(&self, session: u64) {
+        relock(self.fences.lock()).remove(&session);
+        self.fence_cv.notify_all();
+    }
+
+    /// Run one re-plan check as a *phased* migration epoch: quiesce →
+    /// delta-gather → reshard → resume, releasing the machine lock while
+    /// epoch device traffic is in flight and parking on the completion
+    /// signal instead. Only `session` is fenced for the duration; launches
+    /// on every other session proceed mid-epoch. Behavior (decision,
+    /// migration, statistics, error cleanup) is identical to
+    /// [`ClusterMachine::rebalance_session_with`].
+    pub fn rebalance_phased(
+        &self,
+        session: u64,
+        threshold: Option<f64>,
+    ) -> Result<RebalanceReport, CompileError> {
+        self.fence(session);
+        let result = self.rebalance_phases(session, threshold);
+        self.unfence(session);
+        result
+    }
+
+    fn rebalance_phases(
+        &self,
+        session: u64,
+        threshold: Option<f64>,
+    ) -> Result<RebalanceReport, CompileError> {
+        // Phase 1 — quiesce: the session's outstanding launches must land
+        // before backlogs are read or rows move. Park on the signal between
+        // polls; the machine lock is only held to drain outcomes. (The
+        // epoch-begin step re-checks under its own lock; with the session
+        // fenced, nothing new can be submitted against it in between.)
+        loop {
+            let seen = self.signal.seq();
+            {
+                let mut m = self.lock();
+                m.poll_outcomes();
+                match m.sharded_pending_jobs(session) {
+                    // Unknown session: fall through and let epoch_begin
+                    // report it as the synchronous path would.
+                    None | Some(0) => break,
+                    Some(_) => {}
+                }
+            }
+            self.signal.wait_past(seen, PARK_SLICE);
+        }
+
+        // Phase 2 — decide and submit the delta gather under a short lock.
+        let mut ep = match self.lock().epoch_begin(session, threshold)? {
+            EpochPhase::Done(report) => return Ok(report),
+            EpochPhase::Gather(ep) => ep,
+        };
+
+        // Phase 3 — wait the gather off-lock, submit the reshard under a
+        // short lock, wait it off-lock.
+        self.wait_epoch_handles(&mut ep);
+        self.lock().epoch_reshard(&mut ep);
+        self.wait_epoch_handles(&mut ep);
+
+        // Phase 4 — resume: release epoch buffers, fold statistics, put
+        // the session back in the table (error path included).
+        self.lock().epoch_finish(*ep)
+    }
+
+    /// Wait the epoch's current phase handles via the completion signal. A
+    /// failed job aborts the epoch; remaining handles are left for the
+    /// finish drain, mirroring [`ClusterMachine::epoch_wait`].
+    fn wait_epoch_handles(&self, ep: &mut MigrationEpoch) {
+        for h in ep.take_handles() {
+            if ep.failed() {
+                break;
+            }
+            if let Err(e) = self.wait_done(h) {
+                ep.fail(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    /// The serve layer used to sleep-poll completions every 100 µs, so a
+    /// finished job waited ~50 µs on average just to be *noticed*. The
+    /// targeted-slot protocol [`PoolGate::wait_done`] parks on must wake on
+    /// notification: over repeated trials the best notify→wake latency has
+    /// to come in well under one legacy poll interval (the best is the
+    /// honest measure — individual trials absorb scheduler jitter, but a
+    /// sleep-poll could never beat its own period).
+    #[test]
+    fn notify_wakes_parked_waiter_well_under_legacy_poll_interval() {
+        let signal = Arc::new(CompletionSignal::default());
+        let mut best = Duration::MAX;
+        for job in 0..20u64 {
+            let slot = signal.register(job);
+            let waiter = std::thread::spawn(move || {
+                let woke = slot.wait(Duration::from_secs(5));
+                (woke, Instant::now())
+            });
+            // Let the waiter reach its park before notifying.
+            std::thread::sleep(Duration::from_millis(2));
+            let notified_at = Instant::now();
+            signal.notify(job);
+            let (woke, woke_at) = waiter.join().expect("waiter thread");
+            assert!(woke, "the slot must report a notified outcome");
+            best = best.min(woke_at.saturating_duration_since(notified_at));
+        }
+        assert!(
+            best < Duration::from_micros(100),
+            "best notify→wake latency {best:?} is no faster than the 100 µs \
+             sleep-poll the completion signal replaced"
+        );
+    }
+
+    /// An outcome that lands *between* a waiter's slot registration (or
+    /// sequence read) and its park must not be lost: the park returns
+    /// immediately instead of blocking out its timeout.
+    #[test]
+    fn notification_before_park_is_not_lost() {
+        // Targeted tier: the notify consumes the registered slot and marks
+        // it done before the waiter ever parks.
+        let signal = CompletionSignal::default();
+        let slot = signal.register(7);
+        signal.notify(7);
+        let t = Instant::now();
+        assert!(slot.wait(Duration::from_secs(5)), "slot must be done");
+        assert!(
+            t.elapsed() < Duration::from_millis(500),
+            "an already-notified slot must return without parking"
+        );
+        // Broadcast tier (migration-epoch quiesce): the sequence advanced
+        // past what the waiter saw, so the park is a no-op.
+        let seen = signal.seq();
+        signal.notify(8);
+        let t = Instant::now();
+        let woke = signal.wait_past(seen, Duration::from_secs(5));
+        assert!(woke > seen);
+        assert!(
+            t.elapsed() < Duration::from_millis(500),
+            "an already-advanced sequence must return without parking"
+        );
+    }
+}

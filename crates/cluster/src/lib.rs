@@ -35,6 +35,7 @@
 //! stats, to the equivalent `target data` program run on `Machine`.
 
 pub mod cache;
+pub mod gate;
 pub mod machine;
 pub mod pool;
 pub mod rollup;
@@ -44,17 +45,18 @@ pub mod sharded;
 
 pub use cache::{ArtifactCache, CacheStats, CachedCompiler, ImageCache};
 pub use ftn_shard::{Partition, ReduceOp, ShardPlan};
+pub use gate::PoolGate;
 pub use machine::{
     ClusterMachine, ClusterRunReport, DevicePoolStats, KernelTicket, LaunchHandle, PoolStats,
 };
-pub use pool::DevicePool;
+pub use pool::{CompletionSignal, DevicePool, JobSlot};
 pub use rollup::{RollupBy, RollupRow};
 pub use scheduler::{BufferInfo, Placement, PlacementPolicy, PlacementReason};
 pub use session::{MapKind, SessionReport, SessionStats};
 pub use sharded::{
-    AutoRebalance, RebalanceReport, ShardArg, ShardCount, ShardOptions, ShardedLaunchReport,
-    ShardedLaunchTicket, ShardedReport, DEFAULT_REBALANCE_THRESHOLD, MAX_SHARDS_PER_DEVICE,
-    REBALANCE_HORIZON_LAUNCHES,
+    AutoRebalance, EpochPhase, MigrationEpoch, RebalanceReport, ShardArg, ShardCount, ShardOptions,
+    ShardedLaunchReport, ShardedLaunchTicket, ShardedReport, DEFAULT_REBALANCE_THRESHOLD,
+    MAX_SHARDS_PER_DEVICE, REBALANCE_HORIZON_LAUNCHES,
 };
 
 #[cfg(test)]

@@ -1169,6 +1169,29 @@ impl ClusterMachine {
         self.completed.contains_key(&handle.job_id)
     }
 
+    /// The pool's shared [`CompletionSignal`](crate::pool::CompletionSignal). Waiters read its sequence,
+    /// then [`ClusterMachine::poll_outcomes`] under the machine lock, then
+    /// park on the signal *without* the lock — the condvar-notified
+    /// replacement for sleep-polling [`ClusterMachine::is_complete`].
+    pub fn completion_signal(&self) -> std::sync::Arc<crate::pool::CompletionSignal> {
+        self.pool.completion_signal()
+    }
+
+    /// How many of sharded session `session`'s outstanding launches are
+    /// still pending (queued or running on a worker). `None` when no such
+    /// session is open. Call [`ClusterMachine::poll_outcomes`] first; a
+    /// phased rebalance quiesces by polling this to zero between parks on
+    /// the [`CompletionSignal`](crate::pool::CompletionSignal) instead of blocking the machine lock.
+    pub fn sharded_pending_jobs(&self, session: u64) -> Option<usize> {
+        let s = self.sharded.get(&session)?;
+        Some(
+            s.outstanding
+                .iter()
+                .filter(|id| self.pending.contains_key(id))
+                .count(),
+        )
+    }
+
     /// Receive one worker outcome (blocking) and apply its bookkeeping.
     pub(crate) fn process_one_outcome(&mut self) -> Result<(), CompileError> {
         let outcome = self.pool.outcomes.recv().map_err(|_| {

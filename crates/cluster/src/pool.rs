@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ftn_core::HostProgram;
@@ -186,6 +186,137 @@ pub(crate) enum WorkerMessage {
     Shutdown,
 }
 
+/// Completion notification shared by every worker of one pool, in two
+/// tiers:
+///
+/// * **Targeted job slots.** A waiter redeeming one handle registers a
+///   [`JobSlot`] keyed by its job id and parks on that slot's private
+///   condvar; the worker finishing that exact job wakes it alone. With N
+///   concurrent sessions this is one wakeup per outcome instead of an
+///   N-thread thundering herd all racing for the pool lock.
+/// * **A broadcast sequence.** The counter is bumped — with a broadcast —
+///   right after each `JobOutcome` is sent, for waiters watching the pool
+///   as a whole (a migration epoch's quiesce). Such waiters read the
+///   sequence *before* polling the outcome channel, then park until it
+///   moves past what they saw.
+///
+/// Both tiers are lossless: an outcome that lands between a waiter's poll
+/// and its park has already advanced the sequence (or marked the
+/// already-registered slot done), so the park returns immediately.
+pub struct CompletionSignal {
+    state: Mutex<SignalState>,
+    cv: Condvar,
+}
+
+struct SignalState {
+    seq: u64,
+    /// job id → the slot its (single) waiter parks on. Entries are consumed
+    /// by the notifying worker or removed by the waiter on completion.
+    slots: HashMap<u64, Arc<JobSlot>>,
+}
+
+/// A single job's parking slot: `done` flips exactly once, when the job's
+/// outcome is observable on the pool channel.
+#[derive(Default)]
+pub struct JobSlot {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl JobSlot {
+    /// Park until the job's outcome is notified or `timeout` elapses (the
+    /// timeout is a safety valve for shutdown races, not the wake path).
+    /// Returns whether the outcome was notified.
+    pub fn wait(&self, timeout: std::time::Duration) -> bool {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = std::time::Instant::now() + timeout;
+        while !*done {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(done, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            done = guard;
+        }
+        *done
+    }
+}
+
+impl Default for CompletionSignal {
+    fn default() -> Self {
+        CompletionSignal {
+            state: Mutex::new(SignalState {
+                seq: 0,
+                slots: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl CompletionSignal {
+    /// The current notification sequence number. Read this *before*
+    /// draining outcomes; pass it to [`CompletionSignal::wait_past`].
+    pub fn seq(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).seq
+    }
+
+    /// Register (or re-arm) the parking slot for `job_id`. Call *before*
+    /// polling the outcome channel: an outcome landing after the poll finds
+    /// the slot and wakes exactly this waiter.
+    pub fn register(&self, job_id: u64) -> Arc<JobSlot> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(st.slots.entry(job_id).or_default())
+    }
+
+    /// Drop `job_id`'s slot once its report has been redeemed.
+    pub fn deregister(&self, job_id: u64) {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .slots
+            .remove(&job_id);
+    }
+
+    /// Bump the sequence, wake `job_id`'s registered waiter (if any), and
+    /// broadcast to pool-wide waiters (worker side).
+    pub(crate) fn notify(&self, job_id: u64) {
+        let slot = {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.seq += 1;
+            st.slots.remove(&job_id)
+        };
+        if let Some(slot) = slot {
+            *slot.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            slot.cv.notify_all();
+        }
+        self.cv.notify_all();
+    }
+
+    /// Park until the sequence moves past `seen` or `timeout` elapses (a
+    /// safety valve for shutdown races, not the wake path). Returns the
+    /// sequence observed on wake.
+    pub fn wait_past(&self, seen: u64, timeout: std::time::Duration) -> u64 {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = std::time::Instant::now() + timeout;
+        while st.seq <= seen {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+        st.seq
+    }
+}
+
 /// Host-side handle to one pool device.
 pub(crate) struct DeviceSlot {
     pub model: DeviceModel,
@@ -199,6 +330,7 @@ pub(crate) struct DeviceSlot {
 pub struct DevicePool {
     pub(crate) slots: Vec<DeviceSlot>,
     pub(crate) outcomes: Receiver<JobOutcome>,
+    pub(crate) signal: Arc<CompletionSignal>,
 }
 
 impl DevicePool {
@@ -209,6 +341,7 @@ impl DevicePool {
         devices: &[DeviceModel],
     ) -> Self {
         let (outcome_tx, outcomes) = std::sync::mpsc::channel();
+        let signal = Arc::new(CompletionSignal::default());
         let slots = devices
             .iter()
             .enumerate()
@@ -221,6 +354,7 @@ impl DevicePool {
                     KernelExecutor::from_image(Arc::clone(&image), model.clone()),
                     job_rx,
                     outcome_tx.clone(),
+                    Arc::clone(&signal),
                 );
                 DeviceSlot {
                     model: model.clone(),
@@ -229,7 +363,16 @@ impl DevicePool {
                 }
             })
             .collect();
-        DevicePool { slots, outcomes }
+        DevicePool {
+            slots,
+            outcomes,
+            signal,
+        }
+    }
+
+    /// The pool's shared completion signal (see [`CompletionSignal`]).
+    pub fn completion_signal(&self) -> Arc<CompletionSignal> {
+        Arc::clone(&self.signal)
     }
 
     /// Number of devices.
@@ -515,7 +658,12 @@ fn empty_like(like: &Buffer, len: usize) -> Buffer {
 /// Run one job and report its outcome. Panics are contained (e.g. from a
 /// malformed bitstream module): an unwinding worker that never reports its
 /// outcome would leave `ClusterMachine::wait` blocked forever.
-fn run_and_report(worker: &mut Worker, job: Job, outcomes: &Sender<JobOutcome>) {
+fn run_and_report(
+    worker: &mut Worker,
+    job: Job,
+    outcomes: &Sender<JobOutcome>,
+    signal: &CompletionSignal,
+) {
     let index = worker.index;
     let job_id = job.job_id;
     let trace_id = job.trace_id;
@@ -563,6 +711,10 @@ fn run_and_report(worker: &mut Worker, job: Job, outcomes: &Sender<JobOutcome>) 
                 .unwrap_or_else(|| "unknown panic".to_string());
             Err(format!("device {index} worker panicked: {msg}"))
         });
+    // Finish the job span before the outcome becomes observable: waiters
+    // wake as soon as `notify` runs, and a /trace read racing the lane
+    // write would miss this job's span otherwise.
+    drop(span);
     // The pool half may already be gone during teardown; a failed send just
     // drops the outcome.
     let _ = outcomes.send(JobOutcome {
@@ -570,6 +722,8 @@ fn run_and_report(worker: &mut Worker, job: Job, outcomes: &Sender<JobOutcome>) 
         device: index,
         result,
     });
+    // Wake waiters only after the outcome is observable on the channel.
+    signal.notify(job_id);
 }
 
 /// Spawn the worker thread for device `index`.
@@ -580,6 +734,7 @@ pub(crate) fn spawn_worker(
     executor: KernelExecutor,
     jobs: Receiver<WorkerMessage>,
     outcomes: Sender<JobOutcome>,
+    signal: Arc<CompletionSignal>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("ftn-device-{index}"))
@@ -594,10 +749,12 @@ pub(crate) fn spawn_worker(
             };
             loop {
                 match jobs.recv() {
-                    Ok(WorkerMessage::Job(job)) => run_and_report(&mut worker, *job, &outcomes),
+                    Ok(WorkerMessage::Job(job)) => {
+                        run_and_report(&mut worker, *job, &outcomes, &signal)
+                    }
                     Ok(WorkerMessage::Batch(batch)) => {
                         for job in batch {
-                            run_and_report(&mut worker, job, &outcomes);
+                            run_and_report(&mut worker, job, &outcomes, &signal);
                         }
                     }
                     Ok(WorkerMessage::Evict(ids)) => {

@@ -281,6 +281,72 @@ pub struct RebalanceReport {
     pub epoch_seconds: f64,
 }
 
+/// A migration epoch suspended between phases. The session is out of the
+/// table (nothing can launch against it) and the current phase's device
+/// traffic has been submitted but not yet waited. Produced by
+/// [`ClusterMachine::epoch_begin`]; driven to completion either
+/// synchronously inside [`ClusterMachine::rebalance_session_with`] or by a
+/// caller that releases the machine lock between phases and parks on the
+/// pool's [`crate::pool::CompletionSignal`] instead (the serve layer's
+/// phased rebalance).
+pub struct MigrationEpoch {
+    session: u64,
+    s: ShardedSession,
+    ref_name: String,
+    threshold: f64,
+    predicted_gain: f64,
+    batched: bool,
+    replans: Vec<ftn_shard::ArrayReplan>,
+    move_bufs: Vec<Vec<BufferId>>,
+    rows_migrated: u64,
+    /// Handles of the phase just submitted (delta gather, then reshard).
+    handles: Vec<LaunchHandle>,
+    /// First error hit by any phase; the finish drain runs when set.
+    failed: Option<CompileError>,
+    started: std::time::Instant,
+    span: ftn_trace::Span,
+}
+
+impl MigrationEpoch {
+    /// Take the handles of the phase just submitted; the caller must wait
+    /// each (skipping the rest after a failure, exactly like the
+    /// synchronous path) before advancing to the next phase.
+    pub fn take_handles(&mut self) -> Vec<LaunchHandle> {
+        std::mem::take(&mut self.handles)
+    }
+
+    /// Record a phase failure (first error wins). The epoch must still be
+    /// driven to [`ClusterMachine::epoch_finish`], which drains in-flight
+    /// epoch jobs and releases every epoch buffer.
+    pub fn fail(&mut self, err: CompileError) {
+        if self.failed.is_none() {
+            self.failed = Some(err);
+        }
+    }
+
+    /// Whether a phase has failed (waiting the remaining handles is
+    /// pointless; go straight to [`ClusterMachine::epoch_finish`]).
+    pub fn failed(&self) -> bool {
+        self.failed.is_some()
+    }
+
+    /// The migrating session's id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+}
+
+/// What [`ClusterMachine::epoch_begin`] decided.
+pub enum EpochPhase {
+    /// No migration (nothing to split, plan already optimal, or gain below
+    /// threshold): the epoch is over and the report is final.
+    Done(RebalanceReport),
+    /// Rows move: the delta-gather fan-out is submitted. Wait the epoch's
+    /// handles, call [`ClusterMachine::epoch_reshard`], wait again, then
+    /// [`ClusterMachine::epoch_finish`].
+    Gather(Box<MigrationEpoch>),
+}
+
 impl ClusterMachine {
     /// Open a sharded data environment: partition each `(name, array, kind,
     /// partition)` across `shards` devices and stage every shard's
@@ -595,20 +661,46 @@ impl ClusterMachine {
         // Auto re-plan: every `interval` logical launches, re-decide the
         // split before rebasing this launch's extents — a stale plan would
         // fan the launch out with the old row counts.
-        let auto = self
-            .sharded
-            .get(&session)
-            .ok_or_else(|| CompileError::new("cluster-shard", no_session(session)))?
-            .opts
-            .auto_rebalance;
-        if let Some(ar) = auto {
-            let s = self.sharded.get_mut(&session).expect("checked above");
-            s.launches_since_replan += 1;
-            if s.launches_since_replan >= ar.interval.max(1) {
-                s.launches_since_replan = 0;
-                self.rebalance_session_with(session, Some(ar.threshold))?;
-            }
+        if let Some(threshold) = self.auto_rebalance_due(session)? {
+            self.rebalance_session_with(session, Some(threshold))?;
         }
+        self.sharded_launch_no_replan(session, kernel, args)
+    }
+
+    /// Count one logical launch against sharded session `session`'s
+    /// [`AutoRebalance`] interval; `Some(threshold)` when a re-plan check
+    /// is due (the counter resets). [`ClusterMachine::sharded_launch`]
+    /// calls this inline; the serve layer calls it separately so the due
+    /// re-plan can run as a *phased* epoch with the machine lock released
+    /// between phases, then fans out via
+    /// [`ClusterMachine::sharded_launch_no_replan`].
+    pub fn auto_rebalance_due(&mut self, session: u64) -> Result<Option<f64>, CompileError> {
+        let s = self
+            .sharded
+            .get_mut(&session)
+            .ok_or_else(|| CompileError::new("cluster-shard", no_session(session)))?;
+        let Some(ar) = s.opts.auto_rebalance else {
+            return Ok(None);
+        };
+        s.launches_since_replan += 1;
+        if s.launches_since_replan >= ar.interval.max(1) {
+            s.launches_since_replan = 0;
+            Ok(Some(ar.threshold))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// The fan-out half of [`ClusterMachine::sharded_launch`]: one
+    /// kernel-level job per shard, *without* the auto-rebalance check.
+    /// Callers that ran [`ClusterMachine::auto_rebalance_due`] (and any due
+    /// epoch) themselves use this directly.
+    pub fn sharded_launch_no_replan(
+        &mut self,
+        session: u64,
+        kernel: &str,
+        args: &[ShardArg],
+    ) -> Result<ShardedLaunchTicket, CompileError> {
         let s = self
             .sharded
             .get(&session)
@@ -871,11 +963,55 @@ impl ClusterMachine {
     /// [`ClusterMachine::rebalance_session`] with an explicit improvement
     /// threshold (old/new predicted makespan, ≥ 1.0) overriding the
     /// session's configured one.
+    ///
+    /// Synchronous composition of the epoch phases — every phase's device
+    /// traffic is waited under this machine before the next begins. A
+    /// caller that must not block other sessions runs the same phases with
+    /// the lock released between them (see [`ClusterMachine::epoch_begin`]).
     pub fn rebalance_session_with(
         &mut self,
         session: u64,
         threshold: Option<f64>,
     ) -> Result<RebalanceReport, CompileError> {
+        match self.epoch_begin(session, threshold)? {
+            EpochPhase::Done(report) => Ok(report),
+            EpochPhase::Gather(mut ep) => {
+                self.epoch_wait(&mut ep);
+                self.epoch_reshard(&mut ep);
+                self.epoch_wait(&mut ep);
+                self.epoch_finish(*ep)
+            }
+        }
+    }
+
+    /// Wait every handle of the epoch's current phase under this machine
+    /// (blocking). A failed job aborts the epoch — the remaining handles
+    /// are left for the finish drain, exactly as the synchronous path
+    /// always behaved. Phased callers park on the pool's
+    /// [`crate::pool::CompletionSignal`] instead of calling this.
+    pub fn epoch_wait(&mut self, ep: &mut MigrationEpoch) {
+        for h in ep.take_handles() {
+            if ep.failed() {
+                break;
+            }
+            if let Err(e) = self.wait(h) {
+                ep.fail(e);
+            }
+        }
+    }
+
+    /// Phase 1 of a migration epoch: quiesce the session's outstanding
+    /// launches, price the current split against a re-weighted candidate,
+    /// and — when the predicted gain clears the threshold — take the
+    /// session out of the table, re-plan it host-side, and submit the
+    /// delta-gather fan-out (owner-changing rows → move buffers). The
+    /// caller waits the returned epoch's handles, then drives
+    /// [`ClusterMachine::epoch_reshard`] and [`ClusterMachine::epoch_finish`].
+    pub fn epoch_begin(
+        &mut self,
+        session: u64,
+        threshold: Option<f64>,
+    ) -> Result<EpochPhase, CompileError> {
         let s = self
             .sharded
             .get(&session)
@@ -900,7 +1036,7 @@ impl ClusterMachine {
             })
             .max_by_key(|&(_, rows, row_elems, _)| rows * row_elems);
         let Some((ref_name, rows, row_elems, halo)) = reference else {
-            return Ok(RebalanceReport {
+            return Ok(EpochPhase::Done(RebalanceReport {
                 session,
                 replanned: false,
                 predicted_gain: 1.0,
@@ -908,7 +1044,7 @@ impl ClusterMachine {
                 rows_migrated: 0,
                 shard_rows: Vec::new(),
                 epoch_seconds: 0.0,
-            });
+            }));
         };
 
         // Quiesce: every outstanding shard job's outcome must be applied
@@ -1003,7 +1139,7 @@ impl ClusterMachine {
             1.0
         };
         if old_rows == new_rows || predicted_gain < threshold || predicted_gain.is_nan() {
-            return Ok(RebalanceReport {
+            return Ok(EpochPhase::Done(RebalanceReport {
                 session,
                 replanned: false,
                 predicted_gain,
@@ -1011,78 +1147,29 @@ impl ClusterMachine {
                 rows_migrated: 0,
                 shard_rows: old_rows,
                 epoch_seconds: 0.0,
-            });
+            }));
         }
 
         // Migration epoch. The session is taken out of the table so the
-        // epoch can drive the machine; it is reinstated on every path.
-        let epoch = std::time::Instant::now();
+        // epoch can drive the machine; it is reinstated on every path
+        // (epoch_finish, or right here when the host-side replan fails).
+        let started = std::time::Instant::now();
         let mut epoch_span = ftn_trace::span("epoch.migrate", "epoch");
         epoch_span.arg("session", session);
         epoch_span.arg("predicted_gain", format!("{predicted_gain:.3}"));
         let mut s = self.sharded.remove(&session).expect("still present");
-        let outcome = self.migration_epoch(&mut s, weights, batched);
-        let epoch_seconds = epoch.elapsed().as_secs_f64();
-        if let Ok(rows_migrated) = outcome {
-            epoch_span.arg("rows_migrated", rows_migrated);
-            s.stats.replan_count += 1;
-            s.stats.rows_migrated += rows_migrated;
-            s.stats.epoch_seconds += epoch_seconds;
-            self.replans += 1;
-            self.rows_migrated += rows_migrated;
-            self.epoch_seconds += epoch_seconds;
-            self.metrics.replans.inc();
-            self.metrics.rows_migrated.add(rows_migrated);
-            self.metrics.epoch.observe_with_exemplar(
-                epoch_seconds,
-                ftn_trace::current_trace_id(),
-                epoch_span.id(),
-            );
-        }
-        drop(epoch_span);
-        let shard_rows = s
-            .env
-            .array(&ref_name)
-            .map(|a| a.slices.iter().map(|sl| sl.range.len).collect())
-            .unwrap_or_default();
-        self.sharded.insert(session, s);
-        let rows_migrated = outcome?;
-        Ok(RebalanceReport {
-            session,
-            replanned: true,
-            predicted_gain,
-            threshold,
-            rows_migrated,
-            shard_rows,
-            epoch_seconds,
-        })
-    }
 
-    /// Execute one migration epoch over a quiesced session: host-side
-    /// replan, delta gather of owner-changing rows, in-place mirror
-    /// restage, and release of the replaced sub-buffers. Returns the rows
-    /// migrated.
-    fn migration_epoch(
-        &mut self,
-        s: &mut ShardedSession,
-        weights: Vec<f64>,
-        batched: bool,
-    ) -> Result<u64, CompileError> {
-        fn free_all(m: &mut ClusterMachine, bufs: &[Vec<BufferId>]) {
-            for id in bufs.iter().flatten() {
-                m.buffers.remove(id);
-                m.memory.free(*id);
-            }
-        }
         let pool = self.pool.len();
-        let devices = s.devices.clone();
         // Host-side replan: fresh sub-buffers for the slices whose range
         // changes; unchanged slices (and replicated/reduced arrays) keep
         // their buffers and their device mirrors untouched.
-        let replans = s
-            .env
-            .replan(&mut self.memory, weights)
-            .map_err(|e| CompileError::new("cluster-rebalance", e.to_string()))?;
+        let replans = match s.env.replan(&mut self.memory, weights) {
+            Ok(replans) => replans,
+            Err(e) => {
+                self.sharded.insert(session, s);
+                return Err(CompileError::new("cluster-rebalance", e.to_string()));
+            }
+        };
         // Register the fresh sub-buffers immediately: even if a transfer
         // below fails, the session's buffer set must stay fully tracked so
         // nothing it references can leak.
@@ -1132,66 +1219,56 @@ impl ClusterMachine {
             }
             move_bufs.push(bufs);
         }
-        let transfers = match alloc_err {
-            Some(e) => Err(e),
-            None => self.epoch_transfers(s, &replans, &move_bufs, per_device_fetch, batched),
-        };
-
-        // A failed fan-out can leave epoch jobs in flight over buffers we
-        // are about to free; a recycled id with a pending writeback or
-        // in-flight counter would corrupt whatever reuses it. Drain
-        // outcomes until every epoch buffer is quiescent (best effort —
-        // draining itself fails only when all workers are gone).
-        let olds: Vec<BufferId> = replans
-            .iter()
-            .flat_map(|rp| rp.old_slices.iter().flatten().map(|sl| sl.memref.buffer))
-            .collect();
-        if transfers.is_err() {
-            let busy = |m: &ClusterMachine| {
-                move_bufs
-                    .iter()
-                    .flatten()
-                    .chain(&olds)
-                    .any(|id| m.buffers.get(id).is_some_and(|b| b.in_flight.is_some()))
-            };
-            while busy(self) {
-                if self.process_one_outcome().is_err() {
-                    break;
+        let mut ep = Box::new(MigrationEpoch {
+            session,
+            s,
+            ref_name,
+            threshold,
+            predicted_gain,
+            batched,
+            replans,
+            move_bufs,
+            rows_migrated,
+            handles: Vec::new(),
+            failed: None,
+            started,
+            span: epoch_span,
+        });
+        match alloc_err {
+            Some(e) => ep.failed = Some(e),
+            None => {
+                // Delta gather fan-out: one row-fetch job per donating
+                // device. Submitted here; the caller waits the handles.
+                let fetches: Vec<(usize, Vec<RowFetch>)> = per_device_fetch
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, rows)| !rows.is_empty())
+                    .collect();
+                let mut sp = ftn_trace::span("epoch.delta_gather", "epoch");
+                sp.arg("devices", fetches.len());
+                let (handles, err) = self.epoch_submit(batched, fetches, |m, device, rows| {
+                    m.submit_fetch_rows(device, rows)
+                });
+                ep.handles = handles;
+                if let Some(e) = err {
+                    ep.failed = Some(e);
                 }
             }
         }
-
-        // Move buffers are epoch-transient on every path (they were never
-        // mirrored on a device — row fetches write back without creating
-        // mirror entries, and splices carry contents by value).
-        free_all(self, &move_bufs);
-
-        // Free the replaced sub-buffers and their mirrors — on the error
-        // path too: the environment already switched to the new slices, so
-        // the old ones are unreachable and would otherwise leak (a failed
-        // epoch means dead workers; the propagated error is the signal, but
-        // pool memory must still balance). Queue order (FIFO per worker)
-        // guarantees each eviction lands after the restage that copied
-        // retained rows out of the old mirror.
-        for id in &olds {
-            self.buffers.remove(id);
-            self.memory.free(*id);
-        }
-        self.evict_mirrors(olds);
-        transfers?;
-        Ok(rows_migrated)
+        Ok(EpochPhase::Gather(ep))
     }
 
-    /// One batched fan-out of a migration epoch: submit every per-device
-    /// payload, flush the batch window (even when a submit failed —
-    /// already-buffered jobs are in the pending ledger and must reach
-    /// their workers), then wait every submitted handle.
-    fn epoch_fanout<T>(
+    /// One batched fan-out submit of a migration epoch: submit every
+    /// per-device payload and flush the batch window (even when a submit
+    /// failed — already-buffered jobs are in the pending ledger and must
+    /// reach their workers). Returns the submitted handles; the caller
+    /// waits them (or, after an error, leaves them for the finish drain).
+    fn epoch_submit<T>(
         &mut self,
         batched: bool,
         items: Vec<(usize, T)>,
         mut submit: impl FnMut(&mut Self, usize, T) -> Result<LaunchHandle, CompileError>,
-    ) -> Result<(), CompileError> {
+    ) -> (Vec<LaunchHandle>, Option<CompileError>) {
         if batched {
             self.begin_batch();
         }
@@ -1207,42 +1284,28 @@ impl ClusterMachine {
             }
         }
         let flushed = if batched { self.flush_batch() } else { Ok(()) };
-        if let Some(e) = submit_err {
-            return Err(e);
-        }
-        flushed?;
-        for h in handles {
-            self.wait(h)?;
-        }
-        Ok(())
+        (handles, submit_err.or(flushed.err()))
     }
 
-    /// The device-traffic half of an epoch: fetch owner-changing rows into
-    /// their move buffers, then rebuild every replaced shard mirror in
-    /// place (retained rows device-local, migrated/halo rows spliced from
-    /// the host). Both fan-outs batch to one message per device.
-    fn epoch_transfers(
-        &mut self,
-        s: &mut ShardedSession,
-        replans: &[ftn_shard::ArrayReplan],
-        move_bufs: &[Vec<BufferId>],
-        per_device_fetch: Vec<Vec<RowFetch>>,
-        batched: bool,
-    ) -> Result<(), CompileError> {
-        let devices = s.devices.clone();
-        let fetches: Vec<(usize, Vec<RowFetch>)> = per_device_fetch
-            .into_iter()
-            .enumerate()
-            .filter(|(_, rows)| !rows.is_empty())
-            .collect();
-        {
-            let mut sp = ftn_trace::span("epoch.delta_gather", "epoch");
-            sp.arg("devices", fetches.len());
-            self.epoch_fanout(batched, fetches, |m, device, rows| {
-                m.submit_fetch_rows(device, rows)
-            })?;
+    /// Phase 2 of a migration epoch (after the delta-gather handles are
+    /// waited): rebuild every replaced shard mirror in place — retained
+    /// rows device-local, migrated/halo rows spliced from the host — and
+    /// submit the reshard fan-out. No-op when a prior phase failed.
+    pub fn epoch_reshard(&mut self, ep: &mut MigrationEpoch) {
+        if ep.failed.is_some() {
+            return;
         }
+        if let Err(e) = self.epoch_reshard_inner(ep) {
+            ep.fail(e);
+        }
+    }
 
+    fn epoch_reshard_inner(&mut self, ep: &mut MigrationEpoch) -> Result<(), CompileError> {
+        let s = &mut ep.s;
+        let replans = &ep.replans;
+        let move_bufs = &ep.move_bufs;
+        let batched = ep.batched;
+        let devices = s.devices.clone();
         // Restage: build one ReshardSpec per replaced (array, shard) slice.
         let mut per_device: Vec<Vec<ReshardSpec>> =
             (0..self.pool.len()).map(|_| Vec::new()).collect();
@@ -1319,11 +1382,120 @@ impl ClusterMachine {
         let stats = &mut s.stats;
         let mut sp = ftn_trace::span("epoch.reshard", "epoch");
         sp.arg("devices", reshards.len());
-        self.epoch_fanout(batched, reshards, |m, device, specs| {
+        let (handles, err) = self.epoch_submit(batched, reshards, |m, device, specs| {
             let t = m.submit_reshard(device, specs)?;
             stats.staged_uploads += t.staged;
             stats.staged_bytes += t.staged_bytes;
             Ok(t.handle)
+        });
+        ep.handles = handles;
+        err.map_or(Ok(()), Err)
+    }
+
+    /// Final phase of a migration epoch (after the reshard handles are
+    /// waited): drain any epoch jobs still in flight when a phase failed,
+    /// release the move buffers and the replaced sub-buffers (host and
+    /// device mirrors), fold the epoch into the session/pool statistics,
+    /// and put the session back in the table. Returns the epoch's report —
+    /// or the failing phase's error, with every epoch buffer released and
+    /// the session reinstated regardless.
+    pub fn epoch_finish(&mut self, ep: MigrationEpoch) -> Result<RebalanceReport, CompileError> {
+        let MigrationEpoch {
+            session,
+            mut s,
+            ref_name,
+            threshold,
+            predicted_gain,
+            batched: _,
+            replans,
+            move_bufs,
+            rows_migrated,
+            handles: _,
+            failed,
+            started,
+            span: mut epoch_span,
+        } = ep;
+
+        // A failed fan-out can leave epoch jobs in flight over buffers we
+        // are about to free; a recycled id with a pending writeback or
+        // in-flight counter would corrupt whatever reuses it. Drain
+        // outcomes until every epoch buffer is quiescent (best effort —
+        // draining itself fails only when all workers are gone).
+        let olds: Vec<BufferId> = replans
+            .iter()
+            .flat_map(|rp| rp.old_slices.iter().flatten().map(|sl| sl.memref.buffer))
+            .collect();
+        if failed.is_some() {
+            let busy = |m: &ClusterMachine| {
+                move_bufs
+                    .iter()
+                    .flatten()
+                    .chain(&olds)
+                    .any(|id| m.buffers.get(id).is_some_and(|b| b.in_flight.is_some()))
+            };
+            while busy(self) {
+                if self.process_one_outcome().is_err() {
+                    break;
+                }
+            }
+        }
+
+        // Move buffers are epoch-transient on every path (they were never
+        // mirrored on a device — row fetches write back without creating
+        // mirror entries, and splices carry contents by value).
+        for id in move_bufs.iter().flatten() {
+            self.buffers.remove(id);
+            self.memory.free(*id);
+        }
+
+        // Free the replaced sub-buffers and their mirrors — on the error
+        // path too: the environment already switched to the new slices, so
+        // the old ones are unreachable and would otherwise leak (a failed
+        // epoch means dead workers; the propagated error is the signal, but
+        // pool memory must still balance). Queue order (FIFO per worker)
+        // guarantees each eviction lands after the restage that copied
+        // retained rows out of the old mirror.
+        for id in &olds {
+            self.buffers.remove(id);
+            self.memory.free(*id);
+        }
+        self.evict_mirrors(olds);
+
+        let epoch_seconds = started.elapsed().as_secs_f64();
+        if failed.is_none() {
+            epoch_span.arg("rows_migrated", rows_migrated);
+            s.stats.replan_count += 1;
+            s.stats.rows_migrated += rows_migrated;
+            s.stats.epoch_seconds += epoch_seconds;
+            self.replans += 1;
+            self.rows_migrated += rows_migrated;
+            self.epoch_seconds += epoch_seconds;
+            self.metrics.replans.inc();
+            self.metrics.rows_migrated.add(rows_migrated);
+            self.metrics.epoch.observe_with_exemplar(
+                epoch_seconds,
+                ftn_trace::current_trace_id(),
+                epoch_span.id(),
+            );
+        }
+        drop(epoch_span);
+        let shard_rows = s
+            .env
+            .array(&ref_name)
+            .map(|a| a.slices.iter().map(|sl| sl.range.len).collect())
+            .unwrap_or_default();
+        self.sharded.insert(session, s);
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        Ok(RebalanceReport {
+            session,
+            replanned: true,
+            predicted_gain,
+            threshold,
+            rows_migrated,
+            shard_rows,
+            epoch_seconds,
         })
     }
 }

@@ -43,8 +43,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 use ftn_cluster::{
-    ArtifactCache, AutoRebalance, ClusterMachine, ImageCache, MapKind, Partition, RollupBy,
-    RollupRow, ShardArg, ShardCount, ShardOptions,
+    ArtifactCache, AutoRebalance, ClusterMachine, ImageCache, MapKind, Partition, PoolGate,
+    RollupBy, RollupRow, ShardArg, ShardCount, ShardOptions,
 };
 use ftn_core::{Artifacts, CompilerOptions};
 use ftn_fpga::DeviceModel;
@@ -109,6 +109,10 @@ pub struct ServeConfig {
     /// Per-device queue depth above which `GET /healthz` reports the server
     /// unready (503). `0` disables the saturation check.
     pub healthz_queue_limit: u64,
+    /// Launch waits sleep-poll the pool lock every 100 µs (the pre-condvar
+    /// behavior) instead of parking on the pool's completion signal. Kept
+    /// only as the measured baseline of `bench_concurrency`; leave `false`.
+    pub legacy_wait: bool,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +131,7 @@ impl Default for ServeConfig {
             retention_points: 600,
             slos: ftn_trace::default_slos(),
             healthz_queue_limit: 1024,
+            legacy_wait: false,
         }
     }
 }
@@ -138,6 +143,73 @@ struct ServeSession {
     cluster_sid: u64,
     sharded: bool,
     arrays: Vec<RtValue>,
+}
+
+/// Stripes of the serve-level session table.
+const SESSION_SHARDS: usize = 16;
+
+/// The serve-level session table, striped 16 ways by session id so
+/// concurrent clients resolving *different* sessions never contend on one
+/// map lock (the launch hot path hits this table on every request). Each
+/// stripe's lock is held only for a map operation — never across a pool
+/// call or a wait.
+struct SessionTable {
+    stripes: [Mutex<HashMap<u64, ServeSession>>; SESSION_SHARDS],
+}
+
+impl SessionTable {
+    fn new() -> SessionTable {
+        SessionTable {
+            stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn stripe(&self, session: u64) -> &Mutex<HashMap<u64, ServeSession>> {
+        &self.stripes[(session % SESSION_SHARDS as u64) as usize]
+    }
+
+    fn insert(&self, session: u64, s: ServeSession) {
+        lock(self.stripe(session)).insert(session, s);
+    }
+
+    fn remove(&self, session: u64) -> Option<ServeSession> {
+        lock(self.stripe(session)).remove(&session)
+    }
+
+    /// `(pool_key, cluster_sid, sharded)` of one session.
+    fn resolve(&self, session: u64) -> Option<(String, u64, bool)> {
+        lock(self.stripe(session))
+            .get(&session)
+            .map(|s| (s.pool_key.clone(), s.cluster_sid, s.sharded))
+    }
+
+    fn len(&self) -> usize {
+        self.stripes.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// `(serve sid, pool_key, cluster_sid)` of every open session — the
+    /// snapshot `/profile/top` re-keys session rows against.
+    fn snapshot(&self) -> Vec<(u64, String, u64)> {
+        self.stripes
+            .iter()
+            .flat_map(|stripe| {
+                lock(stripe)
+                    .iter()
+                    .map(|(sid, s)| (*sid, s.pool_key.clone(), s.cluster_sid))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+/// Last-known-good per-pool readiness snapshot, for `/healthz` probes that
+/// land while a pool's machine lock is held: a busy pool is not an unready
+/// pool, so the probe answers from the most recent snapshot instead of
+/// queueing behind the work.
+#[derive(Clone, Default)]
+struct PoolHealth {
+    devices_alive: Vec<bool>,
+    queue_depths: Vec<u64>,
 }
 
 /// The server's metric handles, all backed by one per-server
@@ -185,11 +257,13 @@ struct ServeState {
     /// key → compiled artifacts (what sessions/runs reference).
     registry: Mutex<HashMap<String, Arc<Artifacts>>>,
     images: ImageCache,
-    pools: Mutex<HashMap<String, Arc<Mutex<ClusterMachine>>>>,
+    pools: Mutex<HashMap<String, Arc<PoolGate>>>,
     /// key → device composition requested by `/compile` (`"devices":
     /// ["u280","u250",...]`), applied when that key's pool is created.
     pool_devices: Mutex<HashMap<String, Vec<DeviceModel>>>,
-    sessions: Mutex<HashMap<u64, ServeSession>>,
+    sessions: SessionTable,
+    /// key → last-known-good readiness snapshot (see [`PoolHealth`]).
+    health: Mutex<HashMap<String, PoolHealth>>,
     next_session: AtomicU64,
     shutdown: AtomicBool,
     metrics: ServeMetrics,
@@ -228,25 +302,34 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 /// Wait for a job without holding the pool locked: other HTTP workers keep
 /// submitting to (and draining) the same pool while this job runs, so
-/// concurrent clients genuinely overlap across the pool's devices.
+/// concurrent clients genuinely overlap across the pool's devices. The wait
+/// parks on the pool's completion signal ([`PoolGate::wait_done`]) and is
+/// woken by the worker that reports the outcome — no sleep-poll cadence on
+/// the wake path. `legacy_wait` selects the old 100 µs lock/sleep poll,
+/// kept only as the `bench_concurrency` baseline.
 ///
 /// The wait is wrapped in a `session.wait` span: most of a launch request's
 /// wall time is spent right here, and without a named child frame the
 /// profiler would report it as opaque `http.request` self-time.
 fn wait_unlocked(
-    pool: &Arc<Mutex<ClusterMachine>>,
+    gate: &PoolGate,
     handle: ftn_cluster::LaunchHandle,
+    legacy_wait: bool,
 ) -> Result<ftn_cluster::ClusterRunReport, ftn_core::CompileError> {
     let _span = ftn_trace::span("session.wait", "cluster");
-    wait_spanless(pool, handle)
+    wait_spanless(gate, handle, legacy_wait)
 }
 
 fn wait_spanless(
-    pool: &Arc<Mutex<ClusterMachine>>,
+    gate: &PoolGate,
     handle: ftn_cluster::LaunchHandle,
+    legacy_wait: bool,
 ) -> Result<ftn_cluster::ClusterRunReport, ftn_core::CompileError> {
+    if !legacy_wait {
+        return gate.wait_done(handle);
+    }
     loop {
-        let mut machine = lock(pool);
+        let mut machine = gate.lock();
         machine.poll_outcomes();
         if machine.is_complete(&handle) {
             return machine.wait(handle);
@@ -259,14 +342,15 @@ fn wait_spanless(
 /// [`wait_unlocked`] over a sharded launch's per-shard handles, in shard
 /// order, under a single `session.wait` span.
 fn wait_many_unlocked(
-    pool: &Arc<Mutex<ClusterMachine>>,
+    gate: &PoolGate,
     handles: Vec<ftn_cluster::LaunchHandle>,
+    legacy_wait: bool,
 ) -> Result<Vec<ftn_cluster::ClusterRunReport>, ftn_core::CompileError> {
     let mut span = ftn_trace::span("session.wait", "cluster");
     span.arg("shards", handles.len());
     handles
         .into_iter()
-        .map(|h| wait_spanless(pool, h))
+        .map(|h| wait_spanless(gate, h, legacy_wait))
         .collect()
 }
 
@@ -351,21 +435,37 @@ impl ServeState {
         .map(Reply::Json)
     }
 
+    /// The pools as an owned `(key, gate)` list: observability readers
+    /// (`/stats`, `/healthz`, the scraper, `/profile/top`) iterate this
+    /// snapshot so the pools-map lock — which `pool_for` holds across pool
+    /// creation — is never held while per-pool machine locks are taken.
+    fn pools_snapshot(&self) -> Vec<(String, Arc<PoolGate>)> {
+        lock(&self.pools)
+            .iter()
+            .map(|(k, p)| (k.clone(), Arc::clone(p)))
+            .collect()
+    }
+
     /// Refresh the point-in-time gauges: uptime plus per-device queue
     /// depths, one gauge per device per pool (pools are labelled by a key
     /// prefix — full artifact keys are 64-hex-char hashes, unreadable as
     /// label values). Called by `GET /metrics` and by every background
     /// scrape, so the time-series store retains gauge history even when
-    /// nobody polls `/metrics`.
+    /// nobody polls `/metrics`. Pool reads are non-blocking: a pool whose
+    /// lock is busy keeps its previous gauge values (the natural
+    /// last-known-good for a gauge) instead of queueing the scraper behind
+    /// the work it is supposed to observe.
     fn refresh_gauges(&self) {
         let uptime = self.metrics.registry.gauge("ftn_uptime_seconds");
         uptime.set(self.started.elapsed().as_secs() as i64);
-        for (key, pool) in lock(&self.pools).iter() {
-            let machine = lock(pool);
+        for (key, gate) in self.pools_snapshot() {
+            let Some(machine) = gate.try_lock() else {
+                continue;
+            };
             for (device, depth) in machine.queue_depths().iter().enumerate() {
                 let name = ftn_trace::labelled(
                     "ftn_pool_queue_depth",
-                    &[("pool", short_key(key)), ("device", &device.to_string())],
+                    &[("pool", short_key(&key)), ("device", &device.to_string())],
                 );
                 self.metrics.registry.gauge(&name).set(*depth as i64);
             }
@@ -558,21 +658,13 @@ impl ServeState {
         };
         // Snapshot the session table first (separately from the pool locks)
         // so session-axis rows can be re-keyed by serve-level session id.
-        let session_keys: Vec<(u64, String, u64)> = lock(&self.sessions)
-            .iter()
-            .map(|(sid, s)| (*sid, s.pool_key.clone(), s.cluster_sid))
-            .collect();
+        let session_keys = self.sessions.snapshot();
         let mut merged: Vec<RollupRow> = Vec::new();
-        for (key, pool) in lock(&self.pools).iter() {
-            let machine = lock(pool);
+        for (key, gate) in self.pools_snapshot() {
+            let machine = gate.lock();
             for mut row in machine.rollups(by) {
                 if by == RollupBy::Session {
-                    let cluster_sid: u64 = row.key.parse().unwrap_or(0);
-                    row.key = session_keys
-                        .iter()
-                        .find(|(_, pk, cs)| pk == key && *cs == cluster_sid)
-                        .map(|(sid, _, _)| sid.to_string())
-                        .unwrap_or_else(|| format!("{}:{cluster_sid}", short_key(key)));
+                    row.key = rekey_session_row(&row.key, &key, &session_keys);
                 }
                 match merged.iter_mut().find(|r| r.key == row.key) {
                     Some(r) => {
@@ -675,25 +767,42 @@ impl ServeState {
     /// `"status": "degraded"` and the firing SLO specs while an objective
     /// is firing; plain `"ok"` otherwise. The original `{"ok": true}` shape
     /// survives as a subset.
+    ///
+    /// The probe never queues behind pool work: each pool is read with a
+    /// non-blocking `try_lock`, falling back to the last-known-good
+    /// snapshot when the lock is busy — a pool mid-request is busy, not
+    /// unready, and a health check that blocks on the thing it is checking
+    /// defeats its purpose.
     fn healthz(&self) -> Result<Reply, HandlerError> {
         let mut unready: Vec<String> = Vec::new();
-        for (key, pool) in lock(&self.pools).iter() {
-            let machine = lock(pool);
-            for (device, alive) in machine.devices_alive().iter().enumerate() {
+        for (key, gate) in self.pools_snapshot() {
+            let snapshot = match gate.try_lock() {
+                Some(machine) => {
+                    let fresh = PoolHealth {
+                        devices_alive: machine.devices_alive(),
+                        queue_depths: machine.queue_depths(),
+                    };
+                    drop(machine);
+                    lock(&self.health).insert(key.clone(), fresh.clone());
+                    fresh
+                }
+                None => lock(&self.health).get(&key).cloned().unwrap_or_default(),
+            };
+            for (device, alive) in snapshot.devices_alive.iter().enumerate() {
                 if !alive {
                     unready.push(format!(
                         "pool {} device {device}: worker thread dead",
-                        short_key(key)
+                        short_key(&key)
                     ));
                 }
             }
             let limit = self.config.healthz_queue_limit;
             if limit > 0 {
-                for (device, depth) in machine.queue_depths().iter().enumerate() {
+                for (device, depth) in snapshot.queue_depths.iter().enumerate() {
                     if *depth > limit {
                         unready.push(format!(
                             "pool {} device {device}: queue depth {depth} > {limit}",
-                            short_key(key)
+                            short_key(&key)
                         ));
                     }
                 }
@@ -774,7 +883,8 @@ impl ServeState {
             // already exists — never silently dropped in between.
             let pools = lock(&self.pools);
             if let Some(pool) = pools.get(&key) {
-                let existing: Vec<String> = lock(pool)
+                let existing: Vec<String> = pool
+                    .lock()
                     .device_models()
                     .iter()
                     .map(|m| m.name.clone())
@@ -845,7 +955,7 @@ impl ServeState {
     /// composition read and the insert are atomic with respect to
     /// `/compile` recording a `devices` override, so the pool can never be
     /// built with a composition that disagrees with what was reported.
-    fn pool_for(&self, key: &str) -> Result<Arc<Mutex<ClusterMachine>>, HandlerError> {
+    fn pool_for(&self, key: &str) -> Result<Arc<PoolGate>, HandlerError> {
         let mut pools = lock(&self.pools);
         if let Some(pool) = pools.get(key) {
             return Ok(Arc::clone(pool));
@@ -864,7 +974,7 @@ impl ServeState {
         // Every pool reports into the server's registry, so one /metrics
         // scrape covers queue waits and job counts across all pools.
         machine.use_metrics(&self.metrics.registry);
-        let pool = Arc::new(Mutex::new(machine));
+        let pool = Arc::new(PoolGate::new(machine));
         Ok(Arc::clone(pools.entry(key.to_string()).or_insert(pool)))
     }
 
@@ -955,7 +1065,7 @@ impl ServeState {
             parsed.push((name.to_string(), data, kind, partition));
         }
 
-        let mut machine = lock(&pool);
+        let mut machine = pool.lock();
         let triples: Vec<(String, RtValue, MapKind, Partition)> = parsed
             .into_iter()
             .map(|(name, data, kind, partition)| {
@@ -1017,7 +1127,7 @@ impl ServeState {
         };
         drop(machine);
         let session = self.next_session.fetch_add(1, Ordering::SeqCst);
-        lock(&self.sessions).insert(
+        self.sessions.insert(
             session,
             ServeSession {
                 pool_key: key.to_string(),
@@ -1034,19 +1144,38 @@ impl ServeState {
         Ok(api::obj(fields))
     }
 
-    fn session_ref(
-        &self,
-        session: u64,
-    ) -> Result<(Arc<Mutex<ClusterMachine>>, u64, bool), HandlerError> {
-        let sessions = lock(&self.sessions);
-        let s = sessions
-            .get(&session)
+    fn session_ref(&self, session: u64) -> Result<(Arc<PoolGate>, u64, bool), HandlerError> {
+        let (pool_key, cluster_sid, sharded) = self
+            .sessions
+            .resolve(session)
             .ok_or_else(|| not_found(format!("no session {session}")))?;
         let pool = lock(&self.pools)
-            .get(&s.pool_key)
+            .get(&pool_key)
             .cloned()
             .ok_or_else(|| (500, format!("pool for session {session} vanished")))?;
-        Ok((pool, s.cluster_sid, s.sharded))
+        Ok((pool, cluster_sid, sharded))
+    }
+
+    /// Lock `gate`'s machine with `session` known to be outside a migration
+    /// epoch *at lock time*: epochs remove the sharded session from the
+    /// machine's table for their duration, so touching one mid-epoch would
+    /// spuriously report "no session". Re-checking the fence under the
+    /// machine lock closes the race between the fence test and the lock
+    /// acquisition; an epoch that fences *after* we hold the lock quiesces
+    /// behind whatever we submit, which is the pre-epoch order.
+    fn lock_unfenced<'a>(
+        &self,
+        gate: &'a PoolGate,
+        session: u64,
+    ) -> std::sync::MutexGuard<'a, ClusterMachine> {
+        loop {
+            gate.wait_unfenced(session);
+            let machine = gate.lock();
+            if !gate.fenced(session) {
+                return machine;
+            }
+            drop(machine);
+        }
     }
 
     fn launch(&self, session: u64, body: &str) -> Result<Value, HandlerError> {
@@ -1057,7 +1186,7 @@ impl ServeState {
         if sharded {
             return self.launch_sharded(session, sid, kernel, arg_values, &pool);
         }
-        let mut machine = lock(&pool);
+        let mut machine = pool.lock();
         let mut args = Vec::with_capacity(arg_values.len());
         for a in arg_values {
             let spec = api::parse_arg(a).map_err(bad_request)?;
@@ -1089,7 +1218,8 @@ impl ServeState {
             .map_err(|e| bad_request(e.to_string()))?;
         let (staged, elided) = (ticket.staged, ticket.elided);
         drop(machine);
-        let report = wait_unlocked(&pool, ticket.handle).map_err(|e| (500, e.to_string()))?;
+        let report = wait_unlocked(&pool, ticket.handle, self.config.legacy_wait)
+            .map_err(|e| (500, e.to_string()))?;
         self.metrics.launches.inc();
         Ok(LaunchResponse {
             session,
@@ -1105,13 +1235,20 @@ impl ServeState {
 
     /// Sharded launch: fan out per shard, wait all shard jobs, and report
     /// the aggregate (total cycles, per-launch makespan = slowest shard).
+    ///
+    /// A launch that lands while its session is inside a migration epoch
+    /// parks on the gate fence until the epoch resumes; launches on *other*
+    /// sessions never see the fence. When the session's auto-rebalance
+    /// cadence comes due, the epoch runs phased ([`PoolGate::rebalance_phased`])
+    /// with the machine lock released during quiesce and device traffic, so
+    /// concurrent clients keep submitting mid-epoch.
     fn launch_sharded(
         &self,
         session: u64,
         sid: u64,
         kernel: &str,
         arg_values: &[Value],
-        pool: &Arc<Mutex<ClusterMachine>>,
+        gate: &PoolGate,
     ) -> Result<Value, HandlerError> {
         let mut args = Vec::with_capacity(arg_values.len());
         for a in arg_values {
@@ -1131,14 +1268,27 @@ impl ServeState {
                 ArgSpec::Index(x) => ShardArg::Scalar(RtValue::Index(x)),
             });
         }
-        let mut machine = lock(pool);
+        let mut machine = self.lock_unfenced(gate, sid);
+        // The auto-rebalance cadence check is split from the launch so a due
+        // epoch runs *phased* (off-lock) instead of stop-the-world under the
+        // machine lock the synchronous `sharded_launch` would take.
+        let due = machine
+            .auto_rebalance_due(sid)
+            .map_err(|e| bad_request(e.to_string()))?;
+        if let Some(threshold) = due {
+            drop(machine);
+            gate.rebalance_phased(sid, Some(threshold))
+                .map_err(|e| (500, e.to_string()))?;
+            machine = self.lock_unfenced(gate, sid);
+        }
         let ticket = machine
-            .sharded_launch(sid, kernel, &args)
+            .sharded_launch_no_replan(sid, kernel, &args)
             .map_err(|e| bad_request(e.to_string()))?;
         let (staged, elided) = (ticket.staged, ticket.elided);
         let devices = ticket.devices;
         drop(machine);
-        let reports = wait_many_unlocked(pool, ticket.handles).map_err(|e| (500, e.to_string()))?;
+        let reports = wait_many_unlocked(gate, ticket.handles, self.config.legacy_wait)
+            .map_err(|e| (500, e.to_string()))?;
         self.metrics.launches.inc();
         let cycles: u64 = reports.iter().map(|r| r.report.stats.total_cycles).sum();
         let kernel_seconds: f64 = reports.iter().map(|r| r.report.stats.kernel_seconds).sum();
@@ -1178,16 +1328,14 @@ impl ServeState {
                 "session {session} is not sharded; only sharded sessions re-plan"
             )));
         }
-        // The epoch runs under the pool lock — like session open and close,
-        // it is a rare, stop-the-world event for its pool (quiesce + delta
-        // transfers), not a per-launch wait, so the wait-unlocked pattern
-        // the launch path uses does not apply here. Concurrent requests on
-        // the same pool queue behind it for the epoch's duration.
-        let mut machine = lock(&pool);
-        let report = machine
-            .rebalance_session_with(sid, threshold)
+        // The epoch runs *phased* (quiesce → delta-gather → reshard →
+        // resume): the machine lock is held only to poll outcomes and to
+        // submit each phase's transfers, and released while device traffic
+        // is in flight. Only this session is fenced for the duration —
+        // launches on every other session of the pool proceed mid-epoch.
+        let report = pool
+            .rebalance_phased(sid, threshold)
             .map_err(|e| (500, e.to_string()))?;
-        drop(machine);
         let mut value = report.to_value();
         // Report the serve-level session id, not the cluster-internal one.
         if let Value::Obj(fields) = &mut value {
@@ -1202,7 +1350,13 @@ impl ServeState {
 
     fn session_info(&self, session: u64) -> Result<Value, HandlerError> {
         let (pool, sid, sharded) = self.session_ref(session)?;
-        let machine = lock(&pool);
+        let machine = if sharded {
+            // A sharded session mid-epoch is absent from the machine's
+            // table; wait out the fence rather than 404 a live session.
+            self.lock_unfenced(&pool, sid)
+        } else {
+            pool.lock()
+        };
         if sharded {
             let stats = machine
                 .sharded_stats(sid)
@@ -1250,7 +1404,13 @@ impl ServeState {
 
     fn close_session(&self, session: u64) -> Result<Value, HandlerError> {
         let (pool, sid, sharded) = self.session_ref(session)?;
-        let mut machine = lock(&pool);
+        let mut machine = if sharded {
+            // Closing mid-epoch would find the session missing from the
+            // machine's table; park on the fence until the epoch resumes.
+            self.lock_unfenced(&pool, sid)
+        } else {
+            pool.lock()
+        };
         let (maps, detail) = if sharded {
             let maps = machine
                 .sharded_maps(sid)
@@ -1299,8 +1459,9 @@ impl ServeState {
                 arrays.push((name.clone(), contents));
             }
         }
-        let handles = lock(&self.sessions)
-            .remove(&session)
+        let handles = self
+            .sessions
+            .remove(session)
             .map(|s| s.arrays)
             .unwrap_or_default();
         for h in &handles {
@@ -1332,7 +1493,7 @@ impl ServeState {
             }
             specs.push(spec);
         }
-        let mut machine = lock(&pool);
+        let mut machine = pool.lock();
         let mut args = Vec::with_capacity(specs.len());
         let mut array_handles = Vec::new();
         for spec in specs {
@@ -1370,14 +1531,14 @@ impl ServeState {
             }
         };
         drop(machine);
-        let report = match wait_unlocked(&pool, handle) {
+        let report = match wait_unlocked(&pool, handle, self.config.legacy_wait) {
             Ok(r) => r,
             Err(e) => {
-                free_all(&mut lock(&pool));
+                free_all(&mut pool.lock());
                 return Err(bad_request(e.to_string()));
             }
         };
-        let mut machine = lock(&pool);
+        let mut machine = pool.lock();
         self.metrics.runs.inc();
         let arrays: Vec<Value> = array_handles
             .iter()
@@ -1404,10 +1565,12 @@ impl ServeState {
     }
 
     fn stats(&self) -> Result<Value, HandlerError> {
-        let pools = lock(&self.pools);
+        // Iterate a snapshot of the pool list: the pools-map lock is not
+        // held while per-pool machine locks are taken, so /stats cannot
+        // stall session resolution or pool creation (and vice versa).
         let mut pool_stats = Vec::new();
-        for (key, pool) in pools.iter() {
-            let machine = lock(pool);
+        for (key, gate) in self.pools_snapshot() {
+            let machine = gate.lock();
             let models: Vec<String> = machine
                 .device_models()
                 .iter()
@@ -1426,11 +1589,10 @@ impl ServeState {
                 ("stats", machine.pool_stats().to_value()),
             ]));
         }
-        drop(pools);
         Ok(api::obj(vec![
             ("cache", self.cache.stats().to_value()),
             ("image_cache", self.images.stats().to_value()),
-            ("sessions_open", lock(&self.sessions).len().to_value()),
+            ("sessions_open", self.sessions.len().to_value()),
             ("launches", self.metrics.launches.get().to_value()),
             ("runs", self.metrics.runs.get().to_value()),
             (
@@ -1493,6 +1655,22 @@ fn parse_window(req: &Request) -> Result<(u64, u64), HandlerError> {
 /// First 8 chars of an artifact key — the metric-label spelling of a pool.
 fn short_key(key: &str) -> &str {
     &key[..key.len().min(8)]
+}
+
+/// Re-key one `by=session` rollup row from the cluster-internal session id
+/// to the serve-level one. Closed sessions (no table entry) fall back to
+/// `POOLKEY:CLUSTERSID`; a key that does not parse as a cluster session id
+/// at all keeps its raw spelling under the same `POOLKEY:` prefix — it must
+/// not collapse onto whatever serve session maps to cluster session 0.
+fn rekey_session_row(raw: &str, pool_key: &str, session_keys: &[(u64, String, u64)]) -> String {
+    match raw.parse::<u64>() {
+        Ok(cluster_sid) => session_keys
+            .iter()
+            .find(|(_, pk, cs)| pk == pool_key && *cs == cluster_sid)
+            .map(|(sid, _, _)| sid.to_string())
+            .unwrap_or_else(|| format!("{}:{cluster_sid}", short_key(pool_key))),
+        Err(_) => format!("{}:{raw}", short_key(pool_key)),
+    }
 }
 
 /// Trailing window the `ftn_device_utilization` gauges are computed over on
@@ -1630,7 +1808,8 @@ impl Server {
             images: ImageCache::new(),
             pools: Mutex::new(HashMap::new()),
             pool_devices: Mutex::new(HashMap::new()),
-            sessions: Mutex::new(HashMap::new()),
+            sessions: SessionTable::new(),
+            health: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             metrics,
@@ -1745,6 +1924,22 @@ subroutine saxpy(n, a, x, y)
   !$omp end target parallel do simd
 end subroutine saxpy
 "#;
+
+    #[test]
+    fn profile_top_rekey_preserves_non_numeric_rollup_keys() {
+        let pool = "abcdef0123456789";
+        let sessions = vec![(7u64, pool.to_string(), 0u64)];
+        // A numeric cluster session id resolves to the serve-level id.
+        assert_eq!(rekey_session_row("0", pool, &sessions), "7");
+        // A closed session falls back to POOLKEY:CLUSTERSID.
+        assert_eq!(rekey_session_row("3", pool, &sessions), "abcdef01:3");
+        // A non-numeric rollup key keeps its raw spelling — it must not
+        // collapse onto cluster session 0 (serve session 7 here).
+        assert_eq!(
+            rekey_session_row("warmup:a", pool, &sessions),
+            "abcdef01:warmup:a"
+        );
+    }
 
     fn as_u64(v: Option<&Value>) -> u64 {
         match v {

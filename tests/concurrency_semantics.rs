@@ -1,0 +1,314 @@
+//! Concurrency semantics across the live serve stack: keep-alive clients on
+//! distinct sessions launch concurrently while migration epochs run against
+//! one sharded session on the same pool.
+//!
+//! * **Bit-identical results.** The concurrent run — launches racing each
+//!   other and a rebalance hammer forcing phased epochs mid-traffic — must
+//!   close every session with exactly the arrays a serial, epoch-free run
+//!   of the same launch counts produces. Epochs move rows between devices;
+//!   they must never change a value.
+//! * **No stop-the-world.** Sessions untouched by the epoch (unsharded and
+//!   sharded alike) must keep completing launches *while* a rebalance
+//!   request is in flight on the migrating session: at least one untouched
+//!   launch must start and finish strictly inside a rebalance window. The
+//!   migrating session is given a large array so each epoch's quiesce has
+//!   real in-flight work to wait out, keeping the windows wide open.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ftn_serve::client::Conn;
+use ftn_serve::{api, ServeConfig, Server};
+use serde::{Serialize, Value};
+
+const SAXPY: &str = r#"
+subroutine saxpy(n, a, x, y)
+  implicit none
+  integer :: n, i
+  real :: a, x(n), y(n)
+  !$omp target parallel do simd simdlen(10)
+  do i = 1, n
+    y(i) = y(i) + a*x(i)
+  end do
+  !$omp end target parallel do simd
+end subroutine saxpy
+"#;
+
+/// Elements of the migrating (fenced) session: big enough that a quiesce
+/// has milliseconds of in-flight shard work to wait for.
+const MIGRATING_N: usize = 100_000;
+/// Elements of each untouched session: small, so its launches finish far
+/// inside one epoch window.
+const UNTOUCHED_N: usize = 48;
+const MIGRATING_LAUNCHES: usize = 16;
+const UNTOUCHED_LAUNCHES: usize = 24;
+
+fn start_server() -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            devices: 4,
+            workers: 8,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn shutdown(addr: SocketAddr, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    let (status, _) = ftn_serve::client::request(addr, "POST", "/shutdown", "").expect("shutdown");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean run");
+}
+
+fn as_u64(v: Option<&Value>) -> u64 {
+    match v {
+        Some(Value::UInt(u)) => *u,
+        Some(Value::Int(i)) if *i >= 0 => *i as u64,
+        other => panic!("expected unsigned number, got {other:?}"),
+    }
+}
+
+fn compile_key(conn: &mut Conn) -> String {
+    let body = serde_json::to_string(&api::obj(vec![("source", Value::Str(SAXPY.to_string()))]))
+        .expect("body serializes");
+    let (status, resp) = conn.request("POST", "/compile", &body).expect("compile");
+    assert_eq!(status, 200, "{resp:?}");
+    match resp.get("key") {
+        Some(Value::Str(key)) => key.clone(),
+        other => panic!("no key: {other:?}"),
+    }
+}
+
+/// `x` of session `index`: distinct per session so a row landing in the
+/// wrong session's buffer cannot cancel out.
+fn session_x(index: usize, n: usize) -> Vec<f32> {
+    (0..n).map(|i| (i + index * 13) as f32 * 0.25).collect()
+}
+
+fn open_session(conn: &mut Conn, key: &str, x: &[f32], shards: Option<i64>) -> u64 {
+    let mut fields = vec![
+        ("key", Value::Str(key.to_string())),
+        (
+            "maps",
+            Value::Arr(vec![
+                api::obj(vec![
+                    ("name", Value::Str("x".into())),
+                    ("kind", Value::Str("to".into())),
+                    ("data", x.to_value()),
+                ]),
+                api::obj(vec![
+                    ("name", Value::Str("y".into())),
+                    ("kind", Value::Str("tofrom".into())),
+                    ("data", vec![1.0f32; x.len()].to_value()),
+                ]),
+            ]),
+        ),
+    ];
+    if let Some(s) = shards {
+        fields.push(("shards", Value::Int(s)));
+    }
+    let (status, opened) = conn
+        .request(
+            "POST",
+            "/sessions",
+            &serde_json::to_string(&api::obj(fields)).expect("body serializes"),
+        )
+        .expect("open");
+    assert_eq!(status, 200, "{opened:?}");
+    as_u64(opened.get("session"))
+}
+
+fn launch_body() -> String {
+    serde_json::to_string(&api::obj(vec![
+        ("kernel", Value::Str("saxpy_kernel0".into())),
+        (
+            "args",
+            Value::Arr(vec![
+                api::obj(vec![("array", Value::Str("x".into()))]),
+                api::obj(vec![("array", Value::Str("y".into()))]),
+                api::obj(vec![("extent", Value::Str("x".into()))]),
+                api::obj(vec![("extent", Value::Str("y".into()))]),
+                api::obj(vec![("f32", Value::Float(2.0))]),
+                api::obj(vec![("index", Value::Int(1))]),
+                api::obj(vec![("extent", Value::Str("x".into()))]),
+            ]),
+        ),
+    ]))
+    .expect("body serializes")
+}
+
+/// Close `sid` and return its gathered `y` (bit-exact f64 JSON values).
+fn close_session(conn: &mut Conn, sid: u64) -> Vec<f64> {
+    let (status, closed) = conn
+        .request("DELETE", &format!("/sessions/{sid}"), "")
+        .expect("close");
+    assert_eq!(status, 200, "{closed:?}");
+    let Some(Value::Arr(ys)) = closed.get("arrays").and_then(|a| a.get("y")) else {
+        panic!("no y in {closed:?}");
+    };
+    ys.iter()
+        .map(|v| match v {
+            Value::Float(f) => *f,
+            other => panic!("non-float element {other:?}"),
+        })
+        .collect()
+}
+
+/// The untouched sessions: two unsharded, two sharded-but-not-migrating.
+fn open_untouched(conn: &mut Conn, key: &str) -> Vec<u64> {
+    (0..4)
+        .map(|p| {
+            let shards = if p >= 2 { Some(2) } else { None };
+            open_session(conn, key, &session_x(p, UNTOUCHED_N), shards)
+        })
+        .collect()
+}
+
+/// Serial reference: the same sessions and launch counts, one request at a
+/// time, no epochs. Returns every session's closed `y` (untouched sessions
+/// first, then the would-be migrating one).
+fn serial_results(addr: SocketAddr) -> Vec<Vec<f64>> {
+    let mut conn = Conn::open(addr).expect("connect");
+    let key = compile_key(&mut conn);
+    let untouched = open_untouched(&mut conn, &key);
+    let migrating = open_session(&mut conn, &key, &session_x(9, MIGRATING_N), Some(4));
+    let launch = launch_body();
+    for &sid in &untouched {
+        for _ in 0..UNTOUCHED_LAUNCHES {
+            let (status, resp) = conn
+                .request("POST", &format!("/sessions/{sid}/launch"), &launch)
+                .expect("launch");
+            assert_eq!(status, 200, "{resp:?}");
+        }
+    }
+    for _ in 0..MIGRATING_LAUNCHES {
+        let (status, resp) = conn
+            .request("POST", &format!("/sessions/{migrating}/launch"), &launch)
+            .expect("launch");
+        assert_eq!(status, 200, "{resp:?}");
+    }
+    let mut results: Vec<Vec<f64>> = untouched
+        .iter()
+        .map(|&sid| close_session(&mut conn, sid))
+        .collect();
+    results.push(close_session(&mut conn, migrating));
+    results
+}
+
+#[test]
+fn concurrent_launches_with_mid_run_epochs_match_serial_bitwise() {
+    let (addr, server) = start_server();
+
+    // Concurrent run: four untouched-session clients and one
+    // migrating-session client launch in parallel while a hammer thread
+    // drives back-to-back rebalance epochs against the migrating session.
+    let mut setup = Conn::open(addr).expect("connect");
+    let key = compile_key(&mut setup);
+    let untouched = open_untouched(&mut setup, &key);
+    let migrating = open_session(&mut setup, &key, &session_x(9, MIGRATING_N), Some(4));
+    let launch = launch_body();
+
+    let launcher_done = Arc::new(AtomicBool::new(false));
+    let migrating_thread = {
+        let launch = launch.clone();
+        let done = Arc::clone(&launcher_done);
+        std::thread::spawn(move || {
+            let mut conn = Conn::open(addr).expect("connect");
+            for _ in 0..MIGRATING_LAUNCHES {
+                let (status, resp) = conn
+                    .request("POST", &format!("/sessions/{migrating}/launch"), &launch)
+                    .expect("launch");
+                assert_eq!(status, 200, "{resp:?}");
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+    // Rebalance hammer: epochs run while the migrating session still has
+    // launches in flight, so each quiesce holds the window open.
+    let hammer = {
+        let done = Arc::clone(&launcher_done);
+        std::thread::spawn(move || {
+            let mut conn = Conn::open(addr).expect("connect");
+            let mut windows = Vec::new();
+            while !done.load(Ordering::SeqCst) {
+                let from = Instant::now();
+                let (status, resp) = conn
+                    .request("POST", &format!("/sessions/{migrating}/rebalance"), "")
+                    .expect("rebalance");
+                assert_eq!(status, 200, "{resp:?}");
+                windows.push((from, Instant::now()));
+            }
+            windows
+        })
+    };
+    let untouched_threads: Vec<_> = untouched
+        .iter()
+        .map(|&sid| {
+            let launch = launch.clone();
+            std::thread::spawn(move || {
+                let mut conn = Conn::open(addr).expect("connect");
+                let mut spans = Vec::with_capacity(UNTOUCHED_LAUNCHES);
+                for _ in 0..UNTOUCHED_LAUNCHES {
+                    let from = Instant::now();
+                    let (status, resp) = conn
+                        .request("POST", &format!("/sessions/{sid}/launch"), &launch)
+                        .expect("launch");
+                    assert_eq!(status, 200, "{resp:?}");
+                    spans.push((from, Instant::now()));
+                }
+                spans
+            })
+        })
+        .collect();
+
+    let launch_spans: Vec<(Instant, Instant)> = untouched_threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("untouched launcher"))
+        .collect();
+    migrating_thread.join().expect("migrating launcher");
+    let windows = hammer.join().expect("rebalance hammer");
+
+    assert!(!windows.is_empty(), "the hammer never completed an epoch");
+    // The non-stop-the-world claim: some untouched launch ran start-to-finish
+    // strictly inside a rebalance window.
+    let inside = launch_spans
+        .iter()
+        .filter(|(from, to)| windows.iter().any(|(ws, we)| from >= ws && to <= we))
+        .count();
+    assert!(
+        inside > 0,
+        "no untouched launch completed inside any of the {} rebalance windows \
+         ({} launches observed) — epochs are blocking unrelated sessions",
+        windows.len(),
+        launch_spans.len(),
+    );
+
+    let mut concurrent: Vec<Vec<f64>> = untouched
+        .iter()
+        .map(|&sid| close_session(&mut setup, sid))
+        .collect();
+    concurrent.push(close_session(&mut setup, migrating));
+    shutdown(addr, server);
+
+    // Serial reference on a fresh server: same sessions, same launch
+    // counts, no concurrency, no epochs.
+    let (addr, server) = start_server();
+    let serial = serial_results(addr);
+    shutdown(addr, server);
+
+    assert_eq!(concurrent.len(), serial.len());
+    for (i, (c, s)) in concurrent.iter().zip(&serial).enumerate() {
+        assert_eq!(c.len(), s.len(), "session {i} length");
+        for (j, (cv, sv)) in c.iter().zip(s).enumerate() {
+            assert!(
+                cv.to_bits() == sv.to_bits(),
+                "session {i} element {j}: concurrent {cv} != serial {sv}"
+            );
+        }
+    }
+}
