@@ -1,0 +1,10 @@
+subroutine heat(n, r, u, v)
+  implicit none
+  integer :: n, i
+  real :: r
+  real :: u(n), v(n)
+  !$omp target parallel do
+  do i = 2, n - 1
+    v(i) = u(i) + r * (u(i-1) - 2.0 * u(i) + u(i+1))
+  end do
+end subroutine heat

@@ -1,0 +1,9 @@
+subroutine jacobi(n, u, v)
+  implicit none
+  integer :: n, i
+  real :: u(n), v(n)
+  !$omp target parallel do
+  do i = 2, n - 1
+    v(i) = 0.5 * (u(i-1) + u(i+1))
+  end do
+end subroutine jacobi

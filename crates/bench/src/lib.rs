@@ -24,6 +24,9 @@
 //!   condvar-notified waits vs the legacy sleep-poll lock, and untouched
 //!   sessions' launch p99 while migration epochs run
 //!   (`BENCH_concurrency.json`).
+//! * [`stencil_bench`] — iterative Jacobi over a sharded session: the
+//!   inter-launch `refresh_halos` path (boundary rows device-to-device)
+//!   vs the naive close/re-open gather baseline (`BENCH_stencil.json`).
 
 pub mod concurrency_bench;
 pub mod diagram;
@@ -35,6 +38,7 @@ pub mod rebalance_bench;
 pub mod serve_bench;
 pub mod shard_bench;
 pub mod stats;
+pub mod stencil_bench;
 pub mod workloads;
 
 pub use experiments::{

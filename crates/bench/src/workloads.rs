@@ -17,6 +17,11 @@ pub const SAXPY_F90: &str = include_str!("../../../benchmarks/saxpy.f90");
 pub const SGESL_F90: &str = include_str!("../../../benchmarks/sgesl.f90");
 /// Dot-product with reduction clause (extension workload).
 pub const DOTPROD_F90: &str = include_str!("../../../benchmarks/dotprod.f90");
+/// 1-D Jacobi relaxation sweep (iterative stencil workload).
+pub const JACOBI_F90: &str = include_str!("../../../benchmarks/jacobi.f90");
+/// 1-D explicit heat equation step (iterative stencil with a scalar
+/// coefficient).
+pub const HEAT_F90: &str = include_str!("../../../benchmarks/heat.f90");
 
 /// Which implementation produced a measurement.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -208,6 +213,36 @@ pub fn run_sgesl_fortran(artifacts: &Artifacts, n: usize, seed: u64) -> SgeslRun
         kernel_seconds: report.stats.kernel_seconds,
         x: machine.read_f32(&ba),
         bitstream: artifacts.bitstream.clone(),
+    }
+}
+
+/// Compile the Jacobi stencil Fortran source once.
+pub fn compile_jacobi() -> Artifacts {
+    Compiler::default()
+        .compile_source(JACOBI_F90)
+        .expect("jacobi compiles")
+}
+
+/// Compile the heat-equation stencil Fortran source once.
+pub fn compile_heat() -> Artifacts {
+    Compiler::default()
+        .compile_source(HEAT_F90)
+        .expect("heat compiles")
+}
+
+/// Reference Jacobi sweep: `v[i] = 0.5 * (u[i-1] + u[i+1])` over the
+/// interior (Fortran `do i = 2, n-1`; endpoints untouched).
+pub fn jacobi_ref(u: &[f32], v: &mut [f32]) {
+    for i in 1..u.len().saturating_sub(1) {
+        v[i] = 0.5 * (u[i - 1] + u[i + 1]);
+    }
+}
+
+/// Reference heat step: `v[i] = u[i] + r*(u[i-1] - 2u[i] + u[i+1])` over
+/// the interior.
+pub fn heat_ref(r: f32, u: &[f32], v: &mut [f32]) {
+    for i in 1..u.len().saturating_sub(1) {
+        v[i] = u[i] + r * (u[i - 1] - 2.0 * u[i] + u[i + 1]);
     }
 }
 

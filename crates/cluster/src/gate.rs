@@ -29,7 +29,9 @@ use ftn_core::CompileError;
 
 use crate::machine::{ClusterMachine, ClusterRunReport, LaunchHandle};
 use crate::pool::CompletionSignal;
-use crate::sharded::{EpochPhase, MigrationEpoch, RebalanceReport};
+use crate::sharded::{
+    EpochPhase, HaloExchange, HaloPhase, HaloRefreshReport, MigrationEpoch, RebalanceReport,
+};
 
 /// Safety-valve park slice: a waiter re-polls at least this often even if a
 /// wakeup is lost (e.g. workers torn down mid-wait). Correctness never
@@ -210,6 +212,55 @@ impl PoolGate {
         // Phase 4 — resume: release epoch buffers, fold statistics, put
         // the session back in the table (error path included).
         self.lock().epoch_finish(*ep)
+    }
+
+    /// Run one inter-launch halo refresh as *phased* exchange: gather →
+    /// splice, releasing the machine lock while boundary-row traffic is in
+    /// flight and parking on the completion signal instead. Only `session`
+    /// is fenced for the duration; launches on every other session proceed
+    /// mid-exchange. No quiesce phase precedes the gather — worker queues
+    /// are FIFO, so the donor fetches run after every kernel the session
+    /// already queued, and the wait between the phases orders the exchange
+    /// across devices. Behavior (bytes moved, statistics, error cleanup)
+    /// is identical to [`ClusterMachine::refresh_halos`].
+    pub fn refresh_phased(&self, session: u64) -> Result<HaloRefreshReport, CompileError> {
+        self.fence(session);
+        let result = self.refresh_phases(session);
+        self.unfence(session);
+        result
+    }
+
+    fn refresh_phases(&self, session: u64) -> Result<HaloRefreshReport, CompileError> {
+        // Phase 1 — decide and submit the boundary gather under a short
+        // lock. Nothing new can land on the fenced session in between.
+        let mut ex = match self.lock().halo_begin(session)? {
+            HaloPhase::Done(report) => return Ok(report),
+            HaloPhase::Exchange(ex) => ex,
+        };
+
+        // Phase 2 — wait the gather off-lock, submit the splices under a
+        // short lock, wait them off-lock.
+        self.wait_halo_handles(&mut ex);
+        self.lock().halo_splice(&mut ex);
+        self.wait_halo_handles(&mut ex);
+
+        // Phase 3 — release move buffers, fold statistics (error path
+        // included).
+        self.lock().halo_finish(*ex)
+    }
+
+    /// Wait the exchange's current phase handles via the completion
+    /// signal. A failed job aborts the refresh; remaining handles are left
+    /// for the finish drain, mirroring [`ClusterMachine::halo_wait`].
+    fn wait_halo_handles(&self, ex: &mut HaloExchange) {
+        for h in ex.take_handles() {
+            if ex.failed() {
+                break;
+            }
+            if let Err(e) = self.wait_done(h) {
+                ex.fail(e);
+            }
+        }
     }
 
     /// Wait the epoch's current phase handles via the completion signal. A

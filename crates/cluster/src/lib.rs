@@ -54,9 +54,9 @@ pub use rollup::{RollupBy, RollupRow};
 pub use scheduler::{BufferInfo, Placement, PlacementPolicy, PlacementReason};
 pub use session::{MapKind, SessionReport, SessionStats};
 pub use sharded::{
-    AutoRebalance, EpochPhase, MigrationEpoch, RebalanceReport, ShardArg, ShardCount, ShardOptions,
-    ShardedLaunchReport, ShardedLaunchTicket, ShardedReport, DEFAULT_REBALANCE_THRESHOLD,
-    MAX_SHARDS_PER_DEVICE, REBALANCE_HORIZON_LAUNCHES,
+    AutoRebalance, EpochPhase, HaloExchange, HaloPhase, HaloRefreshReport, MigrationEpoch,
+    RebalanceReport, ShardArg, ShardCount, ShardOptions, ShardedLaunchReport, ShardedLaunchTicket,
+    ShardedReport, DEFAULT_REBALANCE_THRESHOLD, MAX_SHARDS_PER_DEVICE, REBALANCE_HORIZON_LAUNCHES,
 };
 
 #[cfg(test)]

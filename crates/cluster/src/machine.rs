@@ -30,8 +30,8 @@ use ftn_trace::MetricsRegistry;
 use serde::Serialize;
 
 use crate::pool::{
-    DevicePool, Job, JobKind, JobOutcome, JobSuccess, ReshardSpec, RowFetch, StagedBuffer,
-    WorkerMessage,
+    DevicePool, HaloSplice, Job, JobKind, JobOutcome, JobSuccess, ReshardSpec, RowFetch,
+    StagedBuffer, WorkerMessage,
 };
 use crate::rollup::{RollupBy, RollupRow, Rollups};
 use crate::scheduler::{BufferInfo, PlacementPolicy, PlacementReason};
@@ -200,6 +200,7 @@ pub(crate) struct JobSpec {
     pub(crate) fetch: Vec<(BufferId, u64)>,
     pub(crate) fetch_rows: Vec<RowFetch>,
     pub(crate) reshard: Vec<ReshardSpec>,
+    pub(crate) halo: Vec<HaloSplice>,
 }
 
 impl JobSpec {
@@ -212,6 +213,7 @@ impl JobSpec {
             fetch: Vec::new(),
             fetch_rows: Vec::new(),
             reshard: Vec::new(),
+            halo: Vec::new(),
         }
     }
 }
@@ -232,6 +234,10 @@ pub(crate) struct PoolMetrics {
     pub(crate) rows_migrated: Arc<ftn_trace::Counter>,
     /// Migration epochs executed.
     pub(crate) replans: Arc<ftn_trace::Counter>,
+    /// Inter-launch halo refreshes executed.
+    pub(crate) halo_refreshes: Arc<ftn_trace::Counter>,
+    /// Boundary-row bytes moved by halo refreshes (counted once per block).
+    pub(crate) halo_bytes: Arc<ftn_trace::Counter>,
 }
 
 impl PoolMetrics {
@@ -243,6 +249,8 @@ impl PoolMetrics {
             epoch: registry.histogram("ftn_pool_epoch_seconds"),
             rows_migrated: registry.counter("ftn_pool_rows_migrated_total"),
             replans: registry.counter("ftn_pool_replans_total"),
+            halo_refreshes: registry.counter("ftn_pool_halo_refreshes_total"),
+            halo_bytes: registry.counter("ftn_pool_halo_bytes_total"),
             registry,
         }
     }
@@ -788,6 +796,61 @@ impl ClusterMachine {
         })
     }
 
+    /// Scatter half of an inter-launch halo refresh: patch the ghost rows
+    /// of the listed shard sub-buffer mirrors on `device` in place —
+    /// host-bounced blocks charged as staging, same-device donor blocks
+    /// copied mirror-to-mirror for free. Each patched buffer's version is
+    /// bumped with the device keeping the only current copy (ghost rows
+    /// now differ from the host copy seeded at open). Returns the handle
+    /// plus the staged upload accounting.
+    pub(crate) fn submit_halo_splice(
+        &mut self,
+        device: usize,
+        mut splices: Vec<HaloSplice>,
+    ) -> Result<KernelTicket, CompileError> {
+        let mut arg_ids: Vec<BufferId> = Vec::new();
+        let mut bytes = 0usize;
+        let mut staged = 0u64;
+        for spl in &mut splices {
+            if !arg_ids.contains(&spl.host) {
+                arg_ids.push(spl.host);
+            }
+            for &(_, donor, _, _) in &spl.local {
+                if !arg_ids.contains(&donor) {
+                    arg_ids.push(donor);
+                }
+            }
+            for (_, contents) in &spl.inject {
+                bytes += contents.byte_len();
+                staged += 1;
+            }
+            let state = self.buffers.entry(spl.host).or_default();
+            state.version += 1;
+            state.resident.clear();
+            state.resident.insert(device, state.version);
+            spl.version = state.version;
+        }
+        for id in &arg_ids {
+            let state = self.buffers.entry(*id).or_default();
+            mark_in_flight(state, device);
+        }
+        self.staged_uploads += staged;
+        self.staged_bytes += bytes as u64;
+        let est = self.pool.slots[device].model.transfer_seconds(bytes);
+        let spec = JobSpec {
+            halo: splices,
+            ..JobSpec::new(JobKind::HaloRefresh)
+        };
+        let handle = self.dispatch(device, arg_ids, spec, est)?;
+        Ok(KernelTicket {
+            handle,
+            device,
+            staged,
+            staged_bytes: bytes as u64,
+            elided: 0,
+        })
+    }
+
     /// Bring host memory up to date for `ids` whose only current copy is
     /// device-resident (used to resolve conflicting residency pins before
     /// staging from host memory).
@@ -1006,7 +1069,7 @@ impl ClusterMachine {
                 .kernel(kernel)
                 .map(|k| k.estimate_seconds(model, elements)),
             JobKind::HostCall { .. } => self.cost_model.estimate_any_seconds(model, elements),
-            JobKind::Upload | JobKind::Fetch | JobKind::Reshard => Some(0.0),
+            JobKind::Upload | JobKind::Fetch | JobKind::Reshard | JobKind::HaloRefresh => Some(0.0),
         };
         kernel_est.unwrap_or_else(|| self.policy.mean_job_sim_seconds())
             + model.transfer_seconds(staged_bytes as usize)
@@ -1027,10 +1090,18 @@ impl ClusterMachine {
             JobKind::Kernel { kernel, .. } => Some(kernel.clone()),
             _ => None,
         };
+        // Halo-splice injects are host→device uploads like staged buffers;
+        // counting them here puts halo bytes on the rollup attribution path
+        // (`/profile/top` bytes_moved) alongside ordinary staging.
         let staged_bytes: u64 = spec
             .staged
             .iter()
             .map(|s| s.contents.byte_len() as u64)
+            .chain(
+                spec.halo
+                    .iter()
+                    .flat_map(|h| h.inject.iter().map(|(_, c)| c.byte_len() as u64)),
+            )
             .sum();
         let job = Job {
             job_id,
@@ -1047,6 +1118,7 @@ impl ClusterMachine {
             fetch: spec.fetch,
             fetch_rows: spec.fetch_rows,
             reshard: spec.reshard,
+            halo: spec.halo,
         };
         self.loads[device] += 1;
         self.est_backlog[device] += est_sim_seconds;

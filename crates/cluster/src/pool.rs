@@ -47,6 +47,10 @@ pub(crate) enum JobKind {
     /// Rebuild shard sub-buffer mirrors per the job's `reshard` specs (the
     /// delta-scatter half of a migration epoch).
     Reshard,
+    /// Patch halo ghost rows of resident shard mirrors in place per the
+    /// job's `halo` splices (the scatter half of an inter-launch halo
+    /// refresh; see [`HaloSplice`]).
+    HaloRefresh,
 }
 
 /// The worker-lane span name for a job kind (see docs/OBSERVABILITY.md).
@@ -57,6 +61,7 @@ pub(crate) fn kind_label(kind: &JobKind) -> &'static str {
         JobKind::Upload => "job.upload",
         JobKind::Fetch => "job.fetch",
         JobKind::Reshard => "job.reshard",
+        JobKind::HaloRefresh => "job.halo_refresh",
     }
 }
 
@@ -94,6 +99,26 @@ pub(crate) struct ReshardSpec {
     /// `(dst_start, contents)` element blocks staged from the host.
     pub inject: Vec<(usize, Buffer)>,
     /// Mirror version of the new sub-buffer.
+    pub version: u64,
+}
+
+/// Patch one shard sub-buffer's *existing* device mirror in place for an
+/// inter-launch halo refresh: ghost-row blocks whose owner lives on another
+/// device arrive as host-bounced `inject` contents (charged as host→device
+/// transfers — the row blocks crossed PCIe once on the donor's delta
+/// gather and once here), while blocks owned by a shard on the *same*
+/// device copy mirror-to-mirror via `local` (free, like `ReshardSpec::keep`).
+/// Unlike a reshard the mirror is never reallocated — only the ghost rows
+/// change, so a refresh moves boundary rows and nothing else.
+pub(crate) struct HaloSplice {
+    /// Host id of the shard sub-buffer whose resident mirror is patched.
+    pub host: BufferId,
+    /// `(dst_start, contents)` element blocks staged from the host.
+    pub inject: Vec<(usize, Buffer)>,
+    /// `(dst_start, donor_host, src_start, len)` device-local copies from
+    /// another resident mirror on the same device.
+    pub local: Vec<(usize, BufferId, usize, usize)>,
+    /// Mirror version of the patched sub-buffer after the splice.
     pub version: u64,
 }
 
@@ -139,6 +164,9 @@ pub(crate) struct Job {
     /// For `JobKind::Reshard`: mirror rebuilds of a migration epoch's
     /// delta scatter.
     pub reshard: Vec<ReshardSpec>,
+    /// For `JobKind::HaloRefresh`: in-place ghost-row splices of an
+    /// inter-launch halo refresh.
+    pub halo: Vec<HaloSplice>,
 }
 
 /// What comes back from a worker when a job finishes.
@@ -495,6 +523,40 @@ impl Worker {
             self.mirror.insert(spec.new_host, (local, spec.version));
         }
 
+        // 1c. Splice halo ghost rows into resident mirrors in place (halo
+        // refresh). Host-bounced blocks are charged as host→device
+        // transfers; same-device donor blocks copy mirror-to-mirror for
+        // free. No allocation happens — the mirror already exists.
+        for hs in std::mem::take(&mut job.halo) {
+            let &(local, _) = self.mirror.get(&hs.host).ok_or_else(|| {
+                format!(
+                    "device {}: halo splice of non-resident {:?}",
+                    self.index, hs.host
+                )
+            })?;
+            for (dst, contents) in &hs.inject {
+                stats.transfer_seconds += self.model.transfer_seconds(contents.byte_len());
+                stats.transfers += 1;
+                let target = self.memory.get_mut(local);
+                ftn_shard::copy_elems(target, *dst, contents, 0, contents.len())
+                    .map_err(|e| format!("device {}: halo inject: {e}", self.index))?;
+            }
+            for &(dst, donor, src, len) in &hs.local {
+                let &(donor_local, _) = self.mirror.get(&donor).ok_or_else(|| {
+                    format!(
+                        "device {}: halo splice from non-resident donor {donor:?}",
+                        self.index
+                    )
+                })?;
+                let block = ftn_shard::slice_of(self.memory.get(donor_local), src, len)
+                    .map_err(|e| format!("device {}: halo donor slice: {e}", self.index))?;
+                let target = self.memory.get_mut(local);
+                ftn_shard::copy_elems(target, dst, &block, 0, len)
+                    .map_err(|e| format!("device {}: halo local copy: {e}", self.index))?;
+            }
+            self.mirror.insert(hs.host, (local, hs.version));
+        }
+
         // Everything allocated from here on is job-transient (a host
         // program's device data environment, kernel-local scratch) and is
         // freed after the job — on the error path too. Recording (not a bare
@@ -590,14 +652,16 @@ impl Worker {
                 stats.launches += 1;
                 es.results
             }
-            JobKind::Upload | JobKind::Fetch | JobKind::Reshard => Vec::new(),
+            JobKind::Upload | JobKind::Fetch | JobKind::Reshard | JobKind::HaloRefresh => {
+                Vec::new()
+            }
         };
 
         // 3. Collect writeback contents and bump mirror versions.
         let collect_writeback = match &job.kind {
             JobKind::HostCall { .. } => true,
             JobKind::Kernel { writeback, .. } => *writeback,
-            JobKind::Upload | JobKind::Fetch | JobKind::Reshard => false,
+            JobKind::Upload | JobKind::Fetch | JobKind::Reshard | JobKind::HaloRefresh => false,
         };
         let mut writeback = Vec::with_capacity(arg_buffers.len());
         for &(host, local) in &arg_buffers {

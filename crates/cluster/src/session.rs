@@ -71,6 +71,16 @@ pub struct SessionStats {
     /// Wall seconds spent inside migration epochs (quiesce, delta gather,
     /// restage).
     pub epoch_seconds: f64,
+    /// Inter-launch halo refreshes executed (sharded sessions only).
+    pub halo_refreshes: u64,
+    /// Boundary ghost rows re-seeded across those refreshes, summed over
+    /// the session's split arrays.
+    pub halo_rows: u64,
+    /// Bytes of boundary rows a refresh moved, counted once per ghost
+    /// block (host-bounced blocks cross PCIe twice — donor gather plus
+    /// recipient splice; same-device donor copies are free and still
+    /// counted here as rows refreshed).
+    pub halo_bytes: u64,
 }
 
 /// Result of closing a session.

@@ -41,11 +41,11 @@
 use ftn_core::CompileError;
 use ftn_host::RunStats;
 use ftn_interp::{BufferId, RtValue};
-use ftn_shard::{slice_of, Partition, ShardPlan, ShardedEnvironment};
+use ftn_shard::{Partition, ShardPlan, ShardRange, ShardedEnvironment};
 use serde::Serialize;
 
 use crate::machine::{BufState, ClusterMachine, LaunchHandle};
-use crate::pool::{ReshardSpec, RowFetch};
+use crate::pool::{HaloSplice, ReshardSpec, RowFetch};
 use crate::session::{MapKind, SessionStats};
 
 /// Upper bound on shards per pool device: bounds the sub-environments and
@@ -188,6 +188,10 @@ pub enum ShardArg {
     /// The local leading-dim extent of a mapped array (owned rows plus
     /// halos) as an `index` value — the rebased trip count / loop bound.
     Extent(String),
+    /// The local extent of a mapped array plus a signed constant, as an
+    /// `index` value — stencil loop bounds like `n - 1` rebase per shard
+    /// as `ExtentOffset("u", -1)`.
+    ExtentOffset(String, i64),
     /// A scalar broadcast unchanged to every shard.
     Scalar(RtValue),
 }
@@ -298,6 +302,11 @@ pub struct MigrationEpoch {
     batched: bool,
     replans: Vec<ftn_shard::ArrayReplan>,
     move_bufs: Vec<Vec<BufferId>>,
+    /// Per replan: `(shard, dst elem offset, move buffer)` ghost-row
+    /// re-seeds, fetched from their current owner rows alongside the delta
+    /// gather (open-time host contents are stale for any array written
+    /// between launches).
+    halo_inject: Vec<Vec<(usize, usize, BufferId)>>,
     rows_migrated: u64,
     /// Handles of the phase just submitted (delta gather, then reshard).
     handles: Vec<LaunchHandle>,
@@ -345,6 +354,115 @@ pub enum EpochPhase {
     /// handles, call [`ClusterMachine::epoch_reshard`], wait again, then
     /// [`ClusterMachine::epoch_finish`].
     Gather(Box<MigrationEpoch>),
+}
+
+/// One pending ghost-row patch of a halo refresh: the splices bound for a
+/// single shard sub-buffer, with host-bounced blocks still referring to
+/// their move buffers by index (resolved to contents once the gather
+/// phase's writebacks have landed).
+struct PendingSplice {
+    /// Device the patched sub-buffer is resident on.
+    device: usize,
+    /// Host id of the patched sub-buffer.
+    host: BufferId,
+    /// `(dst elem offset, move-buffer index)` host-bounced blocks.
+    inject: Vec<(usize, usize)>,
+    /// `(dst, donor host id, src, len)` same-device mirror-to-mirror copies.
+    local: Vec<(usize, BufferId, usize, usize)>,
+}
+
+/// An inter-launch halo refresh suspended between phases. Unlike a
+/// migration epoch the session *stays in the table* — no rows change
+/// owners and no sub-buffer is replaced, so nothing a concurrent wait
+/// could observe is torn down. Produced by [`ClusterMachine::halo_begin`];
+/// driven to completion either synchronously inside
+/// [`ClusterMachine::refresh_halos`] or by a caller that releases the
+/// machine lock between phases (the serve layer's phased refresh).
+///
+/// No quiesce phase exists: each worker queue is FIFO, so the donor row
+/// fetches land after every kernel already queued on the donor's device,
+/// and the wait between the gather and splice phases orders the exchange
+/// across devices.
+pub struct HaloExchange {
+    session: u64,
+    batched: bool,
+    /// Host move buffers receiving the donor ghost blocks (epoch-transient).
+    move_bufs: Vec<BufferId>,
+    pending: Vec<PendingSplice>,
+    /// Arrays with at least one refreshed ghost block.
+    arrays: usize,
+    /// Ghost rows refreshed (device-local copies included).
+    rows: u64,
+    /// Ghost-block bytes refreshed, counted once per block.
+    bytes: u64,
+    /// Staged-upload accounting folded from the splice tickets.
+    splice_staged: u64,
+    splice_bytes: u64,
+    /// Handles of the phase just submitted (gather, then splice).
+    handles: Vec<LaunchHandle>,
+    /// First error hit by any phase; the finish drain runs when set.
+    failed: Option<CompileError>,
+    started: std::time::Instant,
+    span: ftn_trace::Span,
+}
+
+impl HaloExchange {
+    /// Take the handles of the phase just submitted; the caller must wait
+    /// each (skipping the rest after a failure) before advancing.
+    pub fn take_handles(&mut self) -> Vec<LaunchHandle> {
+        std::mem::take(&mut self.handles)
+    }
+
+    /// Record a phase failure (first error wins). The exchange must still
+    /// be driven to [`ClusterMachine::halo_finish`], which drains in-flight
+    /// jobs and releases the move buffers.
+    pub fn fail(&mut self, err: CompileError) {
+        if self.failed.is_none() {
+            self.failed = Some(err);
+        }
+    }
+
+    /// Whether a phase has failed (waiting the remaining handles is
+    /// pointless; go straight to [`ClusterMachine::halo_finish`]).
+    pub fn failed(&self) -> bool {
+        self.failed.is_some()
+    }
+
+    /// The refreshing session's id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+}
+
+/// What [`ClusterMachine::halo_begin`] decided.
+pub enum HaloPhase {
+    /// Nothing to exchange (single shard, or no mapped array carries
+    /// halos): the refresh is over and the report is final.
+    Done(HaloRefreshReport),
+    /// Ghost blocks move: the donor-gather fan-out is submitted (possibly
+    /// empty when every donor is same-device). Wait the exchange's
+    /// handles, call [`ClusterMachine::halo_splice`], wait again, then
+    /// [`ClusterMachine::halo_finish`].
+    Exchange(Box<HaloExchange>),
+}
+
+/// Result of one inter-launch halo refresh (see
+/// [`ClusterMachine::refresh_halos`]).
+#[derive(Clone, Debug, Serialize)]
+pub struct HaloRefreshReport {
+    /// The sharded session the refresh ran against.
+    pub session: u64,
+    /// Whether any ghost block was actually exchanged.
+    pub refreshed: bool,
+    /// Mapped arrays with at least one refreshed ghost block.
+    pub arrays: usize,
+    /// Ghost rows re-seeded from their current owners.
+    pub halo_rows: u64,
+    /// Ghost-block bytes refreshed, counted once per block (device-local
+    /// donor copies included; only host-bounced blocks cross PCIe).
+    pub halo_bytes: u64,
+    /// Wall seconds the refresh took.
+    pub seconds: f64,
 }
 
 impl ClusterMachine {
@@ -462,18 +580,38 @@ impl ClusterMachine {
             .map(|(_, m, _, _)| m.num_elements() as u64)
             .max()
             .unwrap_or(0);
+        // Halo traffic the auto pick must price: the summed ghost-block
+        // bytes per boundary across the split maps — what one interior
+        // device exchanges per refreshed stencil iteration. Zero for
+        // BLAS-shaped sessions, leaving the plain pick untouched.
+        let halo_block_bytes: u64 = resolved
+            .iter()
+            .filter_map(|(_, m, _, p)| match p {
+                Partition::Split { halo } if *halo > 0 => {
+                    let rows = m.shape.first().copied().unwrap_or(1).max(1) as u64;
+                    let row_elems = (m.num_elements() as u64).div_ceil(rows);
+                    let b = self.memory.get(m.buffer);
+                    let eb = (b.byte_len() / b.len().max(1)) as u64;
+                    Some(*halo as u64 * row_elems * eb)
+                }
+                _ => None,
+            })
+            .sum();
         let requested = match shards {
             ShardCount::Fixed(n) => n.max(1),
             ShardCount::Auto if opts.weighted => {
                 // Pool-aware pick: a heterogeneous pool prices each added
                 // (fastest-first) device by its own model, so a straggler
                 // card that would extend the makespan is left out.
-                self.cost_model.auto_shards_pool(&models, elements)
-            }
-            ShardCount::Auto => {
                 self.cost_model
-                    .auto_shards(&self.pool.slots[0].model, elements, pool)
+                    .auto_shards_pool_stencil(&models, elements, halo_block_bytes)
             }
+            ShardCount::Auto => self.cost_model.auto_shards_stencil(
+                &self.pool.slots[0].model,
+                elements,
+                pool,
+                halo_block_bytes,
+            ),
         };
         let shards = requested
             .min(pool * MAX_SHARDS_PER_DEVICE)
@@ -733,6 +871,14 @@ impl ClusterMachine {
                             )
                         })?)
                     }
+                    ShardArg::ExtentOffset(name, delta) => RtValue::Index(
+                        s.env.shard_extent(shard, name).ok_or_else(|| {
+                            CompileError::new(
+                                "cluster-shard",
+                                format!("session {session} maps no array '{name}'"),
+                            )
+                        })? + delta,
+                    ),
                     ShardArg::Scalar(v) => {
                         if matches!(v, RtValue::MemRef(_)) {
                             return Err(CompileError::new(
@@ -900,6 +1046,369 @@ impl ClusterMachine {
         })
     }
 
+    /// Exchange every mapped split array's halo ghost rows with their
+    /// current owner rows — the inter-launch primitive iterative stencils
+    /// need between sweeps. Only boundary blocks travel: a block whose
+    /// owner shard lives on another device is fetched device→host into a
+    /// dedicated move buffer and spliced host→device into the recipient's
+    /// mirror (two boundary-sized PCIe hops — never a full-array
+    /// gather/re-scatter); a block whose owner shares the recipient's
+    /// device copies mirror-to-mirror for free. Owned rows never move and
+    /// host memory is never brought up to date (device copies stay
+    /// authoritative until close).
+    ///
+    /// No quiesce precedes the exchange: worker queues are FIFO, so the
+    /// donor fetches run after every kernel already queued on their
+    /// devices, and the wait between the gather and splice phases orders
+    /// the exchange across devices.
+    ///
+    /// Synchronous composition of the exchange phases — a caller that must
+    /// not block other sessions runs the same phases with the machine lock
+    /// released between them (see [`ClusterMachine::halo_begin`]).
+    ///
+    /// # Example
+    ///
+    /// One Jacobi sweep across two devices, ghosts refreshed between
+    /// launches:
+    ///
+    /// ```
+    /// use ftn_cluster::{ClusterMachine, MapKind, Partition, ShardArg, ShardCount};
+    /// use ftn_fpga::DeviceModel;
+    ///
+    /// let src = "subroutine jacobi(n, u, v)\n  implicit none\n  integer :: n, i\n  real :: u(n), v(n)\n  !$omp target parallel do\n  do i = 2, n - 1\n    v(i) = 0.5 * (u(i-1) + u(i+1))\n  end do\n  !$omp end target parallel do\nend subroutine jacobi\n";
+    /// let artifacts = ftn_core::Compiler::default().compile_source(src)?;
+    /// let mut pool = ClusterMachine::load(&artifacts, &vec![DeviceModel::u280(); 2])?;
+    /// let u = pool.host_f32(&[1.0; 64]);
+    /// let v = pool.host_f32(&[0.0; 64]);
+    /// let sid = pool.open_sharded_session(
+    ///     &[
+    ///         ("u", u, MapKind::ToFrom, Partition::Split { halo: 1 }),
+    ///         ("v", v, MapKind::ToFrom, Partition::Split { halo: 1 }),
+    ///     ],
+    ///     ShardCount::Fixed(2),
+    /// )?;
+    /// let args = [
+    ///     ShardArg::Array("u".into()),
+    ///     ShardArg::Array("v".into()),
+    ///     ShardArg::Extent("u".into()),
+    ///     ShardArg::Extent("v".into()),
+    ///     ShardArg::Scalar(ftn_interp::RtValue::Index(2)),
+    ///     ShardArg::ExtentOffset("u".into(), -1),
+    /// ];
+    /// let t = pool.sharded_launch(sid, "jacobi_kernel0", &args)?;
+    /// pool.wait_sharded(t)?;
+    /// let report = pool.refresh_halos(sid)?;
+    /// assert!(report.refreshed && report.halo_rows > 0);
+    /// pool.close_sharded_session(sid)?;
+    /// # Ok::<(), ftn_core::CompileError>(())
+    /// ```
+    pub fn refresh_halos(&mut self, session: u64) -> Result<HaloRefreshReport, CompileError> {
+        match self.halo_begin(session)? {
+            HaloPhase::Done(report) => Ok(report),
+            HaloPhase::Exchange(mut ex) => {
+                self.halo_wait(&mut ex);
+                self.halo_splice(&mut ex);
+                self.halo_wait(&mut ex);
+                self.halo_finish(*ex)
+            }
+        }
+    }
+
+    /// Wait every handle of the exchange's current phase under this
+    /// machine (blocking). A failed job aborts the refresh — the remaining
+    /// handles are left for the finish drain. Phased callers park on the
+    /// pool's [`crate::pool::CompletionSignal`] instead of calling this.
+    pub fn halo_wait(&mut self, ex: &mut HaloExchange) {
+        for h in ex.take_handles() {
+            if ex.failed() {
+                break;
+            }
+            if let Err(e) = self.wait(h) {
+                ex.fail(e);
+            }
+        }
+    }
+
+    /// Phase 1 of a halo refresh: walk every split array's ghost blocks,
+    /// split each across its owner shards, and submit the donor-gather
+    /// fan-out (cross-device blocks → move buffers; same-device blocks
+    /// wait for the splice phase, where they copy mirror-to-mirror). The
+    /// caller waits the returned exchange's handles, then drives
+    /// [`ClusterMachine::halo_splice`] and [`ClusterMachine::halo_finish`].
+    pub fn halo_begin(&mut self, session: u64) -> Result<HaloPhase, CompileError> {
+        let s = self
+            .sharded
+            .get(&session)
+            .ok_or_else(|| CompileError::new("cluster-shard", no_session(session)))?;
+        let devices = s.devices.clone();
+        let batched = s.opts.batched;
+        let pool = self.pool.len();
+        // Snapshot the split arrays' slice layout so the machine can be
+        // mutated (move-buffer allocation) while the plan is walked.
+        struct ArraySnapshot {
+            elem: String,
+            row_elems: usize,
+            slices: Vec<(BufferId, ShardRange)>,
+        }
+        let snapshots: Vec<ArraySnapshot> = s
+            .env
+            .arrays()
+            .iter()
+            .filter(|a| matches!(a.partition, Partition::Split { .. }))
+            .map(|a| ArraySnapshot {
+                elem: a.elem.clone(),
+                row_elems: a.row_elems,
+                slices: a
+                    .slices
+                    .iter()
+                    .map(|sl| (sl.memref.buffer, sl.range))
+                    .collect(),
+            })
+            .collect();
+        let started = std::time::Instant::now();
+        let mut span = ftn_trace::span("session.refresh_halos", "cluster");
+        span.arg("session", session);
+
+        let mut move_bufs: Vec<BufferId> = Vec::new();
+        let mut per_device_fetch: Vec<Vec<RowFetch>> = (0..pool).map(|_| Vec::new()).collect();
+        let mut pending: Vec<PendingSplice> = Vec::new();
+        let (mut arrays, mut rows, mut bytes) = (0usize, 0u64, 0u64);
+        let mut alloc_err = None;
+        'arrays: for a in &snapshots {
+            let before = rows;
+            let eb = {
+                let b = self.memory.get(a.slices[0].0);
+                (b.byte_len() / b.len().max(1)) as u64
+            };
+            for (shard, &(host, r)) in a.slices.iter().enumerate() {
+                let mut inject = Vec::new();
+                let mut local = Vec::new();
+                for (blo, bhi) in [
+                    (r.start - r.halo_lo, r.start),
+                    (r.start + r.len, r.start + r.len + r.halo_hi),
+                ] {
+                    // A ghost block may span several owner shards (halo
+                    // wider than a neighbour): split it by owned range.
+                    for (donor, &(donor_host, dr)) in a.slices.iter().enumerate() {
+                        let (plo, phi) = (blo.max(dr.start), bhi.min(dr.start + dr.len));
+                        if phi <= plo {
+                            continue;
+                        }
+                        let dst = (plo - r.mapped_start()) * a.row_elems;
+                        let src = (plo - dr.mapped_start()) * a.row_elems;
+                        let len = (phi - plo) * a.row_elems;
+                        rows += (phi - plo) as u64;
+                        bytes += len as u64 * eb;
+                        if devices[donor] == devices[shard] {
+                            local.push((dst, donor_host, src, len));
+                            continue;
+                        }
+                        let mv = match self.memory.alloc_zeroed(&a.elem, len, 0) {
+                            Ok(id) => id,
+                            Err(e) => {
+                                alloc_err = Some(CompileError::new("cluster-shard", e.to_string()));
+                                break 'arrays;
+                            }
+                        };
+                        self.buffers.insert(mv, BufState::default());
+                        per_device_fetch[devices[donor]].push(RowFetch {
+                            src: donor_host,
+                            dst: mv,
+                            start: src,
+                            len,
+                            version: 1,
+                        });
+                        inject.push((dst, move_bufs.len()));
+                        move_bufs.push(mv);
+                    }
+                }
+                if !inject.is_empty() || !local.is_empty() {
+                    pending.push(PendingSplice {
+                        device: devices[shard],
+                        host,
+                        inject,
+                        local,
+                    });
+                }
+            }
+            if rows > before {
+                arrays += 1;
+            }
+        }
+        if alloc_err.is_none() && pending.is_empty() {
+            drop(span);
+            return Ok(HaloPhase::Done(HaloRefreshReport {
+                session,
+                refreshed: false,
+                arrays: 0,
+                halo_rows: 0,
+                halo_bytes: 0,
+                seconds: started.elapsed().as_secs_f64(),
+            }));
+        }
+        span.arg("arrays", arrays);
+        span.arg("halo_rows", rows);
+        let mut ex = Box::new(HaloExchange {
+            session,
+            batched,
+            move_bufs,
+            pending,
+            arrays,
+            rows,
+            bytes,
+            splice_staged: 0,
+            splice_bytes: 0,
+            handles: Vec::new(),
+            failed: None,
+            started,
+            span,
+        });
+        match alloc_err {
+            Some(e) => ex.failed = Some(e),
+            None => {
+                // Donor-gather fan-out: one row-fetch job per donating
+                // device. Submitted here; the caller waits the handles.
+                let fetches: Vec<(usize, Vec<RowFetch>)> = per_device_fetch
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, rf)| !rf.is_empty())
+                    .collect();
+                let mut sp = ftn_trace::span("halo.gather", "epoch");
+                sp.arg("devices", fetches.len());
+                let (handles, err) = self.epoch_submit(batched, fetches, |m, device, rf| {
+                    m.submit_fetch_rows(device, rf)
+                });
+                ex.handles = handles;
+                if let Some(e) = err {
+                    ex.failed = Some(e);
+                }
+            }
+        }
+        Ok(HaloPhase::Exchange(ex))
+    }
+
+    /// Phase 2 of a halo refresh (after the gather handles are waited):
+    /// splice every ghost block into its recipient's resident mirror —
+    /// host-bounced blocks resolved from their landed move buffers,
+    /// same-device blocks as mirror-to-mirror copies — and submit the
+    /// splice fan-out. No-op when a prior phase failed.
+    pub fn halo_splice(&mut self, ex: &mut HaloExchange) {
+        if ex.failed.is_some() {
+            return;
+        }
+        let mut per_device: Vec<Vec<HaloSplice>> =
+            (0..self.pool.len()).map(|_| Vec::new()).collect();
+        for ps in &ex.pending {
+            let inject = ps
+                .inject
+                .iter()
+                .map(|&(dst, idx)| (dst, self.memory.get(ex.move_bufs[idx]).clone()))
+                .collect();
+            per_device[ps.device].push(HaloSplice {
+                host: ps.host,
+                inject,
+                local: ps.local.clone(),
+                // Assigned by `submit_halo_splice` from the buffer ledger.
+                version: 0,
+            });
+        }
+        let splices: Vec<(usize, Vec<HaloSplice>)> = per_device
+            .into_iter()
+            .enumerate()
+            .filter(|(_, sp)| !sp.is_empty())
+            .collect();
+        let mut sp = ftn_trace::span("halo.splice", "epoch");
+        sp.arg("devices", splices.len());
+        let (mut staged, mut staged_bytes) = (0u64, 0u64);
+        let (handles, err) = self.epoch_submit(ex.batched, splices, |m, device, specs| {
+            let t = m.submit_halo_splice(device, specs)?;
+            staged += t.staged;
+            staged_bytes += t.staged_bytes;
+            Ok(t.handle)
+        });
+        ex.splice_staged += staged;
+        ex.splice_bytes += staged_bytes;
+        ex.handles = handles;
+        if let Some(e) = err {
+            ex.fail(e);
+        }
+    }
+
+    /// Final phase of a halo refresh (after the splice handles are
+    /// waited): drain any refresh jobs still in flight when a phase
+    /// failed, release the move buffers, and fold the refresh into the
+    /// session/pool statistics. Returns the refresh's report — or the
+    /// failing phase's error, with every move buffer released regardless.
+    pub fn halo_finish(&mut self, ex: HaloExchange) -> Result<HaloRefreshReport, CompileError> {
+        let HaloExchange {
+            session,
+            batched: _,
+            move_bufs,
+            pending,
+            arrays,
+            rows,
+            bytes,
+            splice_staged,
+            splice_bytes,
+            handles: _,
+            failed,
+            started,
+            span: mut halo_span,
+        } = ex;
+
+        // A failed fan-out can leave refresh jobs in flight over the move
+        // buffers we are about to free; drain outcomes until they are
+        // quiescent (best effort — draining itself fails only when all
+        // workers are gone).
+        if failed.is_some() {
+            let busy = |m: &ClusterMachine| {
+                move_bufs
+                    .iter()
+                    .chain(pending.iter().map(|p| &p.host))
+                    .any(|id| m.buffers.get(id).is_some_and(|b| b.in_flight.is_some()))
+            };
+            while busy(self) {
+                if self.process_one_outcome().is_err() {
+                    break;
+                }
+            }
+        }
+
+        // Move buffers are refresh-transient on every path (row fetches
+        // write back without creating mirror entries, and splices carry
+        // contents by value).
+        for id in &move_bufs {
+            self.buffers.remove(id);
+            self.memory.free(*id);
+        }
+
+        let seconds = started.elapsed().as_secs_f64();
+        if failed.is_none() {
+            halo_span.arg("halo_bytes", bytes);
+            if let Some(s) = self.sharded.get_mut(&session) {
+                s.stats.staged_uploads += splice_staged;
+                s.stats.staged_bytes += splice_bytes;
+                s.stats.halo_refreshes += 1;
+                s.stats.halo_rows += rows;
+                s.stats.halo_bytes += bytes;
+            }
+            self.metrics.halo_refreshes.inc();
+            self.metrics.halo_bytes.add(bytes);
+        }
+        drop(halo_span);
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        Ok(HaloRefreshReport {
+            session,
+            refreshed: true,
+            arrays,
+            halo_rows: rows,
+            halo_bytes: bytes,
+            seconds,
+        })
+    }
+
     /// Re-plan a sharded session against the pool's *current* backlogs —
     /// the dynamic half of the placement ladder. Snapshots each device's
     /// cost-priced queue depth, folds it into the static device weights
@@ -916,9 +1425,11 @@ impl ClusterMachine {
     ///    from their old devices into move buffers; resident rows never
     ///    leave their device.
     /// 3. **Restage** — each changed shard's mirror is rebuilt in place:
-    ///    retained rows copy device-locally, migrated rows and halo ghost
-    ///    rows splice in from the host (halos restart from the caller's
-    ///    contents, exactly as the original scatter seeded them).
+    ///    retained rows copy device-locally, migrated rows splice in from
+    ///    their move buffers, and halo ghost rows re-seed from their
+    ///    *current owner rows* (fetched with the delta gather — never from
+    ///    the caller's open-time contents, which are stale for any array
+    ///    written between launches).
     /// 4. **Resume** — the session continues under the new plan; replaced
     ///    sub-buffers are freed on host and devices.
     ///
@@ -1219,6 +1730,68 @@ impl ClusterMachine {
             }
             move_bufs.push(bufs);
         }
+
+        // Halo re-seed: every replaced slice's ghost blocks are fetched
+        // from their *current owner* rows — the device-resident contents
+        // under the old plan — alongside the delta gather. Re-seeding from
+        // the caller's open-time arrays (the old behaviour) is stale for
+        // any array written between launches.
+        let mut halo_inject: Vec<Vec<(usize, usize, BufferId)>> = vec![Vec::new(); replans.len()];
+        if alloc_err.is_none() {
+            'halos: for (ri, rp) in replans.iter().enumerate() {
+                let a = s.env.array(&rp.name).expect("replanned array resolves");
+                // Old-plan donors: replaced slices donate from their old
+                // sub-buffer, unchanged slices from their current one.
+                let donors: Vec<(BufferId, ShardRange)> = rp
+                    .old_slices
+                    .iter()
+                    .zip(&a.slices)
+                    .map(|(old, cur)| match old {
+                        Some(o) => (o.memref.buffer, o.range),
+                        None => (cur.memref.buffer, cur.range),
+                    })
+                    .collect();
+                for (shard, old) in rp.old_slices.iter().enumerate() {
+                    if old.is_none() {
+                        continue;
+                    }
+                    let nr = a.slices[shard].range;
+                    for (blo, bhi) in [
+                        (nr.start - nr.halo_lo, nr.start),
+                        (nr.start + nr.len, nr.start + nr.len + nr.halo_hi),
+                    ] {
+                        for (donor, &(donor_host, dr)) in donors.iter().enumerate() {
+                            let (plo, phi) = (blo.max(dr.start), bhi.min(dr.start + dr.len));
+                            if phi <= plo {
+                                continue;
+                            }
+                            let len = (phi - plo) * rp.row_elems;
+                            let dst = match self.memory.alloc_zeroed(&rp.elem, len, 0) {
+                                Ok(id) => id,
+                                Err(e) => {
+                                    alloc_err =
+                                        Some(CompileError::new("cluster-rebalance", e.to_string()));
+                                    break 'halos;
+                                }
+                            };
+                            self.buffers.insert(dst, BufState::default());
+                            per_device_fetch[devices[donor]].push(RowFetch {
+                                src: donor_host,
+                                dst,
+                                start: (plo - dr.mapped_start()) * rp.row_elems,
+                                len,
+                                version: 1,
+                            });
+                            halo_inject[ri].push((
+                                shard,
+                                (plo - nr.mapped_start()) * rp.row_elems,
+                                dst,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
         let mut ep = Box::new(MigrationEpoch {
             session,
             s,
@@ -1228,6 +1801,7 @@ impl ClusterMachine {
             batched,
             replans,
             move_bufs,
+            halo_inject,
             rows_migrated,
             handles: Vec::new(),
             failed: None,
@@ -1304,14 +1878,14 @@ impl ClusterMachine {
         let s = &mut ep.s;
         let replans = &ep.replans;
         let move_bufs = &ep.move_bufs;
+        let halo_inject = &ep.halo_inject;
         let batched = ep.batched;
         let devices = s.devices.clone();
         // Restage: build one ReshardSpec per replaced (array, shard) slice.
         let mut per_device: Vec<Vec<ReshardSpec>> =
             (0..self.pool.len()).map(|_| Vec::new()).collect();
-        for (rp, bufs) in replans.iter().zip(move_bufs) {
+        for (ri, (rp, bufs)) in replans.iter().zip(move_bufs).enumerate() {
             let a = s.env.array(&rp.name).expect("replanned array resolves");
-            let global = a.global.buffer;
             for (shard, old) in rp.old_slices.iter().enumerate() {
                 let Some(old) = old else { continue };
                 let new = &a.slices[shard];
@@ -1328,8 +1902,10 @@ impl ClusterMachine {
                     ));
                 }
                 // Rows gained from other shards splice in from their move
-                // buffers; halo ghost rows restart from the caller's
-                // contents, exactly as the original scatter seeded them.
+                // buffers; halo ghost rows re-seed from their *current
+                // owner rows*, fetched into dedicated move buffers by the
+                // delta gather (never from the caller's open-time
+                // contents — stale for arrays written between launches).
                 let mut inject = Vec::new();
                 for (mv, dst_buf) in rp.moves.iter().zip(bufs) {
                     if mv.to_shard == shard {
@@ -1339,30 +1915,10 @@ impl ClusterMachine {
                         ));
                     }
                 }
-                let halo_err = |e: ftn_interp::InterpError| {
-                    CompileError::new("cluster-rebalance", e.to_string())
-                };
-                if nr.halo_lo > 0 {
-                    inject.push((
-                        0,
-                        slice_of(
-                            self.memory.get(global),
-                            nr.mapped_start() * rp.row_elems,
-                            nr.halo_lo * rp.row_elems,
-                        )
-                        .map_err(halo_err)?,
-                    ));
-                }
-                if nr.halo_hi > 0 {
-                    inject.push((
-                        (nr.halo_lo + nr.len) * rp.row_elems,
-                        slice_of(
-                            self.memory.get(global),
-                            (nr.start + nr.len) * rp.row_elems,
-                            nr.halo_hi * rp.row_elems,
-                        )
-                        .map_err(halo_err)?,
-                    ));
+                for &(hs, dst, buf) in &halo_inject[ri] {
+                    if hs == shard {
+                        inject.push((dst, self.memory.get(buf).clone()));
+                    }
                 }
                 per_device[devices[shard]].push(ReshardSpec {
                     new_host: new.memref.buffer,
@@ -1409,12 +1965,18 @@ impl ClusterMachine {
             batched: _,
             replans,
             move_bufs,
+            halo_inject,
             rows_migrated,
             handles: _,
             failed,
             started,
             span: mut epoch_span,
         } = ep;
+        let halo_bufs: Vec<BufferId> = halo_inject
+            .iter()
+            .flatten()
+            .map(|&(_, _, buf)| buf)
+            .collect();
 
         // A failed fan-out can leave epoch jobs in flight over buffers we
         // are about to free; a recycled id with a pending writeback or
@@ -1430,6 +1992,7 @@ impl ClusterMachine {
                 move_bufs
                     .iter()
                     .flatten()
+                    .chain(&halo_bufs)
                     .chain(&olds)
                     .any(|id| m.buffers.get(id).is_some_and(|b| b.in_flight.is_some()))
             };
@@ -1440,10 +2003,11 @@ impl ClusterMachine {
             }
         }
 
-        // Move buffers are epoch-transient on every path (they were never
-        // mirrored on a device — row fetches write back without creating
-        // mirror entries, and splices carry contents by value).
-        for id in move_bufs.iter().flatten() {
+        // Move buffers — the owner-changing rows' and the halo re-seeds' —
+        // are epoch-transient on every path (they were never mirrored on a
+        // device: row fetches write back without creating mirror entries,
+        // and splices carry contents by value).
+        for id in move_bufs.iter().flatten().chain(&halo_bufs) {
             self.buffers.remove(id);
             self.memory.free(*id);
         }

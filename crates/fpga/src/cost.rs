@@ -204,6 +204,21 @@ impl CostModel {
     /// with [`CostModel::auto_shards`] exactly. With no predictable kernel
     /// the pool size is returned (capped by `elements`).
     pub fn auto_shards_pool(&self, devices: &[DeviceModel], elements: u64) -> usize {
+        self.auto_shards_pool_stencil(devices, elements, 0)
+    }
+
+    /// [`CostModel::auto_shards_pool`] with halo traffic priced in: each
+    /// candidate count's per-launch makespan also carries the
+    /// [`CostModel::halo_refresh_seconds`] of its slowest included device,
+    /// so an iterative stencil whose ghost blocks round-trip PCIe every
+    /// sweep stops overcounting the win from extra shards. With
+    /// `halo_block_bytes == 0` this is exactly the plain pick.
+    pub fn auto_shards_pool_stencil(
+        &self,
+        devices: &[DeviceModel],
+        elements: u64,
+        halo_block_bytes: u64,
+    ) -> usize {
         let cap = devices.len().max(1).min(elements.max(1) as usize);
         if self.kernels.is_empty() || devices.is_empty() {
             return cap;
@@ -215,9 +230,14 @@ impl CostModel {
         };
         let mut best = 1usize;
         for n in 2..=cap {
+            let halo = ordered[..n]
+                .iter()
+                .map(|d| self.halo_refresh_seconds(d, halo_block_bytes, n))
+                .fold(0.0, f64::max);
             let est = self
                 .estimate_weighted_seconds(&ordered[..n], elements)
-                .expect("non-empty model");
+                .expect("non-empty model")
+                + halo;
             if est < prev * 0.9 {
                 best = n;
                 prev = est;
@@ -226,6 +246,24 @@ impl CostModel {
             }
         }
         best
+    }
+
+    /// Simulated seconds one interior device spends on halo traffic per
+    /// refreshed stencil iteration: two donor row fetches (device→host)
+    /// plus two recipient splices (host→device) of `block_bytes` each —
+    /// boundary blocks are host-bounced between devices. Zero with a
+    /// single shard (no neighbours) or no halo bytes (BLAS-shaped
+    /// workloads), so non-stencil picks are unaffected.
+    pub fn halo_refresh_seconds(
+        &self,
+        device: &DeviceModel,
+        block_bytes: u64,
+        shards: usize,
+    ) -> f64 {
+        if shards <= 1 || block_bytes == 0 {
+            return 0.0;
+        }
+        4.0 * device.transfer_seconds(block_bytes as usize)
     }
 
     /// Backlog-aware device weights for a re-planning epoch: the static
@@ -328,6 +366,22 @@ impl CostModel {
     /// dominates, extra shards stop paying for their fan-out. With no
     /// predictable kernel the pool size is returned (capped by `elements`).
     pub fn auto_shards(&self, device: &DeviceModel, elements: u64, max_shards: usize) -> usize {
+        self.auto_shards_stencil(device, elements, max_shards, 0)
+    }
+
+    /// [`CostModel::auto_shards`] with halo traffic priced in: each
+    /// candidate count's per-launch estimate also carries
+    /// [`CostModel::halo_refresh_seconds`] for `halo_block_bytes`, so a
+    /// stencil session's `ShardCount::Auto` stops overcounting wins its
+    /// per-iteration ghost-row exchange would eat. With
+    /// `halo_block_bytes == 0` this is exactly the plain pick.
+    pub fn auto_shards_stencil(
+        &self,
+        device: &DeviceModel,
+        elements: u64,
+        max_shards: usize,
+        halo_block_bytes: u64,
+    ) -> usize {
         let cap = max_shards.max(1).min(elements.max(1) as usize);
         let Some(mut prev) = self.estimate_any_shard_seconds(device, elements, 1) else {
             return cap;
@@ -336,7 +390,8 @@ impl CostModel {
         for n in 2..=cap {
             let est = self
                 .estimate_any_shard_seconds(device, elements, n as u64)
-                .expect("non-empty model");
+                .expect("non-empty model")
+                + self.halo_refresh_seconds(device, halo_block_bytes, n);
             if est < prev * 0.9 {
                 best = n;
                 prev = est;
@@ -425,6 +480,52 @@ mod tests {
         let empty = CostModel::default();
         assert_eq!(empty.auto_shards(&device, 100, 4), 4);
         assert_eq!(empty.auto_shards(&device, 2, 4), 2);
+    }
+
+    #[test]
+    fn stencil_pick_reproduces_plain_pick_with_no_halo() {
+        let model = single_kernel_model();
+        let device = DeviceModel::u280();
+        for elements in [2u64, 1_000, 1_000_000] {
+            assert_eq!(
+                model.auto_shards_stencil(&device, elements, 4, 0),
+                model.auto_shards(&device, elements, 4),
+            );
+            let pool = vec![device.clone(); 4];
+            assert_eq!(
+                model.auto_shards_pool_stencil(&pool, elements, 0),
+                model.auto_shards_pool(&pool, elements),
+            );
+        }
+        // No shards or no bytes: halo traffic prices to zero.
+        assert_eq!(model.halo_refresh_seconds(&device, 4096, 1), 0.0);
+        assert_eq!(model.halo_refresh_seconds(&device, 0, 4), 0.0);
+        // Two fetches + two splices of one boundary block.
+        let secs = model.halo_refresh_seconds(&device, 4096, 4);
+        assert!((secs - 4.0 * device.transfer_seconds(4096)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stencil_pick_backs_off_when_halo_dominates() {
+        let model = single_kernel_model();
+        let device = DeviceModel::u280();
+        // A mid-sized array splits across the whole pool when ghost
+        // exchange is free...
+        let elements = 100_000u64;
+        let plain = model.auto_shards(&device, elements, 4);
+        assert_eq!(plain, 4);
+        // ...but a huge per-iteration ghost block (4 PCIe hops each
+        // refresh) eats the marginal win, so the stencil-aware pick
+        // chooses fewer shards.
+        let huge_halo = 256 * 1024 * 1024;
+        let stencil = model.auto_shards_stencil(&device, elements, 4, huge_halo);
+        assert!(
+            stencil < plain,
+            "halo-aware pick {stencil} should be below plain pick {plain}"
+        );
+        let pool = vec![device; 4];
+        let pool_stencil = model.auto_shards_pool_stencil(&pool, elements, huge_halo);
+        assert!(pool_stencil < plain);
     }
 
     fn single_kernel_model() -> CostModel {

@@ -87,6 +87,10 @@ pub enum ArgSpec {
     /// launches: the rebased trip count / loop bound). On an unsharded
     /// session this is the array's full leading-dim extent.
     Extent(String),
+    /// A per-shard extent plus a constant offset — stencil loop bounds
+    /// like `n - 1` that must rebase per shard
+    /// (`{"extent_offset": {"array": "u", "offset": -1}}`).
+    ExtentOffset(String, i64),
     /// An inline f32 array (sessionless runs).
     ArrayF32(Vec<f32>),
     /// An inline i32 array (sessionless runs).
@@ -99,6 +103,7 @@ pub enum ArgSpec {
 }
 
 /// Decode one argument object: `{"array": "x"}`, `{"extent": "x"}`,
+/// `{"extent_offset": {"array": "x", "offset": -1}}`,
 /// `{"array_f32": [...]}`, `{"array_i32": [...]}`, `{"f32": 2.0}`,
 /// `{"f64": 2.0}`, `{"i32": 5}`, `{"i64": 5}` or `{"index": 5}`.
 pub fn parse_arg(v: &Value) -> Result<ArgSpec, String> {
@@ -117,6 +122,22 @@ pub fn parse_arg(v: &Value) -> Result<ArgSpec, String> {
             Value::Str(s) => Ok(ArgSpec::Extent(s.clone())),
             _ => Err("'extent' must name a mapped array".to_string()),
         },
+        "extent_offset" => {
+            match value {
+                Value::Obj(inner) => {
+                    let name = inner.iter().find(|(k, _)| k == "array");
+                    let offset = inner.iter().find(|(k, _)| k == "offset");
+                    match (name, offset) {
+                        (Some((_, Value::Str(s))), Some((_, off))) => {
+                            Ok(ArgSpec::ExtentOffset(s.clone(), number_i64(off)?))
+                        }
+                        _ => Err("'extent_offset' must be {\"array\": name, \"offset\": int}"
+                            .to_string()),
+                    }
+                }
+                _ => Err("'extent_offset' must be {\"array\": name, \"offset\": int}".to_string()),
+            }
+        }
         "array_f32" => match value {
             Value::Arr(items) => Ok(ArgSpec::ArrayF32(f32_slice(items)?)),
             _ => Err("'array_f32' must be an array of numbers".to_string()),

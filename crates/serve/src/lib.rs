@@ -7,8 +7,9 @@
 //! |-----------------------------|----------------------------------------|--------|
 //! | `POST /compile`             | `{source, fix_mac_pattern?, devices?}` | Compile via the content-addressed [`ArtifactCache`]; returns the key, whether it was a cache hit, each kernel's launch signature, and the device models the key's pool will use. `devices` (a list of model names such as `["u280","u250","u55c"]`, `@MHZ` clock overrides allowed) fixes a heterogeneous pool composition for this key. |
 //! | `POST /sessions`            | `{key, maps: [{name, kind, data, partition?, halo?}], shards?}` | Open a persistent `target data` session. Without `shards`, arrays map onto one pool device; with `shards: N` (or `"auto"`) each array is partitioned across N devices (`partition`: `split` (default, with optional `halo` rows) \| `replicated` \| `sum`/`min`/`max`). |
-//! | `POST /sessions/{id}/launch`| `{kernel, args: [{array\|extent\|f32\|...}]}` | Run one kernel-level job against the session's resident buffers (no per-launch transfers). On a sharded session the launch fans out per shard, with `{extent: name}` rebased to each shard's local length. |
+//! | `POST /sessions/{id}/launch`| `{kernel, args: [{array\|extent\|extent_offset\|f32\|...}], refresh_halos?}` | Run one kernel-level job against the session's resident buffers (no per-launch transfers). On a sharded session the launch fans out per shard, with `{extent: name}` rebased to each shard's local length and `{extent_offset: {array, offset}}` rebasing stencil bounds like `n - 1`. `refresh_halos: true` exchanges split-array ghost rows after the launch lands (see `/refresh`). |
 //! | `POST /sessions/{id}/rebalance` | `{threshold?}`                     | Re-plan a sharded session against the pool's current backlogs: when the predicted makespan gain clears the threshold, a migration epoch moves only the owner-changing rows between devices and the session resumes under the new split. Sessions opened with `auto_rebalance` (or `ftn serve --auto-rebalance N[:T]`) do this automatically every N launches. |
+//! | `POST /sessions/{id}/refresh` |                                      | Inter-launch halo exchange on a sharded session: every split array's ghost rows are re-seeded from their current owner rows — boundary blocks only, device-to-device over the row-block fetch/splice path, never a full gather/re-scatter. The iterative-stencil primitive (`jacobi`/`heat` between sweeps). |
 //! | `DELETE /sessions/{id}`     |                                        | Close the session: gather (or reduce) `from`/`tofrom` arrays back and return them with the session stats; all session memory is released. |
 //! | `POST /run`                 | `{key, func, args}`                    | Sessionless whole-program run (the baseline the elision ratio is measured against); request arrays are freed after the response. |
 //! | `GET /stats`                |                                        | Cache, pool, session, and HTTP statistics. |
@@ -354,6 +355,24 @@ fn wait_many_unlocked(
         .collect()
 }
 
+/// Resolve `{"extent": name}` / `{"extent_offset": ...}` against an
+/// unsharded session: the array's full leading-dim extent plus `offset`.
+fn extent_index(
+    machine: &ClusterMachine,
+    sid: u64,
+    session: u64,
+    name: &str,
+    offset: i64,
+) -> Result<RtValue, HandlerError> {
+    let value = machine
+        .session_array(sid, name)
+        .ok_or_else(|| bad_request(format!("session {session} has no array '{name}'")))?;
+    let m = value.as_memref().expect("session arrays are memrefs");
+    Ok(RtValue::Index(
+        m.shape.first().copied().unwrap_or(1) + offset,
+    ))
+}
+
 fn bad_request(msg: impl Into<String>) -> HandlerError {
     (400, msg.into())
 }
@@ -422,6 +441,7 @@ impl ServeState {
             ("POST", ["sessions"]) => self.open_session(&req.body),
             ("POST", ["sessions", id, "launch"]) => self.launch(parse_id(id)?, &req.body),
             ("POST", ["sessions", id, "rebalance"]) => self.rebalance(parse_id(id)?, &req.body),
+            ("POST", ["sessions", id, "refresh"]) => self.refresh(parse_id(id)?),
             ("GET", ["sessions", id]) => self.session_info(parse_id(id)?),
             ("DELETE", ["sessions", id]) => self.close_session(parse_id(id)?),
             ("POST", ["run"]) => self.run_program(&req.body),
@@ -1182,9 +1202,19 @@ impl ServeState {
         let v = api::parse_body(body).map_err(bad_request)?;
         let kernel = api::get_str(&v, "kernel").map_err(bad_request)?;
         let arg_values = api::get_arr(&v, "args").map_err(bad_request)?;
+        let refresh_halos = match v.get("refresh_halos") {
+            Some(Value::Bool(b)) => *b,
+            None => false,
+            Some(_) => return Err(bad_request("'refresh_halos' must be a boolean")),
+        };
         let (pool, sid, sharded) = self.session_ref(session)?;
         if sharded {
-            return self.launch_sharded(session, sid, kernel, arg_values, &pool);
+            return self.launch_sharded(session, sid, kernel, arg_values, refresh_halos, &pool);
+        }
+        if refresh_halos {
+            return Err(bad_request(
+                "'refresh_halos' requires a sharded session; set 'shards' at open",
+            ));
         }
         let mut machine = pool.lock();
         let mut args = Vec::with_capacity(arg_values.len());
@@ -1194,12 +1224,9 @@ impl ServeState {
                 ArgSpec::Named(name) => machine.session_array(sid, &name).ok_or_else(|| {
                     bad_request(format!("session {session} has no array '{name}'"))
                 })?,
-                ArgSpec::Extent(name) => {
-                    let value = machine.session_array(sid, &name).ok_or_else(|| {
-                        bad_request(format!("session {session} has no array '{name}'"))
-                    })?;
-                    let m = value.as_memref().expect("session arrays are memrefs");
-                    RtValue::Index(m.shape.first().copied().unwrap_or(1))
+                ArgSpec::Extent(name) => extent_index(&machine, sid, session, &name, 0)?,
+                ArgSpec::ExtentOffset(name, off) => {
+                    extent_index(&machine, sid, session, &name, off)?
                 }
                 ArgSpec::ArrayF32(_) | ArgSpec::ArrayI32(_) => {
                     return Err(bad_request(
@@ -1248,6 +1275,7 @@ impl ServeState {
         sid: u64,
         kernel: &str,
         arg_values: &[Value],
+        refresh_halos: bool,
         gate: &PoolGate,
     ) -> Result<Value, HandlerError> {
         let mut args = Vec::with_capacity(arg_values.len());
@@ -1256,6 +1284,7 @@ impl ServeState {
             args.push(match spec {
                 ArgSpec::Named(name) => ShardArg::Array(name),
                 ArgSpec::Extent(name) => ShardArg::Extent(name),
+                ArgSpec::ExtentOffset(name, off) => ShardArg::ExtentOffset(name, off),
                 ArgSpec::ArrayF32(_) | ArgSpec::ArrayI32(_) => {
                     return Err(bad_request(
                         "inline arrays are not allowed in session launches; map them at open",
@@ -1290,13 +1319,22 @@ impl ServeState {
         let reports = wait_many_unlocked(gate, ticket.handles, self.config.legacy_wait)
             .map_err(|e| (500, e.to_string()))?;
         self.metrics.launches.inc();
+        // Per-launch ghost-row exchange: refresh the session's split-array
+        // halos *after* the shard jobs land, phased like a manual
+        // `POST /sessions/{id}/refresh` (machine lock released while the
+        // boundary rows travel, only this session fenced).
+        let halo = if refresh_halos {
+            Some(gate.refresh_phased(sid).map_err(|e| (500, e.to_string()))?)
+        } else {
+            None
+        };
         let cycles: u64 = reports.iter().map(|r| r.report.stats.total_cycles).sum();
         let kernel_seconds: f64 = reports.iter().map(|r| r.report.stats.kernel_seconds).sum();
         let makespan = reports
             .iter()
             .map(|r| r.report.stats.kernel_wall_seconds)
             .fold(0.0f64, f64::max);
-        Ok(api::obj(vec![
+        let mut fields = vec![
             ("session", session.to_value()),
             ("shards", reports.len().to_value()),
             ("devices", devices.to_value()),
@@ -1305,7 +1343,12 @@ impl ServeState {
             ("kernel_wall_seconds_max", makespan.to_value()),
             ("staged", staged.to_value()),
             ("elided", elided.to_value()),
-        ]))
+        ];
+        if let Some(h) = halo {
+            fields.push(("halo_rows", h.halo_rows.to_value()));
+            fields.push(("halo_bytes", h.halo_bytes.to_value()));
+        }
+        Ok(api::obj(fields))
     }
 
     /// Manual re-plan of a sharded session against the pool's current
@@ -1336,6 +1379,35 @@ impl ServeState {
         let report = pool
             .rebalance_phased(sid, threshold)
             .map_err(|e| (500, e.to_string()))?;
+        let mut value = report.to_value();
+        // Report the serve-level session id, not the cluster-internal one.
+        if let Value::Obj(fields) = &mut value {
+            for (k, v) in fields.iter_mut() {
+                if k == "session" {
+                    *v = session.to_value();
+                }
+            }
+        }
+        Ok(value)
+    }
+
+    /// Manual inter-launch halo refresh of a sharded session: every mapped
+    /// split array's ghost rows are re-seeded from their current owner
+    /// rows, boundary blocks only (device-to-device via the row-block
+    /// fetch/splice path — never a full gather/re-scatter). Replies with
+    /// the cluster's [`ftn_cluster::HaloRefreshReport`] (whether anything
+    /// moved, arrays touched, ghost rows and bytes exchanged).
+    fn refresh(&self, session: u64) -> Result<Value, HandlerError> {
+        let (pool, sid, sharded) = self.session_ref(session)?;
+        if !sharded {
+            return Err(bad_request(format!(
+                "session {session} is not sharded; only sharded sessions refresh halos"
+            )));
+        }
+        // The exchange runs *phased* (gather → splice): the machine lock is
+        // held only to submit each phase's transfers, and released while
+        // boundary rows are in flight. Only this session is fenced.
+        let report = pool.refresh_phased(sid).map_err(|e| (500, e.to_string()))?;
         let mut value = report.to_value();
         // Report the serve-level session id, not the cluster-internal one.
         if let Value::Obj(fields) = &mut value {
@@ -1486,7 +1558,10 @@ impl ServeState {
         let mut specs = Vec::with_capacity(arg_values.len());
         for a in arg_values {
             let spec = api::parse_arg(a).map_err(bad_request)?;
-            if matches!(spec, ArgSpec::Named(_) | ArgSpec::Extent(_)) {
+            if matches!(
+                spec,
+                ArgSpec::Named(_) | ArgSpec::Extent(_) | ArgSpec::ExtentOffset(..)
+            ) {
                 return Err(bad_request(
                     "named arrays/extents are session-only; pass array_f32/array_i32 to /run",
                 ));
@@ -1508,7 +1583,9 @@ impl ServeState {
                     array_handles.push(h.clone());
                     h
                 }
-                ArgSpec::Named(_) | ArgSpec::Extent(_) => unreachable!("rejected above"),
+                ArgSpec::Named(_) | ArgSpec::Extent(_) | ArgSpec::ExtentOffset(..) => {
+                    unreachable!("rejected above")
+                }
                 ArgSpec::F32(x) => RtValue::F32(x),
                 ArgSpec::F64(x) => RtValue::F64(x),
                 ArgSpec::I32(x) => RtValue::I32(x),

@@ -1,0 +1,278 @@
+//! Iterative-stencil round trip against `ftn-serve`: compile the Jacobi
+//! workload, ping-pong it through an unsharded session, then run the same
+//! sweep loop on a sharded session spanning all four pool devices with
+//! inter-launch halo refreshes — the per-launch `refresh_halos` flag for
+//! most sweeps and one manual `POST /sessions/{id}/refresh` in the middle.
+//!
+//! Asserts the acceptance criteria of the stencil serve path:
+//! * the sharded loop is bit-identical to the unsharded session,
+//! * both agree with the CPU reference sweep (to f32 tolerance),
+//! * every refresh moves boundary rows only — 48 bytes at 4 shards
+//!   (2 arrays x 2 directions x 3 seams x one 4-byte row), independent of
+//!   the array length, never a full-array round trip,
+//! * the manual `/refresh` endpoint reports the same accounting,
+//! * `GET /metrics` exports the pool's halo counters,
+//! * the server shuts down cleanly on `POST /shutdown`.
+//!
+//! Run with: `cargo run --release --example stencil_serve`
+
+use ftn_serve::client::Conn;
+use ftn_serve::{ServeConfig, Server};
+use serde::{Serialize, Value};
+
+/// Non-divisible by 4 so the shard planner exercises remainder rows.
+const N: usize = 1027;
+const ITERS: usize = 6;
+/// Boundary-row bytes per refresh at 4 shards: 2 arrays x 2 directions x
+/// 3 interior seams x one f32 row.
+const HALO_BYTES: u64 = 48;
+
+fn request(conn: &mut Conn, method: &str, path: &str, body: &str) -> (u16, Value) {
+    let (status, value) = conn
+        .request(method, path, body)
+        .expect("request against ftn-serve round-trips");
+    assert_eq!(status, 200, "{method} {path}: {value:?}");
+    (status, value)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn body(v: &Value) -> String {
+    serde_json::to_string(v).expect("serialize request")
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    match v.get(key) {
+        Some(Value::UInt(u)) => *u,
+        Some(Value::Int(i)) if *i >= 0 => *i as u64,
+        other => panic!("field '{key}': expected unsigned number, got {other:?}"),
+    }
+}
+
+fn get_f32s(v: &Value) -> Vec<f32> {
+    let Value::Arr(items) = v else {
+        panic!("expected array, got {v:?}")
+    };
+    items
+        .iter()
+        .map(|x| match x {
+            Value::Float(f) => *f as f32,
+            Value::Int(i) => *i as f32,
+            Value::UInt(u) => *u as f32,
+            other => panic!("expected number, got {other:?}"),
+        })
+        .collect()
+}
+
+/// `jacobi_kernel0(u, v, ext_u, ext_v, 2, n-1)` with the sweep's ping-pong
+/// role assignment; `extent`/`extent_offset` rebase per shard on a sharded
+/// session and resolve to the full length on an unsharded one, so the same
+/// body drives both.
+fn jacobi_launch(src: &str, dst: &str, refresh_halos: Option<bool>) -> String {
+    let mut fields = vec![
+        ("kernel", Value::Str("jacobi_kernel0".into())),
+        (
+            "args",
+            Value::Arr(vec![
+                obj(vec![("array", Value::Str(src.into()))]),
+                obj(vec![("array", Value::Str(dst.into()))]),
+                obj(vec![("extent", Value::Str(src.into()))]),
+                obj(vec![("extent", Value::Str(dst.into()))]),
+                obj(vec![("index", Value::Int(2))]),
+                obj(vec![(
+                    "extent_offset",
+                    obj(vec![
+                        ("array", Value::Str(src.into())),
+                        ("offset", Value::Int(-1)),
+                    ]),
+                )]),
+            ]),
+        ),
+    ];
+    if let Some(r) = refresh_halos {
+        fields.push(("refresh_halos", Value::Bool(r)));
+    }
+    body(&obj(fields))
+}
+
+fn open_session(conn: &mut Conn, key: &str, u: &[f32], v: &[f32], shards: Option<i64>) -> u64 {
+    let map = |name: &str, data: &[f32]| {
+        let mut fields = vec![
+            ("name", Value::Str(name.into())),
+            ("kind", Value::Str("tofrom".into())),
+            ("data", data.to_value()),
+        ];
+        if shards.is_some() {
+            fields.push(("halo", Value::Int(1)));
+        }
+        obj(fields)
+    };
+    let mut fields = vec![
+        ("key", Value::Str(key.into())),
+        ("maps", Value::Arr(vec![map("u", u), map("v", v)])),
+    ];
+    if let Some(s) = shards {
+        fields.push(("shards", Value::Int(s)));
+    }
+    let (_, opened) = request(conn, "POST", "/sessions", &body(&obj(fields)));
+    if let Some(s) = shards {
+        assert_eq!(get_u64(&opened, "shards"), s as u64);
+    }
+    get_u64(&opened, "session")
+}
+
+fn main() {
+    let source = ftn_bench::workloads::JACOBI_F90;
+    let u0: Vec<f32> = (0..N).map(|i| (i as f32 * 0.17).sin() + 1.0).collect();
+    let v0: Vec<f32> = (0..N).map(|i| (i as f32 * 0.05).cos()).collect();
+
+    // CPU reference: the same ping-pong sweep loop.
+    let (mut ru, mut rv) = (u0.clone(), v0.clone());
+    for k in 0..ITERS {
+        if k % 2 == 0 {
+            ftn_bench::workloads::jacobi_ref(&ru, &mut rv);
+        } else {
+            ftn_bench::workloads::jacobi_ref(&rv, &mut ru);
+        }
+    }
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            devices: 4,
+            workers: 4,
+            ..Default::default()
+        },
+    )
+    .expect("bind ftn-serve");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    println!("ftn-serve on http://{addr}");
+    let mut conn = Conn::open(addr).expect("connect");
+
+    let compile_body = body(&obj(vec![("source", Value::Str(source.to_string()))]));
+    let (_, compiled) = request(&mut conn, "POST", "/compile", &compile_body);
+    let Some(Value::Str(key)) = compiled.get("key") else {
+        panic!("no artifact key in {compiled:?}")
+    };
+    let key = key.clone();
+    println!("compiled jacobi -> key {}...", &key[..12]);
+
+    // Unsharded session: the single-device reference loop over HTTP.
+    let sid = open_session(&mut conn, &key, &u0, &v0, None);
+    for k in 0..ITERS {
+        let (src, dst) = if k % 2 == 0 { ("u", "v") } else { ("v", "u") };
+        request(
+            &mut conn,
+            "POST",
+            &format!("/sessions/{sid}/launch"),
+            &jacobi_launch(src, dst, None),
+        );
+    }
+    let (_, closed) = request(&mut conn, "DELETE", &format!("/sessions/{sid}"), "");
+    let arrays = closed.get("arrays").expect("closed session arrays");
+    let plain_u = get_f32s(arrays.get("u").expect("u"));
+    let plain_v = get_f32s(arrays.get("v").expect("v"));
+    for (i, (got, want)) in plain_u.iter().zip(&ru).enumerate() {
+        assert!(
+            (got - want).abs() <= 1e-5,
+            "u[{i}]: session {got} vs CPU reference {want}"
+        );
+    }
+    println!("unsharded session matches the CPU reference sweep ({N} elements, {ITERS} sweeps)");
+
+    // Sharded session across the whole pool, halos refreshed between
+    // sweeps: the per-launch flag everywhere except sweep 2, which uses
+    // the manual endpoint instead.
+    let sid = open_session(&mut conn, &key, &u0, &v0, Some(4));
+    for k in 0..ITERS {
+        let (src, dst) = if k % 2 == 0 { ("u", "v") } else { ("v", "u") };
+        let last = k + 1 == ITERS;
+        let flag = !last && k != 2;
+        let (_, launch) = request(
+            &mut conn,
+            "POST",
+            &format!("/sessions/{sid}/launch"),
+            &jacobi_launch(src, dst, Some(flag)),
+        );
+        assert_eq!(get_u64(&launch, "shards"), 4);
+        if flag {
+            assert_eq!(
+                get_u64(&launch, "halo_bytes"),
+                HALO_BYTES,
+                "per-launch refresh must move boundary rows only: {launch:?}"
+            );
+        }
+        if k == 2 {
+            let (_, refresh) = request(&mut conn, "POST", &format!("/sessions/{sid}/refresh"), "");
+            assert_eq!(refresh.get("refreshed"), Some(&Value::Bool(true)));
+            assert_eq!(
+                get_u64(&refresh, "halo_bytes"),
+                HALO_BYTES,
+                "manual refresh must move boundary rows only: {refresh:?}"
+            );
+        }
+    }
+    let (_, closed) = request(&mut conn, "DELETE", &format!("/sessions/{sid}"), "");
+    let arrays = closed.get("arrays").expect("closed session arrays");
+    let sharded_u = get_f32s(arrays.get("u").expect("u"));
+    let sharded_v = get_f32s(arrays.get("v").expect("v"));
+    for (i, (got, want)) in sharded_u.iter().zip(&plain_u).enumerate() {
+        assert!(
+            got.to_bits() == want.to_bits(),
+            "u[{i}]: sharded {got} != unsharded {want}"
+        );
+    }
+    for (i, (got, want)) in sharded_v.iter().zip(&plain_v).enumerate() {
+        assert!(
+            got.to_bits() == want.to_bits(),
+            "v[{i}]: sharded {got} != unsharded {want}"
+        );
+    }
+    println!("sharded sweep loop is bit-identical to the unsharded session (4 shards)");
+
+    // The pool-level halo counters made it to the exporter.
+    let (status, metrics) = conn
+        .request_text("GET", "/metrics", "")
+        .expect("metrics round-trips");
+    assert_eq!(status, 200);
+    let refreshes: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("ftn_pool_halo_refreshes_total "))
+        .expect("halo refresh counter exported")
+        .trim()
+        .parse()
+        .expect("counter value parses");
+    assert_eq!(
+        refreshes,
+        ITERS as u64 - 1,
+        "metrics: {refreshes} refreshes"
+    );
+    let bytes: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("ftn_pool_halo_bytes_total "))
+        .expect("halo bytes counter exported")
+        .trim()
+        .parse()
+        .expect("counter value parses");
+    assert_eq!(bytes, (ITERS as u64 - 1) * HALO_BYTES);
+    println!("/metrics exports {refreshes} halo refreshes, {bytes} boundary bytes");
+
+    let (status, _) = conn
+        .request("POST", "/shutdown", "")
+        .expect("shutdown round-trips");
+    assert_eq!(status, 200);
+    drop(conn);
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("clean server run");
+    println!("stencil serve round trip complete");
+}

@@ -1,0 +1,435 @@
+//! Iterative stencils over sharded sessions (inter-launch halo exchange),
+//! checked differentially against the single-device reference:
+//!
+//! * A sharded Jacobi ping-pong loop with `refresh_halos` between sweeps is
+//!   bit-identical — results AND deterministic `RunStats` totals — to the
+//!   single-device session, at N = 1/2/4 shards.
+//! * The loop stays bit-identical when a migration epoch re-plans the
+//!   session mid-run (the epoch must re-seed ghost rows from the *current*
+//!   owner rows, not the open-time array contents — the regression the
+//!   stale-halo bugfix pins).
+//! * Property: random grid sizes (non-divisible included) × shard counts ×
+//!   halo widths × iteration counts — the halo-refresh path is identical to
+//!   a full gather + re-scatter oracle (close and re-open the session every
+//!   iteration), with host- and device-side leak checks.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use ftn_cluster::{ClusterMachine, MapKind, Partition, ShardArg, ShardCount};
+use ftn_core::{Artifacts, Compiler};
+use ftn_fpga::DeviceModel;
+use ftn_host::RunStats;
+use ftn_interp::RtValue;
+use proptest::prelude::*;
+
+const JACOBI_F90: &str = include_str!("../benchmarks/jacobi.f90");
+const HEAT_F90: &str = include_str!("../benchmarks/heat.f90");
+
+fn jacobi_artifacts() -> &'static Artifacts {
+    static CELL: OnceLock<Artifacts> = OnceLock::new();
+    CELL.get_or_init(|| {
+        Compiler::default()
+            .compile_source(JACOBI_F90)
+            .expect("jacobi compiles")
+    })
+}
+
+fn heat_artifacts() -> &'static Artifacts {
+    static CELL: OnceLock<Artifacts> = OnceLock::new();
+    CELL.get_or_init(|| {
+        Compiler::default()
+            .compile_source(HEAT_F90)
+            .expect("heat compiles")
+    })
+}
+
+/// `jacobi_kernel0(u, v, ext_u, ext_v, 2, n-1)` with the sweep's role
+/// assignment: `src` is read (the kernel's `u` parameter), `dst` written.
+fn jacobi_args(src: &str, dst: &str) -> Vec<ShardArg> {
+    vec![
+        ShardArg::Array(src.into()),
+        ShardArg::Array(dst.into()),
+        ShardArg::Extent(src.into()),
+        ShardArg::Extent(dst.into()),
+        ShardArg::Scalar(RtValue::Index(2)),
+        ShardArg::ExtentOffset(src.into(), -1),
+    ]
+}
+
+fn inputs(n: usize) -> (Vec<f32>, Vec<f32>) {
+    let u: Vec<f32> = (0..n).map(|i| (i as f32 * 0.17).sin() + 1.0).collect();
+    let v: Vec<f32> = (0..n).map(|i| (i as f32 * 0.05).cos()).collect();
+    (u, v)
+}
+
+/// Ping-pong `iters` Jacobi sweeps over a sharded session, refreshing the
+/// split arrays' halos between launches. `rebalance_at` forces a migration
+/// epoch (skewed backlog + threshold 1.0) after that iteration's refresh.
+fn run_sharded_jacobi(
+    devices: usize,
+    shards: usize,
+    iters: usize,
+    halo: usize,
+    rebalance_at: Option<usize>,
+    u0: &[f32],
+    v0: &[f32],
+) -> (Vec<f32>, Vec<f32>, ftn_cluster::SessionStats, RunStats) {
+    let models = vec![DeviceModel::u280(); devices];
+    let mut cluster = ClusterMachine::load(jacobi_artifacts(), &models).unwrap();
+    let ua = cluster.host_f32(u0);
+    let va = cluster.host_f32(v0);
+    let sid = cluster
+        .open_sharded_session(
+            &[
+                ("u", ua.clone(), MapKind::ToFrom, Partition::Split { halo }),
+                ("v", va.clone(), MapKind::ToFrom, Partition::Split { halo }),
+            ],
+            ShardCount::Fixed(shards),
+        )
+        .unwrap();
+    for k in 0..iters {
+        let (src, dst) = if k % 2 == 0 { ("u", "v") } else { ("v", "u") };
+        let ticket = cluster
+            .sharded_launch_no_replan(sid, "jacobi_kernel0", &jacobi_args(src, dst))
+            .unwrap();
+        cluster.wait_sharded(ticket).unwrap();
+        if k + 1 < iters {
+            cluster.refresh_halos(sid).unwrap();
+        }
+        if rebalance_at == Some(k) {
+            // Skew the backlog ledger so the re-plan moves rows for real.
+            cluster.inject_backlog(0, 5.0);
+            let report = cluster.rebalance_session_with(sid, Some(1.0)).unwrap();
+            assert!(
+                report.replanned,
+                "the mid-run epoch must actually migrate rows"
+            );
+        }
+    }
+    let report = cluster.close_sharded_session(sid).unwrap();
+    let u = cluster.read_f32(&ua);
+    let v = cluster.read_f32(&va);
+    (u, v, report.stats, cluster.pool_stats().totals)
+}
+
+/// The same ping-pong loop as a plain (unsharded) session on one device —
+/// the single-device reference every sharded variant must match bit-for-bit.
+fn run_plain_jacobi(
+    n: usize,
+    iters: usize,
+    u0: &[f32],
+    v0: &[f32],
+) -> (Vec<f32>, Vec<f32>, ftn_cluster::SessionStats, RunStats) {
+    let mut cluster = ClusterMachine::load(jacobi_artifacts(), &[DeviceModel::u280()]).unwrap();
+    let ua = cluster.host_f32(u0);
+    let va = cluster.host_f32(v0);
+    let sid = cluster
+        .open_session(&[
+            ("u", ua.clone(), MapKind::ToFrom),
+            ("v", va.clone(), MapKind::ToFrom),
+        ])
+        .unwrap();
+    for k in 0..iters {
+        let (src, dst) = if k % 2 == 0 {
+            (ua.clone(), va.clone())
+        } else {
+            (va.clone(), ua.clone())
+        };
+        let args = vec![
+            src,
+            dst,
+            RtValue::Index(n as i64),
+            RtValue::Index(n as i64),
+            RtValue::Index(2),
+            RtValue::Index(n as i64 - 1),
+        ];
+        let ticket = cluster
+            .session_launch(sid, "jacobi_kernel0", &args)
+            .unwrap();
+        cluster.wait(ticket.handle).unwrap();
+    }
+    let report = cluster.close_session(sid).unwrap();
+    let u = cluster.read_f32(&ua);
+    let v = cluster.read_f32(&va);
+    (u, v, report.stats, cluster.pool_stats().totals)
+}
+
+fn assert_bits_eq(label: &str, got: &[f32], want: &[f32]) {
+    assert_eq!(got.len(), want.len(), "{label}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{label} element {i}: {g} vs {w}");
+    }
+}
+
+/// Sharded Jacobi with halo refresh at N = 1/2/4 is bit-identical to the
+/// single-device session, and two identical sharded runs produce exactly
+/// the same `RunStats` totals (deterministic accounting).
+#[test]
+fn sharded_jacobi_with_halo_refresh_is_bit_identical_at_n124() {
+    let n = 257usize;
+    let iters = 6usize;
+    let (u0, v0) = inputs(n);
+    let (u_ref, v_ref, _, _) = run_plain_jacobi(n, iters, &u0, &v0);
+    for devices in [1usize, 2, 4] {
+        let (u, v, stats, totals) = run_sharded_jacobi(devices, devices, iters, 1, None, &u0, &v0);
+        assert_bits_eq(&format!("N={devices} u"), &u, &u_ref);
+        assert_bits_eq(&format!("N={devices} v"), &v, &v_ref);
+        assert_eq!(stats.launches, (iters * devices) as u64);
+        if devices > 1 {
+            assert_eq!(stats.halo_refreshes, (iters - 1) as u64);
+            assert!(stats.halo_rows > 0, "N={devices}: ghost rows must move");
+            assert!(stats.halo_bytes > 0);
+        }
+        // Deterministic totals: an identical second run agrees exactly.
+        let (_, _, stats2, totals2) =
+            run_sharded_jacobi(devices, devices, iters, 1, None, &u0, &v0);
+        assert_eq!(stats, stats2, "N={devices}: session stats must repeat");
+        assert_eq!(totals, totals2, "N={devices}: RunStats totals must repeat");
+    }
+}
+
+/// One shard with a halo declared: no seams exist, so refreshes are no-ops
+/// and the session's transfer accounting matches the plain session exactly.
+#[test]
+fn one_shard_stencil_stats_match_plain_session() {
+    let n = 129usize;
+    let iters = 3usize;
+    let (u0, v0) = inputs(n);
+    let (_, _, plain, plain_totals) = run_plain_jacobi(n, iters, &u0, &v0);
+    let (_, _, shard, shard_totals) = run_sharded_jacobi(1, 1, iters, 1, None, &u0, &v0);
+    assert_eq!(plain.launches, shard.launches);
+    assert_eq!(plain.staged_uploads, shard.staged_uploads);
+    assert_eq!(plain.staged_bytes, shard.staged_bytes);
+    assert_eq!(plain.fetched_downloads, shard.fetched_downloads);
+    assert_eq!(shard.halo_refreshes, 0, "no seams → no refreshes counted");
+    assert_eq!(shard.halo_bytes, 0);
+    assert_eq!(plain_totals, shard_totals);
+}
+
+/// The heat stencil (scalar coefficient in the kernel signature) through
+/// the same sharded loop: bit-identical to the single-device session.
+#[test]
+fn sharded_heat_with_halo_refresh_is_bit_identical() {
+    let n = 193usize;
+    let iters = 4usize;
+    let r = 0.125f32;
+    let (u0, v0) = inputs(n);
+    let heat_args = |src: &str, dst: &str| -> Vec<ShardArg> {
+        vec![
+            ShardArg::Array(src.into()),
+            ShardArg::Array(dst.into()),
+            ShardArg::Extent(src.into()),
+            ShardArg::Extent(dst.into()),
+            ShardArg::Scalar(RtValue::F32(r)),
+            ShardArg::Scalar(RtValue::Index(2)),
+            ShardArg::ExtentOffset(src.into(), -1),
+        ]
+    };
+    let run = |devices: usize| -> (Vec<f32>, Vec<f32>) {
+        let models = vec![DeviceModel::u280(); devices];
+        let mut cluster = ClusterMachine::load(heat_artifacts(), &models).unwrap();
+        let ua = cluster.host_f32(&u0);
+        let va = cluster.host_f32(&v0);
+        let sid = cluster
+            .open_sharded_session(
+                &[
+                    (
+                        "u",
+                        ua.clone(),
+                        MapKind::ToFrom,
+                        Partition::Split { halo: 1 },
+                    ),
+                    (
+                        "v",
+                        va.clone(),
+                        MapKind::ToFrom,
+                        Partition::Split { halo: 1 },
+                    ),
+                ],
+                ShardCount::Fixed(devices),
+            )
+            .unwrap();
+        for k in 0..iters {
+            let (src, dst) = if k % 2 == 0 { ("u", "v") } else { ("v", "u") };
+            let ticket = cluster
+                .sharded_launch_no_replan(sid, "heat_kernel0", &heat_args(src, dst))
+                .unwrap();
+            cluster.wait_sharded(ticket).unwrap();
+            if k + 1 < iters {
+                cluster.refresh_halos(sid).unwrap();
+            }
+        }
+        cluster.close_sharded_session(sid).unwrap();
+        (cluster.read_f32(&ua), cluster.read_f32(&va))
+    };
+    let (u_ref, v_ref) = run(1);
+    for devices in [2usize, 4] {
+        let (u, v) = run(devices);
+        assert_bits_eq(&format!("heat N={devices} u"), &u, &u_ref);
+        assert_bits_eq(&format!("heat N={devices} v"), &v, &v_ref);
+    }
+}
+
+/// A migration epoch in the middle of the stencil loop must not corrupt
+/// ghost rows: results stay bit-identical to the single-device run.
+///
+/// This is the regression the stale-halo bugfix pins. The epoch re-seeds
+/// replaced shards' ghost rows; the old code sourced them from the
+/// *open-time* array contents (`ShardedEnvironment::replan` copies out of
+/// the original global buffer), which are stale for any array written
+/// between launches — here both `u` and `v` after the first sweeps. The fix
+/// re-seeds from the current owner shards' rows, so the sweep after the
+/// epoch reads exactly what a refresh would have provided.
+#[test]
+fn mid_run_rebalance_epoch_does_not_corrupt_halos() {
+    let n = 211usize;
+    let iters = 6usize;
+    let (u0, v0) = inputs(n);
+    let (u_ref, v_ref, _, _) = run_plain_jacobi(n, iters, &u0, &v0);
+    for devices in [2usize, 4] {
+        // Rebalance right after the third sweep's refresh: both arrays have
+        // been rewritten since open, so any open-time re-seed is stale.
+        let (u, v, stats, _) = run_sharded_jacobi(devices, devices, iters, 1, Some(2), &u0, &v0);
+        assert!(stats.replan_count >= 1, "N={devices}: epoch must have run");
+        assert_bits_eq(&format!("epoch N={devices} u"), &u, &u_ref);
+        assert_bits_eq(&format!("epoch N={devices} v"), &v, &v_ref);
+    }
+}
+
+/// Wide-stencil sources (`v(i) = u(i-W) + u(i+W)`, loop `W+1 .. n-W`) for
+/// halo widths the proptest sweeps, compiled once per width.
+fn wide_artifacts(w: usize) -> Artifacts {
+    static CELL: OnceLock<Mutex<HashMap<usize, Artifacts>>> = OnceLock::new();
+    let cache = CELL.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().unwrap();
+    cache
+        .entry(w)
+        .or_insert_with(|| {
+            let src = format!(
+                "subroutine stw(n, u, v)\n  implicit none\n  integer :: n, i\n  \
+                 real :: u(n), v(n)\n  !$omp target parallel do\n  do i = {}, n - {w}\n    \
+                 v(i) = u(i-{w}) + u(i+{w})\n  end do\nend subroutine stw\n",
+                w + 1
+            );
+            Compiler::default()
+                .compile_source(&src)
+                .expect("wide stencil compiles")
+        })
+        .clone()
+}
+
+fn wide_args(w: usize, src: &str, dst: &str) -> Vec<ShardArg> {
+    vec![
+        ShardArg::Array(src.into()),
+        ShardArg::Array(dst.into()),
+        ShardArg::Extent(src.into()),
+        ShardArg::Extent(dst.into()),
+        ShardArg::Scalar(RtValue::Index(w as i64 + 1)),
+        ShardArg::ExtentOffset(src.into(), -(w as i64)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random grid sizes (including sizes not divisible by the shard
+    /// count), shard counts, halo widths, and iteration counts: the
+    /// halo-refresh path is bit-identical to a full gather + re-scatter
+    /// oracle (the session closed and re-opened between sweeps, so every
+    /// ghost row is re-seeded through host memory), and neither path leaks
+    /// host buffers or device arena entries.
+    #[test]
+    fn refresh_matches_gather_rescatter_oracle_for_random_shapes(
+        n in 16usize..200,
+        shards in 1usize..=4,
+        w in 1usize..=3,
+        iters in 1usize..=3,
+    ) {
+        let artifacts = wide_artifacts(w);
+        let u0: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).sin()).collect();
+        let v0: Vec<f32> = (0..n).map(|i| (i as f32 * 0.29).cos()).collect();
+        let models = vec![DeviceModel::u280(); 4];
+
+        // Halo-refresh path: one session for the whole loop. Run it twice
+        // on one machine: the second pass must leave the pool exactly where
+        // the first did (no host-buffer growth, no device-arena growth —
+        // refresh move buffers and session staging are all transient).
+        let mut cluster = ClusterMachine::load(&artifacts, &models).unwrap();
+        let mut u_refresh = Vec::new();
+        let mut v_refresh = Vec::new();
+        let mut marks = Vec::new();
+        for _pass in 0..2 {
+            let ua = cluster.host_f32(&u0);
+            let va = cluster.host_f32(&v0);
+            let sid = cluster
+                .open_sharded_session(
+                    &[
+                        ("u", ua.clone(), MapKind::ToFrom, Partition::Split { halo: w }),
+                        ("v", va.clone(), MapKind::ToFrom, Partition::Split { halo: w }),
+                    ],
+                    ShardCount::Fixed(shards),
+                )
+                .unwrap();
+            for k in 0..iters {
+                let (src, dst) = if k % 2 == 0 { ("u", "v") } else { ("v", "u") };
+                let ticket = cluster
+                    .sharded_launch_no_replan(sid, "stw_kernel0", &wide_args(w, src, dst))
+                    .unwrap();
+                cluster.wait_sharded(ticket).unwrap();
+                if k + 1 < iters {
+                    cluster.refresh_halos(sid).unwrap();
+                }
+            }
+            cluster.close_sharded_session(sid).unwrap();
+            u_refresh = cluster.read_f32(&ua);
+            v_refresh = cluster.read_f32(&va);
+            cluster.free_host(&ua).unwrap();
+            cluster.free_host(&va).unwrap();
+            let s = cluster.pool_stats();
+            let arena: Vec<usize> = s.devices.iter().map(|d| d.arena_buffers).collect();
+            marks.push((s.host_buffers, s.host_bytes, arena));
+        }
+        prop_assert_eq!(
+            &marks[0], &marks[1],
+            "repeated stencil sessions must not leak host buffers or arena entries"
+        );
+
+        // Oracle: gather + re-scatter every iteration (close + re-open).
+        let mut oracle = ClusterMachine::load(&artifacts, &models).unwrap();
+        let ub = oracle.host_f32(&u0);
+        let vb = oracle.host_f32(&v0);
+        for k in 0..iters {
+            let (src, dst) = if k % 2 == 0 { ("u", "v") } else { ("v", "u") };
+            let sid = oracle
+                .open_sharded_session(
+                    &[
+                        ("u", ub.clone(), MapKind::ToFrom, Partition::Split { halo: w }),
+                        ("v", vb.clone(), MapKind::ToFrom, Partition::Split { halo: w }),
+                    ],
+                    ShardCount::Fixed(shards),
+                )
+                .unwrap();
+            let ticket = oracle
+                .sharded_launch_no_replan(sid, "stw_kernel0", &wide_args(w, src, dst))
+                .unwrap();
+            oracle.wait_sharded(ticket).unwrap();
+            oracle.close_sharded_session(sid).unwrap();
+        }
+        let u_oracle = oracle.read_f32(&ub);
+        let v_oracle = oracle.read_f32(&vb);
+
+        for i in 0..n {
+            prop_assert_eq!(
+                u_refresh[i].to_bits(), u_oracle[i].to_bits(),
+                "n={} shards={} w={} iters={} u[{}]: {} vs {}",
+                n, shards, w, iters, i, u_refresh[i], u_oracle[i]
+            );
+            prop_assert_eq!(
+                v_refresh[i].to_bits(), v_oracle[i].to_bits(),
+                "n={} shards={} w={} iters={} v[{}]: {} vs {}",
+                n, shards, w, iters, i, v_refresh[i], v_oracle[i]
+            );
+        }
+    }
+}
